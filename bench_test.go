@@ -1,0 +1,301 @@
+package hyperdrive
+
+// Benchmark harness: one testing.B benchmark per table and figure of
+// the paper's evaluation (regenerating the figure end-to-end via
+// internal/figures at reduced scale), plus micro-benchmarks of the
+// performance-critical kernels (learning-curve MCMC fits, POP's ERT
+// and slot-allocation math, the simulator engine, the synthetic
+// trainers, and the wire protocol).
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// Regenerate a single figure at paper scale instead with the CLI:
+//
+//	go run ./cmd/hdbench -fig fig7 -scale full
+
+import (
+	"fmt"
+	mrand "math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/hyperdrive-ml/hyperdrive/internal/core"
+	"github.com/hyperdrive-ml/hyperdrive/internal/curve"
+	"github.com/hyperdrive-ml/hyperdrive/internal/figures"
+	"github.com/hyperdrive-ml/hyperdrive/internal/param"
+	"github.com/hyperdrive-ml/hyperdrive/internal/policy"
+	"github.com/hyperdrive-ml/hyperdrive/internal/sim"
+	"github.com/hyperdrive-ml/hyperdrive/internal/trace"
+	"github.com/hyperdrive-ml/hyperdrive/internal/wire"
+	"github.com/hyperdrive-ml/hyperdrive/internal/workload"
+)
+
+// benchFigure regenerates one figure per iteration.
+func benchFigure(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := figures.Run(id, figures.Options{Scale: "fast", Seed: int64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- one benchmark per paper table/figure ------------------------------
+
+func BenchmarkFig1CurveSweep(b *testing.B)         { benchFigure(b, "fig1") }
+func BenchmarkFig2aAccuracyCDF(b *testing.B)       { benchFigure(b, "fig2a") }
+func BenchmarkFig2bOvertake(b *testing.B)          { benchFigure(b, "fig2b") }
+func BenchmarkFig2cPrediction(b *testing.B)        { benchFigure(b, "fig2c") }
+func BenchmarkFig3PredictionOverTime(b *testing.B) { benchFigure(b, "fig3") }
+func BenchmarkFig4SlotAllocation(b *testing.B)     { benchFigure(b, "fig4ab") }
+func BenchmarkFig4cPromisingRatio(b *testing.B)    { benchFigure(b, "fig4c") }
+func BenchmarkFig6JobDurations(b *testing.B)       { benchFigure(b, "fig6") }
+func BenchmarkFig7TimeToTargetSL(b *testing.B)     { benchFigure(b, "fig7") }
+func BenchmarkOverheadSupervised(b *testing.B)     { benchFigure(b, "overhead-sl") }
+func BenchmarkFig8RLCurves(b *testing.B)           { benchFigure(b, "fig8") }
+func BenchmarkFig9TimeToTargetRL(b *testing.B)     { benchFigure(b, "fig9") }
+func BenchmarkFig10RLOverhead(b *testing.B)        { benchFigure(b, "fig10") }
+func BenchmarkFig12aSimValidation(b *testing.B)    { benchFigure(b, "fig12a") }
+func BenchmarkFig12bResourceSweep(b *testing.B)    { benchFigure(b, "fig12b") }
+func BenchmarkFig12cOrderSensitivity(b *testing.B) { benchFigure(b, "fig12c") }
+func BenchmarkHeadlineSpeedup(b *testing.B)        { benchFigure(b, "headline") }
+
+// --- ablation benchmarks (DESIGN.md §6) --------------------------------
+
+func BenchmarkAblationMCMCBudget(b *testing.B)      { benchFigure(b, "ablation-mcmc") }
+func BenchmarkAblationInstantAccuracy(b *testing.B) { benchFigure(b, "ablation-instant") }
+func BenchmarkAblationStaticThreshold(b *testing.B) { benchFigure(b, "ablation-threshold") }
+func BenchmarkAblationOverlapPrediction(b *testing.B) {
+	benchFigure(b, "ablation-overlap")
+}
+func BenchmarkAblationKillThreshold(b *testing.B) { benchFigure(b, "ablation-kill") }
+
+// --- kernel micro-benchmarks -------------------------------------------
+
+// benchObservations builds a realistic 30-epoch accuracy prefix.
+func benchObservations(n int) []float64 {
+	spec := workload.CIFAR10()
+	cfg := param.Config{
+		"learning_rate": 3e-3, "lr_gamma": 0.95, "lr_step": 10, "momentum": 0.9,
+		"weight_decay": 4e-4, "batch_size": 128, "conv1_filters": 64,
+		"conv2_filters": 64, "conv3_filters": 64, "fc_size": 256,
+		"init_std": 0.01, "dropout": 0.2, "pool_type": 0, "lr_policy": 1,
+	}
+	prof := workload.NewCIFAR10Profile(spec.Space(), cfg, 1)
+	out := make([]float64, n)
+	for e := 1; e <= n; e++ {
+		out[e-1] = prof.AccuracyAt(e)
+	}
+	return out
+}
+
+// BenchmarkCurveFitFast measures one learning-curve posterior fit at
+// the sweep budget (30 walkers x 120 iterations).
+func BenchmarkCurveFitFast(b *testing.B) {
+	p := curve.MustPredictor(curve.FastConfig())
+	obs := benchObservations(30)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Fit(obs, 120, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCurveFitPaper measures the paper's production budget
+// (100 walkers x 700 iterations, §5.2).
+func BenchmarkCurveFitPaper(b *testing.B) {
+	p := curve.MustPredictor(curve.PaperConfig())
+	obs := benchObservations(30)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Fit(obs, 120, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPosteriorProbAtLeast measures the P(m, y) query cost.
+func BenchmarkPosteriorProbAtLeast(b *testing.B) {
+	p := curve.MustPredictor(curve.FastConfig())
+	post, err := p.Fit(benchObservations(30), 120, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		post.ProbAtLeast(120, 0.77)
+	}
+}
+
+// BenchmarkEstimateERT measures the §3.1.1 expected-remaining-time
+// computation over a 120-epoch horizon.
+func BenchmarkEstimateERT(b *testing.B) {
+	prob := func(m int) float64 {
+		v := float64(m) / 150
+		if v > 0.95 {
+			v = 0.95
+		}
+		return v
+	}
+	for i := 0; i < b.N; i++ {
+		core.EstimateERT("j", prob, 20, 120, time.Minute, 10*time.Hour)
+	}
+}
+
+// BenchmarkAllocateSlots measures the desired/deserved argmax over 100
+// active configurations.
+func BenchmarkAllocateSlots(b *testing.B) {
+	ests := make([]core.Estimate, 100)
+	for i := range ests {
+		ests[i] = core.Estimate{
+			JobID:      fmt.Sprintf("job-%03d", i),
+			Confidence: float64(i%20) / 20,
+			ERT:        time.Duration(i) * time.Minute,
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.AllocateSlots(ests, 15, 1)
+	}
+}
+
+// BenchmarkWorkloadStep measures one synthetic training epoch.
+func BenchmarkWorkloadStep(b *testing.B) {
+	spec := workload.CIFAR10()
+	cfgs := []param.Config{spec.Space().Sample(newRandSource(1))}
+	tr := spec.New(cfgs[0], 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, done := tr.Step(); done {
+			tr = spec.New(cfgs[0], 1)
+		}
+	}
+}
+
+// BenchmarkTraceCollect measures full-trace generation for one config.
+func BenchmarkTraceCollect(b *testing.B) {
+	spec := workload.CIFAR10()
+	cfg := spec.Space().Sample(newRandSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trace.Collect(spec, []param.Config{cfg}, []int64{int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimDefaultPolicy measures the discrete-event engine
+// replaying 20 configs on 4 machines under the Default policy (pure
+// engine throughput; no MCMC).
+func BenchmarkSimDefaultPolicy(b *testing.B) {
+	tr := benchTrace(b, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(sim.Options{Trace: tr, Machines: 4, Policy: policy.NewDefault()}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimPOP measures a full POP simulation (engine + kill rules +
+// MCMC fits + slot allocation) on 20 configs.
+func BenchmarkSimPOP(b *testing.B) {
+	tr := benchTrace(b, 20)
+	pcfg := curve.Config{Walkers: 12, Iters: 60, BurnFrac: 0.5, MaxSamples: 200, StretchA: 2, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pop, err := policy.NewPOP(policy.POPOptions{Predictor: pcfg})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.Run(sim.Options{Trace: tr, Machines: 4, Policy: pop, StopAtTarget: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireRoundTrip measures one stat message over a TCP loopback
+// connection (the scheduler-agent hot path).
+func BenchmarkWireRoundTrip(b *testing.B) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		nc, err := l.Accept()
+		if err != nil {
+			return
+		}
+		conn := wire.NewConn(nc)
+		for {
+			msg, err := conn.Recv()
+			if err != nil {
+				return
+			}
+			if err := conn.Send(msg); err != nil {
+				return
+			}
+		}
+	}()
+	nc, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	conn := wire.NewConn(nc)
+	payload := wire.AppStatPayload{JobID: "job-001", Epoch: 42, Metric: 0.71, Dur0nsec: int64(time.Minute)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := conn.SendTyped(wire.MsgAppStat, payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := conn.Recv(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	nc.Close()
+	<-done
+}
+
+// --- helpers -----------------------------------------------------------
+
+var benchTraceCache = map[int]*trace.Trace{}
+
+func benchTrace(b *testing.B, n int) *trace.Trace {
+	b.Helper()
+	if tr, ok := benchTraceCache[n]; ok {
+		return tr
+	}
+	spec := workload.CIFAR10()
+	rng := newRandSource(7)
+	cfgs := make([]param.Config, n)
+	seeds := make([]int64, n)
+	for i := range cfgs {
+		cfgs[i] = spec.Space().Sample(rng)
+		seeds[i] = int64(i)
+	}
+	tr, err := trace.Collect(spec, cfgs, seeds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchTraceCache[n] = tr
+	return tr
+}
+
+// newRandSource returns a seeded *rand.Rand (kept here to avoid
+// polluting the package namespace).
+func newRandSource(seed int64) *mrand.Rand { return mrand.New(mrand.NewSource(seed)) }
+
+// --- extension benchmarks (§8/§9 features) -----------------------------
+
+func BenchmarkExtDynamicTarget(b *testing.B) { benchFigure(b, "ext-dynamic-target") }
+func BenchmarkExtSHAComparison(b *testing.B) { benchFigure(b, "ext-sha") }
+func BenchmarkExtUtilization(b *testing.B)   { benchFigure(b, "ext-utilization") }
+func BenchmarkExtCalibration(b *testing.B)   { benchFigure(b, "ext-calibration") }

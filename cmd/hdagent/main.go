@@ -1,0 +1,104 @@
+// Command hdagent runs a HyperDrive node agent (paper §4.2, component
+// ⑥): a daemon that executes training jobs on behalf of a remote
+// scheduler, streams application statistics, optionally computes
+// learning-curve predictions locally (distributed prediction, §5.2),
+// and implements suspend/resume via checkpoint images.
+//
+//	hdagent -listen :7070 -slots 2 -speedup 600 -predict
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"time"
+
+	"github.com/hyperdrive-ml/hyperdrive/internal/checkpoint"
+	"github.com/hyperdrive-ml/hyperdrive/internal/clock"
+	"github.com/hyperdrive-ml/hyperdrive/internal/cluster"
+	"github.com/hyperdrive-ml/hyperdrive/internal/curve"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hdagent:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hdagent", flag.ContinueOnError)
+	var (
+		listen   = fs.String("listen", ":7070", "listen address")
+		id       = fs.String("id", "", "agent id (defaults to listen address)")
+		slots    = fs.Int("slots", 1, "concurrent training slots")
+		speedup  = fs.Float64("speedup", 600, "clock compression factor")
+		ckpt     = fs.String("checkpoint", "framework", "snapshot model: framework | criu")
+		predict  = fs.Bool("predict", false, "run curve prediction locally (§5.2 distributed prediction)")
+		budget   = fs.String("predictor", "fast", "prediction budget: fast | paper | original")
+		seedFlag = fs.Int64("seed", 1, "checkpoint model seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	mode := checkpoint.Framework
+	switch *ckpt {
+	case "framework":
+	case "criu":
+		mode = checkpoint.CRIU
+	default:
+		return fmt.Errorf("unknown checkpoint mode %q", *ckpt)
+	}
+
+	opts := cluster.AgentOptions{
+		ID:             *id,
+		Slots:          *slots,
+		Clock:          clock.NewScaled(time.Now(), *speedup),
+		CheckpointMode: mode,
+		Seed:           *seedFlag,
+		Logf:           log.Printf,
+	}
+	if *predict {
+		var cfg curve.Config
+		switch *budget {
+		case "fast":
+			cfg = curve.FastConfig()
+		case "paper":
+			cfg = curve.PaperConfig()
+		case "original":
+			cfg = curve.OriginalConfig()
+		default:
+			return fmt.Errorf("unknown predictor budget %q", *budget)
+		}
+		p, err := curve.NewPredictor(cfg)
+		if err != nil {
+			return err
+		}
+		opts.Predictor = p
+	}
+
+	agent, err := cluster.NewAgent(opts)
+	if err != nil {
+		return err
+	}
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	log.Printf("hdagent: listening on %s with %d slots (speedup %gx, checkpoint %s, predict %v)",
+		l.Addr(), *slots, *speedup, mode, *predict)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	go func() {
+		<-sig
+		log.Print("hdagent: shutting down")
+		agent.Close()
+		l.Close()
+	}()
+	return agent.Serve(l)
+}

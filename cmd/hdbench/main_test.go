@@ -1,0 +1,38 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func quietStdout(t *testing.T) {
+	t.Helper()
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	t.Cleanup(func() { os.Stdout = old; devnull.Close() })
+}
+
+func TestList(t *testing.T) {
+	quietStdout(t)
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleCheapFigure(t *testing.T) {
+	quietStdout(t)
+	if err := run([]string{"-fig", "fig2a", "-out", t.TempDir()}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownFigure(t *testing.T) {
+	quietStdout(t)
+	if err := run([]string{"-fig", "nope", "-out", ""}); err == nil {
+		t.Fatal("accepted unknown figure")
+	}
+}

@@ -1,0 +1,145 @@
+// Command hdcurve runs the learning-curve predictor standalone: given
+// an observed metric prefix (one value per line, or comma-separated),
+// it fits the eleven-family ensemble posterior and prints the
+// extrapolated curve with credible bands and target probabilities —
+// the §3.1 machinery as a debugging and what-if tool.
+//
+//	# predict where a curve at 30 epochs is heading by epoch 120
+//	hdcurve -in curve.txt -horizon 120 -target 0.77
+//
+//	# inline observations
+//	hdcurve -obs 0.12,0.19,0.25,0.31,0.36 -horizon 120 -target 0.77
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/hyperdrive-ml/hyperdrive/internal/curve"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hdcurve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hdcurve", flag.ContinueOnError)
+	var (
+		inPath  = fs.String("in", "", "file of observed metrics (one per line; # comments allowed)")
+		obsFlag = fs.String("obs", "", "comma-separated observed metrics (alternative to -in)")
+		horizon = fs.Int("horizon", 120, "prediction horizon in epochs")
+		target  = fs.Float64("target", 0, "also print P(y(m) >= target) when non-zero")
+		budget  = fs.String("predictor", "fast", "MCMC budget: fast | paper | original")
+		step    = fs.Int("step", 5, "epochs between printed prediction rows")
+		seed    = fs.Int64("seed", 1, "sampler seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	obs, err := readObservations(*inPath, *obsFlag)
+	if err != nil {
+		return err
+	}
+	if len(obs) < curve.MinObservations {
+		return fmt.Errorf("need at least %d observations, have %d", curve.MinObservations, len(obs))
+	}
+
+	var cfg curve.Config
+	switch *budget {
+	case "fast":
+		cfg = curve.FastConfig()
+	case "paper":
+		cfg = curve.PaperConfig()
+	case "original":
+		cfg = curve.OriginalConfig()
+	default:
+		return fmt.Errorf("unknown predictor budget %q", *budget)
+	}
+	pred, err := curve.NewPredictor(cfg)
+	if err != nil {
+		return err
+	}
+	post, err := pred.Fit(obs, *horizon, *seed)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("fitted %d observations; %d posterior samples, acceptance %.2f\n",
+		len(obs), post.NumSamples(), post.AcceptRate())
+	fmt.Printf("models: %s\n\n", pred.ModelNames())
+	fmt.Printf("%-7s %-10s %-10s %-10s", "epoch", "observed", "predicted", "std")
+	if *target != 0 {
+		fmt.Printf(" %-12s", fmt.Sprintf("P(>=%.3g)", *target))
+	}
+	fmt.Println()
+	if *step < 1 {
+		*step = 1
+	}
+	for e := 1; e <= *horizon; e += *step {
+		mean, std := post.Predict(e)
+		observed := "-"
+		if e <= len(obs) {
+			observed = fmt.Sprintf("%.4f", obs[e-1])
+		}
+		fmt.Printf("%-7d %-10s %-10.4f %-10.4f", e, observed, mean, std)
+		if *target != 0 {
+			fmt.Printf(" %-12.4f", post.ProbAtLeast(e, *target))
+		}
+		fmt.Println()
+	}
+	if *target != 0 {
+		fmt.Printf("\nP(y(%d) >= %g) = %.4f\n", *horizon, *target, post.ProbAtLeast(*horizon, *target))
+	}
+	return nil
+}
+
+// readObservations loads metrics from a file or the inline flag.
+func readObservations(path, inline string) ([]float64, error) {
+	var fields []string
+	switch {
+	case path != "" && inline != "":
+		return nil, fmt.Errorf("use -in or -obs, not both")
+	case inline != "":
+		fields = strings.Split(inline, ",")
+	case path != "":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			fields = append(fields, strings.Split(line, ",")...)
+		}
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("provide observations via -in <file> or -obs <v1,v2,...>")
+	}
+	out := make([]float64, 0, len(fields))
+	for _, fstr := range fields {
+		fstr = strings.TrimSpace(fstr)
+		if fstr == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(fstr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad observation %q: %w", fstr, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestReadObservationsInline(t *testing.T) {
+	obs, err := readObservations("", "0.1, 0.2,0.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != 3 || obs[1] != 0.2 {
+		t.Fatalf("obs = %v", obs)
+	}
+}
+
+func TestReadObservationsFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "curve.txt")
+	content := "# a comment\n0.1\n0.2,0.3\n\n0.4\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	obs, err := readObservations(path, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != 4 || obs[3] != 0.4 {
+		t.Fatalf("obs = %v", obs)
+	}
+}
+
+func TestReadObservationsErrors(t *testing.T) {
+	if _, err := readObservations("", ""); err == nil {
+		t.Fatal("accepted no input")
+	}
+	if _, err := readObservations("x", "y"); err == nil {
+		t.Fatal("accepted both inputs")
+	}
+	if _, err := readObservations("", "0.1,zebra"); err == nil {
+		t.Fatal("accepted non-numeric value")
+	}
+	if _, err := readObservations("/nonexistent/file", ""); err == nil {
+		t.Fatal("accepted missing file")
+	}
+}
+
+func TestRunValidatesFlags(t *testing.T) {
+	if err := run([]string{"-obs", "0.1,0.2"}); err == nil {
+		t.Fatal("accepted too few observations")
+	}
+	if err := run([]string{"-obs", "0.1,0.2,0.3,0.4,0.5", "-predictor", "nope"}); err == nil {
+		t.Fatal("accepted unknown predictor budget")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	// Redirect stdout to keep test output clean.
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() { os.Stdout = old; devnull.Close() }()
+
+	err = run([]string{
+		"-obs", "0.12,0.18,0.24,0.29,0.33,0.37,0.40,0.43",
+		"-horizon", "60", "-target", "0.6", "-step", "10",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,176 @@
+// Command hdlog summarizes a HyperDrive scheduler event log (the JSON
+// lines written by `hyperdrive -log`): per-job lifecycles, decision
+// counts, and the experiment timeline — the post-mortem view of what
+// the scheduler did and why an experiment took as long as it did.
+//
+//	hyperdrive -policy pop -jobs 50 -log run.jsonl
+//	hdlog -in run.jsonl
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"github.com/hyperdrive-ml/hyperdrive/internal/cluster"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hdlog:", err)
+		os.Exit(1)
+	}
+}
+
+// jobSummary aggregates one job's records.
+type jobSummary struct {
+	id        string
+	starts    int
+	resumes   int
+	stats     int
+	lastEpoch int
+	best      float64
+	hasBest   bool
+	decisions map[string]int
+	first     time.Time
+	last      time.Time
+	final     string
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hdlog", flag.ContinueOnError)
+	var (
+		in  = fs.String("in", "", "event log file (JSON lines); - for stdin")
+		top = fs.Int("top", 10, "jobs to list (by stat volume)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var r io.Reader
+	switch *in {
+	case "":
+		return fmt.Errorf("provide -in <file> (or - for stdin)")
+	case "-":
+		r = os.Stdin
+	default:
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+
+	jobs := make(map[string]*jobSummary)
+	kinds := make(map[string]int)
+	decisions := make(map[string]int)
+	var first, last time.Time
+	var stoppedBy string
+	lines := 0
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var rec cluster.LogRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return fmt.Errorf("line %d: %w", lines+1, err)
+		}
+		lines++
+		kinds[rec.Kind]++
+		if first.IsZero() || rec.T.Before(first) {
+			first = rec.T
+		}
+		if rec.T.After(last) {
+			last = rec.T
+		}
+		if rec.Kind == "stop" {
+			stoppedBy = rec.Detail
+			continue
+		}
+		if rec.Job == "" {
+			continue
+		}
+		j := jobs[rec.Job]
+		if j == nil {
+			j = &jobSummary{id: rec.Job, decisions: make(map[string]int), first: rec.T}
+			jobs[rec.Job] = j
+		}
+		j.last = rec.T
+		switch rec.Kind {
+		case "start":
+			j.starts++
+		case "resume":
+			j.resumes++
+		case "stat":
+			j.stats++
+			if rec.Epoch > j.lastEpoch {
+				j.lastEpoch = rec.Epoch
+			}
+			if !j.hasBest || rec.Metric > j.best {
+				j.best = rec.Metric
+				j.hasBest = true
+			}
+		case "decision":
+			j.decisions[rec.Decision]++
+			decisions[rec.Decision]++
+		case "completed", "terminated", "suspended", "error":
+			j.final = rec.Kind
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if lines == 0 {
+		return fmt.Errorf("no records in %s", *in)
+	}
+
+	fmt.Printf("events: %d records over %v (experiment clock)\n", lines, last.Sub(first).Round(time.Second))
+	if stoppedBy != "" {
+		fmt.Printf("stopped by: %s\n", stoppedBy)
+	}
+	fmt.Printf("record kinds:")
+	for _, k := range sortedKeys(kinds) {
+		fmt.Printf(" %s=%d", k, kinds[k])
+	}
+	fmt.Println()
+	fmt.Printf("decisions:")
+	for _, k := range sortedKeys(decisions) {
+		fmt.Printf(" %s=%d", k, decisions[k])
+	}
+	fmt.Println()
+
+	ordered := make([]*jobSummary, 0, len(jobs))
+	for _, j := range jobs {
+		ordered = append(ordered, j)
+	}
+	sort.Slice(ordered, func(a, b int) bool { return ordered[a].stats > ordered[b].stats })
+	if *top > len(ordered) {
+		*top = len(ordered)
+	}
+	fmt.Printf("\n%d jobs (top %d by epochs):\n", len(ordered), *top)
+	fmt.Printf("%-12s %6s %6s %7s %8s %10s %-10s\n", "job", "epochs", "best", "starts", "resumes", "lifetime", "final")
+	for _, j := range ordered[:*top] {
+		fmt.Printf("%-12s %6d %6.3f %7d %8d %10v %-10s\n",
+			j.id, j.lastEpoch, j.best, j.starts, j.resumes,
+			j.last.Sub(j.first).Round(time.Second), j.final)
+	}
+	return nil
+}
+
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

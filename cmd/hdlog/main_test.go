@@ -1,0 +1,72 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/hyperdrive-ml/hyperdrive"
+	"github.com/hyperdrive-ml/hyperdrive/internal/clock"
+)
+
+func quietStdout(t *testing.T) {
+	t.Helper()
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	t.Cleanup(func() { os.Stdout = old; devnull.Close() })
+}
+
+func TestSummarizeRealLog(t *testing.T) {
+	quietStdout(t)
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = hyperdrive.RunExperiment(context.Background(), hyperdrive.ExperimentConfig{
+		Workload: "cifar10",
+		Policy:   "default",
+		Machines: 2,
+		MaxJobs:  2,
+		Clock:    clock.NewScaled(time.Now(), 200000),
+		EventLog: hyperdrive.NewEventLog(f),
+		Seed:     5,
+	})
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	quietStdout(t)
+	if err := run(nil); err == nil {
+		t.Fatal("accepted missing -in")
+	}
+	if err := run([]string{"-in", "/nonexistent"}); err == nil {
+		t.Fatal("accepted missing file")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.jsonl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", empty}); err == nil {
+		t.Fatal("accepted empty log")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(bad, []byte("{not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", bad}); err == nil {
+		t.Fatal("accepted malformed record")
+	}
+}

@@ -1,0 +1,86 @@
+// Command hdsim replays a workload trace through the discrete-event
+// simulator (paper §7) under one or more scheduling policies and
+// reports time-to-target and job statistics.
+//
+//	hdsim -trace cifar.trace -policies pop,bandit,earlyterm,default -machines 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/hyperdrive-ml/hyperdrive"
+	"github.com/hyperdrive-ml/hyperdrive/internal/stats"
+	"github.com/hyperdrive-ml/hyperdrive/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hdsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hdsim", flag.ContinueOnError)
+	var (
+		tracePath = fs.String("trace", "trace.json", "trace file to replay")
+		policies  = fs.String("policies", "pop,bandit,earlyterm,default", "comma-separated policies")
+		machines  = fs.Int("machines", 4, "slots")
+		orders    = fs.Int("orders", 1, "number of random configuration orders to replay")
+		maxDur    = fs.Duration("max-duration", 7*24*time.Hour, "Tmax")
+		budget    = fs.String("predictor", "fast", "curve predictor budget")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	base, err := trace.ReadFile(*tracePath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace: %s, %d jobs, %d machines, %d order(s)\n\n",
+		base.Workload, len(base.Jobs), *machines, *orders)
+	fmt.Printf("%-10s %-8s %12s %12s %8s %8s %8s\n",
+		"policy", "reached", "median-ttt", "max-ttt", "susp", "term", "compl")
+
+	for _, polName := range strings.Split(*policies, ",") {
+		var ttts []float64
+		var reached, susp, term, compl int
+		for o := 0; o < *orders; o++ {
+			tr := base
+			if o > 0 {
+				tr = base.Permute(int64(o))
+			}
+			res, err := hyperdrive.RunSimulation(hyperdrive.SimConfig{
+				Trace:           tr,
+				Policy:          polName,
+				Machines:        *machines,
+				MaxDuration:     *maxDur,
+				StopAtTarget:    true,
+				PredictorBudget: *budget,
+			})
+			if err != nil {
+				return fmt.Errorf("policy %s: %w", polName, err)
+			}
+			if res.Reached {
+				reached++
+				ttts = append(ttts, res.TimeToTarget.Hours())
+			}
+			susp += res.Suspends
+			term += res.Terminations
+			compl += res.Completions
+		}
+		med, max := "-", "-"
+		if len(ttts) > 0 {
+			med = fmt.Sprintf("%.2fh", stats.Percentile(ttts, 50))
+			max = fmt.Sprintf("%.2fh", stats.Percentile(ttts, 100))
+		}
+		fmt.Printf("%-10s %3d/%-4d %12s %12s %8d %8d %8d\n",
+			polName, reached, *orders, med, max, susp, term, compl)
+	}
+	return nil
+}

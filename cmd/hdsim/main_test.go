@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/hyperdrive-ml/hyperdrive"
+)
+
+func quietStdout(t *testing.T) {
+	t.Helper()
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	t.Cleanup(func() { os.Stdout = old; devnull.Close() })
+}
+
+func writeTrace(t *testing.T) string {
+	t.Helper()
+	tr, err := hyperdrive.CollectTrace("cifar10", 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "t.json")
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunPolicies(t *testing.T) {
+	quietStdout(t)
+	path := writeTrace(t)
+	if err := run([]string{"-trace", path, "-policies", "bandit,default", "-machines", "2", "-orders", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	quietStdout(t)
+	if err := run([]string{"-trace", "/nonexistent"}); err == nil {
+		t.Fatal("accepted missing trace")
+	}
+	path := writeTrace(t)
+	if err := run([]string{"-trace", path, "-policies", "nope"}); err == nil {
+		t.Fatal("accepted unknown policy")
+	}
+}

@@ -1,0 +1,134 @@
+// Command hdtrace is the Trace Generator CLI (paper §7.1): it collects
+// replayable workload traces, inspects them, and permutes configuration
+// order for sensitivity studies.
+//
+//	hdtrace collect -workload cifar10 -n 100 -seed 1 -o cifar.trace
+//	hdtrace info -i cifar.trace
+//	hdtrace permute -i cifar.trace -seed 7 -o cifar-perm.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/hyperdrive-ml/hyperdrive"
+	"github.com/hyperdrive-ml/hyperdrive/internal/stats"
+	"github.com/hyperdrive-ml/hyperdrive/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hdtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: hdtrace <collect|info|permute> [flags]")
+	}
+	switch args[0] {
+	case "collect":
+		return collect(args[1:])
+	case "info":
+		return info(args[1:])
+	case "permute":
+		return permute(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func collect(args []string) error {
+	fs := flag.NewFlagSet("collect", flag.ContinueOnError)
+	var (
+		workloadName = fs.String("workload", "cifar10", "workload: cifar10 | lunarlander")
+		n            = fs.Int("n", 100, "number of configurations")
+		seed         = fs.Int64("seed", 1, "sampling seed")
+		out          = fs.String("o", "trace.json", "output file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tr, err := hyperdrive.CollectTrace(*workloadName, *n, *seed)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteFile(*out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d-job %s trace to %s\n", len(tr.Jobs), tr.Workload, *out)
+	return nil
+}
+
+func info(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ContinueOnError)
+	in := fs.String("i", "trace.json", "input trace")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tr, err := trace.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload:       %s\n", tr.Workload)
+	fmt.Printf("jobs:           %d\n", len(tr.Jobs))
+	fmt.Printf("max epoch:      %d\n", tr.MaxEpoch)
+	fmt.Printf("target:         %g\n", tr.Target)
+	fmt.Printf("kill threshold: %g\n", tr.KillThreshold)
+	fmt.Printf("eval boundary:  %d\n", tr.EvalBoundary)
+
+	var finals, epochSecs []float64
+	winners, poor := 0, 0
+	for _, j := range tr.Jobs {
+		best := tr.MetricMin
+		var dur time.Duration
+		for _, s := range j.Samples {
+			if s.Metric > best {
+				best = s.Metric
+			}
+			dur += s.Duration()
+		}
+		finals = append(finals, best)
+		epochSecs = append(epochSecs, dur.Seconds()/float64(len(j.Samples)))
+		if best >= tr.Target {
+			winners++
+		}
+		if best <= tr.KillThreshold {
+			poor++
+		}
+	}
+	sum, err := stats.Summarize(finals)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("best metric:    mean=%.3f min=%.3f max=%.3f\n", sum.Mean, sum.Min, sum.Max)
+	fmt.Printf("winners:        %d/%d reach the target\n", winners, len(tr.Jobs))
+	fmt.Printf("poor:           %d/%d never beat the kill threshold\n", poor, len(tr.Jobs))
+	fmt.Printf("epoch duration: mean %.1fs\n", stats.Mean(epochSecs))
+	return nil
+}
+
+func permute(args []string) error {
+	fs := flag.NewFlagSet("permute", flag.ContinueOnError)
+	var (
+		in   = fs.String("i", "trace.json", "input trace")
+		out  = fs.String("o", "trace-perm.json", "output trace")
+		seed = fs.Int64("seed", 1, "permutation seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tr, err := trace.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	perm := tr.Permute(*seed)
+	if err := perm.WriteFile(*out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote permutation (seed %d) to %s\n", *seed, *out)
+	return nil
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/hyperdrive-ml/hyperdrive/internal/trace"
+)
+
+// quietStdout silences command output during tests.
+func quietStdout(t *testing.T) {
+	t.Helper()
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	t.Cleanup(func() { os.Stdout = old; devnull.Close() })
+}
+
+func TestCollectInfoPermutePipeline(t *testing.T) {
+	quietStdout(t)
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "t.json")
+	permPath := filepath.Join(dir, "p.json")
+
+	if err := run([]string{"collect", "-workload", "cifar10", "-n", "4", "-seed", "3", "-o", tracePath}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"info", "-i", tracePath}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"permute", "-i", tracePath, "-seed", "9", "-o", permPath}); err != nil {
+		t.Fatal(err)
+	}
+
+	orig, err := trace.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm, err := trace.ReadFile(permPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(orig.Jobs) != 4 || len(perm.Jobs) != 4 {
+		t.Fatalf("jobs = %d / %d", len(orig.Jobs), len(perm.Jobs))
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	quietStdout(t)
+	if err := run(nil); err == nil {
+		t.Fatal("accepted no subcommand")
+	}
+	if err := run([]string{"frobnicate"}); err == nil {
+		t.Fatal("accepted unknown subcommand")
+	}
+	if err := run([]string{"collect", "-workload", "nope", "-o", filepath.Join(t.TempDir(), "x")}); err == nil {
+		t.Fatal("accepted unknown workload")
+	}
+	if err := run([]string{"info", "-i", "/nonexistent"}); err == nil {
+		t.Fatal("accepted missing trace")
+	}
+	if err := run([]string{"permute", "-i", "/nonexistent", "-o", "/tmp/x"}); err == nil {
+		t.Fatal("accepted missing input")
+	}
+}

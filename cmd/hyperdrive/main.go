@@ -1,0 +1,145 @@
+// Command hyperdrive runs one hyperparameter-exploration experiment:
+// the Experiment Runner client of the paper's §4.2. Training executes
+// either on in-process workers or on remote hdagent daemons, against a
+// scaled clock that compresses simulated training time.
+//
+// Examples:
+//
+//	# POP over 100 random CIFAR-10 configs on 4 in-process slots,
+//	# stopping at 77% validation accuracy, 600x time compression.
+//	hyperdrive -workload cifar10 -policy pop -machines 4 -jobs 100 -stop-at-target
+//
+//	# Same experiment over two remote agents.
+//	hyperdrive -agents host1:7070,host2:7070 -policy pop -jobs 100
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"github.com/hyperdrive-ml/hyperdrive"
+	"github.com/hyperdrive-ml/hyperdrive/internal/workload"
+)
+
+// workloadRegistry exposes the built-in workloads for trace recording.
+func workloadRegistry() *workload.Registry { return workload.NewRegistry() }
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hyperdrive:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hyperdrive", flag.ContinueOnError)
+	var (
+		workloadName = fs.String("workload", "cifar10", "workload: cifar10 | lunarlander")
+		policyName   = fs.String("policy", "pop", "policy: pop | bandit | earlyterm | default")
+		generator    = fs.String("generator", "random", "generator: random | grid | adaptive")
+		machines     = fs.Int("machines", 4, "in-process training slots")
+		agents       = fs.String("agents", "", "comma-separated agent addresses (overrides -machines)")
+		jobs         = fs.Int("jobs", 100, "configuration budget")
+		maxDur       = fs.Duration("max-duration", 24*time.Hour, "Tmax on the experiment clock")
+		stopAtTarget = fs.Bool("stop-at-target", true, "stop when the target metric is reached")
+		target       = fs.Float64("target", 0, "target metric override (0 = workload default)")
+		seed         = fs.Int64("seed", 1, "random seed")
+		speedup      = fs.Float64("speedup", 600, "clock compression factor")
+		budget       = fs.String("predictor", "fast", "curve predictor budget: fast | paper | original")
+		verbose      = fs.Bool("v", false, "print per-job outcomes")
+		recordPath   = fs.String("record", "", "write the run as a replayable trace to this file")
+		logPath      = fs.String("log", "", "write the scheduler event log (JSON lines) to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := hyperdrive.ExperimentConfig{
+		Workload:        *workloadName,
+		Policy:          *policyName,
+		Generator:       *generator,
+		Machines:        *machines,
+		MaxJobs:         *jobs,
+		MaxDuration:     *maxDur,
+		StopAtTarget:    *stopAtTarget,
+		Target:          *target,
+		Seed:            *seed,
+		SpeedUp:         *speedup,
+		PredictorBudget: *budget,
+	}
+	if *agents != "" {
+		cfg.AgentAddrs = strings.Split(*agents, ",")
+	}
+	var recorder *hyperdrive.TraceRecorder
+	if *recordPath != "" {
+		reg := workloadRegistry()
+		spec, err := reg.Lookup(cfg.Workload)
+		if err != nil {
+			return err
+		}
+		recorder = hyperdrive.NewTraceRecorder(spec)
+		cfg.Recorder = recorder
+	}
+	if *logPath != "" {
+		f, err := os.Create(*logPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		cfg.EventLog = hyperdrive.NewEventLog(f)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	fmt.Printf("experiment: workload=%s policy=%s machines=%d jobs=%d speedup=%gx\n",
+		cfg.Workload, cfg.Policy, cfg.Machines, cfg.MaxJobs, *speedup)
+	start := time.Now()
+	res, err := hyperdrive.RunExperiment(ctx, cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\nresult (wall time %v):\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("  stopped by:      %s\n", res.StoppedBy)
+	fmt.Printf("  best metric:     %.4f (job %s)\n", res.Best, res.BestJob)
+	if res.Reached {
+		fmt.Printf("  time to target:  %v (simulated)\n", res.TimeToTarget.Round(time.Second))
+	}
+	fmt.Printf("  experiment time: %v (simulated)\n", res.Duration.Round(time.Second))
+	fmt.Printf("  jobs: started=%d completed=%d terminated=%d suspended=%d resumed=%d\n",
+		res.Starts, res.Completions, res.Terminations, res.Suspends, res.Resumes)
+	if res.Fits > 0 {
+		fmt.Printf("  curve fits:      %d\n", res.Fits)
+	}
+	if n := len(res.Overheads.Records()); n > 0 {
+		var totalKB float64
+		for _, r := range res.Overheads.Records() {
+			totalKB += float64(r.Size) / 1024
+		}
+		fmt.Printf("  suspend overhead: %d snapshots, %.0f KB total\n", n, totalKB)
+	}
+	if recorder != nil {
+		tr, complete, err := recorder.Finish()
+		if err != nil {
+			return fmt.Errorf("record: %w", err)
+		}
+		if err := tr.WriteFile(*recordPath); err != nil {
+			return err
+		}
+		fmt.Printf("  recorded trace:  %s (%d jobs, complete=%v)\n", *recordPath, len(tr.Jobs), complete)
+	}
+	if *verbose {
+		fmt.Println("\nper-job outcomes:")
+		for _, j := range res.Jobs {
+			fmt.Printf("  %-10s epochs=%3d best=%.4f busy=%8v state=%v\n",
+				j.ID, j.Epochs, j.Best, j.BusyTime.Round(time.Second), j.FinalState)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func quietStdout(t *testing.T) {
+	t.Helper()
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	t.Cleanup(func() { os.Stdout = old; devnull.Close() })
+}
+
+func TestRunErrors(t *testing.T) {
+	quietStdout(t)
+	if err := run([]string{"-workload", "nope", "-jobs", "1", "-machines", "1"}); err == nil {
+		t.Fatal("accepted unknown workload")
+	}
+	if err := run([]string{"-policy", "nope", "-jobs", "1", "-machines", "1"}); err == nil {
+		t.Fatal("accepted unknown policy")
+	}
+}
+
+func TestRunTinyExperiment(t *testing.T) {
+	quietStdout(t)
+	err := run([]string{
+		"-policy", "default", "-jobs", "2", "-machines", "2",
+		"-speedup", "200000", "-stop-at-target=false", "-v",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

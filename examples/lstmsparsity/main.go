@@ -1,0 +1,252 @@
+// LSTM sparsity exploration: the paper's §9 "Ongoing Work" case study.
+// Group-lasso regularization (Wen et al., NeurIPS 2016) adds a
+// hyperparameter lambda trading model sparsity (storage/compute
+// savings) against perplexity (the primary language-modeling metric).
+// HyperDrive's pieces in play:
+//
+//   - a custom workload (a synthetic PTB-style LSTM trainer) plugged
+//     into the registry — "supports different learning domains";
+//   - a user-defined *global termination criterion* over two metrics:
+//     stop the whole experiment once some configuration achieves both
+//     perplexity within tolerance of the state of the art AND a
+//     sparsity target (the §9 mechanism: "user-defined global
+//     termination criteria through HyperDrive's SAP API");
+//   - POP scheduling the exploration of lambda and friends.
+//
+// The trainer reports a single primary metric (the normalized quality
+// score derived from perplexity, higher is better); sparsity is a
+// deterministic function of lambda that the termination criterion
+// evaluates on the side.
+//
+//	go run ./examples/lstmsparsity
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"github.com/hyperdrive-ml/hyperdrive"
+	"github.com/hyperdrive-ml/hyperdrive/internal/appstat"
+	"github.com/hyperdrive-ml/hyperdrive/internal/param"
+	"github.com/hyperdrive-ml/hyperdrive/internal/policy"
+	"github.com/hyperdrive-ml/hyperdrive/internal/workload"
+)
+
+// Perplexity bounds for the score mapping: a PTB-style LSTM starts
+// near ~700 and state-of-the-art medium models reach ~82 (Zaremba et
+// al., 2014).
+const (
+	pplWorst = 700.0
+	pplBest  = 78.0
+)
+
+// score maps perplexity onto a higher-is-better [0, 1] scale.
+func score(ppl float64) float64 {
+	s := math.Log(pplWorst/ppl) / math.Log(pplWorst/pplBest)
+	return math.Max(0, math.Min(1, s))
+}
+
+// sparsityOf is the structural sparsity induced by lambda: more
+// regularization prunes more weight groups (saturating around 95%).
+func sparsityOf(lambda float64) float64 {
+	n := math.Log10(lambda/1e-7) / math.Log10(1e-2/1e-7) // 0..1 over the search range
+	return math.Max(0, math.Min(0.95, 1.15*n*n))
+}
+
+// lstmSpec is the custom workload: synthetic perplexity curves whose
+// final quality degrades gently with lambda until over-regularization
+// collapses it.
+type lstmSpec struct {
+	space *param.Space
+}
+
+func newLSTMSpec() *lstmSpec {
+	return &lstmSpec{space: param.MustSpace(
+		param.Param{Name: "lambda", Kind: param.LogUniform, Min: 1e-7, Max: 1e-2},
+		param.Param{Name: "learning_rate", Kind: param.LogUniform, Min: 1e-4, Max: 1e-1},
+		param.Param{Name: "hidden", Kind: param.Int, Min: 200, Max: 1500},
+		param.Param{Name: "dropout", Kind: param.Uniform, Min: 0, Max: 0.7},
+		param.Param{Name: "seq_len", Kind: param.Choice, Choices: []float64{20, 35, 50}},
+		param.Param{Name: "clip", Kind: param.Uniform, Min: 1, Max: 10},
+	)}
+}
+
+func (s *lstmSpec) Name() string                  { return "lstmsparse" }
+func (s *lstmSpec) Space() *param.Space           { return s.space }
+func (s *lstmSpec) Metric() workload.MetricKind   { return workload.Accuracy }
+func (s *lstmSpec) MetricRange() (lo, hi float64) { return 0, 1 }
+func (s *lstmSpec) Target() float64               { return 0.88 } // strong-model score
+func (s *lstmSpec) KillThreshold() float64        { return 0.05 }
+func (s *lstmSpec) RandomFloor() float64          { return 0.0 }
+func (s *lstmSpec) EvalBoundary() int             { return 5 }
+func (s *lstmSpec) MaxEpoch() int                 { return 60 }
+
+// lstmTrainer produces the perplexity-score curve.
+type lstmTrainer struct {
+	spec  *lstmSpec
+	cfg   param.Config
+	seed  int64
+	epoch int
+}
+
+func (s *lstmSpec) New(cfg param.Config, seed int64) workload.Trainer {
+	return &lstmTrainer{spec: s, cfg: cfg, seed: seed}
+}
+
+func (t *lstmTrainer) Workload() string { return t.spec.Name() }
+func (t *lstmTrainer) Epoch() int       { return t.epoch }
+func (t *lstmTrainer) MaxEpoch() int    { return t.spec.MaxEpoch() }
+
+// finalPPL is the asymptotic perplexity for this configuration.
+func (t *lstmTrainer) finalPPL() float64 {
+	lambda := t.cfg.Get("lambda", 1e-7)
+	lr := t.cfg.Get("learning_rate", 1e-2)
+	hidden := t.cfg.Get("hidden", 650)
+
+	base := 82.0
+	// Capacity: small models lose a bit.
+	base += 40 * math.Max(0, 1-hidden/650)
+	// Learning rate: quadratic penalty in log-distance from 1e-2.
+	dlr := math.Log10(lr / 1e-2)
+	base += 60 * dlr * dlr
+	// Group lasso: gentle quality loss until over-regularization.
+	sp := sparsityOf(lambda)
+	base += 10 * sp
+	if sp > 0.9 {
+		base += 300 * (sp - 0.9) * 10
+	}
+	return base
+}
+
+func (t *lstmTrainer) Step() (workload.Sample, bool) {
+	if t.epoch >= t.spec.MaxEpoch() {
+		return workload.Sample{Epoch: t.epoch}, true
+	}
+	t.epoch++
+	e := float64(t.epoch)
+	// Perplexity decays exponentially toward the final value.
+	ppl := t.finalPPL() + (pplWorst-t.finalPPL())*math.Exp(-e/6)
+	// Deterministic seed-dependent jitter.
+	jitter := math.Sin(float64(t.seed)*37.1+e*2.13) * 2.5
+	s := workload.Sample{
+		Epoch:    t.epoch,
+		Metric:   score(ppl + jitter),
+		Duration: 3 * time.Minute,
+	}
+	return s, t.epoch >= t.spec.MaxEpoch()
+}
+
+func (t *lstmTrainer) Snapshot() ([]byte, error) {
+	return json.Marshal(map[string]interface{}{"workload": t.spec.Name(), "epoch": t.epoch})
+}
+
+func (t *lstmTrainer) Restore(b []byte) error {
+	var st struct {
+		Workload string `json:"workload"`
+		Epoch    int    `json:"epoch"`
+	}
+	if err := json.Unmarshal(b, &st); err != nil {
+		return err
+	}
+	if st.Workload != t.spec.Name() {
+		return fmt.Errorf("snapshot for %q", st.Workload)
+	}
+	t.epoch = st.Epoch
+	return nil
+}
+
+func main() {
+	const (
+		sparsityTarget = 0.60 // prune at least 60% of weight groups
+		scoreTolerance = 0.90 // keep within tolerance of SOTA perplexity
+	)
+	spec := newLSTMSpec()
+	registry := workload.NewRegistry()
+	registry.Register(spec)
+
+	// Track which configuration each job explores so the termination
+	// criterion can evaluate sparsity(lambda).
+	lambdas := make(map[string]float64)
+	gen := &trackingGenerator{space: spec.Space(), lambdas: lambdas}
+
+	// The §9 mechanism: a global termination criterion over BOTH
+	// metrics — perplexity (via the primary score) and sparsity.
+	stop := func(db *appstat.DB, info policy.Info) bool {
+		for _, job := range db.Jobs() {
+			best, ok := db.Best(job)
+			if !ok || best < scoreTolerance {
+				continue
+			}
+			if sparsityOf(lambdas[string(job)]) >= sparsityTarget {
+				return true
+			}
+		}
+		return false
+	}
+
+	pop, err := hyperdrive.NewPOP(hyperdrive.POPOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := hyperdrive.RunExperiment(context.Background(), hyperdrive.ExperimentConfig{
+		Workload:        "lstmsparse",
+		Registry:        registry,
+		CustomPolicy:    pop,
+		CustomGenerator: gen,
+		Machines:        4,
+		MaxJobs:         40,
+		Seed:            11,
+		SpeedUp:         50000,
+		StopCondition:   stop,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("group-lasso lambda exploration (POP, multi-metric termination):")
+	for _, j := range res.Jobs {
+		if j.Epochs == 0 {
+			continue
+		}
+		lambda := lambdas[string(j.ID)]
+		fmt.Printf("  %-8s lambda=%.1e score=%.3f sparsity=%.0f%% epochs=%2d %s\n",
+			j.ID, lambda, j.Best, sparsityOf(lambda)*100, j.Epochs, j.FinalState)
+	}
+	fmt.Printf("stopped by: %s\n", res.StoppedBy)
+	if res.StoppedBy == "condition" {
+		fmt.Printf("found a model within perplexity tolerance at >= %.0f%% sparsity\n", sparsityTarget*100)
+	}
+}
+
+// trackingGenerator samples the space and remembers each job's lambda.
+type trackingGenerator struct {
+	space   *param.Space
+	lambdas map[string]float64
+	next    int
+}
+
+func (g *trackingGenerator) CreateJob() (string, param.Config, error) {
+	if g.next >= 40 {
+		return "", nil, fmt.Errorf("exhausted")
+	}
+	id := fmt.Sprintf("lstm-%02d", g.next)
+	// Deterministic stratified sweep over lambda with jittered
+	// companions.
+	cfg := param.Config{
+		"lambda":        1e-7 * math.Pow(10, 5*float64(g.next%10)/9),
+		"learning_rate": 1e-2 * math.Pow(10, 0.5*math.Sin(float64(g.next)*1.7)),
+		"hidden":        float64(300 + 100*(g.next%8)),
+		"dropout":       0.2 + 0.05*float64(g.next%5),
+		"seq_len":       35,
+		"clip":          5,
+	}
+	g.lambdas[id] = cfg["lambda"]
+	g.next++
+	return id, cfg, nil
+}
+
+func (g *trackingGenerator) ReportFinalPerformance(string, float64) {}

@@ -1,0 +1,47 @@
+// Quickstart: explore CIFAR-10 hyperparameters with POP scheduling on
+// four in-process machines, stopping as soon as some configuration
+// reaches 77% validation accuracy.
+//
+//	go run ./examples/quickstart
+//
+// Time is compressed 20,000x, so the multi-hour simulated experiment
+// finishes in a few seconds of wall time.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/hyperdrive-ml/hyperdrive"
+)
+
+func main() {
+	start := time.Now()
+	res, err := hyperdrive.RunExperiment(context.Background(), hyperdrive.ExperimentConfig{
+		Workload:     "cifar10",
+		Policy:       "pop",
+		Machines:     4,
+		MaxJobs:      40,
+		StopAtTarget: true,
+		Seed:         7,
+		SpeedUp:      20000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("explored %d configurations in %v of wall time\n",
+		res.Starts, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("best validation accuracy: %.2f%% (job %s)\n", res.Best*100, res.BestJob)
+	if res.Reached {
+		fmt.Printf("reached the 77%% target after %v of simulated training\n",
+			res.TimeToTarget.Round(time.Minute))
+	} else {
+		fmt.Printf("target not reached (stopped by %s after %v simulated)\n",
+			res.StoppedBy, res.Duration.Round(time.Minute))
+	}
+	fmt.Printf("scheduling: %d terminated early, %d suspended, %d resumed, %d curve fits\n",
+		res.Terminations, res.Suspends, res.Resumes, res.Fits)
+}

@@ -1,0 +1,3 @@
+module github.com/hyperdrive-ml/hyperdrive
+
+go 1.22

@@ -1,0 +1,432 @@
+// Package hyperdrive is a Go implementation of HyperDrive, the
+// hyperparameter-exploration framework with POP scheduling from
+// Rasley et al., "HyperDrive: Exploring Hyperparameters with POP
+// Scheduling" (ACM/IFIP/USENIX Middleware 2017).
+//
+// It provides:
+//
+//   - the POP scheduling algorithm (Promising/Opportunistic/Poor
+//     classification, probabilistic expected-remaining-time estimation,
+//     dynamic exploitation/exploration slot division);
+//   - the baseline policies evaluated in the paper: Default, Bandit
+//     (TuPAQ-style action elimination), and EarlyTerm (Domhan et al.'s
+//     predictive termination);
+//   - the learning-curve predictor: a weighted ensemble of eleven
+//     parametric curve families sampled with affine-invariant MCMC;
+//   - the HyperDrive runtime: Experiment Runner, Hyperparameter
+//     Generators (random/grid/adaptive), Job & Resource Managers, TCP
+//     node agents, and suspend/resume of training jobs across machines;
+//   - the trace-driven discrete-event simulator used for the paper's
+//     sensitivity analysis;
+//   - synthetic CIFAR-10 and LunarLander training workloads calibrated
+//     to the population statistics the paper reports.
+//
+// # Quick start
+//
+//	res, err := hyperdrive.RunExperiment(ctx, hyperdrive.ExperimentConfig{
+//		Workload:     "cifar10",
+//		Policy:       "pop",
+//		Machines:     4,
+//		MaxJobs:      100,
+//		StopAtTarget: true,
+//	})
+//
+// See the examples/ directory for runnable programs and DESIGN.md for
+// the architecture.
+package hyperdrive
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/hyperdrive-ml/hyperdrive/internal/appstat"
+	"github.com/hyperdrive-ml/hyperdrive/internal/checkpoint"
+	"github.com/hyperdrive-ml/hyperdrive/internal/clock"
+	"github.com/hyperdrive-ml/hyperdrive/internal/cluster"
+	"github.com/hyperdrive-ml/hyperdrive/internal/curve"
+	"github.com/hyperdrive-ml/hyperdrive/internal/hypergen"
+	"github.com/hyperdrive-ml/hyperdrive/internal/param"
+	"github.com/hyperdrive-ml/hyperdrive/internal/policy"
+	"github.com/hyperdrive-ml/hyperdrive/internal/sim"
+	"github.com/hyperdrive-ml/hyperdrive/internal/trace"
+	"github.com/hyperdrive-ml/hyperdrive/internal/workload"
+)
+
+// Re-exported building blocks. The aliases let downstream code
+// construct custom policies, generators, and workloads against the
+// same interfaces the built-ins use.
+type (
+	// Policy is a Scheduling Algorithm Policy (SAP): the three
+	// up-calls of the paper's §4.2.
+	Policy = policy.Policy
+	// PolicyContext is the view of the experiment a SAP receives.
+	PolicyContext = policy.Context
+	// POPOptions tunes the POP policy.
+	POPOptions = policy.POPOptions
+	// BanditOptions tunes the Bandit baseline.
+	BanditOptions = policy.BanditOptions
+	// EarlyTermOptions tunes the EarlyTerm baseline.
+	EarlyTermOptions = policy.EarlyTermOptions
+	// SHAOptions tunes the SuccessiveHalving policy.
+	SHAOptions = policy.SHAOptions
+	// Generator produces candidate configurations.
+	Generator = hypergen.Generator
+	// ParamSpace is a hyperparameter search space.
+	ParamSpace = param.Space
+	// ParamConfig is one hyperparameter assignment.
+	ParamConfig = param.Config
+	// WorkloadSpec describes a trainable workload.
+	WorkloadSpec = workload.Spec
+	// Trace is a replayable workload trace.
+	Trace = trace.Trace
+	// ExperimentResult summarizes a live experiment.
+	ExperimentResult = cluster.Result
+	// SimResult summarizes a simulated experiment.
+	SimResult = sim.Result
+	// CurveConfig is the learning-curve predictor's MCMC budget.
+	CurveConfig = curve.Config
+	// AppStatDB is the application-statistics database handed to
+	// custom stop conditions.
+	AppStatDB = appstat.DB
+	// PolicyInfo carries experiment constants to policies and stop
+	// conditions.
+	PolicyInfo = policy.Info
+	// EventLog records scheduler events as JSON lines.
+	EventLog = cluster.EventLog
+	// TraceRecorder captures a live run as a replayable trace.
+	TraceRecorder = trace.Recorder
+	// WorkloadRegistry resolves workload names to specs.
+	WorkloadRegistry = workload.Registry
+	// WorkloadOptions defines a custom workload for NewCustomWorkload.
+	WorkloadOptions = workload.CustomOptions
+)
+
+// Policy, generator, and workload constructors re-exported for custom
+// wiring.
+var (
+	// NewPOP builds the POP policy.
+	NewPOP = policy.NewPOP
+	// NewBandit builds the Bandit baseline.
+	NewBandit = policy.NewBandit
+	// NewEarlyTerm builds the EarlyTerm baseline.
+	NewEarlyTerm = policy.NewEarlyTerm
+	// NewDefaultPolicy builds the greedy Default SAP.
+	NewDefaultPolicy = policy.NewDefault
+	// NewSuccessiveHalving builds the successive-halving (HyperBand
+	// core) policy.
+	NewSuccessiveHalving = policy.NewSuccessiveHalving
+	// NewBarrier wraps a policy with barrier-like epoch scheduling.
+	NewBarrier = policy.NewBarrier
+	// NewEventLog wraps a writer as an experiment event log.
+	NewEventLog = cluster.NewEventLog
+	// NewTraceRecorder builds a live-run trace recorder.
+	NewTraceRecorder = trace.NewRecorder
+	// NewWorkloadRegistry returns a registry preloaded with the
+	// built-in workloads.
+	NewWorkloadRegistry = workload.NewRegistry
+	// NewCustomWorkload builds a workload Spec from a curve function.
+	NewCustomWorkload = workload.NewCustom
+	// FastCurveConfig is the reduced MCMC budget for sweeps.
+	FastCurveConfig = curve.FastConfig
+	// PaperCurveConfig is the paper's 100x700 production budget.
+	PaperCurveConfig = curve.PaperConfig
+)
+
+// ExperimentConfig configures RunExperiment. Zero values select
+// paper defaults.
+type ExperimentConfig struct {
+	// Workload is "cifar10" or "lunarlander" (or a custom registered
+	// workload when Registry is set).
+	Workload string
+	// Policy is "pop", "bandit", "earlyterm", or "default"; ignored
+	// when CustomPolicy is set.
+	Policy string
+	// CustomPolicy overrides Policy with a user SAP instance.
+	CustomPolicy Policy
+	// Generator is "random", "grid", or "adaptive"; ignored when
+	// CustomGenerator is set.
+	Generator string
+	// CustomGenerator overrides Generator.
+	CustomGenerator Generator
+	// Machines is the number of training slots (paper: 4 GPUs for
+	// CIFAR-10, 15 instances for LunarLander).
+	Machines int
+	// AgentAddrs, when non-empty, runs the experiment over remote
+	// node agents at these addresses instead of in-process workers.
+	AgentAddrs []string
+	// MaxJobs is the configuration budget (paper: 100).
+	MaxJobs int
+	// MaxDuration is Tmax on the experiment clock.
+	MaxDuration time.Duration
+	// StopAtTarget ends the run when the target metric is reached.
+	StopAtTarget bool
+	// Target overrides the workload target when non-zero.
+	Target float64
+	// Seed controls configuration sampling and training noise.
+	Seed int64
+	// SpeedUp is the wall-clock compression factor (default 600: one
+	// simulated minute per 100ms). Ignored when Clock is set.
+	SpeedUp float64
+	// Clock overrides the experiment clock entirely.
+	Clock clock.Clock
+	// PredictorBudget is "fast" (default), "paper", or "original".
+	PredictorBudget string
+	// CheckpointMode is "framework" (default) or "criu".
+	CheckpointMode string
+	// Registry supplies custom workloads.
+	Registry *workload.Registry
+	// StopCondition, when non-nil, ends the experiment once it
+	// returns true (evaluated on every statistic) — the §9
+	// "user-defined global termination criteria" extension.
+	StopCondition func(db *AppStatDB, info PolicyInfo) bool
+	// Recorder, when non-nil, captures the run as a replayable trace.
+	Recorder *trace.Recorder
+	// EventLog, when non-nil, receives the scheduler's event stream
+	// as JSON lines.
+	EventLog *EventLog
+}
+
+// Workloads lists the built-in workload names.
+func Workloads() []string { return workload.NewRegistry().Names() }
+
+// Policies lists the built-in policy names.
+func Policies() []string { return policy.NewRegistry().Names() }
+
+// predictorConfig resolves a budget name.
+func predictorConfig(name string) (curve.Config, error) {
+	switch name {
+	case "", "fast":
+		return curve.FastConfig(), nil
+	case "paper":
+		return curve.PaperConfig(), nil
+	case "original":
+		return curve.OriginalConfig(), nil
+	default:
+		return curve.Config{}, fmt.Errorf("hyperdrive: unknown predictor budget %q", name)
+	}
+}
+
+// buildPolicy resolves an ExperimentConfig's policy selection.
+func buildPolicy(cfg ExperimentConfig) (Policy, error) {
+	if cfg.CustomPolicy != nil {
+		return cfg.CustomPolicy, nil
+	}
+	pred, err := predictorConfig(cfg.PredictorBudget)
+	if err != nil {
+		return nil, err
+	}
+	switch cfg.Policy {
+	case "", "pop":
+		return policy.NewPOP(policy.POPOptions{Predictor: pred})
+	case "bandit":
+		return policy.NewBandit(policy.BanditOptions{})
+	case "earlyterm":
+		return policy.NewEarlyTerm(policy.EarlyTermOptions{Predictor: pred})
+	case "default":
+		return policy.NewDefault(), nil
+	case "sha":
+		return policy.NewSuccessiveHalving(policy.SHAOptions{})
+	default:
+		return nil, fmt.Errorf("hyperdrive: unknown policy %q (have %v)", cfg.Policy, Policies())
+	}
+}
+
+// buildGenerator resolves an ExperimentConfig's generator selection.
+func buildGenerator(cfg ExperimentConfig, space *param.Space) (Generator, error) {
+	if cfg.CustomGenerator != nil {
+		return cfg.CustomGenerator, nil
+	}
+	switch cfg.Generator {
+	case "", "random":
+		return hypergen.NewRandom(space, cfg.Seed, cfg.MaxJobs), nil
+	case "grid":
+		return hypergen.NewGrid(space, 2), nil
+	case "adaptive":
+		return hypergen.NewAdaptive(space, cfg.Seed, cfg.MaxJobs), nil
+	case "gp":
+		return hypergen.NewGP(space, cfg.Seed, cfg.MaxJobs, hypergen.GPOptions{})
+	default:
+		return nil, fmt.Errorf("hyperdrive: unknown generator %q", cfg.Generator)
+	}
+}
+
+// RunExperiment executes one live hyperparameter exploration
+// experiment — the Experiment Runner client of the paper's §4.2.
+func RunExperiment(ctx context.Context, cfg ExperimentConfig) (*ExperimentResult, error) {
+	if cfg.Workload == "" {
+		cfg.Workload = "cifar10"
+	}
+	if cfg.MaxJobs == 0 {
+		cfg.MaxJobs = 100
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = workload.NewRegistry()
+	}
+	spec, err := reg.Lookup(cfg.Workload)
+	if err != nil {
+		return nil, err
+	}
+	pol, err := buildPolicy(cfg)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := buildGenerator(cfg, spec.Space())
+	if err != nil {
+		return nil, err
+	}
+	clk := cfg.Clock
+	if clk == nil {
+		speed := cfg.SpeedUp
+		if speed == 0 {
+			speed = 600
+		}
+		clk = clock.NewScaled(time.Now(), speed)
+	}
+	mode := checkpoint.Framework
+	switch cfg.CheckpointMode {
+	case "", "framework":
+	case "criu":
+		mode = checkpoint.CRIU
+	default:
+		return nil, fmt.Errorf("hyperdrive: unknown checkpoint mode %q", cfg.CheckpointMode)
+	}
+
+	ccfg := cluster.Config{
+		Workload:       cfg.Workload,
+		Registry:       reg,
+		Generator:      gen,
+		Policy:         pol,
+		Machines:       cfg.Machines,
+		MaxJobs:        cfg.MaxJobs,
+		MaxDuration:    cfg.MaxDuration,
+		Clock:          clk,
+		StopAtTarget:   cfg.StopAtTarget,
+		TargetOverride: cfg.Target,
+		CheckpointMode: mode,
+		CheckpointSeed: cfg.Seed,
+		Seed:           cfg.Seed,
+		StopCondition:  cfg.StopCondition,
+		Recorder:       cfg.Recorder,
+		EventLog:       cfg.EventLog,
+	}
+
+	if len(cfg.AgentAddrs) > 0 {
+		events := make(chan cluster.Event, 256)
+		var execs []cluster.Executor
+		for _, addr := range cfg.AgentAddrs {
+			c, err := cluster.DialAgent(addr, events)
+			if err != nil {
+				for _, ex := range execs {
+					ex.Close()
+				}
+				return nil, err
+			}
+			execs = append(execs, c)
+		}
+		multi, err := cluster.NewMultiExecutor(execs...)
+		if err != nil {
+			return nil, err
+		}
+		defer multi.Close()
+		ccfg.Executor = multi
+		ccfg.Events = events
+	} else if cfg.Machines == 0 {
+		ccfg.Machines = 4 // the paper's private-cluster size
+	}
+
+	exp, err := cluster.New(ccfg)
+	if err != nil {
+		return nil, err
+	}
+	return exp.Run(ctx)
+}
+
+// SimConfig configures RunSimulation: a trace-driven discrete-event
+// run (paper §7).
+type SimConfig struct {
+	// Trace to replay; exactly one of Trace or TracePath is set.
+	Trace *Trace
+	// TracePath loads the trace from a file.
+	TracePath string
+	// Policy is "pop", "bandit", "earlyterm", or "default"; ignored
+	// when CustomPolicy is set.
+	Policy string
+	// CustomPolicy overrides Policy.
+	CustomPolicy Policy
+	// Machines is the slot count.
+	Machines int
+	// MaxDuration is Tmax.
+	MaxDuration time.Duration
+	// StopAtTarget measures time-to-target.
+	StopAtTarget bool
+	// PredictorBudget is "fast" (default), "paper", or "original".
+	PredictorBudget string
+}
+
+// RunSimulation replays a trace under a policy in the discrete-event
+// simulator.
+func RunSimulation(cfg SimConfig) (*SimResult, error) {
+	tr := cfg.Trace
+	if tr == nil {
+		if cfg.TracePath == "" {
+			return nil, fmt.Errorf("hyperdrive: SimConfig needs Trace or TracePath")
+		}
+		var err error
+		tr, err = trace.ReadFile(cfg.TracePath)
+		if err != nil {
+			return nil, err
+		}
+	}
+	pol := cfg.CustomPolicy
+	if pol == nil {
+		pred, err := predictorConfig(cfg.PredictorBudget)
+		if err != nil {
+			return nil, err
+		}
+		switch cfg.Policy {
+		case "", "pop":
+			pol, err = policy.NewPOP(policy.POPOptions{Predictor: pred})
+		case "bandit":
+			pol, err = policy.NewBandit(policy.BanditOptions{})
+		case "earlyterm":
+			pol, err = policy.NewEarlyTerm(policy.EarlyTermOptions{Predictor: pred})
+		case "default":
+			pol = policy.NewDefault()
+		case "sha":
+			pol, err = policy.NewSuccessiveHalving(policy.SHAOptions{})
+		default:
+			err = fmt.Errorf("hyperdrive: unknown policy %q", cfg.Policy)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return sim.Run(sim.Options{
+		Trace:        tr,
+		Machines:     cfg.Machines,
+		Policy:       pol,
+		MaxDuration:  cfg.MaxDuration,
+		StopAtTarget: cfg.StopAtTarget,
+	})
+}
+
+// CollectTrace runs n seeded random configurations of the workload to
+// completion and records their curves — the Trace Generator (§7.1).
+func CollectTrace(workloadName string, n int, seed int64) (*Trace, error) {
+	reg := workload.NewRegistry()
+	spec, err := reg.Lookup(workloadName)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	configs := make([]param.Config, n)
+	seeds := make([]int64, n)
+	for i := range configs {
+		configs[i] = spec.Space().Sample(rng)
+		seeds[i] = seed + int64(i)
+	}
+	return trace.Collect(spec, configs, seeds)
+}

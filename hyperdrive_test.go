@@ -1,0 +1,196 @@
+package hyperdrive
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/hyperdrive-ml/hyperdrive/internal/clock"
+	"github.com/hyperdrive-ml/hyperdrive/internal/param"
+)
+
+// newSpace builds a one-knob space for the custom-workload test.
+func newSpace() (*ParamSpace, error) {
+	return param.NewSpace(param.Param{Name: "k", Kind: param.Uniform, Min: 0.05, Max: 0.3})
+}
+
+func fastClk() clock.Clock {
+	return clock.NewScaled(time.Date(2017, 12, 11, 0, 0, 0, 0, time.UTC), 200000)
+}
+
+func TestWorkloadsAndPolicies(t *testing.T) {
+	w := Workloads()
+	if len(w) != 2 || w[0] != "cifar10" || w[1] != "lunarlander" {
+		t.Fatalf("Workloads = %v", w)
+	}
+	p := Policies()
+	if len(p) != 5 {
+		t.Fatalf("Policies = %v", p)
+	}
+}
+
+func TestRunExperimentDefaults(t *testing.T) {
+	res, err := RunExperiment(context.Background(), ExperimentConfig{
+		Workload: "cifar10",
+		Policy:   "default",
+		Machines: 2,
+		MaxJobs:  3,
+		Clock:    fastClk(),
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completions != 3 {
+		t.Fatalf("completions = %d, want 3", res.Completions)
+	}
+}
+
+func TestRunExperimentValidation(t *testing.T) {
+	ctx := context.Background()
+	if _, err := RunExperiment(ctx, ExperimentConfig{Workload: "nope", Machines: 1, MaxJobs: 1}); err == nil {
+		t.Fatal("accepted unknown workload")
+	}
+	if _, err := RunExperiment(ctx, ExperimentConfig{Policy: "nope", Machines: 1, MaxJobs: 1}); err == nil {
+		t.Fatal("accepted unknown policy")
+	}
+	if _, err := RunExperiment(ctx, ExperimentConfig{Generator: "nope", Machines: 1, MaxJobs: 1}); err == nil {
+		t.Fatal("accepted unknown generator")
+	}
+	if _, err := RunExperiment(ctx, ExperimentConfig{PredictorBudget: "nope", Machines: 1, MaxJobs: 1}); err == nil {
+		t.Fatal("accepted unknown predictor budget")
+	}
+	if _, err := RunExperiment(ctx, ExperimentConfig{CheckpointMode: "nope", Machines: 1, MaxJobs: 1}); err == nil {
+		t.Fatal("accepted unknown checkpoint mode")
+	}
+}
+
+func TestCollectTraceAndSimulate(t *testing.T) {
+	tr, err := CollectTrace("cifar10", 6, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Jobs) != 6 {
+		t.Fatalf("trace jobs = %d", len(tr.Jobs))
+	}
+	res, err := RunSimulation(SimConfig{Trace: tr, Policy: "bandit", Machines: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Duration <= 0 {
+		t.Fatalf("sim duration = %v", res.Duration)
+	}
+}
+
+func TestRunSimulationValidation(t *testing.T) {
+	if _, err := RunSimulation(SimConfig{}); err == nil {
+		t.Fatal("accepted empty SimConfig")
+	}
+	tr, err := CollectTrace("cifar10", 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunSimulation(SimConfig{Trace: tr, Policy: "nope", Machines: 1}); err == nil {
+		t.Fatal("accepted unknown policy")
+	}
+}
+
+func TestRunExperimentCustomPolicy(t *testing.T) {
+	pop, err := NewPOP(POPOptions{Predictor: CurveConfig{Walkers: 8, Iters: 30, BurnFrac: 0.5, MaxSamples: 100, StretchA: 2, Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunExperiment(context.Background(), ExperimentConfig{
+		Workload:     "cifar10",
+		CustomPolicy: pop,
+		Machines:     2,
+		MaxJobs:      5,
+		Clock:        fastClk(),
+		Seed:         2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Terminations+res.Completions == 0 {
+		t.Fatal("nothing finished")
+	}
+}
+
+func TestCustomWorkloadThroughFacade(t *testing.T) {
+	space, err := func() (*ParamSpace, error) {
+		return paramSpace()
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := NewCustomWorkload(WorkloadOptions{
+		Name:         "ramp",
+		Space:        space,
+		MetricMax:    1,
+		Target:       0.8,
+		EvalBoundary: 5,
+		MaxEpoch:     20,
+		Curve: func(cfg ParamConfig, seed int64) (func(int) float64, func(int) time.Duration) {
+			k := cfg.Get("k", 0.1)
+			return func(e int) float64 { return 1 - 1/(1+k*float64(e)) },
+				func(int) time.Duration { return 30 * time.Second }
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewWorkloadRegistry()
+	reg.Register(spec)
+	res, err := RunExperiment(context.Background(), ExperimentConfig{
+		Workload: "ramp",
+		Policy:   "default",
+		Registry: reg,
+		Machines: 2,
+		MaxJobs:  3,
+		Clock:    fastClk(),
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completions != 3 {
+		t.Fatalf("completions = %d", res.Completions)
+	}
+}
+
+// paramSpace builds a one-knob space for the custom-workload test.
+func paramSpace() (*ParamSpace, error) {
+	return newSpace()
+}
+
+func TestRunSimulationSHA(t *testing.T) {
+	tr, err := CollectTrace("cifar10", 9, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunSimulation(SimConfig{Trace: tr, Policy: "sha", Machines: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Terminations == 0 {
+		t.Fatal("sha terminated nothing through the facade")
+	}
+}
+
+func TestRunExperimentGPGenerator(t *testing.T) {
+	res, err := RunExperiment(context.Background(), ExperimentConfig{
+		Workload:  "cifar10",
+		Policy:    "default",
+		Generator: "gp",
+		Machines:  2,
+		MaxJobs:   4,
+		Clock:     fastClk(),
+		Seed:      2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completions != 4 {
+		t.Fatalf("completions = %d", res.Completions)
+	}
+}

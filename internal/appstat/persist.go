@@ -1,0 +1,82 @@
+package appstat
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/hyperdrive-ml/hyperdrive/internal/sched"
+)
+
+// dbDump is the serialized form of a DB.
+type dbDump struct {
+	Version   int                   `json:"version"`
+	Stats     map[string][]statDump `json:"stats"`
+	Snapshots []snapshotDump        `json:"snapshots,omitempty"`
+}
+
+type statDump struct {
+	Epoch      int       `json:"epoch"`
+	Metric     float64   `json:"metric"`
+	DurationNs int64     `json:"durationNs"`
+	At         time.Time `json:"at"`
+}
+
+type snapshotDump struct {
+	Job   string    `json:"job"`
+	Epoch int       `json:"epoch"`
+	Data  []byte    `json:"data"`
+	At    time.Time `json:"at"`
+}
+
+const dumpVersion = 1
+
+// Save serializes the database (metric histories, durations, and
+// snapshots) as JSON, so finished experiments can be archived and
+// re-examined offline (e.g., feeding a job's history into hdcurve).
+func (db *DB) Save(w io.Writer) error {
+	db.mu.RLock()
+	dump := dbDump{Version: dumpVersion, Stats: make(map[string][]statDump, len(db.stats))}
+	for job, hist := range db.stats {
+		ss := make([]statDump, len(hist))
+		for i, s := range hist {
+			ss[i] = statDump{Epoch: s.Epoch, Metric: s.Metric, DurationNs: int64(s.Duration), At: s.At}
+		}
+		dump.Stats[string(job)] = ss
+	}
+	for _, snap := range db.snapshots {
+		dump.Snapshots = append(dump.Snapshots, snapshotDump{
+			Job: string(snap.Job), Epoch: snap.Epoch, Data: snap.Data, At: snap.At,
+		})
+	}
+	db.mu.RUnlock()
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(dump); err != nil {
+		return fmt.Errorf("appstat: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads a database saved with Save.
+func Load(r io.Reader) (*DB, error) {
+	var dump dbDump
+	if err := json.NewDecoder(r).Decode(&dump); err != nil {
+		return nil, fmt.Errorf("appstat: load: %w", err)
+	}
+	if dump.Version != dumpVersion {
+		return nil, fmt.Errorf("appstat: load: unsupported version %d", dump.Version)
+	}
+	db := NewDB()
+	for job, hist := range dump.Stats {
+		for _, s := range hist {
+			db.Report(sched.JobID(job), Stat{
+				Epoch: s.Epoch, Metric: s.Metric, Duration: time.Duration(s.DurationNs), At: s.At,
+			})
+		}
+	}
+	for _, snap := range dump.Snapshots {
+		db.PutSnapshot(Snapshot{Job: sched.JobID(snap.Job), Epoch: snap.Epoch, Data: snap.Data, At: snap.At})
+	}
+	return db, nil
+}

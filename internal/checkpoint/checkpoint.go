@@ -1,0 +1,203 @@
+// Package checkpoint models the suspend/resume snapshot mechanism of
+// HyperDrive (paper §5.1): capturing a training job's state so it can
+// be resumed on any machine. Two capture modes mirror the paper's two
+// deployments:
+//
+//   - Framework capture (supervised learning, §6.2.3): the learning
+//     framework's own snapshot facility. Small images (~360 KB mean)
+//     and low latency (~160 ms mean).
+//   - CRIU capture (reinforcement learning, §6.3.2): whole-process
+//     images for mixed Python/Theano state. Large images (up to
+//     ~44 MB) and latencies up to ~22 s.
+//
+// Since the synthetic trainers' logical state is tiny, the captured
+// image is padded to a realistic size drawn from the mode's
+// distribution, and capture latency is modeled from a base cost plus a
+// size-proportional transfer term — reproducing the distributions of
+// Figure 10 and the summary statistics of §6.2.3. The real trainer
+// state rides along, so restores are exact.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Mode selects the capture mechanism.
+type Mode int
+
+// Capture modes.
+const (
+	// Framework snapshots via the learning framework (small, fast).
+	Framework Mode = iota + 1
+	// CRIU whole-process snapshots (large, slow).
+	CRIU
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case Framework:
+		return "framework"
+	case CRIU:
+		return "criu"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Image is one captured snapshot.
+type Image struct {
+	Payload []byte        // real trainer state (restorable)
+	Size    int           // total modeled image size in bytes
+	Latency time.Duration // modeled capture latency
+}
+
+// errCorrupt reports an image that fails structural checks.
+var errCorrupt = errors.New("checkpoint: corrupt image")
+
+// Capturer produces snapshot images with realistic size and latency.
+// Safe for concurrent use.
+type Capturer struct {
+	mode Mode
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewCapturer builds a Capturer for the mode; seed controls the size
+// and latency jitter.
+func NewCapturer(mode Mode, seed int64) (*Capturer, error) {
+	if mode != Framework && mode != CRIU {
+		return nil, fmt.Errorf("checkpoint: unknown mode %d", int(mode))
+	}
+	return &Capturer{mode: mode, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Mode returns the capture mode.
+func (c *Capturer) Mode() Mode { return c.mode }
+
+// Capture wraps the trainer payload into a snapshot image, modeling
+// the mode's size and latency distributions.
+func (c *Capturer) Capture(payload []byte) Image {
+	c.mu.Lock()
+	u := c.rng.Float64()
+	g := c.rng.NormFloat64()
+	c.mu.Unlock()
+
+	var size int
+	var latency time.Duration
+	switch c.mode {
+	case Framework:
+		// §6.2.3: mean 357.67 KB, std 122.46 KB, p95 685 KB, capped
+		// ~686 KB; latency mean 157.69 ms, std 72 ms, p95 219 ms,
+		// max ~1.12 s.
+		kb := 358 + 122*g
+		kb = clampF(kb, 64, 686)
+		size = int(kb * 1024)
+		// Mean ~158ms with a tight body (p95 ~220ms) and a rare spike
+		// toward the 1.12s max, per §6.2.3.
+		ms := 85 + float64(size)/1024/8 + 25*math.Abs(g) + 1000*math.Pow(u, 40)
+		latency = time.Duration(clampF(ms, 20, 1120)) * time.Millisecond
+	case CRIU:
+		// §6.3.2 / Figure 10: process images up to 43.75 MB, capture
+		// latency up to 22.36 s. Long-tailed in both dimensions.
+		mb := 6 + 30*u*u + 4*math.Abs(g)
+		mb = clampF(mb, 2, 43.75)
+		size = int(mb * 1024 * 1024)
+		sec := 1.2 + mb/4 + 2.5*math.Abs(g)*u
+		latency = time.Duration(clampF(sec, 0.3, 22.36) * float64(time.Second))
+	}
+	if size < len(payload)+headerSize {
+		size = len(payload) + headerSize
+	}
+	return Image{Payload: append([]byte(nil), payload...), Size: size, Latency: latency}
+}
+
+const headerSize = 8
+
+// Encode serializes an image into its padded on-wire form: an 8-byte
+// payload-length header, the payload, and zero padding to the modeled
+// size (standing in for the process pages a CRIU image would hold).
+func (i Image) Encode() []byte {
+	buf := make([]byte, i.Size)
+	binary.BigEndian.PutUint64(buf[:headerSize], uint64(len(i.Payload)))
+	copy(buf[headerSize:], i.Payload)
+	return buf
+}
+
+// Decode extracts the trainer payload from an encoded image.
+func Decode(b []byte) ([]byte, error) {
+	if len(b) < headerSize {
+		return nil, fmt.Errorf("%w: %d bytes", errCorrupt, len(b))
+	}
+	n := binary.BigEndian.Uint64(b[:headerSize])
+	if n > uint64(len(b)-headerSize) {
+		return nil, fmt.Errorf("%w: payload length %d exceeds image", errCorrupt, n)
+	}
+	return append([]byte(nil), b[headerSize:headerSize+n]...), nil
+}
+
+// Record is one capture observation kept for overhead accounting.
+type Record struct {
+	Size    int
+	Latency time.Duration
+}
+
+// Accounting aggregates suspend overhead measurements (the data behind
+// §6.2.3 and Figure 10). Safe for concurrent use.
+type Accounting struct {
+	mu      sync.Mutex
+	records []Record
+}
+
+// Observe records one capture.
+func (a *Accounting) Observe(r Record) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.records = append(a.records, r)
+}
+
+// Records returns a copy of all observations.
+func (a *Accounting) Records() []Record {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]Record(nil), a.records...)
+}
+
+// Sizes returns the observed sizes in bytes.
+func (a *Accounting) Sizes() []float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]float64, len(a.records))
+	for i, r := range a.records {
+		out[i] = float64(r.Size)
+	}
+	return out
+}
+
+// Latencies returns the observed latencies in seconds.
+func (a *Accounting) Latencies() []float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]float64, len(a.records))
+	for i, r := range a.records {
+		out[i] = r.Latency.Seconds()
+	}
+	return out
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,154 @@
+package checkpoint
+
+import (
+	"testing"
+	"time"
+
+	"github.com/hyperdrive-ml/hyperdrive/internal/stats"
+)
+
+func TestNewCapturerRejectsBadMode(t *testing.T) {
+	if _, err := NewCapturer(Mode(0), 1); err == nil {
+		t.Fatal("NewCapturer accepted invalid mode")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Framework.String() != "framework" || CRIU.String() != "criu" {
+		t.Fatal("bad mode strings")
+	}
+	if Mode(7).String() == "" {
+		t.Fatal("unknown mode should render")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	c, err := NewCapturer(Framework, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte(`{"workload":"cifar10","epoch":37}`)
+	img := c.Capture(payload)
+	enc := img.Encode()
+	if len(enc) != img.Size {
+		t.Fatalf("encoded size %d != modeled size %d", len(enc), img.Size)
+	}
+	got, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("payload corrupted: %q", got)
+	}
+}
+
+func TestDecodeRejectsCorrupt(t *testing.T) {
+	if _, err := Decode([]byte{1, 2}); err == nil {
+		t.Fatal("Decode accepted short image")
+	}
+	// Header claims more payload than the image holds.
+	bad := make([]byte, 16)
+	bad[7] = 200
+	if _, err := Decode(bad); err == nil {
+		t.Fatal("Decode accepted lying header")
+	}
+}
+
+func TestFrameworkDistribution(t *testing.T) {
+	c, err := NewCapturer(Framework, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sizes, lats []float64
+	for i := 0; i < 2000; i++ {
+		img := c.Capture([]byte("state"))
+		sizes = append(sizes, float64(img.Size)/1024)   // KB
+		lats = append(lats, img.Latency.Seconds()*1000) // ms
+	}
+	sizeSum, _ := stats.Summarize(sizes)
+	latSum, _ := stats.Summarize(lats)
+	t.Logf("size KB: mean=%.1f p95=%.1f max=%.1f; latency ms: mean=%.1f p95=%.1f max=%.1f",
+		sizeSum.Mean, stats.Percentile(sizes, 95), sizeSum.Max,
+		latSum.Mean, stats.Percentile(lats, 95), latSum.Max)
+	// §6.2.3: mean size ~358 KB capped at ~686 KB; mean latency
+	// ~158 ms with max ~1.12 s. Allow generous bands.
+	if sizeSum.Mean < 250 || sizeSum.Mean > 470 {
+		t.Errorf("mean snapshot size %.1f KB outside §6.2.3 band", sizeSum.Mean)
+	}
+	if sizeSum.Max > 687 {
+		t.Errorf("max snapshot size %.1f KB exceeds cap", sizeSum.Max)
+	}
+	if latSum.Mean < 110 || latSum.Mean > 230 {
+		t.Errorf("mean suspend latency %.1f ms outside §6.2.3 band (paper: 157.69)", latSum.Mean)
+	}
+	if latSum.Max > 1125 {
+		t.Errorf("max suspend latency %.1f ms exceeds 1.12 s cap", latSum.Max)
+	}
+}
+
+func TestCRIUDistribution(t *testing.T) {
+	c, err := NewCapturer(CRIU, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sizesMB, latsSec []float64
+	for i := 0; i < 2000; i++ {
+		img := c.Capture([]byte("state"))
+		sizesMB = append(sizesMB, float64(img.Size)/1024/1024)
+		latsSec = append(latsSec, img.Latency.Seconds())
+	}
+	sizeSum, _ := stats.Summarize(sizesMB)
+	latSum, _ := stats.Summarize(latsSec)
+	t.Logf("size MB: mean=%.1f max=%.2f; latency s: mean=%.1f max=%.2f",
+		sizeSum.Mean, sizeSum.Max, latSum.Mean, latSum.Max)
+	// §6.3.2: size does not exceed 43.75 MB, latency does not exceed
+	// 22.36 s; both long-tailed.
+	if sizeSum.Max > 43.75+1e-9 {
+		t.Errorf("max CRIU image %.2f MB exceeds 43.75", sizeSum.Max)
+	}
+	if latSum.Max > 22.36+1e-9 {
+		t.Errorf("max CRIU latency %.2f s exceeds 22.36", latSum.Max)
+	}
+	if sizeSum.Mean < 4 || sizeSum.Mean > 30 {
+		t.Errorf("mean CRIU image %.1f MB implausible", sizeSum.Mean)
+	}
+}
+
+func TestCaptureNeverSmallerThanPayload(t *testing.T) {
+	c, _ := NewCapturer(Framework, 3)
+	big := make([]byte, 2<<20)
+	img := c.Capture(big)
+	if img.Size < len(big)+8 {
+		t.Fatalf("image size %d smaller than payload %d", img.Size, len(big))
+	}
+	dec, err := Decode(img.Encode())
+	if err != nil || len(dec) != len(big) {
+		t.Fatalf("big payload round trip failed: %v", err)
+	}
+}
+
+func TestAccounting(t *testing.T) {
+	var a Accounting
+	a.Observe(Record{Size: 1024, Latency: 100 * time.Millisecond})
+	a.Observe(Record{Size: 2048, Latency: 200 * time.Millisecond})
+	if got := a.Records(); len(got) != 2 {
+		t.Fatalf("records = %d", len(got))
+	}
+	sizes := a.Sizes()
+	if len(sizes) != 2 || sizes[0] != 1024 {
+		t.Fatalf("sizes = %v", sizes)
+	}
+	lats := a.Latencies()
+	if len(lats) != 2 || lats[1] != 0.2 {
+		t.Fatalf("latencies = %v", lats)
+	}
+}
+
+func TestCapturerDeterministicPerSeed(t *testing.T) {
+	a, _ := NewCapturer(CRIU, 5)
+	b, _ := NewCapturer(CRIU, 5)
+	ia, ib := a.Capture(nil), b.Capture(nil)
+	if ia.Size != ib.Size || ia.Latency != ib.Latency {
+		t.Fatal("same seed should give same capture model")
+	}
+}

@@ -1,0 +1,196 @@
+// Package clock abstracts time so that experiments can run against the
+// wall clock, a scaled-down wall clock (for demos that compress hours of
+// training into seconds), or a fully virtual clock (for deterministic
+// tests and the discrete-event simulator).
+package clock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Clock is the time source used by the scheduler, node agents, and
+// workload trainers. Implementations must be safe for concurrent use.
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+	// Sleep blocks the calling goroutine for d of this clock's time.
+	Sleep(d time.Duration)
+	// After returns a channel that delivers the clock's time once d has
+	// elapsed on this clock.
+	After(d time.Duration) <-chan time.Time
+	// Since returns the time elapsed on this clock since t.
+	Since(t time.Time) time.Duration
+}
+
+// Real is the wall clock.
+type Real struct{}
+
+// NewReal returns a Clock backed by the system wall clock.
+func NewReal() Real { return Real{} }
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// After implements Clock.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Since implements Clock.
+func (Real) Since(t time.Time) time.Duration { return time.Since(t) }
+
+// Scaled is a wall clock that runs faster than real time by a constant
+// factor: sleeping for one simulated minute on a Scaled clock with
+// Factor 600 blocks for 100ms of wall time. Now() reports simulated
+// time (epoch + elapsed-wall-time x factor), so durations measured with
+// it are in simulated units.
+type Scaled struct {
+	epoch  time.Time
+	start  time.Time
+	factor float64
+}
+
+// NewScaled returns a clock whose time advances factor times faster than
+// the wall clock, starting from epoch. Factor must be positive.
+func NewScaled(epoch time.Time, factor float64) *Scaled {
+	if factor <= 0 {
+		factor = 1
+	}
+	return &Scaled{epoch: epoch, start: time.Now(), factor: factor}
+}
+
+// Now implements Clock.
+func (s *Scaled) Now() time.Time {
+	wall := time.Since(s.start)
+	return s.epoch.Add(time.Duration(float64(wall) * s.factor))
+}
+
+// Sleep implements Clock.
+func (s *Scaled) Sleep(d time.Duration) {
+	time.Sleep(time.Duration(float64(d) / s.factor))
+}
+
+// After implements Clock.
+func (s *Scaled) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	go func() {
+		s.Sleep(d)
+		ch <- s.Now()
+	}()
+	return ch
+}
+
+// Since implements Clock.
+func (s *Scaled) Since(t time.Time) time.Duration { return s.Now().Sub(t) }
+
+// Virtual is a manually advanced clock for deterministic tests and the
+// discrete-event simulator. Goroutines blocked in Sleep/After wake when
+// Advance moves time past their deadline.
+type Virtual struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters waiterHeap
+}
+
+// NewVirtual returns a virtual clock set to start.
+func NewVirtual(start time.Time) *Virtual {
+	return &Virtual{now: start}
+}
+
+// Now implements Clock.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// Sleep implements Clock. It blocks until Advance moves the clock past
+// the deadline. Sleeping for a non-positive duration returns
+// immediately.
+func (v *Virtual) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	<-v.After(d)
+}
+
+// After implements Clock.
+func (v *Virtual) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	deadline := v.now.Add(d)
+	if d <= 0 {
+		ch <- v.now
+		return ch
+	}
+	heap.Push(&v.waiters, &waiter{deadline: deadline, ch: ch})
+	return ch
+}
+
+// Since implements Clock.
+func (v *Virtual) Since(t time.Time) time.Duration { return v.Now().Sub(t) }
+
+// Advance moves the clock forward by d, waking every sleeper whose
+// deadline has passed, in deadline order.
+func (v *Virtual) Advance(d time.Duration) {
+	v.mu.Lock()
+	v.now = v.now.Add(d)
+	now := v.now
+	var due []*waiter
+	for v.waiters.Len() > 0 && !v.waiters[0].deadline.After(now) {
+		due = append(due, heap.Pop(&v.waiters).(*waiter))
+	}
+	v.mu.Unlock()
+	for _, w := range due {
+		w.ch <- now
+	}
+}
+
+// PendingWaiters reports how many sleepers are currently blocked.
+func (v *Virtual) PendingWaiters() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.waiters.Len()
+}
+
+// NextDeadline returns the earliest pending wake-up time, and false when
+// no sleeper is blocked.
+func (v *Virtual) NextDeadline() (time.Time, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.waiters.Len() == 0 {
+		return time.Time{}, false
+	}
+	return v.waiters[0].deadline, true
+}
+
+type waiter struct {
+	deadline time.Time
+	ch       chan time.Time
+	index    int
+}
+
+type waiterHeap []*waiter
+
+func (h waiterHeap) Len() int            { return len(h) }
+func (h waiterHeap) Less(i, j int) bool  { return h[i].deadline.Before(h[j].deadline) }
+func (h waiterHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i]; h[i].index = i; h[j].index = j }
+func (h *waiterHeap) Push(x interface{}) { w := x.(*waiter); w.index = len(*h); *h = append(*h, w) }
+func (h *waiterHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	w := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return w
+}
+
+var (
+	_ Clock = Real{}
+	_ Clock = (*Scaled)(nil)
+	_ Clock = (*Virtual)(nil)
+)

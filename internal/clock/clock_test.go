@@ -1,0 +1,170 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRealNowAdvances(t *testing.T) {
+	c := NewReal()
+	a := c.Now()
+	c.Sleep(time.Millisecond)
+	if !c.Now().After(a) {
+		t.Fatal("real clock did not advance")
+	}
+}
+
+func TestRealSince(t *testing.T) {
+	c := NewReal()
+	start := c.Now()
+	c.Sleep(2 * time.Millisecond)
+	if got := c.Since(start); got < time.Millisecond {
+		t.Fatalf("Since = %v, want >= 1ms", got)
+	}
+}
+
+func TestScaledSpeedsUpSleep(t *testing.T) {
+	epoch := time.Date(2017, 12, 11, 0, 0, 0, 0, time.UTC)
+	c := NewScaled(epoch, 1000)
+	wallStart := time.Now()
+	c.Sleep(time.Second) // should block ~1ms of wall time
+	if wall := time.Since(wallStart); wall > 500*time.Millisecond {
+		t.Fatalf("scaled sleep took %v wall time, want ~1ms", wall)
+	}
+	if sim := c.Since(epoch); sim < time.Second {
+		t.Fatalf("simulated elapsed = %v, want >= 1s", sim)
+	}
+}
+
+func TestScaledDefaultsBadFactor(t *testing.T) {
+	c := NewScaled(time.Unix(0, 0), -5)
+	if c.factor != 1 {
+		t.Fatalf("factor = %v, want 1 for non-positive input", c.factor)
+	}
+}
+
+func TestScaledAfter(t *testing.T) {
+	c := NewScaled(time.Unix(0, 0), 1e6)
+	select {
+	case <-c.After(time.Minute):
+	case <-time.After(2 * time.Second):
+		t.Fatal("scaled After never fired")
+	}
+}
+
+func TestVirtualNow(t *testing.T) {
+	start := time.Unix(100, 0)
+	v := NewVirtual(start)
+	if !v.Now().Equal(start) {
+		t.Fatalf("Now = %v, want %v", v.Now(), start)
+	}
+	v.Advance(time.Hour)
+	if want := start.Add(time.Hour); !v.Now().Equal(want) {
+		t.Fatalf("Now = %v, want %v", v.Now(), want)
+	}
+}
+
+func TestVirtualSleepWakesOnAdvance(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	done := make(chan struct{})
+	go func() {
+		v.Sleep(10 * time.Second)
+		close(done)
+	}()
+	// Wait until the sleeper registers.
+	for v.PendingWaiters() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	v.Advance(9 * time.Second)
+	select {
+	case <-done:
+		t.Fatal("sleeper woke before its deadline")
+	case <-time.After(10 * time.Millisecond):
+	}
+	v.Advance(2 * time.Second)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("sleeper did not wake after deadline")
+	}
+}
+
+func TestVirtualSleepNonPositive(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	done := make(chan struct{})
+	go func() {
+		v.Sleep(0)
+		v.Sleep(-time.Second)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("non-positive sleeps should return immediately")
+	}
+}
+
+func TestVirtualAfterOrdering(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	c1 := v.After(time.Second)
+	c2 := v.After(3 * time.Second)
+	v.Advance(2 * time.Second)
+	select {
+	case <-c1:
+	case <-time.After(time.Second):
+		t.Fatal("1s waiter not woken by 2s advance")
+	}
+	select {
+	case <-c2:
+		t.Fatal("3s waiter woken too early")
+	default:
+	}
+	v.Advance(2 * time.Second)
+	select {
+	case <-c2:
+	case <-time.After(time.Second):
+		t.Fatal("3s waiter not woken by 4s total advance")
+	}
+}
+
+func TestVirtualNextDeadline(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	if _, ok := v.NextDeadline(); ok {
+		t.Fatal("NextDeadline should report none on fresh clock")
+	}
+	v.After(5 * time.Second)
+	v.After(2 * time.Second)
+	d, ok := v.NextDeadline()
+	if !ok {
+		t.Fatal("NextDeadline should report a deadline")
+	}
+	if want := time.Unix(2, 0); !d.Equal(want) {
+		t.Fatalf("NextDeadline = %v, want %v", d, want)
+	}
+}
+
+func TestVirtualManyConcurrentSleepers(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	const n = 100
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		d := time.Duration(i+1) * time.Millisecond
+		go func() {
+			defer wg.Done()
+			v.Sleep(d)
+		}()
+	}
+	for v.PendingWaiters() < n {
+		time.Sleep(time.Millisecond)
+	}
+	v.Advance(time.Second)
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatalf("not all sleepers woke; %d still pending", v.PendingWaiters())
+	}
+}

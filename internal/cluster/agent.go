@@ -1,0 +1,405 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/hyperdrive-ml/hyperdrive/internal/checkpoint"
+	"github.com/hyperdrive-ml/hyperdrive/internal/clock"
+	"github.com/hyperdrive-ml/hyperdrive/internal/curve"
+	"github.com/hyperdrive-ml/hyperdrive/internal/sched"
+	"github.com/hyperdrive-ml/hyperdrive/internal/wire"
+	"github.com/hyperdrive-ml/hyperdrive/internal/workload"
+)
+
+// AgentOptions configures a node agent.
+type AgentOptions struct {
+	// ID names the agent (defaults to the listener address).
+	ID string
+	// Slots is how many jobs the agent trains concurrently.
+	Slots int
+	// Registry resolves workloads; nil uses the built-ins.
+	Registry *workload.Registry
+	// Clock drives training time; nil uses a 600x scaled clock.
+	Clock clock.Clock
+	// CheckpointMode models snapshot capture; 0 = Framework.
+	CheckpointMode checkpoint.Mode
+	// Seed seeds the capture model.
+	Seed int64
+	// Predictor, when non-nil, enables distributed curve prediction
+	// (paper §5.2): the agent fits the learning curve locally, in
+	// parallel with training, and piggybacks the latest p-value on its
+	// stat reports.
+	Predictor *curve.Predictor
+	// Logf receives agent diagnostics; nil discards them.
+	Logf func(format string, args ...interface{})
+}
+
+// Agent is the Node Agent daemon (paper §4.2, component ⑥): it
+// executes training jobs on behalf of the scheduler, forwards
+// application statistics, performs local curve prediction, and
+// implements suspend/resume via checkpoint images.
+type Agent struct {
+	opts     AgentOptions
+	registry *workload.Registry
+	clk      clock.Clock
+	capturer *checkpoint.Capturer
+
+	mu      sync.Mutex
+	jobs    map[sched.JobID]*agentJob
+	closed  bool
+	closeCh chan struct{}
+	wg      sync.WaitGroup
+}
+
+// agentJob is one running job on the agent.
+type agentJob struct {
+	spec     wire.StartJobPayload
+	decision chan sched.Decision
+	stop     chan struct{}
+	history  []float64
+
+	predMu  sync.Mutex
+	pval    float64
+	hasPval bool
+	fitting bool
+}
+
+// NewAgent builds an agent.
+func NewAgent(opts AgentOptions) (*Agent, error) {
+	if opts.Slots < 1 {
+		return nil, fmt.Errorf("cluster: agent needs >= 1 slot, got %d", opts.Slots)
+	}
+	if opts.Registry == nil {
+		opts.Registry = workload.NewRegistry()
+	}
+	if opts.Clock == nil {
+		opts.Clock = clock.NewScaled(clockEpoch, 600)
+	}
+	mode := opts.CheckpointMode
+	if mode == 0 {
+		mode = checkpoint.Framework
+	}
+	capturer, err := checkpoint.NewCapturer(mode, opts.Seed+7)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...interface{}) {}
+	}
+	return &Agent{
+		opts:     opts,
+		registry: opts.Registry,
+		clk:      opts.Clock,
+		capturer: capturer,
+		jobs:     make(map[sched.JobID]*agentJob),
+		closeCh:  make(chan struct{}),
+	}, nil
+}
+
+// Serve accepts scheduler connections on l, one at a time, until Close
+// (or a permanent accept error).
+func (a *Agent) Serve(l net.Listener) error {
+	for {
+		nc, err := l.Accept()
+		if err != nil {
+			select {
+			case <-a.closeCh:
+				return nil
+			default:
+			}
+			return fmt.Errorf("cluster: agent accept: %w", err)
+		}
+		a.serveConn(nc)
+	}
+}
+
+// Close shuts the agent down, stopping all jobs.
+func (a *Agent) Close() error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return nil
+	}
+	a.closed = true
+	close(a.closeCh)
+	for _, j := range a.jobs {
+		close(j.stop)
+	}
+	a.mu.Unlock()
+	a.wg.Wait()
+	return nil
+}
+
+// serveConn handles one scheduler session.
+func (a *Agent) serveConn(nc net.Conn) {
+	conn := wire.NewConn(nc)
+	defer conn.Close()
+
+	id := a.opts.ID
+	if id == "" {
+		id = nc.LocalAddr().String()
+	}
+	if err := conn.SendTyped(wire.MsgHello, wire.HelloPayload{AgentID: id, Slots: a.opts.Slots}); err != nil {
+		a.opts.Logf("agent: hello: %v", err)
+		return
+	}
+
+	for {
+		msg, err := conn.Recv()
+		if err != nil {
+			a.opts.Logf("agent: recv: %v", err)
+			a.stopAllJobs()
+			return
+		}
+		switch msg.Type {
+		case wire.MsgPing:
+			if err := conn.SendTyped(wire.MsgPong, nil); err != nil {
+				return
+			}
+		case wire.MsgStartJob, wire.MsgResumeJob:
+			var p wire.StartJobPayload
+			if err := msg.Decode(&p); err != nil {
+				a.sendError(conn, "", err)
+				continue
+			}
+			if err := a.startJob(conn, p); err != nil {
+				a.sendError(conn, p.JobID, err)
+			}
+		case wire.MsgDecision:
+			var p wire.DecisionPayload
+			if err := msg.Decode(&p); err != nil {
+				a.sendError(conn, "", err)
+				continue
+			}
+			a.deliverDecision(p)
+		case wire.MsgTerminateJob:
+			var p wire.JobControlPayload
+			if err := msg.Decode(&p); err != nil {
+				a.sendError(conn, "", err)
+				continue
+			}
+			a.terminateJob(sched.JobID(p.JobID))
+		default:
+			a.opts.Logf("agent: unexpected message %s", msg.Type)
+		}
+	}
+}
+
+func (a *Agent) sendError(conn *wire.Conn, jobID string, err error) {
+	a.opts.Logf("agent: job %s: %v", jobID, err)
+	_ = conn.SendTyped(wire.MsgError, wire.ErrorPayload{JobID: jobID, Message: err.Error()})
+}
+
+// startJob validates and launches a training loop.
+func (a *Agent) startJob(conn *wire.Conn, p wire.StartJobPayload) error {
+	spec, err := a.registry.Lookup(p.Workload)
+	if err != nil {
+		return err
+	}
+	trainer := spec.New(p.Config, p.Seed)
+	if len(p.Snapshot) > 0 {
+		payload, err := checkpoint.Decode(p.Snapshot)
+		if err != nil {
+			return fmt.Errorf("resume %s: %w", p.JobID, err)
+		}
+		if err := trainer.Restore(payload); err != nil {
+			return fmt.Errorf("resume %s: %w", p.JobID, err)
+		}
+	}
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return errors.New("agent closed")
+	}
+	if len(a.jobs) >= a.opts.Slots {
+		return fmt.Errorf("no free slot (have %d)", a.opts.Slots)
+	}
+	if _, dup := a.jobs[sched.JobID(p.JobID)]; dup {
+		return fmt.Errorf("job %s already running", p.JobID)
+	}
+	j := &agentJob{
+		spec:     p,
+		decision: make(chan sched.Decision, 1),
+		stop:     make(chan struct{}),
+		history:  append([]float64(nil), p.History...),
+	}
+	a.jobs[sched.JobID(p.JobID)] = j
+	a.wg.Add(1)
+	go a.runJob(conn, j, trainer, spec)
+	return nil
+}
+
+func (a *Agent) deliverDecision(p wire.DecisionPayload) {
+	a.mu.Lock()
+	j, ok := a.jobs[sched.JobID(p.JobID)]
+	a.mu.Unlock()
+	if !ok {
+		return
+	}
+	var d sched.Decision
+	switch p.Decision {
+	case "suspend":
+		d = sched.Suspend
+	case "terminate":
+		d = sched.Terminate
+	default:
+		d = sched.Continue
+	}
+	select {
+	case j.decision <- d:
+	default: // stale decision; drop
+	}
+}
+
+func (a *Agent) terminateJob(id sched.JobID) {
+	a.mu.Lock()
+	j, ok := a.jobs[id]
+	a.mu.Unlock()
+	if ok {
+		close(j.stop)
+	}
+}
+
+func (a *Agent) stopAllJobs() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, j := range a.jobs {
+		select {
+		case <-j.stop:
+		default:
+			close(j.stop)
+		}
+	}
+}
+
+func (a *Agent) release(id sched.JobID) {
+	a.mu.Lock()
+	delete(a.jobs, id)
+	a.mu.Unlock()
+}
+
+// runJob is the agent-side training loop: train an epoch, report the
+// stat (with the freshest local prediction piggybacked), raise the
+// iteration boundary, and act on the scheduler's decision.
+func (a *Agent) runJob(conn *wire.Conn, j *agentJob, trainer workload.Trainer, spec workload.Spec) {
+	defer a.wg.Done()
+	defer a.release(sched.JobID(j.spec.JobID))
+	send := func(t wire.MsgType, payload interface{}) bool {
+		if err := conn.SendTyped(t, payload); err != nil {
+			a.opts.Logf("agent: send %s: %v", t, err)
+			return false
+		}
+		return true
+	}
+
+	for {
+		select {
+		case <-j.stop:
+			send(wire.MsgJobExited, wire.JobExitedPayload{JobID: j.spec.JobID, Epoch: trainer.Epoch(), Reason: "terminated"})
+			return
+		default:
+		}
+
+		s, done := trainer.Step()
+		a.clk.Sleep(s.Duration)
+		j.history = append(j.history, s.Metric)
+
+		stat := wire.AppStatPayload{
+			JobID:    j.spec.JobID,
+			Epoch:    s.Epoch,
+			Metric:   s.Metric,
+			Dur0nsec: int64(s.Duration),
+		}
+		j.predMu.Lock()
+		if j.hasPval {
+			stat.Predict, stat.HasPred = j.pval, true
+		}
+		j.predMu.Unlock()
+		if !send(wire.MsgAppStat, stat) {
+			return
+		}
+		if done {
+			send(wire.MsgJobExited, wire.JobExitedPayload{JobID: j.spec.JobID, Epoch: s.Epoch, Reason: "completed"})
+			return
+		}
+
+		// Distributed curve prediction (§5.2): kick off a fit in
+		// parallel with training at every evaluation boundary.
+		if a.opts.Predictor != nil && s.Epoch%spec.EvalBoundary() == 0 {
+			a.maybePredict(j, spec)
+		}
+
+		if !send(wire.MsgIterDone, wire.IterDonePayload{JobID: j.spec.JobID, Epoch: s.Epoch}) {
+			return
+		}
+		var decision sched.Decision
+		select {
+		case decision = <-j.decision:
+		case <-j.stop:
+			send(wire.MsgJobExited, wire.JobExitedPayload{JobID: j.spec.JobID, Epoch: s.Epoch, Reason: "terminated"})
+			return
+		}
+
+		switch decision {
+		case sched.Terminate:
+			send(wire.MsgJobExited, wire.JobExitedPayload{JobID: j.spec.JobID, Epoch: s.Epoch, Reason: "terminated"})
+			return
+		case sched.Suspend:
+			payload, err := trainer.Snapshot()
+			if err != nil {
+				send(wire.MsgJobExited, wire.JobExitedPayload{JobID: j.spec.JobID, Epoch: s.Epoch, Reason: "error", Error: err.Error()})
+				return
+			}
+			img := a.capturer.Capture(payload)
+			a.clk.Sleep(img.Latency)
+			if !send(wire.MsgSnapshot, wire.SnapshotPayload{JobID: j.spec.JobID, Epoch: trainer.Epoch(), State: img.Encode()}) {
+				return
+			}
+			send(wire.MsgJobExited, wire.JobExitedPayload{JobID: j.spec.JobID, Epoch: trainer.Epoch(), Reason: "suspended"})
+			return
+		default: // Continue
+		}
+	}
+}
+
+// maybePredict starts an asynchronous curve fit unless one is already
+// running, storing the resulting confidence for the next stat report
+// (overlapping training and prediction, §5.2).
+func (a *Agent) maybePredict(j *agentJob, spec workload.Spec) {
+	j.predMu.Lock()
+	if j.fitting || len(j.history) < curve.MinObservations {
+		j.predMu.Unlock()
+		return
+	}
+	j.fitting = true
+	hist := append([]float64(nil), j.history...)
+	j.predMu.Unlock()
+
+	a.wg.Add(1)
+	go func() {
+		defer a.wg.Done()
+		lo, hi := spec.MetricRange()
+		norm := make([]float64, len(hist))
+		for i, v := range hist {
+			norm[i] = (v - lo) / (hi - lo)
+		}
+		target := (spec.Target() - lo) / (hi - lo)
+		post, err := a.opts.Predictor.Fit(norm, spec.MaxEpoch(), int64(len(hist)))
+		j.predMu.Lock()
+		defer j.predMu.Unlock()
+		j.fitting = false
+		if err != nil {
+			return
+		}
+		j.pval = post.ProbAtLeast(spec.MaxEpoch(), target)
+		j.hasPval = true
+	}()
+}
+
+// clockEpoch is the base time for default scaled clocks.
+var clockEpoch = time.Date(2017, 12, 11, 0, 0, 0, 0, time.UTC)

@@ -1,0 +1,168 @@
+package cluster
+
+import (
+	mrand "math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/hyperdrive-ml/hyperdrive/internal/param"
+	"github.com/hyperdrive-ml/hyperdrive/internal/wire"
+)
+
+// dialRaw opens a raw wire connection to an agent and consumes the
+// Hello.
+func dialRaw(t *testing.T, addr string) (*wire.Conn, wire.HelloPayload) {
+	t.Helper()
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := wire.NewConn(nc)
+	msg, err := conn.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hello wire.HelloPayload
+	if err := msg.Decode(&hello); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn, hello
+}
+
+// recvUntil reads frames until one of type want arrives (or fails the
+// test after a timeout's worth of frames).
+func recvUntil(t *testing.T, conn *wire.Conn, want wire.MsgType) wire.Message {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		msg, err := conn.Recv()
+		if err != nil {
+			t.Fatalf("recv while waiting for %s: %v", want, err)
+		}
+		if msg.Type == want {
+			return msg
+		}
+	}
+	t.Fatalf("no %s within deadline", want)
+	return wire.Message{}
+}
+
+func TestAgentPingPong(t *testing.T) {
+	addr := startAgent(t, AgentOptions{ID: "p", Slots: 1})
+	conn, hello := dialRaw(t, addr)
+	if hello.AgentID != "p" || hello.Slots != 1 {
+		t.Fatalf("hello = %+v", hello)
+	}
+	if err := conn.SendTyped(wire.MsgPing, nil); err != nil {
+		t.Fatal(err)
+	}
+	recvUntil(t, conn, wire.MsgPong)
+}
+
+func TestAgentRejectsUnknownWorkload(t *testing.T) {
+	addr := startAgent(t, AgentOptions{ID: "p", Slots: 1})
+	conn, _ := dialRaw(t, addr)
+	err := conn.SendTyped(wire.MsgStartJob, wire.StartJobPayload{
+		JobID: "j1", Workload: "not-a-workload", Config: map[string]float64{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := recvUntil(t, conn, wire.MsgError)
+	var p wire.ErrorPayload
+	if err := msg.Decode(&p); err != nil {
+		t.Fatal(err)
+	}
+	if p.JobID != "j1" {
+		t.Fatalf("error payload = %+v", p)
+	}
+	// Agent must survive: ping still answered.
+	if err := conn.SendTyped(wire.MsgPing, nil); err != nil {
+		t.Fatal(err)
+	}
+	recvUntil(t, conn, wire.MsgPong)
+}
+
+func TestAgentRejectsOverCapacity(t *testing.T) {
+	addr := startAgent(t, AgentOptions{ID: "p", Slots: 1})
+	conn, _ := dialRaw(t, addr)
+	cfg := param.CIFAR10Space().Sample(newTestRand())
+	start := func(id string) {
+		if err := conn.SendTyped(wire.MsgStartJob, wire.StartJobPayload{
+			JobID: id, Workload: "cifar10", Config: cfg, Seed: 1, MaxEpoch: 120,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	start("a")
+	start("b") // over the single slot
+	msg := recvUntil(t, conn, wire.MsgError)
+	var p wire.ErrorPayload
+	if err := msg.Decode(&p); err != nil {
+		t.Fatal(err)
+	}
+	if p.JobID != "b" {
+		t.Fatalf("capacity error for %q, want b", p.JobID)
+	}
+}
+
+func TestAgentMalformedPayloads(t *testing.T) {
+	addr := startAgent(t, AgentOptions{ID: "p", Slots: 1})
+	conn, _ := dialRaw(t, addr)
+	// Payload-less control messages must not kill the agent.
+	for _, mt := range []wire.MsgType{wire.MsgStartJob, wire.MsgDecision, wire.MsgTerminateJob} {
+		if err := conn.Send(wire.Message{Type: mt}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Unknown message type is ignored.
+	if err := conn.Send(wire.Message{Type: "mystery"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.SendTyped(wire.MsgPing, nil); err != nil {
+		t.Fatal(err)
+	}
+	recvUntil(t, conn, wire.MsgPong)
+}
+
+func TestAgentResumeRejectsCorruptSnapshot(t *testing.T) {
+	addr := startAgent(t, AgentOptions{ID: "p", Slots: 1})
+	conn, _ := dialRaw(t, addr)
+	cfg := param.CIFAR10Space().Sample(newTestRand())
+	if err := conn.SendTyped(wire.MsgResumeJob, wire.StartJobPayload{
+		JobID: "j", Workload: "cifar10", Config: cfg, Seed: 1, MaxEpoch: 120,
+		Snapshot: []byte("garbage-not-an-image"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	recvUntil(t, conn, wire.MsgError)
+}
+
+func TestAgentTerminateMidTraining(t *testing.T) {
+	addr := startAgent(t, AgentOptions{ID: "p", Slots: 1})
+	conn, _ := dialRaw(t, addr)
+	cfg := param.CIFAR10Space().Sample(newTestRand())
+	if err := conn.SendTyped(wire.MsgStartJob, wire.StartJobPayload{
+		JobID: "victim", Workload: "cifar10", Config: cfg, Seed: 1, MaxEpoch: 120,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Let the first stat arrive, then terminate asynchronously.
+	recvUntil(t, conn, wire.MsgAppStat)
+	if err := conn.SendTyped(wire.MsgTerminateJob, wire.JobControlPayload{JobID: "victim"}); err != nil {
+		t.Fatal(err)
+	}
+	msg := recvUntil(t, conn, wire.MsgJobExited)
+	var p wire.JobExitedPayload
+	if err := msg.Decode(&p); err != nil {
+		t.Fatal(err)
+	}
+	if p.JobID != "victim" || p.Reason != "terminated" {
+		t.Fatalf("exit = %+v", p)
+	}
+}
+
+// newTestRand returns a seeded RNG for protocol tests.
+func newTestRand() *mrand.Rand { return mrand.New(mrand.NewSource(99)) }

@@ -1,0 +1,98 @@
+package cluster
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+
+	"github.com/hyperdrive-ml/hyperdrive/internal/sched"
+)
+
+// LogRecord is one line of the experiment event log: everything the
+// scheduler observes or decides, timestamped on the experiment clock.
+// The log is the runtime's observability surface — what you grep when
+// a policy behaves unexpectedly — and is also the raw material for
+// offline analysis of scheduling behaviour.
+type LogRecord struct {
+	T        time.Time `json:"t"`
+	Kind     string    `json:"kind"` // start|resume|stat|decision|suspend|terminate|complete|error|snapshot|stop
+	Job      string    `json:"job,omitempty"`
+	Slot     string    `json:"slot,omitempty"`
+	Epoch    int       `json:"epoch,omitempty"`
+	Metric   float64   `json:"metric,omitempty"`
+	Decision string    `json:"decision,omitempty"`
+	Detail   string    `json:"detail,omitempty"`
+}
+
+// EventLog serializes LogRecords as JSON lines. Safe for concurrent
+// use; write errors disable further logging rather than failing the
+// experiment.
+type EventLog struct {
+	mu   sync.Mutex
+	enc  *json.Encoder
+	dead bool
+}
+
+// NewEventLog wraps a writer.
+func NewEventLog(w io.Writer) *EventLog {
+	return &EventLog{enc: json.NewEncoder(w)}
+}
+
+// Log writes one record.
+func (l *EventLog) Log(r LogRecord) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.dead {
+		return
+	}
+	if err := l.enc.Encode(r); err != nil {
+		l.dead = true
+	}
+}
+
+// logEvent emits a record for an executor event.
+func (e *Experiment) logEvent(kind string, ev Event) {
+	if e.cfg.EventLog == nil {
+		return
+	}
+	e.cfg.EventLog.Log(LogRecord{
+		T:      e.clk.Now(),
+		Kind:   kind,
+		Job:    string(ev.Job),
+		Slot:   string(ev.Slot),
+		Epoch:  ev.Epoch,
+		Metric: ev.Metric,
+	})
+}
+
+// logDecision emits a record for an OnIterationFinish verdict.
+func (e *Experiment) logDecision(job sched.JobID, epoch int, d sched.Decision) {
+	if e.cfg.EventLog == nil {
+		return
+	}
+	e.cfg.EventLog.Log(LogRecord{
+		T:        e.clk.Now(),
+		Kind:     "decision",
+		Job:      string(job),
+		Epoch:    epoch,
+		Decision: d.String(),
+	})
+}
+
+// logLifecycle emits a start/resume/stop style record.
+func (e *Experiment) logLifecycle(kind string, job sched.JobID, slot SlotID, detail string) {
+	if e.cfg.EventLog == nil {
+		return
+	}
+	e.cfg.EventLog.Log(LogRecord{
+		T:      e.clk.Now(),
+		Kind:   kind,
+		Job:    string(job),
+		Slot:   string(slot),
+		Detail: detail,
+	})
+}

@@ -1,0 +1,93 @@
+// Package cluster implements the live HyperDrive runtime (paper §4-§5):
+// the Job & Resource Manager, the Experiment Runner, the in-process
+// worker pool, and the TCP node-agent pair (agent server + scheduler-
+// side client) that together execute hyperparameter exploration
+// experiments for real — with suspend/resume of training jobs across
+// machines, application-statistic streaming, and pluggable Scheduling
+// Algorithm Policies.
+//
+// Training runs against the synthetic workloads of internal/workload;
+// a scaled clock (internal/clock) compresses hours of simulated
+// training into seconds of wall time while every scheduling code path
+// (sockets, snapshots, priorities, policy up-calls) remains real.
+package cluster
+
+import (
+	"time"
+
+	"github.com/hyperdrive-ml/hyperdrive/internal/param"
+	"github.com/hyperdrive-ml/hyperdrive/internal/sched"
+)
+
+// SlotID identifies one execution slot (a machine in the paper's
+// terms): a local worker or one slot of a remote agent.
+type SlotID string
+
+// StartSpec tells an executor to begin (or resume) training.
+type StartSpec struct {
+	Job      sched.JobID
+	Slot     SlotID
+	Workload string
+	Config   param.Config
+	Seed     int64
+	MaxEpoch int
+	Snapshot []byte    // nil for a fresh start
+	History  []float64 // metric curve so far (resumes; feeds agent-side prediction)
+}
+
+// EventKind discriminates executor events.
+type EventKind int
+
+// Executor event kinds.
+const (
+	EvStat EventKind = iota + 1
+	EvIterDone
+	EvSnapshot
+	EvExited
+)
+
+// ExitReason says why a job left its slot.
+type ExitReason string
+
+// Exit reasons.
+const (
+	ExitCompleted  ExitReason = "completed"
+	ExitTerminated ExitReason = "terminated"
+	ExitSuspended  ExitReason = "suspended"
+	ExitError      ExitReason = "error"
+)
+
+// Event is an executor-to-scheduler notification. IterDone events
+// carry a Reply channel: the scheduler must send exactly one decision
+// on it, which is how the paper's OnIterationFinish verdict reaches
+// the training loop (§4.2).
+type Event struct {
+	Kind     EventKind
+	Job      sched.JobID
+	Slot     SlotID
+	Epoch    int
+	Metric   float64
+	Duration time.Duration // epoch duration (simulated time)
+	Pred     float64       // agent-side curve prediction (§5.2)
+	HasPred  bool
+	Snapshot []byte
+	SnapSize int           // modeled snapshot size (bytes)
+	SnapLat  time.Duration // modeled capture latency
+	Reason   ExitReason
+	Err      error
+	Reply    chan sched.Decision
+}
+
+// Executor runs training jobs on a set of slots and reports Events on
+// the channel supplied at construction. Implementations: the
+// in-process worker pool (WorkerPool) and the remote agent client
+// (AgentClient).
+type Executor interface {
+	// Slots lists the execution slots this executor provides.
+	Slots() []SlotID
+	// Start launches (or resumes, when spec.Snapshot is set) a job on
+	// a slot. It returns immediately; progress arrives as Events.
+	Start(spec StartSpec) error
+	// Close releases all resources and stops all jobs.
+	Close() error
+}

@@ -1,0 +1,537 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/hyperdrive-ml/hyperdrive/internal/appstat"
+	"github.com/hyperdrive-ml/hyperdrive/internal/checkpoint"
+	"github.com/hyperdrive-ml/hyperdrive/internal/clock"
+	"github.com/hyperdrive-ml/hyperdrive/internal/hypergen"
+	"github.com/hyperdrive-ml/hyperdrive/internal/policy"
+	"github.com/hyperdrive-ml/hyperdrive/internal/sched"
+	"github.com/hyperdrive-ml/hyperdrive/internal/trace"
+	"github.com/hyperdrive-ml/hyperdrive/internal/workload"
+)
+
+// Config describes one live experiment — what the paper's Experiment
+// Runner client specifies (§4.2): the SAP, the hyperparameter
+// generation technique, the model (workload) to train, and the total
+// number of machines.
+type Config struct {
+	// Workload names the registered workload to train.
+	Workload string
+	// Registry resolves workloads; nil uses the built-ins.
+	Registry *workload.Registry
+	// Generator produces candidate configurations.
+	Generator hypergen.Generator
+	// Policy is a fresh SAP instance.
+	Policy policy.Policy
+	// Machines is the number of in-process slots; ignored when
+	// Executor is set.
+	Machines int
+	// Executor overrides the in-process worker pool (used for remote
+	// agents). It must have been built with the same Events channel.
+	Executor Executor
+	// Events must be provided together with Executor.
+	Events chan Event
+	// MaxJobs bounds how many configurations are explored.
+	MaxJobs int
+	// MaxDuration is Tmax on the experiment clock; 0 = 7 days.
+	MaxDuration time.Duration
+	// Clock drives training time; nil uses a 600x scaled clock (one
+	// simulated minute per 100ms wall).
+	Clock clock.Clock
+	// StopAtTarget ends the run when the target metric is reached.
+	StopAtTarget bool
+	// TargetOverride replaces the workload's target when non-zero.
+	TargetOverride float64
+	// CheckpointMode picks the suspend capture model; 0 = Framework.
+	CheckpointMode checkpoint.Mode
+	// CheckpointSeed seeds the capture model.
+	CheckpointSeed int64
+	// Seed seeds per-job training non-determinism.
+	Seed int64
+	// StopCondition, when non-nil, is evaluated on every statistic;
+	// returning true ends the experiment (the §9 "user-defined global
+	// termination criteria" extension).
+	StopCondition func(db *appstat.DB, info policy.Info) bool
+	// Recorder, when non-nil, captures every job start and statistic
+	// so the run can be exported as a replayable trace (the Trace
+	// Generator's "collect from live system experiments" path, §7.1).
+	Recorder *trace.Recorder
+	// EventLog, when non-nil, receives one JSON record per scheduler
+	// event and decision.
+	EventLog *EventLog
+}
+
+// JobSummary is one job's final record.
+type JobSummary struct {
+	ID         sched.JobID
+	Epochs     int
+	BusyTime   time.Duration
+	FinalState sched.State
+	Best       float64
+}
+
+// Result summarizes a live experiment.
+type Result struct {
+	Reached      bool
+	TimeToTarget time.Duration
+	Duration     time.Duration
+	Best         float64
+	BestJob      sched.JobID
+	Jobs         []JobSummary
+	Suspends     int
+	Terminations int
+	Completions  int
+	Starts       int
+	Resumes      int
+	Fits         int
+	Overheads    checkpoint.Accounting // suspend latency/size observations
+	StoppedBy    string                // "target" | "budget" | "exhausted" | "condition" | "canceled"
+}
+
+// Experiment is a live HyperDrive run.
+type Experiment struct {
+	cfg      Config
+	spec     workload.Spec
+	info     policy.Info
+	clk      clock.Clock
+	db       *appstat.DB
+	rm       *ResourceManager
+	jm       *JobManager
+	exec     Executor
+	events   chan Event
+	ownExec  bool
+	start    time.Time
+	created  int
+	genDone  bool
+	res      *Result
+	slotJobs map[SlotID]sched.JobID
+}
+
+// New validates the config and prepares an experiment.
+func New(cfg Config) (*Experiment, error) {
+	if cfg.Generator == nil {
+		return nil, errors.New("cluster: nil generator")
+	}
+	if cfg.Policy == nil {
+		return nil, errors.New("cluster: nil policy")
+	}
+	if cfg.MaxJobs < 1 {
+		return nil, fmt.Errorf("cluster: MaxJobs %d must be positive", cfg.MaxJobs)
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = workload.NewRegistry()
+	}
+	spec, err := reg.Lookup(cfg.Workload)
+	if err != nil {
+		return nil, err
+	}
+	clk := cfg.Clock
+	if clk == nil {
+		clk = clock.NewScaled(time.Now(), 600)
+	}
+	if cfg.MaxDuration == 0 {
+		cfg.MaxDuration = 7 * 24 * time.Hour
+	}
+
+	e := &Experiment{
+		cfg:      cfg,
+		spec:     spec,
+		clk:      clk,
+		db:       appstat.NewDB(),
+		jm:       NewJobManager(),
+		res:      &Result{},
+		slotJobs: make(map[SlotID]sched.JobID),
+	}
+
+	if cfg.Executor != nil {
+		if cfg.Events == nil {
+			return nil, errors.New("cluster: Executor requires the shared Events channel")
+		}
+		e.exec = cfg.Executor
+		e.events = cfg.Events
+	} else {
+		if cfg.Machines < 1 {
+			return nil, fmt.Errorf("cluster: Machines %d must be positive", cfg.Machines)
+		}
+		mode := cfg.CheckpointMode
+		if mode == 0 {
+			mode = checkpoint.Framework
+		}
+		capturer, err := checkpoint.NewCapturer(mode, cfg.CheckpointSeed+1)
+		if err != nil {
+			return nil, err
+		}
+		e.events = make(chan Event, 256)
+		pool, err := NewWorkerPool(cfg.Machines, reg, clk, capturer, e.events)
+		if err != nil {
+			return nil, err
+		}
+		e.exec = pool
+		e.ownExec = true
+	}
+
+	e.rm = NewResourceManager(e.exec.Slots())
+
+	lo, hi := spec.MetricRange()
+	target := spec.Target()
+	if cfg.TargetOverride != 0 {
+		target = cfg.TargetOverride
+	}
+	e.info = policy.Info{
+		Workload:      spec.Name(),
+		Target:        target,
+		KillThreshold: spec.KillThreshold(),
+		RandomFloor:   spec.RandomFloor(),
+		EvalBoundary:  spec.EvalBoundary(),
+		MaxEpoch:      spec.MaxEpoch(),
+		MetricMin:     lo,
+		MetricMax:     hi,
+		Reward:        spec.Metric() == workload.Reward,
+		TotalSlots:    e.rm.Total(),
+		MaxDuration:   cfg.MaxDuration,
+	}
+	return e, nil
+}
+
+// Run executes the experiment to completion (or ctx cancellation) and
+// returns its result.
+func (e *Experiment) Run(ctx context.Context) (*Result, error) {
+	e.start = e.clk.Now()
+	defer func() {
+		if e.ownExec {
+			e.exec.Close()
+		}
+	}()
+
+	deadline := e.clk.After(e.cfg.MaxDuration)
+	e.cfg.Policy.AllocateJobs(e)
+	if e.rm.IdleCount() == e.rm.Total() && e.jm.SuspendedCount() == 0 && e.created == 0 {
+		return nil, errors.New("cluster: policy started no jobs (empty generator?)")
+	}
+
+	for {
+		if e.done() {
+			e.res.StoppedBy = "exhausted"
+			break
+		}
+		var stop bool
+		select {
+		case <-ctx.Done():
+			e.res.StoppedBy = "canceled"
+			stop = true
+		case <-deadline:
+			e.res.StoppedBy = "budget"
+			stop = true
+		case ev := <-e.events:
+			stop = e.handle(ev)
+		}
+		if stop {
+			break
+		}
+	}
+	e.finish()
+	return e.res, nil
+}
+
+// done reports whether no work remains: nothing running, nothing
+// suspended, and the generator cannot supply more.
+func (e *Experiment) done() bool {
+	if e.rm.IdleCount() != e.rm.Total() {
+		return false
+	}
+	if e.jm.SuspendedCount() > 0 {
+		return false
+	}
+	return e.genDone || e.created >= e.cfg.MaxJobs
+}
+
+// handle processes one executor event; returns true to stop.
+func (e *Experiment) handle(ev Event) bool {
+	switch ev.Kind {
+	case EvStat:
+		return e.handleStat(ev)
+	case EvIterDone:
+		e.handleIterDone(ev)
+	case EvSnapshot:
+		if mj, ok := e.jm.Get(ev.Job); ok {
+			mj.Snapshot = ev.Snapshot
+		}
+		e.db.PutSnapshot(appstat.Snapshot{Job: ev.Job, Epoch: ev.Epoch, Data: ev.Snapshot, At: e.clk.Now()})
+		e.res.Overheads.Observe(checkpoint.Record{Size: ev.SnapSize, Latency: ev.SnapLat})
+	case EvExited:
+		e.handleExited(ev)
+	}
+	return false
+}
+
+func (e *Experiment) handleStat(ev Event) bool {
+	e.db.Report(ev.Job, appstat.Stat{Epoch: ev.Epoch, Metric: ev.Metric, Duration: ev.Duration, At: e.clk.Now()})
+	if e.cfg.Recorder != nil {
+		e.cfg.Recorder.Observe(string(ev.Job), ev.Epoch, ev.Metric, ev.Duration)
+	}
+	if ev.HasPred {
+		e.db.ReportPrediction(ev.Job, appstat.Prediction{Epoch: ev.Epoch, Value: ev.Pred, At: e.clk.Now()})
+	}
+	e.logEvent("stat", ev)
+	if mj, ok := e.jm.Get(ev.Job); ok {
+		mj.Job.SetEpoch(ev.Epoch)
+		mj.Busy += int64(ev.Duration)
+		if !mj.HasBest || ev.Metric > mj.Best {
+			mj.Best = ev.Metric
+			mj.HasBest = true
+		}
+	}
+	sev := sched.Event{Job: ev.Job, Epoch: ev.Epoch, Metric: ev.Metric, Duration: ev.Duration, Time: e.clk.Now()}
+	e.cfg.Policy.ApplicationStat(e, sev)
+	if pop, ok := e.cfg.Policy.(*policy.POP); ok {
+		pop.ObserveBest(e.info, ev.Metric)
+	}
+
+	if ev.Metric > e.res.Best || e.res.BestJob == "" {
+		e.res.Best = ev.Metric
+		e.res.BestJob = ev.Job
+	}
+	if e.cfg.StopAtTarget && ev.Metric >= e.info.Target && !e.res.Reached {
+		e.res.Reached = true
+		e.res.TimeToTarget = e.clk.Since(e.start)
+		e.res.StoppedBy = "target"
+		return true
+	}
+	if e.cfg.StopCondition != nil && e.cfg.StopCondition(e.db, e.info) {
+		e.res.StoppedBy = "condition"
+		return true
+	}
+	return false
+}
+
+func (e *Experiment) handleIterDone(ev Event) {
+	sev := sched.Event{Job: ev.Job, Epoch: ev.Epoch, Time: e.clk.Now()}
+	decision := e.cfg.Policy.OnIterationFinish(e, sev)
+	e.logDecision(ev.Job, ev.Epoch, decision)
+	if ev.Reply != nil {
+		ev.Reply <- decision
+	}
+}
+
+func (e *Experiment) handleExited(ev Event) {
+	mj, ok := e.jm.Get(ev.Job)
+	if !ok {
+		return
+	}
+	e.logEvent(string(ev.Reason), ev)
+	switch ev.Reason {
+	case ExitCompleted:
+		if err := mj.Job.Complete(); err == nil {
+			e.res.Completions++
+			best := mj.Best
+			e.cfg.Generator.ReportFinalPerformance(string(ev.Job), best)
+		}
+	case ExitTerminated:
+		if err := mj.Job.Terminate(); err == nil {
+			e.res.Terminations++
+		}
+	case ExitSuspended:
+		if err := mj.Job.Suspend(); err == nil {
+			e.res.Suspends++
+			e.jm.Requeue(ev.Job)
+		}
+	case ExitError:
+		// Treat like termination but keep the error visible via state.
+		if err := mj.Job.Terminate(); err == nil {
+			e.res.Terminations++
+		}
+	}
+	// Free the slot and let the SAP refill it.
+	if slot := ev.Slot; slot != "" {
+		if e.slotJobs[slot] == ev.Job {
+			delete(e.slotJobs, slot)
+			if err := e.rm.ReleaseMachine(slot); err == nil {
+				e.cfg.Policy.AllocateJobs(e)
+			}
+		}
+	}
+}
+
+// finish fills the result.
+func (e *Experiment) finish() {
+	e.res.Duration = e.clk.Since(e.start)
+	e.logLifecycle("stop", "", "", e.res.StoppedBy)
+	jobs := e.jm.All()
+	sort.Slice(jobs, func(i, j int) bool { return jobs[i].Idx < jobs[j].Idx })
+	for _, mj := range jobs {
+		e.res.Jobs = append(e.res.Jobs, JobSummary{
+			ID:         mj.Job.ID,
+			Epochs:     mj.Job.Epoch(),
+			BusyTime:   time.Duration(mj.Busy),
+			FinalState: mj.Job.State(),
+			Best:       mj.Best,
+		})
+	}
+	if fc, ok := e.cfg.Policy.(policy.FitCounter); ok {
+		e.res.Fits = fc.PredictionFits()
+	}
+}
+
+// --- policy.Context implementation -----------------------------------
+
+// Info implements policy.Context.
+func (e *Experiment) Info() policy.Info { return e.info }
+
+// DB implements policy.Context.
+func (e *Experiment) DB() *appstat.DB { return e.db }
+
+// Now implements policy.Context.
+func (e *Experiment) Now() time.Time { return e.clk.Now() }
+
+// Start implements policy.Context.
+func (e *Experiment) Start() time.Time { return e.start }
+
+// IdleSlots implements policy.Context.
+func (e *Experiment) IdleSlots() int { return e.rm.IdleCount() }
+
+// IdleJobs implements policy.Context: suspended jobs plus the
+// configurations the generator can still produce.
+func (e *Experiment) IdleJobs() int {
+	n := e.jm.SuspendedCount()
+	if !e.genDone && e.created < e.cfg.MaxJobs {
+		n += e.cfg.MaxJobs - e.created
+	}
+	return n
+}
+
+// StartIdleJob implements policy.Context: picks between the best
+// suspended job and a fresh configuration (suspended priorities win;
+// FIFO otherwise) and starts it on a reserved slot.
+func (e *Experiment) StartIdleJob() (sched.JobID, bool) {
+	slot, ok := e.rm.ReserveIdleMachine()
+	if !ok {
+		return "", false
+	}
+	release := func() {
+		if err := e.rm.ReleaseMachine(slot); err != nil {
+			// Unreachable: we just reserved it.
+			panic(err)
+		}
+	}
+
+	suspended, haveSuspended := e.jm.GetIdleJob()
+	// Suspended jobs with explicit priority preempt fresh configs;
+	// unlabelled suspended jobs wait behind the fresh configurations
+	// still in the generator (FIFO by queue-insertion order: fresh
+	// configs were "queued" at experiment start, a suspended job
+	// re-enters at the back).
+	canCreate := !e.genDone && e.created < e.cfg.MaxJobs
+	if haveSuspended && (suspended.Job.Priority() > 0 || !canCreate) {
+		if err := e.startExisting(suspended, slot); err == nil {
+			return suspended.Job.ID, true
+		}
+		release()
+		return "", false
+	}
+	if !canCreate {
+		release()
+		return "", false
+	}
+	id, cfg9, err := e.cfg.Generator.CreateJob()
+	if err != nil {
+		e.genDone = true
+		release()
+		return "", false
+	}
+	e.created++
+	mj, err := e.jm.Add(sched.JobID(id), cfg9, e.cfg.Seed+int64(e.created), e.info.MaxEpoch)
+	if err != nil {
+		release()
+		return "", false
+	}
+	if e.cfg.Recorder != nil {
+		e.cfg.Recorder.StartJob(id, cfg9, mj.Seed)
+	}
+	if err := e.startExisting(mj, slot); err != nil {
+		release()
+		return "", false
+	}
+	e.res.Starts++
+	return mj.Job.ID, true
+}
+
+// startExisting launches a managed job (fresh or suspended) on a slot.
+func (e *Experiment) startExisting(mj *ManagedJob, slot SlotID) error {
+	resume := mj.Job.State() == sched.Suspended
+	if err := mj.Job.Start(sched.MachineID(slot)); err != nil {
+		return err
+	}
+	spec := StartSpec{
+		Job:      mj.Job.ID,
+		Slot:     slot,
+		Workload: e.info.Workload,
+		Config:   mj.Config,
+		Seed:     mj.Seed,
+		MaxEpoch: e.info.MaxEpoch,
+	}
+	if resume {
+		spec.Snapshot = mj.Snapshot
+		spec.History = e.db.History(mj.Job.ID)
+	}
+	if err := e.exec.Start(spec); err != nil {
+		// Roll the job back to a restartable state.
+		if resume {
+			_ = mj.Job.Suspend()
+		} else {
+			_ = mj.Job.Terminate()
+		}
+		return err
+	}
+	if resume {
+		e.res.Resumes++
+		e.logLifecycle("resume", mj.Job.ID, slot, "")
+	} else {
+		e.logLifecycle("start", mj.Job.ID, slot, "")
+	}
+	e.slotJobs[slot] = mj.Job.ID
+	return nil
+}
+
+// ActiveJobs implements policy.Context.
+func (e *Experiment) ActiveJobs() []sched.JobID {
+	ids := e.jm.Active()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// JobEpoch implements policy.Context.
+func (e *Experiment) JobEpoch(id sched.JobID) int {
+	if mj, ok := e.jm.Get(id); ok {
+		return mj.Job.Epoch()
+	}
+	return 0
+}
+
+// LabelJob implements policy.Context.
+func (e *Experiment) LabelJob(id sched.JobID, priority float64) {
+	e.jm.LabelJob(id, priority)
+}
+
+// TerminateIdleJob implements policy.Context: terminates a suspended
+// job without involving an executor (it holds no slot).
+func (e *Experiment) TerminateIdleJob(id sched.JobID) bool {
+	mj, ok := e.jm.Get(id)
+	if !ok || mj.Job.State() != sched.Suspended {
+		return false
+	}
+	if err := mj.Job.Terminate(); err != nil {
+		return false
+	}
+	e.res.Terminations++
+	return true
+}
+
+var _ policy.Context = (*Experiment)(nil)

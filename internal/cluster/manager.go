@@ -1,0 +1,202 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/hyperdrive-ml/hyperdrive/internal/param"
+	"github.com/hyperdrive-ml/hyperdrive/internal/sched"
+)
+
+// ResourceManager tracks allocated and idle slots — the paper's RM
+// component with its two-call API (§4.2):
+//
+//	reserveIdleMachine() -> machineId
+//	releaseMachine(machineId)
+type ResourceManager struct {
+	mu   sync.Mutex
+	free []SlotID
+	busy map[SlotID]bool
+}
+
+// NewResourceManager builds an RM over the given slots, all idle.
+func NewResourceManager(slots []SlotID) *ResourceManager {
+	rm := &ResourceManager{busy: make(map[SlotID]bool, len(slots))}
+	rm.free = append(rm.free, slots...)
+	return rm
+}
+
+// ReserveIdleMachine claims an idle slot.
+func (rm *ResourceManager) ReserveIdleMachine() (SlotID, bool) {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	if len(rm.free) == 0 {
+		return "", false
+	}
+	s := rm.free[0]
+	rm.free = rm.free[1:]
+	rm.busy[s] = true
+	return s, true
+}
+
+// ReleaseMachine returns a slot to the idle pool.
+func (rm *ResourceManager) ReleaseMachine(s SlotID) error {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	if !rm.busy[s] {
+		return fmt.Errorf("cluster: release of non-busy slot %s", s)
+	}
+	delete(rm.busy, s)
+	rm.free = append(rm.free, s)
+	return nil
+}
+
+// IdleCount reports idle slots.
+func (rm *ResourceManager) IdleCount() int {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	return len(rm.free)
+}
+
+// Total reports all slots.
+func (rm *ResourceManager) Total() int {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	return len(rm.free) + len(rm.busy)
+}
+
+// ManagedJob is the Job Manager's record for one configuration.
+type ManagedJob struct {
+	Job      *sched.Job
+	Config   param.Config
+	Seed     int64
+	Idx      int    // creation order
+	QueueSeq int    // idle-queue insertion order (suspends re-enqueue at the back)
+	Snapshot []byte // latest suspend image (nil if never suspended)
+	Busy     int64  // accumulated training nanoseconds
+	Best     float64
+	HasBest  bool
+}
+
+// JobManager keeps the job table and the priority-ordered idle queue —
+// the paper's JM (§4.2) with start/resume/suspend/terminate tracked on
+// each job's state machine and labelJob priorities ordering idle jobs.
+type JobManager struct {
+	mu   sync.Mutex
+	jobs map[sched.JobID]*ManagedJob
+	next int
+}
+
+// NewJobManager returns an empty JM.
+func NewJobManager() *JobManager {
+	return &JobManager{jobs: make(map[sched.JobID]*ManagedJob)}
+}
+
+// Add registers a new pending job.
+func (jm *JobManager) Add(id sched.JobID, cfg param.Config, seed int64, maxEpoch int) (*ManagedJob, error) {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	if _, dup := jm.jobs[id]; dup {
+		return nil, fmt.Errorf("cluster: duplicate job %s", id)
+	}
+	mj := &ManagedJob{
+		Job:      sched.NewJob(id, cfg, seed, maxEpoch),
+		Config:   cfg,
+		Seed:     seed,
+		Idx:      jm.next,
+		QueueSeq: jm.next,
+	}
+	jm.next++
+	jm.jobs[id] = mj
+	return mj, nil
+}
+
+// Get looks up a job.
+func (jm *JobManager) Get(id sched.JobID) (*ManagedJob, bool) {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	mj, ok := jm.jobs[id]
+	return mj, ok
+}
+
+// GetIdleJob implements the JM's getIdleJob(): the suspended job with
+// the highest priority, FIFO by idle-queue insertion order on ties
+// (§4.2 — a just-suspended unlabelled job waits behind everything
+// already queued, which is what rotates the opportunistic pool).
+func (jm *JobManager) GetIdleJob() (*ManagedJob, bool) {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	var best *ManagedJob
+	for _, mj := range jm.jobs {
+		if mj.Job.State() != sched.Suspended {
+			continue
+		}
+		if best == nil {
+			best = mj
+			continue
+		}
+		pi, pb := mj.Job.Priority(), best.Job.Priority()
+		if pi > pb || (pi == pb && mj.QueueSeq < best.QueueSeq) {
+			best = mj
+		}
+	}
+	return best, best != nil
+}
+
+// Requeue marks a job's return to the idle queue, sending it behind
+// every job queued so far.
+func (jm *JobManager) Requeue(id sched.JobID) {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	if mj, ok := jm.jobs[id]; ok {
+		mj.QueueSeq = jm.next
+		jm.next++
+	}
+}
+
+// LabelJob implements labelJob(jobID, priority).
+func (jm *JobManager) LabelJob(id sched.JobID, priority float64) {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	if mj, ok := jm.jobs[id]; ok {
+		mj.Job.SetPriority(priority)
+	}
+}
+
+// SuspendedCount reports idle (suspended) jobs.
+func (jm *JobManager) SuspendedCount() int {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	n := 0
+	for _, mj := range jm.jobs {
+		if mj.Job.State() == sched.Suspended {
+			n++
+		}
+	}
+	return n
+}
+
+// Active lists running and suspended jobs.
+func (jm *JobManager) Active() []sched.JobID {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	var out []sched.JobID
+	for id, mj := range jm.jobs {
+		st := mj.Job.State()
+		if st == sched.Running || st == sched.Suspended {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// All returns every managed job.
+func (jm *JobManager) All() []*ManagedJob {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	out := make([]*ManagedJob, 0, len(jm.jobs))
+	for _, mj := range jm.jobs {
+		out = append(out, mj)
+	}
+	return out
+}

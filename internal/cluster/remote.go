@@ -1,0 +1,342 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/hyperdrive-ml/hyperdrive/internal/sched"
+	"github.com/hyperdrive-ml/hyperdrive/internal/wire"
+)
+
+// AgentClient is the scheduler-side Executor backed by one remote node
+// agent over the wire protocol. Each of the agent's slots appears as
+// "<agentID>#<n>".
+type AgentClient struct {
+	conn    *wire.Conn
+	agentID string
+	slots   []SlotID
+	events  chan<- Event
+
+	mu       sync.Mutex
+	jobSlots map[sched.JobID]SlotID
+	free     []SlotID
+	closed   bool
+	done     chan struct{}
+}
+
+// DialAgent connects to an agent, performs the Hello handshake, and
+// starts the event-forwarding reader.
+func DialAgent(addr string, events chan<- Event) (*AgentClient, error) {
+	nc, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dial agent %s: %w", addr, err)
+	}
+	return NewAgentClient(nc, events)
+}
+
+// NewAgentClient wraps an established connection (exposed for tests
+// over net.Pipe).
+func NewAgentClient(nc net.Conn, events chan<- Event) (*AgentClient, error) {
+	conn := wire.NewConn(nc)
+	msg, err := conn.Recv()
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("cluster: agent handshake: %w", err)
+	}
+	if msg.Type != wire.MsgHello {
+		conn.Close()
+		return nil, fmt.Errorf("cluster: agent handshake: unexpected %s", msg.Type)
+	}
+	var hello wire.HelloPayload
+	if err := msg.Decode(&hello); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if hello.Slots < 1 {
+		conn.Close()
+		return nil, fmt.Errorf("cluster: agent %s advertises %d slots", hello.AgentID, hello.Slots)
+	}
+	c := &AgentClient{
+		conn:     conn,
+		agentID:  hello.AgentID,
+		events:   events,
+		jobSlots: make(map[sched.JobID]SlotID),
+		done:     make(chan struct{}),
+	}
+	for i := 0; i < hello.Slots; i++ {
+		s := SlotID(fmt.Sprintf("%s#%d", hello.AgentID, i))
+		c.slots = append(c.slots, s)
+		c.free = append(c.free, s)
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// AgentID returns the remote agent's name.
+func (c *AgentClient) AgentID() string { return c.agentID }
+
+// Slots implements Executor.
+func (c *AgentClient) Slots() []SlotID { return append([]SlotID(nil), c.slots...) }
+
+// Start implements Executor.
+func (c *AgentClient) Start(spec StartSpec) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: agent %s closed", c.agentID)
+	}
+	// Bind the requested slot.
+	idx := -1
+	for i, s := range c.free {
+		if s == spec.Slot {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: slot %s not free on agent %s", spec.Slot, c.agentID)
+	}
+	c.free = append(c.free[:idx], c.free[idx+1:]...)
+	c.jobSlots[spec.Job] = spec.Slot
+	c.mu.Unlock()
+
+	msgType := wire.MsgStartJob
+	if spec.Snapshot != nil {
+		msgType = wire.MsgResumeJob
+	}
+	err := c.conn.SendTyped(msgType, wire.StartJobPayload{
+		JobID:    string(spec.Job),
+		Workload: spec.Workload,
+		Config:   spec.Config,
+		MaxEpoch: spec.MaxEpoch,
+		Seed:     spec.Seed,
+		Snapshot: spec.Snapshot,
+		History:  spec.History,
+	})
+	if err != nil {
+		c.releaseSlot(spec.Job)
+		return err
+	}
+	return nil
+}
+
+// Close implements Executor.
+func (c *AgentClient) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.conn.Close()
+	<-c.done
+	return err
+}
+
+// releaseSlot frees the slot bound to a job.
+func (c *AgentClient) releaseSlot(job sched.JobID) SlotID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	slot, ok := c.jobSlots[job]
+	if !ok {
+		return ""
+	}
+	delete(c.jobSlots, job)
+	c.free = append(c.free, slot)
+	return slot
+}
+
+// slotOf looks up a running job's slot.
+func (c *AgentClient) slotOf(job sched.JobID) SlotID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.jobSlots[job]
+}
+
+// readLoop converts wire messages into executor Events.
+func (c *AgentClient) readLoop() {
+	defer close(c.done)
+	for {
+		msg, err := c.conn.Recv()
+		if err != nil {
+			c.failAll(err)
+			return
+		}
+		switch msg.Type {
+		case wire.MsgAppStat:
+			var p wire.AppStatPayload
+			if msg.Decode(&p) != nil {
+				continue
+			}
+			c.events <- Event{
+				Kind: EvStat, Job: sched.JobID(p.JobID), Slot: c.slotOf(sched.JobID(p.JobID)),
+				Epoch: p.Epoch, Metric: p.Metric, Duration: time.Duration(p.Dur0nsec),
+				Pred: p.Predict, HasPred: p.HasPred,
+			}
+		case wire.MsgIterDone:
+			var p wire.IterDonePayload
+			if msg.Decode(&p) != nil {
+				continue
+			}
+			reply := make(chan sched.Decision, 1)
+			c.events <- Event{
+				Kind: EvIterDone, Job: sched.JobID(p.JobID), Slot: c.slotOf(sched.JobID(p.JobID)),
+				Epoch: p.Epoch, Reply: reply,
+			}
+			go c.forwardDecision(p.JobID, reply)
+		case wire.MsgSnapshot:
+			var p wire.SnapshotPayload
+			if msg.Decode(&p) != nil {
+				continue
+			}
+			c.events <- Event{
+				Kind: EvSnapshot, Job: sched.JobID(p.JobID), Slot: c.slotOf(sched.JobID(p.JobID)),
+				Epoch: p.Epoch, Snapshot: p.State, SnapSize: len(p.State),
+			}
+		case wire.MsgJobExited:
+			var p wire.JobExitedPayload
+			if msg.Decode(&p) != nil {
+				continue
+			}
+			job := sched.JobID(p.JobID)
+			slot := c.releaseSlot(job)
+			var reason ExitReason
+			switch p.Reason {
+			case "completed":
+				reason = ExitCompleted
+			case "suspended":
+				reason = ExitSuspended
+			case "error":
+				reason = ExitError
+			default:
+				reason = ExitTerminated
+			}
+			ev := Event{Kind: EvExited, Job: job, Slot: slot, Epoch: p.Epoch, Reason: reason}
+			if p.Error != "" {
+				ev.Err = fmt.Errorf("agent %s: %s", c.agentID, p.Error)
+			}
+			c.events <- ev
+		case wire.MsgError:
+			var p wire.ErrorPayload
+			if msg.Decode(&p) != nil {
+				continue
+			}
+			if p.JobID != "" {
+				job := sched.JobID(p.JobID)
+				slot := c.releaseSlot(job)
+				c.events <- Event{
+					Kind: EvExited, Job: job, Slot: slot, Reason: ExitError,
+					Err: fmt.Errorf("agent %s: %s", c.agentID, p.Message),
+				}
+			}
+		case wire.MsgPong:
+			// Health response; nothing to do.
+		}
+	}
+}
+
+// forwardDecision relays one OnIterationFinish verdict to the agent.
+func (c *AgentClient) forwardDecision(jobID string, reply <-chan sched.Decision) {
+	d, ok := <-reply
+	if !ok {
+		return
+	}
+	var s string
+	switch d {
+	case sched.Suspend:
+		s = "suspend"
+	case sched.Terminate:
+		s = "terminate"
+	default:
+		s = "continue"
+	}
+	if err := c.conn.SendTyped(wire.MsgDecision, wire.DecisionPayload{JobID: jobID, Decision: s}); err != nil {
+		// Connection failure surfaces through readLoop.
+		return
+	}
+}
+
+// failAll reports every outstanding job as errored when the agent
+// connection drops — the failure-injection path the scheduler handles
+// by terminating the affected jobs and reallocating their slots.
+func (c *AgentClient) failAll(cause error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	jobs := make(map[sched.JobID]SlotID, len(c.jobSlots))
+	for j, s := range c.jobSlots {
+		jobs[j] = s
+	}
+	c.jobSlots = make(map[sched.JobID]SlotID)
+	c.mu.Unlock()
+	for job, slot := range jobs {
+		c.events <- Event{
+			Kind: EvExited, Job: job, Slot: slot, Reason: ExitError,
+			Err: fmt.Errorf("agent %s connection lost: %v", c.agentID, cause),
+		}
+	}
+}
+
+var _ Executor = (*AgentClient)(nil)
+
+// MultiExecutor fans an experiment out across several agents, exposing
+// the union of their slots — the multi-machine deployments of §6
+// (4-machine GPU cluster; 15 AWS instances).
+type MultiExecutor struct {
+	execs  []Executor
+	bySlot map[SlotID]Executor
+}
+
+// NewMultiExecutor combines executors; slot IDs must be disjoint.
+func NewMultiExecutor(execs ...Executor) (*MultiExecutor, error) {
+	if len(execs) == 0 {
+		return nil, fmt.Errorf("cluster: no executors")
+	}
+	m := &MultiExecutor{execs: execs, bySlot: make(map[SlotID]Executor)}
+	for _, ex := range execs {
+		for _, s := range ex.Slots() {
+			if _, dup := m.bySlot[s]; dup {
+				return nil, fmt.Errorf("cluster: duplicate slot %s across executors", s)
+			}
+			m.bySlot[s] = ex
+		}
+	}
+	return m, nil
+}
+
+// Slots implements Executor.
+func (m *MultiExecutor) Slots() []SlotID {
+	var out []SlotID
+	for _, ex := range m.execs {
+		out = append(out, ex.Slots()...)
+	}
+	return out
+}
+
+// Start implements Executor.
+func (m *MultiExecutor) Start(spec StartSpec) error {
+	ex, ok := m.bySlot[spec.Slot]
+	if !ok {
+		return fmt.Errorf("cluster: unknown slot %s", spec.Slot)
+	}
+	return ex.Start(spec)
+}
+
+// Close implements Executor.
+func (m *MultiExecutor) Close() error {
+	var first error
+	for _, ex := range m.execs {
+		if err := ex.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+var _ Executor = (*MultiExecutor)(nil)

@@ -1,0 +1,313 @@
+// Package core implements the mathematical heart of the POP scheduling
+// algorithm (paper §3): expected-remaining-time estimation from a
+// learning-curve posterior (§3.1.1), prediction confidence, the
+// Promising/Opportunistic/Poor classification, and the infused
+// desired/deserved slot-allocation rule that dynamically splits cluster
+// slots between exploitation and exploration (§3.2).
+//
+// The package is deliberately independent of how probabilities are
+// produced: callers supply P(y(m) >= y_target | history) as a function
+// of the absolute epoch m, normally backed by internal/curve.
+package core
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Class is a configuration's POP classification.
+type Class int
+
+// POP classes.
+const (
+	Promising Class = iota + 1
+	Opportunistic
+	Poor
+)
+
+// String returns the lowercase class name.
+func (c Class) String() string {
+	switch c {
+	case Promising:
+		return "promising"
+	case Opportunistic:
+		return "opportunistic"
+	case Poor:
+		return "poor"
+	default:
+		return "unknown"
+	}
+}
+
+// ProbFunc returns P(y(m) >= y_target | observed history) for an
+// absolute epoch m (1-based). Implementations should be monotone
+// non-decreasing in m for learning curves; Estimate clamps violations.
+type ProbFunc func(m int) float64
+
+// Estimate is the per-configuration output of §3.1: expected remaining
+// epochs and time to reach the target, plus the prediction confidence
+// p = sum of the arrival-time pmf within the remaining budget.
+type Estimate struct {
+	JobID string
+	// Confidence is the probability the configuration reaches the
+	// target within the remaining experiment time (the pmf sum).
+	Confidence float64
+	// ExpectedRemainingEpochs is x_i = sum m * p_m.
+	ExpectedRemainingEpochs float64
+	// ERT is the expected remaining training time (Eq. 3), truncated
+	// at the remaining experiment budget.
+	ERT time.Duration
+	// Truncated reports whether the pmf summation was cut off because
+	// the partial ERT exceeded the remaining budget (the paper's
+	// "stop summing further" rule); truncated estimates do not count
+	// as satisfying.
+	Truncated bool
+	// EpochDuration is the measured average epoch duration used for
+	// the epochs -> time conversion.
+	EpochDuration time.Duration
+}
+
+// Satisfying reports whether the configuration is expected to reach
+// the target within the remaining budget: N_satisfying(p) counts
+// estimates with Satisfying() and Confidence >= p.
+func (e Estimate) Satisfying() bool { return !e.Truncated && e.Confidence > 0 }
+
+// EstimateERT computes the §3.1.1 estimate for one configuration.
+//
+//   - prob: the learning-curve posterior P(y(m) >= y_target) by
+//     absolute epoch.
+//   - curEpoch: epochs completed so far.
+//   - maxEpoch: the job's epoch budget (prediction horizon).
+//   - epochDur: measured average epoch duration (must be positive).
+//   - remaining: Tmax - Tpass, the experiment time still available.
+//
+// The pmf over the arrival epoch is p_m = P(cur+m) - P(cur+m-1),
+// clamped at zero (posterior noise can produce tiny decreases). The
+// summation stops early once the accumulated expected time exceeds the
+// remaining budget, in which case ERT = remaining and the estimate is
+// marked truncated.
+func EstimateERT(jobID string, prob ProbFunc, curEpoch, maxEpoch int, epochDur, remaining time.Duration) Estimate {
+	est := Estimate{JobID: jobID, EpochDuration: epochDur}
+	if epochDur <= 0 || remaining <= 0 || curEpoch >= maxEpoch {
+		est.ERT = remaining
+		est.Truncated = true
+		return est
+	}
+	// M_i = (Tmax - Tpass) / Epoch_i, additionally capped by the
+	// job's own epoch budget.
+	m := int(float64(remaining) / float64(epochDur))
+	if rem := maxEpoch - curEpoch; m > rem {
+		m = rem
+	}
+	if m < 1 {
+		est.ERT = remaining
+		est.Truncated = true
+		return est
+	}
+
+	prev := prob(curEpoch)
+	var conf, expEpochs float64
+	for k := 1; k <= m; k++ {
+		cur := prob(curEpoch + k)
+		pk := cur - prev
+		if pk < 0 {
+			pk = 0
+		} else {
+			prev = cur
+		}
+		conf += pk
+		expEpochs += float64(k) * pk
+		if time.Duration(expEpochs*float64(epochDur)) > remaining {
+			est.Confidence = clampProb(conf)
+			est.ExpectedRemainingEpochs = expEpochs
+			est.ERT = remaining
+			est.Truncated = true
+			return est
+		}
+	}
+	est.Confidence = clampProb(conf)
+	est.ExpectedRemainingEpochs = expEpochs
+	if conf <= 1e-12 {
+		// No mass within the horizon: the expected time is beyond the
+		// budget by definition.
+		est.ERT = remaining
+		est.Truncated = true
+		return est
+	}
+	est.ERT = time.Duration(expEpochs * float64(epochDur))
+	if est.ERT > remaining {
+		est.ERT = remaining
+		est.Truncated = true
+	}
+	return est
+}
+
+// Allocation is the outcome of the §3.2 infused classification &
+// scheduling rule.
+type Allocation struct {
+	// Threshold is the dynamically chosen confidence threshold
+	// p_thred: configurations with Confidence >= Threshold are
+	// promising.
+	Threshold float64
+	// PromisingSlots is S_promising = max_p min(S_desired, S_deserved).
+	PromisingSlots int
+	// Promising lists promising estimates, highest confidence first
+	// (the priority order used to label jobs).
+	Promising []Estimate
+	// Opportunistic lists the rest, FIFO by input order.
+	Opportunistic []Estimate
+}
+
+// AllocateSlots runs the desired/deserved optimization over all active
+// configurations. totalSlots is S (machines/GPUs); slotsPerJob is k,
+// the dedicated slots each promising configuration receives (1 for
+// sequential training).
+//
+// Candidate thresholds are the distinct observed confidences (the
+// "tail distribution across all currently active jobs' p values" of
+// §5.3). When every confidence is zero the allocation is fully
+// opportunistic, matching the early-experiment behaviour of Figure 4a.
+func AllocateSlots(ests []Estimate, totalSlots, slotsPerJob int) Allocation {
+	if slotsPerJob < 1 {
+		slotsPerJob = 1
+	}
+	alloc := Allocation{}
+	if totalSlots <= 0 || len(ests) == 0 {
+		alloc.Opportunistic = append(alloc.Opportunistic, ests...)
+		return alloc
+	}
+
+	// Distinct candidate confidence levels, descending.
+	cands := make([]float64, 0, len(ests))
+	for _, e := range ests {
+		if e.Confidence > 0 {
+			cands = append(cands, e.Confidence)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(cands)))
+
+	bestEff := 0.0
+	bestP := 0.0
+	for _, p := range cands {
+		desired := float64(nSatisfying(ests, p) * slotsPerJob)
+		deserved := float64(totalSlots) * p
+		eff := math.Min(desired, deserved)
+		// Prefer higher thresholds on ties: equally effective slots
+		// concentrated on higher-confidence jobs.
+		if eff > bestEff+1e-12 {
+			bestEff = eff
+			bestP = p
+		}
+	}
+	alloc.Threshold = bestP
+	alloc.PromisingSlots = int(bestEff + 1e-9)
+	if alloc.PromisingSlots > totalSlots {
+		alloc.PromisingSlots = totalSlots
+	}
+
+	if alloc.PromisingSlots == 0 {
+		alloc.Opportunistic = append(alloc.Opportunistic, ests...)
+		return alloc
+	}
+	for _, e := range ests {
+		if e.Confidence >= alloc.Threshold && e.Satisfying() {
+			alloc.Promising = append(alloc.Promising, e)
+		} else {
+			alloc.Opportunistic = append(alloc.Opportunistic, e)
+		}
+	}
+	sort.SliceStable(alloc.Promising, func(i, j int) bool {
+		if alloc.Promising[i].Confidence != alloc.Promising[j].Confidence {
+			return alloc.Promising[i].Confidence > alloc.Promising[j].Confidence
+		}
+		return alloc.Promising[i].ERT < alloc.Promising[j].ERT
+	})
+	return alloc
+}
+
+// nSatisfying counts configurations expected to reach the target
+// within the remaining time with confidence at least p.
+func nSatisfying(ests []Estimate, p float64) int {
+	n := 0
+	for _, e := range ests {
+		if e.Satisfying() && e.Confidence >= p {
+			n++
+		}
+	}
+	return n
+}
+
+// CurvePoint is one point of the Figure 4a/4b desired/deserved curves.
+type CurvePoint struct {
+	P        float64
+	Desired  float64
+	Deserved float64
+}
+
+// DesiredDeservedCurve evaluates S_desired(p) and S_deserved(p) on a
+// uniform grid over [0, 1]; used to regenerate Figures 4a and 4b.
+func DesiredDeservedCurve(ests []Estimate, totalSlots, slotsPerJob, points int) []CurvePoint {
+	if points < 2 {
+		points = 2
+	}
+	if slotsPerJob < 1 {
+		slotsPerJob = 1
+	}
+	out := make([]CurvePoint, points)
+	for i := 0; i < points; i++ {
+		p := float64(i) / float64(points-1)
+		out[i] = CurvePoint{
+			P:        p,
+			Desired:  float64(nSatisfying(ests, p) * slotsPerJob),
+			Deserved: float64(totalSlots) * p,
+		}
+	}
+	return out
+}
+
+// KillDecision captures the two §5.3 pruning rules applied before any
+// prediction work.
+type KillDecision struct {
+	Kill   bool
+	Reason string
+}
+
+// ShouldKill applies domain-knowledge pruning: after graceEpochs, a
+// job whose best metric so far has not cleared killThreshold is not
+// learning and is terminated (15% for CIFAR-10, -100 for LunarLander).
+func ShouldKill(history []float64, killThreshold float64, graceEpochs int) KillDecision {
+	if len(history) < graceEpochs {
+		return KillDecision{}
+	}
+	best := math.Inf(-1)
+	for _, v := range history {
+		if v > best {
+			best = v
+		}
+	}
+	if best <= killThreshold {
+		return KillDecision{Kill: true, Reason: "below kill threshold"}
+	}
+	return KillDecision{}
+}
+
+// ConfidenceFloor is the §5.3 lower bound: jobs whose confidence of
+// reaching the target drops below it are terminated.
+const ConfidenceFloor = 0.05
+
+// BelowConfidenceFloor reports whether an estimate should be pruned as
+// unlikely to achieve the target.
+func BelowConfidenceFloor(e Estimate) bool {
+	return e.Confidence < ConfidenceFloor
+}
+
+func clampProb(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}

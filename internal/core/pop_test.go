@@ -1,0 +1,412 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// stepProb builds a ProbFunc that is 0 before epoch e0 and rises
+// linearly to pmax at epoch e1.
+func rampProb(e0, e1 int, pmax float64) ProbFunc {
+	return func(m int) float64 {
+		switch {
+		case m <= e0:
+			return 0
+		case m >= e1:
+			return pmax
+		default:
+			return pmax * float64(m-e0) / float64(e1-e0)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Promising.String() != "promising" || Opportunistic.String() != "opportunistic" ||
+		Poor.String() != "poor" || Class(0).String() != "unknown" {
+		t.Fatal("bad Class strings")
+	}
+}
+
+func TestEstimateERTBasic(t *testing.T) {
+	// Certain arrival exactly 10 epochs from now.
+	prob := func(m int) float64 {
+		if m >= 30 {
+			return 1
+		}
+		return 0
+	}
+	est := EstimateERT("j", prob, 20, 120, time.Minute, 10*time.Hour)
+	if !almost(est.Confidence, 1, 1e-9) {
+		t.Fatalf("confidence = %v, want 1", est.Confidence)
+	}
+	if !almost(est.ExpectedRemainingEpochs, 10, 1e-9) {
+		t.Fatalf("expected epochs = %v, want 10", est.ExpectedRemainingEpochs)
+	}
+	if est.ERT != 10*time.Minute {
+		t.Fatalf("ERT = %v, want 10m", est.ERT)
+	}
+	if est.Truncated || !est.Satisfying() {
+		t.Fatal("certain 10-minute arrival should be satisfying")
+	}
+}
+
+func TestEstimateERTUniformPMF(t *testing.T) {
+	// P rises linearly 0 -> 1 over epochs 0..100: uniform pmf, so the
+	// expected arrival is ~50 epochs out.
+	est := EstimateERT("j", rampProb(0, 100, 1), 0, 120, time.Minute, 10*time.Hour)
+	if est.Confidence < 0.99 {
+		t.Fatalf("confidence = %v, want ~1", est.Confidence)
+	}
+	if est.ExpectedRemainingEpochs < 45 || est.ExpectedRemainingEpochs > 55 {
+		t.Fatalf("expected epochs = %v, want ~50", est.ExpectedRemainingEpochs)
+	}
+}
+
+func TestEstimateERTBudgetCapsPMFSum(t *testing.T) {
+	// With only 20 epochs of budget on a curve whose arrival is
+	// uniform over 100 epochs, the pmf is summed to M = 20 only, so
+	// the confidence is the partial mass ~0.2 (the paper's "may not
+	// sum up to 100%" case) and the ERT stays within the budget.
+	remaining := 20 * time.Minute
+	est := EstimateERT("j", rampProb(0, 100, 1), 0, 120, time.Minute, remaining)
+	if est.Confidence < 0.15 || est.Confidence > 0.25 {
+		t.Fatalf("confidence = %v, want ~0.2 partial mass", est.Confidence)
+	}
+	if est.ERT > remaining {
+		t.Fatalf("ERT = %v exceeds remaining budget %v", est.ERT, remaining)
+	}
+}
+
+func TestEstimateERTLateMassStaysWithinBudget(t *testing.T) {
+	// All arrival mass sits at the very end of the summable horizon:
+	// because M = (Tmax - Tpass) / Epoch_i caps the summation, the
+	// expected remaining time can never exceed the budget (the
+	// paper's "stop summing further" rule is the degenerate-input
+	// safety net, exercised in TestEstimateERTDegenerateInputs).
+	prob := func(m int) float64 {
+		if m >= 20 {
+			return 1
+		}
+		if m >= 18 {
+			return 0.9
+		}
+		return 0
+	}
+	remaining := 20 * time.Minute
+	est := EstimateERT("j", prob, 0, 120, time.Minute, remaining)
+	if est.ERT > remaining {
+		t.Fatalf("ERT = %v exceeds the remaining budget %v", est.ERT, remaining)
+	}
+	if est.Confidence < 0.95 {
+		t.Fatalf("confidence = %v, want ~1 (all mass within horizon)", est.Confidence)
+	}
+	if !est.Satisfying() {
+		t.Fatal("late but in-budget arrival should satisfy")
+	}
+}
+
+func TestEstimateERTZeroMass(t *testing.T) {
+	est := EstimateERT("j", func(int) float64 { return 0 }, 10, 120, time.Minute, time.Hour)
+	if est.Confidence != 0 || !est.Truncated || est.ERT != time.Hour {
+		t.Fatalf("zero-mass estimate = %+v", est)
+	}
+}
+
+func TestEstimateERTDegenerateInputs(t *testing.T) {
+	prob := rampProb(0, 10, 1)
+	if est := EstimateERT("j", prob, 120, 120, time.Minute, time.Hour); !est.Truncated {
+		t.Fatal("job at max epoch should be truncated")
+	}
+	if est := EstimateERT("j", prob, 0, 120, 0, time.Hour); !est.Truncated {
+		t.Fatal("zero epoch duration should be truncated")
+	}
+	if est := EstimateERT("j", prob, 0, 120, time.Minute, 0); !est.Truncated {
+		t.Fatal("zero remaining budget should be truncated")
+	}
+	if est := EstimateERT("j", prob, 0, 120, time.Hour, time.Minute); !est.Truncated {
+		t.Fatal("budget shorter than one epoch should be truncated")
+	}
+}
+
+func TestEstimateERTClampsDecreasingPosterior(t *testing.T) {
+	// A noisy posterior that dips must not produce negative pmf mass.
+	prob := func(m int) float64 {
+		base := math.Min(float64(m)/50, 0.9)
+		if m%7 == 0 {
+			base -= 0.1
+		}
+		return math.Max(base, 0)
+	}
+	est := EstimateERT("j", prob, 0, 120, time.Minute, 5*time.Hour)
+	if est.Confidence < 0 || est.Confidence > 1 {
+		t.Fatalf("confidence %v out of [0,1]", est.Confidence)
+	}
+	if est.ExpectedRemainingEpochs < 0 {
+		t.Fatalf("negative expected epochs %v", est.ExpectedRemainingEpochs)
+	}
+}
+
+// TestEstimateERTProperties checks the §3.1.1 invariants over random
+// monotone posteriors: confidence in [0, 1], ERT <= remaining budget.
+func TestEstimateERTProperties(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Random monotone posterior via cumulative uniform steps.
+		steps := make([]float64, 150)
+		var total float64
+		for i := range steps {
+			steps[i] = rng.Float64()
+			total += steps[i]
+		}
+		scale := rng.Float64() / math.Max(total, 1e-9)
+		cum := make([]float64, len(steps)+1)
+		for i, s := range steps {
+			cum[i+1] = cum[i] + s*scale
+		}
+		prob := func(m int) float64 {
+			if m < 0 {
+				return 0
+			}
+			if m >= len(cum) {
+				return cum[len(cum)-1]
+			}
+			return cum[m]
+		}
+		curEpoch := rng.Intn(100)
+		epochDur := time.Duration(1+rng.Intn(120)) * time.Second
+		remaining := time.Duration(1+rng.Intn(600)) * time.Minute
+		est := EstimateERT("j", prob, curEpoch, 120, epochDur, remaining)
+		if est.Confidence < 0 || est.Confidence > 1 {
+			return false
+		}
+		if est.ERT > remaining {
+			return false
+		}
+		if est.ExpectedRemainingEpochs < 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mkEst(id string, conf float64, ert time.Duration, truncated bool) Estimate {
+	return Estimate{JobID: id, Confidence: conf, ERT: ert, Truncated: truncated}
+}
+
+func TestAllocateSlotsEmptyAndZero(t *testing.T) {
+	a := AllocateSlots(nil, 4, 1)
+	if a.PromisingSlots != 0 || len(a.Promising) != 0 {
+		t.Fatalf("empty allocation = %+v", a)
+	}
+	ests := []Estimate{mkEst("a", 0.9, time.Hour, false)}
+	a = AllocateSlots(ests, 0, 1)
+	if a.PromisingSlots != 0 || len(a.Opportunistic) != 1 {
+		t.Fatalf("zero-slot allocation = %+v", a)
+	}
+}
+
+func TestAllocateSlotsAllLowConfidence(t *testing.T) {
+	// Early experiment: confidences near zero => everything
+	// opportunistic (Figure 4a).
+	ests := []Estimate{
+		mkEst("a", 0.02, time.Hour, false),
+		mkEst("b", 0.03, time.Hour, false),
+		mkEst("c", 0, time.Hour, true),
+	}
+	a := AllocateSlots(ests, 8, 1)
+	if a.PromisingSlots != 0 {
+		t.Fatalf("promising slots = %d, want 0 at low confidence", a.PromisingSlots)
+	}
+	if len(a.Opportunistic) != 3 {
+		t.Fatalf("opportunistic = %d, want all 3", len(a.Opportunistic))
+	}
+}
+
+func TestAllocateSlotsHighConfidence(t *testing.T) {
+	// Late experiment: a few confident winners get dedicated slots
+	// (Figure 4b).
+	ests := []Estimate{
+		mkEst("a", 0.95, 30*time.Minute, false),
+		mkEst("b", 0.90, 40*time.Minute, false),
+		mkEst("c", 0.10, time.Hour, false),
+		mkEst("d", 0, time.Hour, true),
+	}
+	a := AllocateSlots(ests, 4, 1)
+	if a.PromisingSlots < 1 || a.PromisingSlots > 4 {
+		t.Fatalf("promising slots = %d", a.PromisingSlots)
+	}
+	if len(a.Promising) == 0 {
+		t.Fatal("no promising jobs at high confidence")
+	}
+	if a.Promising[0].JobID != "a" {
+		t.Fatalf("priority order wrong: first = %s, want a", a.Promising[0].JobID)
+	}
+	if a.Threshold < 0.5 {
+		t.Fatalf("threshold = %v, want high", a.Threshold)
+	}
+}
+
+func TestAllocateSlotsDeservedBound(t *testing.T) {
+	// Many confident jobs but few slots: deserved = S*p caps the pool.
+	var ests []Estimate
+	for i := 0; i < 20; i++ {
+		ests = append(ests, mkEst(string(rune('a'+i)), 0.5, time.Hour, false))
+	}
+	a := AllocateSlots(ests, 4, 1)
+	// Deserved at p=0.5 is 2; desired is 20. Effective = 2.
+	if a.PromisingSlots != 2 {
+		t.Fatalf("promising slots = %d, want 2 (S*p = 4*0.5)", a.PromisingSlots)
+	}
+}
+
+func TestAllocateSlotsDesiredBound(t *testing.T) {
+	// One very confident job on a big cluster: desired = k caps it.
+	ests := []Estimate{
+		mkEst("a", 0.99, time.Minute, false),
+		mkEst("b", 0.01, time.Hour, false),
+	}
+	a := AllocateSlots(ests, 16, 1)
+	if a.PromisingSlots != 1 {
+		t.Fatalf("promising slots = %d, want 1 (desired bound)", a.PromisingSlots)
+	}
+	if len(a.Promising) != 1 || a.Promising[0].JobID != "a" {
+		t.Fatalf("promising set = %+v", a.Promising)
+	}
+}
+
+func TestAllocateSlotsPerJobSlots(t *testing.T) {
+	ests := []Estimate{
+		mkEst("a", 0.9, time.Minute, false),
+		mkEst("b", 0.8, time.Minute, false),
+	}
+	a := AllocateSlots(ests, 16, 4) // k = 4 slots per promising job
+	if a.PromisingSlots != 8 {
+		t.Fatalf("promising slots = %d, want 8 (2 jobs x k=4, deserved 16*0.8=12.8)", a.PromisingSlots)
+	}
+}
+
+func TestAllocateSlotsTruncatedNeverPromising(t *testing.T) {
+	ests := []Estimate{
+		mkEst("a", 0.9, time.Hour, true), // truncated: not satisfying
+		mkEst("b", 0.8, time.Minute, false),
+	}
+	a := AllocateSlots(ests, 8, 1)
+	for _, e := range a.Promising {
+		if e.JobID == "a" {
+			t.Fatal("truncated estimate classified promising")
+		}
+	}
+}
+
+// TestDesiredDeservedMonotone checks the §3.2 observation: S_desired
+// is monotone non-increasing in p and S_deserved is monotone
+// increasing.
+func TestDesiredDeservedMonotone(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(30)
+		ests := make([]Estimate, n)
+		for i := range ests {
+			ests[i] = mkEst(string(rune('a'+i%26)), rng.Float64(), time.Duration(rng.Intn(3600))*time.Second, rng.Intn(4) == 0)
+		}
+		curve := DesiredDeservedCurve(ests, 1+rng.Intn(32), 1, 50)
+		for i := 1; i < len(curve); i++ {
+			if curve[i].Desired > curve[i-1].Desired+1e-9 {
+				return false
+			}
+			if curve[i].Deserved < curve[i-1].Deserved-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDesiredDeservedCurveEndpoints(t *testing.T) {
+	ests := []Estimate{mkEst("a", 0.6, time.Minute, false)}
+	curve := DesiredDeservedCurve(ests, 10, 1, 11)
+	if curve[0].P != 0 || curve[len(curve)-1].P != 1 {
+		t.Fatalf("grid endpoints wrong: %v .. %v", curve[0].P, curve[len(curve)-1].P)
+	}
+	if curve[0].Deserved != 0 || curve[len(curve)-1].Deserved != 10 {
+		t.Fatalf("deserved endpoints = %v, %v", curve[0].Deserved, curve[len(curve)-1].Deserved)
+	}
+}
+
+// TestAllocationMaximizesEffective cross-checks the argmax against a
+// brute-force sweep of the candidate thresholds.
+func TestAllocationMaximizesEffective(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		ests := make([]Estimate, n)
+		for i := range ests {
+			ests[i] = mkEst(string(rune('a'+i%26)), float64(rng.Intn(100))/100, time.Minute, rng.Intn(5) == 0)
+		}
+		slots := 1 + rng.Intn(16)
+		a := AllocateSlots(ests, slots, 1)
+		best := 0.0
+		for _, e := range ests {
+			p := e.Confidence
+			if p <= 0 {
+				continue
+			}
+			eff := math.Min(float64(nSatisfying(ests, p)), float64(slots)*p)
+			if eff > best {
+				best = eff
+			}
+		}
+		return a.PromisingSlots == int(math.Min(best+1e-9, float64(slots)))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShouldKill(t *testing.T) {
+	// Not enough history yet: grace period.
+	if d := ShouldKill([]float64{0.1, 0.1}, 0.15, 5); d.Kill {
+		t.Fatal("killed during grace period")
+	}
+	// Stuck at random accuracy past the grace period.
+	hist := []float64{0.10, 0.11, 0.09, 0.12, 0.10, 0.11}
+	if d := ShouldKill(hist, 0.15, 5); !d.Kill {
+		t.Fatal("non-learner not killed")
+	}
+	// Escaped the threshold at least once: keep.
+	hist = append(hist, 0.2)
+	if d := ShouldKill(hist, 0.15, 5); d.Kill {
+		t.Fatal("learning job killed")
+	}
+}
+
+func TestShouldKillRL(t *testing.T) {
+	hist := []float64{-180, -150, -130, -160, -140}
+	if d := ShouldKill(hist, -100, 3); !d.Kill {
+		t.Fatal("RL non-learner not killed at -100 threshold")
+	}
+	hist = []float64{-180, -90, -60}
+	if d := ShouldKill(hist, -100, 3); d.Kill {
+		t.Fatal("learning RL job killed")
+	}
+}
+
+func TestBelowConfidenceFloor(t *testing.T) {
+	if !BelowConfidenceFloor(mkEst("a", 0.01, time.Minute, false)) {
+		t.Fatal("0.01 should be below the 0.05 floor")
+	}
+	if BelowConfidenceFloor(mkEst("a", 0.5, time.Minute, false)) {
+		t.Fatal("0.5 should clear the floor")
+	}
+}
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }

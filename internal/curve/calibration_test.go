@@ -1,0 +1,78 @@
+package curve_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/hyperdrive-ml/hyperdrive/internal/curve"
+	"github.com/hyperdrive-ml/hyperdrive/internal/workload"
+)
+
+// TestPredictionDiscriminates runs the full prediction stack against
+// the synthetic workload population: fit each learnable configuration's
+// 30-epoch prefix and ask for P(y(120) >= 0.6). The probabilities must
+// discriminate — configurations that actually reach 0.6 should receive
+// systematically higher probabilities than those that do not. This is
+// the property POP's classification quality rests on (§2.2).
+func TestPredictionDiscriminates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("many MCMC fits")
+	}
+	spec := workload.CIFAR10()
+	rng := rand.New(rand.NewSource(41))
+	pred := curve.MustPredictor(curve.FastConfig())
+
+	const target = 0.60
+	var probReach, probMiss []float64
+	i := 0
+	for len(probReach) < 12 || len(probMiss) < 12 {
+		if i > 400 {
+			break
+		}
+		cfg := spec.Space().Sample(rng)
+		prof := workload.NewCIFAR10Profile(spec.Space(), cfg, int64(i))
+		i++
+		if !prof.Learnable {
+			continue
+		}
+		var obs []float64
+		for e := 1; e <= 30; e++ {
+			obs = append(obs, prof.AccuracyAt(e))
+		}
+		post, err := pred.Fit(obs, spec.MaxEpoch(), int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := post.ProbAtLeast(spec.MaxEpoch(), target)
+		reaches := false
+		for e := 31; e <= spec.MaxEpoch(); e++ {
+			if prof.AccuracyAt(e) >= target {
+				reaches = true
+				break
+			}
+		}
+		if reaches {
+			probReach = append(probReach, p)
+		} else {
+			probMiss = append(probMiss, p)
+		}
+	}
+	if len(probReach) < 8 || len(probMiss) < 8 {
+		t.Fatalf("population too lopsided: %d reach, %d miss", len(probReach), len(probMiss))
+	}
+	meanReach := mean(probReach)
+	meanMiss := mean(probMiss)
+	t.Logf("mean P(reach %.2f): reachers %.3f (n=%d) vs missers %.3f (n=%d)",
+		target, meanReach, len(probReach), meanMiss, len(probMiss))
+	if meanReach <= meanMiss+0.15 {
+		t.Fatalf("prediction does not discriminate: %.3f vs %.3f", meanReach, meanMiss)
+	}
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

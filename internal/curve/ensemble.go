@@ -1,0 +1,262 @@
+package curve
+
+import (
+	"math"
+)
+
+// ensemble is the combined model y(x) = sum_k w_k f_k(x; theta_k) + eps,
+// eps ~ N(0, sigma^2), over a fixed set of parametric families. The
+// flat parameter vector is laid out as
+//
+//	[w_1 .. w_K, theta_1..., theta_2..., ..., logSigma]
+//
+// matching Domhan et al.'s joint model over weights, curve parameters,
+// and noise.
+type ensemble struct {
+	models  []Model
+	offsets []int // start of each model's theta within the flat vector
+	dim     int   // total parameter count
+	xlim    float64
+}
+
+func newEnsemble(models []Model, xlim int) *ensemble {
+	e := &ensemble{models: models, xlim: float64(xlim)}
+	e.offsets = make([]int, len(models))
+	off := len(models) // weights first
+	for i, m := range models {
+		e.offsets[i] = off
+		off += m.NumParams()
+	}
+	e.dim = off + 1 // + logSigma
+	return e
+}
+
+// sigma extracts the noise standard deviation.
+func (e *ensemble) sigma(th []float64) float64 { return math.Exp(th[e.dim-1]) }
+
+// eval computes the combined mean curve at x.
+func (e *ensemble) eval(x float64, th []float64) float64 {
+	var y float64
+	for i, m := range e.models {
+		w := th[i]
+		if w == 0 {
+			continue
+		}
+		v := m.Eval(x, th[e.offsets[i]:e.offsets[i]+m.NumParams()])
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return math.NaN()
+		}
+		y += w * v
+	}
+	return y
+}
+
+// logPrior encodes the weak prior of Domhan et al.: non-negative
+// weights, bounded noise, and a combined curve that stays on the metric
+// scale and does not predict catastrophic collapse: y(1) within
+// [-0.05, 1.05], y(xlim) within [0, 1.05], and y(xlim) >= y(1) - 0.05
+// (learning curves trend upward on aggregate).
+func (e *ensemble) logPrior(th []float64) float64 {
+	var wsum float64
+	for i := range e.models {
+		w := th[i]
+		if w < 0 {
+			return math.Inf(-1)
+		}
+		wsum += w
+	}
+	if wsum < 0.5 || wsum > 2 {
+		return math.Inf(-1)
+	}
+	ls := th[e.dim-1]
+	if ls < math.Log(1e-4) || ls > math.Log(0.15) {
+		return math.Inf(-1)
+	}
+	y1 := e.eval(1, th)
+	yl := e.eval(e.xlim, th)
+	if math.IsNaN(y1) || math.IsNaN(yl) {
+		return math.Inf(-1)
+	}
+	if y1 < -0.05 || y1 > 1.05 || yl < 0 || yl > 1.05 {
+		return math.Inf(-1)
+	}
+	if yl < y1-0.05 {
+		return math.Inf(-1)
+	}
+	return 0
+}
+
+// logLikelihood is the Gaussian observation model over the observed
+// prefix (y[i] observed at x = i+1).
+func (e *ensemble) logLikelihood(y []float64, th []float64) float64 {
+	sigma := e.sigma(th)
+	inv2 := 1 / (2 * sigma * sigma)
+	logNorm := -0.5*math.Log(2*math.Pi) - math.Log(sigma)
+	var ll float64
+	for i, obs := range y {
+		pred := e.eval(float64(i+1), th)
+		if math.IsNaN(pred) {
+			return math.Inf(-1)
+		}
+		d := obs - pred
+		ll += logNorm - d*d*inv2
+	}
+	return ll
+}
+
+// logPosterior is prior + likelihood.
+func (e *ensemble) logPosterior(y []float64, th []float64) float64 {
+	lp := e.logPrior(th)
+	if math.IsInf(lp, -1) {
+		return lp
+	}
+	return lp + e.logLikelihood(y, th)
+}
+
+// initVector builds a starting parameter vector from the per-model
+// heuristics targeting the given asymptote hypothesis: heuristic
+// thetas per family, family weights fitted to the observations by
+// non-negative least squares (the cheap stand-in for Domhan et al.'s
+// per-model maximum-likelihood initialization), and the residual scale
+// as noise. Samplers call it with a spread of asymptotes so the
+// initial walker ensemble covers the genuinely unconstrained "where
+// does this curve top out" direction.
+func (e *ensemble) initVector(y []float64, asym float64) []float64 {
+	th := make([]float64, e.dim)
+	k := len(e.models)
+	for i, m := range e.models {
+		copy(th[e.offsets[i]:], m.Init(y, asym))
+	}
+
+	// Basis matrix: each family's init curve at the observed epochs.
+	basis := make([][]float64, k)
+	for i, m := range e.models {
+		col := make([]float64, len(y))
+		ok := true
+		for j := range y {
+			v := m.Eval(float64(j+1), th[e.offsets[i]:e.offsets[i]+m.NumParams()])
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				ok = false
+				break
+			}
+			col[j] = v
+		}
+		if !ok {
+			col = nil
+		}
+		basis[i] = col
+	}
+	w := nnls(basis, y, 1/float64(k))
+	copy(th, w)
+
+	// Keep the weight sum inside the prior's support.
+	var wsum float64
+	for _, v := range w {
+		wsum += v
+	}
+	if wsum < 0.5 || wsum > 2 {
+		scale := 1.0
+		if wsum > 0 {
+			scale = 1 / wsum
+		}
+		for i := 0; i < k; i++ {
+			th[i] = math.Max(w[i]*scale, 0)
+		}
+	}
+
+	// Residual noise scale from the fitted combination.
+	var ss float64
+	for j, obs := range y {
+		d := obs - e.eval(float64(j+1), th)
+		ss += d * d
+	}
+	sigma := math.Sqrt(ss / float64(len(y)))
+	if sigma < 0.005 {
+		sigma = 0.005
+	}
+	if sigma > 0.14 {
+		sigma = 0.14
+	}
+	th[e.dim-1] = math.Log(sigma)
+	return th
+}
+
+// nnls solves min ||sum_k w_k basis_k - y||^2 subject to w >= 0 by
+// cyclic coordinate descent. Families whose basis is nil (invalid init)
+// get weight zero. def is the fallback weight when everything is
+// degenerate.
+func nnls(basis [][]float64, y []float64, def float64) []float64 {
+	k := len(basis)
+	w := make([]float64, k)
+	norms := make([]float64, k)
+	usable := false
+	for i, col := range basis {
+		if col == nil {
+			continue
+		}
+		var n float64
+		for _, v := range col {
+			n += v * v
+		}
+		norms[i] = n
+		if n > 1e-12 {
+			usable = true
+			w[i] = def
+		}
+	}
+	if !usable {
+		for i := range w {
+			w[i] = def
+		}
+		return w
+	}
+	resid := make([]float64, len(y))
+	for j := range y {
+		var pred float64
+		for i, col := range basis {
+			if col != nil {
+				pred += w[i] * col[j]
+			}
+		}
+		resid[j] = y[j] - pred
+	}
+	for pass := 0; pass < 60; pass++ {
+		for i, col := range basis {
+			if col == nil || norms[i] <= 1e-12 {
+				continue
+			}
+			var dot float64
+			for j, v := range col {
+				dot += v * resid[j]
+			}
+			next := w[i] + dot/norms[i]
+			if next < 0 {
+				next = 0
+			}
+			delta := next - w[i]
+			if delta == 0 {
+				continue
+			}
+			w[i] = next
+			for j, v := range col {
+				resid[j] -= delta * v
+			}
+		}
+	}
+	return w
+}
+
+// scales returns per-dimension jitter scales aligned with the flat
+// vector.
+func (e *ensemble) scales() []float64 {
+	s := make([]float64, e.dim)
+	k := len(e.models)
+	for i := 0; i < k; i++ {
+		s[i] = 0.5 / float64(k)
+	}
+	for i, m := range e.models {
+		copy(s[e.offsets[i]:], m.Scales())
+	}
+	s[e.dim-1] = 0.5
+	return s
+}

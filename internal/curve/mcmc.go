@@ -1,0 +1,63 @@
+package curve
+
+import (
+	"math"
+	"math/rand"
+)
+
+// sampler runs Goodman & Weare's affine-invariant ensemble MCMC
+// ("stretch move", the algorithm behind emcee, which the reference
+// pylearningcurvepredictor uses). Each walker is updated by stretching
+// toward a randomly chosen complementary walker:
+//
+//	Y = X_j + z (X_i - X_j),  z ~ g(z) ∝ 1/sqrt(z) on [1/a, a]
+//
+// accepted with probability min(1, z^(d-1) p(Y)/p(X_i)).
+type sampler struct {
+	logProb func([]float64) float64
+	dim     int
+	a       float64 // stretch parameter, conventionally 2
+	rng     *rand.Rand
+}
+
+// drawZ samples from g(z) ∝ 1/sqrt(z) on [1/a, a] via inverse CDF:
+// z = ((a-1)u + 1)^2 / a.
+func (s *sampler) drawZ() float64 {
+	u := s.rng.Float64()
+	v := (math.Sqrt(s.a)-1/math.Sqrt(s.a))*u + 1/math.Sqrt(s.a)
+	return v * v
+}
+
+// run advances an ensemble of walkers for iters steps, invoking keep
+// with every walker position after each step past burn. Positions
+// passed to keep must not be retained without copying; run reuses
+// buffers. It returns the number of accepted moves (for diagnostics).
+func (s *sampler) run(walkers [][]float64, logps []float64, iters, burn int, keep func(th []float64, logp float64)) int {
+	n := len(walkers)
+	accepted := 0
+	proposal := make([]float64, s.dim)
+	for it := 0; it < iters; it++ {
+		for i := 0; i < n; i++ {
+			j := s.rng.Intn(n - 1)
+			if j >= i {
+				j++
+			}
+			z := s.drawZ()
+			xi, xj := walkers[i], walkers[j]
+			for d := 0; d < s.dim; d++ {
+				proposal[d] = xj[d] + z*(xi[d]-xj[d])
+			}
+			lp := s.logProb(proposal)
+			logAccept := float64(s.dim-1)*math.Log(z) + lp - logps[i]
+			if lp > math.Inf(-1) && (logAccept >= 0 || math.Log(s.rng.Float64()+1e-300) < logAccept) {
+				copy(xi, proposal)
+				logps[i] = lp
+				accepted++
+			}
+			if it >= burn {
+				keep(xi, logps[i])
+			}
+		}
+	}
+	return accepted
+}

@@ -1,0 +1,339 @@
+package curve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// MinObservations is the shortest curve prefix the predictor accepts:
+// with fewer points the posterior is vacuous.
+const MinObservations = 4
+
+// ErrTooFewObservations is returned by Fit for over-short prefixes.
+var ErrTooFewObservations = errors.New("curve: need more observations to fit")
+
+// Config sets the MCMC budget.
+type Config struct {
+	// Walkers is the ensemble size (paper §5.2: 100).
+	Walkers int
+	// Iters is the number of ensemble iterations (paper §5.2: 700
+	// after their 2500 -> 700 reduction).
+	Iters int
+	// BurnFrac is the fraction of iterations discarded as burn-in.
+	BurnFrac float64
+	// MaxSamples caps the kept posterior samples (thinned uniformly);
+	// bounds downstream prediction cost.
+	MaxSamples int
+	// StretchA is the stretch-move parameter a (conventionally 2).
+	StretchA float64
+	// Seed makes the sampler deterministic.
+	Seed int64
+}
+
+// PaperConfig returns the configuration the paper runs in production:
+// 100 walkers x 700 iterations = 70,000 samples (§5.2).
+func PaperConfig() Config {
+	return Config{Walkers: 100, Iters: 700, BurnFrac: 0.5, MaxSamples: 2000, StretchA: 2, Seed: 1}
+}
+
+// OriginalConfig returns the unreduced configuration of the reference
+// implementation (100 x 2500), used by the MCMC-budget ablation.
+func OriginalConfig() Config {
+	c := PaperConfig()
+	c.Iters = 2500
+	return c
+}
+
+// FastConfig returns a reduced budget suitable for simulation sweeps
+// and unit tests, trading posterior resolution for speed the same way
+// §5.2 trades 2500 iterations for 700.
+func FastConfig() Config {
+	return Config{Walkers: 30, Iters: 120, BurnFrac: 0.5, MaxSamples: 600, StretchA: 2, Seed: 1}
+}
+
+func (c Config) validate() error {
+	if c.Walkers < 4 {
+		return fmt.Errorf("curve: need >= 4 walkers, got %d", c.Walkers)
+	}
+	if c.Iters < 2 {
+		return fmt.Errorf("curve: need >= 2 iterations, got %d", c.Iters)
+	}
+	if c.BurnFrac < 0 || c.BurnFrac >= 1 {
+		return fmt.Errorf("curve: burn fraction %v out of [0, 1)", c.BurnFrac)
+	}
+	if c.StretchA <= 1 {
+		return fmt.Errorf("curve: stretch parameter must exceed 1, got %v", c.StretchA)
+	}
+	return nil
+}
+
+// Predictor fits the ensemble learning-curve model to curve prefixes.
+// It is safe for concurrent use; each Fit runs an independent chain.
+type Predictor struct {
+	cfg    Config
+	models []Model
+}
+
+// NewPredictor builds a predictor over the standard eleven families.
+func NewPredictor(cfg Config) (*Predictor, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Predictor{cfg: cfg, models: Models()}, nil
+}
+
+// MustPredictor is NewPredictor for known-good configs.
+func MustPredictor(cfg Config) *Predictor {
+	p, err := NewPredictor(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// ModelNames lists the families in the ensemble.
+func (p *Predictor) ModelNames() string { return modelNames(p.models) }
+
+// Fit samples the posterior over curve parameters given the observed
+// prefix y (y[i] is the metric after epoch i+1, on a [0, 1] scale) and
+// the horizon xlim (the largest epoch predictions will be requested
+// for; typically the job's max epoch). The seed is mixed into the
+// sampler so per-job chains differ deterministically.
+func (p *Predictor) Fit(y []float64, xlim int, seed int64) (*Posterior, error) {
+	if len(y) < MinObservations {
+		return nil, fmt.Errorf("%w: have %d, need %d", ErrTooFewObservations, len(y), MinObservations)
+	}
+	if xlim <= len(y) {
+		xlim = len(y) + 1
+	}
+	for i, v := range y {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("curve: observation %d is not finite", i)
+		}
+	}
+
+	e := newEnsemble(p.models, xlim)
+	rng := rand.New(rand.NewSource(p.cfg.Seed ^ seed ^ int64(len(y))*0x9e37))
+
+	// Initialize each walker from its own asymptote hypothesis spread
+	// over [slightly-below-current, 1.02]: short prefixes genuinely do
+	// not constrain where the curve tops out, and the ensemble must
+	// represent that uncertainty for P(m, y) to be honest.
+	yn := y[len(y)-1]
+	defaultInit := e.initVector(y, DefaultAsym(y))
+	scales := e.scales()
+	walkers := make([][]float64, p.cfg.Walkers)
+	logps := make([]float64, p.cfg.Walkers)
+	for i := range walkers {
+		w := make([]float64, e.dim)
+		for attempt := 0; ; attempt++ {
+			lo := yn - 0.05
+			if lo < 0.02 {
+				lo = 0.02
+			}
+			asym := lo + rng.Float64()*(1.02-lo)
+			init := e.initVector(y, asym)
+			jitter := 0.05 + 0.10*float64(attempt%5)
+			for d := range w {
+				w[d] = init[d] + jitter*scales[d]*rng.NormFloat64()
+				// Weights must stay non-negative.
+				if d < len(p.models) && w[d] < 0 {
+					w[d] = -w[d]
+				}
+			}
+			lp := e.logPosterior(y, w)
+			if !math.IsInf(lp, -1) {
+				logps[i] = lp
+				break
+			}
+			if attempt > 200 {
+				// Fall back to the exact heuristic vector.
+				copy(w, defaultInit)
+				logps[i] = e.logPosterior(y, w)
+				break
+			}
+		}
+		walkers[i] = w
+	}
+
+	burn := int(float64(p.cfg.Iters) * p.cfg.BurnFrac)
+	total := (p.cfg.Iters - burn) * p.cfg.Walkers
+	stride := 1
+	if p.cfg.MaxSamples > 0 && total > p.cfg.MaxSamples {
+		stride = total / p.cfg.MaxSamples
+	}
+
+	post := &Posterior{ens: e, horizon: xlim}
+	count := 0
+	s := &sampler{logProb: func(th []float64) float64 { return e.logPosterior(y, th) }, dim: e.dim, a: p.cfg.StretchA, rng: rng}
+	accepted := s.run(walkers, logps, p.cfg.Iters, burn, func(th []float64, lp float64) {
+		if count%stride == 0 {
+			cp := make([]float64, len(th))
+			copy(cp, th)
+			post.samples = append(post.samples, cp)
+		}
+		count++
+	})
+	post.acceptRate = float64(accepted) / float64(p.cfg.Iters*p.cfg.Walkers)
+	if len(post.samples) == 0 {
+		return nil, errors.New("curve: sampler kept no samples")
+	}
+	return post, nil
+}
+
+// Posterior is a sampled posterior over learning curves.
+type Posterior struct {
+	ens        *ensemble
+	samples    [][]float64
+	horizon    int
+	acceptRate float64
+
+	mu    sync.Mutex
+	cache map[int][2]float64 // epoch -> (mean, std) of the mean curve
+}
+
+// NumSamples reports the kept posterior sample count.
+func (p *Posterior) NumSamples() int { return len(p.samples) }
+
+// AcceptRate reports the MCMC acceptance rate (diagnostic).
+func (p *Posterior) AcceptRate() float64 { return p.acceptRate }
+
+// Horizon returns the xlim the posterior was fitted for.
+func (p *Posterior) Horizon() int { return p.horizon }
+
+// ProbAtLeast returns P(y(m) >= y | observations): the posterior
+// probability that the metric is at least y at epoch m, marginalizing
+// over curves and observation noise.
+func (p *Posterior) ProbAtLeast(m int, y float64) float64 {
+	if m < 1 {
+		m = 1
+	}
+	x := float64(m)
+	var sum float64
+	n := 0
+	for _, th := range p.samples {
+		pred := p.ens.eval(x, th)
+		if math.IsNaN(pred) {
+			continue
+		}
+		sigma := p.ens.sigma(th)
+		sum += gaussCDF((pred - y) / sigma)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Predict returns the posterior mean and standard deviation of the
+// mean curve at epoch m. The standard deviation is the paper's
+// "prediction accuracy" PA (§3.1.1): the std across MCMC samples.
+func (p *Posterior) Predict(m int) (mean, std float64) {
+	if m < 1 {
+		m = 1
+	}
+	p.mu.Lock()
+	if p.cache == nil {
+		p.cache = make(map[int][2]float64)
+	}
+	if v, ok := p.cache[m]; ok {
+		p.mu.Unlock()
+		return v[0], v[1]
+	}
+	p.mu.Unlock()
+
+	x := float64(m)
+	var sum, sumsq float64
+	n := 0
+	for _, th := range p.samples {
+		pred := p.ens.eval(x, th)
+		if math.IsNaN(pred) {
+			continue
+		}
+		sum += pred
+		sumsq += pred * pred
+		n++
+	}
+	if n == 0 {
+		return math.NaN(), math.NaN()
+	}
+	mean = sum / float64(n)
+	variance := sumsq/float64(n) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	std = math.Sqrt(variance)
+	p.mu.Lock()
+	p.cache[m] = [2]float64{mean, std}
+	p.mu.Unlock()
+	return mean, std
+}
+
+// Band returns the predicted mean curve and +/- one posterior std band
+// for epochs from (1-based) to (inclusive); used to draw Figures 2c
+// and 3.
+func (p *Posterior) Band(from, to int) (means, stds []float64) {
+	if from < 1 {
+		from = 1
+	}
+	if to < from {
+		to = from
+	}
+	means = make([]float64, 0, to-from+1)
+	stds = make([]float64, 0, to-from+1)
+	for m := from; m <= to; m++ {
+		mu, sd := p.Predict(m)
+		means = append(means, mu)
+		stds = append(stds, sd)
+	}
+	return means, stds
+}
+
+// gaussCDF is the standard normal CDF.
+func gaussCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
+// Quantile returns the q-quantile (0..1) of the posterior mean-curve
+// distribution at epoch m — the credible bands of Figures 2c and 3.
+func (p *Posterior) Quantile(m int, q float64) float64 {
+	if m < 1 {
+		m = 1
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	x := float64(m)
+	vals := make([]float64, 0, len(p.samples))
+	for _, th := range p.samples {
+		v := p.ens.eval(x, th)
+		if !math.IsNaN(v) {
+			vals = append(vals, v)
+		}
+	}
+	if len(vals) == 0 {
+		return math.NaN()
+	}
+	sort.Float64s(vals)
+	idx := q * float64(len(vals)-1)
+	lo := int(idx)
+	if lo >= len(vals)-1 {
+		return vals[len(vals)-1]
+	}
+	frac := idx - float64(lo)
+	return vals[lo]*(1-frac) + vals[lo+1]*frac
+}
+
+// CredibleBand returns the [lo, hi] quantile band at epoch m, e.g.
+// (0.05, 0.95) for a 90% band.
+func (p *Posterior) CredibleBand(m int, lo, hi float64) (low, high float64) {
+	return p.Quantile(m, lo), p.Quantile(m, hi)
+}

@@ -1,0 +1,113 @@
+package figures
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/hyperdrive-ml/hyperdrive/internal/core"
+	"github.com/hyperdrive-ml/hyperdrive/internal/policy"
+	"github.com/hyperdrive-ml/hyperdrive/internal/sim"
+	"github.com/hyperdrive-ml/hyperdrive/internal/workload"
+)
+
+// Fig4ab regenerates Figures 4a/4b: the desired-slots and
+// deserved-slots curves over the confidence grid, snapshotted early in
+// an experiment (low confidences, crossing point near zero) and late
+// (high confidences, crossing point high).
+func Fig4ab(o Options) (*Report, error) {
+	spec := workload.CIFAR10()
+	n := pick(o, 40, 100)
+	machines := 8
+	tr, err := collectWinnerTrace(spec, n, o.Seed+10, 0, 1)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		ID:     "fig4ab",
+		Title:  fmt.Sprintf("desired vs deserved slots, %d machines", machines),
+		Header: []string{"stage", "p", "desired", "deserved", "effective"},
+	}
+	pred := predictorFor(o)
+	for _, stage := range []struct {
+		name string
+		dur  time.Duration
+	}{
+		{"early(~30min)", 30 * time.Minute},
+		{"late(~4h)", 4 * time.Hour},
+	} {
+		pop, err := policy.NewPOP(policy.POPOptions{Predictor: pred})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := sim.Run(sim.Options{
+			Trace: tr, Machines: machines, Policy: pop, MaxDuration: stage.dur,
+		}); err != nil {
+			return nil, err
+		}
+		ests := make([]core.Estimate, 0)
+		for _, e := range pop.Estimates() {
+			ests = append(ests, e)
+		}
+		curvePts := core.DesiredDeservedCurve(ests, machines, 1, 21)
+		for _, pt := range curvePts {
+			eff := pt.Desired
+			if pt.Deserved < eff {
+				eff = pt.Deserved
+			}
+			rep.AddRow(stage.name, pt.P, pt.Desired, pt.Deserved, eff)
+		}
+		alloc := core.AllocateSlots(ests, machines, 1)
+		rep.Note("%s: %d active estimates, threshold %.2f, %d promising slots",
+			stage.name, len(ests), alloc.Threshold, alloc.PromisingSlots)
+	}
+	rep.Note("paper: S_desired is non-increasing and S_deserved increasing in p; their crossing maximizes S_effective")
+	return rep, nil
+}
+
+// Fig4c regenerates Figure 4c: the ratio of promising to active jobs
+// over the experiment's lifetime, rising as prediction confidence
+// accumulates (exploration -> exploitation shift).
+func Fig4c(o Options) (*Report, error) {
+	spec := workload.CIFAR10()
+	n := pick(o, 40, 100)
+	tr, err := collectWinnerTrace(spec, n, o.Seed+11, 0, 1)
+	if err != nil {
+		return nil, err
+	}
+	pop, err := policy.NewPOP(policy.POPOptions{Predictor: predictorFor(o)})
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.Run(sim.Options{
+		Trace: tr, Machines: 4, Policy: pop, TrackAllocation: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		ID:     "fig4c",
+		Title:  "promising/active job ratio over the experiment",
+		Header: []string{"hours", "ratio", "promising", "active"},
+	}
+	for _, r := range res.Ratios {
+		rep.AddRow(r.T.Hours(), r.Ratio, r.Promised, r.Active)
+	}
+	if len(res.Ratios) >= 4 {
+		q := len(res.Ratios) / 4
+		early := meanRatio(res.Ratios[:q])
+		late := meanRatio(res.Ratios[len(res.Ratios)-q:])
+		rep.Note("mean ratio in first quarter: %.2f vs last quarter: %.2f (paper: exploitation share rises)", early, late)
+	}
+	return rep, nil
+}
+
+func meanRatio(rs []sim.RatioPoint) float64 {
+	if len(rs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range rs {
+		sum += r.Ratio
+	}
+	return sum / float64(len(rs))
+}

@@ -1,0 +1,358 @@
+// Package figures regenerates every table and figure of the paper's
+// evaluation (§2 design-motivation plots, §6 live experiments, §7
+// sensitivity analysis) plus the ablations called out in DESIGN.md.
+// Each experiment is a named function returning a Report that the
+// hdbench CLI prints and writes as CSV, and that bench_test.go wraps
+// in testing.B benchmarks.
+//
+// Absolute numbers differ from the paper (the substrate is a synthetic
+// trainer, not a GPU cluster); the reproduced quantity is the *shape*:
+// which policy wins, by roughly what factor, and where distributions
+// sit. EXPERIMENTS.md records paper-vs-measured for every figure.
+package figures
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/hyperdrive-ml/hyperdrive/internal/curve"
+	"github.com/hyperdrive-ml/hyperdrive/internal/param"
+	"github.com/hyperdrive-ml/hyperdrive/internal/policy"
+	"github.com/hyperdrive-ml/hyperdrive/internal/sim"
+	"github.com/hyperdrive-ml/hyperdrive/internal/trace"
+	"github.com/hyperdrive-ml/hyperdrive/internal/workload"
+)
+
+// Options sizes an experiment run.
+type Options struct {
+	// Scale is "fast" (reduced configs/repeats, for benchmarks and CI)
+	// or "full" (paper-scale populations).
+	Scale string
+	// Seed varies the configuration sample.
+	Seed int64
+	// OutDir, when non-empty, receives <id>.csv files.
+	OutDir string
+}
+
+// fast reports whether the reduced scale is selected.
+func (o Options) fast() bool { return o.Scale != "full" }
+
+// pick selects by scale.
+func pick(o Options, fast, full int) int {
+	if o.fast() {
+		return fast
+	}
+	return full
+}
+
+// Report is one regenerated table/figure.
+type Report struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a row, stringifying values.
+func (r *Report) AddRow(vals ...interface{}) {
+	row := make([]string, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case string:
+			row[i] = x
+		case float64:
+			row[i] = strconv.FormatFloat(x, 'g', 6, 64)
+		case time.Duration:
+			row[i] = strconv.FormatFloat(x.Hours(), 'g', 6, 64)
+		case int:
+			row[i] = strconv.Itoa(x)
+		case bool:
+			row[i] = strconv.FormatBool(x)
+		default:
+			row[i] = fmt.Sprint(x)
+		}
+	}
+	r.Rows = append(r.Rows, row)
+}
+
+// Note appends a free-form annotation.
+func (r *Report) Note(format string, args ...interface{}) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Print renders the report as an aligned text table.
+func (r *Report) Print(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len(c)
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", pad))
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	printRow(r.Header)
+	const maxPrint = 48
+	for i, row := range r.Rows {
+		if i == maxPrint && len(r.Rows) > maxPrint+8 {
+			fmt.Fprintf(w, "... (%d more rows; full data in CSV)\n", len(r.Rows)-maxPrint)
+			break
+		}
+		printRow(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "# %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteCSV writes the report to <dir>/<id>.csv.
+func (r *Report) WriteCSV(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, r.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	writeLine := func(cells []string) error {
+		out := make([]string, len(cells))
+		for i, c := range cells {
+			out[i] = esc(c)
+		}
+		_, err := fmt.Fprintln(f, strings.Join(out, ","))
+		return err
+	}
+	if err := writeLine(r.Header); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if err := writeLine(row); err != nil {
+			return err
+		}
+	}
+	return f.Sync()
+}
+
+// Func regenerates one figure.
+type Func func(Options) (*Report, error)
+
+// registry maps figure IDs to implementations, in presentation order.
+var registry = []struct {
+	ID   string
+	Desc string
+	Fn   Func
+}{
+	{"fig1", "accuracy vs iteration for 50 random supervised configs", Fig1},
+	{"fig2a", "CDF of final validation accuracy (90 configs)", Fig2a},
+	{"fig2b", "overtaking configurations A and B", Fig2b},
+	{"fig2c", "early prediction with confidence for A and B", Fig2c},
+	{"fig3", "predictions at epochs 10/30 vs final curves", Fig3},
+	{"fig4ab", "desired vs deserved slots, early and late", Fig4ab},
+	{"fig4c", "promising/active ratio over the experiment", Fig4c},
+	{"fig6", "job execution duration distribution per policy", Fig6},
+	{"fig7", "time to 77% accuracy per policy (CIFAR-10)", Fig7},
+	{"overhead-sl", "supervised suspend latency and snapshot size (§6.2.3)", OverheadSL},
+	{"fig8", "reward vs trials for 15 LunarLander configs", Fig8},
+	{"fig9", "time to solved per policy (LunarLander)", Fig9},
+	{"fig10", "CRIU suspend latency and snapshot size CDFs", Fig10},
+	{"fig12a", "simulator validation against the live runtime", Fig12a},
+	{"fig12b", "time to target vs cluster size", Fig12b},
+	{"fig12c", "sensitivity to configuration order (25 orders)", Fig12c},
+	{"headline", "POP speedup over random search and the baselines", Headline},
+	{"ablation-mcmc", "MCMC budget: 100x700 vs 100x2500 (§5.2)", AblationMCMC},
+	{"ablation-instant", "trajectory prediction vs instantaneous accuracy (§2.2a)", AblationInstant},
+	{"ablation-threshold", "dynamic vs static promising threshold (§2.2c)", AblationThreshold},
+	{"ablation-overlap", "overlapped vs blocking prediction (§5.2)", AblationOverlap},
+	{"ablation-kill", "kill threshold on vs off (§2.1)", AblationKill},
+	{"ext-dynamic-target", "static vs dynamic y_target (§9 extension)", ExtDynamicTarget},
+	{"ext-sha", "POP vs successive halving vs HyperBand (§8)", ExtSHAComparison},
+	{"ext-utilization", "cluster utilization and training volume per policy", ExtUtilization},
+	{"ext-calibration", "learning-curve prediction calibration", ExtCalibration},
+}
+
+// IDs lists registered figures in order.
+func IDs() []string {
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// Describe returns a figure's one-line description.
+func Describe(id string) string {
+	for _, e := range registry {
+		if e.ID == id {
+			return e.Desc
+		}
+	}
+	return ""
+}
+
+// Run regenerates one figure by ID.
+func Run(id string, opts Options) (*Report, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			rep, err := e.Fn(opts)
+			if err != nil {
+				return nil, fmt.Errorf("figures: %s: %w", id, err)
+			}
+			if opts.OutDir != "" {
+				if err := rep.WriteCSV(opts.OutDir); err != nil {
+					return nil, fmt.Errorf("figures: %s: write csv: %w", id, err)
+				}
+			}
+			return rep, nil
+		}
+	}
+	return nil, fmt.Errorf("figures: unknown figure %q (have %v)", id, IDs())
+}
+
+// --- shared experiment plumbing ---------------------------------------
+
+// litePredictor is the reduced MCMC budget used at fast scale.
+func litePredictor() curve.Config {
+	return curve.Config{Walkers: 12, Iters: 60, BurnFrac: 0.5, MaxSamples: 200, StretchA: 2, Seed: 1}
+}
+
+// predictorFor picks the curve budget by scale.
+func predictorFor(o Options) curve.Config {
+	if o.fast() {
+		return litePredictor()
+	}
+	return curve.FastConfig()
+}
+
+// sampleConfigs draws n configurations from the workload's space.
+func sampleConfigs(spec workload.Spec, n int, seed int64) []param.Config {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]param.Config, n)
+	for i := range out {
+		out[i] = spec.Space().Sample(rng)
+	}
+	return out
+}
+
+// collectTrace runs n random configurations to completion.
+func collectTrace(spec workload.Spec, n int, cfgSeed, trainSeedBase int64) (*trace.Trace, error) {
+	cfgs := sampleConfigs(spec, n, cfgSeed)
+	seeds := make([]int64, n)
+	for i := range seeds {
+		seeds[i] = trainSeedBase + int64(i)
+	}
+	return trace.Collect(spec, cfgs, seeds)
+}
+
+// collectWinnerTrace retries configuration seeds until the trace
+// contains at least minWinners target-reaching configurations, so
+// time-to-target is well-defined (the paper's 100-config populations
+// always contained winners).
+func collectWinnerTrace(spec workload.Spec, n int, seed, trainSeedBase int64, minWinners int) (*trace.Trace, error) {
+	for attempt := int64(0); attempt < 60; attempt++ {
+		tr, err := collectTrace(spec, n, seed+attempt, trainSeedBase)
+		if err != nil {
+			return nil, err
+		}
+		if traceWinners(tr) >= minWinners {
+			return tr, nil
+		}
+	}
+	return nil, fmt.Errorf("figures: no %d-winner %s trace within 60 seeds", minWinners, spec.Name())
+}
+
+// traceWinners counts target-reaching jobs.
+func traceWinners(tr *trace.Trace) int {
+	w := 0
+	for _, j := range tr.Jobs {
+		for _, s := range j.Samples {
+			if s.Metric >= tr.Target {
+				w++
+				break
+			}
+		}
+	}
+	return w
+}
+
+// buildPolicy constructs a fresh policy instance for a sim run.
+func buildPolicy(name string, pred curve.Config) (policy.Policy, error) {
+	switch name {
+	case "pop":
+		return policy.NewPOP(policy.POPOptions{Predictor: pred})
+	case "bandit":
+		return policy.NewBandit(policy.BanditOptions{})
+	case "earlyterm":
+		return policy.NewEarlyTerm(policy.EarlyTermOptions{Predictor: pred})
+	case "default":
+		return policy.NewDefault(), nil
+	case "sha":
+		return policy.NewSuccessiveHalving(policy.SHAOptions{})
+	default:
+		return nil, fmt.Errorf("figures: unknown policy %q", name)
+	}
+}
+
+// timeToTarget replays tr under the named policy and returns the
+// time-to-target result.
+func timeToTarget(tr *trace.Trace, polName string, machines int, pred curve.Config) (*sim.Result, error) {
+	pol, err := buildPolicy(polName, pred)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(sim.Options{
+		Trace:        tr,
+		Machines:     machines,
+		Policy:       pol,
+		StopAtTarget: true,
+	})
+}
+
+// fmtHours renders a duration in hours with 2 decimals.
+func fmtHours(d time.Duration) string { return fmt.Sprintf("%.2f", d.Hours()) }
+
+// median of a float slice (copy-safe).
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s)%2 == 1 {
+		return s[len(s)/2]
+	}
+	return (s[len(s)/2-1] + s[len(s)/2]) / 2
+}

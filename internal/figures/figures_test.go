@@ -1,0 +1,523 @@
+package figures
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func fastOpts() Options { return Options{Scale: "fast", Seed: 1} }
+
+func TestRegistryComplete(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 26 {
+		t.Fatalf("registry has %d figures, want 26 (every paper table/figure + ablations + extensions)", len(ids))
+	}
+	for _, id := range ids {
+		if Describe(id) == "" {
+			t.Errorf("figure %s has no description", id)
+		}
+	}
+	if Describe("nope") != "" {
+		t.Error("Describe of unknown id should be empty")
+	}
+	if _, err := Run("nope", fastOpts()); err == nil {
+		t.Error("Run of unknown id should fail")
+	}
+}
+
+func TestReportPrintAndCSV(t *testing.T) {
+	rep := &Report{ID: "test", Title: "t", Header: []string{"a", "b"}}
+	rep.AddRow("x", 1.5)
+	rep.AddRow(2, "with,comma")
+	rep.Note("note %d", 1)
+	var buf bytes.Buffer
+	rep.Print(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "== test: t ==") || !strings.Contains(out, "# note 1") {
+		t.Fatalf("print output:\n%s", out)
+	}
+	dir := t.TempDir()
+	if err := rep.WriteCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "test.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"with,comma"`) {
+		t.Fatalf("csv escaping broken:\n%s", data)
+	}
+}
+
+// cell parses a numeric report cell.
+func cell(t *testing.T, rep *Report, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(rep.Rows[row][col], 64)
+	if err != nil {
+		t.Fatalf("%s row %d col %d = %q: %v", rep.ID, row, col, rep.Rows[row][col], err)
+	}
+	return v
+}
+
+// findRow locates the first row whose first cell equals key.
+func findRow(t *testing.T, rep *Report, key string) []string {
+	t.Helper()
+	for _, row := range rep.Rows {
+		if row[0] == key {
+			return row
+		}
+	}
+	t.Fatalf("%s: no row %q in %v", rep.ID, key, rep.Rows)
+	return nil
+}
+
+func TestFig1Shape(t *testing.T) {
+	rep, err := Run("fig1", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) == 0 {
+		t.Fatal("fig1 produced no series")
+	}
+	// Every accuracy on [0, 1].
+	for _, row := range rep.Rows {
+		v, _ := strconv.ParseFloat(row[2], 64)
+		if v < 0 || v > 1 {
+			t.Fatalf("accuracy %v out of range", v)
+		}
+	}
+}
+
+func TestFig2aShape(t *testing.T) {
+	rep, err := Run("fig2a", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CDF ends at 1 and the at-random fraction note exists.
+	last := cell(t, rep, len(rep.Rows)-1, 1)
+	if last != 1 {
+		t.Fatalf("CDF ends at %v", last)
+	}
+	if len(rep.Notes) == 0 {
+		t.Fatal("missing population note")
+	}
+}
+
+func TestFig2bOvertake(t *testing.T) {
+	rep, err := Run("fig2b", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruct A and B finals from the series.
+	finals := map[string]float64{}
+	early := map[string]float64{}
+	for _, row := range rep.Rows {
+		e, _ := strconv.Atoi(row[1])
+		v, _ := strconv.ParseFloat(row[2], 64)
+		if e == 20 {
+			early[row[0]] = v
+		}
+		if e == 120 {
+			finals[row[0]] = v
+		}
+	}
+	if !(early["A"] > early["B"]) {
+		t.Fatalf("A should lead at epoch 20: %v vs %v", early["A"], early["B"])
+	}
+	if !(finals["B"] > finals["A"]) {
+		t.Fatalf("B should win finally: %v vs %v", finals["B"], finals["A"])
+	}
+}
+
+func TestFig3ConfidenceSharpens(t *testing.T) {
+	rep, err := Run("fig3", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean prediction std at 30 epochs must be below that at 10.
+	var s10, s30 float64
+	var n10, n30 int
+	for _, row := range rep.Rows {
+		std, _ := strconv.ParseFloat(row[4], 64)
+		switch row[1] {
+		case "pred@10":
+			s10 += std
+			n10++
+		case "pred@30":
+			s30 += std
+			n30++
+		}
+	}
+	if n10 == 0 || n30 == 0 {
+		t.Fatal("missing prediction stages")
+	}
+	if s30/float64(n30) >= s10/float64(n10) {
+		t.Fatalf("prediction std did not shrink: @10=%v @30=%v", s10/float64(n10), s30/float64(n30))
+	}
+}
+
+func TestFig4abMonotoneCurves(t *testing.T) {
+	rep, err := Run("fig4ab", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per stage: desired non-increasing, deserved increasing in p.
+	prev := map[string][2]float64{}
+	for _, row := range rep.Rows {
+		stage := row[0]
+		des, _ := strconv.ParseFloat(row[2], 64)
+		dese, _ := strconv.ParseFloat(row[3], 64)
+		if p, ok := prev[stage]; ok {
+			if des > p[0]+1e-9 {
+				t.Fatalf("desired increased within %s", stage)
+			}
+			if dese < p[1]-1e-9 {
+				t.Fatalf("deserved decreased within %s", stage)
+			}
+		}
+		prev[stage] = [2]float64{des, dese}
+	}
+}
+
+func TestFig4cExploitationRises(t *testing.T) {
+	rep, err := Run("fig4c", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) < 8 {
+		t.Fatalf("too few ratio samples: %d", len(rep.Rows))
+	}
+	q := len(rep.Rows) / 4
+	var early, late float64
+	for i := 0; i < q; i++ {
+		early += cell(t, rep, i, 1)
+		late += cell(t, rep, len(rep.Rows)-1-i, 1)
+	}
+	if late <= early {
+		t.Fatalf("promising ratio did not rise: early=%v late=%v", early/float64(q), late/float64(q))
+	}
+}
+
+func TestFig6POPShedsLongJobs(t *testing.T) {
+	rep, err := Run("fig6", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// POP's p90 job duration should be under EarlyTerm's (EarlyTerm
+	// runs survivors to completion).
+	var pop90, et90 float64
+	for _, row := range rep.Rows {
+		if row[1] != "90" {
+			continue
+		}
+		v, _ := strconv.ParseFloat(row[2], 64)
+		switch row[0] {
+		case "pop":
+			pop90 = v
+		case "earlyterm":
+			et90 = v
+		}
+	}
+	if pop90 == 0 || et90 == 0 {
+		t.Fatal("missing p90 rows")
+	}
+	if pop90 >= et90 {
+		t.Fatalf("POP p90 job duration %.2fh not below EarlyTerm %.2fh", pop90, et90)
+	}
+}
+
+func TestFig7DefaultSlowest(t *testing.T) {
+	rep, err := Run("fig7", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop := findRow(t, rep, "pop")
+	def := findRow(t, rep, "default")
+	popMean, _ := strconv.ParseFloat(pop[6], 64)
+	defMean, _ := strconv.ParseFloat(def[6], 64)
+	if popMean <= 0 || defMean <= popMean {
+		t.Fatalf("POP mean %.2fh should beat default %.2fh", popMean, defMean)
+	}
+}
+
+func TestFig9PaperOrdering(t *testing.T) {
+	rep, err := Run("fig9", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop := findRow(t, rep, "pop")
+	def := findRow(t, rep, "default")
+	popMean, _ := strconv.ParseFloat(pop[6], 64)
+	defMean, _ := strconv.ParseFloat(def[6], 64)
+	if popMean <= 0 || defMean <= popMean {
+		t.Fatalf("POP mean %.2fh should beat default %.2fh on RL", popMean, defMean)
+	}
+}
+
+func TestOverheadSLBands(t *testing.T) {
+	rep, err := Run("overhead-sl", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) == 0 {
+		t.Skip("no suspends in this run")
+	}
+	lat := findRow(t, rep, "suspend latency (ms)")
+	mean, _ := strconv.ParseFloat(lat[1], 64)
+	if mean < 50 || mean > 500 {
+		t.Fatalf("suspend latency mean %.0fms outside the §6.2.3 regime", mean)
+	}
+}
+
+func TestFig10WithinPaperCaps(t *testing.T) {
+	rep, err := Run("fig10", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rep.Rows {
+		v, _ := strconv.ParseFloat(row[2], 64)
+		switch row[0] {
+		case "latency_s":
+			if v > 22.36+1e-9 {
+				t.Fatalf("latency %vs exceeds the paper's 22.36s cap", v)
+			}
+		case "size_MB":
+			if v > 43.75+1e-9 {
+				t.Fatalf("size %vMB exceeds the paper's 43.75MB cap", v)
+			}
+		}
+	}
+}
+
+func TestFig12aValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live runs sleep wall-clock time")
+	}
+	rep, err := Run("fig12a", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every reached policy within a generous 30% of the simulator.
+	for _, row := range rep.Rows {
+		if row[3] == "-" {
+			continue
+		}
+		errPct, _ := strconv.ParseFloat(row[3], 64)
+		if errPct > 30 {
+			t.Fatalf("%s live-vs-sim error %.1f%% (paper max 13%%)", row[0], errPct)
+		}
+	}
+}
+
+func TestFig12bMoreMachinesHelp(t *testing.T) {
+	rep, err := Run("fig12b", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// POP column must be non-increasing as machines grow.
+	prev := -1.0
+	for _, row := range rep.Rows {
+		if row[1] == "-" {
+			continue
+		}
+		v, _ := strconv.ParseFloat(row[1], 64)
+		if prev > 0 && v > prev*1.05 {
+			t.Fatalf("POP time grew with machines: %v after %v", v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestFig12cPOPLeastSensitive(t *testing.T) {
+	rep, err := Run("fig12c", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop := findRow(t, rep, "pop")
+	def := findRow(t, rep, "default")
+	popSpread, _ := strconv.ParseFloat(pop[4], 64)
+	defSpread, _ := strconv.ParseFloat(def[4], 64)
+	if popSpread <= 0 || defSpread <= popSpread {
+		t.Fatalf("POP spread %.2fh should be below default %.2fh", popSpread, defSpread)
+	}
+}
+
+func TestHeadlineSpeedups(t *testing.T) {
+	rep, err := Run("headline", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := findRow(t, rep, "default")
+	if def[1] == "-" {
+		t.Skip("default never reached in this sample")
+	}
+	v, _ := strconv.ParseFloat(def[1], 64)
+	if v < 1.2 {
+		t.Fatalf("POP speedup over default = %.2fx, want clearly > 1", v)
+	}
+}
+
+func TestAblationMCMCFaster(t *testing.T) {
+	rep, err := Run("ablation-mcmc", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	red := findRow(t, rep, "reduced(paper)")
+	orig := findRow(t, rep, "original")
+	redMs, _ := strconv.ParseFloat(red[3], 64)
+	origMs, _ := strconv.ParseFloat(orig[3], 64)
+	if origMs < redMs*1.5 {
+		t.Fatalf("original budget (%.0fms) should cost >=1.5x the reduced (%.0fms)", origMs, redMs)
+	}
+}
+
+func TestAblationInstantWorse(t *testing.T) {
+	rep, err := Run("ablation-instant", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	traj := findRow(t, rep, "trajectory(POP)")
+	inst := findRow(t, rep, "instantaneous")
+	if traj[1] == "-" {
+		t.Fatal("trajectory POP never reached")
+	}
+	tv, _ := strconv.ParseFloat(traj[1], 64)
+	if inst[1] == "-" {
+		return // instantaneous DNF: even stronger evidence
+	}
+	iv, _ := strconv.ParseFloat(inst[1], 64)
+	if iv < tv {
+		t.Fatalf("instantaneous (%.2fh) should not beat trajectory (%.2fh)", iv, tv)
+	}
+}
+
+func TestAblationOverlapFaster(t *testing.T) {
+	rep, err := Run("ablation-overlap", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	over := findRow(t, rep, "overlapped(POP)")
+	block := findRow(t, rep, "blocking")
+	ov, _ := strconv.ParseFloat(over[1], 64)
+	bv, _ := strconv.ParseFloat(block[1], 64)
+	if ov <= 0 || bv < ov {
+		t.Fatalf("blocking (%.2fh) should not beat overlapped (%.2fh)", bv, ov)
+	}
+}
+
+func TestAblationKillAndThresholdRun(t *testing.T) {
+	for _, id := range []string{"ablation-kill", "ablation-threshold"} {
+		rep, err := Run(id, fastOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Rows) < 2 {
+			t.Fatalf("%s has %d rows", id, len(rep.Rows))
+		}
+	}
+}
+
+func TestFig8LearningCrash(t *testing.T) {
+	rep, err := Run("fig8", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Notes) == 0 || !strings.Contains(rep.Notes[0], "non-learning") {
+		t.Fatal("fig8 missing the non-learning population note")
+	}
+	for _, row := range rep.Rows {
+		v, _ := strconv.ParseFloat(row[2], 64)
+		if v < -500 || v > 300 {
+			t.Fatalf("reward %v out of range", v)
+		}
+	}
+}
+
+func TestRunWritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Run("fig2a", Options{Scale: "fast", Seed: 1, OutDir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig2a.csv")); err != nil {
+		t.Fatal("CSV not written:", err)
+	}
+}
+
+func TestExtensionFigures(t *testing.T) {
+	dyn, err := Run("ext-dynamic-target", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dyn.Rows) != 2 {
+		t.Fatalf("ext-dynamic-target rows = %d", len(dyn.Rows))
+	}
+	sha, err := Run("ext-sha", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop := findRow(t, sha, "pop")
+	def := findRow(t, sha, "default")
+	if pop[1] == "-" {
+		t.Fatal("POP never reached in ext-sha")
+	}
+	popT, _ := strconv.ParseFloat(pop[1], 64)
+	if def[1] != "-" {
+		defT, _ := strconv.ParseFloat(def[1], 64)
+		if defT < popT {
+			t.Fatalf("default (%.2fh) beat POP (%.2fh) on mean time-to-target", defT, popT)
+		}
+	}
+	// Halving variants must save training volume vs default.
+	shaRow := findRow(t, sha, "sha")
+	shaBusy, _ := strconv.ParseFloat(shaRow[3], 64)
+	defBusy, _ := strconv.ParseFloat(def[3], 64)
+	if shaBusy >= defBusy {
+		t.Fatalf("sha busy %.1fh not below default %.1fh", shaBusy, defBusy)
+	}
+}
+
+func TestExtUtilizationAndCalibration(t *testing.T) {
+	util, err := Run("ext-utilization", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := findRow(t, util, "default")
+	pop := findRow(t, util, "pop")
+	defBusy, _ := strconv.ParseFloat(def[2], 64)
+	popBusy, _ := strconv.ParseFloat(pop[2], 64)
+	if popBusy >= defBusy {
+		t.Fatalf("POP machine-hours %.1f not below default %.1f", popBusy, defBusy)
+	}
+	defWaste, _ := strconv.ParseFloat(def[4], 64)
+	popWaste, _ := strconv.ParseFloat(pop[4], 64)
+	if popWaste >= defWaste {
+		t.Fatalf("POP wasted %.1fh on poor configs, default %.1fh", popWaste, defWaste)
+	}
+
+	cal, err := Run("ext-calibration", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The lowest-probability bucket must reach less often than the
+	// highest (when both are populated).
+	var lowFrac, highFrac float64 = -1, -1
+	for _, row := range cal.Rows {
+		if row[2] == "-" {
+			continue
+		}
+		v, _ := strconv.ParseFloat(row[2], 64)
+		switch row[0] {
+		case "P<0.1":
+			lowFrac = v
+		case "P>=0.7":
+			highFrac = v
+		}
+	}
+	if lowFrac >= 0 && highFrac >= 0 && highFrac <= lowFrac {
+		t.Fatalf("calibration inverted: P<0.1 reaches %.2f vs P>=0.7 reaches %.2f", lowFrac, highFrac)
+	}
+}

@@ -1,0 +1,102 @@
+package figures
+
+import (
+	"fmt"
+
+	"github.com/hyperdrive-ml/hyperdrive/internal/checkpoint"
+	"github.com/hyperdrive-ml/hyperdrive/internal/sim"
+	"github.com/hyperdrive-ml/hyperdrive/internal/stats"
+	"github.com/hyperdrive-ml/hyperdrive/internal/workload"
+)
+
+// Fig8 regenerates Figure 8: reward of 15 randomly selected
+// LunarLander configurations over 20,000 episode trials, exhibiting
+// the "learning-crash" phenomenon and >50% non-learning population.
+func Fig8(o Options) (*Report, error) {
+	spec := workload.LunarLander()
+	n := 15
+	cfgs := sampleConfigs(spec, n, o.Seed+12)
+	rep := &Report{
+		ID:     "fig8",
+		Title:  "reward vs episode trials, 15 LunarLander configs",
+		Header: []string{"config", "trials", "reward"},
+	}
+	nonLearning, crashes := 0, 0
+	for i, cfg := range cfgs {
+		prof := workload.NewLunarLanderProfile(spec.Space(), cfg, int64(i))
+		if !prof.Learns || prof.Crashes {
+			nonLearning++
+		}
+		if prof.Learns && prof.Crashes {
+			crashes++
+		}
+		tr := spec.New(cfg, int64(i))
+		for {
+			s, done := tr.Step()
+			if s.Epoch%5 == 0 || s.Epoch == 1 || done {
+				rep.AddRow(fmt.Sprintf("c%02d", i), s.Epoch*100, s.Metric)
+			}
+			if done {
+				break
+			}
+		}
+	}
+	rep.Note("%d/%d configs non-learning overall (paper: over 50%%), %d of them learning-crashes", nonLearning, n, crashes)
+	return rep, nil
+}
+
+// Fig9 regenerates Figure 9: boxplots of time to reach the solved
+// condition (mean reward 200 over 100 consecutive trials) on 15
+// machines. The paper: POP median 2.07x faster than Bandit and 1.26x
+// faster than EarlyTerm, with far smaller variance.
+func Fig9(o Options) (*Report, error) {
+	return timeToTargetBoxes(o, "fig9", workload.LunarLander(), pick(o, 40, 100), 15, pick(o, 4, 5), o.Seed+13)
+}
+
+// Fig10 regenerates Figure 10: the CDFs of suspend latency and
+// snapshot size for the RL workload under CRIU whole-process capture.
+// The paper: size up to 43.75 MB, latency up to 22.36 s.
+func Fig10(o Options) (*Report, error) {
+	spec := workload.LunarLander()
+	tr, err := collectWinnerTrace(spec, pick(o, 40, 100), o.Seed+14, 0, 1)
+	if err != nil {
+		return nil, err
+	}
+	capt, err := checkpoint.NewCapturer(checkpoint.CRIU, o.Seed+14)
+	if err != nil {
+		return nil, err
+	}
+	var acct checkpoint.Accounting
+	pol, err := buildPolicy("pop", predictorFor(o))
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.Run(sim.Options{
+		Trace: tr, Machines: 15, Policy: pol,
+		Checkpointer: capt, CheckpointAccounting: &acct,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		ID:     "fig10",
+		Title:  "CRIU suspend latency and snapshot size distributions",
+		Header: []string{"metric", "percentile", "value"},
+	}
+	lats := acct.Latencies()
+	if len(lats) == 0 {
+		rep.Note("no suspends occurred (%d suspends)", res.Suspends)
+		return rep, nil
+	}
+	sizesMB := make([]float64, len(acct.Sizes()))
+	for i, v := range acct.Sizes() {
+		sizesMB[i] = v / 1024 / 1024
+	}
+	for p := 10; p <= 100; p += 10 {
+		rep.AddRow("latency_s", p, stats.Percentile(lats, float64(p)))
+		rep.AddRow("size_MB", p, stats.Percentile(sizesMB, float64(p)))
+	}
+	rep.Note("max latency %.2fs (paper <= 22.36s), max size %.2fMB (paper <= 43.75MB), %d suspends",
+		stats.Percentile(lats, 100), stats.Percentile(sizesMB, 100), res.Suspends)
+	return rep, nil
+}

@@ -1,0 +1,331 @@
+package hypergen
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"github.com/hyperdrive-ml/hyperdrive/internal/param"
+)
+
+// GPOptions configures the Gaussian-process generator.
+type GPOptions struct {
+	// Warmup random draws before the surrogate takes over; default 8.
+	Warmup int
+	// Candidates scored by expected improvement per draw; default 64.
+	Candidates int
+	// LengthScale of the RBF kernel on the normalized unit cube;
+	// default 0.3.
+	LengthScale float64
+	// NoiseVar is the observation-noise variance; default 1e-3.
+	NoiseVar float64
+	// Xi is the EI exploration bonus; default 0.01.
+	Xi float64
+	// MaxHistory caps the conditioning set (newest observations kept)
+	// to bound the O(n^3) Cholesky cost; default 128.
+	MaxHistory int
+}
+
+// GP is a Bayesian-optimization Hyperparameter Generator: a Gaussian
+// process with an RBF kernel over the normalized hyperparameter cube,
+// proposing the candidate with maximal expected improvement. It is
+// this repository's concrete instance of the adaptive (Bayesian
+// optimization) generators the paper plugs into HyperDrive via a shim
+// (§4.2: Spearmint, HyperOpt, GPyOpt).
+type GP struct {
+	mu      sync.Mutex
+	space   *param.Space
+	rng     *rand.Rand
+	opts    GPOptions
+	next    int
+	limit   int
+	configs map[string]param.Config
+	xs      [][]float64 // normalized points
+	ys      []float64   // observed performance
+}
+
+// NewGP builds the generator. limit bounds configurations (0 =
+// unlimited).
+func NewGP(space *param.Space, seed int64, limit int, opts GPOptions) (*GP, error) {
+	if opts.Warmup == 0 {
+		opts.Warmup = 8
+	}
+	if opts.Candidates == 0 {
+		opts.Candidates = 64
+	}
+	if opts.LengthScale == 0 {
+		opts.LengthScale = 0.3
+	}
+	if opts.NoiseVar == 0 {
+		opts.NoiseVar = 1e-3
+	}
+	if opts.Xi == 0 {
+		opts.Xi = 0.01
+	}
+	if opts.MaxHistory == 0 {
+		opts.MaxHistory = 128
+	}
+	if opts.Warmup < 1 || opts.Candidates < 1 || opts.LengthScale <= 0 ||
+		opts.NoiseVar <= 0 || opts.MaxHistory < 2 {
+		return nil, fmt.Errorf("hypergen: invalid GP options %+v", opts)
+	}
+	return &GP{
+		space:   space,
+		rng:     rand.New(rand.NewSource(seed)),
+		opts:    opts,
+		limit:   limit,
+		configs: make(map[string]param.Config),
+	}, nil
+}
+
+// CreateJob implements Generator.
+func (g *GP) CreateJob() (string, param.Config, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.limit > 0 && g.next >= g.limit {
+		return "", nil, ErrExhausted
+	}
+	id := jobName("gp", g.next)
+	g.next++
+
+	var cfg param.Config
+	if len(g.ys) < g.opts.Warmup {
+		cfg = g.space.Sample(g.rng)
+	} else {
+		var err error
+		cfg, err = g.propose()
+		if err != nil {
+			cfg = g.space.Sample(g.rng) // surrogate failure: fall back to random
+		}
+	}
+	g.configs[id] = cfg
+	return id, cfg.Clone(), nil
+}
+
+// ReportFinalPerformance implements Generator.
+func (g *GP) ReportFinalPerformance(jobID string, perf float64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	cfg, ok := g.configs[jobID]
+	if !ok {
+		return
+	}
+	g.xs = append(g.xs, g.normalize(cfg))
+	g.ys = append(g.ys, perf)
+	if len(g.ys) > g.opts.MaxHistory {
+		g.xs = g.xs[len(g.xs)-g.opts.MaxHistory:]
+		g.ys = g.ys[len(g.ys)-g.opts.MaxHistory:]
+	}
+}
+
+// normalize maps a configuration onto the unit cube.
+func (g *GP) normalize(cfg param.Config) []float64 {
+	params := g.space.Params()
+	x := make([]float64, len(params))
+	for i, p := range params {
+		x[i] = p.Normalize(cfg.Get(p.Name, 0))
+	}
+	return x
+}
+
+// propose scores random candidates by expected improvement under the
+// GP posterior. Caller holds the lock.
+func (g *GP) propose() (param.Config, error) {
+	post, err := newGPPosterior(g.xs, g.ys, g.opts.LengthScale, g.opts.NoiseVar)
+	if err != nil {
+		return nil, err
+	}
+	ybest := math.Inf(-1)
+	for _, y := range g.ys {
+		if y > ybest {
+			ybest = y
+		}
+	}
+	var best param.Config
+	bestEI := math.Inf(-1)
+	for c := 0; c < g.opts.Candidates; c++ {
+		cand := g.space.Sample(g.rng)
+		mu, variance := post.predict(g.normalize(cand))
+		ei := expectedImprovement(mu, variance, ybest, g.opts.Xi)
+		if ei > bestEI {
+			bestEI = ei
+			best = cand
+		}
+	}
+	if best == nil {
+		return nil, errors.New("hypergen: no candidate scored")
+	}
+	return best, nil
+}
+
+// gpPosterior is a fitted GP (Cholesky factor + alpha weights).
+type gpPosterior struct {
+	xs     [][]float64
+	lchol  [][]float64
+	alpha  []float64
+	ls     float64
+	yMean  float64
+	yScale float64
+}
+
+// newGPPosterior conditions a zero-mean RBF GP on (xs, ys) with
+// standardized targets.
+func newGPPosterior(xs [][]float64, ys []float64, lengthScale, noiseVar float64) (*gpPosterior, error) {
+	n := len(xs)
+	if n == 0 || n != len(ys) {
+		return nil, fmt.Errorf("hypergen: gp needs matched observations, have %d/%d", len(xs), len(ys))
+	}
+	// Standardize targets for a stable prior scale.
+	var mean float64
+	for _, y := range ys {
+		mean += y
+	}
+	mean /= float64(n)
+	var ss float64
+	for _, y := range ys {
+		d := y - mean
+		ss += d * d
+	}
+	scale := math.Sqrt(ss / float64(n))
+	if scale < 1e-9 {
+		scale = 1
+	}
+	yn := make([]float64, n)
+	for i, y := range ys {
+		yn[i] = (y - mean) / scale
+	}
+
+	// Kernel matrix with noise on the diagonal.
+	k := make([][]float64, n)
+	for i := range k {
+		k[i] = make([]float64, n)
+		for j := 0; j <= i; j++ {
+			v := rbf(xs[i], xs[j], lengthScale)
+			k[i][j] = v
+			k[j][i] = v
+		}
+		k[i][i] += noiseVar
+	}
+	l, err := cholesky(k)
+	if err != nil {
+		return nil, err
+	}
+	alpha := choleskySolve(l, yn)
+	return &gpPosterior{xs: xs, lchol: l, alpha: alpha, ls: lengthScale, yMean: mean, yScale: scale}, nil
+}
+
+// predict returns the posterior mean and variance at x (on the
+// original target scale).
+func (p *gpPosterior) predict(x []float64) (mu, variance float64) {
+	n := len(p.xs)
+	kstar := make([]float64, n)
+	for i, xi := range p.xs {
+		kstar[i] = rbf(x, xi, p.ls)
+	}
+	var m float64
+	for i := range kstar {
+		m += kstar[i] * p.alpha[i]
+	}
+	// v = L^-1 k*; variance = k(x,x) - v'v.
+	v := forwardSolve(p.lchol, kstar)
+	var vv float64
+	for _, vi := range v {
+		vv += vi * vi
+	}
+	variance = 1 - vv // k(x,x) = 1 for RBF
+	if variance < 1e-12 {
+		variance = 1e-12
+	}
+	mu = p.yMean + p.yScale*m
+	variance *= p.yScale * p.yScale
+	return mu, variance
+}
+
+// expectedImprovement is the standard EI acquisition for maximization.
+func expectedImprovement(mu, variance, ybest, xi float64) float64 {
+	sigma := math.Sqrt(variance)
+	if sigma < 1e-12 {
+		if mu > ybest+xi {
+			return mu - ybest - xi
+		}
+		return 0
+	}
+	z := (mu - ybest - xi) / sigma
+	return (mu-ybest-xi)*stdNormCDF(z) + sigma*stdNormPDF(z)
+}
+
+// rbf is the squared-exponential kernel with unit signal variance.
+func rbf(a, b []float64, ls float64) float64 {
+	var d2 float64
+	for i := range a {
+		d := a[i] - b[i]
+		d2 += d * d
+	}
+	return math.Exp(-d2 / (2 * ls * ls))
+}
+
+// cholesky computes the lower-triangular factor of a symmetric
+// positive-definite matrix.
+func cholesky(a [][]float64) ([][]float64, error) {
+	n := len(a)
+	l := make([][]float64, n)
+	for i := range l {
+		l[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a[i][j]
+			for k := 0; k < j; k++ {
+				sum -= l[i][k] * l[j][k]
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, fmt.Errorf("hypergen: matrix not positive definite at %d (%g)", i, sum)
+				}
+				l[i][i] = math.Sqrt(sum)
+			} else {
+				l[i][j] = sum / l[j][j]
+			}
+		}
+	}
+	return l, nil
+}
+
+// forwardSolve solves L z = b for lower-triangular L.
+func forwardSolve(l [][]float64, b []float64) []float64 {
+	n := len(b)
+	z := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= l[i][k] * z[k]
+		}
+		z[i] = sum / l[i][i]
+	}
+	return z
+}
+
+// choleskySolve solves (L L') x = b.
+func choleskySolve(l [][]float64, b []float64) []float64 {
+	n := len(b)
+	z := forwardSolve(l, b)
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := z[i]
+		for k := i + 1; k < n; k++ {
+			sum -= l[k][i] * x[k]
+		}
+		x[i] = sum / l[i][i]
+	}
+	return x
+}
+
+func stdNormPDF(z float64) float64 {
+	return math.Exp(-0.5*z*z) / math.Sqrt(2*math.Pi)
+}
+
+func stdNormCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}

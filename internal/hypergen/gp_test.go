@@ -1,0 +1,194 @@
+package hypergen
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/hyperdrive-ml/hyperdrive/internal/param"
+)
+
+func TestGPOptionsValidation(t *testing.T) {
+	space := smallSpaceForGP(t)
+	if _, err := NewGP(space, 1, 0, GPOptions{LengthScale: -1}); err == nil {
+		t.Fatal("accepted negative length scale")
+	}
+	if _, err := NewGP(space, 1, 0, GPOptions{NoiseVar: -1}); err == nil {
+		t.Fatal("accepted negative noise")
+	}
+	if _, err := NewGP(space, 1, 0, GPOptions{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func smallSpaceForGP(t *testing.T) *param.Space {
+	t.Helper()
+	s, err := param.NewSpace(
+		param.Param{Name: "x", Kind: param.Uniform, Min: 0, Max: 1},
+		param.Param{Name: "y", Kind: param.Uniform, Min: 0, Max: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestCholeskyRoundTrip(t *testing.T) {
+	// A = [[4,2],[2,3]]; L = [[2,0],[1,sqrt(2)]].
+	a := [][]float64{{4, 2}, {2, 3}}
+	l, err := cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l[0][0]-2) > 1e-12 || math.Abs(l[1][0]-1) > 1e-12 ||
+		math.Abs(l[1][1]-math.Sqrt(2)) > 1e-12 {
+		t.Fatalf("L = %v", l)
+	}
+	// Solve A x = b for b = [8, 7]: x = [1.3, 1.466...]? Verify by
+	// multiplying back.
+	b := []float64{8, 7}
+	x := choleskySolve(l, b)
+	for i := range b {
+		var got float64
+		for j := range x {
+			got += a[i][j] * x[j]
+		}
+		if math.Abs(got-b[i]) > 1e-9 {
+			t.Fatalf("A x != b at %d: %v vs %v", i, got, b[i])
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	if _, err := cholesky([][]float64{{1, 2}, {2, 1}}); err == nil {
+		t.Fatal("accepted indefinite matrix")
+	}
+}
+
+func TestGPPosteriorInterpolates(t *testing.T) {
+	xs := [][]float64{{0.1, 0.1}, {0.5, 0.5}, {0.9, 0.9}}
+	ys := []float64{0.2, 0.8, 0.3}
+	post, err := newGPPosterior(xs, ys, 0.3, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range xs {
+		mu, variance := post.predict(x)
+		if math.Abs(mu-ys[i]) > 0.05 {
+			t.Fatalf("posterior mean at training point %d = %v, want ~%v", i, mu, ys[i])
+		}
+		if variance < 0 {
+			t.Fatalf("negative variance %v", variance)
+		}
+	}
+	// Far from data the posterior reverts toward the mean with larger
+	// variance.
+	_, varFar := post.predict([]float64{0.1, 0.9})
+	_, varNear := post.predict(xs[1])
+	if varFar <= varNear {
+		t.Fatalf("variance should grow away from data: near=%v far=%v", varNear, varFar)
+	}
+}
+
+func TestExpectedImprovement(t *testing.T) {
+	// Well above the incumbent with small variance: EI ~ mu - ybest - xi.
+	ei := expectedImprovement(1.0, 1e-8, 0.5, 0.01)
+	if math.Abs(ei-0.49) > 1e-6 {
+		t.Fatalf("EI = %v, want ~0.49", ei)
+	}
+	// Below the incumbent with no variance: zero.
+	if ei := expectedImprovement(0.1, 1e-14, 0.5, 0.01); ei != 0 {
+		t.Fatalf("EI = %v, want 0", ei)
+	}
+	// Uncertainty always buys non-negative EI.
+	if ei := expectedImprovement(0.1, 0.2, 0.5, 0.01); ei <= 0 {
+		t.Fatalf("EI = %v, want > 0 under uncertainty", ei)
+	}
+}
+
+func TestGPGeneratorConvergesTowardOptimum(t *testing.T) {
+	space := smallSpaceForGP(t)
+	g, err := NewGP(space, 3, 0, GPOptions{Warmup: 8, Candidates: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	objective := func(cfg param.Config) float64 {
+		dx := cfg.Get("x", 0) - 0.7
+		dy := cfg.Get("y", 0) - 0.3
+		return 1 - (dx*dx + dy*dy)
+	}
+	for i := 0; i < 50; i++ {
+		id, cfg, err := g.CreateJob()
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.ReportFinalPerformance(id, objective(cfg))
+	}
+	// The last draws should concentrate near (0.7, 0.3).
+	var dist float64
+	const tail = 10
+	for i := 0; i < tail; i++ {
+		id, cfg, err := g.CreateJob()
+		if err != nil {
+			t.Fatal(err)
+		}
+		dx := cfg.Get("x", 0) - 0.7
+		dy := cfg.Get("y", 0) - 0.3
+		dist += math.Sqrt(dx*dx + dy*dy)
+		g.ReportFinalPerformance(id, objective(cfg))
+	}
+	dist /= tail
+	// Uniform sampling averages ~0.46 from (0.7, 0.3).
+	if dist > 0.35 {
+		t.Fatalf("GP draws average %.3f from the optimum, want < 0.35", dist)
+	}
+}
+
+func TestGPGeneratorLimitAndUnknownJob(t *testing.T) {
+	space := smallSpaceForGP(t)
+	g, err := NewGP(space, 1, 2, GPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.ReportFinalPerformance("unknown", 1) // no panic
+	for i := 0; i < 2; i++ {
+		if _, _, err := g.CreateJob(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := g.CreateJob(); !errors.Is(err, ErrExhausted) {
+		t.Fatal("limit not enforced")
+	}
+}
+
+func TestGPHistoryCap(t *testing.T) {
+	space := smallSpaceForGP(t)
+	g, err := NewGP(space, 1, 0, GPOptions{MaxHistory: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		id, cfg, err := g.CreateJob()
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.ReportFinalPerformance(id, cfg.Get("x", 0))
+	}
+	if len(g.ys) != 5 || len(g.xs) != 5 {
+		t.Fatalf("history = %d/%d, want capped at 5", len(g.xs), len(g.ys))
+	}
+}
+
+func TestGPDegenerateIdenticalObservations(t *testing.T) {
+	// All targets equal: standardization must not divide by zero.
+	xs := [][]float64{{0.1, 0.1}, {0.9, 0.9}}
+	ys := []float64{0.5, 0.5}
+	post, err := newGPPosterior(xs, ys, 0.3, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu, _ := post.predict([]float64{0.5, 0.5})
+	if math.IsNaN(mu) {
+		t.Fatal("NaN posterior mean on flat targets")
+	}
+}

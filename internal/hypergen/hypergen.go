@@ -1,0 +1,255 @@
+// Package hypergen implements the Hyperparameter Generator component of
+// HyperDrive (paper §4.2, component ②): pluggable sources of candidate
+// configurations behind the two-call API
+//
+//	createJob() -> (jobID, hyperparameters)
+//	reportFinalPerformance(jobID, performance)
+//
+// Random and grid generation match the paper's built-ins; Adaptive is a
+// lightweight density-ratio sampler standing in for the Bayesian
+// optimization frameworks the paper plugs in through a shim.
+package hypergen
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"github.com/hyperdrive-ml/hyperdrive/internal/param"
+)
+
+// ErrExhausted is returned by CreateJob when a generator has no more
+// configurations to offer (e.g., a fully enumerated grid).
+var ErrExhausted = errors.New("hypergen: generator exhausted")
+
+// Generator produces candidate configurations. Implementations must be
+// safe for concurrent use.
+type Generator interface {
+	// CreateJob returns a fresh job ID and its configuration.
+	CreateJob() (jobID string, cfg param.Config, err error)
+	// ReportFinalPerformance feeds a finished configuration's final
+	// metric back to adaptive generators; non-adaptive generators
+	// ignore it.
+	ReportFinalPerformance(jobID string, perf float64)
+}
+
+// jobName formats sequential job IDs.
+func jobName(prefix string, n int) string { return fmt.Sprintf("%s-%03d", prefix, n) }
+
+// Random samples configurations independently and uniformly from the
+// space (log-uniformly on log-scaled axes).
+type Random struct {
+	mu    sync.Mutex
+	space *param.Space
+	rng   *rand.Rand
+	next  int
+	limit int // 0 = unlimited
+}
+
+// NewRandom builds a random-search generator. limit bounds the number
+// of configurations (0 = unlimited); the paper's experiments use 100.
+func NewRandom(space *param.Space, seed int64, limit int) *Random {
+	return &Random{space: space, rng: rand.New(rand.NewSource(seed)), limit: limit}
+}
+
+// CreateJob implements Generator.
+func (g *Random) CreateJob() (string, param.Config, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.limit > 0 && g.next >= g.limit {
+		return "", nil, ErrExhausted
+	}
+	id := jobName("rand", g.next)
+	g.next++
+	return id, g.space.Sample(g.rng), nil
+}
+
+// ReportFinalPerformance implements Generator (no-op).
+func (g *Random) ReportFinalPerformance(string, float64) {}
+
+// Grid enumerates the cross-product grid in deterministic order.
+type Grid struct {
+	mu   sync.Mutex
+	grid []param.Config
+	next int
+}
+
+// NewGrid builds a grid-search generator with perAxis values per
+// continuous axis.
+func NewGrid(space *param.Space, perAxis int) *Grid {
+	return &Grid{grid: space.Grid(perAxis)}
+}
+
+// Size returns the total number of grid points.
+func (g *Grid) Size() int { return len(g.grid) }
+
+// CreateJob implements Generator.
+func (g *Grid) CreateJob() (string, param.Config, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.next >= len(g.grid) {
+		return "", nil, ErrExhausted
+	}
+	id := jobName("grid", g.next)
+	cfg := g.grid[g.next]
+	g.next++
+	return id, cfg, nil
+}
+
+// ReportFinalPerformance implements Generator (no-op).
+func (g *Grid) ReportFinalPerformance(string, float64) {}
+
+// Fixed replays a predetermined configuration list; the experiment
+// harness uses it to hand every policy the identical configuration set
+// in the identical order (§6.1 "the same set of hyperparameters ...
+// with the same initial random seed").
+type Fixed struct {
+	mu   sync.Mutex
+	cfgs []param.Config
+	next int
+}
+
+// NewFixed builds a generator over an explicit configuration list.
+func NewFixed(cfgs []param.Config) *Fixed {
+	return &Fixed{cfgs: cfgs}
+}
+
+// CreateJob implements Generator.
+func (g *Fixed) CreateJob() (string, param.Config, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.next >= len(g.cfgs) {
+		return "", nil, ErrExhausted
+	}
+	id := jobName("job", g.next)
+	cfg := g.cfgs[g.next].Clone()
+	g.next++
+	return id, cfg, nil
+}
+
+// ReportFinalPerformance implements Generator (no-op).
+func (g *Fixed) ReportFinalPerformance(string, float64) {}
+
+// Adaptive is a density-ratio sampler in the spirit of TPE: after a
+// warmup of random draws it splits observed results into good/bad by
+// performance quantile, draws candidates, and keeps the candidate with
+// the highest good/bad kernel-density ratio. It stands in for the
+// Bayesian-optimization generators (Hyperopt, Spearmint, GPyOpt) the
+// paper integrates via a shim.
+type Adaptive struct {
+	mu         sync.Mutex
+	space      *param.Space
+	rng        *rand.Rand
+	next       int
+	limit      int
+	warmup     int
+	gamma      float64 // good-quantile fraction
+	candidates int
+
+	configs map[string]param.Config
+	results []result
+}
+
+type result struct {
+	cfg  param.Config
+	perf float64
+}
+
+// NewAdaptive builds an adaptive generator. Warmup random draws happen
+// before density guidance kicks in.
+func NewAdaptive(space *param.Space, seed int64, limit int) *Adaptive {
+	return &Adaptive{
+		space:      space,
+		rng:        rand.New(rand.NewSource(seed)),
+		limit:      limit,
+		warmup:     10,
+		gamma:      0.25,
+		candidates: 24,
+		configs:    make(map[string]param.Config),
+	}
+}
+
+// CreateJob implements Generator.
+func (g *Adaptive) CreateJob() (string, param.Config, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.limit > 0 && g.next >= g.limit {
+		return "", nil, ErrExhausted
+	}
+	id := jobName("adapt", g.next)
+	g.next++
+
+	var cfg param.Config
+	if len(g.results) < g.warmup {
+		cfg = g.space.Sample(g.rng)
+	} else {
+		cfg = g.guidedSample()
+	}
+	g.configs[id] = cfg
+	return id, cfg.Clone(), nil
+}
+
+// ReportFinalPerformance implements Generator.
+func (g *Adaptive) ReportFinalPerformance(jobID string, perf float64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	cfg, ok := g.configs[jobID]
+	if !ok {
+		return
+	}
+	g.results = append(g.results, result{cfg: cfg, perf: perf})
+}
+
+// guidedSample draws candidates and keeps the best good/bad density
+// ratio. Caller holds the lock.
+func (g *Adaptive) guidedSample() param.Config {
+	// Split results into good (top gamma fraction) and bad.
+	sorted := append([]result(nil), g.results...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j].perf > sorted[j-1].perf; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	nGood := int(math.Ceil(g.gamma * float64(len(sorted))))
+	if nGood < 2 {
+		nGood = 2
+	}
+	if nGood > len(sorted) {
+		nGood = len(sorted)
+	}
+	good, bad := sorted[:nGood], sorted[nGood:]
+	if len(bad) == 0 {
+		return g.space.Sample(g.rng)
+	}
+
+	bestScore := math.Inf(-1)
+	var best param.Config
+	for c := 0; c < g.candidates; c++ {
+		cand := g.space.Sample(g.rng)
+		score := g.logDensity(cand, good) - g.logDensity(cand, bad)
+		if score > bestScore {
+			bestScore = score
+			best = cand
+		}
+	}
+	return best
+}
+
+// logDensity is a product of per-axis Gaussian kernels over the
+// normalized parameter values.
+func (g *Adaptive) logDensity(cfg param.Config, rs []result) float64 {
+	const bw = 0.15
+	var ll float64
+	for _, p := range g.space.Params() {
+		x := p.Normalize(cfg.Get(p.Name, 0))
+		var sum float64
+		for _, r := range rs {
+			d := (x - p.Normalize(r.cfg.Get(p.Name, 0))) / bw
+			sum += math.Exp(-0.5 * d * d)
+		}
+		ll += math.Log(sum/float64(len(rs)) + 1e-12)
+	}
+	return ll
+}

@@ -1,0 +1,186 @@
+package hypergen
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"github.com/hyperdrive-ml/hyperdrive/internal/param"
+)
+
+func smallSpace(t *testing.T) *param.Space {
+	t.Helper()
+	s, err := param.NewSpace(
+		param.Param{Name: "x", Kind: param.Uniform, Min: 0, Max: 1},
+		param.Param{Name: "y", Kind: param.LogUniform, Min: 1e-3, Max: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRandomGenerator(t *testing.T) {
+	g := NewRandom(smallSpace(t), 1, 5)
+	seen := make(map[string]bool)
+	for i := 0; i < 5; i++ {
+		id, cfg, err := g.CreateJob()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate job id %s", id)
+		}
+		seen[id] = true
+		if len(cfg) != 2 {
+			t.Fatalf("config = %v", cfg)
+		}
+	}
+	if _, _, err := g.CreateJob(); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("err = %v, want ErrExhausted at limit", err)
+	}
+	g.ReportFinalPerformance("rand-000", 0.5) // must not panic
+}
+
+func TestRandomDeterministicSeed(t *testing.T) {
+	a := NewRandom(smallSpace(t), 9, 0)
+	b := NewRandom(smallSpace(t), 9, 0)
+	_, ca, _ := a.CreateJob()
+	_, cb, _ := b.CreateJob()
+	if ca.Key() != cb.Key() {
+		t.Fatal("same seed produced different configs")
+	}
+}
+
+func TestRandomUnlimited(t *testing.T) {
+	g := NewRandom(smallSpace(t), 2, 0)
+	for i := 0; i < 200; i++ {
+		if _, _, err := g.CreateJob(); err != nil {
+			t.Fatalf("unlimited generator exhausted at %d: %v", i, err)
+		}
+	}
+}
+
+func TestGridGenerator(t *testing.T) {
+	g := NewGrid(smallSpace(t), 3)
+	if g.Size() != 9 {
+		t.Fatalf("grid size = %d, want 9", g.Size())
+	}
+	seen := make(map[string]bool)
+	for i := 0; i < 9; i++ {
+		_, cfg, err := g.CreateJob()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[cfg.Key()] {
+			t.Fatalf("duplicate grid point %v", cfg)
+		}
+		seen[cfg.Key()] = true
+	}
+	if _, _, err := g.CreateJob(); !errors.Is(err, ErrExhausted) {
+		t.Fatal("grid should exhaust")
+	}
+}
+
+func TestFixedGenerator(t *testing.T) {
+	cfgs := []param.Config{{"x": 0.1, "y": 0.01}, {"x": 0.9, "y": 0.5}}
+	g := NewFixed(cfgs)
+	id0, c0, err := g.CreateJob()
+	if err != nil || id0 != "job-000" || c0.Key() != cfgs[0].Key() {
+		t.Fatalf("first = %s %v %v", id0, c0, err)
+	}
+	// Mutating the returned config must not corrupt the source.
+	c0["x"] = 42
+	_, c1, _ := g.CreateJob()
+	if c1.Key() != cfgs[1].Key() {
+		t.Fatalf("second config = %v", c1)
+	}
+	if _, _, err := g.CreateJob(); !errors.Is(err, ErrExhausted) {
+		t.Fatal("fixed should exhaust")
+	}
+	if cfgs[0]["x"] == 42 {
+		t.Fatal("CreateJob leaked internal storage")
+	}
+}
+
+func TestAdaptiveWarmupThenGuided(t *testing.T) {
+	space := smallSpace(t)
+	g := NewAdaptive(space, 3, 0)
+	// Synthetic objective: best near x = 0.8.
+	objective := func(cfg param.Config) float64 {
+		d := cfg.Get("x", 0) - 0.8
+		return 1 - d*d
+	}
+	for i := 0; i < 60; i++ {
+		id, cfg, err := g.CreateJob()
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.ReportFinalPerformance(id, objective(cfg))
+	}
+	// After guidance kicks in, draws should concentrate near the
+	// optimum compared to uniform sampling.
+	var guided []float64
+	for i := 0; i < 40; i++ {
+		id, cfg, err := g.CreateJob()
+		if err != nil {
+			t.Fatal(err)
+		}
+		guided = append(guided, cfg.Get("x", 0))
+		g.ReportFinalPerformance(id, objective(cfg))
+	}
+	var meanDist float64
+	for _, x := range guided {
+		meanDist += math.Abs(x - 0.8)
+	}
+	meanDist /= float64(len(guided))
+	// Uniform sampling would average ~0.34 distance from 0.8.
+	if meanDist > 0.30 {
+		t.Errorf("guided mean distance from optimum = %.3f, want < 0.30", meanDist)
+	}
+}
+
+func TestAdaptiveLimit(t *testing.T) {
+	g := NewAdaptive(smallSpace(t), 1, 3)
+	for i := 0; i < 3; i++ {
+		if _, _, err := g.CreateJob(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := g.CreateJob(); !errors.Is(err, ErrExhausted) {
+		t.Fatal("adaptive should respect limit")
+	}
+}
+
+func TestAdaptiveIgnoresUnknownJob(t *testing.T) {
+	g := NewAdaptive(smallSpace(t), 1, 0)
+	g.ReportFinalPerformance("nope", 1.0) // must not panic
+}
+
+func TestGeneratorsConcurrentUse(t *testing.T) {
+	g := NewRandom(smallSpace(t), 4, 0)
+	var wg sync.WaitGroup
+	ids := make(chan string, 100)
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			id, _, err := g.CreateJob()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ids <- id
+		}()
+	}
+	wg.Wait()
+	close(ids)
+	seen := make(map[string]bool)
+	for id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate concurrent id %s", id)
+		}
+		seen[id] = true
+	}
+}

@@ -1,0 +1,336 @@
+// Package param defines hyperparameter search spaces: named parameters
+// with continuous (uniform or log-uniform), integer, or categorical
+// domains, plus sampling and grid enumeration over them. It is the
+// vocabulary shared by the hyperparameter generators (internal/hypergen)
+// and the synthetic workloads (internal/workload).
+package param
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind identifies the domain type of a parameter.
+type Kind int
+
+// Parameter domain kinds.
+const (
+	Uniform Kind = iota + 1 // continuous, uniform in [Min, Max]
+	LogUniform
+	Int    // integer, uniform in [Min, Max]
+	Choice // categorical over Choices
+)
+
+// String returns the lowercase kind name.
+func (k Kind) String() string {
+	switch k {
+	case Uniform:
+		return "uniform"
+	case LogUniform:
+		return "loguniform"
+	case Int:
+		return "int"
+	case Choice:
+		return "choice"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Param describes one hyperparameter.
+type Param struct {
+	Name    string
+	Kind    Kind
+	Min     float64   // Uniform, LogUniform, Int
+	Max     float64   // Uniform, LogUniform, Int
+	Choices []float64 // Choice
+}
+
+// Validate reports whether the parameter definition is internally
+// consistent.
+func (p Param) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("param: empty name")
+	}
+	switch p.Kind {
+	case Uniform, Int:
+		if p.Min > p.Max {
+			return fmt.Errorf("param %q: min %v > max %v", p.Name, p.Min, p.Max)
+		}
+	case LogUniform:
+		if p.Min <= 0 || p.Max <= 0 {
+			return fmt.Errorf("param %q: log-uniform bounds must be positive", p.Name)
+		}
+		if p.Min > p.Max {
+			return fmt.Errorf("param %q: min %v > max %v", p.Name, p.Min, p.Max)
+		}
+	case Choice:
+		if len(p.Choices) == 0 {
+			return fmt.Errorf("param %q: choice with no choices", p.Name)
+		}
+	default:
+		return fmt.Errorf("param %q: unknown kind %v", p.Name, p.Kind)
+	}
+	return nil
+}
+
+// Sample draws one value from the parameter's domain using rng.
+func (p Param) Sample(rng *rand.Rand) float64 {
+	switch p.Kind {
+	case Uniform:
+		return p.Min + rng.Float64()*(p.Max-p.Min)
+	case LogUniform:
+		lo, hi := math.Log(p.Min), math.Log(p.Max)
+		return math.Exp(lo + rng.Float64()*(hi-lo))
+	case Int:
+		span := int64(p.Max) - int64(p.Min) + 1
+		if span <= 1 {
+			return p.Min
+		}
+		return float64(int64(p.Min) + rng.Int63n(span))
+	case Choice:
+		return p.Choices[rng.Intn(len(p.Choices))]
+	default:
+		return p.Min
+	}
+}
+
+// GridValues returns n values spanning the parameter's domain: evenly
+// spaced for Uniform/Int, log-spaced for LogUniform, and all choices for
+// Choice (ignoring n).
+func (p Param) GridValues(n int) []float64 {
+	if n < 1 {
+		n = 1
+	}
+	switch p.Kind {
+	case Choice:
+		out := make([]float64, len(p.Choices))
+		copy(out, p.Choices)
+		return out
+	case Uniform:
+		return linspace(p.Min, p.Max, n)
+	case LogUniform:
+		logs := linspace(math.Log(p.Min), math.Log(p.Max), n)
+		for i, v := range logs {
+			logs[i] = math.Exp(v)
+		}
+		return logs
+	case Int:
+		vals := linspace(p.Min, p.Max, n)
+		seen := make(map[float64]bool, len(vals))
+		var out []float64
+		for _, v := range vals {
+			r := math.Round(v)
+			if !seen[r] {
+				seen[r] = true
+				out = append(out, r)
+			}
+		}
+		return out
+	default:
+		return []float64{p.Min}
+	}
+}
+
+// Normalize maps a value in the parameter's domain to [0, 1], which the
+// synthetic workloads use to derive learnability scores. Values outside
+// the domain are clamped.
+func (p Param) Normalize(v float64) float64 {
+	switch p.Kind {
+	case Uniform, Int:
+		if p.Max == p.Min {
+			return 0.5
+		}
+		return clamp01((v - p.Min) / (p.Max - p.Min))
+	case LogUniform:
+		lo, hi := math.Log(p.Min), math.Log(p.Max)
+		if hi == lo {
+			return 0.5
+		}
+		return clamp01((math.Log(math.Max(v, 1e-300)) - lo) / (hi - lo))
+	case Choice:
+		for i, c := range p.Choices {
+			if c == v {
+				if len(p.Choices) == 1 {
+					return 0.5
+				}
+				return float64(i) / float64(len(p.Choices)-1)
+			}
+		}
+		return 0.5
+	default:
+		return 0.5
+	}
+}
+
+// Space is an ordered collection of parameters.
+type Space struct {
+	params []Param
+	index  map[string]int
+}
+
+// NewSpace builds a Space, validating every parameter and rejecting
+// duplicates.
+func NewSpace(params ...Param) (*Space, error) {
+	s := &Space{index: make(map[string]int, len(params))}
+	for _, p := range params {
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		if _, dup := s.index[p.Name]; dup {
+			return nil, fmt.Errorf("param %q: duplicate name", p.Name)
+		}
+		s.index[p.Name] = len(s.params)
+		s.params = append(s.params, p)
+	}
+	return s, nil
+}
+
+// MustSpace is NewSpace that panics on error; for package-level
+// definitions of well-known spaces.
+func MustSpace(params ...Param) *Space {
+	s, err := NewSpace(params...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Len returns the number of parameters.
+func (s *Space) Len() int { return len(s.params) }
+
+// Params returns a copy of the parameter list.
+func (s *Space) Params() []Param {
+	out := make([]Param, len(s.params))
+	copy(out, s.params)
+	return out
+}
+
+// Lookup returns the parameter with the given name.
+func (s *Space) Lookup(name string) (Param, bool) {
+	i, ok := s.index[name]
+	if !ok {
+		return Param{}, false
+	}
+	return s.params[i], true
+}
+
+// Sample draws a full configuration from the space.
+func (s *Space) Sample(rng *rand.Rand) Config {
+	c := make(Config, len(s.params))
+	for _, p := range s.params {
+		c[p.Name] = p.Sample(rng)
+	}
+	return c
+}
+
+// Grid enumerates the cross-product grid with perAxis values per
+// continuous axis. The result is deterministic. Callers should keep
+// perAxis small: the grid has perAxis^dims points.
+func (s *Space) Grid(perAxis int) []Config {
+	grids := make([][]float64, len(s.params))
+	total := 1
+	for i, p := range s.params {
+		grids[i] = p.GridValues(perAxis)
+		total *= len(grids[i])
+	}
+	out := make([]Config, 0, total)
+	idx := make([]int, len(s.params))
+	for {
+		c := make(Config, len(s.params))
+		for i, p := range s.params {
+			c[p.Name] = grids[i][idx[i]]
+		}
+		out = append(out, c)
+		// Odometer increment.
+		i := len(idx) - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(grids[i]) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			break
+		}
+	}
+	return out
+}
+
+// Validate checks that cfg assigns a value to every parameter in the
+// space (extra keys are allowed and ignored).
+func (s *Space) Validate(cfg Config) error {
+	for _, p := range s.params {
+		if _, ok := cfg[p.Name]; !ok {
+			return fmt.Errorf("config missing param %q", p.Name)
+		}
+	}
+	return nil
+}
+
+// Config is one assignment of values to hyperparameter names.
+type Config map[string]float64
+
+// Get returns the value for name, or def when absent.
+func (c Config) Get(name string, def float64) float64 {
+	if v, ok := c[name]; ok {
+		return v
+	}
+	return def
+}
+
+// Clone returns a deep copy.
+func (c Config) Clone() Config {
+	out := make(Config, len(c))
+	for k, v := range c {
+		out[k] = v
+	}
+	return out
+}
+
+// Key returns a deterministic string identity for the configuration,
+// suitable for map keys and trace files.
+func (c Config) Key() string {
+	names := make([]string, 0, len(c))
+	for k := range c {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for i, k := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(strconv.FormatFloat(c[k], 'g', 12, 64))
+	}
+	return b.String()
+}
+
+func linspace(lo, hi float64, n int) []float64 {
+	if n == 1 {
+		return []float64{(lo + hi) / 2}
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	return out
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,302 @@
+package param
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParamValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		give    Param
+		wantErr bool
+	}{
+		{"valid uniform", Param{Name: "a", Kind: Uniform, Min: 0, Max: 1}, false},
+		{"valid loguniform", Param{Name: "a", Kind: LogUniform, Min: 1e-5, Max: 1}, false},
+		{"valid int", Param{Name: "a", Kind: Int, Min: 1, Max: 10}, false},
+		{"valid choice", Param{Name: "a", Kind: Choice, Choices: []float64{1, 2}}, false},
+		{"empty name", Param{Kind: Uniform, Min: 0, Max: 1}, true},
+		{"inverted bounds", Param{Name: "a", Kind: Uniform, Min: 2, Max: 1}, true},
+		{"nonpositive log bound", Param{Name: "a", Kind: LogUniform, Min: 0, Max: 1}, true},
+		{"inverted log bounds", Param{Name: "a", Kind: LogUniform, Min: 2, Max: 1}, true},
+		{"empty choice", Param{Name: "a", Kind: Choice}, true},
+		{"unknown kind", Param{Name: "a"}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.give.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("Validate() error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestSampleWithinBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	params := []Param{
+		{Name: "u", Kind: Uniform, Min: -2, Max: 3},
+		{Name: "l", Kind: LogUniform, Min: 1e-4, Max: 10},
+		{Name: "i", Kind: Int, Min: 3, Max: 9},
+		{Name: "c", Kind: Choice, Choices: []float64{0.5, 7, 42}},
+	}
+	for _, p := range params {
+		for i := 0; i < 1000; i++ {
+			v := p.Sample(rng)
+			switch p.Kind {
+			case Uniform, LogUniform, Int:
+				if v < p.Min || v > p.Max {
+					t.Fatalf("%s: sample %v out of [%v, %v]", p.Name, v, p.Min, p.Max)
+				}
+				if p.Kind == Int && v != math.Trunc(v) {
+					t.Fatalf("%s: int sample %v not integral", p.Name, v)
+				}
+			case Choice:
+				found := false
+				for _, c := range p.Choices {
+					if c == v {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("%s: sample %v not in choices", p.Name, v)
+				}
+			}
+		}
+	}
+}
+
+func TestSampleIntDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := Param{Name: "i", Kind: Int, Min: 5, Max: 5}
+	if v := p.Sample(rng); v != 5 {
+		t.Fatalf("degenerate int sample = %v, want 5", v)
+	}
+}
+
+func TestLogUniformCoversDecades(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := Param{Name: "lr", Kind: LogUniform, Min: 1e-5, Max: 1e-1}
+	low, high := 0, 0
+	for i := 0; i < 4000; i++ {
+		v := p.Sample(rng)
+		if v < 1e-4 {
+			low++
+		}
+		if v > 1e-2 {
+			high++
+		}
+	}
+	// Each end decade should hold roughly 1/4 of the mass.
+	if low < 500 || high < 500 {
+		t.Fatalf("log-uniform not covering decades: low=%d high=%d", low, high)
+	}
+}
+
+func TestGridValues(t *testing.T) {
+	p := Param{Name: "u", Kind: Uniform, Min: 0, Max: 10}
+	got := p.GridValues(3)
+	want := []float64{0, 5, 10}
+	if len(got) != len(want) {
+		t.Fatalf("GridValues = %v, want %v", got, want)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("GridValues[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestGridValuesLogSpaced(t *testing.T) {
+	p := Param{Name: "l", Kind: LogUniform, Min: 1e-4, Max: 1}
+	got := p.GridValues(5)
+	for i := 1; i < len(got); i++ {
+		ratio := got[i] / got[i-1]
+		if math.Abs(ratio-10) > 1e-6 {
+			t.Fatalf("log grid ratio = %v, want 10", ratio)
+		}
+	}
+}
+
+func TestGridValuesIntDedup(t *testing.T) {
+	p := Param{Name: "i", Kind: Int, Min: 1, Max: 3}
+	got := p.GridValues(10)
+	if len(got) != 3 {
+		t.Fatalf("int grid = %v, want 3 distinct values", got)
+	}
+}
+
+func TestGridValuesSinglePoint(t *testing.T) {
+	p := Param{Name: "u", Kind: Uniform, Min: 2, Max: 4}
+	got := p.GridValues(1)
+	if len(got) != 1 || got[0] != 3 {
+		t.Fatalf("GridValues(1) = %v, want midpoint [3]", got)
+	}
+}
+
+func TestNormalizeProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(3))}
+	p := Param{Name: "u", Kind: Uniform, Min: -1, Max: 1}
+	inRange := func(v float64) bool {
+		n := p.Normalize(v)
+		return n >= 0 && n <= 1 && !math.IsNaN(n)
+	}
+	if err := quick.Check(inRange, cfg); err != nil {
+		t.Fatal(err)
+	}
+	lp := Param{Name: "l", Kind: LogUniform, Min: 1e-5, Max: 1e-1}
+	logInRange := func(v float64) bool {
+		n := lp.Normalize(math.Abs(v) + 1e-9)
+		return n >= 0 && n <= 1 && !math.IsNaN(n)
+	}
+	if err := quick.Check(logInRange, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalizeEndpoints(t *testing.T) {
+	p := Param{Name: "u", Kind: Uniform, Min: 10, Max: 20}
+	if got := p.Normalize(10); got != 0 {
+		t.Fatalf("Normalize(min) = %v, want 0", got)
+	}
+	if got := p.Normalize(20); got != 1 {
+		t.Fatalf("Normalize(max) = %v, want 1", got)
+	}
+	if got := p.Normalize(15); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("Normalize(mid) = %v, want 0.5", got)
+	}
+}
+
+func TestNormalizeChoice(t *testing.T) {
+	p := Param{Name: "c", Kind: Choice, Choices: []float64{8, 16, 32}}
+	if got := p.Normalize(16); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("Normalize(middle choice) = %v, want 0.5", got)
+	}
+	if got := p.Normalize(99); got != 0.5 {
+		t.Fatalf("Normalize(unknown choice) = %v, want 0.5 fallback", got)
+	}
+}
+
+func TestNewSpaceRejectsDuplicates(t *testing.T) {
+	_, err := NewSpace(
+		Param{Name: "a", Kind: Uniform, Min: 0, Max: 1},
+		Param{Name: "a", Kind: Uniform, Min: 0, Max: 1},
+	)
+	if err == nil {
+		t.Fatal("NewSpace accepted duplicate names")
+	}
+}
+
+func TestNewSpaceRejectsInvalidParam(t *testing.T) {
+	if _, err := NewSpace(Param{Name: "", Kind: Uniform}); err == nil {
+		t.Fatal("NewSpace accepted invalid param")
+	}
+}
+
+func TestSpaceSampleComplete(t *testing.T) {
+	s := CIFAR10Space()
+	rng := rand.New(rand.NewSource(11))
+	cfg := s.Sample(rng)
+	if err := s.Validate(cfg); err != nil {
+		t.Fatalf("sampled config invalid: %v", err)
+	}
+	if len(cfg) != s.Len() {
+		t.Fatalf("config has %d values, want %d", len(cfg), s.Len())
+	}
+}
+
+func TestSpaceLookup(t *testing.T) {
+	s := CIFAR10Space()
+	p, ok := s.Lookup("learning_rate")
+	if !ok || p.Kind != LogUniform {
+		t.Fatalf("Lookup(learning_rate) = %+v, %v", p, ok)
+	}
+	if _, ok := s.Lookup("nope"); ok {
+		t.Fatal("Lookup found nonexistent param")
+	}
+}
+
+func TestSpaceGridCrossProduct(t *testing.T) {
+	s := MustSpace(
+		Param{Name: "a", Kind: Uniform, Min: 0, Max: 1},
+		Param{Name: "b", Kind: Choice, Choices: []float64{1, 2, 3}},
+	)
+	grid := s.Grid(2)
+	if len(grid) != 6 {
+		t.Fatalf("grid size = %d, want 6", len(grid))
+	}
+	seen := make(map[string]bool)
+	for _, cfg := range grid {
+		if seen[cfg.Key()] {
+			t.Fatalf("duplicate grid point %v", cfg)
+		}
+		seen[cfg.Key()] = true
+	}
+}
+
+func TestSpaceValidateMissing(t *testing.T) {
+	s := MustSpace(Param{Name: "a", Kind: Uniform, Min: 0, Max: 1})
+	if err := s.Validate(Config{}); err == nil {
+		t.Fatal("Validate accepted incomplete config")
+	}
+}
+
+func TestConfigKeyDeterministic(t *testing.T) {
+	a := Config{"x": 1, "y": 2.5}
+	b := Config{"y": 2.5, "x": 1}
+	if a.Key() != b.Key() {
+		t.Fatalf("keys differ: %q vs %q", a.Key(), b.Key())
+	}
+	c := Config{"x": 1, "y": 2.5000001}
+	if a.Key() == c.Key() {
+		t.Fatal("distinct configs share a key")
+	}
+}
+
+func TestConfigCloneIndependent(t *testing.T) {
+	a := Config{"x": 1}
+	b := a.Clone()
+	b["x"] = 2
+	if a["x"] != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestConfigGetDefault(t *testing.T) {
+	c := Config{"x": 3}
+	if got := c.Get("x", 9); got != 3 {
+		t.Fatalf("Get(x) = %v, want 3", got)
+	}
+	if got := c.Get("missing", 9); got != 9 {
+		t.Fatalf("Get(missing) = %v, want default 9", got)
+	}
+}
+
+func TestWellKnownSpaces(t *testing.T) {
+	if got := CIFAR10Space().Len(); got != 14 {
+		t.Fatalf("CIFAR10Space has %d params, want 14 (paper §6.1)", got)
+	}
+	if got := LunarLanderSpace().Len(); got != 11 {
+		t.Fatalf("LunarLanderSpace has %d params, want 11 (paper §6.1)", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	tests := []struct {
+		give Kind
+		want string
+	}{
+		{Uniform, "uniform"},
+		{LogUniform, "loguniform"},
+		{Int, "int"},
+		{Choice, "choice"},
+		{Kind(99), "kind(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("Kind(%d).String() = %q, want %q", tt.give, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package param
+
+// CIFAR10Space returns the 14-hyperparameter search space used for the
+// supervised-learning workload, mirroring the cuda-convnet layers-18pct
+// CIFAR-10 configuration explored in the paper (which reuses Table 3 of
+// Domhan et al., IJCAI 2015): solver parameters (learning rate schedule,
+// momentum, weight decay) plus per-layer architecture knobs.
+func CIFAR10Space() *Space {
+	return MustSpace(
+		Param{Name: "learning_rate", Kind: LogUniform, Min: 1e-5, Max: 1e-1},
+		Param{Name: "lr_gamma", Kind: Uniform, Min: 0.8, Max: 1.0},
+		Param{Name: "lr_step", Kind: Int, Min: 1, Max: 30},
+		Param{Name: "momentum", Kind: Uniform, Min: 0, Max: 0.99},
+		Param{Name: "weight_decay", Kind: LogUniform, Min: 5e-6, Max: 5e-2},
+		Param{Name: "batch_size", Kind: Choice, Choices: []float64{32, 64, 128, 256}},
+		Param{Name: "conv1_filters", Kind: Int, Min: 16, Max: 96},
+		Param{Name: "conv2_filters", Kind: Int, Min: 16, Max: 96},
+		Param{Name: "conv3_filters", Kind: Int, Min: 16, Max: 96},
+		Param{Name: "fc_size", Kind: Int, Min: 32, Max: 512},
+		Param{Name: "init_std", Kind: LogUniform, Min: 1e-4, Max: 1e-1},
+		Param{Name: "dropout", Kind: Uniform, Min: 0, Max: 0.7},
+		Param{Name: "pool_type", Kind: Choice, Choices: []float64{0, 1}},
+		Param{Name: "lr_policy", Kind: Choice, Choices: []float64{0, 1, 2}},
+	)
+}
+
+// LunarLanderSpace returns the 11-hyperparameter space for the
+// reinforcement-learning workload, mirroring the DQN-style agent of
+// Asadi & Williams (2016) used by the paper: optimizer, exploration
+// schedule, replay and target-network parameters, and network size.
+func LunarLanderSpace() *Space {
+	return MustSpace(
+		Param{Name: "learning_rate", Kind: LogUniform, Min: 1e-5, Max: 1e-2},
+		Param{Name: "discount", Kind: Uniform, Min: 0.95, Max: 0.999},
+		Param{Name: "epsilon_start", Kind: Uniform, Min: 0.5, Max: 1.0},
+		Param{Name: "epsilon_decay", Kind: Uniform, Min: 0.98, Max: 0.99999},
+		Param{Name: "epsilon_min", Kind: Uniform, Min: 0.0, Max: 0.15},
+		Param{Name: "hidden1", Kind: Int, Min: 16, Max: 256},
+		Param{Name: "hidden2", Kind: Int, Min: 16, Max: 256},
+		Param{Name: "batch_size", Kind: Choice, Choices: []float64{16, 32, 64, 128}},
+		Param{Name: "replay_size", Kind: Int, Min: 1000, Max: 200000},
+		Param{Name: "target_update", Kind: Int, Min: 10, Max: 5000},
+		Param{Name: "reward_scale", Kind: LogUniform, Min: 0.01, Max: 10},
+	)
+}

@@ -1,0 +1,73 @@
+package policy
+
+import (
+	"fmt"
+
+	"github.com/hyperdrive-ml/hyperdrive/internal/sched"
+)
+
+// BanditOptions configures the Bandit policy.
+type BanditOptions struct {
+	// Epsilon is the action-elimination slack; the paper follows
+	// TuPAQ and uses 0.50.
+	Epsilon float64
+	// Boundary is the evaluation boundary b in epochs; 0 uses the
+	// workload default (10 supervised, 2,000 RL iterations).
+	Boundary int
+}
+
+// Bandit is the TuPAQ-style baseline (§5.3): an action-elimination
+// bandit that terminates a job whose best instantaneous performance is
+// no longer within (1+epsilon) of the global best. It extends the
+// Default SAP and looks only at instantaneous accuracy — the
+// shortcoming POP's trajectory-based prediction addresses (§2.2a).
+type Bandit struct {
+	epsilon  float64
+	boundary int
+}
+
+// NewBandit builds a Bandit policy.
+func NewBandit(opts BanditOptions) (*Bandit, error) {
+	if opts.Epsilon == 0 {
+		opts.Epsilon = 0.50
+	}
+	if opts.Epsilon < 0 {
+		return nil, fmt.Errorf("policy: bandit epsilon %v must be non-negative", opts.Epsilon)
+	}
+	return &Bandit{epsilon: opts.Epsilon, boundary: opts.Boundary}, nil
+}
+
+// Name implements Policy.
+func (*Bandit) Name() string { return "bandit" }
+
+// AllocateJobs implements Policy.
+func (*Bandit) AllocateJobs(ctx Context) { greedyAllocate(ctx) }
+
+// ApplicationStat implements Policy. Stats reach the policy through
+// the AppStat DB; nothing extra to track.
+func (*Bandit) ApplicationStat(Context, sched.Event) {}
+
+// OnIterationFinish implements Policy: at each evaluation boundary,
+// keep the job only if jobBest*(1+eps) > globalBest on the normalized
+// metric scale.
+func (b *Bandit) OnIterationFinish(ctx Context, ev sched.Event) sched.Decision {
+	info := ctx.Info()
+	bnd := boundary(b.boundary, info)
+	if ev.Epoch%bnd != 0 || ev.Epoch >= info.MaxEpoch {
+		return sched.Continue
+	}
+	jobBest, ok := ctx.DB().Best(ev.Job)
+	if !ok {
+		return sched.Continue
+	}
+	globalBest, _, ok := ctx.DB().GlobalBest()
+	if !ok {
+		return sched.Continue
+	}
+	if info.Normalize(jobBest)*(1+b.epsilon) > info.Normalize(globalBest) {
+		return sched.Continue
+	}
+	return sched.Terminate
+}
+
+var _ Policy = (*Bandit)(nil)

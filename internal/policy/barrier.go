@@ -1,0 +1,67 @@
+package policy
+
+import (
+	"fmt"
+
+	"github.com/hyperdrive-ml/hyperdrive/internal/sched"
+)
+
+// Barrier wraps another policy to get the paper's "barrier-like epoch
+// scheduling" (§4.2): whenever the inner policy would continue a job
+// past a barrier boundary, the wrapper suspends it instead, so
+// exploration proceeds breadth-first — many configurations each
+// running a short stretch per round. HyperDrive's default
+// schedule-as-it-goes execution is recovered by not wrapping.
+type Barrier struct {
+	inner Policy
+	every int
+}
+
+// NewBarrier wraps inner with a barrier every n epochs (0 = every
+// workload evaluation boundary).
+func NewBarrier(inner Policy, every int) (*Barrier, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("policy: barrier needs an inner policy")
+	}
+	if every < 0 {
+		return nil, fmt.Errorf("policy: barrier interval %d must be non-negative", every)
+	}
+	return &Barrier{inner: inner, every: every}, nil
+}
+
+// Name implements Policy.
+func (b *Barrier) Name() string { return "barrier(" + b.inner.Name() + ")" }
+
+// AllocateJobs implements Policy.
+func (b *Barrier) AllocateJobs(ctx Context) { b.inner.AllocateJobs(ctx) }
+
+// ApplicationStat implements Policy.
+func (b *Barrier) ApplicationStat(ctx Context, ev sched.Event) {
+	b.inner.ApplicationStat(ctx, ev)
+}
+
+// OnIterationFinish implements Policy: the inner verdict stands except
+// that Continue becomes Suspend at barrier boundaries while other work
+// is waiting (suspending with an empty queue would only idle the
+// slot).
+func (b *Barrier) OnIterationFinish(ctx Context, ev sched.Event) sched.Decision {
+	d := b.inner.OnIterationFinish(ctx, ev)
+	if d != sched.Continue {
+		return d
+	}
+	every := boundary(b.every, ctx.Info())
+	if ev.Epoch%every == 0 && ev.Epoch < ctx.Info().MaxEpoch && ctx.IdleJobs() > 0 {
+		return sched.Suspend
+	}
+	return d
+}
+
+// PredictionFits implements FitCounter when the inner policy does.
+func (b *Barrier) PredictionFits() int {
+	if fc, ok := b.inner.(FitCounter); ok {
+		return fc.PredictionFits()
+	}
+	return 0
+}
+
+var _ Policy = (*Barrier)(nil)

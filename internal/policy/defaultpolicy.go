@@ -1,0 +1,32 @@
+package policy
+
+import (
+	"github.com/hyperdrive-ml/hyperdrive/internal/sched"
+)
+
+// Default is the paper's Default SAP (§4.2): greedily allocate idle
+// jobs to idle machines and run every job to its max epoch, ignoring
+// application statistics. It is both the weakest baseline (random
+// search without early termination, §6.1) and the base behaviour the
+// other policies extend.
+type Default struct{}
+
+// NewDefault returns the Default SAP.
+func NewDefault() *Default { return &Default{} }
+
+// Name implements Policy.
+func (*Default) Name() string { return "default" }
+
+// AllocateJobs implements Policy: start as many idle jobs as there are
+// idle machines.
+func (*Default) AllocateJobs(ctx Context) { greedyAllocate(ctx) }
+
+// ApplicationStat implements Policy (ignored).
+func (*Default) ApplicationStat(Context, sched.Event) {}
+
+// OnIterationFinish implements Policy: always continue.
+func (*Default) OnIterationFinish(Context, sched.Event) sched.Decision {
+	return sched.Continue
+}
+
+var _ Policy = (*Default)(nil)

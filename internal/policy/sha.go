@@ -1,0 +1,178 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/hyperdrive-ml/hyperdrive/internal/sched"
+)
+
+// SHAOptions configures the SuccessiveHalving policy.
+type SHAOptions struct {
+	// Eta is the elimination factor: a configuration reaching a rung
+	// survives only if its best metric is within the top 1/Eta of
+	// everything that has reached that rung so far. Default 3
+	// (HyperBand's customary value).
+	Eta int
+	// MinEpochs is r0, the first rung's epoch budget; 0 uses the
+	// workload's evaluation boundary.
+	MinEpochs int
+	// Brackets > 1 runs full (asynchronous) HyperBand: incoming
+	// configurations are spread round-robin over brackets whose first
+	// rung sits at r0, r0*Eta, r0*Eta^2, ... — hedging the choice of
+	// initial budget the way HyperBand's outer loop does. 0 or 1 is
+	// plain successive halving.
+	Brackets int
+}
+
+// SuccessiveHalving implements asynchronous successive halving (the
+// rung-based core of HyperBand, Li et al., ICLR 2017, in the
+// asynchronous formulation of ASHA) as a HyperDrive SAP — an example
+// of the "existing and future search and scheduling algorithms" the
+// framework is designed to host (§4.1). Rungs sit at epoch budgets
+// r0, r0*eta, r0*eta^2, ...; a configuration reaching a rung continues
+// only if its best metric ranks within the top 1/eta of all arrivals
+// at that rung so far, and is terminated otherwise. The asynchronous
+// rule avoids round barriers, which matches HyperDrive's
+// schedule-as-it-goes execution (§4.2).
+type SuccessiveHalving struct {
+	eta       int
+	minEpochs int
+	brackets  int
+
+	mu        sync.Mutex
+	allowance map[sched.JobID]int
+	bracket   map[sched.JobID]int
+	nextBr    int
+	rungs     map[rungKey][]float64 // (bracket, rung epoch) -> recorded bests
+	decisions int
+}
+
+// rungKey identifies a rung within a bracket.
+type rungKey struct {
+	bracket int
+	epoch   int
+}
+
+// NewSuccessiveHalving builds the policy.
+func NewSuccessiveHalving(opts SHAOptions) (*SuccessiveHalving, error) {
+	if opts.Eta == 0 {
+		opts.Eta = 3
+	}
+	if opts.Eta < 2 {
+		return nil, fmt.Errorf("policy: sha eta %d must be >= 2", opts.Eta)
+	}
+	if opts.MinEpochs < 0 {
+		return nil, fmt.Errorf("policy: sha min epochs %d must be non-negative", opts.MinEpochs)
+	}
+	if opts.Brackets == 0 {
+		opts.Brackets = 1
+	}
+	if opts.Brackets < 1 {
+		return nil, fmt.Errorf("policy: sha brackets %d must be positive", opts.Brackets)
+	}
+	return &SuccessiveHalving{
+		eta:       opts.Eta,
+		minEpochs: opts.MinEpochs,
+		brackets:  opts.Brackets,
+		allowance: make(map[sched.JobID]int),
+		bracket:   make(map[sched.JobID]int),
+		rungs:     make(map[rungKey][]float64),
+	}, nil
+}
+
+// Name implements Policy.
+func (*SuccessiveHalving) Name() string { return "sha" }
+
+// Rounds reports how many rung decisions have been made (diagnostic).
+func (s *SuccessiveHalving) Rounds() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.decisions
+}
+
+// r0 resolves the first rung.
+func (s *SuccessiveHalving) r0(info Info) int {
+	if s.minEpochs > 0 {
+		return s.minEpochs
+	}
+	return boundary(0, info)
+}
+
+// AllocateJobs implements Policy.
+func (*SuccessiveHalving) AllocateJobs(ctx Context) { greedyAllocate(ctx) }
+
+// ApplicationStat implements Policy.
+func (*SuccessiveHalving) ApplicationStat(Context, sched.Event) {}
+
+// OnIterationFinish implements Policy: rung check on arrival.
+func (s *SuccessiveHalving) OnIterationFinish(ctx Context, ev sched.Event) sched.Decision {
+	info := ctx.Info()
+	s.mu.Lock()
+	br, brOK := s.bracket[ev.Job]
+	if !brOK {
+		// HyperBand's outer loop: spread configurations round-robin
+		// over brackets with geometrically increasing first rungs.
+		br = s.nextBr
+		s.nextBr = (s.nextBr + 1) % s.brackets
+		s.bracket[ev.Job] = br
+	}
+	allow, ok := s.allowance[ev.Job]
+	if !ok {
+		allow = s.r0(info)
+		for i := 0; i < br; i++ {
+			allow *= s.eta
+		}
+		if allow > info.MaxEpoch {
+			allow = info.MaxEpoch
+		}
+		s.allowance[ev.Job] = allow
+	}
+	s.mu.Unlock()
+	if allow >= info.MaxEpoch || ev.Epoch < allow {
+		return sched.Continue
+	}
+
+	best, ok := ctx.DB().Best(ev.Job)
+	if !ok {
+		best = info.Normalize(ev.Metric)
+	}
+	best = info.Normalize(best)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.decisions++
+	key := rungKey{bracket: br, epoch: allow}
+	arrivals := append(s.rungs[key], best)
+	s.rungs[key] = arrivals
+	if !s.topFraction(arrivals, best) {
+		delete(s.allowance, ev.Job)
+		delete(s.bracket, ev.Job)
+		return sched.Terminate
+	}
+	next := allow * s.eta
+	if next > info.MaxEpoch {
+		next = info.MaxEpoch
+	}
+	s.allowance[ev.Job] = next
+	// Surface the promotion to the scheduler's idle ordering too.
+	ctx.LabelJob(ev.Job, best)
+	return sched.Continue
+}
+
+// topFraction reports whether v ranks within the top 1/eta of the
+// rung's arrivals so far (ties resolved in the candidate's favor, so
+// the first arrival is always promoted — the standard asynchronous
+// rule).
+func (s *SuccessiveHalving) topFraction(arrivals []float64, v float64) bool {
+	sorted := append([]float64(nil), arrivals...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	keep := (len(sorted) + s.eta - 1) / s.eta
+	if keep < 1 {
+		keep = 1
+	}
+	return v >= sorted[keep-1]
+}
+
+var _ Policy = (*SuccessiveHalving)(nil)

@@ -1,0 +1,173 @@
+package policy_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/hyperdrive-ml/hyperdrive/internal/param"
+	"github.com/hyperdrive-ml/hyperdrive/internal/policy"
+	"github.com/hyperdrive-ml/hyperdrive/internal/sim"
+	"github.com/hyperdrive-ml/hyperdrive/internal/trace"
+	"github.com/hyperdrive-ml/hyperdrive/internal/workload"
+)
+
+func shaTrace(t *testing.T, n int, seed int64) *trace.Trace {
+	t.Helper()
+	spec := workload.CIFAR10()
+	rng := rand.New(rand.NewSource(seed))
+	cfgs := make([]param.Config, n)
+	seeds := make([]int64, n)
+	for i := range cfgs {
+		cfgs[i] = spec.Space().Sample(rng)
+		seeds[i] = int64(i)
+	}
+	tr, err := trace.Collect(spec, cfgs, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestSHAOptionValidation(t *testing.T) {
+	if _, err := policy.NewSuccessiveHalving(policy.SHAOptions{Eta: 1}); err == nil {
+		t.Fatal("accepted eta < 2")
+	}
+	if _, err := policy.NewSuccessiveHalving(policy.SHAOptions{MinEpochs: -1}); err == nil {
+		t.Fatal("accepted negative min epochs")
+	}
+	s, err := policy.NewSuccessiveHalving(policy.SHAOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "sha" {
+		t.Fatalf("name = %q", s.Name())
+	}
+}
+
+func TestSHAEliminatesInRounds(t *testing.T) {
+	tr := shaTrace(t, 27, 5)
+	sha, err := policy.NewSuccessiveHalving(policy.SHAOptions{Eta: 3, MinEpochs: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(sim.Options{Trace: tr, Machines: 3, Policy: sha})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sha.Rounds() < 10 {
+		t.Fatalf("only %d rung decisions happened", sha.Rounds())
+	}
+	if res.Terminations < len(tr.Jobs)/2 {
+		t.Fatalf("SHA terminated only %d of %d", res.Terminations, len(tr.Jobs))
+	}
+	// Asynchronous halving with eta=3 over 27 configs promotes roughly
+	// a third per rung; only a handful survive to the full budget.
+	fullRuns := 0
+	var survivorBest float64
+	for _, j := range res.Jobs {
+		if j.Epochs == tr.MaxEpoch {
+			fullRuns++
+			if j.Best > survivorBest {
+				survivorBest = j.Best
+			}
+		}
+	}
+	if fullRuns == 0 {
+		t.Fatal("no survivor ran to the full budget")
+	}
+	if fullRuns > 6 {
+		t.Fatalf("%d full runs; halving should leave few", fullRuns)
+	}
+	// The survivor must be among the strongest configurations overall.
+	better := 0
+	for _, j := range tr.Jobs {
+		best := 0.0
+		for _, s := range j.Samples {
+			if s.Metric > best {
+				best = s.Metric
+			}
+		}
+		if best > survivorBest+0.05 {
+			better++
+		}
+	}
+	if better > len(tr.Jobs)/3 {
+		t.Fatalf("survivor (best %.3f) is mediocre: %d configs clearly better", survivorBest, better)
+	}
+}
+
+func TestSHABudgetSavings(t *testing.T) {
+	tr := shaTrace(t, 18, 7)
+	sha, err := policy.NewSuccessiveHalving(policy.SHAOptions{Eta: 3, MinEpochs: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shaRes, err := sim.Run(sim.Options{Trace: tr, Machines: 3, Policy: sha})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defRes, err := sim.Run(sim.Options{Trace: tr, Machines: 3, Policy: policy.NewDefault()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shaBusy, defBusy float64
+	for _, j := range shaRes.Jobs {
+		shaBusy += j.BusyTime.Hours()
+	}
+	for _, j := range defRes.Jobs {
+		defBusy += j.BusyTime.Hours()
+	}
+	if shaBusy >= defBusy/2 {
+		t.Fatalf("SHA used %.1fh of %.1fh; halving should save more than half", shaBusy, defBusy)
+	}
+}
+
+func TestSHAThroughFacadeRegistry(t *testing.T) {
+	r := policy.NewRegistry()
+	p, err := r.New("sha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "sha" {
+		t.Fatalf("registry built %q", p.Name())
+	}
+}
+
+func TestHyperbandBrackets(t *testing.T) {
+	tr := shaTrace(t, 24, 9)
+	hb, err := policy.NewSuccessiveHalving(policy.SHAOptions{Eta: 3, MinEpochs: 10, Brackets: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(sim.Options{Trace: tr, Machines: 3, Policy: hb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Terminations == 0 {
+		t.Fatal("hyperband terminated nothing")
+	}
+	// Brackets hedge the first-rung budget: bracket 0 cuts at epoch
+	// 10, bracket 1 at 30, bracket 2 at 90. Terminated jobs must show
+	// all three cut points.
+	cuts := map[int]bool{}
+	for _, j := range res.Jobs {
+		if j.FinalState.Terminal() && j.Epochs < tr.MaxEpoch {
+			cuts[j.Epochs] = true
+		}
+	}
+	found := 0
+	for _, c := range []int{10, 30, 90} {
+		if cuts[c] {
+			found++
+		}
+	}
+	if found < 2 {
+		t.Fatalf("expected multiple bracket cut points, saw %v", cuts)
+	}
+}
+
+func TestSHARejectsBadBrackets(t *testing.T) {
+	if _, err := policy.NewSuccessiveHalving(policy.SHAOptions{Brackets: -1}); err == nil {
+		t.Fatal("accepted negative brackets")
+	}
+}

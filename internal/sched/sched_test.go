@@ -1,0 +1,155 @@
+package sched
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"github.com/hyperdrive-ml/hyperdrive/internal/param"
+)
+
+func newTestJob() *Job {
+	return NewJob("j1", param.Config{"lr": 0.01}, 7, 120)
+}
+
+func TestNewJobInitialState(t *testing.T) {
+	j := newTestJob()
+	if j.State() != Pending || j.Epoch() != 0 || j.Machine() != "" {
+		t.Fatalf("fresh job state = %v epoch=%d machine=%q", j.State(), j.Epoch(), j.Machine())
+	}
+}
+
+func TestLegalLifecycle(t *testing.T) {
+	j := newTestJob()
+	if err := j.Start("m1"); err != nil {
+		t.Fatal(err)
+	}
+	if j.State() != Running || j.Machine() != "m1" {
+		t.Fatalf("after start: %v on %q", j.State(), j.Machine())
+	}
+	if err := j.Suspend(); err != nil {
+		t.Fatal(err)
+	}
+	if j.State() != Suspended || j.Machine() != "" {
+		t.Fatalf("after suspend: %v on %q", j.State(), j.Machine())
+	}
+	if err := j.Start("m2"); err != nil {
+		t.Fatal(err)
+	}
+	if j.Machine() != "m2" {
+		t.Fatalf("resume machine = %q, want m2", j.Machine())
+	}
+	if err := j.Complete(); err != nil {
+		t.Fatal(err)
+	}
+	if j.State() != Completed {
+		t.Fatalf("after complete: %v", j.State())
+	}
+}
+
+func TestIllegalTransitions(t *testing.T) {
+	j := newTestJob()
+	var te *TransitionError
+	if err := j.Suspend(); !errors.As(err, &te) {
+		t.Fatalf("suspend pending: err = %v, want TransitionError", err)
+	}
+	if err := j.Complete(); !errors.As(err, &te) {
+		t.Fatalf("complete pending: err = %v, want TransitionError", err)
+	}
+	if err := j.Terminate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Terminate(); !errors.As(err, &te) {
+		t.Fatal("double terminate should fail")
+	}
+	if err := j.Start("m"); !errors.As(err, &te) {
+		t.Fatal("start after terminate should fail")
+	}
+	if te.Error() == "" {
+		t.Fatal("empty TransitionError message")
+	}
+}
+
+func TestTerminateFromSuspended(t *testing.T) {
+	j := newTestJob()
+	if err := j.Start("m"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Suspend(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Terminate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetEpochMonotone(t *testing.T) {
+	j := newTestJob()
+	j.SetEpoch(5)
+	j.SetEpoch(3) // stale report must not regress
+	if j.Epoch() != 5 {
+		t.Fatalf("epoch = %d, want 5", j.Epoch())
+	}
+}
+
+func TestPriority(t *testing.T) {
+	j := newTestJob()
+	j.SetPriority(0.8)
+	if j.Priority() != 0.8 {
+		t.Fatalf("priority = %v", j.Priority())
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	tests := []struct {
+		give State
+		want string
+	}{
+		{Pending, "pending"}, {Running, "running"}, {Suspended, "suspended"},
+		{Terminated, "terminated"}, {Completed, "completed"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("%v.String() = %q", tt.give, got)
+		}
+	}
+	if State(42).String() == "" {
+		t.Error("unknown state should render")
+	}
+}
+
+func TestTerminalStates(t *testing.T) {
+	if Pending.Terminal() || Running.Terminal() || Suspended.Terminal() {
+		t.Fatal("non-terminal state reported terminal")
+	}
+	if !Terminated.Terminal() || !Completed.Terminal() {
+		t.Fatal("terminal state not reported terminal")
+	}
+}
+
+func TestDecisionStrings(t *testing.T) {
+	if Continue.String() != "continue" || Suspend.String() != "suspend" || Terminate.String() != "terminate" {
+		t.Fatal("bad decision strings")
+	}
+	if Decision(9).String() == "" {
+		t.Fatal("unknown decision should render")
+	}
+}
+
+func TestJobConcurrentAccess(t *testing.T) {
+	j := newTestJob()
+	if err := j.Start("m"); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(2)
+		e := i
+		go func() { defer wg.Done(); j.SetEpoch(e) }()
+		go func() { defer wg.Done(); _ = j.Epoch(); _ = j.State() }()
+	}
+	wg.Wait()
+	if j.Epoch() != 49 {
+		t.Fatalf("epoch = %d, want 49", j.Epoch())
+	}
+}

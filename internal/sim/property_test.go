@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/hyperdrive-ml/hyperdrive/internal/policy"
+	"github.com/hyperdrive-ml/hyperdrive/internal/sched"
+)
+
+// TestWorkConservation checks the engine's core accounting invariant
+// under every built-in policy: each job's busy time equals the sum of
+// the trace durations of exactly the epochs it consumed, and epochs
+// never exceed the trace length.
+func TestWorkConservation(t *testing.T) {
+	tr := testTrace(t, 15, 21)
+	reg := policy.NewRegistry()
+	for _, name := range reg.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			pol, err := reg.New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pop, ok := pol.(*policy.POP); ok {
+				_ = pop // default registry POP uses FastConfig; fine at 15 configs
+			}
+			res, err := Run(Options{Trace: tr, Machines: 3, Policy: pol})
+			if err != nil {
+				t.Fatal(err)
+			}
+			byID := make(map[string][]int64)
+			for _, j := range tr.Jobs {
+				var durs []int64
+				for _, s := range j.Samples {
+					durs = append(durs, s.DurationNs)
+				}
+				byID[j.ID] = durs
+			}
+			for _, j := range res.Jobs {
+				durs := byID[j.ID]
+				if j.Epochs > len(durs) {
+					t.Fatalf("job %s consumed %d epochs of %d", j.ID, j.Epochs, len(durs))
+				}
+				var want time.Duration
+				for _, d := range durs[:j.Epochs] {
+					want += time.Duration(d)
+				}
+				if j.BusyTime != want {
+					t.Fatalf("job %s busy %v, want %v", j.ID, j.BusyTime, want)
+				}
+			}
+		})
+	}
+}
+
+// TestLifecycleAccounting checks that starts/terminations/completions/
+// suspends are mutually consistent with final job states.
+func TestLifecycleAccounting(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := testTrace(t, 5+rng.Intn(10), seed)
+		b, err := policy.NewBandit(policy.BanditOptions{})
+		if err != nil {
+			return false
+		}
+		res, err := Run(Options{Trace: tr, Machines: 1 + rng.Intn(4), Policy: b})
+		if err != nil {
+			return false
+		}
+		terminated, completed := 0, 0
+		for _, j := range res.Jobs {
+			switch j.FinalState {
+			case sched.Terminated:
+				terminated++
+			case sched.Completed:
+				completed++
+			}
+		}
+		return terminated == res.Terminations && completed == res.Completions &&
+			res.Starts <= len(res.Jobs)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPOPDeterministicAcrossRuns: identical trace + options => byte-
+// identical scheduling outcomes, including the MCMC-driven policy.
+func TestPOPDeterministicAcrossRuns(t *testing.T) {
+	tr := testTrace(t, 12, 23)
+	run := func() *Result {
+		pop, err := policy.NewPOP(policy.POPOptions{Predictor: tinyPredictor()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(Options{Trace: tr, Machines: 3, Policy: pop, StopAtTarget: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Duration != b.Duration || a.Suspends != b.Suspends ||
+		a.Terminations != b.Terminations || a.Fits != b.Fits {
+		t.Fatalf("POP runs diverged:\n%+v\n%+v", a, b)
+	}
+	for i := range a.Jobs {
+		if a.Jobs[i] != b.Jobs[i] {
+			t.Fatalf("job %d diverged: %+v vs %+v", i, a.Jobs[i], b.Jobs[i])
+		}
+	}
+}
+
+// TestSuspendedJobsResumeExactly: a suspended job's later epochs pick
+// up exactly where it left off (no repeated or skipped epochs), even
+// under heavy rotation from a barrier policy.
+func TestSuspendedJobsResumeExactly(t *testing.T) {
+	tr := testTrace(t, 6, 25)
+	inner := policy.NewDefault()
+	b, err := policy.NewBarrier(inner, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Options{Trace: tr, Machines: 2, Policy: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Suspends == 0 {
+		t.Fatal("barrier produced no suspends")
+	}
+	for _, j := range res.Jobs {
+		if j.Epochs != tr.MaxEpoch {
+			t.Fatalf("job %s finished with %d epochs after rotation", j.ID, j.Epochs)
+		}
+		if j.FinalState != sched.Completed {
+			t.Fatalf("job %s state %v", j.ID, j.FinalState)
+		}
+	}
+}

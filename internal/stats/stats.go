@@ -1,0 +1,237 @@
+// Package stats provides the small set of descriptive statistics the
+// experiment harness needs: summaries (mean/std/min/max), percentiles
+// and five-number boxplot summaries (Figures 7 and 9), empirical CDFs
+// (Figures 2a, 6, 10, 12c), and the min-max reward normalization from
+// §6.3 of the paper.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by functions that need at least one sample.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Summary holds basic descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64 // sample standard deviation (n-1)
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	s.Median = Percentile(xs, 50)
+	return s, nil
+}
+
+// Mean returns the arithmetic mean, or NaN for an empty sample.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Std returns the sample standard deviation (n-1 denominator), or 0 for
+// samples of size < 2.
+func Std(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between closest ranks. It does not mutate xs. Returns
+// NaN for empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Box is a five-number summary plus the mean, matching the boxplots of
+// Figures 7 and 9.
+type Box struct {
+	Min  float64
+	Q1   float64
+	Med  float64
+	Q3   float64
+	Max  float64
+	Mean float64
+}
+
+// BoxSummary computes the five-number summary of xs.
+func BoxSummary(xs []float64) (Box, error) {
+	if len(xs) == 0 {
+		return Box{}, ErrEmpty
+	}
+	return Box{
+		Min:  Percentile(xs, 0),
+		Q1:   Percentile(xs, 25),
+		Med:  Percentile(xs, 50),
+		Q3:   Percentile(xs, 75),
+		Max:  Percentile(xs, 100),
+		Mean: Mean(xs),
+	}, nil
+}
+
+// String renders the box as "min/q1/med/q3/max (mean)".
+func (b Box) String() string {
+	return fmt.Sprintf("%.3g/%.3g/%.3g/%.3g/%.3g (mean %.3g)",
+		b.Min, b.Q1, b.Med, b.Q3, b.Max, b.Mean)
+}
+
+// Spread is Max - Min, the stability measure the paper reports for
+// time-to-target (e.g., POP's spread is ~2x smaller in §6.2.2).
+func (b Box) Spread() float64 { return b.Max - b.Min }
+
+// CDFPoint is one step of an empirical CDF.
+type CDFPoint struct {
+	X float64 // sample value
+	P float64 // fraction of samples <= X
+}
+
+// ECDF returns the empirical CDF of xs as a step function evaluated at
+// each distinct sample value.
+func ECDF(xs []float64) []CDFPoint {
+	if len(xs) == 0 {
+		return nil
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var out []CDFPoint
+	n := float64(len(sorted))
+	for i := 0; i < len(sorted); {
+		j := i
+		for j < len(sorted) && sorted[j] == sorted[i] {
+			j++
+		}
+		out = append(out, CDFPoint{X: sorted[i], P: float64(j) / n})
+		i = j
+	}
+	return out
+}
+
+// CDFAt evaluates the empirical CDF of xs at x: the fraction of samples
+// <= x.
+func CDFAt(xs []float64, x float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	count := 0
+	for _, v := range xs {
+		if v <= x {
+			count++
+		}
+	}
+	return float64(count) / float64(len(xs))
+}
+
+// Normalizer performs the min-max reward scaling of §6.3 Eq. (4):
+// r_norm = (r - rmin) / (rmax - rmin). The paper uses rmin = -500
+// (observed empirically) and rmax = 300 (set by the environment).
+type Normalizer struct {
+	Min float64
+	Max float64
+}
+
+// NewNormalizer builds a Normalizer; max must exceed min.
+func NewNormalizer(min, max float64) (Normalizer, error) {
+	if max <= min {
+		return Normalizer{}, fmt.Errorf("stats: normalizer max %v <= min %v", max, min)
+	}
+	return Normalizer{Min: min, Max: max}, nil
+}
+
+// Normalize maps r into [0, 1], clamping values outside [Min, Max].
+func (n Normalizer) Normalize(r float64) float64 {
+	v := (r - n.Min) / (n.Max - n.Min)
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Denormalize is the inverse of Normalize for values in [0, 1].
+func (n Normalizer) Denormalize(v float64) float64 {
+	return n.Min + v*(n.Max-n.Min)
+}
+
+// MovingAverage returns the trailing moving average of xs with the
+// given window; entry i averages xs[max(0,i-window+1) .. i]. Used for
+// the RL "solved" condition (mean reward over 100 consecutive trials).
+func MovingAverage(xs []float64, window int) []float64 {
+	if window < 1 {
+		window = 1
+	}
+	out := make([]float64, len(xs))
+	var sum float64
+	for i, x := range xs {
+		sum += x
+		if i >= window {
+			sum -= xs[i-window]
+		}
+		n := window
+		if i+1 < window {
+			n = i + 1
+		}
+		out[i] = sum / float64(n)
+	}
+	return out
+}

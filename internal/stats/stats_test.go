@@ -1,0 +1,225 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 8 || !almostEqual(s.Mean, 5, 1e-12) {
+		t.Fatalf("mean = %v, want 5", s.Mean)
+	}
+	// Sample std of this classic dataset is sqrt(32/7).
+	if want := math.Sqrt(32.0 / 7.0); !almostEqual(s.Std, want, 1e-12) {
+		t.Fatalf("std = %v, want %v", s.Std, want)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("min/max = %v/%v, want 2/9", s.Min, s.Max)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if _, err := Summarize(nil); err != ErrEmpty {
+		t.Fatalf("err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestMeanStdEdge(t *testing.T) {
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("Mean(nil) should be NaN")
+	}
+	if Std([]float64{5}) != 0 {
+		t.Fatal("Std of single sample should be 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5}, {10, 1.4}, {-5, 1}, {110, 5},
+	}
+	for _, tt := range tests {
+		if got := Percentile(xs, tt.p); !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Fatal("Percentile of empty should be NaN")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestBoxSummary(t *testing.T) {
+	b, err := BoxSummary([]float64{1, 2, 3, 4, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Min != 1 || b.Max != 100 || b.Med != 3 {
+		t.Fatalf("box = %+v", b)
+	}
+	if b.Spread() != 99 {
+		t.Fatalf("spread = %v, want 99", b.Spread())
+	}
+	if b.String() == "" {
+		t.Fatal("empty String()")
+	}
+	if _, err := BoxSummary(nil); err != ErrEmpty {
+		t.Fatal("BoxSummary(nil) should fail")
+	}
+}
+
+func TestECDF(t *testing.T) {
+	pts := ECDF([]float64{3, 1, 2, 2})
+	want := []CDFPoint{{1, 0.25}, {2, 0.75}, {3, 1.0}}
+	if len(pts) != len(want) {
+		t.Fatalf("ECDF = %v, want %v", pts, want)
+	}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Fatalf("ECDF[%d] = %v, want %v", i, pts[i], want[i])
+		}
+	}
+	if ECDF(nil) != nil {
+		t.Fatal("ECDF(nil) should be nil")
+	}
+}
+
+func TestECDFProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.NormFloat64()
+		}
+		pts := ECDF(xs)
+		// Monotone in both coordinates, ends at 1.
+		for i := 1; i < len(pts); i++ {
+			if pts[i].X <= pts[i-1].X || pts[i].P < pts[i-1].P {
+				return false
+			}
+		}
+		return almostEqual(pts[len(pts)-1].P, 1, 1e-12)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := CDFAt(xs, 2.5); got != 0.5 {
+		t.Fatalf("CDFAt(2.5) = %v, want 0.5", got)
+	}
+	if got := CDFAt(xs, 0); got != 0 {
+		t.Fatalf("CDFAt(0) = %v, want 0", got)
+	}
+	if !math.IsNaN(CDFAt(nil, 1)) {
+		t.Fatal("CDFAt(empty) should be NaN")
+	}
+}
+
+func TestNormalizer(t *testing.T) {
+	n, err := NewNormalizer(-500, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		give, want float64
+	}{
+		{-500, 0}, {300, 1}, {-100, 0.5}, {-1000, 0}, {999, 1},
+	}
+	for _, tt := range tests {
+		if got := n.Normalize(tt.give); !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("Normalize(%v) = %v, want %v", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestNormalizerRejectsBadRange(t *testing.T) {
+	if _, err := NewNormalizer(1, 1); err == nil {
+		t.Fatal("NewNormalizer accepted max <= min")
+	}
+}
+
+func TestNormalizerRoundTrip(t *testing.T) {
+	n, _ := NewNormalizer(-500, 300)
+	prop := func(v float64) bool {
+		u := math.Mod(math.Abs(v), 1)
+		return almostEqual(n.Normalize(n.Denormalize(u)), u, 1e-9)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMovingAverage(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	got := MovingAverage(xs, 2)
+	want := []float64{1, 1.5, 2.5, 3.5, 4.5}
+	for i := range want {
+		if !almostEqual(got[i], want[i], 1e-12) {
+			t.Fatalf("MovingAverage[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMovingAverageWindowClamp(t *testing.T) {
+	got := MovingAverage([]float64{4, 6}, 0)
+	if got[0] != 4 || got[1] != 6 {
+		t.Fatalf("window 0 should act as window 1, got %v", got)
+	}
+}
+
+func TestMovingAverageSolvedCondition(t *testing.T) {
+	// 150 rewards of 200 => moving average over 100 reaches 200.
+	xs := make([]float64, 150)
+	for i := range xs {
+		xs[i] = 200
+	}
+	ma := MovingAverage(xs, 100)
+	if ma[len(ma)-1] != 200 {
+		t.Fatalf("moving average = %v, want 200", ma[len(ma)-1])
+	}
+}
+
+func TestPercentileMatchesSortedMedian(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(99)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Float64() * 100
+		}
+		med := Percentile(xs, 50)
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		if n%2 == 1 {
+			return almostEqual(med, sorted[n/2], 1e-9)
+		}
+		return almostEqual(med, (sorted[n/2-1]+sorted[n/2])/2, 1e-9)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"github.com/hyperdrive-ml/hyperdrive/internal/param"
+	"github.com/hyperdrive-ml/hyperdrive/internal/workload"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	spec := workload.CIFAR10()
+	r := NewRecorder(spec)
+	cfg := param.Config{"learning_rate": 0.01}
+	r.StartJob("a", cfg, 7)
+	r.StartJob("a", cfg, 9) // idempotent: first registration wins
+	for e := 1; e <= 5; e++ {
+		r.Observe("a", e, float64(e)/10, time.Minute)
+	}
+	r.Observe("a", 3, 0.99, time.Minute)    // duplicate epoch ignored
+	r.Observe("ghost", 1, 0.5, time.Minute) // unknown job ignored
+	r.Observe("a", 0, 0.5, time.Minute)     // invalid epoch ignored
+	r.Observe("a", 6, 0.5, 0)               // invalid duration ignored
+
+	tr, complete, err := r.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if complete {
+		t.Fatal("5 of 120 epochs should not be complete")
+	}
+	if len(tr.Jobs) != 1 || tr.Jobs[0].Seed != 7 {
+		t.Fatalf("jobs = %+v", tr.Jobs)
+	}
+	if len(tr.Jobs[0].Samples) != 5 {
+		t.Fatalf("samples = %d, want 5", len(tr.Jobs[0].Samples))
+	}
+	if tr.Jobs[0].Samples[2].Metric != 0.3 {
+		t.Fatalf("duplicate overwrote original: %v", tr.Jobs[0].Samples[2])
+	}
+	if tr.Workload != "cifar10" || tr.Target != spec.Target() {
+		t.Fatalf("metadata = %+v", tr)
+	}
+}
+
+func TestRecorderOutOfOrderAndGaps(t *testing.T) {
+	r := NewRecorder(workload.CIFAR10())
+	r.StartJob("a", param.Config{"x": 1}, 1)
+	// Out of order arrival: 2, 1, 3 then a gap at 5.
+	r.Observe("a", 2, 0.2, time.Minute)
+	r.Observe("a", 1, 0.1, time.Minute)
+	r.Observe("a", 3, 0.3, time.Minute)
+	r.Observe("a", 5, 0.5, time.Minute)
+	tr, complete, err := r.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if complete {
+		t.Fatal("gapped curve should not be complete")
+	}
+	// Only the contiguous prefix 1..3 is kept.
+	if len(tr.Jobs[0].Samples) != 3 {
+		t.Fatalf("samples = %+v", tr.Jobs[0].Samples)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecorderCompleteRun(t *testing.T) {
+	spec := workload.CIFAR10()
+	r := NewRecorder(spec)
+	r.StartJob("a", param.Config{"x": 1}, 1)
+	for e := 1; e <= spec.MaxEpoch(); e++ {
+		r.Observe("a", e, 0.1+float64(e)/1000, time.Minute)
+	}
+	tr, complete, err := r.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !complete {
+		t.Fatal("full curve should be complete")
+	}
+	if len(tr.Jobs[0].Samples) != spec.MaxEpoch() {
+		t.Fatalf("samples = %d", len(tr.Jobs[0].Samples))
+	}
+}
+
+func TestRecorderEmptyFails(t *testing.T) {
+	r := NewRecorder(workload.CIFAR10())
+	if _, _, err := r.Finish(); err == nil {
+		t.Fatal("empty recorder should fail validation")
+	}
+	// A job with no samples at all is dropped, leaving nothing.
+	r.StartJob("a", param.Config{}, 1)
+	if _, _, err := r.Finish(); err == nil {
+		t.Fatal("sampleless recorder should fail validation")
+	}
+}

@@ -1,0 +1,287 @@
+// Package trace implements the Trace Generator of the paper's
+// sensitivity-analysis toolchain (§7.1): replayable workload traces
+// holding per-epoch iteration timing and performance metrics for every
+// configuration, collected from experiment runs, with support for
+// permuting configuration order (the Figure 12c study). Traces are
+// what the discrete-event simulator replays.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/hyperdrive-ml/hyperdrive/internal/param"
+	"github.com/hyperdrive-ml/hyperdrive/internal/workload"
+)
+
+// Sample is one recorded epoch.
+type Sample struct {
+	Epoch      int     `json:"epoch"`
+	Metric     float64 `json:"metric"`
+	DurationNs int64   `json:"durationNs"`
+}
+
+// Job is one configuration's full training trace.
+type Job struct {
+	ID      string             `json:"id"`
+	Config  map[string]float64 `json:"config"`
+	Seed    int64              `json:"seed"`
+	Samples []Sample           `json:"samples"`
+}
+
+// Duration returns the sample's duration as a time.Duration.
+func (s Sample) Duration() time.Duration { return time.Duration(s.DurationNs) }
+
+// Trace is a replayable workload: domain metadata plus the full curves
+// of every configuration in exploration order.
+type Trace struct {
+	Workload      string  `json:"workload"`
+	Target        float64 `json:"target"`
+	KillThreshold float64 `json:"killThreshold"`
+	RandomFloor   float64 `json:"randomFloor"`
+	EvalBoundary  int     `json:"evalBoundary"`
+	MaxEpoch      int     `json:"maxEpoch"`
+	MetricMin     float64 `json:"metricMin"`
+	MetricMax     float64 `json:"metricMax"`
+	Jobs          []Job   `json:"jobs"`
+}
+
+// Collect runs every configuration to completion on the synthetic
+// workload and records its curve — the stand-in for the paper's
+// "traces collected from live system experiments" (their live system
+// is a GPU cluster; ours is the generative trainer, which is the same
+// source the live runner in internal/cluster uses).
+func Collect(spec workload.Spec, configs []param.Config, seeds []int64) (*Trace, error) {
+	if len(seeds) != 0 && len(seeds) != len(configs) {
+		return nil, fmt.Errorf("trace: %d seeds for %d configs", len(seeds), len(configs))
+	}
+	lo, hi := spec.MetricRange()
+	tr := &Trace{
+		Workload:      spec.Name(),
+		Target:        spec.Target(),
+		KillThreshold: spec.KillThreshold(),
+		RandomFloor:   spec.RandomFloor(),
+		EvalBoundary:  spec.EvalBoundary(),
+		MaxEpoch:      spec.MaxEpoch(),
+		MetricMin:     lo,
+		MetricMax:     hi,
+	}
+	for i, cfg := range configs {
+		var seed int64
+		if len(seeds) > 0 {
+			seed = seeds[i]
+		}
+		tj := Job{
+			ID:      fmt.Sprintf("job-%03d", i),
+			Config:  cfg,
+			Seed:    seed,
+			Samples: make([]Sample, 0, spec.MaxEpoch()),
+		}
+		trainer := spec.New(cfg, seed)
+		for {
+			s, done := trainer.Step()
+			tj.Samples = append(tj.Samples, Sample{Epoch: s.Epoch, Metric: s.Metric, DurationNs: int64(s.Duration)})
+			if done {
+				break
+			}
+		}
+		tr.Jobs = append(tr.Jobs, tj)
+	}
+	return tr, nil
+}
+
+// Validate checks structural invariants: positive epochs in order,
+// durations positive, non-empty jobs.
+func (t *Trace) Validate() error {
+	if t.Workload == "" {
+		return fmt.Errorf("trace: missing workload name")
+	}
+	if len(t.Jobs) == 0 {
+		return fmt.Errorf("trace: no jobs")
+	}
+	for _, j := range t.Jobs {
+		if len(j.Samples) == 0 {
+			return fmt.Errorf("trace: job %s has no samples", j.ID)
+		}
+		prev := 0
+		for _, s := range j.Samples {
+			if s.Epoch != prev+1 {
+				return fmt.Errorf("trace: job %s epoch %d follows %d", j.ID, s.Epoch, prev)
+			}
+			if s.DurationNs <= 0 {
+				return fmt.Errorf("trace: job %s epoch %d non-positive duration", j.ID, s.Epoch)
+			}
+			prev = s.Epoch
+		}
+	}
+	return nil
+}
+
+// Permute returns a copy of the trace with job order shuffled by the
+// seed; configuration-order sensitivity (Figure 12c) replays the same
+// trace under many permutations.
+func (t *Trace) Permute(seed int64) *Trace {
+	out := *t
+	out.Jobs = append([]Job(nil), t.Jobs...)
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(out.Jobs), func(i, j int) {
+		out.Jobs[i], out.Jobs[j] = out.Jobs[j], out.Jobs[i]
+	})
+	return &out
+}
+
+// Write serializes the trace as JSON.
+func (t *Trace) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(t)
+}
+
+// WriteFile writes the trace to a file.
+func (t *Trace) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	if err := t.Write(f); err != nil {
+		return fmt.Errorf("trace: write %s: %w", path, err)
+	}
+	return f.Sync()
+}
+
+// Read parses a trace and validates it.
+func Read(r io.Reader) (*Trace, error) {
+	var t Trace
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// ReadFile reads a trace file.
+func ReadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// Recorder accumulates a Trace from a live experiment's statistic
+// stream — the paper's actual Trace Generator data path ("collects the
+// traces from live system experiments", §7.1). Stats may arrive out of
+// order per job (suspend/resume re-reports); the recorder keeps each
+// job's samples sorted and deduplicated by epoch. Safe for concurrent
+// use.
+//
+// A trace is only fully replayable under arbitrary policies when the
+// recorded run executed every configuration to completion (e.g., the
+// Default policy); traces recorded under early-terminating policies
+// contain truncated curves, which Finish reports via the complete
+// return value.
+type Recorder struct {
+	mu   sync.Mutex
+	meta Trace
+	jobs map[string]*Job
+	seen map[string]map[int]bool
+}
+
+// NewRecorder builds a recorder for a workload's metadata.
+func NewRecorder(spec workload.Spec) *Recorder {
+	lo, hi := spec.MetricRange()
+	return &Recorder{
+		meta: Trace{
+			Workload:      spec.Name(),
+			Target:        spec.Target(),
+			KillThreshold: spec.KillThreshold(),
+			RandomFloor:   spec.RandomFloor(),
+			EvalBoundary:  spec.EvalBoundary(),
+			MaxEpoch:      spec.MaxEpoch(),
+			MetricMin:     lo,
+			MetricMax:     hi,
+		},
+		jobs: make(map[string]*Job),
+		seen: make(map[string]map[int]bool),
+	}
+}
+
+// StartJob registers a job's configuration and seed (idempotent).
+func (r *Recorder) StartJob(id string, cfg param.Config, seed int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.jobs[id]; ok {
+		return
+	}
+	r.jobs[id] = &Job{ID: id, Config: cfg.Clone(), Seed: seed}
+	r.seen[id] = make(map[int]bool)
+}
+
+// Observe records one statistic for a started job; unknown jobs and
+// duplicate epochs are ignored.
+func (r *Recorder) Observe(id string, epoch int, metric float64, duration time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j, ok := r.jobs[id]
+	if !ok || epoch < 1 || duration <= 0 {
+		return
+	}
+	if r.seen[id][epoch] {
+		return
+	}
+	r.seen[id][epoch] = true
+	j.Samples = append(j.Samples, Sample{Epoch: epoch, Metric: metric, DurationNs: int64(duration)})
+}
+
+// Finish assembles the trace in job-start order. complete reports
+// whether every job's curve covers the full epoch budget (replayable
+// under any policy).
+func (r *Recorder) Finish() (tr *Trace, complete bool, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := r.meta
+	complete = true
+	ids := make([]string, 0, len(r.jobs))
+	for id := range r.jobs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		j := r.jobs[id]
+		if len(j.Samples) == 0 {
+			complete = false
+			continue
+		}
+		samples := append([]Sample(nil), j.Samples...)
+		sort.Slice(samples, func(a, b int) bool { return samples[a].Epoch < samples[b].Epoch })
+		// Keep only the contiguous prefix starting at epoch 1.
+		var prefix []Sample
+		for i, s := range samples {
+			if s.Epoch != i+1 {
+				break
+			}
+			prefix = append(prefix, s)
+		}
+		if len(prefix) == 0 {
+			complete = false
+			continue
+		}
+		if len(prefix) < out.MaxEpoch {
+			complete = false
+		}
+		out.Jobs = append(out.Jobs, Job{ID: j.ID, Config: j.Config, Seed: j.Seed, Samples: prefix})
+	}
+	if err := out.Validate(); err != nil {
+		return nil, false, err
+	}
+	return &out, complete, nil
+}

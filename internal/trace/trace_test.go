@@ -1,0 +1,210 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/hyperdrive-ml/hyperdrive/internal/param"
+	"github.com/hyperdrive-ml/hyperdrive/internal/workload"
+)
+
+func collectSmall(t *testing.T, n int) *Trace {
+	t.Helper()
+	spec := workload.CIFAR10()
+	rng := rand.New(rand.NewSource(7))
+	configs := make([]param.Config, n)
+	seeds := make([]int64, n)
+	for i := range configs {
+		configs[i] = spec.Space().Sample(rng)
+		seeds[i] = int64(i)
+	}
+	tr, err := Collect(spec, configs, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestCollectShape(t *testing.T) {
+	tr := collectSmall(t, 5)
+	if tr.Workload != "cifar10" || tr.Target != 0.77 || tr.MaxEpoch != 120 {
+		t.Fatalf("metadata = %+v", tr)
+	}
+	if len(tr.Jobs) != 5 {
+		t.Fatalf("jobs = %d", len(tr.Jobs))
+	}
+	for _, j := range tr.Jobs {
+		if len(j.Samples) != 120 {
+			t.Fatalf("job %s has %d samples, want 120", j.ID, len(j.Samples))
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectSeedMismatch(t *testing.T) {
+	spec := workload.CIFAR10()
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Collect(spec, []param.Config{spec.Space().Sample(rng)}, []int64{1, 2}); err == nil {
+		t.Fatal("Collect accepted mismatched seeds")
+	}
+}
+
+func TestCollectMatchesTrainer(t *testing.T) {
+	spec := workload.CIFAR10()
+	rng := rand.New(rand.NewSource(3))
+	cfg := spec.Space().Sample(rng)
+	tr, err := Collect(spec, []param.Config{cfg}, []int64{9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainer := spec.New(cfg, 9)
+	for i := 0; ; i++ {
+		s, done := trainer.Step()
+		got := tr.Jobs[0].Samples[i]
+		if got.Epoch != s.Epoch || got.Metric != s.Metric || got.Duration() != s.Duration {
+			t.Fatalf("sample %d: trace %+v vs trainer %+v", i, got, s)
+		}
+		if done {
+			break
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	tr := collectSmall(t, 3)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Workload != tr.Workload || len(got.Jobs) != len(tr.Jobs) {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	for i := range tr.Jobs {
+		if got.Jobs[i].ID != tr.Jobs[i].ID || len(got.Jobs[i].Samples) != len(tr.Jobs[i].Samples) {
+			t.Fatalf("job %d mismatch", i)
+		}
+		for k := range tr.Jobs[i].Samples {
+			if got.Jobs[i].Samples[k] != tr.Jobs[i].Samples[k] {
+				t.Fatalf("job %d sample %d mismatch", i, k)
+			}
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	tr := collectSmall(t, 2)
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Jobs) != 2 {
+		t.Fatalf("jobs = %d", len(got.Jobs))
+	}
+}
+
+func TestReadRejectsInvalid(t *testing.T) {
+	if _, err := Read(strings.NewReader("{")); err == nil {
+		t.Fatal("Read accepted truncated JSON")
+	}
+	if _, err := Read(strings.NewReader(`{"workload":"x","jobs":[]}`)); err == nil {
+		t.Fatal("Read accepted empty-jobs trace")
+	}
+	bad := `{"workload":"x","jobs":[{"id":"a","samples":[{"epoch":2,"metric":0.1,"durationNs":5}]}]}`
+	if _, err := Read(strings.NewReader(bad)); err == nil {
+		t.Fatal("Read accepted gap in epochs")
+	}
+	bad = `{"workload":"x","jobs":[{"id":"a","samples":[{"epoch":1,"metric":0.1,"durationNs":0}]}]}`
+	if _, err := Read(strings.NewReader(bad)); err == nil {
+		t.Fatal("Read accepted zero duration")
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, err := ReadFile("/nonexistent/trace.json"); err == nil {
+		t.Fatal("ReadFile of missing file should fail")
+	}
+}
+
+func TestPermutePreservesJobs(t *testing.T) {
+	tr := collectSmall(t, 8)
+	perm := tr.Permute(99)
+	if len(perm.Jobs) != len(tr.Jobs) {
+		t.Fatal("permute changed job count")
+	}
+	// Same job set.
+	ids := make(map[string]bool)
+	for _, j := range tr.Jobs {
+		ids[j.ID] = true
+	}
+	for _, j := range perm.Jobs {
+		if !ids[j.ID] {
+			t.Fatalf("permute invented job %s", j.ID)
+		}
+	}
+	// Original untouched.
+	for i, j := range tr.Jobs {
+		if j.ID != collectSmall(t, 8).Jobs[i].ID {
+			t.Fatal("permute mutated the source trace")
+		}
+	}
+}
+
+func TestPermuteDeterministic(t *testing.T) {
+	tr := collectSmall(t, 10)
+	a, b := tr.Permute(5), tr.Permute(5)
+	for i := range a.Jobs {
+		if a.Jobs[i].ID != b.Jobs[i].ID {
+			t.Fatal("same permutation seed gave different orders")
+		}
+	}
+	c := tr.Permute(6)
+	same := true
+	for i := range a.Jobs {
+		if a.Jobs[i].ID != c.Jobs[i].ID {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different permutation seeds gave identical orders")
+	}
+}
+
+func TestPermutePropertySameMultiset(t *testing.T) {
+	tr := collectSmall(t, 6)
+	prop := func(seed int64) bool {
+		perm := tr.Permute(seed)
+		if len(perm.Jobs) != len(tr.Jobs) {
+			return false
+		}
+		seen := make(map[string]int)
+		for _, j := range tr.Jobs {
+			seen[j.ID]++
+		}
+		for _, j := range perm.Jobs {
+			seen[j.ID]--
+		}
+		for _, v := range seen {
+			if v != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,311 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+)
+
+// pipeRW adapts net.Pipe ends for tests.
+func pipePair() (*Conn, *Conn) {
+	a, b := net.Pipe()
+	return NewConn(a), NewConn(b)
+}
+
+func TestRoundTrip(t *testing.T) {
+	a, b := pipePair()
+	defer a.Close()
+	defer b.Close()
+
+	want := AppStatPayload{JobID: "job-1", Epoch: 7, Metric: 0.42, Dur0nsec: 123}
+	go func() {
+		if err := a.SendTyped(MsgAppStat, want); err != nil {
+			t.Error(err)
+		}
+	}()
+	m, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Type != MsgAppStat {
+		t.Fatalf("type = %v, want %v", m.Type, MsgAppStat)
+	}
+	var got AppStatPayload
+	if err := m.Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("payload = %+v, want %+v", got, want)
+	}
+}
+
+func TestRoundTripNilPayload(t *testing.T) {
+	a, b := pipePair()
+	defer a.Close()
+	defer b.Close()
+	go func() {
+		if err := a.SendTyped(MsgPing, nil); err != nil {
+			t.Error(err)
+		}
+	}()
+	m, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Type != MsgPing {
+		t.Fatalf("type = %v, want ping", m.Type)
+	}
+	var v struct{}
+	if err := m.Decode(&v); err == nil {
+		t.Fatal("Decode of empty payload should error")
+	}
+}
+
+func TestManyMessagesInOrder(t *testing.T) {
+	a, b := pipePair()
+	defer a.Close()
+	defer b.Close()
+	const n = 200
+	go func() {
+		for i := 0; i < n; i++ {
+			if err := a.SendTyped(MsgIterDone, IterDonePayload{JobID: "j", Epoch: i}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < n; i++ {
+		m, err := b.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var p IterDonePayload
+		if err := m.Decode(&p); err != nil {
+			t.Fatal(err)
+		}
+		if p.Epoch != i {
+			t.Fatalf("out of order: epoch %d at position %d", p.Epoch, i)
+		}
+	}
+}
+
+func TestConcurrentWriters(t *testing.T) {
+	a, b := pipePair()
+	defer a.Close()
+	defer b.Close()
+	const writers, per = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := a.SendTyped(MsgPing, nil); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	got := 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for got < writers*per {
+			if _, err := b.Recv(); err != nil {
+				t.Error(err)
+				return
+			}
+			got++
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got != writers*per {
+		t.Fatalf("received %d frames, want %d", got, writers*per)
+	}
+}
+
+type bufCloser struct {
+	bytes.Buffer
+	closed bool
+}
+
+func (b *bufCloser) Close() error { b.closed = true; return nil }
+
+func TestCloseClosesUnderlying(t *testing.T) {
+	var buf bufCloser
+	c := NewConn(&buf)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !buf.closed {
+		t.Fatal("underlying closer not closed")
+	}
+}
+
+func TestCloseWithoutCloser(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewConn(&buf)
+	if err := c.Close(); err != nil {
+		t.Fatal("Close on non-closer should be nil")
+	}
+}
+
+func TestRecvEOF(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewConn(&buf)
+	if _, err := c.Recv(); err != io.EOF {
+		t.Fatalf("err = %v, want io.EOF", err)
+	}
+}
+
+func TestRecvRejectsZeroFrame(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 0})
+	c := NewConn(&buf)
+	var fe *FrameError
+	if _, err := c.Recv(); !errors.As(err, &fe) {
+		t.Fatalf("err = %v, want FrameError", err)
+	}
+}
+
+func TestRecvRejectsOversizeFrame(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrameSize+1)
+	buf.Write(hdr[:])
+	c := NewConn(&buf)
+	var fe *FrameError
+	if _, err := c.Recv(); !errors.As(err, &fe) {
+		t.Fatalf("err = %v, want FrameError", err)
+	}
+}
+
+func TestRecvRejectsBadJSON(t *testing.T) {
+	var buf bytes.Buffer
+	body := []byte("{not json")
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	buf.Write(hdr[:])
+	buf.Write(body)
+	c := NewConn(&buf)
+	var fe *FrameError
+	if _, err := c.Recv(); !errors.As(err, &fe) {
+		t.Fatalf("err = %v, want FrameError", err)
+	}
+}
+
+func TestRecvRejectsMissingType(t *testing.T) {
+	var buf bytes.Buffer
+	body := []byte(`{"payload": null}`)
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	buf.Write(hdr[:])
+	buf.Write(body)
+	c := NewConn(&buf)
+	var fe *FrameError
+	if _, err := c.Recv(); !errors.As(err, &fe) {
+		t.Fatalf("err = %v, want FrameError", err)
+	}
+}
+
+func TestRecvTruncatedBody(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 100)
+	buf.Write(hdr[:])
+	buf.WriteString("short")
+	c := NewConn(&buf)
+	if _, err := c.Recv(); err == nil {
+		t.Fatal("Recv of truncated body should error")
+	}
+}
+
+func TestLargeSnapshotFrame(t *testing.T) {
+	a, b := pipePair()
+	defer a.Close()
+	defer b.Close()
+	state := make([]byte, 1<<20) // 1 MiB snapshot
+	for i := range state {
+		state[i] = byte(i)
+	}
+	go func() {
+		if err := a.SendTyped(MsgSnapshot, SnapshotPayload{JobID: "j", Epoch: 3, State: state}); err != nil {
+			t.Error(err)
+		}
+	}()
+	m, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p SnapshotPayload
+	if err := m.Decode(&p); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.State) != len(state) || p.State[12345] != state[12345] {
+		t.Fatal("snapshot corrupted in transit")
+	}
+}
+
+func TestNewMessageMarshalError(t *testing.T) {
+	if _, err := NewMessage(MsgAck, func() {}); err == nil {
+		t.Fatal("NewMessage should reject unmarshalable payload")
+	}
+}
+
+func TestFrameErrorString(t *testing.T) {
+	e := &FrameError{Reason: "test", Size: 9}
+	if e.Error() == "" {
+		t.Fatal("empty error string")
+	}
+}
+
+// TestRecvNeverPanicsOnGarbage feeds random byte streams to Recv; it
+// must always return an error (or a valid message) without panicking.
+func TestRecvNeverPanicsOnGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 500; i++ {
+		n := rng.Intn(64)
+		garbage := make([]byte, n)
+		rng.Read(garbage)
+		// Cap the claimed frame size so ReadFull fails fast instead of
+		// allocating gigabytes.
+		if n >= 4 {
+			binary.BigEndian.PutUint32(garbage[:4], uint32(rng.Intn(128)))
+		}
+		c := NewConn(bytes.NewBuffer(garbage))
+		for {
+			if _, err := c.Recv(); err != nil {
+				break
+			}
+		}
+	}
+}
+
+// TestCorruptedValidFrame flips bytes inside a well-formed frame; Recv
+// must error or produce a typed message, never panic.
+func TestCorruptedValidFrame(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewConn(&buf)
+	if err := c.SendTyped(MsgAppStat, AppStatPayload{JobID: "j", Epoch: 3, Metric: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	frame := buf.Bytes()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		corrupted := append([]byte(nil), frame...)
+		pos := 4 + rng.Intn(len(corrupted)-4) // keep the length prefix intact
+		corrupted[pos] ^= byte(1 + rng.Intn(255))
+		r := NewConn(bytes.NewBuffer(corrupted))
+		msg, err := r.Recv()
+		if err == nil && msg.Type == "" {
+			t.Fatal("corrupted frame produced an untyped message")
+		}
+	}
+}

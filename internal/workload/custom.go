@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/hyperdrive-ml/hyperdrive/internal/param"
+)
+
+// CurveFunc derives a configuration's training behaviour: a pure
+// metric function of the (1-based) epoch and a per-epoch duration
+// function. Purity in the epoch makes the trainer's suspend/resume
+// exact for free (the epoch counter is the entire state).
+type CurveFunc func(cfg param.Config, seed int64) (metricAt func(epoch int) float64, durationAt func(epoch int) time.Duration)
+
+// CustomOptions defines a user workload for NewCustom.
+type CustomOptions struct {
+	// Name is the registry key.
+	Name string
+	// Space is the hyperparameter search space.
+	Space *param.Space
+	// Metric is Accuracy or Reward.
+	Metric MetricKind
+	// MetricMin/MetricMax bound the metric for min-max normalization.
+	MetricMin, MetricMax float64
+	// Target is the default y_target.
+	Target float64
+	// KillThreshold is the non-learning cutoff.
+	KillThreshold float64
+	// RandomFloor is the non-learning metric level.
+	RandomFloor float64
+	// EvalBoundary is the default b between policy evaluations.
+	EvalBoundary int
+	// MaxEpoch is the per-job epoch budget.
+	MaxEpoch int
+	// Curve derives per-configuration behaviour.
+	Curve CurveFunc
+}
+
+// customSpec implements Spec for user-defined workloads.
+type customSpec struct {
+	opts CustomOptions
+}
+
+// NewCustom builds a workload Spec from a curve function — the
+// extension point for model owners bringing their own domains (§4.1
+// "support different learning domains"). Register the result on a
+// Registry and it is schedulable by every policy, runnable on node
+// agents, traceable, and simulatable like the built-ins.
+func NewCustom(opts CustomOptions) (Spec, error) {
+	switch {
+	case opts.Name == "":
+		return nil, fmt.Errorf("workload: custom spec needs a name")
+	case opts.Space == nil:
+		return nil, fmt.Errorf("workload: custom spec %q needs a space", opts.Name)
+	case opts.Curve == nil:
+		return nil, fmt.Errorf("workload: custom spec %q needs a curve function", opts.Name)
+	case opts.MaxEpoch < 1:
+		return nil, fmt.Errorf("workload: custom spec %q needs a positive max epoch", opts.Name)
+	case opts.MetricMax <= opts.MetricMin:
+		return nil, fmt.Errorf("workload: custom spec %q needs MetricMax > MetricMin", opts.Name)
+	}
+	if opts.Metric == 0 {
+		opts.Metric = Accuracy
+	}
+	if opts.EvalBoundary < 1 {
+		opts.EvalBoundary = 1
+	}
+	return &customSpec{opts: opts}, nil
+}
+
+func (s *customSpec) Name() string                  { return s.opts.Name }
+func (s *customSpec) Space() *param.Space           { return s.opts.Space }
+func (s *customSpec) Metric() MetricKind            { return s.opts.Metric }
+func (s *customSpec) MetricRange() (lo, hi float64) { return s.opts.MetricMin, s.opts.MetricMax }
+func (s *customSpec) Target() float64               { return s.opts.Target }
+func (s *customSpec) KillThreshold() float64        { return s.opts.KillThreshold }
+func (s *customSpec) RandomFloor() float64          { return s.opts.RandomFloor }
+func (s *customSpec) EvalBoundary() int             { return s.opts.EvalBoundary }
+func (s *customSpec) MaxEpoch() int                 { return s.opts.MaxEpoch }
+
+func (s *customSpec) New(cfg param.Config, seed int64) Trainer {
+	metricAt, durAt := s.opts.Curve(cfg, seed)
+	return &curveTrainer{
+		workload: s.opts.Name,
+		maxEpoch: s.opts.MaxEpoch,
+		metricAt: metricAt,
+		durAt:    durAt,
+	}
+}
+
+var _ Spec = (*customSpec)(nil)

@@ -1,0 +1,207 @@
+package workload
+
+import (
+	"math"
+	"time"
+
+	"github.com/hyperdrive-ml/hyperdrive/internal/param"
+)
+
+// LunarLander workload constants (§6.1, §6.3). One trainer epoch is a
+// block of 100 episode trials reporting the block's mean reward — the
+// same granularity as the task's "solved" condition (average reward of
+// 200 over 100 consecutive trials). 200 blocks = the paper's 20,000
+// episode trials; the 2,000-trial evaluation boundary is 20 blocks.
+const (
+	llMaxEpoch       = 200
+	llTrialsPerEpoch = 100
+	llEvalBoundary   = 20
+	llTarget         = 200.0
+	llKillThreshold  = -100.0
+	llRandomFloor    = -100.0
+	llRewardMin      = -500.0
+	llRewardMax      = 300.0
+)
+
+type lunarLanderSpec struct {
+	space *param.Space
+}
+
+// LunarLander returns the synthetic reinforcement-learning workload
+// modeled on OpenAI Gym's LunarLander-v2. The generative model
+// reproduces the behaviours of Figure 8: more than half of
+// configurations are non-learning (never rising above the -100 crash
+// floor, or "learning-crashing" back down to it after temporary
+// progress), with only a small fraction reaching the solved condition.
+func LunarLander() Spec {
+	return &lunarLanderSpec{space: param.LunarLanderSpace()}
+}
+
+func (s *lunarLanderSpec) Name() string                  { return "lunarlander" }
+func (s *lunarLanderSpec) Space() *param.Space           { return s.space }
+func (s *lunarLanderSpec) Metric() MetricKind            { return Reward }
+func (s *lunarLanderSpec) MetricRange() (lo, hi float64) { return llRewardMin, llRewardMax }
+func (s *lunarLanderSpec) Target() float64               { return llTarget }
+func (s *lunarLanderSpec) KillThreshold() float64        { return llKillThreshold }
+func (s *lunarLanderSpec) RandomFloor() float64          { return llRandomFloor }
+func (s *lunarLanderSpec) EvalBoundary() int             { return llEvalBoundary }
+func (s *lunarLanderSpec) MaxEpoch() int                 { return llMaxEpoch }
+
+func (s *lunarLanderSpec) New(cfg param.Config, seed int64) Trainer {
+	p := NewLunarLanderProfile(s.space, cfg, seed)
+	return &curveTrainer{
+		workload: s.Name(),
+		maxEpoch: llMaxEpoch,
+		metricAt: p.RewardAt,
+		durAt:    p.EpochDurationAt,
+	}
+}
+
+// LunarLanderProfile is the latent outcome of training one LunarLander
+// configuration.
+type LunarLanderProfile struct {
+	Learns    bool    // rises above the crash floor at all
+	Crashes   bool    // "learning-crash": learns, then falls to the floor
+	Peak      float64 // asymptotic mean reward if no crash
+	Start     float64 // initial mean reward
+	MidBlock  float64 // logistic midpoint (blocks)
+	RiseWidth float64 // logistic width (blocks)
+	CrashAt   int     // crash block (if Crashes)
+	CrashTo   float64 // post-crash reward level
+	Noise     float64 // per-block reward noise std
+	EpochDur  time.Duration
+
+	noise noiseSource
+}
+
+// NewLunarLanderProfile derives the latent training outcome for cfg
+// under the given seed.
+func NewLunarLanderProfile(space *param.Space, cfg param.Config, seed int64) *LunarLanderProfile {
+	norm := func(name string) float64 {
+		p, ok := space.Lookup(name)
+		if !ok {
+			return 0.5
+		}
+		return p.Normalize(cfg.Get(name, 0))
+	}
+
+	var (
+		nlr    = norm("learning_rate")
+		sLR    = gaussBump(nlr, 0.50, 0.22)
+		sDisc  = gaussBump(cfg.Get("discount", 0.99), 0.99, 0.02)
+		sEps   = gaussBump(norm("epsilon_decay"), 0.75, 0.35)
+		sCap   = (norm("hidden1") + norm("hidden2")) / 2
+		sRep   = gaussBump(norm("replay_size"), 0.65, 0.45)
+		sTgt   = gaussBump(norm("target_update"), 0.40, 0.40)
+		sScale = gaussBump(norm("reward_scale"), 0.50, 0.35)
+	)
+	score := 0.34*sLR + 0.16*sDisc + 0.12*sEps + 0.10*(0.3+0.7*sCap) +
+		0.10*sRep + 0.10*sTgt + 0.08*sScale
+
+	cfgNoise := newNoiseSource(cfg.Key(), seed, "lunarlander")
+	luck := cfgNoise.uniform(1)
+
+	p := &LunarLanderProfile{noise: cfgNoise}
+	p.Noise = 8 + 20*cfgNoise.uniform(2)
+	p.Start = -260 + 60*cfgNoise.uniform(3)
+
+	// Per-trial wall time rises with network capacity and batch size;
+	// a block is 100 trials. Calibrated to the paper's regime: a small
+	// Keras/Theano agent steps a trial in a fraction of a second on a
+	// c4.xlarge, so time-to-solved lands in the tens-of-minutes-to-
+	// hours range of Figure 9.
+	trialSec := 0.14 + 0.16*sCap + 0.05*norm("batch_size") + 0.03*cfgNoise.uniform(4)
+	p.EpochDur = time.Duration(trialSec * llTrialsPerEpoch * float64(time.Second))
+
+	// Never-learners: bad learning rates or hopeless score.
+	p.Learns = sLR >= 0.08 && score >= 0.34
+	if !p.Learns {
+		return p
+	}
+
+	q := clamp01((score - 0.34) / 0.50)
+	blend := clamp01(0.60*q + 0.40*luck)
+	p.Peak = -80 + 370*math.Pow(blend, 1.15)
+	p.Peak = math.Min(p.Peak, 285)
+	// Learners escape the -100 crash floor early (a DQN quickly stops
+	// crashing within the first one-to-two thousand trials) and then
+	// grind toward their peak: parameterize by the floor-crossing
+	// block and solve the logistic midpoint from it.
+	crossAt := cfgNoise.uniformIn(5, 5, 18)
+	p.RiseWidth = cfgNoise.uniformIn(6, 6, 30)
+	f := (llRandomFloor - p.Start) / (p.Peak - p.Start)
+	f = clampRange(f, 0.02, 0.85)
+	p.MidBlock = crossAt - p.RiseWidth*math.Log(f/(1-f))
+	if p.MidBlock < 3 {
+		p.MidBlock = 3
+	}
+
+	// Learning-crash (Figure 8): instability grows with learning rate
+	// and infrequent target updates. Crashed configurations fall to
+	// the floor and stay there, making them non-learning in aggregate.
+	instab := clamp01(0.30 + 0.55*clamp01((nlr-0.55)/0.45) + 0.35*(1-sTgt) - 0.45*q)
+	p.Crashes = cfgNoise.uniform(7) < instab
+	if p.Crashes {
+		frac := cfgNoise.uniformIn(8, 0.25, 0.85)
+		p.CrashAt = int(p.MidBlock + frac*float64(llMaxEpoch)*0.5)
+		if p.CrashAt < 5 {
+			p.CrashAt = 5
+		}
+		if p.CrashAt > llMaxEpoch-10 {
+			p.CrashAt = llMaxEpoch - 10
+		}
+		p.CrashTo = cfgNoise.uniformIn(9, -170, -105)
+	}
+	return p
+}
+
+// RewardAt returns the mean reward of the given 1-based block of 100
+// trials; a pure function of the profile.
+func (p *LunarLanderProfile) RewardAt(epoch int) float64 {
+	if epoch < 1 {
+		epoch = 1
+	}
+	t := float64(epoch)
+	var r float64
+	switch {
+	case !p.Learns:
+		// Wander around the crash floor, staying at or below it on
+		// average (Figure 8's flat lines near -100 and below).
+		level := p.Start + (llRandomFloor-30-p.Start)*logistic((t-20)/10)
+		r = level + p.Noise*p.noise.normal(uint64(epoch)+100)
+	case p.Crashes && epoch >= p.CrashAt:
+		pre := p.rewardRise(float64(p.CrashAt))
+		decay := math.Exp(-(t - float64(p.CrashAt)) / 3.0)
+		r = p.CrashTo + (pre-p.CrashTo)*decay + p.Noise*p.noise.normal(uint64(epoch)+100)
+	default:
+		r = p.rewardRise(t) + p.Noise*p.noise.normal(uint64(epoch)+100)
+	}
+	return clampRange(r, llRewardMin, llRewardMax)
+}
+
+// rewardRise is the noiseless logistic learning curve.
+func (p *LunarLanderProfile) rewardRise(t float64) float64 {
+	return p.Start + (p.Peak-p.Start)*logistic((t-p.MidBlock)/p.RiseWidth)
+}
+
+// EpochDurationAt returns the simulated duration of a block with ~3%
+// jitter.
+func (p *LunarLanderProfile) EpochDurationAt(epoch int) time.Duration {
+	j := 1 + 0.03*p.noise.normal(uint64(epoch)+5000)
+	if j < 0.5 {
+		j = 0.5
+	}
+	return time.Duration(float64(p.EpochDur) * j)
+}
+
+// Solved reports whether a reward history (one entry per 100-trial
+// block) has reached the environment's solved condition: a block mean
+// of at least the target.
+func Solved(history []float64, target float64) bool {
+	for _, r := range history {
+		if r >= target {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,158 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestCIFARProfileProperties property-tests the generative model over
+// random configurations and seeds: finite bounded outputs, valid
+// shapes, determinism.
+func TestCIFARProfileProperties(t *testing.T) {
+	space := CIFAR10().Space()
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := space.Sample(rng)
+		p := NewCIFAR10Profile(space, cfg, seed)
+		q := NewCIFAR10Profile(space, cfg, seed)
+		// Deterministic derivation.
+		if p.Learnable != q.Learnable || p.Final != q.Final || p.Rate != q.Rate {
+			return false
+		}
+		if p.Floor < 0.05 || p.Floor > 0.14 {
+			return false
+		}
+		if p.EpochDur < 20*time.Second || p.EpochDur > 150*time.Second {
+			return false
+		}
+		if p.Learnable {
+			if p.Final < p.Floor || p.Final > 0.85 {
+				return false
+			}
+			if p.Rate <= 0 || p.Shape <= 0 {
+				return false
+			}
+		}
+		// Curve values stay on the metric scale at every epoch.
+		for _, e := range []int{1, 7, 33, 120} {
+			v := p.AccuracyAt(e)
+			if math.IsNaN(v) || v < 0.01 || v > 0.99 {
+				return false
+			}
+			if p.EpochDurationAt(e) <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLunarLanderProfileProperties is the RL counterpart.
+func TestLunarLanderProfileProperties(t *testing.T) {
+	space := LunarLander().Space()
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := space.Sample(rng)
+		p := NewLunarLanderProfile(space, cfg, seed)
+		if p.Crashes && !p.Learns {
+			return false // only learners can learning-crash
+		}
+		if p.Learns {
+			if p.Peak < -100 || p.Peak > 285 {
+				return false
+			}
+			if p.RiseWidth <= 0 || p.MidBlock <= 0 {
+				return false
+			}
+			if p.Crashes && (p.CrashAt < 5 || p.CrashAt > 190 || p.CrashTo > -100) {
+				return false
+			}
+		}
+		for _, e := range []int{1, 20, 100, 200} {
+			v := p.RewardAt(e)
+			if math.IsNaN(v) || v < -500 || v > 300 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLearnersEscapeFloorWithinBoundary verifies the §5.3 assumption
+// behind the RL kill threshold: learning configurations escape the
+// -100 floor within the first evaluation boundary (2,000 trials),
+// so the kill rule prunes only genuine non-learners.
+func TestLearnersEscapeFloorWithinBoundary(t *testing.T) {
+	space := LunarLander().Space()
+	spec := LunarLander()
+	rng := rand.New(rand.NewSource(99))
+	checked, escaped := 0, 0
+	for i := 0; i < 400 && checked < 40; i++ {
+		cfg := space.Sample(rng)
+		p := NewLunarLanderProfile(space, cfg, int64(i))
+		if !p.Learns {
+			continue
+		}
+		checked++
+		best := math.Inf(-1)
+		for e := 1; e <= spec.EvalBoundary(); e++ {
+			if v := p.RewardAt(e); v > best {
+				best = v
+			}
+		}
+		if best > spec.KillThreshold() {
+			escaped++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no learners sampled")
+	}
+	frac := float64(escaped) / float64(checked)
+	t.Logf("%d/%d learners escape -100 within the first boundary", escaped, checked)
+	if frac < 0.9 {
+		t.Fatalf("only %.0f%% of learners escape the floor in time; the kill rule would misfire", frac*100)
+	}
+}
+
+// TestCIFARWinnersSurviveKillWindow is the supervised counterpart: no
+// learnable configuration destined for the target should sit below the
+// 15% kill threshold at the first boundary.
+func TestCIFARWinnersSurviveKillWindow(t *testing.T) {
+	space := CIFAR10().Space()
+	spec := CIFAR10()
+	rng := rand.New(rand.NewSource(98))
+	winners, killed := 0, 0
+	for i := 0; i < 3000; i++ {
+		cfg := space.Sample(rng)
+		p := NewCIFAR10Profile(space, cfg, int64(i))
+		if !p.Learnable || p.Final < spec.Target() {
+			continue
+		}
+		winners++
+		best := 0.0
+		for e := 1; e <= spec.EvalBoundary(); e++ {
+			if v := p.AccuracyAt(e); v > best {
+				best = v
+			}
+		}
+		if best <= spec.KillThreshold() {
+			killed++
+		}
+	}
+	if winners == 0 {
+		t.Fatal("no winners sampled")
+	}
+	t.Logf("%d/%d target-reaching configs would be killed at the first boundary", killed, winners)
+	if float64(killed)/float64(winners) > 0.1 {
+		t.Fatalf("kill threshold would destroy %d of %d winners", killed, winners)
+	}
+}

@@ -1,0 +1,270 @@
+// Package workload provides the synthetic training jobs that stand in
+// for the paper's real ML workloads (a Caffe CNN on CIFAR-10 and a
+// Keras/Theano LunarLander agent). The schedulers under study only ever
+// observe streams of (epoch, metric, duration) samples, so a seeded
+// generative model whose population statistics match the paper's
+// (fraction of non-learners, achievable accuracy, overtaking curves,
+// per-epoch noise, learning-crash behaviour) exercises exactly the same
+// scheduling code paths. See DESIGN.md §2 for the substitution argument.
+//
+// Trainers are deterministic given (config, seed): per-epoch noise is
+// derived from a counter-based hash rather than mutable RNG state, so a
+// trainer suspended at epoch e and resumed elsewhere produces the same
+// curve as an uninterrupted run — which the suspend/resume tests verify.
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"github.com/hyperdrive-ml/hyperdrive/internal/param"
+)
+
+// MetricKind distinguishes supervised accuracy from RL reward.
+type MetricKind int
+
+// Metric kinds.
+const (
+	Accuracy MetricKind = iota + 1
+	Reward
+)
+
+// String returns the metric kind name.
+func (k MetricKind) String() string {
+	switch k {
+	case Accuracy:
+		return "accuracy"
+	case Reward:
+		return "reward"
+	default:
+		return fmt.Sprintf("metrickind(%d)", int(k))
+	}
+}
+
+// Sample is one observation emitted by a trainer: the validation metric
+// after an epoch together with the epoch's (simulated) duration.
+type Sample struct {
+	Epoch    int           // 1-based epoch index
+	Metric   float64       // validation accuracy or mean reward
+	Duration time.Duration // simulated training time for this epoch
+}
+
+// Trainer is a resumable synthetic training job.
+type Trainer interface {
+	// Workload returns the registry name of the spec that built this
+	// trainer.
+	Workload() string
+	// Epoch returns the number of completed epochs.
+	Epoch() int
+	// MaxEpoch returns the epoch budget.
+	MaxEpoch() int
+	// Step trains one epoch and returns its sample; done is true when
+	// the budget is exhausted after this step.
+	Step() (s Sample, done bool)
+	// Snapshot serializes resumable state.
+	Snapshot() ([]byte, error)
+	// Restore replaces the trainer state with a snapshot.
+	Restore([]byte) error
+}
+
+// Spec describes a workload: its search space, domain knowledge used by
+// the schedulers (targets, kill thresholds, boundaries), and a trainer
+// factory.
+type Spec interface {
+	// Name is the registry key ("cifar10", "lunarlander").
+	Name() string
+	// Space returns the hyperparameter search space.
+	Space() *param.Space
+	// New builds a trainer for one configuration. Seed selects the
+	// training non-determinism (the paper reruns experiments with
+	// different seeds to average it out).
+	New(cfg param.Config, seed int64) Trainer
+	// Metric reports whether samples carry accuracy or reward.
+	Metric() MetricKind
+	// MetricRange returns the metric's (min, max) used for min-max
+	// normalization (§6.3 Eq. 4). For accuracy this is (0, 1).
+	MetricRange() (lo, hi float64)
+	// Target is the default target performance y_target (§6.2.2: 77%
+	// accuracy; §6.3.1: solved at reward 200).
+	Target() float64
+	// KillThreshold is the domain-knowledge "not learning" cutoff
+	// (§5.3: 15% for CIFAR-10, -100 for LunarLander).
+	KillThreshold() float64
+	// RandomFloor is the metric value of a non-learning model (10%
+	// random accuracy; -100 crash reward).
+	RandomFloor() float64
+	// EvalBoundary is the default iteration boundary b between policy
+	// evaluations (§5.3: 10 epochs supervised, 2,000 trials RL — 20
+	// blocks at 100 trials per block).
+	EvalBoundary() int
+	// MaxEpoch is the per-job epoch budget.
+	MaxEpoch() int
+}
+
+// Registry maps workload names to specs so node agents can construct
+// trainers from wire messages.
+type Registry struct {
+	specs map[string]Spec
+}
+
+// NewRegistry returns a registry preloaded with the built-in workloads.
+func NewRegistry() *Registry {
+	r := &Registry{specs: make(map[string]Spec)}
+	r.Register(CIFAR10())
+	r.Register(LunarLander())
+	return r
+}
+
+// Register adds a spec, replacing any previous spec of the same name.
+func (r *Registry) Register(s Spec) { r.specs[s.Name()] = s }
+
+// Lookup returns the spec registered under name.
+func (r *Registry) Lookup(name string) (Spec, error) {
+	s, ok := r.specs[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown workload %q", name)
+	}
+	return s, nil
+}
+
+// Names lists registered workloads in sorted order.
+func (r *Registry) Names() []string {
+	out := make([]string, 0, len(r.specs))
+	for name := range r.specs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// --- deterministic counter-based noise -------------------------------
+
+// splitmix64 advances the SplitMix64 generator; used as a stateless
+// counter-based hash so per-epoch noise is a pure function of
+// (config, seed, epoch).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hashString folds a string into a 64-bit seed (FNV-1a).
+func hashString(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// noiseSource yields deterministic uniform/normal variates indexed by a
+// counter.
+type noiseSource struct {
+	base uint64
+}
+
+func newNoiseSource(configKey string, seed int64, stream string) noiseSource {
+	h := hashString(configKey)
+	h = splitmix64(h ^ uint64(seed))
+	h = splitmix64(h ^ hashString(stream))
+	return noiseSource{base: h}
+}
+
+// uniform returns u_i in [0, 1).
+func (n noiseSource) uniform(i uint64) float64 {
+	v := splitmix64(n.base + i*0x9e3779b97f4a7c15)
+	return float64(v>>11) / float64(1<<53)
+}
+
+// normal returns a standard normal variate indexed by i (Box-Muller on
+// two counter-derived uniforms).
+func (n noiseSource) normal(i uint64) float64 {
+	u1 := n.uniform(2 * i)
+	u2 := n.uniform(2*i + 1)
+	if u1 < 1e-300 {
+		u1 = 1e-300
+	}
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// uniformIn maps the i-th uniform into [lo, hi).
+func (n noiseSource) uniformIn(i uint64, lo, hi float64) float64 {
+	return lo + n.uniform(i)*(hi-lo)
+}
+
+// --- shared trainer machinery ----------------------------------------
+
+// curveTrainer is a Trainer whose metric at epoch e is a pure function
+// metricAt(e); only the completed-epoch counter is mutable state.
+type curveTrainer struct {
+	workload string
+	maxEpoch int
+	epoch    int
+	metricAt func(epoch int) float64
+	durAt    func(epoch int) time.Duration
+}
+
+func (t *curveTrainer) Workload() string { return t.workload }
+func (t *curveTrainer) Epoch() int       { return t.epoch }
+func (t *curveTrainer) MaxEpoch() int    { return t.maxEpoch }
+
+func (t *curveTrainer) Step() (Sample, bool) {
+	if t.epoch >= t.maxEpoch {
+		return Sample{Epoch: t.epoch, Metric: t.metricAt(t.epoch)}, true
+	}
+	t.epoch++
+	s := Sample{
+		Epoch:    t.epoch,
+		Metric:   t.metricAt(t.epoch),
+		Duration: t.durAt(t.epoch),
+	}
+	return s, t.epoch >= t.maxEpoch
+}
+
+// trainerState is the serialized form of a curveTrainer; because the
+// curve is a pure function of (config, seed, epoch), the epoch counter
+// is the entire resumable state — the analogue of the paper's model
+// snapshot, whose bulk we account for separately in
+// internal/checkpoint.
+type trainerState struct {
+	Workload string `json:"workload"`
+	Epoch    int    `json:"epoch"`
+}
+
+func (t *curveTrainer) Snapshot() ([]byte, error) {
+	return json.Marshal(trainerState{Workload: t.workload, Epoch: t.epoch})
+}
+
+func (t *curveTrainer) Restore(b []byte) error {
+	var st trainerState
+	if err := json.Unmarshal(b, &st); err != nil {
+		return fmt.Errorf("workload: restore: %w", err)
+	}
+	if st.Workload != t.workload {
+		return fmt.Errorf("workload: restore: snapshot for %q applied to %q", st.Workload, t.workload)
+	}
+	if st.Epoch < 0 || st.Epoch > t.maxEpoch {
+		return fmt.Errorf("workload: restore: epoch %d out of [0, %d]", st.Epoch, t.maxEpoch)
+	}
+	t.epoch = st.Epoch
+	return nil
+}
+
+// gaussBump scores how close x is to an ideal value on a unit scale:
+// exp(-((x-ideal)/width)^2).
+func gaussBump(x, ideal, width float64) float64 {
+	d := (x - ideal) / width
+	return math.Exp(-d * d)
+}
+
+// logistic is the standard logistic function.
+func logistic(x float64) float64 { return 1 / (1 + math.Exp(-x)) }

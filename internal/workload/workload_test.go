@@ -1,0 +1,548 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/hyperdrive-ml/hyperdrive/internal/param"
+)
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	names := r.Names()
+	if len(names) != 2 || names[0] != "cifar10" || names[1] != "lunarlander" {
+		t.Fatalf("Names = %v", names)
+	}
+	if _, err := r.Lookup("cifar10"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Lookup("mnist"); err == nil {
+		t.Fatal("Lookup of unknown workload should fail")
+	}
+}
+
+func TestRegistryRegisterReplaces(t *testing.T) {
+	r := NewRegistry()
+	r.Register(CIFAR10())
+	if len(r.Names()) != 2 {
+		t.Fatalf("re-registering should not duplicate: %v", r.Names())
+	}
+}
+
+func TestMetricKindString(t *testing.T) {
+	if Accuracy.String() != "accuracy" || Reward.String() != "reward" {
+		t.Fatal("bad MetricKind strings")
+	}
+	if MetricKind(9).String() == "" {
+		t.Fatal("unknown kind should still render")
+	}
+}
+
+func TestSpecConstants(t *testing.T) {
+	c := CIFAR10()
+	if c.MaxEpoch() != 120 || c.EvalBoundary() != 10 || c.Target() != 0.77 ||
+		c.KillThreshold() != 0.15 || c.RandomFloor() != 0.10 {
+		t.Fatal("CIFAR10 constants do not match paper §5.3/§6")
+	}
+	lo, hi := c.MetricRange()
+	if lo != 0 || hi != 1 {
+		t.Fatalf("CIFAR10 metric range = (%v, %v)", lo, hi)
+	}
+	l := LunarLander()
+	if l.MaxEpoch() != 200 || l.EvalBoundary() != 20 || l.Target() != 200 ||
+		l.KillThreshold() != -100 || l.RandomFloor() != -100 {
+		t.Fatal("LunarLander constants do not match paper §5.3/§6.3")
+	}
+	lo, hi = l.MetricRange()
+	if lo != -500 || hi != 300 {
+		t.Fatalf("LunarLander metric range = (%v, %v), want (-500, 300) per Eq. 4", lo, hi)
+	}
+}
+
+func runAll(t *testing.T, tr Trainer) []Sample {
+	t.Helper()
+	var out []Sample
+	for {
+		s, done := tr.Step()
+		out = append(out, s)
+		if done {
+			return out
+		}
+	}
+}
+
+func TestTrainerDeterminism(t *testing.T) {
+	for _, spec := range []Spec{CIFAR10(), LunarLander()} {
+		t.Run(spec.Name(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			cfg := spec.Space().Sample(rng)
+			a := runAll(t, spec.New(cfg, 7))
+			b := runAll(t, spec.New(cfg, 7))
+			if len(a) != len(b) || len(a) != spec.MaxEpoch() {
+				t.Fatalf("lengths %d vs %d, want %d", len(a), len(b), spec.MaxEpoch())
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("sample %d differs: %+v vs %+v", i, a[i], b[i])
+				}
+			}
+		})
+	}
+}
+
+func TestTrainerSeedChangesCurve(t *testing.T) {
+	spec := CIFAR10()
+	rng := rand.New(rand.NewSource(42))
+	cfg := spec.Space().Sample(rng)
+	a := runAll(t, spec.New(cfg, 1))
+	b := runAll(t, spec.New(cfg, 2))
+	same := true
+	for i := range a {
+		if a[i].Metric != b[i].Metric {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical curves")
+	}
+}
+
+func TestSuspendResumeEquivalence(t *testing.T) {
+	for _, spec := range []Spec{CIFAR10(), LunarLander()} {
+		t.Run(spec.Name(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(9))
+			cfg := spec.Space().Sample(rng)
+			straight := runAll(t, spec.New(cfg, 3))
+
+			tr := spec.New(cfg, 3)
+			var resumed []Sample
+			for i := 0; i < 30; i++ {
+				s, _ := tr.Step()
+				resumed = append(resumed, s)
+			}
+			snap, err := tr.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Resume on a "different machine": a fresh trainer.
+			tr2 := spec.New(cfg, 3)
+			if err := tr2.Restore(snap); err != nil {
+				t.Fatal(err)
+			}
+			if tr2.Epoch() != 30 {
+				t.Fatalf("restored epoch = %d, want 30", tr2.Epoch())
+			}
+			for {
+				s, done := tr2.Step()
+				resumed = append(resumed, s)
+				if done {
+					break
+				}
+			}
+			if len(resumed) != len(straight) {
+				t.Fatalf("resumed run has %d samples, want %d", len(resumed), len(straight))
+			}
+			for i := range straight {
+				if resumed[i] != straight[i] {
+					t.Fatalf("sample %d differs after resume: %+v vs %+v", i, resumed[i], straight[i])
+				}
+			}
+		})
+	}
+}
+
+func TestRestoreRejectsWrongWorkload(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ctr := CIFAR10().New(param.CIFAR10Space().Sample(rng), 1)
+	ltr := LunarLander().New(param.LunarLanderSpace().Sample(rng), 1)
+	snap, err := ltr.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctr.Restore(snap); err == nil {
+		t.Fatal("Restore accepted snapshot from another workload")
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tr := CIFAR10().New(param.CIFAR10Space().Sample(rng), 1)
+	if err := tr.Restore([]byte("not json")); err == nil {
+		t.Fatal("Restore accepted garbage")
+	}
+	if err := tr.Restore([]byte(`{"workload":"cifar10","epoch":-4}`)); err == nil {
+		t.Fatal("Restore accepted negative epoch")
+	}
+	if err := tr.Restore([]byte(`{"workload":"cifar10","epoch":100000}`)); err == nil {
+		t.Fatal("Restore accepted epoch past budget")
+	}
+}
+
+func TestStepAfterDone(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	spec := CIFAR10()
+	tr := spec.New(spec.Space().Sample(rng), 1)
+	runAll(t, tr)
+	s, done := tr.Step()
+	if !done || s.Epoch != spec.MaxEpoch() {
+		t.Fatalf("Step after done = (%+v, %v)", s, done)
+	}
+}
+
+func TestCIFARMetricBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	spec := CIFAR10()
+	for i := 0; i < 50; i++ {
+		cfg := spec.Space().Sample(rng)
+		for _, s := range runAll(t, spec.New(cfg, int64(i))) {
+			if s.Metric < 0.01 || s.Metric > 0.99 {
+				t.Fatalf("accuracy %v out of bounds", s.Metric)
+			}
+			if s.Duration <= 0 {
+				t.Fatalf("non-positive epoch duration %v", s.Duration)
+			}
+		}
+	}
+}
+
+func TestLunarLanderMetricBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	spec := LunarLander()
+	for i := 0; i < 30; i++ {
+		cfg := spec.Space().Sample(rng)
+		for _, s := range runAll(t, spec.New(cfg, int64(i))) {
+			if s.Metric < -500 || s.Metric > 300 {
+				t.Fatalf("reward %v out of [-500, 300]", s.Metric)
+			}
+		}
+	}
+}
+
+func TestCIFAREpochDurationRoughlyConstant(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	spec := CIFAR10()
+	cfg := spec.Space().Sample(rng)
+	samples := runAll(t, spec.New(cfg, 1))
+	var min, max time.Duration = samples[0].Duration, samples[0].Duration
+	for _, s := range samples {
+		if s.Duration < min {
+			min = s.Duration
+		}
+		if s.Duration > max {
+			max = s.Duration
+		}
+	}
+	if float64(max-min)/float64(min) > 0.30 {
+		t.Fatalf("epoch durations vary too much: min %v max %v", min, max)
+	}
+	if min < 20*time.Second || max > 150*time.Second {
+		t.Fatalf("epoch duration %v..%v outside the ~1 minute regime", min, max)
+	}
+}
+
+// TestCIFARPopulation checks the generative model against the paper's
+// population statistics (Figures 1 and 2a): roughly a third of random
+// configurations are stuck at random accuracy, only a few percent reach
+// 75%+, and the target accuracy of 77% is attainable but rare.
+func TestCIFARPopulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2017))
+	space := param.CIFAR10Space()
+	const n = 2000
+	poor, ge75, geTarget := 0, 0, 0
+	maxFinal := 0.0
+	for i := 0; i < n; i++ {
+		cfg := space.Sample(rng)
+		p := NewCIFAR10Profile(space, cfg, int64(i))
+		final := p.Final
+		if !p.Learnable {
+			final = p.Floor
+		}
+		if final <= 0.13 {
+			poor++
+		}
+		if final >= 0.75 {
+			ge75++
+		}
+		if final >= cifarTarget {
+			geTarget++
+		}
+		if final > maxFinal {
+			maxFinal = final
+		}
+	}
+	poorFrac := float64(poor) / n
+	ge75Frac := float64(ge75) / n
+	targetFrac := float64(geTarget) / n
+	t.Logf("poor=%.3f ge75=%.3f geTarget=%.3f max=%.3f", poorFrac, ge75Frac, targetFrac, maxFinal)
+	if poorFrac < 0.20 || poorFrac > 0.45 {
+		t.Errorf("poor fraction = %.3f, want ~0.32 (paper §2.1)", poorFrac)
+	}
+	if ge75Frac < 0.01 || ge75Frac > 0.15 {
+		t.Errorf(">=75%% fraction = %.3f, want a few percent (Figure 1)", ge75Frac)
+	}
+	if targetFrac < 0.005 {
+		t.Errorf("target accuracy unreachable: fraction = %.4f", targetFrac)
+	}
+	if maxFinal > 0.85 {
+		t.Errorf("max accuracy %.3f exceeds the plausible ceiling for this model", maxFinal)
+	}
+}
+
+// TestLunarLanderPopulation checks the RL population against §6.3:
+// over 50% of jobs are non-learning (including learning-crashes), and
+// only a modest fraction ever solves the task.
+func TestLunarLanderPopulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2018))
+	space := param.LunarLanderSpace()
+	const n = 1500
+	nonLearning, solved := 0, 0
+	for i := 0; i < n; i++ {
+		cfg := space.Sample(rng)
+		p := NewLunarLanderProfile(space, cfg, int64(i))
+		if !p.Learns || p.Crashes {
+			nonLearning++
+		}
+		if p.Learns && !p.Crashes && p.Peak >= llTarget+15 {
+			solved++
+		}
+	}
+	nlFrac := float64(nonLearning) / n
+	solvedFrac := float64(solved) / n
+	t.Logf("nonlearning=%.3f solvable=%.3f", nlFrac, solvedFrac)
+	if nlFrac < 0.50 || nlFrac > 0.85 {
+		t.Errorf("non-learning fraction = %.3f, want >50%% (paper §6.3)", nlFrac)
+	}
+	if solvedFrac < 0.02 || solvedFrac > 0.30 {
+		t.Errorf("solvable fraction = %.3f, want small but nonzero", solvedFrac)
+	}
+}
+
+func TestLunarLanderCrashStaysDown(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	space := param.LunarLanderSpace()
+	spec := LunarLander()
+	found := false
+	for i := 0; i < 300 && !found; i++ {
+		cfg := space.Sample(rng)
+		p := NewLunarLanderProfile(space, cfg, int64(i))
+		if !p.Learns || !p.Crashes || p.CrashAt > 150 {
+			continue
+		}
+		found = true
+		samples := runAll(t, spec.New(cfg, int64(i)))
+		// After the crash settles, rewards must hover at or below the
+		// non-learning floor (Figure 8's "learning-crash").
+		var post []float64
+		for _, s := range samples[p.CrashAt+20:] {
+			post = append(post, s.Metric)
+		}
+		var sum float64
+		for _, v := range post {
+			sum += v
+		}
+		if mean := sum / float64(len(post)); mean > llKillThreshold+40 {
+			t.Fatalf("post-crash mean reward %.1f, want near the floor", mean)
+		}
+	}
+	if !found {
+		t.Fatal("no crashing configuration found in 300 samples")
+	}
+}
+
+// TestCIFAROvertake verifies Figure 2b's behaviour exists in the
+// population: a configuration leading at epoch 20 is overtaken by the
+// eventual winner.
+func TestCIFAROvertake(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	space := param.CIFAR10Space()
+	type run struct{ early, final float64 }
+	var runs []run
+	for i := 0; i < 80; i++ {
+		cfg := space.Sample(rng)
+		p := NewCIFAR10Profile(space, cfg, int64(i))
+		if !p.Learnable {
+			continue
+		}
+		runs = append(runs, run{early: p.AccuracyAt(20), final: p.AccuracyAt(120)})
+	}
+	overtake := false
+	for i := range runs {
+		for j := range runs {
+			if runs[i].early > runs[j].early+0.03 && runs[j].final > runs[i].final+0.03 {
+				overtake = true
+			}
+		}
+	}
+	if !overtake {
+		t.Fatal("no overtaking pair among 80 configurations (Figure 2b behaviour missing)")
+	}
+}
+
+func TestCIFARNonLearnerStaysAtFloor(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	space := param.CIFAR10Space()
+	spec := CIFAR10()
+	checked := 0
+	for i := 0; i < 200 && checked < 5; i++ {
+		cfg := space.Sample(rng)
+		p := NewCIFAR10Profile(space, cfg, int64(i))
+		if p.Learnable {
+			continue
+		}
+		checked++
+		for _, s := range runAll(t, spec.New(cfg, int64(i))) {
+			if s.Metric > cifarKillThreshold+0.05 {
+				t.Fatalf("non-learner reached %.3f at epoch %d", s.Metric, s.Epoch)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no non-learners found")
+	}
+}
+
+func TestSolvedHelper(t *testing.T) {
+	if Solved([]float64{100, 150}, 200) {
+		t.Fatal("Solved should be false below target")
+	}
+	if !Solved([]float64{100, 210}, 200) {
+		t.Fatal("Solved should be true at target")
+	}
+}
+
+func TestNoiseSourceDeterministicStreams(t *testing.T) {
+	a := newNoiseSource("cfg", 1, "s")
+	b := newNoiseSource("cfg", 1, "s")
+	if a.uniform(5) != b.uniform(5) || a.normal(9) != b.normal(9) {
+		t.Fatal("noise source not deterministic")
+	}
+	c := newNoiseSource("cfg", 2, "s")
+	if a.uniform(5) == c.uniform(5) {
+		t.Fatal("different seeds should change the stream")
+	}
+	d := newNoiseSource("cfg", 1, "other")
+	if a.uniform(5) == d.uniform(5) {
+		t.Fatal("different stream labels should change the stream")
+	}
+}
+
+func TestNoiseUniformBounds(t *testing.T) {
+	n := newNoiseSource("x", 3, "u")
+	for i := uint64(0); i < 10000; i++ {
+		u := n.uniform(i)
+		if u < 0 || u >= 1 {
+			t.Fatalf("uniform(%d) = %v", i, u)
+		}
+	}
+}
+
+func customTestSpec(t *testing.T) Spec {
+	t.Helper()
+	space := param.MustSpace(param.Param{Name: "k", Kind: param.Uniform, Min: 0.01, Max: 0.2})
+	spec, err := NewCustom(CustomOptions{
+		Name:          "toy",
+		Space:         space,
+		Metric:        Accuracy,
+		MetricMin:     0,
+		MetricMax:     1,
+		Target:        0.9,
+		KillThreshold: 0.1,
+		RandomFloor:   0.05,
+		EvalBoundary:  5,
+		MaxEpoch:      50,
+		Curve: func(cfg param.Config, seed int64) (func(int) float64, func(int) time.Duration) {
+			k := cfg.Get("k", 0.1)
+			return func(e int) float64 {
+					return 1 - 1/(1+k*float64(e))
+				}, func(int) time.Duration {
+					return 10 * time.Second
+				}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func TestCustomSpecValidation(t *testing.T) {
+	space := param.MustSpace(param.Param{Name: "k", Kind: param.Uniform, Min: 0, Max: 1})
+	curve := func(param.Config, int64) (func(int) float64, func(int) time.Duration) {
+		return func(int) float64 { return 0 }, func(int) time.Duration { return time.Second }
+	}
+	bad := []CustomOptions{
+		{Space: space, Curve: curve, MaxEpoch: 10, MetricMax: 1},                          // no name
+		{Name: "x", Curve: curve, MaxEpoch: 10, MetricMax: 1},                             // no space
+		{Name: "x", Space: space, MaxEpoch: 10, MetricMax: 1},                             // no curve
+		{Name: "x", Space: space, Curve: curve, MetricMax: 1},                             // no max epoch
+		{Name: "x", Space: space, Curve: curve, MaxEpoch: 10},                             // degenerate range
+		{Name: "x", Space: space, Curve: curve, MaxEpoch: 10, MetricMin: 2, MetricMax: 1}, // inverted
+	}
+	for i, opts := range bad {
+		if _, err := NewCustom(opts); err == nil {
+			t.Errorf("case %d: accepted invalid options", i)
+		}
+	}
+}
+
+func TestCustomSpecEndToEnd(t *testing.T) {
+	spec := customTestSpec(t)
+	reg := NewRegistry()
+	reg.Register(spec)
+	if _, err := reg.Lookup("toy"); err != nil {
+		t.Fatal(err)
+	}
+	tr := spec.New(param.Config{"k": 0.1}, 3)
+	var samples []Sample
+	for {
+		s, done := tr.Step()
+		samples = append(samples, s)
+		if done {
+			break
+		}
+	}
+	if len(samples) != 50 {
+		t.Fatalf("samples = %d", len(samples))
+	}
+	// Deterministic logistic-ish rise: monotone increasing.
+	for i := 1; i < len(samples); i++ {
+		if samples[i].Metric <= samples[i-1].Metric {
+			t.Fatalf("custom curve not monotone at %d", i)
+		}
+	}
+	// Suspend/resume still exact.
+	tr2 := spec.New(param.Config{"k": 0.1}, 3)
+	for i := 0; i < 20; i++ {
+		tr2.Step()
+	}
+	snap, err := tr2.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr3 := spec.New(param.Config{"k": 0.1}, 3)
+	if err := tr3.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := tr3.Step()
+	if s.Epoch != 21 || s.Metric != samples[20].Metric {
+		t.Fatalf("resume mismatch: %+v vs %+v", s, samples[20])
+	}
+}
+
+func TestCustomSpecDefaults(t *testing.T) {
+	space := param.MustSpace(param.Param{Name: "k", Kind: param.Uniform, Min: 0, Max: 1})
+	spec, err := NewCustom(CustomOptions{
+		Name: "d", Space: space, MaxEpoch: 5, MetricMax: 1,
+		Curve: func(param.Config, int64) (func(int) float64, func(int) time.Duration) {
+			return func(int) float64 { return 0.5 }, func(int) time.Duration { return time.Second }
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Metric() != Accuracy || spec.EvalBoundary() != 1 {
+		t.Fatalf("defaults not applied: %v %v", spec.Metric(), spec.EvalBoundary())
+	}
+}
