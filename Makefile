@@ -1,0 +1,18 @@
+GO ?= go
+
+.PHONY: build test check bench-obs
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check: vet + full test suite under the race detector.
+check:
+	sh scripts/check.sh
+
+# bench-obs: measure obs-registry overhead on the simulator hot path
+# and refresh the committed baseline.
+bench-obs:
+	$(GO) run ./cmd/hdbench -obs-bench BENCH_obs.json

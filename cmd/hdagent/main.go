@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"time"
@@ -20,6 +21,7 @@ import (
 	"github.com/hyperdrive-ml/hyperdrive/internal/clock"
 	"github.com/hyperdrive-ml/hyperdrive/internal/cluster"
 	"github.com/hyperdrive-ml/hyperdrive/internal/curve"
+	"github.com/hyperdrive-ml/hyperdrive/internal/obs"
 )
 
 func main() {
@@ -40,6 +42,8 @@ func run(args []string) error {
 		predict  = fs.Bool("predict", false, "run curve prediction locally (§5.2 distributed prediction)")
 		budget   = fs.String("predictor", "fast", "prediction budget: fast | paper | original")
 		seedFlag = fs.Int64("seed", 1, "checkpoint model seed")
+		obsAddr  = fs.String("obs", "", "serve the introspection endpoint (/metrics, /metrics.json) on this address")
+		pprof    = fs.Bool("pprof", false, "mount /debug/pprof/ on the introspection endpoint")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -54,12 +58,18 @@ func run(args []string) error {
 		return fmt.Errorf("unknown checkpoint mode %q", *ckpt)
 	}
 
+	var reg *obs.Registry
+	if *obsAddr != "" {
+		reg = obs.NewRegistry()
+	}
+
 	opts := cluster.AgentOptions{
 		ID:             *id,
 		Slots:          *slots,
 		Clock:          clock.NewScaled(time.Now(), *speedup),
 		CheckpointMode: mode,
 		Seed:           *seedFlag,
+		Obs:            reg,
 		Logf:           log.Printf,
 	}
 	if *predict {
@@ -92,6 +102,17 @@ func run(args []string) error {
 	log.Printf("hdagent: listening on %s with %d slots (speedup %gx, checkpoint %s, predict %v)",
 		l.Addr(), *slots, *speedup, mode, *predict)
 
+	var obsSrv *http.Server
+	if *obsAddr != "" {
+		ol, err := net.Listen("tcp", *obsAddr)
+		if err != nil {
+			return fmt.Errorf("obs listen: %w", err)
+		}
+		obsSrv = &http.Server{Handler: obs.Handler(reg, obs.HandlerOptions{Pprof: *pprof})}
+		go obsSrv.Serve(ol)
+		log.Printf("hdagent: introspection endpoint on %s (pprof %v)", ol.Addr(), *pprof)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	go func() {
@@ -99,6 +120,9 @@ func run(args []string) error {
 		log.Print("hdagent: shutting down")
 		agent.Close()
 		l.Close()
+		if obsSrv != nil {
+			obsSrv.Close()
+		}
 	}()
 	return agent.Serve(l)
 }

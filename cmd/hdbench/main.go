@@ -33,9 +33,13 @@ func run(args []string) error {
 		seed  = fs.Int64("seed", 1, "configuration sampling seed")
 		out   = fs.String("out", "results", "CSV output directory (empty to disable)")
 		list  = fs.Bool("list", false, "list figure IDs and exit")
+		obsJS = fs.String("obs-bench", "", "measure obs-registry overhead on the simulator hot path and write the report to this file (e.g. BENCH_obs.json)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *obsJS != "" {
+		return runObsBench(*obsJS, *seed)
 	}
 	if *list {
 		for _, id := range figures.IDs() {

@@ -1,0 +1,162 @@
+// Command hdtop renders a live terminal dashboard for a running
+// HyperDrive experiment (or node agent) by polling its introspection
+// endpoint: the POP slot division, the per-job classification table,
+// decision latency quantiles, and the scheduler's action counters.
+//
+//	hdtop -addr localhost:8089
+//	hdtop -addr localhost:8089 -once        # one snapshot, no clearing
+//	hdtop -addr localhost:8089 -interval 5s
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"github.com/hyperdrive-ml/hyperdrive/internal/obs"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hdtop:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("hdtop", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "localhost:8089", "introspection endpoint address (host:port)")
+		interval = fs.Duration("interval", 2*time.Second, "poll interval")
+		once     = fs.Bool("once", false, "print one snapshot and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	base := "http://" + *addr
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+
+	for {
+		snap, jobs, err := poll(client, base)
+		if err != nil {
+			return err
+		}
+		if !*once {
+			fmt.Fprint(out, "\x1b[2J\x1b[H") // clear screen, home cursor
+		}
+		fmt.Fprint(out, render(*addr, snap, jobs, time.Now()))
+		if *once {
+			return nil
+		}
+		select {
+		case <-sig:
+			return nil
+		case <-time.After(*interval):
+		}
+	}
+}
+
+// poll fetches one metrics snapshot and the job table.
+func poll(client *http.Client, base string) (obs.Snapshot, []obs.JobRow, error) {
+	var snap obs.Snapshot
+	if err := getJSON(client, base+"/metrics.json", &snap); err != nil {
+		return snap, nil, err
+	}
+	var jobs []obs.JobRow
+	if err := getJSON(client, base+"/jobs", &jobs); err != nil {
+		return snap, nil, err
+	}
+	return snap, jobs, nil
+}
+
+func getJSON(client *http.Client, url string, v interface{}) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// render draws one dashboard frame. Pure function of its inputs so it
+// can be tested without a server.
+func render(addr string, s obs.Snapshot, jobs []obs.JobRow, now time.Time) string {
+	var b []byte
+	w := func(format string, args ...interface{}) {
+		b = append(b, fmt.Sprintf(format, args...)...)
+	}
+
+	w("hdtop — %s — %s\n\n", addr, now.Format("15:04:05"))
+
+	// Slot division and occupancy.
+	w("slots  total %-4.0f busy %-4.0f promising %-4.0f opportunistic %-4.0f threshold %.4f\n",
+		s.Gauges[obs.SlotsTotal], s.Gauges[obs.SlotsBusy],
+		s.Gauges[obs.PoolPromisingSlots], s.Gauges[obs.PoolOpportunisticSlots],
+		s.Gauges[obs.ClassificationThreshold])
+	w("jobs   active %-3.0f suspended %-3.0f promising %-3.0f opportunistic %-3.0f best %.4f\n\n",
+		s.Gauges[obs.JobsActive], s.Gauges[obs.JobsSuspended],
+		s.Gauges[obs.PoolPromisingJobs], s.Gauges[obs.PoolOpportunisticJobs],
+		s.Gauges[obs.BestMetric])
+
+	// Scheduler activity.
+	w("epochs %-7d starts %-5d resumes %-5d suspends %-5d terminations %-5d completions %-5d\n",
+		s.Counters[obs.EpochsTotal], s.Counters[obs.StartsTotal],
+		s.Counters[obs.ResumesTotal], s.Counters[obs.SuspendsTotal],
+		s.Counters[obs.TerminationsTotal], s.Counters[obs.CompletionsTotal])
+	w("decisions  continue %-6d suspend %-6d terminate %-6d fits %-6d fit errors %-4d\n",
+		s.Counters[obs.DecisionsTotal("continue")],
+		s.Counters[obs.DecisionsTotal("suspend")],
+		s.Counters[obs.DecisionsTotal("terminate")],
+		s.Counters[obs.MCMCFitsTotal], s.Counters[obs.MCMCFitErrorsTotal])
+
+	if h, ok := s.Histograms[obs.DecisionLatencySeconds]; ok && h.Count > 0 {
+		w("latency    decisions p50 %s p90 %s p99 %s (n=%d)\n",
+			fmtDur(h.P50), fmtDur(h.P90), fmtDur(h.P99), h.Count)
+	}
+	if h, ok := s.Histograms[obs.MCMCFitDurationSeconds]; ok && h.Count > 0 {
+		w("latency    mcmc fits p50 %s p90 %s p99 %s (n=%d)\n",
+			fmtDur(h.P50), fmtDur(h.P90), fmtDur(h.P99), h.Count)
+	}
+	if d := s.Counters[obs.EventLogDroppedTotal]; d > 0 {
+		w("WARNING    event log dropping records: %d lost\n", d)
+	}
+
+	// Classification table.
+	if len(jobs) > 0 {
+		w("\n%-12s %-11s %-14s %6s %9s %7s %12s\n",
+			"JOB", "STATE", "CLASS", "EPOCH", "BEST", "CONF", "ERT")
+		for _, j := range jobs {
+			ert := ""
+			if j.ERTSeconds > 0 {
+				ert = (time.Duration(j.ERTSeconds * float64(time.Second))).Truncate(time.Second).String()
+			}
+			w("%-12s %-11s %-14s %6d %9.4f %7.3f %12s\n",
+				j.Job, j.State, j.Class, j.Epoch, j.Best, j.Confidence, ert)
+		}
+	}
+	return string(b)
+}
+
+// fmtDur renders a seconds quantity at a human scale.
+func fmtDur(seconds float64) string {
+	d := time.Duration(seconds * float64(time.Second))
+	switch {
+	case d < time.Millisecond:
+		return d.String()
+	case d < time.Second:
+		return d.Truncate(time.Millisecond).String()
+	default:
+		return d.Truncate(10 * time.Millisecond).String()
+	}
+}

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/hyperdrive-ml/hyperdrive/internal/obs"
+)
+
+func sampleRegistry() *obs.Registry {
+	reg := obs.NewRegistry()
+	reg.Counter(obs.EpochsTotal).Add(120)
+	reg.Counter(obs.DecisionsTotal("continue")).Add(100)
+	reg.Counter(obs.DecisionsTotal("suspend")).Add(15)
+	reg.Counter(obs.DecisionsTotal("terminate")).Add(5)
+	reg.Counter(obs.MCMCFitsTotal).Add(24)
+	reg.Gauge(obs.SlotsTotal).Set(4)
+	reg.Gauge(obs.SlotsBusy).Set(3)
+	reg.Gauge(obs.PoolPromisingSlots).Set(3)
+	reg.Gauge(obs.PoolOpportunisticSlots).Set(1)
+	reg.Gauge(obs.ClassificationThreshold).Set(0.71)
+	reg.Gauge(obs.BestMetric).Set(0.8421)
+	h := reg.Histogram(obs.DecisionLatencySeconds)
+	for i := 0; i < 50; i++ {
+		h.Observe(0.002)
+	}
+	reg.PublishJobTable([]obs.JobRow{
+		{Job: "job-1", State: "running", Class: "promising", Epoch: 12, Best: 0.81, Confidence: 0.93, ERTSeconds: 340},
+		{Job: "job-2", State: "suspended", Class: "opportunistic", Epoch: 4, Best: 0.55, Confidence: 0.40},
+		{Job: "job-3", State: "terminated", Class: "poor", Epoch: 3, Best: 0.31},
+	})
+	return reg
+}
+
+func TestRenderDashboard(t *testing.T) {
+	reg := sampleRegistry()
+	now := time.Date(2026, 8, 5, 10, 30, 0, 0, time.UTC)
+	out := render("localhost:8089", reg.Snapshot(), reg.JobTable(), now)
+
+	for _, want := range []string{
+		"hdtop — localhost:8089",
+		"threshold 0.7100",
+		"epochs 120",
+		"continue 100",
+		"suspend 15",
+		"terminate 5",
+		"fits 24",
+		"p50",
+		"JOB",
+		"job-1",
+		"promising",
+		"opportunistic",
+		"poor",
+		"5m40s", // job-1's 340s ERT
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render output missing %q\n%s", want, out)
+		}
+	}
+	// No latency line families the sample did not populate.
+	if strings.Contains(out, "mcmc fits p50") {
+		t.Error("rendered an mcmc latency line without samples")
+	}
+	if strings.Contains(out, "WARNING") {
+		t.Error("rendered a drop warning without drops")
+	}
+}
+
+func TestRenderDropWarning(t *testing.T) {
+	reg := sampleRegistry()
+	reg.Counter(obs.EventLogDroppedTotal).Add(7)
+	out := render("x", reg.Snapshot(), nil, time.Date(2026, 8, 5, 0, 0, 0, 0, time.UTC))
+	if !strings.Contains(out, "WARNING") || !strings.Contains(out, "7 lost") {
+		t.Errorf("missing drop warning:\n%s", out)
+	}
+}
+
+func TestRunOnceAgainstServer(t *testing.T) {
+	reg := sampleRegistry()
+	srv := httptest.NewServer(obs.Handler(reg, obs.HandlerOptions{}))
+	defer srv.Close()
+	addr := strings.TrimPrefix(srv.URL, "http://")
+
+	f, err := os.CreateTemp(t.TempDir(), "hdtop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := run([]string{"-addr", addr, "-once"}, f); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "epochs 120") {
+		t.Errorf("one-shot output missing metrics:\n%s", b)
+	}
+}
+
+func TestFmtDur(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0.0000005, "500ns"},
+		{0.0025, "2ms"},
+		{3.25, "3.25s"},
+	}
+	for _, c := range cases {
+		if got := fmtDur(c.in); got != c.want {
+			t.Errorf("fmtDur(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

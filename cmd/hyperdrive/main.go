@@ -54,6 +54,8 @@ func run(args []string) error {
 		verbose      = fs.Bool("v", false, "print per-job outcomes")
 		recordPath   = fs.String("record", "", "write the run as a replayable trace to this file")
 		logPath      = fs.String("log", "", "write the scheduler event log (JSON lines) to this file")
+		obsAddr      = fs.String("obs", "", "serve the live introspection endpoint (metrics, jobs, spans) on this address, e.g. localhost:8089")
+		pprof        = fs.Bool("pprof", false, "expose net/http/pprof on the -obs endpoint")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,6 +73,8 @@ func run(args []string) error {
 		Seed:            *seed,
 		SpeedUp:         *speedup,
 		PredictorBudget: *budget,
+		ObsListen:       *obsAddr,
+		ObsPprof:        *pprof,
 	}
 	if *agents != "" {
 		cfg.AgentAddrs = strings.Split(*agents, ",")

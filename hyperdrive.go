@@ -39,6 +39,8 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"net"
+	"net/http"
 	"time"
 
 	"github.com/hyperdrive-ml/hyperdrive/internal/appstat"
@@ -47,6 +49,7 @@ import (
 	"github.com/hyperdrive-ml/hyperdrive/internal/cluster"
 	"github.com/hyperdrive-ml/hyperdrive/internal/curve"
 	"github.com/hyperdrive-ml/hyperdrive/internal/hypergen"
+	"github.com/hyperdrive-ml/hyperdrive/internal/obs"
 	"github.com/hyperdrive-ml/hyperdrive/internal/param"
 	"github.com/hyperdrive-ml/hyperdrive/internal/policy"
 	"github.com/hyperdrive-ml/hyperdrive/internal/sim"
@@ -101,6 +104,16 @@ type (
 	WorkloadRegistry = workload.Registry
 	// WorkloadOptions defines a custom workload for NewCustomWorkload.
 	WorkloadOptions = workload.CustomOptions
+	// ObsRegistry collects runtime metrics, decision traces, and the
+	// live job classification table. A nil *ObsRegistry disables all
+	// telemetry at zero cost.
+	ObsRegistry = obs.Registry
+	// ObsHandlerOptions tunes the introspection HTTP handler.
+	ObsHandlerOptions = obs.HandlerOptions
+	// ObsSnapshot is the JSON form of a registry's current metrics.
+	ObsSnapshot = obs.Snapshot
+	// ObsJobRow is one row of the live job classification table.
+	ObsJobRow = obs.JobRow
 )
 
 // Policy, generator, and workload constructors re-exported for custom
@@ -132,6 +145,11 @@ var (
 	FastCurveConfig = curve.FastConfig
 	// PaperCurveConfig is the paper's 100x700 production budget.
 	PaperCurveConfig = curve.PaperConfig
+	// NewObsRegistry builds an empty observability registry.
+	NewObsRegistry = obs.NewRegistry
+	// NewObsHandler builds the introspection http.Handler (/metrics,
+	// /metrics.json, /jobs, /spans) for a registry.
+	NewObsHandler = obs.Handler
 )
 
 // ExperimentConfig configures RunExperiment. Zero values select
@@ -186,6 +204,16 @@ type ExperimentConfig struct {
 	// EventLog, when non-nil, receives the scheduler's event stream
 	// as JSON lines.
 	EventLog *EventLog
+	// Obs, when non-nil, collects runtime metrics and decision traces
+	// for the experiment. Created implicitly when ObsListen is set.
+	Obs *ObsRegistry
+	// ObsListen, when non-empty, serves the live introspection
+	// endpoint (/metrics, /metrics.json, /jobs, /spans) on this
+	// address for the duration of the run.
+	ObsListen string
+	// ObsPprof additionally mounts net/http/pprof under /debug/pprof/
+	// on the introspection endpoint.
+	ObsPprof bool
 }
 
 // Workloads lists the built-in workload names.
@@ -294,6 +322,11 @@ func RunExperiment(ctx context.Context, cfg ExperimentConfig) (*ExperimentResult
 		return nil, fmt.Errorf("hyperdrive: unknown checkpoint mode %q", cfg.CheckpointMode)
 	}
 
+	obsReg := cfg.Obs
+	if obsReg == nil && cfg.ObsListen != "" {
+		obsReg = obs.NewRegistry()
+	}
+
 	ccfg := cluster.Config{
 		Workload:       cfg.Workload,
 		Registry:       reg,
@@ -311,6 +344,17 @@ func RunExperiment(ctx context.Context, cfg ExperimentConfig) (*ExperimentResult
 		StopCondition:  cfg.StopCondition,
 		Recorder:       cfg.Recorder,
 		EventLog:       cfg.EventLog,
+		Obs:            obsReg,
+	}
+
+	if cfg.ObsListen != "" {
+		ln, err := net.Listen("tcp", cfg.ObsListen)
+		if err != nil {
+			return nil, fmt.Errorf("hyperdrive: obs listen: %w", err)
+		}
+		srv := &http.Server{Handler: obs.Handler(obsReg, obs.HandlerOptions{Pprof: cfg.ObsPprof})}
+		go srv.Serve(ln)
+		defer srv.Close()
 	}
 
 	if len(cfg.AgentAddrs) > 0 {
@@ -364,6 +408,9 @@ type SimConfig struct {
 	StopAtTarget bool
 	// PredictorBudget is "fast" (default), "paper", or "original".
 	PredictorBudget string
+	// Obs, when non-nil, collects the same metric names the live
+	// runtime emits, so simulated and real runs are comparable.
+	Obs *ObsRegistry
 }
 
 // RunSimulation replays a trace under a policy in the discrete-event
@@ -410,6 +457,7 @@ func RunSimulation(cfg SimConfig) (*SimResult, error) {
 		Policy:       pol,
 		MaxDuration:  cfg.MaxDuration,
 		StopAtTarget: cfg.StopAtTarget,
+		Obs:          cfg.Obs,
 	})
 }
 

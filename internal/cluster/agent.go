@@ -10,6 +10,7 @@ import (
 	"github.com/hyperdrive-ml/hyperdrive/internal/checkpoint"
 	"github.com/hyperdrive-ml/hyperdrive/internal/clock"
 	"github.com/hyperdrive-ml/hyperdrive/internal/curve"
+	"github.com/hyperdrive-ml/hyperdrive/internal/obs"
 	"github.com/hyperdrive-ml/hyperdrive/internal/sched"
 	"github.com/hyperdrive-ml/hyperdrive/internal/wire"
 	"github.com/hyperdrive-ml/hyperdrive/internal/workload"
@@ -34,6 +35,9 @@ type AgentOptions struct {
 	// parallel with training, and piggybacks the latest p-value on its
 	// stat reports.
 	Predictor *curve.Predictor
+	// Obs, when non-nil, receives agent telemetry (jobs running, stats
+	// forwarded, snapshots taken, local fit metrics).
+	Obs *obs.Registry
 	// Logf receives agent diagnostics; nil discards them.
 	Logf func(format string, args ...interface{})
 }
@@ -47,6 +51,11 @@ type Agent struct {
 	registry *workload.Registry
 	clk      clock.Clock
 	capturer *checkpoint.Capturer
+
+	// Telemetry handles; nil-safe no-ops without a registry.
+	jobsRunning *obs.Gauge
+	statsTotal  *obs.Counter
+	snapsTotal  *obs.Counter
 
 	mu      sync.Mutex
 	jobs    map[sched.JobID]*agentJob
@@ -90,13 +99,19 @@ func NewAgent(opts AgentOptions) (*Agent, error) {
 	if opts.Logf == nil {
 		opts.Logf = func(string, ...interface{}) {}
 	}
+	if opts.Predictor != nil {
+		opts.Predictor.Instrument(opts.Obs)
+	}
 	return &Agent{
-		opts:     opts,
-		registry: opts.Registry,
-		clk:      opts.Clock,
-		capturer: capturer,
-		jobs:     make(map[sched.JobID]*agentJob),
-		closeCh:  make(chan struct{}),
+		opts:        opts,
+		registry:    opts.Registry,
+		clk:         opts.Clock,
+		capturer:    capturer,
+		jobsRunning: opts.Obs.Gauge(obs.AgentJobsRunning),
+		statsTotal:  opts.Obs.Counter(obs.AgentStatsTotal),
+		snapsTotal:  opts.Obs.Counter(obs.AgentSnapshotsTotal),
+		jobs:        make(map[sched.JobID]*agentJob),
+		closeCh:     make(chan struct{}),
 	}, nil
 }
 
@@ -229,6 +244,7 @@ func (a *Agent) startJob(conn *wire.Conn, p wire.StartJobPayload) error {
 		history:  append([]float64(nil), p.History...),
 	}
 	a.jobs[sched.JobID(p.JobID)] = j
+	a.jobsRunning.Set(float64(len(a.jobs)))
 	a.wg.Add(1)
 	go a.runJob(conn, j, trainer, spec)
 	return nil
@@ -280,6 +296,7 @@ func (a *Agent) stopAllJobs() {
 func (a *Agent) release(id sched.JobID) {
 	a.mu.Lock()
 	delete(a.jobs, id)
+	a.jobsRunning.Set(float64(len(a.jobs)))
 	a.mu.Unlock()
 }
 
@@ -323,6 +340,7 @@ func (a *Agent) runJob(conn *wire.Conn, j *agentJob, trainer workload.Trainer, s
 		if !send(wire.MsgAppStat, stat) {
 			return
 		}
+		a.statsTotal.Inc()
 		if done {
 			send(wire.MsgJobExited, wire.JobExitedPayload{JobID: j.spec.JobID, Epoch: s.Epoch, Reason: "completed"})
 			return
@@ -360,6 +378,7 @@ func (a *Agent) runJob(conn *wire.Conn, j *agentJob, trainer workload.Trainer, s
 			if !send(wire.MsgSnapshot, wire.SnapshotPayload{JobID: j.spec.JobID, Epoch: trainer.Epoch(), State: img.Encode()}) {
 				return
 			}
+			a.snapsTotal.Inc()
 			send(wire.MsgJobExited, wire.JobExitedPayload{JobID: j.spec.JobID, Epoch: trainer.Epoch(), Reason: "suspended"})
 			return
 		default: // Continue

@@ -4,8 +4,10 @@ import (
 	"encoding/json"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"github.com/hyperdrive-ml/hyperdrive/internal/obs"
 	"github.com/hyperdrive-ml/hyperdrive/internal/sched"
 )
 
@@ -23,20 +25,50 @@ type LogRecord struct {
 	Metric   float64   `json:"metric,omitempty"`
 	Decision string    `json:"decision,omitempty"`
 	Detail   string    `json:"detail,omitempty"`
+	// Span links a decision record to its trace: resolve it at the
+	// introspection endpoint (/spans?id=...) to see the estimate
+	// inputs (ERT, confidence, pool sizes) behind the verdict.
+	Span string `json:"span,omitempty"`
 }
 
 // EventLog serializes LogRecords as JSON lines. Safe for concurrent
-// use; write errors disable further logging rather than failing the
-// experiment.
+// use. Write errors disable further logging rather than failing the
+// experiment, but the failure is not silent: every record lost after
+// (and including) the failing write is counted, visible via Dropped()
+// and, when instrumented, the hyperdrive_eventlog_dropped_total
+// counter.
 type EventLog struct {
-	mu   sync.Mutex
-	enc  *json.Encoder
-	dead bool
+	mu      sync.Mutex
+	enc     *json.Encoder
+	dead    bool
+	dropped atomic.Int64
+	drops   *obs.Counter // nil-safe registry mirror of dropped
 }
 
 // NewEventLog wraps a writer.
 func NewEventLog(w io.Writer) *EventLog {
 	return &EventLog{enc: json.NewEncoder(w)}
+}
+
+// Instrument mirrors the drop count onto the registry's
+// hyperdrive_eventlog_dropped_total counter. Drops accrued before the
+// call stay only in Dropped().
+func (l *EventLog) Instrument(r *obs.Registry) {
+	if l == nil || r == nil {
+		return
+	}
+	l.mu.Lock()
+	l.drops = r.Counter(obs.EventLogDroppedTotal)
+	l.mu.Unlock()
+}
+
+// Dropped reports how many records have been lost to write errors
+// (including every record suppressed after the log went dead).
+func (l *EventLog) Dropped() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.dropped.Load()
 }
 
 // Log writes one record.
@@ -47,11 +79,19 @@ func (l *EventLog) Log(r LogRecord) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.dead {
+		l.drop()
 		return
 	}
 	if err := l.enc.Encode(r); err != nil {
 		l.dead = true
+		l.drop()
 	}
+}
+
+// drop counts one lost record; callers hold l.mu.
+func (l *EventLog) drop() {
+	l.dropped.Add(1)
+	l.drops.Inc()
 }
 
 // logEvent emits a record for an executor event.
@@ -69,8 +109,9 @@ func (e *Experiment) logEvent(kind string, ev Event) {
 	})
 }
 
-// logDecision emits a record for an OnIterationFinish verdict.
-func (e *Experiment) logDecision(job sched.JobID, epoch int, d sched.Decision) {
+// logDecision emits a record for an OnIterationFinish verdict, stamped
+// with the decision span's ID (empty when tracing is off).
+func (e *Experiment) logDecision(job sched.JobID, epoch int, d sched.Decision, span string) {
 	if e.cfg.EventLog == nil {
 		return
 	}
@@ -80,6 +121,7 @@ func (e *Experiment) logDecision(job sched.JobID, epoch int, d sched.Decision) {
 		Job:      string(job),
 		Epoch:    epoch,
 		Decision: d.String(),
+		Span:     span,
 	})
 }
 

@@ -1,0 +1,56 @@
+package cluster
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/hyperdrive-ml/hyperdrive/internal/obs"
+)
+
+// failAfter errors on every write after the first n.
+type failAfter struct {
+	n int
+}
+
+func (w *failAfter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	w.n--
+	return len(p), nil
+}
+
+func TestEventLogCountsDrops(t *testing.T) {
+	reg := obs.NewRegistry()
+	l := NewEventLog(&failAfter{n: 2})
+	l.Instrument(reg)
+
+	for i := 0; i < 5; i++ {
+		l.Log(LogRecord{Kind: "stat", Epoch: i})
+	}
+	// Writes 3..5 fail: the failing write plus every suppressed record.
+	if got := l.Dropped(); got != 3 {
+		t.Fatalf("Dropped() = %d, want 3", got)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters[obs.EventLogDroppedTotal]; got != 3 {
+		t.Fatalf("%s = %d, want 3", obs.EventLogDroppedTotal, got)
+	}
+}
+
+func TestEventLogDroppedNilSafe(t *testing.T) {
+	var l *EventLog
+	if l.Dropped() != 0 {
+		t.Fatal("nil EventLog reported drops")
+	}
+	l.Instrument(obs.NewRegistry()) // must not panic
+	l.Log(LogRecord{Kind: "stat"})  // must not panic
+
+	healthy := NewEventLog(&strings.Builder{})
+	healthy.Instrument(nil) // nil registry must not panic
+	healthy.Log(LogRecord{Kind: "stat"})
+	if healthy.Dropped() != 0 {
+		t.Fatalf("healthy log dropped %d", healthy.Dropped())
+	}
+}

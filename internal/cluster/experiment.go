@@ -11,6 +11,7 @@ import (
 	"github.com/hyperdrive-ml/hyperdrive/internal/checkpoint"
 	"github.com/hyperdrive-ml/hyperdrive/internal/clock"
 	"github.com/hyperdrive-ml/hyperdrive/internal/hypergen"
+	"github.com/hyperdrive-ml/hyperdrive/internal/obs"
 	"github.com/hyperdrive-ml/hyperdrive/internal/policy"
 	"github.com/hyperdrive-ml/hyperdrive/internal/sched"
 	"github.com/hyperdrive-ml/hyperdrive/internal/trace"
@@ -66,6 +67,12 @@ type Config struct {
 	// EventLog, when non-nil, receives one JSON record per scheduler
 	// event and decision.
 	EventLog *EventLog
+	// Obs, when non-nil, receives runtime telemetry: decision-latency
+	// and epoch-duration histograms, lifecycle counters, slot-pool
+	// gauges, decision spans, and the live job classification table.
+	// Policies and event logs implementing obs.Instrumentable are
+	// bound to it at setup. Nil leaves every hook a no-op.
+	Obs *obs.Registry
 }
 
 // JobSummary is one job's final record.
@@ -112,6 +119,7 @@ type Experiment struct {
 	genDone  bool
 	res      *Result
 	slotJobs map[SlotID]sched.JobID
+	met      *expMetrics
 }
 
 // New validates the config and prepares an experiment.
@@ -149,6 +157,13 @@ func New(cfg Config) (*Experiment, error) {
 		jm:       NewJobManager(),
 		res:      &Result{},
 		slotJobs: make(map[SlotID]sched.JobID),
+		met:      newExpMetrics(cfg.Obs),
+	}
+	if cfg.Obs != nil {
+		if in, ok := cfg.Policy.(obs.Instrumentable); ok {
+			in.Instrument(cfg.Obs)
+		}
+		cfg.EventLog.Instrument(cfg.Obs)
 	}
 
 	if cfg.Executor != nil {
@@ -213,6 +228,7 @@ func (e *Experiment) Run(ctx context.Context) (*Result, error) {
 
 	deadline := e.clk.After(e.cfg.MaxDuration)
 	e.cfg.Policy.AllocateJobs(e)
+	e.refreshGauges()
 	if e.rm.IdleCount() == e.rm.Total() && e.jm.SuspendedCount() == 0 && e.created == 0 {
 		return nil, errors.New("cluster: policy started no jobs (empty generator?)")
 	}
@@ -280,6 +296,7 @@ func (e *Experiment) handleStat(ev Event) bool {
 	if ev.HasPred {
 		e.db.ReportPrediction(ev.Job, appstat.Prediction{Epoch: ev.Epoch, Value: ev.Pred, At: e.clk.Now()})
 	}
+	e.met.observeEpoch(ev.Slot, ev.Duration)
 	e.logEvent("stat", ev)
 	if mj, ok := e.jm.Get(ev.Job); ok {
 		mj.Job.SetEpoch(ev.Epoch)
@@ -298,6 +315,7 @@ func (e *Experiment) handleStat(ev Event) bool {
 	if ev.Metric > e.res.Best || e.res.BestJob == "" {
 		e.res.Best = ev.Metric
 		e.res.BestJob = ev.Job
+		e.met.best.Set(ev.Metric)
 	}
 	if e.cfg.StopAtTarget && ev.Metric >= e.info.Target && !e.res.Reached {
 		e.res.Reached = true
@@ -312,10 +330,29 @@ func (e *Experiment) handleStat(ev Event) bool {
 	return false
 }
 
+// handleIterDone runs one OnIterationFinish round trip under a
+// decision span: the policy annotates the span with the inputs it saw
+// (estimate, classification, allocation), the span ID is stamped into
+// the decision LogRecord, and the wall-clock latency of the whole
+// sequence lands in the decision-latency histogram. Spans the policy
+// never annotated (off-boundary continues) are measured but not
+// retained.
 func (e *Experiment) handleIterDone(ev Event) {
-	sev := sched.Event{Job: ev.Job, Epoch: ev.Epoch, Time: e.clk.Now()}
+	sp := e.met.tracer.Start("decision", string(ev.Job), ev.Epoch)
+	sev := sched.Event{Job: ev.Job, Epoch: ev.Epoch, Time: e.clk.Now(), Span: sp}
+	t0 := time.Now()
 	decision := e.cfg.Policy.OnIterationFinish(e, sev)
-	e.logDecision(ev.Job, ev.Epoch, decision)
+	e.met.decisionLatency.Observe(time.Since(t0).Seconds())
+	e.met.decisionCounter(decision).Inc()
+	boundary := sp.Annotated()
+	if boundary {
+		sp.SetStr("decision", decision.String())
+		e.met.tracer.Finish(sp)
+	}
+	e.logDecision(ev.Job, ev.Epoch, decision, sp.ID())
+	if boundary {
+		e.publishClassification()
+	}
 	if ev.Reply != nil {
 		ev.Reply <- decision
 	}
@@ -331,22 +368,26 @@ func (e *Experiment) handleExited(ev Event) {
 	case ExitCompleted:
 		if err := mj.Job.Complete(); err == nil {
 			e.res.Completions++
+			e.met.completions.Inc()
 			best := mj.Best
 			e.cfg.Generator.ReportFinalPerformance(string(ev.Job), best)
 		}
 	case ExitTerminated:
 		if err := mj.Job.Terminate(); err == nil {
 			e.res.Terminations++
+			e.met.terminations.Inc()
 		}
 	case ExitSuspended:
 		if err := mj.Job.Suspend(); err == nil {
 			e.res.Suspends++
+			e.met.suspends.Inc()
 			e.jm.Requeue(ev.Job)
 		}
 	case ExitError:
 		// Treat like termination but keep the error visible via state.
 		if err := mj.Job.Terminate(); err == nil {
 			e.res.Terminations++
+			e.met.terminations.Inc()
 		}
 	}
 	// Free the slot and let the SAP refill it.
@@ -358,6 +399,7 @@ func (e *Experiment) handleExited(ev Event) {
 			}
 		}
 	}
+	e.refreshGauges()
 }
 
 // finish fills the result.
@@ -492,8 +534,10 @@ func (e *Experiment) startExisting(mj *ManagedJob, slot SlotID) error {
 	}
 	if resume {
 		e.res.Resumes++
+		e.met.resumes.Inc()
 		e.logLifecycle("resume", mj.Job.ID, slot, "")
 	} else {
+		e.met.starts.Inc()
 		e.logLifecycle("start", mj.Job.ID, slot, "")
 	}
 	e.slotJobs[slot] = mj.Job.ID

@@ -1,0 +1,189 @@
+package cluster
+
+import (
+	"sort"
+	"time"
+
+	"github.com/hyperdrive-ml/hyperdrive/internal/core"
+	"github.com/hyperdrive-ml/hyperdrive/internal/obs"
+	"github.com/hyperdrive-ml/hyperdrive/internal/policy"
+	"github.com/hyperdrive-ml/hyperdrive/internal/sched"
+)
+
+// expMetrics holds the experiment's resolved metric handles so the hot
+// path pays one atomic op per record instead of a registry lookup.
+// Every handle is a nil-safe no-op when the experiment runs without a
+// registry.
+type expMetrics struct {
+	reg    *obs.Registry
+	tracer *obs.Tracer
+
+	decisionLatency *obs.Histogram
+	decContinue     *obs.Counter
+	decSuspend      *obs.Counter
+	decTerminate    *obs.Counter
+
+	epochs   *obs.Counter
+	epochDur *obs.Histogram
+
+	starts       *obs.Counter
+	resumes      *obs.Counter
+	suspends     *obs.Counter
+	terminations *obs.Counter
+	completions  *obs.Counter
+
+	slotsTotal    *obs.Gauge
+	slotsBusy     *obs.Gauge
+	jobsActive    *obs.Gauge
+	jobsSuspended *obs.Gauge
+	best          *obs.Gauge
+
+	poolPromSlots *obs.Gauge
+	poolOppSlots  *obs.Gauge
+	poolPromJobs  *obs.Gauge
+	poolOppJobs   *obs.Gauge
+	threshold     *obs.Gauge
+
+	slotRate map[SlotID]*obs.Gauge
+}
+
+// newExpMetrics resolves all handles against r (all nil when r is
+// nil).
+func newExpMetrics(r *obs.Registry) *expMetrics {
+	return &expMetrics{
+		reg:             r,
+		tracer:          r.Tracer(),
+		decisionLatency: r.Histogram(obs.DecisionLatencySeconds),
+		decContinue:     r.Counter(obs.DecisionsTotal("continue")),
+		decSuspend:      r.Counter(obs.DecisionsTotal("suspend")),
+		decTerminate:    r.Counter(obs.DecisionsTotal("terminate")),
+		epochs:          r.Counter(obs.EpochsTotal),
+		epochDur:        r.Histogram(obs.EpochDurationSeconds, 1, 4, 16, 60, 240, 960, 3600),
+		starts:          r.Counter(obs.StartsTotal),
+		resumes:         r.Counter(obs.ResumesTotal),
+		suspends:        r.Counter(obs.SuspendsTotal),
+		terminations:    r.Counter(obs.TerminationsTotal),
+		completions:     r.Counter(obs.CompletionsTotal),
+		slotsTotal:      r.Gauge(obs.SlotsTotal),
+		slotsBusy:       r.Gauge(obs.SlotsBusy),
+		jobsActive:      r.Gauge(obs.JobsActive),
+		jobsSuspended:   r.Gauge(obs.JobsSuspended),
+		best:            r.Gauge(obs.BestMetric),
+		poolPromSlots:   r.Gauge(obs.PoolPromisingSlots),
+		poolOppSlots:    r.Gauge(obs.PoolOpportunisticSlots),
+		poolPromJobs:    r.Gauge(obs.PoolPromisingJobs),
+		poolOppJobs:     r.Gauge(obs.PoolOpportunisticJobs),
+		threshold:       r.Gauge(obs.ClassificationThreshold),
+	}
+}
+
+// decisionCounter maps a verdict to its labeled counter.
+func (m *expMetrics) decisionCounter(d sched.Decision) *obs.Counter {
+	switch d {
+	case sched.Suspend:
+		return m.decSuspend
+	case sched.Terminate:
+		return m.decTerminate
+	default:
+		return m.decContinue
+	}
+}
+
+// observeEpoch records one completed epoch: the aggregate duration
+// histogram plus the per-slot training-rate gauge (epochs/second on
+// the experiment clock).
+func (m *expMetrics) observeEpoch(slot SlotID, d time.Duration) {
+	m.epochs.Inc()
+	m.epochDur.Observe(d.Seconds())
+	if m.reg == nil || slot == "" {
+		return
+	}
+	if m.slotRate == nil {
+		m.slotRate = make(map[SlotID]*obs.Gauge)
+	}
+	g, ok := m.slotRate[slot]
+	if !ok {
+		g = m.reg.Gauge(obs.SlotEpochsPerSecond(string(slot)))
+		m.slotRate[slot] = g
+	}
+	if s := d.Seconds(); s > 0 {
+		g.Set(1 / s)
+	}
+}
+
+// refreshGauges updates the slot/job occupancy gauges from the RM and
+// JM.
+func (e *Experiment) refreshGauges() {
+	if e.met.reg == nil {
+		return
+	}
+	total := e.rm.Total()
+	e.met.slotsTotal.Set(float64(total))
+	e.met.slotsBusy.Set(float64(total - e.rm.IdleCount()))
+	suspended := e.jm.SuspendedCount()
+	e.met.jobsSuspended.Set(float64(suspended))
+	e.met.jobsActive.Set(float64(len(e.jm.Active())))
+}
+
+// publishClassification snapshots POP's current slot division and the
+// per-job classification table onto the registry, so the introspection
+// endpoint can answer "what does the scheduler believe right now".
+// Called after boundary decisions; no-op without a registry.
+func (e *Experiment) publishClassification() {
+	if e.met.reg == nil {
+		return
+	}
+	var (
+		ests      map[sched.JobID]core.Estimate
+		promising map[string]bool
+		hasPOP    bool
+	)
+	if pop, ok := e.cfg.Policy.(*policy.POP); ok {
+		hasPOP = true
+		alloc := pop.Allocation(e)
+		e.met.threshold.Set(alloc.Threshold)
+		e.met.poolPromSlots.Set(float64(alloc.PromisingSlots))
+		oppSlots := e.rm.Total() - alloc.PromisingSlots
+		if oppSlots < 0 {
+			oppSlots = 0
+		}
+		e.met.poolOppSlots.Set(float64(oppSlots))
+		e.met.poolPromJobs.Set(float64(len(alloc.Promising)))
+		e.met.poolOppJobs.Set(float64(len(alloc.Opportunistic)))
+		ests = pop.Estimates()
+		promising = make(map[string]bool, len(alloc.Promising))
+		for _, est := range alloc.Promising {
+			promising[est.JobID] = true
+		}
+	}
+
+	jobs := e.jm.All()
+	sort.Slice(jobs, func(i, j int) bool { return jobs[i].Idx < jobs[j].Idx })
+	rows := make([]obs.JobRow, 0, len(jobs))
+	for _, mj := range jobs {
+		st := mj.Job.State()
+		row := obs.JobRow{
+			Job:      string(mj.Job.ID),
+			State:    st.String(),
+			Epoch:    mj.Job.Epoch(),
+			Best:     mj.Best,
+			Priority: mj.Job.Priority(),
+		}
+		if hasPOP {
+			if est, ok := ests[mj.Job.ID]; ok {
+				row.Confidence = est.Confidence
+				row.ERTSeconds = est.ERT.Seconds()
+			}
+			switch {
+			case promising[string(mj.Job.ID)]:
+				row.Class = "promising"
+			case st == sched.Terminated:
+				row.Class = "poor"
+			case st == sched.Running || st == sched.Suspended:
+				row.Class = "opportunistic"
+			}
+		}
+		rows = append(rows, row)
+	}
+	e.met.reg.PublishJobTable(rows)
+}

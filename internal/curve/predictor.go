@@ -7,6 +7,9 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"time"
+
+	"github.com/hyperdrive-ml/hyperdrive/internal/obs"
 )
 
 // MinObservations is the shortest curve prefix the predictor accepts:
@@ -76,6 +79,11 @@ func (c Config) validate() error {
 type Predictor struct {
 	cfg    Config
 	models []Model
+
+	// Observability handles (nil-safe no-ops when uninstrumented).
+	fitDur     *obs.Histogram
+	fitErrors  *obs.Counter
+	acceptRate *obs.Gauge
 }
 
 // NewPredictor builds a predictor over the standard eleven families.
@@ -98,12 +106,34 @@ func MustPredictor(cfg Config) *Predictor {
 // ModelNames lists the families in the ensemble.
 func (p *Predictor) ModelNames() string { return modelNames(p.models) }
 
+// Instrument binds the predictor's fit telemetry (wall-clock fit
+// duration, error count, last acceptance rate) to a registry. Call
+// once at setup, before any concurrent Fit.
+func (p *Predictor) Instrument(r *obs.Registry) {
+	p.fitDur = r.Histogram(obs.MCMCFitDurationSeconds)
+	p.fitErrors = r.Counter(obs.MCMCFitErrorsTotal)
+	p.acceptRate = r.Gauge(obs.MCMCAcceptRate)
+}
+
 // Fit samples the posterior over curve parameters given the observed
 // prefix y (y[i] is the metric after epoch i+1, on a [0, 1] scale) and
 // the horizon xlim (the largest epoch predictions will be requested
 // for; typically the job's max epoch). The seed is mixed into the
 // sampler so per-job chains differ deterministically.
 func (p *Predictor) Fit(y []float64, xlim int, seed int64) (*Posterior, error) {
+	t0 := time.Now()
+	post, err := p.fit(y, xlim, seed)
+	p.fitDur.Observe(time.Since(t0).Seconds())
+	if err != nil {
+		p.fitErrors.Inc()
+	} else {
+		p.acceptRate.Set(post.acceptRate)
+	}
+	return post, err
+}
+
+// fit is the uninstrumented fit body.
+func (p *Predictor) fit(y []float64, xlim int, seed int64) (*Posterior, error) {
 	if len(y) < MinObservations {
 		return nil, fmt.Errorf("%w: have %d, need %d", ErrTooFewObservations, len(y), MinObservations)
 	}

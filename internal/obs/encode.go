@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// familyOf strips a label suffix from a series name:
+// `x_total{decision="suspend"}` -> `x_total`.
+func familyOf(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// WritePrometheus encodes the registry's metrics in the Prometheus
+// text exposition format (version 0.0.4): counters, gauges, then
+// histograms, each family alphabetical with one # TYPE line. Series
+// created with a label suffix are grouped under their family.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	counterNames := sortedNames(r.counters)
+	gaugeNames := sortedNames(r.gauges)
+	histNames := sortedNames(r.hists)
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.RUnlock()
+
+	var b strings.Builder
+	lastFamily := ""
+	typeLine := func(name, kind string) {
+		if fam := familyOf(name); fam != lastFamily {
+			fmt.Fprintf(&b, "# TYPE %s %s\n", fam, kind)
+			lastFamily = fam
+		}
+	}
+	for _, name := range counterNames {
+		typeLine(name, "counter")
+		fmt.Fprintf(&b, "%s %d\n", name, counters[name].Value())
+	}
+	lastFamily = ""
+	for _, name := range gaugeNames {
+		typeLine(name, "gauge")
+		fmt.Fprintf(&b, "%s %s\n", name, formatFloat(gauges[name].Value()))
+	}
+	for _, name := range histNames {
+		h := hists[name]
+		cum, total := h.snapshotCounts()
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", familyOf(name))
+		for i, u := range h.uppers {
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", name, formatFloat(u), cum[i])
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", name, total)
+		fmt.Fprintf(&b, "%s_sum %s\n", name, formatFloat(h.Sum()))
+		fmt.Fprintf(&b, "%s_count %d\n", name, total)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// round-trip representation.
+func formatFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// HistogramSnapshot is one histogram's JSON view.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// Snapshot is the registry's point-in-time JSON view.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures every metric. Quantiles are bucket-interpolated
+// estimates; NaN (JSON-unrepresentable) is reported as 0.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return snap
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for name, c := range r.counters {
+		snap.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		v := g.Value()
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			v = 0
+		}
+		snap.Gauges[name] = v
+	}
+	for name, h := range r.hists {
+		hs := HistogramSnapshot{Count: h.Count(), Sum: h.Sum()}
+		if hs.Count > 0 {
+			hs.P50 = h.Quantile(0.50)
+			hs.P90 = h.Quantile(0.90)
+			hs.P99 = h.Quantile(0.99)
+		}
+		snap.Histograms[name] = hs
+	}
+	return snap
+}
+
+// SortedCounterNames lists counter series names alphabetically (for
+// deterministic rendering in hdtop).
+func (s Snapshot) SortedCounterNames() []string {
+	out := make([]string, 0, len(s.Counters))
+	for k := range s.Counters {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPrometheusGolden pins the text exposition format: family TYPE
+// lines, label grouping, histogram bucket/sum/count triplets.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(DecisionsTotal("continue")).Add(7)
+	r.Counter(DecisionsTotal("suspend")).Add(2)
+	r.Counter(MCMCFitsTotal).Add(4)
+	r.Gauge(SlotsBusy).Set(3)
+	r.Gauge(ClassificationThreshold).Set(0.25)
+	h := r.Histogram(DecisionLatencySeconds, 0.001, 0.01, 0.1)
+	h.Observe(0.0005)
+	h.Observe(0.02)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := `# TYPE hyperdrive_decision_latency_seconds histogram
+hyperdrive_decision_latency_seconds_bucket{le="0.001"} 1
+hyperdrive_decision_latency_seconds_bucket{le="0.01"} 1
+hyperdrive_decision_latency_seconds_bucket{le="0.1"} 2
+hyperdrive_decision_latency_seconds_bucket{le="+Inf"} 3
+hyperdrive_decision_latency_seconds_sum 5.0205
+hyperdrive_decision_latency_seconds_count 3
+`
+	if !strings.HasSuffix(got, want) {
+		t.Fatalf("histogram block mismatch:\ngot:\n%s\nwant suffix:\n%s", got, want)
+	}
+	wantHead := `# TYPE hyperdrive_decisions_total counter
+hyperdrive_decisions_total{decision="continue"} 7
+hyperdrive_decisions_total{decision="suspend"} 2
+# TYPE hyperdrive_mcmc_fits_total counter
+hyperdrive_mcmc_fits_total 4
+# TYPE hyperdrive_classification_threshold gauge
+hyperdrive_classification_threshold 0.25
+# TYPE hyperdrive_slots_busy gauge
+hyperdrive_slots_busy 3
+`
+	if !strings.HasPrefix(got, wantHead) {
+		t.Fatalf("counter/gauge block mismatch:\ngot:\n%s\nwant prefix:\n%s", got, wantHead)
+	}
+}
+
+func TestSnapshotJSONView(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(EpochsTotal).Add(10)
+	r.Gauge(BestMetric).Set(0.74)
+	h := r.Histogram(DecisionLatencySeconds, 0.001, 0.01)
+	h.Observe(0.002)
+	snap := r.Snapshot()
+	if snap.Counters[EpochsTotal] != 10 {
+		t.Fatalf("counters = %v", snap.Counters)
+	}
+	if snap.Gauges[BestMetric] != 0.74 {
+		t.Fatalf("gauges = %v", snap.Gauges)
+	}
+	hs := snap.Histograms[DecisionLatencySeconds]
+	if hs.Count != 1 || hs.Sum != 0.002 || hs.P50 <= 0.001 || hs.P50 > 0.01 {
+		t.Fatalf("histogram snapshot = %+v", hs)
+	}
+	names := snap.SortedCounterNames()
+	if len(names) != 1 || names[0] != EpochsTotal {
+		t.Fatalf("sorted names = %v", names)
+	}
+}
+
+func TestFamilyOf(t *testing.T) {
+	if f := familyOf(`hyperdrive_decisions_total{decision="x"}`); f != "hyperdrive_decisions_total" {
+		t.Fatalf("familyOf = %q", f)
+	}
+	if f := familyOf("plain"); f != "plain" {
+		t.Fatalf("familyOf = %q", f)
+	}
+}

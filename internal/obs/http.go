@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// HandlerOptions configures the introspection endpoint.
+type HandlerOptions struct {
+	// Pprof mounts net/http/pprof under /debug/pprof/ when true.
+	Pprof bool
+}
+
+// Handler returns the live introspection endpoint for one registry:
+//
+//	GET /metrics       Prometheus text exposition
+//	GET /metrics.json  JSON snapshot (counters, gauges, quantiles)
+//	GET /jobs          current job classification table (JSON)
+//	GET /spans         recent decision spans (JSON; ?job= filters,
+//	                   ?id= resolves one span)
+//	GET /debug/pprof/  runtime profiles (only with opts.Pprof)
+//
+// The handler is safe to serve while the experiment runs: metric reads
+// are atomic, the job table is an atomically swapped snapshot, and the
+// span ring is mutex-guarded.
+func Handler(r *Registry, opts HandlerOptions) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, r.Snapshot())
+	})
+	mux.HandleFunc("/jobs", func(w http.ResponseWriter, req *http.Request) {
+		rows := r.JobTable()
+		if rows == nil {
+			rows = []JobRow{}
+		}
+		writeJSON(w, rows)
+	})
+	mux.HandleFunc("/spans", func(w http.ResponseWriter, req *http.Request) {
+		t := r.Tracer()
+		if id := req.URL.Query().Get("id"); id != "" {
+			s, ok := t.Find(id)
+			if !ok {
+				http.Error(w, "span not found (evicted or unknown)", http.StatusNotFound)
+				return
+			}
+			writeJSON(w, s.Snapshot())
+			return
+		}
+		jobFilter := req.URL.Query().Get("job")
+		spans := t.Spans()
+		views := make([]View, 0, len(spans))
+		for _, s := range spans {
+			v := s.Snapshot()
+			if jobFilter != "" && v.Job != jobFilter {
+				continue
+			}
+			views = append(views, v)
+		}
+		writeJSON(w, views)
+	})
+	if opts.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerRoutes(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(MCMCFitsTotal).Add(3)
+	r.Histogram(DecisionLatencySeconds).Observe(0.002)
+	r.PublishJobTable([]JobRow{{Job: "cfg-1", State: "running", Class: "promising"}})
+	sp := r.Tracer().Start("decision", "cfg-1", 10)
+	sp.SetAttr("confidence", 0.9)
+	r.Tracer().Finish(sp)
+
+	srv := httptest.NewServer(Handler(r, HandlerOptions{}))
+	defer srv.Close()
+
+	get := func(path string) (*httptest.ResponseRecorder, string) {
+		req := httptest.NewRequest("GET", path, nil)
+		rec := httptest.NewRecorder()
+		Handler(r, HandlerOptions{Pprof: true}).ServeHTTP(rec, req)
+		return rec, rec.Body.String()
+	}
+
+	rec, body := get("/metrics")
+	if rec.Code != 200 || !strings.Contains(body, "hyperdrive_mcmc_fits_total 3") {
+		t.Fatalf("/metrics = %d\n%s", rec.Code, body)
+	}
+	if !strings.Contains(body, "hyperdrive_decision_latency_seconds_count 1") {
+		t.Fatalf("/metrics missing histogram:\n%s", body)
+	}
+
+	rec, body = get("/metrics.json")
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics.json: %v", err)
+	}
+	if snap.Counters[MCMCFitsTotal] != 3 {
+		t.Fatalf("/metrics.json counters = %v", snap.Counters)
+	}
+
+	rec, body = get("/jobs")
+	var rows []JobRow
+	if err := json.Unmarshal([]byte(body), &rows); err != nil {
+		t.Fatalf("/jobs: %v", err)
+	}
+	if len(rows) != 1 || rows[0].Class != "promising" {
+		t.Fatalf("/jobs = %+v", rows)
+	}
+
+	rec, body = get("/spans")
+	var views []View
+	if err := json.Unmarshal([]byte(body), &views); err != nil {
+		t.Fatalf("/spans: %v", err)
+	}
+	if len(views) != 1 || views[0].Job != "cfg-1" {
+		t.Fatalf("/spans = %+v", views)
+	}
+
+	rec, body = get("/spans?id=" + sp.ID())
+	var one View
+	if err := json.Unmarshal([]byte(body), &one); err != nil {
+		t.Fatalf("/spans?id: %v", err)
+	}
+	if len(one.Attrs) != 1 || one.Attrs[0].Key != "confidence" {
+		t.Fatalf("/spans?id attrs = %+v", one.Attrs)
+	}
+
+	rec, _ = get("/spans?id=ffffffffffff")
+	if rec.Code != 404 {
+		t.Fatalf("missing span = %d, want 404", rec.Code)
+	}
+
+	rec, _ = get("/spans?job=other")
+	if body := rec.Body.String(); !strings.Contains(body, "[]") {
+		t.Fatalf("job filter should return empty list, got %s", body)
+	}
+
+	rec, _ = get("/debug/pprof/cmdline")
+	if rec.Code != 200 {
+		t.Fatalf("pprof cmdline = %d", rec.Code)
+	}
+}

@@ -1,0 +1,77 @@
+package obs
+
+import "fmt"
+
+// Canonical metric names. The live cluster engine and the simulator
+// record the same names so their telemetry is directly comparable;
+// DESIGN.md §10 is the authoritative catalogue.
+const (
+	// DecisionLatencySeconds is the wall-clock histogram of one full
+	// OnIterationFinish round trip (estimate → classify → allocate).
+	DecisionLatencySeconds = "hyperdrive_decision_latency_seconds"
+	// MCMCFitsTotal counts learning-curve posterior fits.
+	MCMCFitsTotal = "hyperdrive_mcmc_fits_total"
+	// MCMCFitDurationSeconds is the wall-clock histogram of one MCMC
+	// ensemble fit.
+	MCMCFitDurationSeconds = "hyperdrive_mcmc_fit_duration_seconds"
+	// MCMCFitErrorsTotal counts fits that returned an error.
+	MCMCFitErrorsTotal = "hyperdrive_mcmc_fit_errors_total"
+	// MCMCAcceptRate is the last fit's MCMC acceptance rate.
+	MCMCAcceptRate = "hyperdrive_mcmc_accept_rate"
+
+	// EpochsTotal counts completed training epochs across all jobs.
+	EpochsTotal = "hyperdrive_epochs_total"
+	// EpochDurationSeconds is the experiment-clock histogram of epoch
+	// durations (the inverse of per-slot epochs-per-second).
+	EpochDurationSeconds = "hyperdrive_epoch_duration_seconds"
+
+	// StartsTotal / ResumesTotal / SuspendsTotal / TerminationsTotal /
+	// CompletionsTotal count job lifecycle transitions.
+	StartsTotal       = "hyperdrive_starts_total"
+	ResumesTotal      = "hyperdrive_resumes_total"
+	SuspendsTotal     = "hyperdrive_suspends_total"
+	TerminationsTotal = "hyperdrive_terminations_total"
+	CompletionsTotal  = "hyperdrive_completions_total"
+
+	// SlotsTotal / SlotsBusy track the machine pool.
+	SlotsTotal = "hyperdrive_slots_total"
+	SlotsBusy  = "hyperdrive_slots_busy"
+	// PoolPromisingSlots / PoolOpportunisticSlots split the pool into
+	// POP's exploitation and exploration shares (§3.2).
+	PoolPromisingSlots     = "hyperdrive_pool_promising_slots"
+	PoolOpportunisticSlots = "hyperdrive_pool_opportunistic_slots"
+	// PoolPromisingJobs / PoolOpportunisticJobs count classified jobs.
+	PoolPromisingJobs     = "hyperdrive_pool_promising_jobs"
+	PoolOpportunisticJobs = "hyperdrive_pool_opportunistic_jobs"
+	// ClassificationThreshold is POP's dynamically chosen p_thred.
+	ClassificationThreshold = "hyperdrive_classification_threshold"
+
+	// JobsActive / JobsSuspended gauge the job table.
+	JobsActive    = "hyperdrive_jobs_active"
+	JobsSuspended = "hyperdrive_jobs_suspended"
+	// BestMetric is the best raw metric observed so far.
+	BestMetric = "hyperdrive_best_metric"
+
+	// EventLogDroppedTotal counts event-log records lost to write
+	// errors (a dead log is visible instead of silent).
+	EventLogDroppedTotal = "hyperdrive_eventlog_dropped_total"
+
+	// AgentJobsRunning / AgentStatsTotal / AgentSnapshotsTotal are the
+	// node agent's view of its own slots.
+	AgentJobsRunning    = "hyperdrive_agent_jobs_running"
+	AgentStatsTotal     = "hyperdrive_agent_stats_total"
+	AgentSnapshotsTotal = "hyperdrive_agent_snapshots_total"
+)
+
+// DecisionsTotal returns the labeled series name counting
+// OnIterationFinish verdicts, e.g.
+// hyperdrive_decisions_total{decision="suspend"}.
+func DecisionsTotal(decision string) string {
+	return fmt.Sprintf(`hyperdrive_decisions_total{decision=%q}`, decision)
+}
+
+// SlotEpochsPerSecond returns the labeled per-slot training-rate gauge
+// name, e.g. hyperdrive_slot_epochs_per_second{slot="s0"}.
+func SlotEpochsPerSecond(slot string) string {
+	return fmt.Sprintf(`hyperdrive_slot_epochs_per_second{slot=%q}`, slot)
+}

@@ -1,0 +1,356 @@
+// Package obs is HyperDrive's observability layer: a stdlib-only
+// metrics registry (counters, gauges, bucketed histograms), a decision
+// tracer that attributes every scheduling verdict to the inputs the
+// policy saw, and a live introspection HTTP endpoint serving
+// Prometheus-text and JSON snapshots.
+//
+// The package is dependency-free by design so every layer of the
+// runtime — the cluster engine, the policies, the curve predictor, the
+// simulator, and the node agent — can instrument itself without import
+// cycles. All handle types (*Counter, *Gauge, *Histogram, *Span,
+// *Tracer, *Registry) are nil-safe no-ops, so unconfigured callers pay
+// a single nil check on the hot path and existing benchmarks are
+// untouched.
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// NewCounter returns a standalone counter not attached to a registry.
+func NewCounter() *Counter { return &Counter{} }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (negative deltas are ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if c == nil || n < 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float metric that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// NewGauge returns a standalone gauge not attached to a registry.
+func NewGauge() *Gauge { return &Gauge{} }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a bucketed distribution with atomic observation. Bucket
+// boundaries are upper bounds (inclusive), strictly increasing; an
+// implicit +Inf bucket catches the tail.
+type Histogram struct {
+	uppers []float64
+	counts []atomic.Int64 // len(uppers)+1, last is +Inf
+	count  atomic.Int64
+	sumBits atomic.Uint64 // float64 bits of the running sum
+}
+
+// DefBuckets is the default latency bucket layout in seconds: 1µs to
+// ~16s in powers of four — wide enough for both sub-millisecond
+// decision handling and multi-second MCMC fits.
+var DefBuckets = []float64{
+	1e-6, 4e-6, 16e-6, 64e-6, 256e-6, 1e-3, 4e-3, 16e-3, 64e-3, 256e-3, 1, 4, 16,
+}
+
+// NewHistogram returns a standalone histogram over the given upper
+// bounds (DefBuckets when none are given). Bounds are sorted and
+// deduplicated.
+func NewHistogram(uppers ...float64) *Histogram {
+	if len(uppers) == 0 {
+		uppers = DefBuckets
+	}
+	us := append([]float64(nil), uppers...)
+	sort.Float64s(us)
+	dedup := us[:0]
+	for i, u := range us {
+		if i == 0 || u != us[i-1] {
+			dedup = append(dedup, u)
+		}
+	}
+	return &Histogram{uppers: dedup, counts: make([]atomic.Int64, len(dedup)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.uppers, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns total observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// snapshotCounts returns cumulative bucket counts aligned to uppers,
+// plus the +Inf total.
+func (h *Histogram) snapshotCounts() (cum []int64, total int64) {
+	cum = make([]int64, len(h.uppers))
+	var acc int64
+	for i := range h.uppers {
+		acc += h.counts[i].Load()
+		cum[i] = acc
+	}
+	return cum, acc + h.counts[len(h.uppers)].Load()
+}
+
+// Quantile estimates the q-quantile (0..1) by linear interpolation
+// within the containing bucket — the standard Prometheus
+// histogram_quantile estimate. NaN with no observations.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return math.NaN()
+	}
+	cum, total := h.snapshotCounts()
+	if total == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var prevCum int64
+	lower := 0.0
+	for i, c := range cum {
+		if float64(c) >= rank {
+			width := h.uppers[i] - lower
+			inBucket := float64(c - prevCum)
+			if inBucket == 0 {
+				return h.uppers[i]
+			}
+			return lower + width*(rank-float64(prevCum))/inBucket
+		}
+		prevCum = c
+		lower = h.uppers[i]
+	}
+	// Tail bucket: the best estimate is the largest finite bound.
+	return h.uppers[len(h.uppers)-1]
+}
+
+// Registry is a named collection of metrics plus the decision tracer
+// and the published job classification table. A nil *Registry is a
+// valid no-op sink.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	tracer   *Tracer
+	table    atomic.Value // []JobRow
+}
+
+// NewRegistry returns an empty registry with a 512-span tracer.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		tracer:   NewTracer(512),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use. Name may carry a Prometheus label suffix, e.g.
+// `hyperdrive_decisions_total{decision="suspend"}`; series sharing a
+// family name are grouped in the text encoding. Nil registries return
+// nil (no-op) handles.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[name]; ok {
+		return c
+	}
+	c = NewCounter()
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; ok {
+		return g
+	}
+	g = NewGauge()
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it
+// with the given bucket bounds (DefBuckets when omitted) on first use.
+// Bounds are fixed at creation; later calls ignore them.
+func (r *Registry) Histogram(name string, uppers ...float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.hists[name]; ok {
+		return h
+	}
+	h = NewHistogram(uppers...)
+	r.hists[name] = h
+	return h
+}
+
+// Tracer returns the registry's decision tracer (nil on a nil
+// registry).
+func (r *Registry) Tracer() *Tracer {
+	if r == nil {
+		return nil
+	}
+	return r.tracer
+}
+
+// JobRow is one line of the live job classification table: what the
+// scheduler currently believes about one configuration.
+type JobRow struct {
+	Job        string  `json:"job"`
+	State      string  `json:"state"` // pending|running|suspended|terminated|completed
+	Class      string  `json:"class"` // promising|opportunistic|poor|"" (unclassified)
+	Epoch      int     `json:"epoch"`
+	Best       float64 `json:"best"`
+	Confidence float64 `json:"confidence"`
+	ERTSeconds float64 `json:"ert_seconds"`
+	Priority   float64 `json:"priority"`
+}
+
+// PublishJobTable atomically replaces the job classification table
+// served by the introspection endpoint. Callers publish a fresh slice
+// and must not mutate it afterwards.
+func (r *Registry) PublishJobTable(rows []JobRow) {
+	if r == nil {
+		return
+	}
+	if rows == nil {
+		rows = []JobRow{}
+	}
+	r.table.Store(rows)
+}
+
+// JobTable returns the last published classification table (nil when
+// none has been published).
+func (r *Registry) JobTable() []JobRow {
+	if r == nil {
+		return nil
+	}
+	rows, _ := r.table.Load().([]JobRow)
+	return rows
+}
+
+// Instrumentable is implemented by components that can bind their
+// metrics to a registry (policies, predictors, event logs). Engines
+// call Instrument once at setup, before the run starts.
+type Instrumentable interface {
+	Instrument(r *Registry)
+}
+
+// names returns the sorted names of one metric map.
+func sortedNames[M any](m map[string]M) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

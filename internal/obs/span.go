@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one traced scheduling decision: the estimate → classify →
+// allocate pipeline of a single OnIterationFinish, carrying the inputs
+// the policy saw (ERT, confidence, pool sizes) so the verdict is
+// attributable after the fact. Spans are created by a Tracer, filled
+// in by the policy, and finished by the engine; the span ID is stamped
+// into the decision's LogRecord.
+//
+// A nil *Span is a valid no-op, so policies instrument unconditionally.
+type Span struct {
+	id    uint64
+	name  string
+	job   string
+	epoch int
+	start time.Time
+
+	mu     sync.Mutex
+	attrs  []Attr
+	stages []StageMark
+	end    time.Time
+}
+
+// Attr is one key/value annotation on a span. Exactly one of Val
+// (numeric) or Str is meaningful; Str=="" means numeric.
+type Attr struct {
+	Key string  `json:"key"`
+	Val float64 `json:"val,omitempty"`
+	Str string  `json:"str,omitempty"`
+}
+
+// StageMark records the completion of one pipeline stage, as elapsed
+// time since span start.
+type StageMark struct {
+	Name    string        `json:"name"`
+	Elapsed time.Duration `json:"elapsed_ns"`
+}
+
+// ID returns the span's hexadecimal identifier ("" on nil).
+func (s *Span) ID() string {
+	if s == nil {
+		return ""
+	}
+	return fmt.Sprintf("%012x", s.id)
+}
+
+// SetAttr records a numeric annotation.
+func (s *Span) SetAttr(key string, v float64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Val: v})
+	s.mu.Unlock()
+}
+
+// SetStr records a string annotation.
+func (s *Span) SetStr(key, v string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Str: v})
+	s.mu.Unlock()
+}
+
+// Stage marks the end of one pipeline stage.
+func (s *Span) Stage(name string) {
+	if s == nil {
+		return
+	}
+	el := time.Since(s.start)
+	s.mu.Lock()
+	s.stages = append(s.stages, StageMark{Name: name, Elapsed: el})
+	s.mu.Unlock()
+}
+
+// Annotated reports whether the span carries any stage marks or
+// annotations. Engines retain only annotated spans in the tracer ring,
+// so off-boundary no-op decisions measure latency without flooding the
+// introspection window.
+func (s *Span) Annotated() bool {
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.attrs) > 0 || len(s.stages) > 0
+}
+
+// Attr returns the first annotation with the given key.
+func (s *Span) Attr(key string) (Attr, bool) {
+	if s == nil {
+		return Attr{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, a := range s.attrs {
+		if a.Key == key {
+			return a, true
+		}
+	}
+	return Attr{}, false
+}
+
+// View is a span's JSON-serializable snapshot.
+type View struct {
+	ID         string      `json:"id"`
+	Name       string      `json:"name"`
+	Job        string      `json:"job,omitempty"`
+	Epoch      int         `json:"epoch,omitempty"`
+	Start      time.Time   `json:"start"`
+	DurationNS int64       `json:"duration_ns"`
+	Stages     []StageMark `json:"stages,omitempty"`
+	Attrs      []Attr      `json:"attrs,omitempty"`
+}
+
+// Snapshot copies the span into a serializable view.
+func (s *Span) Snapshot() View {
+	if s == nil {
+		return View{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := View{
+		ID:    s.ID(),
+		Name:  s.name,
+		Job:   s.job,
+		Epoch: s.epoch,
+		Start: s.start,
+	}
+	if !s.end.IsZero() {
+		v.DurationNS = s.end.Sub(s.start).Nanoseconds()
+	}
+	v.Stages = append(v.Stages, s.stages...)
+	v.Attrs = append(v.Attrs, s.attrs...)
+	return v
+}
+
+// Tracer hands out spans and retains the most recent completed ones in
+// a fixed-size ring for live introspection.
+type Tracer struct {
+	next atomic.Uint64
+
+	mu   sync.Mutex
+	ring []*Span
+	pos  int
+	n    int
+}
+
+// NewTracer returns a tracer retaining up to capacity completed spans
+// (minimum 1).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{ring: make([]*Span, capacity)}
+}
+
+// Start opens a span. Nil tracers return nil spans, so the call chain
+// is a no-op when tracing is unconfigured.
+func (t *Tracer) Start(name, job string, epoch int) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{
+		id:    t.next.Add(1),
+		name:  name,
+		job:   job,
+		epoch: epoch,
+		start: time.Now(),
+	}
+}
+
+// Finish closes the span and retains it in the ring.
+func (t *Tracer) Finish(s *Span) {
+	if t == nil || s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.end = time.Now()
+	s.mu.Unlock()
+	t.mu.Lock()
+	t.ring[t.pos] = s
+	t.pos = (t.pos + 1) % len(t.ring)
+	if t.n < len(t.ring) {
+		t.n++
+	}
+	t.mu.Unlock()
+}
+
+// Spans returns the retained completed spans, oldest first.
+func (t *Tracer) Spans() []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Span, 0, t.n)
+	start := t.pos - t.n
+	if start < 0 {
+		start += len(t.ring)
+	}
+	for i := 0; i < t.n; i++ {
+		out = append(out, t.ring[(start+i)%len(t.ring)])
+	}
+	return out
+}
+
+// Find returns the retained span with the given ID, if still in the
+// ring.
+func (t *Tracer) Find(id string) (*Span, bool) {
+	for _, s := range t.Spans() {
+		if s.ID() == id {
+			return s, true
+		}
+	}
+	return nil, false
+}

@@ -2,9 +2,9 @@ package policy
 
 import (
 	"fmt"
-	"sync/atomic"
 
 	"github.com/hyperdrive-ml/hyperdrive/internal/curve"
+	"github.com/hyperdrive-ml/hyperdrive/internal/obs"
 	"github.com/hyperdrive-ml/hyperdrive/internal/sched"
 )
 
@@ -30,7 +30,7 @@ type EarlyTerm struct {
 	delta     float64
 	boundary  int
 	predictor *curve.Predictor
-	fits      atomic.Int64
+	fits      *obs.Counter
 }
 
 // DefaultEarlyTermBoundarySL is the supervised-learning evaluation
@@ -52,7 +52,17 @@ func NewEarlyTerm(opts EarlyTermOptions) (*EarlyTerm, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &EarlyTerm{delta: opts.Delta, boundary: opts.Boundary, predictor: p}, nil
+	return &EarlyTerm{delta: opts.Delta, boundary: opts.Boundary, predictor: p, fits: obs.NewCounter()}, nil
+}
+
+// Instrument binds EarlyTerm's fit telemetry to a registry (see
+// POP.Instrument for the contract).
+func (e *EarlyTerm) Instrument(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	e.fits = r.Counter(obs.MCMCFitsTotal)
+	e.predictor.Instrument(r)
 }
 
 // Name implements Policy.
@@ -94,18 +104,21 @@ func (e *EarlyTerm) OnIterationFinish(ctx Context, ev sched.Event) sched.Decisio
 		norm[i] = info.Normalize(v)
 	}
 	post, err := e.predictor.Fit(norm, info.MaxEpoch, seedFor(ev.Job))
-	e.fits.Add(1)
+	e.fits.Inc()
 	if err != nil {
 		return sched.Continue
 	}
-	if post.ProbAtLeast(info.MaxEpoch, info.Normalize(globalBest)) < e.delta {
+	p := post.ProbAtLeast(info.MaxEpoch, info.Normalize(globalBest))
+	ev.Span.SetAttr("prob_beats_best", p)
+	if p < e.delta {
+		ev.Span.SetStr("cause", "predictive_termination")
 		return sched.Terminate
 	}
 	return sched.Continue
 }
 
 // PredictionFits implements FitCounter.
-func (e *EarlyTerm) PredictionFits() int { return int(e.fits.Load()) }
+func (e *EarlyTerm) PredictionFits() int { return int(e.fits.Value()) }
 
 // seedFor derives a deterministic MCMC seed from a job ID.
 func seedFor(id sched.JobID) int64 {

@@ -3,11 +3,11 @@ package policy
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"github.com/hyperdrive-ml/hyperdrive/internal/core"
 	"github.com/hyperdrive-ml/hyperdrive/internal/curve"
+	"github.com/hyperdrive-ml/hyperdrive/internal/obs"
 	"github.com/hyperdrive-ml/hyperdrive/internal/sched"
 )
 
@@ -64,7 +64,11 @@ type POPOptions struct {
 type POP struct {
 	opts      POPOptions
 	predictor *curve.Predictor
-	fits      atomic.Int64
+	// fits counts learning-curve fits. It starts as a standalone
+	// counter and is rebound to the registry's
+	// hyperdrive_mcmc_fits_total by Instrument, so PredictionFits and
+	// the metric share one source of truth.
+	fits *obs.Counter
 
 	mu        sync.Mutex
 	estimates map[sched.JobID]core.Estimate
@@ -99,8 +103,21 @@ func NewPOP(opts POPOptions) (*POP, error) {
 	return &POP{
 		opts:      opts,
 		predictor: p,
+		fits:      obs.NewCounter(),
 		estimates: make(map[sched.JobID]core.Estimate),
 	}, nil
+}
+
+// Instrument binds POP's telemetry to a registry: the fit counter
+// migrates onto hyperdrive_mcmc_fits_total and the predictor records
+// fit durations. Engines call this once at setup, before the run
+// starts (counts accrued earlier stay on the old counter).
+func (p *POP) Instrument(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	p.fits = r.Counter(obs.MCMCFitsTotal)
+	p.predictor.Instrument(r)
 }
 
 // Name implements Policy.
@@ -121,6 +138,7 @@ func (*POP) ApplicationStat(Context, sched.Event) {}
 // jobs so exploration rotates.
 func (p *POP) OnIterationFinish(ctx Context, ev sched.Event) sched.Decision {
 	info := ctx.Info()
+	sp := ev.Span
 	bnd := boundary(p.opts.Boundary, info)
 	if ev.Epoch%bnd != 0 || ev.Epoch >= info.MaxEpoch {
 		return sched.Continue
@@ -135,6 +153,8 @@ func (p *POP) OnIterationFinish(ctx Context, ev sched.Event) sched.Decision {
 		}
 		if kd := core.ShouldKill(history, info.KillThreshold, grace); kd.Kill {
 			p.dropEstimate(ev.Job)
+			sp.SetStr("cause", "kill_threshold")
+			sp.SetAttr("kill_threshold", info.KillThreshold)
 			return sched.Terminate
 		}
 	}
@@ -144,6 +164,13 @@ func (p *POP) OnIterationFinish(ctx Context, ev sched.Event) sched.Decision {
 	p.mu.Lock()
 	p.estimates[ev.Job] = est
 	p.mu.Unlock()
+	sp.Stage("estimate")
+	sp.SetAttr("confidence", est.Confidence)
+	sp.SetAttr("ert_seconds", est.ERT.Seconds())
+	sp.SetAttr("epoch_duration_seconds", est.EpochDuration.Seconds())
+	if est.Truncated {
+		sp.SetAttr("truncated", 1)
+	}
 
 	// 3. Confidence-floor pruning: unlikely to reach the target. Not
 	// applied before MinPruneEpochs of history: one boundary of
@@ -154,11 +181,18 @@ func (p *POP) OnIterationFinish(ctx Context, ev sched.Event) sched.Decision {
 	}
 	if ev.Epoch >= minPrune && est.Confidence < p.opts.ConfidenceFloor {
 		p.dropEstimate(ev.Job)
+		sp.SetStr("cause", "confidence_floor")
+		sp.SetAttr("confidence_floor", p.opts.ConfidenceFloor)
 		return sched.Terminate
 	}
 
 	// 4-5. Slot division and classification across all active jobs.
 	alloc := p.allocate(ctx)
+	sp.Stage("classify")
+	sp.SetAttr("threshold", alloc.Threshold)
+	sp.SetAttr("promising_jobs", float64(len(alloc.Promising)))
+	sp.SetAttr("opportunistic_jobs", float64(len(alloc.Opportunistic)))
+	sp.SetAttr("promising_slots", float64(alloc.PromisingSlots))
 	for _, e := range alloc.Promising {
 		ctx.LabelJob(sched.JobID(e.JobID), e.Confidence)
 	}
@@ -170,9 +204,12 @@ func (p *POP) OnIterationFinish(ctx Context, ev sched.Event) sched.Decision {
 			break
 		}
 	}
+	sp.Stage("allocate")
 	if promising {
+		sp.SetStr("class", "promising")
 		return sched.Continue
 	}
+	sp.SetStr("class", "opportunistic")
 	// 6. Opportunistic: rotate the exploration pool. Suspending only
 	// makes sense when another job is waiting for the slot.
 	if ctx.IdleJobs() > 0 {
@@ -197,7 +234,12 @@ func (p *POP) Estimates() map[sched.JobID]core.Estimate {
 }
 
 // PredictionFits implements FitCounter.
-func (p *POP) PredictionFits() int { return int(p.fits.Load()) }
+//
+// Deprecated: the count now lives on the obs registry as
+// hyperdrive_mcmc_fits_total (see Instrument); this accessor remains
+// for engines that model prediction cost from fit deltas and delegates
+// to that counter.
+func (p *POP) PredictionFits() int { return int(p.fits.Value()) }
 
 // estimate computes the §3.1 estimate for one job.
 func (p *POP) estimate(ctx Context, job sched.JobID, rawHistory []float64) core.Estimate {
@@ -239,7 +281,7 @@ func (p *POP) estimate(ctx Context, job sched.JobID, rawHistory []float64) core.
 		return core.Estimate{JobID: string(job), Confidence: 1, EpochDuration: epochDur}
 	}
 	post, err := p.predictor.Fit(norm, info.MaxEpoch, seedFor(job))
-	p.fits.Add(1)
+	p.fits.Inc()
 	if err != nil {
 		return core.Estimate{JobID: string(job), ERT: remaining, Truncated: true, EpochDuration: epochDur}
 	}

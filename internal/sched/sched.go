@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/hyperdrive-ml/hyperdrive/internal/obs"
 	"github.com/hyperdrive-ml/hyperdrive/internal/param"
 )
 
@@ -186,6 +187,11 @@ type Event struct {
 	Metric   float64
 	Duration time.Duration // duration of the epoch that just finished
 	Time     time.Time     // experiment-clock timestamp
+	// Span, when non-nil, is the decision trace the engine opened for
+	// this up-call; policies annotate it with the inputs behind their
+	// verdict (estimate, classification, allocation). Nil span methods
+	// are no-ops, so policies annotate unconditionally.
+	Span *obs.Span
 }
 
 // Decision is the SAP's verdict at an iteration boundary.

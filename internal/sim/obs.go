@@ -1,0 +1,233 @@
+package sim
+
+import (
+	"time"
+
+	"github.com/hyperdrive-ml/hyperdrive/internal/obs"
+	"github.com/hyperdrive-ml/hyperdrive/internal/policy"
+	"github.com/hyperdrive-ml/hyperdrive/internal/sched"
+)
+
+// simMetrics mirrors the live engine's telemetry onto the same metric
+// names, so simulator and real-runtime dashboards are directly
+// comparable.
+//
+// Unlike the live engine, the simulator's hot path is sub-microsecond
+// per epoch, so per-event atomics and span allocations would dominate
+// the run. The event loop is single-threaded, so counts are buffered
+// in plain fields and flushed to the registry at job lifecycle points
+// (start/suspend/terminate/complete) and at the end of the run;
+// decision latency is sampled 1-in-64, and spans are created only at
+// evaluation boundaries of policies that actually annotate them.
+type simMetrics struct {
+	reg    *obs.Registry
+	tracer *obs.Tracer
+	// traced means the policy annotates spans (it implements
+	// obs.Instrumentable — POP and EarlyTerm do; the baselines don't),
+	// so boundary-epoch spans are worth allocating.
+	traced   bool
+	boundary int
+
+	// Registry flush targets.
+	epochsC, decContC, decSuspC, decTermC           *obs.Counter
+	startsC, suspendsC, terminationsC, completionsC *obs.Counter
+	decisionLatency, epochDur                       *obs.Histogram
+
+	slotsTotal, slotsBusy, jobsActive, jobsSuspended, best            *obs.Gauge
+	poolPromSlots, poolOppSlots, poolPromJobs, poolOppJobs, threshold *obs.Gauge
+
+	// Buffered event-loop state. Owned by the single simulation
+	// goroutine; only the flushed registry values are shared. Epochs
+	// and decisions keep monotonic sequence counters (for sampling
+	// cadence); flush pushes the delta since the previous flush.
+	nDec                 int64 // decisions seen (drives latency sampling)
+	nEpoch, flushedEpoch int64 // epochs seen / already flushed
+	// dec counts verdicts by sched.Decision value (index 0 unused).
+	dec, flushedDecs                            [4]int64
+	starts, suspends, terminations, completions int64
+	durBuf                                      []float64
+}
+
+// latencySampleEvery and durSampleEvery are powers of two so the
+// sampling test is a mask. The first event is always sampled.
+const (
+	latencySampleEvery = 256
+	durSampleEvery     = 32
+)
+
+func newSimMetrics(r *obs.Registry, pol policy.Policy, info policy.Info) *simMetrics {
+	_, traced := pol.(obs.Instrumentable)
+	b := info.EvalBoundary
+	if b <= 0 {
+		if b = info.MaxEpoch / 15; b < 1 {
+			b = 1
+		}
+	}
+	return &simMetrics{
+		reg:             r,
+		tracer:          r.Tracer(),
+		traced:          traced,
+		boundary:        b,
+		epochsC:         r.Counter(obs.EpochsTotal),
+		decContC:        r.Counter(obs.DecisionsTotal("continue")),
+		decSuspC:        r.Counter(obs.DecisionsTotal("suspend")),
+		decTermC:        r.Counter(obs.DecisionsTotal("terminate")),
+		startsC:         r.Counter(obs.StartsTotal),
+		suspendsC:       r.Counter(obs.SuspendsTotal),
+		terminationsC:   r.Counter(obs.TerminationsTotal),
+		completionsC:    r.Counter(obs.CompletionsTotal),
+		decisionLatency: r.Histogram(obs.DecisionLatencySeconds),
+		epochDur:        r.Histogram(obs.EpochDurationSeconds, 1, 4, 16, 60, 240, 960, 3600),
+		slotsTotal:      r.Gauge(obs.SlotsTotal),
+		slotsBusy:       r.Gauge(obs.SlotsBusy),
+		jobsActive:      r.Gauge(obs.JobsActive),
+		jobsSuspended:   r.Gauge(obs.JobsSuspended),
+		best:            r.Gauge(obs.BestMetric),
+		poolPromSlots:   r.Gauge(obs.PoolPromisingSlots),
+		poolOppSlots:    r.Gauge(obs.PoolOpportunisticSlots),
+		poolPromJobs:    r.Gauge(obs.PoolPromisingJobs),
+		poolOppJobs:     r.Gauge(obs.PoolOpportunisticJobs),
+		threshold:       r.Gauge(obs.ClassificationThreshold),
+	}
+}
+
+// recordEpoch buffers one completed epoch.
+func (m *simMetrics) recordEpoch(seconds float64) {
+	if m.reg == nil {
+		return
+	}
+	m.nEpoch++
+	if m.nEpoch&(durSampleEvery-1) == 1 {
+		m.durBuf = append(m.durBuf, seconds)
+	}
+}
+
+// flush pushes the buffered deltas onto the registry.
+func (m *simMetrics) flush() {
+	if m.reg == nil {
+		return
+	}
+	m.epochsC.Add(m.nEpoch - m.flushedEpoch)
+	m.flushedEpoch = m.nEpoch
+	m.decContC.Add(m.dec[sched.Continue&3] - m.flushedDecs[sched.Continue&3])
+	m.decSuspC.Add(m.dec[sched.Suspend&3] - m.flushedDecs[sched.Suspend&3])
+	m.decTermC.Add(m.dec[sched.Terminate&3] - m.flushedDecs[sched.Terminate&3])
+	m.flushedDecs = m.dec
+	m.startsC.Add(m.starts)
+	m.suspendsC.Add(m.suspends)
+	m.terminationsC.Add(m.terminations)
+	m.completionsC.Add(m.completions)
+	m.starts, m.suspends, m.terminations, m.completions = 0, 0, 0, 0
+	for _, s := range m.durBuf {
+		m.epochDur.Observe(s)
+	}
+	m.durBuf = m.durBuf[:0]
+}
+
+// refreshGauges flushes buffered counts and updates occupancy gauges
+// from the engine state.
+func (e *engine) refreshGauges() {
+	if e.met.reg == nil {
+		return
+	}
+	e.met.flush()
+	e.met.slotsTotal.Set(float64(e.opts.Machines))
+	e.met.slotsBusy.Set(float64(len(e.running)))
+	e.met.jobsSuspended.Set(float64(len(e.idleQ)))
+	// Active = running + suspended; the idle queue holds exactly the
+	// suspended jobs (never-started ones sit in e.pending).
+	e.met.jobsActive.Set(float64(len(e.running) + len(e.idleQ)))
+}
+
+// observeDecision wraps one OnIterationFinish, mirroring the live
+// engine at a cost the simulator can afford: every decision is
+// counted, latency is sampled, and spans are allocated only when the
+// policy might annotate them (evaluation boundaries) or the decision
+// is a latency sample.
+func (e *engine) observeDecision(sev *sched.Event, run func() sched.Decision) sched.Decision {
+	m := e.met
+	if m.reg == nil {
+		return run()
+	}
+	m.nDec++
+	sampled := m.nDec&(latencySampleEvery-1) == 1
+	boundary := m.traced && sev.Epoch >= m.boundary && sev.Epoch%m.boundary == 0
+	if !sampled && !boundary {
+		d := run()
+		m.dec[d&3]++
+		return d
+	}
+	sp := m.tracer.Start("decision", string(sev.Job), sev.Epoch)
+	sev.Span = sp
+	t0 := time.Now()
+	d := run()
+	if sampled {
+		m.decisionLatency.Observe(time.Since(t0).Seconds())
+	}
+	m.dec[d&3]++
+	if sp.Annotated() {
+		sp.SetStr("decision", d.String())
+		m.tracer.Finish(sp)
+		e.publishClassification()
+	}
+	return d
+}
+
+// publishClassification mirrors POP's slot division and the job table
+// onto the registry after each boundary decision.
+func (e *engine) publishClassification() {
+	if e.met.reg == nil {
+		return
+	}
+	pop, hasPOP := e.opts.Policy.(*policy.POP)
+	var promising map[string]bool
+	var ests map[sched.JobID]float64
+	var erts map[sched.JobID]float64
+	if hasPOP {
+		alloc := pop.Allocation(e)
+		e.met.threshold.Set(alloc.Threshold)
+		e.met.poolPromSlots.Set(float64(alloc.PromisingSlots))
+		oppSlots := e.opts.Machines - alloc.PromisingSlots
+		if oppSlots < 0 {
+			oppSlots = 0
+		}
+		e.met.poolOppSlots.Set(float64(oppSlots))
+		e.met.poolPromJobs.Set(float64(len(alloc.Promising)))
+		e.met.poolOppJobs.Set(float64(len(alloc.Opportunistic)))
+		promising = make(map[string]bool, len(alloc.Promising))
+		for _, est := range alloc.Promising {
+			promising[est.JobID] = true
+		}
+		ests = make(map[sched.JobID]float64)
+		erts = make(map[sched.JobID]float64)
+		for id, est := range pop.Estimates() {
+			ests[id] = est.Confidence
+			erts[id] = est.ERT.Seconds()
+		}
+	}
+	rows := make([]obs.JobRow, 0, len(e.jobs))
+	for _, j := range e.jobs {
+		st := j.job.State()
+		row := obs.JobRow{
+			Job:      string(j.id),
+			State:    st.String(),
+			Epoch:    j.epoch,
+			Best:     j.best,
+			Priority: j.job.Priority(),
+		}
+		if hasPOP {
+			row.Confidence = ests[j.id]
+			row.ERTSeconds = erts[j.id]
+			switch {
+			case promising[string(j.id)]:
+				row.Class = "promising"
+			case st == sched.Terminated:
+				row.Class = "poor"
+			case st == sched.Running || st == sched.Suspended:
+				row.Class = "opportunistic"
+			}
+		}
+		rows = append(rows, row)
+	}
+	e.met.reg.PublishJobTable(rows)
+}

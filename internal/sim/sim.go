@@ -19,6 +19,7 @@ import (
 
 	"github.com/hyperdrive-ml/hyperdrive/internal/appstat"
 	"github.com/hyperdrive-ml/hyperdrive/internal/checkpoint"
+	"github.com/hyperdrive-ml/hyperdrive/internal/obs"
 	"github.com/hyperdrive-ml/hyperdrive/internal/policy"
 	"github.com/hyperdrive-ml/hyperdrive/internal/sched"
 	"github.com/hyperdrive-ml/hyperdrive/internal/trace"
@@ -63,6 +64,12 @@ type Options struct {
 	// "how long until the true best is found" while the policy plans
 	// toward a softer goal (the §9 dynamic-target study).
 	StopMetric float64
+	// Obs, when non-nil, receives the same telemetry the live engine
+	// records (decision latency, lifecycle counters, pool gauges,
+	// decision spans, job table), making sim and real-runtime
+	// dashboards directly comparable. Nil keeps the event loop
+	// uninstrumented.
+	Obs *obs.Registry
 }
 
 // RatioPoint samples the exploitation share over time (Figure 4c).
@@ -198,6 +205,7 @@ type engine struct {
 	res     *Result
 	lastFit int
 	stopAt  float64
+	met     *simMetrics
 }
 
 var simEpoch = time.Date(2017, 12, 11, 0, 0, 0, 0, time.UTC)
@@ -246,6 +254,7 @@ func Run(opts Options) (*Result, error) {
 	if opts.PlanTarget != 0 {
 		e.info.Target = opts.PlanTarget
 	}
+	e.met = newSimMetrics(opts.Obs, opts.Policy, e.info)
 	e.stopAt = e.info.Target
 	if opts.StopMetric != 0 {
 		e.stopAt = opts.StopMetric
@@ -280,7 +289,13 @@ func Run(opts Options) (*Result, error) {
 
 // run executes the event loop.
 func (e *engine) run() {
+	if e.opts.Obs != nil {
+		if in, ok := e.opts.Policy.(obs.Instrumentable); ok {
+			in.Instrument(e.opts.Obs)
+		}
+	}
 	e.opts.Policy.AllocateJobs(e)
+	e.refreshGauges()
 	for e.events.Len() > 0 {
 		ev := heap.Pop(&e.events).(*event)
 		if ev.t > e.opts.MaxDuration {
@@ -312,6 +327,7 @@ func (e *engine) handleEpochFinish(ev *event) bool {
 		Duration: s.Duration(),
 		At:       e.start.Add(e.now),
 	})
+	e.met.recordEpoch(s.Duration().Seconds())
 
 	sev := sched.Event{
 		Job:      j.id,
@@ -336,14 +352,18 @@ func (e *engine) handleEpochFinish(ev *event) bool {
 	if j.epoch >= len(j.samples) {
 		if err := j.job.Complete(); err == nil {
 			e.res.Completions++
+			e.met.completions++
 		}
 		e.closeSegment(j)
 		e.freeMachine(ev.machine, 0)
 		pol.AllocateJobs(e)
+		e.refreshGauges()
 		return false
 	}
 
-	decision := pol.OnIterationFinish(e, sev)
+	decision := e.observeDecision(&sev, func() sched.Decision {
+		return pol.OnIterationFinish(e, sev)
+	})
 	// Blocking prediction cost: delay this machine by the fits that
 	// the decision just performed.
 	var predDelay time.Duration
@@ -372,18 +392,22 @@ func (e *engine) handleEpochFinish(ev *event) bool {
 		}
 		if err := j.job.Suspend(); err == nil {
 			e.res.Suspends++
+			e.met.suspends++
 			e.enqueueIdle(j)
 		}
 		e.closeSegment(j)
 		e.freeMachine(ev.machine, predDelay+overhead)
 		pol.AllocateJobs(e)
+		e.refreshGauges()
 	case sched.Terminate:
 		if err := j.job.Terminate(); err == nil {
 			e.res.Terminations++
+			e.met.terminations++
 		}
 		e.closeSegment(j)
 		e.freeMachine(ev.machine, predDelay)
 		pol.AllocateJobs(e)
+		e.refreshGauges()
 	default: // Continue
 		e.scheduleEpoch(ev.machine, j, predDelay)
 	}
@@ -396,6 +420,7 @@ func (e *engine) updateBest(j *simJob, metric float64) bool {
 	if metric > e.res.Best || e.res.BestJob == "" {
 		e.res.Best = metric
 		e.res.BestJob = string(j.id)
+		e.met.best.Set(metric)
 	}
 	return metric >= e.stopAt
 }
@@ -529,6 +554,7 @@ func (e *engine) finish() {
 	if fc, ok := e.opts.Policy.(policy.FitCounter); ok {
 		e.res.Fits = fc.PredictionFits()
 	}
+	e.refreshGauges() // final flush of buffered telemetry
 }
 
 // --- policy.Context implementation -----------------------------------
@@ -557,6 +583,7 @@ func (e *engine) StartIdleJob() (sched.JobID, bool) {
 	if !j.started {
 		j.started = true
 		e.res.Starts++
+		e.met.starts++
 	}
 	e.scheduleEpoch(m, j, 0)
 	return j.id, true

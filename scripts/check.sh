@@ -1,0 +1,17 @@
+#!/bin/sh
+# check.sh — the repo's standing health gate: vet everything, then run
+# the full test suite with the race detector on.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo ">> go vet ./..."
+go vet ./...
+
+# -short skips the live wall-clock validation runs (fig12a), which
+# under the race detector's ~5-10x slowdown exceed the per-package
+# test timeout; everything else runs race-enabled in full.
+echo ">> go test -race -short ./..."
+go test -race -short -timeout 20m ./...
+
+echo "OK"
