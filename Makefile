@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench-obs
+.PHONY: build test lint check bench-obs
 
 build:
 	$(GO) build ./...
@@ -8,7 +8,12 @@ build:
 test:
 	$(GO) test ./...
 
-# check: vet + full test suite under the race detector.
+# lint: the domain analyzers (determinism, metric names, lock safety,
+# error handling, float equality). See DESIGN.md "Static analysis".
+lint:
+	$(GO) run ./cmd/hdlint ./...
+
+# check: vet + hdlint + full test suite under the race detector.
 check:
 	sh scripts/check.sh
 

@@ -1,0 +1,79 @@
+// Command hdlint runs the hyperdrive domain analyzers (detclock,
+// metricnames, locksafe, erralways, floateq) over the module and
+// prints file:line:col diagnostics.
+//
+// Usage:
+//
+//	hdlint [-list] [pattern ...]
+//
+// Patterns follow the usual go-tool shapes ("./...", "./internal/sim",
+// "internal/policy/..."); the default is the whole module. Exit status
+// is 0 when clean, 1 when findings were reported, 2 on a load failure.
+//
+// Deliberate exceptions are declared in-code:
+//
+//	//hdlint:ignore <analyzer>[,<analyzer>] <reason>
+//
+// which suppresses the named analyzers on the directive's line and the
+// line below. Directives without a reason, naming unknown analyzers,
+// or suppressing nothing are themselves findings.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/hyperdrive-ml/hyperdrive/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	patterns := make([]string, 0, len(args))
+	list := false
+	for _, a := range args {
+		switch a {
+		case "-list", "--list":
+			list = true
+		case "-h", "-help", "--help":
+			fmt.Fprintln(stderr, "usage: hdlint [-list] [pattern ...]")
+			return 0
+		default:
+			patterns = append(patterns, a)
+		}
+	}
+	if list {
+		for _, a := range lint.All() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "hdlint: %v\n", err)
+		return 2
+	}
+	mod, err := lint.LoadModule(cwd)
+	if err != nil {
+		fmt.Fprintf(stderr, "hdlint: %v\n", err)
+		return 2
+	}
+	match, err := mod.Match(cwd, patterns)
+	if err != nil {
+		fmt.Fprintf(stderr, "hdlint: %v\n", err)
+		return 2
+	}
+	findings := mod.Run(lint.All(), match)
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "hdlint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+func chdir(t *testing.T, dir string) {
+	t.Helper()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chdir(old) })
+}
+
+func TestRunCleanRepo(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"./..."}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d on the repo; stdout:\n%s\nstderr:\n%s", code, out.String(), errw.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("clean run printed findings:\n%s", out.String())
+	}
+}
+
+func TestRunFindings(t *testing.T) {
+	chdir(t, "../../internal/lint/testdata/src")
+	var out, errw bytes.Buffer
+	code := run(nil, &out, &errw)
+	if code != 1 {
+		t.Fatalf("exit %d on the fixture module, want 1; stderr:\n%s", code, errw.String())
+	}
+	got := out.String()
+	for _, analyzer := range []string{"detclock", "metricnames", "locksafe", "erralways", "floateq"} {
+		if !strings.Contains(got, analyzer+": ") {
+			t.Errorf("fixture run missing %s findings; output:\n%s", analyzer, got)
+		}
+	}
+	if !strings.Contains(errw.String(), "finding(s)") {
+		t.Errorf("stderr missing summary: %q", errw.String())
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errw); code != 0 {
+		t.Fatalf("-list exit %d", code)
+	}
+	for _, analyzer := range []string{"detclock", "metricnames", "locksafe", "erralways", "floateq"} {
+		if !strings.Contains(out.String(), analyzer) {
+			t.Errorf("-list missing %s:\n%s", analyzer, out.String())
+		}
+	}
+}

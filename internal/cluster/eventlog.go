@@ -82,6 +82,7 @@ func (l *EventLog) Log(r LogRecord) {
 		l.drop()
 		return
 	}
+	//hdlint:ignore locksafe serializing the JSON stream is what l.mu is for; writers are files or buffers, and a wedged sink flips the log dead rather than wedging callers forever
 	if err := l.enc.Encode(r); err != nil {
 		l.dead = true
 		l.drop()

@@ -418,7 +418,7 @@ func (e *Experiment) finish() {
 		})
 	}
 	if fc, ok := e.cfg.Policy.(policy.FitCounter); ok {
-		e.res.Fits = fc.PredictionFits()
+		e.res.Fits = int(fc.Fits().Value())
 	}
 }
 

@@ -136,6 +136,7 @@ func (jm *JobManager) GetIdleJob() (*ManagedJob, bool) {
 			continue
 		}
 		pi, pb := mj.Job.Priority(), best.Job.Priority()
+		//hdlint:ignore floateq an exact priority tie deliberately falls back to FIFO order; a tolerance would make rotation order depend on its width
 		if pi > pb || (pi == pb && mj.QueueSeq < best.QueueSeq) {
 			best = mj
 		}

@@ -218,6 +218,7 @@ func AllocateSlots(ests []Estimate, totalSlots, slotsPerJob int) Allocation {
 		}
 	}
 	sort.SliceStable(alloc.Promising, func(i, j int) bool {
+		//hdlint:ignore floateq exact-confidence ties fall through to ERT order; both branches are consistent, so the sort stays strict-weak either way
 		if alloc.Promising[i].Confidence != alloc.Promising[j].Confidence {
 			return alloc.Promising[i].Confidence > alloc.Promising[j].Confidence
 		}

@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// deterministicPkgs are the package-path suffixes whose behavior must
+// be bit-for-bit reproducible across replays: the simulator, the
+// curve-fitting predictor, the core POP allocator, the policies, and
+// the synthetic-workload generator. Time inside them flows through
+// internal/clock; randomness through an injected seeded *rand.Rand.
+var deterministicPkgs = []string{
+	"internal/sim",
+	"internal/curve",
+	"internal/core",
+	"internal/policy",
+	"internal/workload",
+}
+
+// bannedTimeFuncs are the package-level functions of "time" that read
+// or wait on the wall clock.
+var bannedTimeFuncs = map[string]string{
+	"Now":       "reads the wall clock",
+	"Since":     "reads the wall clock",
+	"Until":     "reads the wall clock",
+	"Sleep":     "blocks on the wall clock",
+	"After":     "blocks on the wall clock",
+	"Tick":      "ticks on the wall clock",
+	"NewTicker": "ticks on the wall clock",
+	"NewTimer":  "fires on the wall clock",
+	"AfterFunc": "fires on the wall clock",
+}
+
+// bannedRandFuncs are the top-level math/rand functions backed by the
+// process-global generator. Constructors (New, NewSource, NewZipf) are
+// fine: they are how the injected seeded generator is built.
+var bannedRandFuncs = map[string]bool{
+	"Seed": true, "Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "NormFloat64": true, "ExpFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true,
+}
+
+// DetClock forbids wall-clock reads and global-generator randomness in
+// the deterministic packages.
+var DetClock = &Analyzer{
+	Name: "detclock",
+	Doc: "forbid time.Now/Since/Sleep and global math/rand functions in deterministic packages; " +
+		"use internal/clock and an injected seeded *rand.Rand instead",
+	Run: runDetClock,
+}
+
+func runDetClock(p *Package, report Reporter) {
+	if !isDeterministicPkg(p.PkgPath) {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, ok := packageQualifier(p, sel)
+			if !ok {
+				return true
+			}
+			switch pkgPath {
+			case "time":
+				if why, bad := bannedTimeFuncs[sel.Sel.Name]; bad {
+					report(sel.Pos(), "time.%s %s; deterministic packages must take time from internal/clock",
+						sel.Sel.Name, why)
+				}
+			case "math/rand", "math/rand/v2":
+				if bannedRandFuncs[sel.Sel.Name] {
+					report(sel.Pos(), "global rand.%s is nondeterministic across replays; use an injected seeded *rand.Rand",
+						sel.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func isDeterministicPkg(pkgPath string) bool {
+	for _, s := range deterministicPkgs {
+		if hasPathSuffix(pkgPath, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// packageQualifier resolves sel's X to an imported package name and
+// returns that package's import path.
+func packageQualifier(p *Package, sel *ast.SelectorExpr) (string, bool) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	obj := p.Info.Uses[id]
+	pn, ok := obj.(*types.PkgName)
+	if !ok {
+		return "", false
+	}
+	return pn.Imported().Path(), true
+}

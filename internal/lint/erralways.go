@@ -1,0 +1,175 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrAlways flags discarded error returns from the durability-critical
+// surfaces: EventLog methods, internal/appstat persistence, and
+// internal/checkpoint writes. A dropped error there means silently
+// losing the audit trail or a checkpoint — the exact records the paper's
+// evaluation replays from.
+var ErrAlways = &Analyzer{
+	Name: "erralways",
+	Doc:  "errors from EventLog, appstat persistence, and checkpoint operations must be checked",
+	Run:  runErrAlways,
+}
+
+// errCriticalPkgSuffixes are packages whose exported error returns must
+// always be consumed.
+var errCriticalPkgSuffixes = []string{
+	"internal/appstat",
+	"internal/checkpoint",
+}
+
+func runErrAlways(p *Package, report Reporter) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				checkDroppedErrCall(p, n.X, report)
+			case *ast.GoStmt:
+				checkDroppedErrCall(p, n.Call, report)
+			case *ast.DeferStmt:
+				checkDroppedErrCall(p, n.Call, report)
+			case *ast.AssignStmt:
+				checkBlankErrAssign(p, n, report)
+			}
+			return true
+		})
+	}
+}
+
+// checkDroppedErrCall reports e if it is a call to an error-critical
+// function whose results are dropped entirely.
+func checkDroppedErrCall(p *Package, e ast.Expr, report Reporter) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := errCriticalCallee(p, call)
+	if fn == nil || !returnsError(fn) {
+		return
+	}
+	report(call.Pos(), "error returned by %s is dropped; %s", calleeLabel(fn), errWhy(fn))
+}
+
+// checkBlankErrAssign reports assignments that send every error result
+// of an error-critical call to the blank identifier.
+func checkBlankErrAssign(p *Package, as *ast.AssignStmt, report Reporter) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := errCriticalCallee(p, call)
+	if fn == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	res := sig.Results()
+	anyErr, allBlank := false, true
+	for i := 0; i < res.Len(); i++ {
+		if !isErrorType(res.At(i).Type()) {
+			continue
+		}
+		anyErr = true
+		if i >= len(as.Lhs) {
+			continue
+		}
+		if id, ok := as.Lhs[i].(*ast.Ident); !ok || id.Name != "_" {
+			allBlank = false
+		}
+	}
+	if anyErr && allBlank {
+		report(as.Pos(), "error returned by %s is assigned to _; %s", calleeLabel(fn), errWhy(fn))
+	}
+}
+
+// errCriticalCallee resolves the call's callee and returns it if it is
+// an EventLog method or declared in an error-critical package.
+func errCriticalCallee(p *Package, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj = p.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = p.Info.Uses[fun.Sel]
+	default:
+		return nil
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	if isEventLogMethod(fn) {
+		return fn
+	}
+	for _, suf := range errCriticalPkgSuffixes {
+		if hasPathSuffix(fn.Pkg().Path(), suf) {
+			return fn
+		}
+	}
+	return nil
+}
+
+func isEventLogMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "EventLog"
+}
+
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if isErrorType(res.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+func calleeLabel(fn *types.Func) string {
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return fn.Pkg().Name() + "." + fn.Name()
+}
+
+func errWhy(fn *types.Func) string {
+	if isEventLogMethod(fn) {
+		return "a lost event-log record breaks replay auditing"
+	}
+	if hasPathSuffix(fn.Pkg().Path(), "internal/checkpoint") {
+		return "a failed checkpoint write must surface, or resume silently corrupts state"
+	}
+	return "appstat persistence failures must surface, or profiles silently regress"
+}

@@ -1,0 +1,48 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != between floating-point expressions. Metric
+// and loss values accumulate rounding error, so exact comparison is
+// almost always a latent bug; compare against an epsilon or restructure
+// the tie-break. Comparisons against compile-time constants (e.g. the
+// `x == 0` unset-sentinel idiom) are allowed.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "flag ==/!= between non-constant floating-point values (metric/loss comparisons need a tolerance)",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(p *Package, report Reporter) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			x, xOK := p.Info.Types[be.X]
+			y, yOK := p.Info.Types[be.Y]
+			if !xOK || !yOK || !isFloat(x.Type) || !isFloat(y.Type) {
+				return true
+			}
+			// A constant operand (0, math.Inf(1) is not constant but
+			// literals and consts are) marks a sentinel check, not an
+			// arithmetic comparison.
+			if x.Value != nil || y.Value != nil {
+				return true
+			}
+			report(be.OpPos, "%s on floating-point values is unreliable; compare with a tolerance or restructure the tie-break",
+				be.Op)
+			return true
+		})
+	}
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,202 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// An Analyzer checks one invariant across a package and reports
+// findings through the Reporter.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(p *Package, report Reporter)
+}
+
+// Reporter records one diagnostic at pos.
+type Reporter func(pos token.Pos, format string, args ...any)
+
+// Finding is one diagnostic, post suppression filtering.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// DirectiveName is the analyzer name under which directive-hygiene
+// diagnostics (missing reason, unknown analyzer, unused suppression)
+// are reported. It is not suppressible.
+const DirectiveName = "hdlint"
+
+// directive is one parsed //hdlint:ignore comment.
+type directive struct {
+	pos       token.Position // of the comment
+	analyzers []string
+	reason    string
+	used      bool
+}
+
+// coversLine reports whether the directive suppresses findings on the
+// given line of its file: its own line (trailing comment) and the line
+// immediately after (comment above the offending statement).
+func (d *directive) coversLine(line int) bool {
+	return line == d.pos.Line || line == d.pos.Line+1
+}
+
+const directivePrefix = "//hdlint:ignore"
+
+// parseDirectives extracts //hdlint:ignore directives from a file.
+// Malformed directives are reported immediately and excluded.
+func parseDirectives(fset *token.FileSet, f *ast.File, known map[string]bool, report Reporter) []*directive {
+	var ds []*directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, directivePrefix)
+			if !ok {
+				continue
+			}
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue // e.g. //hdlint:ignorance — not ours
+			}
+			fields := strings.Fields(rest)
+			if len(fields) == 0 {
+				report(c.Pos(), "hdlint:ignore directive is missing an analyzer name and a reason")
+				continue
+			}
+			names := strings.Split(fields[0], ",")
+			bad := false
+			for _, n := range names {
+				if !known[n] {
+					report(c.Pos(), "hdlint:ignore names unknown analyzer %q", n)
+					bad = true
+				}
+			}
+			if bad {
+				continue
+			}
+			reason := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), fields[0]))
+			if reason == "" {
+				report(c.Pos(), "hdlint:ignore %s needs a reason — state why the invariant does not apply here", fields[0])
+				continue
+			}
+			ds = append(ds, &directive{
+				pos:       fset.Position(c.Pos()),
+				analyzers: names,
+				reason:    reason,
+			})
+		}
+	}
+	return ds
+}
+
+// Run executes the analyzers over every package selected by match
+// (nil = all), applies suppression directives, flags unused
+// directives, and returns findings sorted by position.
+func (m *Module) Run(analyzers []*Analyzer, match func(*Package) bool) []Finding {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var findings []Finding
+	for _, p := range m.Pkgs {
+		if match != nil && !match(p) {
+			continue
+		}
+
+		// Parse this package's directives. Hygiene problems are
+		// findings in their own right.
+		var dirs []*directive
+		for _, f := range p.Files {
+			dirs = append(dirs, parseDirectives(m.Fset, f, known, func(pos token.Pos, format string, args ...any) {
+				findings = append(findings, Finding{
+					Analyzer: DirectiveName,
+					Pos:      m.Fset.Position(pos),
+					Message:  fmt.Sprintf(format, args...),
+				})
+			})...)
+		}
+
+		suppressed := func(name string, pos token.Position) bool {
+			hit := false
+			for _, d := range dirs {
+				if d.pos.Filename != pos.Filename || !d.coversLine(pos.Line) {
+					continue
+				}
+				for _, n := range d.analyzers {
+					if n == name {
+						d.used = true
+						hit = true
+					}
+				}
+			}
+			return hit
+		}
+
+		for _, a := range analyzers {
+			name := a.Name
+			a.Run(p, func(pos token.Pos, format string, args ...any) {
+				position := m.Fset.Position(pos)
+				if suppressed(name, position) {
+					return
+				}
+				findings = append(findings, Finding{
+					Analyzer: name,
+					Pos:      position,
+					Message:  fmt.Sprintf(format, args...),
+				})
+			})
+		}
+
+		for _, d := range dirs {
+			if !d.used {
+				findings = append(findings, Finding{
+					Analyzer: DirectiveName,
+					Pos:      d.pos,
+					Message: fmt.Sprintf("hdlint:ignore %s suppresses nothing — remove the stale directive",
+						strings.Join(d.analyzers, ",")),
+				})
+			}
+		}
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings
+}
+
+// All returns the full analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		DetClock,
+		MetricNames,
+		LockSafe,
+		ErrAlways,
+		FloatEq,
+	}
+}
+
+// hasPathSuffix reports whether pkgPath ends in suffix on a path
+// boundary ("a/b/internal/sim" matches "internal/sim"; "internal/simx"
+// does not).
+func hasPathSuffix(pkgPath, suffix string) bool {
+	return pkgPath == suffix || strings.HasSuffix(pkgPath, "/"+suffix)
+}

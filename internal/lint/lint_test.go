@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe matches golden expectations in fixture comments:
+//
+//	code // want "substring of the finding"
+//	// want+1 "substring"   (expectation for the next line)
+//
+// The quoted text must be a substring of "analyzer: message".
+var wantRe = regexp.MustCompile(`want(\+1)? "([^"]+)"`)
+
+func loadFixtures(t *testing.T) *Module {
+	t.Helper()
+	mod, err := LoadModule("testdata/src")
+	if err != nil {
+		t.Fatalf("loading fixture module: %v", err)
+	}
+	if mod.Path != "fixture.example/lint" {
+		t.Fatalf("fixture module path = %q", mod.Path)
+	}
+	for _, p := range mod.Pkgs {
+		for _, e := range p.TypeErrors {
+			t.Errorf("fixture %s: type error: %v", p.PkgPath, e)
+		}
+	}
+	return mod
+}
+
+// TestFixtures runs the whole suite over the fixture module and checks
+// the findings exactly against the // want comments: every finding
+// must be expected, and every expectation must fire. Honored
+// suppressions are verified implicitly from both directions — a
+// suppression that leaks produces an unexpected finding, and one that
+// suppresses nothing produces a stale-directive finding.
+func TestFixtures(t *testing.T) {
+	mod := loadFixtures(t)
+
+	type want struct {
+		pat     string
+		matched bool
+	}
+	wants := make(map[string][]*want) // "file:line" -> expectations
+	for _, p := range mod.Pkgs {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					pos := mod.Fset.Position(c.Pos())
+					for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+						line := pos.Line
+						if m[1] == "+1" {
+							line++
+						}
+						key := fmt.Sprintf("%s:%d", pos.Filename, line)
+						wants[key] = append(wants[key], &want{pat: m[2]})
+					}
+				}
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatal("no // want expectations found in fixtures")
+	}
+
+	for _, f := range mod.Run(All(), nil) {
+		key := fmt.Sprintf("%s:%d", f.Pos.Filename, f.Pos.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if strings.Contains(f.Analyzer+": "+f.Message, w.pat) {
+				w.matched = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: no finding matching %q", key, w.pat)
+			}
+		}
+	}
+}
+
+// TestFixtureCoverage asserts every analyzer demonstrates at least one
+// caught violation and ships at least one suppression directive in the
+// fixtures (TestFixtures proves those directives are honored: a stale
+// one would surface as an unexpected hdlint finding).
+func TestFixtureCoverage(t *testing.T) {
+	mod := loadFixtures(t)
+
+	caught := make(map[string]int)
+	for _, f := range mod.Run(All(), nil) {
+		caught[f.Analyzer]++
+	}
+	directives := make(map[string]int)
+	for _, p := range mod.Pkgs {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if rest, ok := strings.CutPrefix(c.Text, directivePrefix+" "); ok {
+						if fields := strings.Fields(rest); len(fields) > 0 {
+							for _, n := range strings.Split(fields[0], ",") {
+								directives[n]++
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	for _, a := range All() {
+		if caught[a.Name] == 0 {
+			t.Errorf("analyzer %s: no fixture violation caught", a.Name)
+		}
+		if directives[a.Name] == 0 {
+			t.Errorf("analyzer %s: no fixture suppression directive", a.Name)
+		}
+	}
+	if caught[DirectiveName] == 0 {
+		t.Error("no directive-hygiene findings caught")
+	}
+}
+
+// TestMatch exercises the package-pattern matcher against the fixture
+// module.
+func TestMatch(t *testing.T) {
+	mod := loadFixtures(t)
+	cases := []struct {
+		patterns []string
+		pkg      string
+		want     bool
+	}{
+		{nil, "fixture.example/lint/internal/sim", true},
+		{[]string{"./..."}, "fixture.example/lint/internal/sim", true},
+		{[]string{"./internal/..."}, "fixture.example/lint/internal/sim", true},
+		{[]string{"./internal/..."}, "fixture.example/lint/server", false},
+		{[]string{"./internal/sim"}, "fixture.example/lint/internal/sim", true},
+		{[]string{"./internal/sim"}, "fixture.example/lint/internal/obs", false},
+		{[]string{"internal/obs"}, "fixture.example/lint/internal/obs", true},
+		{[]string{"fixture.example/lint/server"}, "fixture.example/lint/server", true},
+		{[]string{"./server", "./floats"}, "fixture.example/lint/floats", true},
+	}
+	for _, c := range cases {
+		match, err := mod.Match(mod.Root, c.patterns)
+		if err != nil {
+			t.Fatalf("Match(%v): %v", c.patterns, err)
+		}
+		p := &Package{PkgPath: c.pkg}
+		if got := match(p); got != c.want {
+			t.Errorf("Match(%v) on %s = %v, want %v", c.patterns, c.pkg, got, c.want)
+		}
+	}
+}

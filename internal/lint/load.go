@@ -1,0 +1,347 @@
+// Package lint is a stdlib-only static-analysis framework for the
+// hyperdrive tree, plus the five domain analyzers behind cmd/hdlint.
+//
+// It deliberately avoids golang.org/x/tools: packages are discovered
+// by walking the module, parsed with go/parser, and type-checked with
+// go/types using a source importer for the standard library and the
+// already-checked in-module packages for everything else. That is
+// slower than a driver built on export data, but it keeps the repo's
+// no-external-dependency rule intact and is fast enough for a gate
+// that runs once per check.sh invocation.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one non-test package of the module under analysis.
+type Package struct {
+	// PkgPath is the full import path (module path + relative dir).
+	PkgPath string
+	// Dir is the absolute directory the package was loaded from.
+	Dir   string
+	Files []*ast.File
+	// Pkg and Info are the type-checked package and its use/def/selection
+	// tables. Type checking is lenient: errors are collected into
+	// TypeErrors instead of aborting, so analyzers must tolerate
+	// missing type info on broken code.
+	Pkg        *types.Package
+	Info       *types.Info
+	TypeErrors []error
+
+	imports []string
+}
+
+// Module is a fully loaded and type-checked Go module.
+type Module struct {
+	Root string // absolute module root (directory holding go.mod)
+	Path string // module path from go.mod
+	Fset *token.FileSet
+	Pkgs []*Package // dependency (topological) order
+
+	byPath map[string]*Package
+}
+
+// LoadModule locates the module containing dir, parses every non-test
+// file of every package outside testdata/vendor, and type-checks the
+// packages in dependency order.
+func LoadModule(dir string) (*Module, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root, modPath, err := findModule(abs)
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{
+		Root:   root,
+		Path:   modPath,
+		Fset:   token.NewFileSet(),
+		byPath: make(map[string]*Package),
+	}
+	if err := m.parse(); err != nil {
+		return nil, err
+	}
+	m.typecheck()
+	return m, nil
+}
+
+// findModule walks up from dir to the nearest go.mod.
+func findModule(dir string) (root, modPath string, err error) {
+	for d := dir; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			mp := parseModulePath(data)
+			if mp == "" {
+				return "", "", fmt.Errorf("lint: no module directive in %s", filepath.Join(d, "go.mod"))
+			}
+			return d, mp, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}
+
+func parseModulePath(gomod []byte) string {
+	for _, line := range strings.Split(string(gomod), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			rest = strings.TrimSpace(rest)
+			rest = strings.Trim(rest, `"`)
+			if rest != "" {
+				return rest
+			}
+		}
+	}
+	return ""
+}
+
+// parse walks the module tree and parses every buildable package.
+func (m *Module) parse() error {
+	err := filepath.WalkDir(m.Root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != m.Root {
+			if name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+				return filepath.SkipDir
+			}
+			// A nested module is a separate unit; don't absorb it.
+			if _, err := os.Stat(filepath.Join(p, "go.mod")); err == nil {
+				return filepath.SkipDir
+			}
+		}
+		return m.parseDir(p)
+	})
+	if err != nil {
+		return err
+	}
+	sort.Slice(m.Pkgs, func(i, j int) bool { return m.Pkgs[i].PkgPath < m.Pkgs[j].PkgPath })
+	return nil
+}
+
+func (m *Module) parseDir(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	var files []*ast.File
+	var imports []string
+	seenImp := make(map[string]bool)
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		f, err := parser.ParseFile(m.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			ip := strings.Trim(imp.Path.Value, `"`)
+			if !seenImp[ip] {
+				seenImp[ip] = true
+				imports = append(imports, ip)
+			}
+		}
+	}
+	if len(files) == 0 {
+		return nil
+	}
+	rel, err := filepath.Rel(m.Root, dir)
+	if err != nil {
+		return err
+	}
+	pkgPath := m.Path
+	if rel != "." {
+		pkgPath = path.Join(m.Path, filepath.ToSlash(rel))
+	}
+	p := &Package{PkgPath: pkgPath, Dir: dir, Files: files, imports: imports}
+	m.Pkgs = append(m.Pkgs, p)
+	m.byPath[pkgPath] = p
+	return nil
+}
+
+// typecheck type-checks all packages in dependency order. In-module
+// imports resolve to the already-checked *types.Package; everything
+// else goes through the source importer (stdlib from GOROOT).
+func (m *Module) typecheck() {
+	imp := &moduleImporter{
+		m:     m,
+		src:   importer.ForCompiler(m.Fset, "source", nil).(types.ImporterFrom),
+		cache: make(map[string]*types.Package),
+	}
+	for _, p := range m.topoOrder() {
+		p.Info = &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		}
+		conf := types.Config{
+			Importer: imp,
+			Error: func(err error) {
+				p.TypeErrors = append(p.TypeErrors, err)
+			},
+		}
+		// Check never returns a usable error here: with an Error hook
+		// installed it soldiers on and still produces a (possibly
+		// incomplete) package, which is what lenient analyzers want.
+		pkg, _ := conf.Check(p.PkgPath, m.Fset, p.Files, p.Info)
+		p.Pkg = pkg
+	}
+}
+
+// topoOrder returns packages so that every in-module import precedes
+// its importer. Cycles (illegal in Go anyway) fall back to the input
+// order for the offending packages.
+func (m *Module) topoOrder() []*Package {
+	order := make([]*Package, 0, len(m.Pkgs))
+	state := make(map[*Package]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		if state[p] != 0 {
+			return
+		}
+		state[p] = 1
+		for _, ip := range p.imports {
+			if dep := m.byPath[ip]; dep != nil && state[dep] == 0 {
+				visit(dep)
+			}
+		}
+		state[p] = 2
+		order = append(order, p)
+	}
+	for _, p := range m.Pkgs {
+		visit(p)
+	}
+	return order
+}
+
+// moduleImporter resolves imports during type checking: in-module
+// packages come from the module itself, the rest from the source
+// importer. Unresolvable imports yield an empty placeholder package so
+// a single bad import degrades to per-identifier type errors instead
+// of sinking the whole package.
+type moduleImporter struct {
+	m     *Module
+	src   types.ImporterFrom
+	cache map[string]*types.Package
+}
+
+func (imp *moduleImporter) Import(path string) (*types.Package, error) {
+	return imp.ImportFrom(path, imp.m.Root, 0)
+}
+
+func (imp *moduleImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p := imp.m.byPath[path]; p != nil && p.Pkg != nil {
+		return p.Pkg, nil
+	}
+	if p, ok := imp.cache[path]; ok {
+		return p, nil
+	}
+	p, err := imp.src.ImportFrom(path, imp.m.Root, 0)
+	if err != nil || p == nil {
+		p = types.NewPackage(path, packageBase(path))
+		p.MarkComplete()
+	}
+	imp.cache[path] = p
+	return p, nil
+}
+
+func packageBase(importPath string) string {
+	base := path.Base(importPath)
+	// Strip a major-version suffix (".../v2") if present.
+	if strings.HasPrefix(base, "v") && len(base) > 1 && base[1] >= '0' && base[1] <= '9' {
+		if parent := path.Base(path.Dir(importPath)); parent != "." && parent != "/" {
+			return parent
+		}
+	}
+	return base
+}
+
+// Match returns a predicate selecting packages named by the given
+// go-style patterns, resolved against dir (typically the caller's
+// working directory). Supported forms: "./...", "./x/...", "./x",
+// "x/...", and full import paths. An empty pattern list selects the
+// whole module.
+func (m *Module) Match(dir string, patterns []string) (func(*Package) bool, error) {
+	if len(patterns) == 0 {
+		return func(*Package) bool { return true }, nil
+	}
+	type rule struct {
+		prefix    string // import-path prefix ("" = module root)
+		recursive bool
+	}
+	var rules []rule
+	for _, pat := range patterns {
+		rec := false
+		if pat == "all" || pat == "..." {
+			rules = append(rules, rule{recursive: true})
+			continue
+		}
+		if strings.HasSuffix(pat, "/...") {
+			rec = true
+			pat = strings.TrimSuffix(pat, "/...")
+		}
+		var ip string
+		if pat == "." || strings.HasPrefix(pat, "./") || strings.HasPrefix(pat, "../") {
+			abs, err := filepath.Abs(filepath.Join(dir, pat))
+			if err != nil {
+				return nil, err
+			}
+			rel, err := filepath.Rel(m.Root, abs)
+			if err != nil || strings.HasPrefix(rel, "..") {
+				return nil, fmt.Errorf("lint: pattern %q resolves outside module %s", pat, m.Path)
+			}
+			if rel != "." {
+				ip = filepath.ToSlash(rel)
+			}
+		} else {
+			// Treat as an import path, absolute or module-relative.
+			ip = strings.TrimPrefix(pat, m.Path)
+			ip = strings.TrimPrefix(ip, "/")
+		}
+		rules = append(rules, rule{prefix: ip, recursive: rec})
+	}
+	return func(p *Package) bool {
+		rel := strings.TrimPrefix(strings.TrimPrefix(p.PkgPath, m.Path), "/")
+		for _, r := range rules {
+			if r.recursive {
+				if r.prefix == "" || rel == r.prefix || strings.HasPrefix(rel, r.prefix+"/") {
+					return true
+				}
+			} else if rel == r.prefix {
+				return true
+			}
+		}
+		return false
+	}, nil
+}

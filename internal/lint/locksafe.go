@@ -1,0 +1,281 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LockSafe flags operations with unbounded latency executed while a
+// sync mutex is held: channel sends, calls through function values
+// (callbacks whose behavior the lock holder cannot see), and blocking
+// I/O. Any of these inside a critical section can stall every reader of
+// the telemetry registry or the scheduler state it guards.
+//
+// The check is intraprocedural and syntactic about lock extent: it
+// tracks mu.Lock()/mu.RLock() per receiver expression within one
+// function body, releases on the matching Unlock, and treats a deferred
+// unlock as holding the lock to the end of the function.
+var LockSafe = &Analyzer{
+	Name: "locksafe",
+	Doc:  "flag channel sends, function-value calls, and blocking I/O while a sync lock is held",
+	Run:  runLockSafe,
+}
+
+func runLockSafe(p *Package, report Reporter) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				body = n.Body
+			case *ast.FuncLit:
+				// Analyzed as its own function: a literal defined under
+				// a lock does not run under it, and one invoked under a
+				// lock is caught at the call site as a callback.
+				body = n.Body
+			default:
+				return true
+			}
+			if body != nil {
+				walkLocked(p, body.List, map[string]bool{}, report)
+			}
+			return true
+		})
+	}
+}
+
+// walkLocked walks a statement list in order, maintaining the set of
+// held locks (keyed by the receiver expression's source form). Nested
+// control-flow bodies get a copy of the current set: a lock taken in a
+// branch is not assumed held after it.
+func walkLocked(p *Package, stmts []ast.Stmt, held map[string]bool, report Reporter) {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ast.ExprStmt:
+			if recv, op, ok := lockCall(p, s.X); ok {
+				switch op {
+				case "Lock", "RLock":
+					held[recv] = true
+				case "Unlock", "RUnlock":
+					delete(held, recv)
+				}
+				continue
+			}
+			checkUnderLock(p, s.X, held, report)
+		case *ast.DeferStmt:
+			if _, op, ok := lockCall(p, s.Call); ok && (op == "Unlock" || op == "RUnlock") {
+				// Deferred unlock: the lock stays held for the rest of
+				// the walk, which is exactly how the runtime behaves.
+				continue
+			}
+			checkUnderLock(p, s.Call, held, report)
+		case *ast.GoStmt:
+			// The goroutine body runs outside this critical section;
+			// its FuncLit is analyzed independently.
+		case *ast.SendStmt:
+			if anyHeld(held) {
+				report(s.Arrow, "channel send while %s is held can block the critical section indefinitely", heldName(held))
+			} else {
+				checkUnderLock(p, s.Value, held, report)
+			}
+		case *ast.AssignStmt:
+			for _, e := range s.Rhs {
+				checkUnderLock(p, e, held, report)
+			}
+			for _, e := range s.Lhs {
+				checkUnderLock(p, e, held, report)
+			}
+		case *ast.ReturnStmt:
+			for _, e := range s.Results {
+				checkUnderLock(p, e, held, report)
+			}
+		case *ast.IfStmt:
+			if s.Init != nil {
+				walkLocked(p, []ast.Stmt{s.Init}, held, report)
+			}
+			checkUnderLock(p, s.Cond, held, report)
+			walkLocked(p, s.Body.List, copyHeld(held), report)
+			if s.Else != nil {
+				walkLocked(p, []ast.Stmt{s.Else}, copyHeld(held), report)
+			}
+		case *ast.ForStmt:
+			if s.Init != nil {
+				walkLocked(p, []ast.Stmt{s.Init}, held, report)
+			}
+			if s.Cond != nil {
+				checkUnderLock(p, s.Cond, held, report)
+			}
+			walkLocked(p, s.Body.List, copyHeld(held), report)
+		case *ast.RangeStmt:
+			checkUnderLock(p, s.X, held, report)
+			walkLocked(p, s.Body.List, copyHeld(held), report)
+		case *ast.SwitchStmt:
+			if s.Init != nil {
+				walkLocked(p, []ast.Stmt{s.Init}, held, report)
+			}
+			if s.Tag != nil {
+				checkUnderLock(p, s.Tag, held, report)
+			}
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					for _, e := range cc.List {
+						checkUnderLock(p, e, held, report)
+					}
+					walkLocked(p, cc.Body, copyHeld(held), report)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			if s.Init != nil {
+				walkLocked(p, []ast.Stmt{s.Init}, held, report)
+			}
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					walkLocked(p, cc.Body, copyHeld(held), report)
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					if send, ok := cc.Comm.(*ast.SendStmt); ok && anyHeld(held) {
+						report(send.Arrow, "channel send while %s is held can block the critical section indefinitely", heldName(held))
+					}
+					walkLocked(p, cc.Body, copyHeld(held), report)
+				}
+			}
+		case *ast.BlockStmt:
+			walkLocked(p, s.List, copyHeld(held), report)
+		case *ast.LabeledStmt:
+			walkLocked(p, []ast.Stmt{s.Stmt}, held, report)
+		case *ast.DeclStmt:
+			if gd, ok := s.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for _, e := range vs.Values {
+							checkUnderLock(p, e, held, report)
+						}
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			checkUnderLock(p, s.X, held, report)
+		}
+	}
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(held))
+	for k, v := range held {
+		c[k] = v
+	}
+	return c
+}
+
+func anyHeld(held map[string]bool) bool { return len(held) > 0 }
+
+func heldName(held map[string]bool) string {
+	best := ""
+	for k := range held {
+		if best == "" || k < best {
+			best = k
+		}
+	}
+	return best
+}
+
+// lockCall recognizes recv.Lock/RLock/Unlock/RUnlock where the method
+// is declared in package sync, returning the receiver's source form.
+func lockCall(p *Package, e ast.Expr) (recv, op string, ok bool) {
+	call, isCall := e.(*ast.CallExpr)
+	if !isCall || len(call.Args) != 0 {
+		return "", "", false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	obj, isFn := p.Info.Uses[sel.Sel].(*types.Func)
+	if !isFn || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), sel.Sel.Name, true
+}
+
+// checkUnderLock inspects one expression tree (never descending into
+// function literals) for operations that must not run under a lock.
+func checkUnderLock(p *Package, e ast.Expr, held map[string]bool, report Reporter) {
+	if e == nil || !anyHeld(held) {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if _, _, isLock := lockCall(p, call); isLock {
+			return true
+		}
+		if why, bad := blockingCall(p, call); bad {
+			report(call.Pos(), "%s while %s is held can block the critical section", why, heldName(held))
+		}
+		return true
+	})
+}
+
+// blockingPkgs are packages whose Read/Write-family methods and
+// functions touch the outside world (or wrap something that does).
+// In-memory buffers (bytes, strings) are deliberately absent.
+var blockingPkgs = map[string]bool{
+	"io": true, "os": true, "net": true, "bufio": true,
+	"net/http": true, "encoding/json": true, "encoding/gob": true,
+}
+
+var blockingNames = map[string]bool{
+	"Read": true, "Write": true, "WriteString": true, "WriteByte": true,
+	"ReadString": true, "ReadBytes": true, "ReadByte": true, "ReadRune": true,
+	"Flush": true, "Sync": true, "Encode": true, "Decode": true,
+	"ReadFull": true, "ReadAll": true, "Copy": true, "CopyN": true,
+	"WriteTo": true, "ReadFrom": true, "Do": true, "Get": true, "Post": true,
+}
+
+// blockingCall classifies a call as a callback through a function value
+// or as blocking I/O.
+func blockingCall(p *Package, call *ast.CallExpr) (why string, bad bool) {
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj = p.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = p.Info.Uses[fun.Sel]
+	default:
+		return "", false
+	}
+	switch obj := obj.(type) {
+	case *types.Var:
+		// A call through a function-typed variable, parameter, or
+		// struct field: arbitrary code the lock holder cannot audit.
+		if _, isSig := obj.Type().Underlying().(*types.Signature); isSig {
+			return "call through function value " + obj.Name(), true
+		}
+	case *types.Func:
+		if obj.Pkg() == nil {
+			return "", false
+		}
+		if blockingPkgs[obj.Pkg().Path()] && blockingNames[obj.Name()] {
+			return obj.Pkg().Name() + "." + obj.Name() + " (blocking I/O)", true
+		}
+		// fmt.Fprint* writes through an arbitrary io.Writer.
+		if obj.Pkg().Path() == "fmt" && strings.HasPrefix(obj.Name(), "Fprint") {
+			return "fmt." + obj.Name() + " (blocking I/O)", true
+		}
+	}
+	return "", false
+}

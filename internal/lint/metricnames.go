@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MetricNames requires that the metric name handed to an internal/obs
+// registry accessor (Counter, Gauge, Histogram) comes from internal/obs
+// itself — a constant from names.go or one of its name-builder helpers
+// (e.g. obs.DecisionsTotal("suspend")). Call-site string literals drift
+// from the dashboard queries and silently fork the metric namespace.
+var MetricNames = &Analyzer{
+	Name: "metricnames",
+	Doc:  "metric names passed to obs registry calls must be constants or helpers from internal/obs, not call-site literals",
+	Run:  runMetricNames,
+}
+
+var registryAccessors = map[string]bool{
+	"Counter":   true,
+	"Gauge":     true,
+	"Histogram": true,
+}
+
+func runMetricNames(p *Package, report Reporter) {
+	// The obs package itself defines the names; it is exempt.
+	if hasPathSuffix(p.PkgPath, "internal/obs") {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !registryAccessors[sel.Sel.Name] {
+				return true
+			}
+			if !isObsRegistryMethod(p, sel) {
+				return true
+			}
+			arg := call.Args[0]
+			if obsOriginatedName(p, arg) {
+				return true
+			}
+			if _, lit := arg.(*ast.BasicLit); lit {
+				report(arg.Pos(), "metric name is a string literal; use a constant from internal/obs/names.go")
+			} else {
+				report(arg.Pos(), "metric name must come from internal/obs (a names.go constant or an obs helper)")
+			}
+			return true
+		})
+	}
+}
+
+// isObsRegistryMethod reports whether sel is a method selection on the
+// obs Registry type.
+func isObsRegistryMethod(p *Package, sel *ast.SelectorExpr) bool {
+	s, ok := p.Info.Selections[sel]
+	if !ok {
+		return false
+	}
+	fn, ok := s.Obj().(*types.Func)
+	if !ok || fn.Pkg() == nil || !hasPathSuffix(fn.Pkg().Path(), "internal/obs") {
+		return false
+	}
+	recv := s.Recv()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	return ok && named.Obj().Name() == "Registry"
+}
+
+// obsOriginatedName reports whether the expression's value is rooted in
+// internal/obs: a constant declared there, or a call to a function
+// declared there.
+func obsOriginatedName(p *Package, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return obsOriginatedName(p, e.X)
+	case *ast.Ident:
+		return declaredInObs(p.Info.Uses[e])
+	case *ast.SelectorExpr:
+		return declaredInObs(p.Info.Uses[e.Sel])
+	case *ast.CallExpr:
+		switch fun := e.Fun.(type) {
+		case *ast.Ident:
+			return declaredInObs(p.Info.Uses[fun])
+		case *ast.SelectorExpr:
+			return declaredInObs(p.Info.Uses[fun.Sel])
+		}
+	}
+	return false
+}
+
+func declaredInObs(obj types.Object) bool {
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	switch obj.(type) {
+	case *types.Const, *types.Func:
+		return hasPathSuffix(obj.Pkg().Path(), "internal/obs")
+	}
+	return false
+}

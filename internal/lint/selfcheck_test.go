@@ -1,0 +1,25 @@
+package lint
+
+import "testing"
+
+// TestRepoIsClean is the self-check: the suite over the real module
+// must report nothing. Deliberate exceptions carry //hdlint:ignore
+// directives with rationale; anything else is a regression against the
+// determinism, telemetry, lock, or durability invariants.
+func TestRepoIsClean(t *testing.T) {
+	mod, err := LoadModule(".")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if mod.Path != "github.com/hyperdrive-ml/hyperdrive" {
+		t.Fatalf("resolved module %q; expected to load the hyperdrive repo", mod.Path)
+	}
+	for _, p := range mod.Pkgs {
+		for _, e := range p.TypeErrors {
+			t.Errorf("%s: type error: %v", p.PkgPath, e)
+		}
+	}
+	for _, f := range mod.Run(All(), nil) {
+		t.Errorf("%s", f)
+	}
+}

@@ -1,0 +1,16 @@
+// Package directives exercises the suppression directive's own
+// hygiene diagnostics. Nothing in it violates a real analyzer; the
+// directives themselves are the subject.
+package directives
+
+// A directive must carry a reason.
+// want+1 "needs a reason"
+//hdlint:ignore detclock
+
+// A directive must name real analyzers.
+//hdlint:ignore nosuchanalyzer made-up analyzer name // want "unknown analyzer"
+
+// A directive that suppresses nothing is stale and flagged.
+//
+//hdlint:ignore floateq nothing on this or the next line trips floateq // want "suppresses nothing"
+func noop(x int) int { return x + 1 }

@@ -1,0 +1,33 @@
+// Package floats is the floateq fixture.
+package floats
+
+const eps = 1e-9
+
+// Bad: exact comparison of computed floats.
+func cmp(a, b float64) bool {
+	if a == b { // want "== on floating-point values"
+		return true
+	}
+	return a != b // want "!= on floating-point values"
+}
+
+// Good: constant sentinels, tolerances, and integer equality.
+func fine(a, b float64, n, m int) bool {
+	if a == 0 || b == eps {
+		return false
+	}
+	return abs(a-b) < eps && n == m
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Suppressed: documented exception.
+func suppressed(a, b float64) bool {
+	//hdlint:ignore floateq fixture demonstrating an honored suppression
+	return a == b
+}

@@ -1,0 +1,3 @@
+module fixture.example/lint
+
+go 1.22

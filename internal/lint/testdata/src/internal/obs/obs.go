@@ -1,0 +1,31 @@
+// Package obs mirrors the real registry's shape so the metricnames
+// fixtures exercise the same selection logic as the production tree.
+package obs
+
+const (
+	EpochsTotal = "hyperdrive_epochs_total"
+	StartsTotal = "hyperdrive_job_starts_total"
+)
+
+// DecisionsTotal builds a per-verdict counter name.
+func DecisionsTotal(d string) string { return "hyperdrive_decisions_" + d + "_total" }
+
+type Counter struct{}
+
+func (c *Counter) Inc() {}
+
+type Gauge struct{}
+
+func (g *Gauge) Set(v float64) {}
+
+type Histogram struct{}
+
+func (h *Histogram) Observe(v float64) {}
+
+type Registry struct{}
+
+func (r *Registry) Counter(name string) *Counter { return &Counter{} }
+
+func (r *Registry) Gauge(name string) *Gauge { return &Gauge{} }
+
+func (r *Registry) Histogram(name string, uppers ...float64) *Histogram { return &Histogram{} }

@@ -1,0 +1,44 @@
+// Package sim is a detclock fixture: its import path ends in
+// internal/sim, so it is a deterministic package.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Clock is the injected abstraction deterministic code must use.
+type Clock interface {
+	Now() time.Time
+}
+
+// Bad: wall-clock reads and waits.
+func wallClock() time.Duration {
+	t0 := time.Now()             // want "time.Now reads the wall clock"
+	time.Sleep(time.Millisecond) // want "time.Sleep blocks on the wall clock"
+	return time.Since(t0)        // want "time.Since reads the wall clock"
+}
+
+// Bad: waiting on a real timer.
+func realTimer() <-chan time.Time {
+	return time.After(time.Second) // want "time.After blocks on the wall clock"
+}
+
+// Bad: the process-global generator.
+func globalRand() int {
+	rand.Shuffle(3, func(i, j int) {}) // want "global rand.Shuffle is nondeterministic"
+	return rand.Intn(10)               // want "global rand.Intn is nondeterministic"
+}
+
+// Good: time through the injected clock, randomness through an owned
+// seeded generator; constructing the generator is allowed.
+func deterministic(c Clock, seed int64) (time.Time, int) {
+	rng := rand.New(rand.NewSource(seed))
+	return c.Now(), rng.Intn(10)
+}
+
+// Good: a deliberate exception, documented in-code.
+func suppressed() time.Time {
+	//hdlint:ignore detclock fixture demonstrating an honored suppression
+	return time.Now()
+}

@@ -1,0 +1,63 @@
+// Package locks is the locksafe fixture.
+package locks
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+type hub struct {
+	mu  sync.Mutex
+	ch  chan int
+	cb  func()
+	enc *json.Encoder
+	w   io.Writer
+}
+
+// Bad: a send inside the critical section; fine once released.
+func (h *hub) sendUnderLock() {
+	h.mu.Lock()
+	h.ch <- 1 // want "channel send while h.mu is held"
+	h.mu.Unlock()
+	h.ch <- 2
+}
+
+// Bad: a callback under a deferred unlock holds to function end.
+func (h *hub) callbackUnderLock() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.cb() // want "call through function value cb"
+}
+
+// Bad: blocking I/O under the lock, via a method and a package func.
+func (h *hub) ioUnderLock(rw *sync.RWMutex) {
+	h.mu.Lock()
+	err := h.enc.Encode(1) // want "json.Encode (blocking I/O) while h.mu is held"
+	h.mu.Unlock()
+	_ = err
+
+	rw.RLock()
+	io.WriteString(h.w, "x") // want "io.WriteString (blocking I/O) while rw is held"
+	rw.RUnlock()
+}
+
+// Good: a literal defined (not invoked) under the lock runs later,
+// outside the critical section.
+func (h *hub) deferredWork() func() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	f := func() { h.ch <- 3 }
+	return f
+}
+
+// Good: no lock held.
+func (h *hub) freeSend() { h.ch <- 5 }
+
+// Suppressed: documented exception.
+func (h *hub) suppressedSend() {
+	h.mu.Lock()
+	//hdlint:ignore locksafe fixture demonstrating an honored suppression
+	h.ch <- 4
+	h.mu.Unlock()
+}

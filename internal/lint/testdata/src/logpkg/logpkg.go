@@ -1,0 +1,7 @@
+// Package logpkg defines an EventLog type; erralways targets its
+// methods by type name, wherever the type lives.
+package logpkg
+
+type EventLog struct{}
+
+func (l *EventLog) Append(kind string) error { return nil }

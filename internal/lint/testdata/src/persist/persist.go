@@ -1,0 +1,39 @@
+// Package persist is the erralways fixture.
+package persist
+
+import (
+	"io"
+
+	"fixture.example/lint/internal/appstat"
+	"fixture.example/lint/internal/checkpoint"
+	"fixture.example/lint/logpkg"
+)
+
+// Bad: every durability-critical error below is dropped.
+func drop(db *appstat.DB, w io.Writer, l *logpkg.EventLog) {
+	db.Save(w)                           // want "error returned by DB.Save is dropped"
+	_ = db.Save(w)                       // want "error returned by DB.Save is assigned to _"
+	checkpoint.Write(checkpoint.Image{}) // want "error returned by checkpoint.Write is dropped"
+	l.Append("start")                    // want "error returned by EventLog.Append is dropped"
+	_, _ = appstat.Load(nil)             // want "error returned by appstat.Load is assigned to _"
+	defer db.Save(w)                     // want "error returned by DB.Save is dropped"
+}
+
+// Good: errors checked or propagated.
+func checked(db *appstat.DB, w io.Writer, l *logpkg.EventLog) error {
+	if err := db.Save(w); err != nil {
+		return err
+	}
+	db2, err := appstat.Load(nil)
+	if err != nil {
+		return err
+	}
+	_ = db2
+	return l.Append("stop")
+}
+
+// Suppressed: documented exception.
+func suppressed(l *logpkg.EventLog) {
+	//hdlint:ignore erralways fixture demonstrating an honored suppression
+	l.Append("best-effort")
+}

@@ -1,0 +1,7 @@
+// Package server is the detclock negative case: it is not one of the
+// deterministic packages, so wall-clock use is fine.
+package server
+
+import "time"
+
+func Uptime(start time.Time) time.Duration { return time.Since(start) }

@@ -1,0 +1,21 @@
+// Package telemetry is the metricnames fixture.
+package telemetry
+
+import "fixture.example/lint/internal/obs"
+
+func instrument(r *obs.Registry) {
+	// Good: a names.go constant and an obs name-builder helper.
+	r.Counter(obs.EpochsTotal)
+	r.Counter(obs.DecisionsTotal("suspend"))
+	r.Gauge(obs.StartsTotal)
+
+	// Bad: call-site literals and locally built names.
+	r.Counter("hyperdrive_epochs_total") // want "metric name is a string literal"
+	name := "hyperdrive_rogue_total"
+	r.Gauge(name)                                   // want "metric name must come from internal/obs"
+	r.Histogram("hyperdrive_latency_seconds", 1, 4) // want "metric name is a string literal"
+
+	// Suppressed: documented exception.
+	//hdlint:ignore metricnames fixture demonstrating an honored suppression
+	r.Counter("hyperdrive_suppressed_total")
+}

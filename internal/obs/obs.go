@@ -89,9 +89,9 @@ func (g *Gauge) Value() float64 {
 // boundaries are upper bounds (inclusive), strictly increasing; an
 // implicit +Inf bucket catches the tail.
 type Histogram struct {
-	uppers []float64
-	counts []atomic.Int64 // len(uppers)+1, last is +Inf
-	count  atomic.Int64
+	uppers  []float64
+	counts  []atomic.Int64 // len(uppers)+1, last is +Inf
+	count   atomic.Int64
 	sumBits atomic.Uint64 // float64 bits of the running sum
 }
 
@@ -113,6 +113,7 @@ func NewHistogram(uppers ...float64) *Histogram {
 	sort.Float64s(us)
 	dedup := us[:0]
 	for i, u := range us {
+		//hdlint:ignore floateq deduplicating identical configured bounds wants exact equality; near-equal bounds are distinct buckets by design
 		if i == 0 || u != us[i-1] {
 			dedup = append(dedup, u)
 		}

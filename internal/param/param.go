@@ -142,18 +142,21 @@ func (p Param) GridValues(n int) []float64 {
 func (p Param) Normalize(v float64) float64 {
 	switch p.Kind {
 	case Uniform, Int:
+		//hdlint:ignore floateq a degenerate domain is exactly Max == Min as configured; nearly-equal bounds still define a real (tiny) range
 		if p.Max == p.Min {
 			return 0.5
 		}
 		return clamp01((v - p.Min) / (p.Max - p.Min))
 	case LogUniform:
 		lo, hi := math.Log(p.Min), math.Log(p.Max)
+		//hdlint:ignore floateq degenerate log-domain check, same reasoning as the Uniform case above
 		if hi == lo {
 			return 0.5
 		}
 		return clamp01((math.Log(math.Max(v, 1e-300)) - lo) / (hi - lo))
 	case Choice:
 		for i, c := range p.Choices {
+			//hdlint:ignore floateq Choice values are enumerated constants; membership is exact by construction, not the result of arithmetic
 			if c == v {
 				if len(p.Choices) == 1 {
 					return 0.5

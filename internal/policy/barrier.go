@@ -3,6 +3,7 @@ package policy
 import (
 	"fmt"
 
+	"github.com/hyperdrive-ml/hyperdrive/internal/obs"
 	"github.com/hyperdrive-ml/hyperdrive/internal/sched"
 )
 
@@ -56,12 +57,13 @@ func (b *Barrier) OnIterationFinish(ctx Context, ev sched.Event) sched.Decision 
 	return d
 }
 
-// PredictionFits implements FitCounter when the inner policy does.
-func (b *Barrier) PredictionFits() int {
+// Fits implements FitCounter when the inner policy does; otherwise it
+// returns a nil counter, which reads as zero.
+func (b *Barrier) Fits() *obs.Counter {
 	if fc, ok := b.inner.(FitCounter); ok {
-		return fc.PredictionFits()
+		return fc.Fits()
 	}
-	return 0
+	return nil
 }
 
 var _ Policy = (*Barrier)(nil)

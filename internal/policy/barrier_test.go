@@ -21,7 +21,7 @@ func TestBarrierValidation(t *testing.T) {
 	if b.Name() != "barrier(default)" {
 		t.Fatalf("name = %q", b.Name())
 	}
-	if b.PredictionFits() != 0 {
+	if b.Fits().Value() != 0 {
 		t.Fatal("default policy has no fits")
 	}
 }

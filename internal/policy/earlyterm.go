@@ -117,8 +117,8 @@ func (e *EarlyTerm) OnIterationFinish(ctx Context, ev sched.Event) sched.Decisio
 	return sched.Continue
 }
 
-// PredictionFits implements FitCounter.
-func (e *EarlyTerm) PredictionFits() int { return int(e.fits.Value()) }
+// Fits implements FitCounter.
+func (e *EarlyTerm) Fits() *obs.Counter { return e.fits }
 
 // seedFor derives a deterministic MCMC seed from a job ID.
 func seedFor(id sched.JobID) int64 {

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"github.com/hyperdrive-ml/hyperdrive/internal/appstat"
+	"github.com/hyperdrive-ml/hyperdrive/internal/obs"
 	"github.com/hyperdrive-ml/hyperdrive/internal/sched"
 )
 
@@ -103,12 +104,14 @@ type Policy interface {
 }
 
 // FitCounter is implemented by policies that run learning-curve
-// predictions; engines use the cumulative count to model prediction
-// cost (the §5.2 "overlap training and prediction" trade-off).
+// predictions. Engines read the counter to model prediction cost (the
+// §5.2 "overlap training and prediction" trade-off); it is the same
+// counter Instrument rebinds to hyperdrive_mcmc_fits_total, so the
+// metric and the cost model share one source of truth.
 type FitCounter interface {
-	// PredictionFits returns the cumulative number of curve fits
-	// performed so far.
-	PredictionFits() int
+	// Fits returns the live counter of curve fits performed so far.
+	// Read it with Value(); a nil counter reads as zero.
+	Fits() *obs.Counter
 }
 
 // Factory builds a fresh policy instance for one experiment run;

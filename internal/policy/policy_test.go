@@ -257,7 +257,7 @@ func TestEarlyTermTerminatesHopeless(t *testing.T) {
 	if d := e.OnIterationFinish(ctx, sched.Event{Job: "flat", Epoch: 30}); d != sched.Terminate {
 		t.Fatal("hopeless flat job survived predictive termination")
 	}
-	if e.PredictionFits() == 0 {
+	if e.Fits().Value() == 0 {
 		t.Fatal("no fits recorded")
 	}
 }
@@ -303,7 +303,7 @@ func TestPOPKillsNonLearner(t *testing.T) {
 	if d := p.OnIterationFinish(ctx, sched.Event{Job: "dead", Epoch: 10}); d != sched.Terminate {
 		t.Fatal("non-learner survived the kill threshold")
 	}
-	if p.PredictionFits() != 0 {
+	if p.Fits().Value() != 0 {
 		t.Fatal("kill-threshold pruning should happen before prediction")
 	}
 }
@@ -319,7 +319,7 @@ func TestPOPKillThresholdAblation(t *testing.T) {
 	if d := p.OnIterationFinish(ctx, sched.Event{Job: "dead", Epoch: 20}); d != sched.Terminate {
 		t.Fatal("hopeless job survived confidence floor")
 	}
-	if p.PredictionFits() == 0 {
+	if p.Fits().Value() == 0 {
 		t.Fatal("ablation should have paid for a prediction")
 	}
 }
@@ -408,7 +408,7 @@ func TestPOPInstantAccuracyAblation(t *testing.T) {
 	if d := p.OnIterationFinish(ctx, sched.Event{Job: "fast", Epoch: 40}); d != sched.Continue {
 		t.Fatalf("instant-accuracy decision = %v", d)
 	}
-	if p.PredictionFits() != 0 {
+	if p.Fits().Value() != 0 {
 		t.Fatal("instant-accuracy ablation must not run curve fits")
 	}
 }

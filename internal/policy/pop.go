@@ -66,8 +66,8 @@ type POP struct {
 	predictor *curve.Predictor
 	// fits counts learning-curve fits. It starts as a standalone
 	// counter and is rebound to the registry's
-	// hyperdrive_mcmc_fits_total by Instrument, so PredictionFits and
-	// the metric share one source of truth.
+	// hyperdrive_mcmc_fits_total by Instrument, so Fits and the metric
+	// share one source of truth.
 	fits *obs.Counter
 
 	mu        sync.Mutex
@@ -233,13 +233,8 @@ func (p *POP) Estimates() map[sched.JobID]core.Estimate {
 	return out
 }
 
-// PredictionFits implements FitCounter.
-//
-// Deprecated: the count now lives on the obs registry as
-// hyperdrive_mcmc_fits_total (see Instrument); this accessor remains
-// for engines that model prediction cost from fit deltas and delegates
-// to that counter.
-func (p *POP) PredictionFits() int { return int(p.fits.Value()) }
+// Fits implements FitCounter.
+func (p *POP) Fits() *obs.Counter { return p.fits }
 
 // estimate computes the §3.1 estimate for one job.
 func (p *POP) estimate(ctx Context, job sched.JobID, rawHistory []float64) core.Estimate {

@@ -17,7 +17,7 @@ import (
 // the run. The event loop is single-threaded, so counts are buffered
 // in plain fields and flushed to the registry at job lifecycle points
 // (start/suspend/terminate/complete) and at the end of the run;
-// decision latency is sampled 1-in-64, and spans are created only at
+// decision latency is sampled 1-in-256, and spans are created only at
 // evaluation boundaries of policies that actually annotate them.
 type simMetrics struct {
 	reg    *obs.Registry
@@ -27,6 +27,12 @@ type simMetrics struct {
 	// so boundary-epoch spans are worth allocating.
 	traced   bool
 	boundary int
+	// fits and predCost model decision latency in simulated time: a
+	// sampled decision's latency is (fit delta) × PredictionCost, the
+	// same cost model the engine charges machines with. Wall-clock
+	// timing here would make replay output host-dependent.
+	fits     *obs.Counter // nil when the policy has no FitCounter
+	predCost time.Duration
 
 	// Registry flush targets.
 	epochsC, decContC, decSuspC, decTermC           *obs.Counter
@@ -55,7 +61,7 @@ const (
 	durSampleEvery     = 32
 )
 
-func newSimMetrics(r *obs.Registry, pol policy.Policy, info policy.Info) *simMetrics {
+func newSimMetrics(r *obs.Registry, pol policy.Policy, info policy.Info, predCost time.Duration) *simMetrics {
 	_, traced := pol.(obs.Instrumentable)
 	b := info.EvalBoundary
 	if b <= 0 {
@@ -63,11 +69,17 @@ func newSimMetrics(r *obs.Registry, pol policy.Policy, info policy.Info) *simMet
 			b = 1
 		}
 	}
+	var fits *obs.Counter
+	if fc, ok := pol.(policy.FitCounter); ok {
+		fits = fc.Fits()
+	}
 	return &simMetrics{
 		reg:             r,
 		tracer:          r.Tracer(),
 		traced:          traced,
 		boundary:        b,
+		fits:            fits,
+		predCost:        predCost,
 		epochsC:         r.Counter(obs.EpochsTotal),
 		decContC:        r.Counter(obs.DecisionsTotal("continue")),
 		decSuspC:        r.Counter(obs.DecisionsTotal("suspend")),
@@ -159,10 +171,14 @@ func (e *engine) observeDecision(sev *sched.Event, run func() sched.Decision) sc
 	}
 	sp := m.tracer.Start("decision", string(sev.Job), sev.Epoch)
 	sev.Span = sp
-	t0 := time.Now()
+	// Latency is modeled, not measured: wall-clock timing would differ
+	// across hosts and runs, breaking bit-identical replay output. A
+	// decision's simulated cost is the curve fits it triggered times
+	// the configured per-fit cost (zero when cost modeling is off).
+	fits0 := m.fits.Value()
 	d := run()
 	if sampled {
-		m.decisionLatency.Observe(time.Since(t0).Seconds())
+		m.decisionLatency.Observe((time.Duration(m.fits.Value()-fits0) * m.predCost).Seconds())
 	}
 	m.dec[d&3]++
 	if sp.Annotated() {

@@ -254,7 +254,7 @@ func Run(opts Options) (*Result, error) {
 	if opts.PlanTarget != 0 {
 		e.info.Target = opts.PlanTarget
 	}
-	e.met = newSimMetrics(opts.Obs, opts.Policy, e.info)
+	e.met = newSimMetrics(opts.Obs, opts.Policy, e.info, opts.PredictionCost)
 	e.stopAt = e.info.Target
 	if opts.StopMetric != 0 {
 		e.stopAt = opts.StopMetric
@@ -368,7 +368,7 @@ func (e *engine) handleEpochFinish(ev *event) bool {
 	// the decision just performed.
 	var predDelay time.Duration
 	if fc, ok := pol.(policy.FitCounter); ok {
-		fits := fc.PredictionFits()
+		fits := int(fc.Fits().Value())
 		e.res.Fits = fits
 		if !e.opts.OverlapPrediction && e.opts.PredictionCost > 0 {
 			predDelay = time.Duration(fits-e.lastFit) * e.opts.PredictionCost
@@ -489,6 +489,7 @@ func (e *engine) nextIdle() (*simJob, bool) {
 		}
 		b := e.idleQ[bestIdx]
 		ji, jb := j.job.Priority(), b.job.Priority()
+		//hdlint:ignore floateq an exact priority tie deliberately falls back to FIFO order; a tolerance would make rotation order depend on its width
 		if ji > jb || (ji == jb && j.seq < b.seq) {
 			bestIdx = i
 		}
@@ -552,7 +553,7 @@ func (e *engine) finish() {
 		})
 	}
 	if fc, ok := e.opts.Policy.(policy.FitCounter); ok {
-		e.res.Fits = fc.PredictionFits()
+		e.res.Fits = int(fc.Fits().Value())
 	}
 	e.refreshGauges() // final flush of buffered telemetry
 }

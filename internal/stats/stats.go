@@ -156,6 +156,7 @@ func ECDF(xs []float64) []CDFPoint {
 	n := float64(len(sorted))
 	for i := 0; i < len(sorted); {
 		j := i
+		//hdlint:ignore floateq the ECDF steps at exactly-repeated sample values; near-equal samples are distinct steps by definition
 		for j < len(sorted) && sorted[j] == sorted[i] {
 			j++
 		}

@@ -125,15 +125,19 @@ func (c *Conn) Send(m Message) error {
 	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	// Frame atomicity is the point of wmu: header, body, and flush must
+	// reach the stream as one unit or concurrent senders interleave
+	// garbage. Blocking on a slow peer here is the protocol's behavior,
+	// not an accident.
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	if _, err := c.w.Write(hdr[:]); err != nil {
+	if _, err := c.w.Write(hdr[:]); err != nil { //hdlint:ignore locksafe wmu exists to make the frame write atomic; see above
 		return fmt.Errorf("wire: write header: %w", err)
 	}
-	if _, err := c.w.Write(body); err != nil {
+	if _, err := c.w.Write(body); err != nil { //hdlint:ignore locksafe wmu exists to make the frame write atomic; see above
 		return fmt.Errorf("wire: write body: %w", err)
 	}
-	return c.w.Flush()
+	return c.w.Flush() //hdlint:ignore locksafe wmu exists to make the frame write atomic; see above
 }
 
 // SendTyped is Send(NewMessage(t, payload)).
@@ -148,10 +152,13 @@ func (c *Conn) SendTyped(t MsgType, payload interface{}) error {
 // Recv reads one message frame. It returns io.EOF when the stream ends
 // cleanly between frames.
 func (c *Conn) Recv() (Message, error) {
+	// rmu makes the header+body read atomic so concurrent receivers
+	// cannot split a frame; waiting for bytes under it is the
+	// protocol's behavior, mirroring Send's wmu.
 	c.rmu.Lock()
 	defer c.rmu.Unlock()
 	var hdr [4]byte
-	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
+	if _, err := io.ReadFull(c.r, hdr[:]); err != nil { //hdlint:ignore locksafe rmu exists to make the frame read atomic; see above
 		if err == io.EOF {
 			return Message{}, io.EOF
 		}
@@ -165,7 +172,7 @@ func (c *Conn) Recv() (Message, error) {
 		return Message{}, &FrameError{Reason: "frame too large", Size: size}
 	}
 	body := make([]byte, size)
-	if _, err := io.ReadFull(c.r, body); err != nil {
+	if _, err := io.ReadFull(c.r, body); err != nil { //hdlint:ignore locksafe rmu exists to make the frame read atomic; see above
 		return Message{}, fmt.Errorf("wire: read body: %w", err)
 	}
 	var m Message

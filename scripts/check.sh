@@ -1,12 +1,15 @@
 #!/bin/sh
-# check.sh — the repo's standing health gate: vet everything, then run
-# the full test suite with the race detector on.
+# check.sh — the repo's standing health gate: vet, then the domain
+# analyzers, then the full test suite with the race detector on.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 echo ">> go vet ./..."
 go vet ./...
+
+echo ">> hdlint ./..."
+go run ./cmd/hdlint ./...
 
 # -short skips the live wall-clock validation runs (fig12a), which
 # under the race detector's ~5-10x slowdown exceed the per-package
