@@ -17,6 +17,7 @@ import (
 	"os/signal"
 	"time"
 
+	"github.com/hyperdrive-ml/hyperdrive/internal/chaos"
 	"github.com/hyperdrive-ml/hyperdrive/internal/checkpoint"
 	"github.com/hyperdrive-ml/hyperdrive/internal/clock"
 	"github.com/hyperdrive-ml/hyperdrive/internal/cluster"
@@ -44,6 +45,14 @@ func run(args []string) error {
 		seedFlag = fs.Int64("seed", 1, "checkpoint model seed")
 		obsAddr  = fs.String("obs", "", "serve the introspection endpoint (/metrics, /metrics.json) on this address")
 		pprof    = fs.Bool("pprof", false, "mount /debug/pprof/ on the introspection endpoint")
+
+		// Fault-injection knobs (testing the scheduler's fault tolerance
+		// against a real agent): every accepted connection is wrapped in
+		// a deterministic chaos conn.
+		chaosDelay  = fs.Duration("chaos-delay", 0, "inject this base latency before every read/write")
+		chaosJitter = fs.Float64("chaos-jitter", 0, "spread -chaos-delay by ± this fraction (0..1)")
+		chaosSeed   = fs.Int64("chaos-seed", 1, "seed for the chaos schedule (per-conn seeds are derived)")
+		chaosDrop   = fs.Int("chaos-drop-after", 0, "kill each connection after N reads (0 = never)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -98,6 +107,16 @@ func run(args []string) error {
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		return err
+	}
+	if *chaosDelay > 0 || *chaosDrop > 0 {
+		l = chaos.NewListener(l, chaos.Options{
+			Seed:           *chaosSeed,
+			Delay:          *chaosDelay,
+			Jitter:         *chaosJitter,
+			FailReadsAfter: *chaosDrop,
+		})
+		log.Printf("hdagent: chaos enabled (delay %v ±%g, drop-after %d, seed %d)",
+			*chaosDelay, *chaosJitter, *chaosDrop, *chaosSeed)
 	}
 	log.Printf("hdagent: listening on %s with %d slots (speedup %gx, checkpoint %s, predict %v)",
 		l.Addr(), *slots, *speedup, mode, *predict)

@@ -361,7 +361,9 @@ func RunExperiment(ctx context.Context, cfg ExperimentConfig) (*ExperimentResult
 		events := make(chan cluster.Event, 256)
 		var execs []cluster.Executor
 		for _, addr := range cfg.AgentAddrs {
-			c, err := cluster.DialAgent(addr, events)
+			// Supervised dial: heartbeats, quarantine, and automatic
+			// reconnect with backoff (DESIGN.md §12).
+			c, err := cluster.DialAgentSupervised(addr, events, cluster.SupervisorOptions{Obs: obsReg})
 			if err != nil {
 				for _, ex := range execs {
 					ex.Close()

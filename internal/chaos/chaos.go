@@ -1,0 +1,250 @@
+// Package chaos is a deterministic fault-injection harness for the
+// cluster transport: a net.Conn wrapper with scriptable delay, drop,
+// and partition behaviour, driven by a seeded RNG so every failure
+// schedule replays identically. The e2e chaos tests and the hdagent
+// -chaos-* flags are its two consumers.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Options scripts one connection's faults. The zero value injects
+// nothing.
+type Options struct {
+	// Seed drives the jitter RNG (0 means 1): same seed, same schedule.
+	Seed int64
+	// Delay is injected before every Read and Write.
+	Delay time.Duration
+	// Jitter spreads Delay by ± this fraction (0..1).
+	Jitter float64
+	// FailReadsAfter kills the connection after this many successful
+	// Reads (0 = never): the next Read closes the transport and
+	// returns an error, as a crashed peer would.
+	FailReadsAfter int
+	// FailWritesAfter is the same guillotine for Writes.
+	FailWritesAfter int
+}
+
+// Conn wraps a net.Conn with the scripted faults. A partitioned Conn
+// blackholes writes (they "succeed" but reach nobody) and blocks reads
+// until Heal or Close — the classic gray failure a heartbeat must
+// catch, since the TCP layer reports nothing wrong.
+type Conn struct {
+	inner net.Conn
+	opts  Options
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	reads    int
+	writes   int
+	part     chan struct{} // non-nil while partitioned; closed by Heal
+	closed   chan struct{} // closed by Close
+	closing  sync.Once
+	injected time.Duration
+}
+
+// Wrap dresses nc in the fault script.
+func Wrap(nc net.Conn, opts Options) *Conn {
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Conn{
+		inner:  nc,
+		opts:   opts,
+		rng:    rand.New(rand.NewSource(seed)),
+		closed: make(chan struct{}),
+	}
+}
+
+// Partition cuts the link without telling TCP: subsequent writes are
+// silently discarded and reads block until Heal or Close.
+func (c *Conn) Partition() {
+	c.mu.Lock()
+	if c.part == nil {
+		c.part = make(chan struct{})
+	}
+	c.mu.Unlock()
+}
+
+// Heal ends a partition; blocked reads resume against the transport.
+func (c *Conn) Heal() {
+	c.mu.Lock()
+	part := c.part
+	c.part = nil
+	c.mu.Unlock()
+	if part != nil {
+		close(part)
+	}
+}
+
+// Partitioned reports whether the link is currently cut.
+func (c *Conn) Partitioned() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.part != nil
+}
+
+// InjectedDelay totals the latency added so far.
+func (c *Conn) InjectedDelay() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.injected
+}
+
+// delay computes (and accounts) one injected latency sample; the sleep
+// itself happens at the call site, outside the lock.
+func (c *Conn) delay() time.Duration {
+	if c.opts.Delay <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	d := c.opts.Delay
+	if c.opts.Jitter > 0 {
+		d = time.Duration(float64(d) * (1 + c.opts.Jitter*(2*c.rng.Float64()-1)))
+	}
+	c.injected += d
+	c.mu.Unlock()
+	return d
+}
+
+// Read implements net.Conn.
+func (c *Conn) Read(p []byte) (int, error) {
+	if d := c.delay(); d > 0 {
+		time.Sleep(d)
+	}
+	c.mu.Lock()
+	part := c.part
+	c.mu.Unlock()
+	if part != nil {
+		select {
+		case <-part: // healed
+		case <-c.closed:
+			return 0, net.ErrClosed
+		}
+	}
+	c.mu.Lock()
+	c.reads++
+	kill := c.opts.FailReadsAfter > 0 && c.reads > c.opts.FailReadsAfter
+	c.mu.Unlock()
+	if kill {
+		c.Close()
+		return 0, fmt.Errorf("chaos: injected read failure after %d reads", c.opts.FailReadsAfter)
+	}
+	return c.inner.Read(p)
+}
+
+// Write implements net.Conn. Partitioned writes report success while
+// delivering nothing.
+func (c *Conn) Write(p []byte) (int, error) {
+	if d := c.delay(); d > 0 {
+		time.Sleep(d)
+	}
+	c.mu.Lock()
+	partitioned := c.part != nil
+	c.writes++
+	kill := c.opts.FailWritesAfter > 0 && c.writes > c.opts.FailWritesAfter
+	c.mu.Unlock()
+	if kill {
+		c.Close()
+		return 0, fmt.Errorf("chaos: injected write failure after %d writes", c.opts.FailWritesAfter)
+	}
+	if partitioned {
+		return len(p), nil
+	}
+	return c.inner.Write(p)
+}
+
+// Close implements net.Conn: releases partition-blocked readers and
+// closes the transport.
+func (c *Conn) Close() error {
+	c.closing.Do(func() { close(c.closed) })
+	return c.inner.Close()
+}
+
+// LocalAddr implements net.Conn.
+func (c *Conn) LocalAddr() net.Addr { return c.inner.LocalAddr() }
+
+// RemoteAddr implements net.Conn.
+func (c *Conn) RemoteAddr() net.Addr { return c.inner.RemoteAddr() }
+
+// SetDeadline implements net.Conn.
+func (c *Conn) SetDeadline(t time.Time) error { return c.inner.SetDeadline(t) }
+
+// SetReadDeadline implements net.Conn.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.inner.SetReadDeadline(t) }
+
+// SetWriteDeadline implements net.Conn.
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.inner.SetWriteDeadline(t) }
+
+var _ net.Conn = (*Conn)(nil)
+
+// Listener wraps a net.Listener so every accepted connection carries
+// the fault script, each with a seed derived from Options.Seed and the
+// accept order (deterministic per connection, distinct across them).
+type Listener struct {
+	inner net.Listener
+	opts  Options
+
+	mu    sync.Mutex
+	n     int64
+	conns []*Conn
+}
+
+// NewListener wraps l.
+func NewListener(l net.Listener, opts Options) *Listener {
+	return &Listener{inner: l, opts: opts}
+}
+
+// Accept implements net.Listener.
+func (l *Listener) Accept() (net.Conn, error) {
+	nc, err := l.inner.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	l.n++
+	opts := l.opts
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	opts.Seed += l.n
+	c := Wrap(nc, opts)
+	l.conns = append(l.conns, c)
+	l.mu.Unlock()
+	return c, nil
+}
+
+// Close implements net.Listener.
+func (l *Listener) Close() error { return l.inner.Close() }
+
+// Addr implements net.Listener.
+func (l *Listener) Addr() net.Addr { return l.inner.Addr() }
+
+// Conns snapshots every connection accepted so far.
+func (l *Listener) Conns() []*Conn {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]*Conn(nil), l.conns...)
+}
+
+// PartitionAll cuts every accepted connection.
+func (l *Listener) PartitionAll() {
+	for _, c := range l.Conns() {
+		c.Partition()
+	}
+}
+
+// HealAll restores every accepted connection.
+func (l *Listener) HealAll() {
+	for _, c := range l.Conns() {
+		c.Heal()
+	}
+}
+
+var _ net.Listener = (*Listener)(nil)

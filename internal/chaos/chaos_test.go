@@ -1,0 +1,170 @@
+package chaos
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// A partitioned conn must blackhole writes: they report success
+// immediately even though net.Pipe writes normally block until the
+// peer reads.
+func TestPartitionBlackholesWrites(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	c := Wrap(a, Options{})
+	defer c.Close()
+	c.Partition()
+	if !c.Partitioned() {
+		t.Fatal("Partitioned() = false after Partition()")
+	}
+	n, err := c.Write([]byte("lost"))
+	if err != nil || n != 4 {
+		t.Fatalf("partitioned Write = (%d, %v), want (4, nil)", n, err)
+	}
+}
+
+// A partitioned read blocks until Heal, then resumes against the
+// transport.
+func TestPartitionBlocksReadsUntilHeal(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	c := Wrap(a, Options{})
+	defer c.Close()
+	c.Partition()
+
+	type res struct {
+		n   int
+		err error
+	}
+	got := make(chan res, 1)
+	go func() {
+		buf := make([]byte, 8)
+		n, err := c.Read(buf)
+		got <- res{n, err}
+	}()
+	go func() {
+		if _, err := b.Write([]byte("ok")); err != nil {
+			t.Errorf("peer write: %v", err)
+		}
+	}()
+	c.Heal()
+	r := <-got
+	if r.err != nil || r.n != 2 {
+		t.Fatalf("post-heal Read = (%d, %v), want (2, nil)", r.n, r.err)
+	}
+}
+
+// Close must release a partition-blocked reader with net.ErrClosed.
+func TestCloseUnblocksPartitionedRead(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	c := Wrap(a, Options{})
+	c.Partition()
+
+	got := make(chan error, 1)
+	go func() {
+		_, err := c.Read(make([]byte, 1))
+		got <- err
+	}()
+	// Give the reader a moment to park on the partition gate, then cut.
+	time.Sleep(10 * time.Millisecond)
+	c.Close()
+	if err := <-got; !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("Read after Close = %v, want net.ErrClosed", err)
+	}
+}
+
+// FailReadsAfter kills the connection on the N+1th read, like a
+// crashed peer.
+func TestFailReadsAfter(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	c := Wrap(a, Options{FailReadsAfter: 1})
+	go func() {
+		if _, err := b.Write([]byte("x")); err != nil {
+			t.Errorf("peer write: %v", err)
+		}
+	}()
+	if _, err := c.Read(make([]byte, 1)); err != nil {
+		t.Fatalf("first Read: %v", err)
+	}
+	if _, err := c.Read(make([]byte, 1)); err == nil {
+		t.Fatal("second Read succeeded, want injected failure")
+	}
+	// The transport must be dead too.
+	if _, err := b.Read(make([]byte, 1)); !errors.Is(err, net.ErrClosed) && err == nil {
+		t.Fatalf("peer Read after injected failure: %v, want closed", err)
+	}
+}
+
+// The same seed must produce the same delay schedule.
+func TestDelayScheduleIsDeterministic(t *testing.T) {
+	run := func(seed int64) time.Duration {
+		a, b := net.Pipe()
+		defer b.Close()
+		c := Wrap(a, Options{Seed: seed, Delay: time.Microsecond, Jitter: 0.5})
+		defer c.Close()
+		c.Partition() // blackhole so writes return without a peer
+		for i := 0; i < 16; i++ {
+			if _, err := c.Write([]byte("x")); err != nil {
+				t.Fatalf("write %d: %v", i, err)
+			}
+		}
+		return c.InjectedDelay()
+	}
+	if d1, d2 := run(7), run(7); d1 != d2 {
+		t.Fatalf("same seed, different injected delay: %v vs %v", d1, d2)
+	}
+}
+
+// Listener-accepted conns get distinct derived seeds, so their
+// schedules differ while staying reproducible.
+func TestListenerDerivesSeeds(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewListener(inner, Options{Seed: 42, Delay: time.Microsecond, Jitter: 0.9})
+	defer l.Close()
+
+	accepted := make(chan net.Conn, 2)
+	go func() {
+		for i := 0; i < 2; i++ {
+			nc, err := l.Accept()
+			if err != nil {
+				t.Errorf("accept: %v", err)
+				return
+			}
+			accepted <- nc
+		}
+	}()
+	for i := 0; i < 2; i++ {
+		nc, err := net.Dial("tcp", l.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer nc.Close()
+	}
+	c1 := (<-accepted).(*Conn)
+	c2 := (<-accepted).(*Conn)
+	defer c1.Close()
+	defer c2.Close()
+	if len(l.Conns()) != 2 {
+		t.Fatalf("Conns() = %d, want 2", len(l.Conns()))
+	}
+	c1.Partition()
+	c2.Partition()
+	for i := 0; i < 32; i++ {
+		if _, err := c1.Write([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c2.Write([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c1.InjectedDelay() == c2.InjectedDelay() {
+		t.Fatal("two accepted conns share an identical delay schedule; seeds not derived per-conn")
+	}
+}

@@ -172,7 +172,9 @@ func (a *Agent) serveConn(nc net.Conn) {
 		}
 		switch msg.Type {
 		case wire.MsgPing:
-			if err := conn.SendTyped(wire.MsgPong, nil); err != nil {
+			// Echo the ping's sequence number so the scheduler can match
+			// the pong to its pending probe and measure the RTT.
+			if err := conn.Send(wire.Message{Type: wire.MsgPong, Seq: msg.Seq}); err != nil {
 				return
 			}
 		case wire.MsgStartJob, wire.MsgResumeJob:

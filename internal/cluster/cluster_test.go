@@ -464,7 +464,7 @@ func TestAgentConnectionLossFailsJobs(t *testing.T) {
 	for {
 		select {
 		case ev := <-events:
-			if ev.Kind == EvExited && ev.Reason == ExitError && ev.Job == "doomed" {
+			if ev.Kind == EvExited && ev.Reason == ExitLost && ev.Job == "doomed" {
 				return // failure surfaced correctly
 			}
 		case <-deadline:

@@ -44,6 +44,19 @@ const (
 	EvIterDone
 	EvSnapshot
 	EvExited
+	// EvAgentDown announces that a remote agent was declared dead
+	// (missed heartbeats or connection loss). It always precedes the
+	// per-job EvExited/ExitLost events of the same failure, so the
+	// scheduler can quarantine the agent's slots before any job-loss
+	// handling runs.
+	EvAgentDown
+	// EvAgentUp announces a successful reconnect + re-handshake: the
+	// agent's slots are schedulable again.
+	EvAgentUp
+	// EvAgentError surfaces an agent-level MsgError (one that names no
+	// job): the agent is alive but reported a fault the scheduler
+	// should log rather than swallow.
+	EvAgentError
 )
 
 // ExitReason says why a job left its slot.
@@ -55,6 +68,11 @@ const (
 	ExitTerminated ExitReason = "terminated"
 	ExitSuspended  ExitReason = "suspended"
 	ExitError      ExitReason = "error"
+	// ExitLost marks a job that vanished with its agent rather than
+	// failing on its own. Jobs lost with a known snapshot are re-queued
+	// and resumed on a healthy slot (checkpoint-based re-placement);
+	// jobs without one are terminated.
+	ExitLost ExitReason = "lost"
 )
 
 // Event is an executor-to-scheduler notification. IterDone events
@@ -76,6 +94,11 @@ type Event struct {
 	Reason   ExitReason
 	Err      error
 	Reply    chan sched.Decision
+	// Agent and AgentSlots carry the fault-tolerance events
+	// (EvAgentDown/EvAgentUp/EvAgentError): which agent changed state
+	// and the full slot set to quarantine or restore.
+	Agent      string
+	AgentSlots []SlotID
 }
 
 // Executor runs training jobs on a set of slots and reports Events on

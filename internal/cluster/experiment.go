@@ -98,8 +98,14 @@ type Result struct {
 	Starts       int
 	Resumes      int
 	Fits         int
-	Overheads    checkpoint.Accounting // suspend latency/size observations
-	StoppedBy    string                // "target" | "budget" | "exhausted" | "condition" | "canceled"
+	// Fault-tolerance counters: agent-down declarations, successful
+	// reconnects, and snapshot-bearing jobs re-queued after losing
+	// their agent (checkpoint-based re-placement).
+	AgentFailures int
+	Reconnects    int
+	Replacements  int
+	Overheads     checkpoint.Accounting // suspend latency/size observations
+	StoppedBy     string                // "target" | "budget" | "exhausted" | "condition" | "canceled"
 }
 
 // Experiment is a live HyperDrive run.
@@ -229,7 +235,7 @@ func (e *Experiment) Run(ctx context.Context) (*Result, error) {
 	deadline := e.clk.After(e.cfg.MaxDuration)
 	e.cfg.Policy.AllocateJobs(e)
 	e.refreshGauges()
-	if e.rm.IdleCount() == e.rm.Total() && e.jm.SuspendedCount() == 0 && e.created == 0 {
+	if e.rm.BusyCount() == 0 && e.jm.SuspendedCount() == 0 && e.created == 0 {
 		return nil, errors.New("cluster: policy started no jobs (empty generator?)")
 	}
 
@@ -258,9 +264,11 @@ func (e *Experiment) Run(ctx context.Context) (*Result, error) {
 }
 
 // done reports whether no work remains: nothing running, nothing
-// suspended, and the generator cannot supply more.
+// suspended, and the generator cannot supply more. Quarantined slots
+// are not "work": an experiment with every survivor idle must not
+// hang waiting for a dead agent's slots to come back.
 func (e *Experiment) done() bool {
-	if e.rm.IdleCount() != e.rm.Total() {
+	if e.rm.BusyCount() > 0 {
 		return false
 	}
 	if e.jm.SuspendedCount() > 0 {
@@ -279,13 +287,42 @@ func (e *Experiment) handle(ev Event) bool {
 	case EvSnapshot:
 		if mj, ok := e.jm.Get(ev.Job); ok {
 			mj.Snapshot = ev.Snapshot
+			mj.SnapEpoch = ev.Epoch
 		}
 		e.db.PutSnapshot(appstat.Snapshot{Job: ev.Job, Epoch: ev.Epoch, Data: ev.Snapshot, At: e.clk.Now()})
 		e.res.Overheads.Observe(checkpoint.Record{Size: ev.SnapSize, Latency: ev.SnapLat})
 	case EvExited:
 		e.handleExited(ev)
+	case EvAgentDown:
+		e.handleAgentDown(ev)
+	case EvAgentUp:
+		e.handleAgentUp(ev)
+	case EvAgentError:
+		e.logEvent("agent_error", ev)
 	}
 	return false
+}
+
+// handleAgentDown quarantines a dead agent's slots. It arrives before
+// that failure's per-job ExitLost events (the AgentClient guarantees
+// the ordering), so by the time job-loss handling releases each slot,
+// ReleaseMachine parks it in quarantine instead of the idle pool.
+func (e *Experiment) handleAgentDown(ev Event) {
+	e.rm.MarkOffline(ev.AgentSlots)
+	e.res.AgentFailures++
+	e.met.agentFailures.Inc()
+	e.logEvent("agent_down", ev)
+	e.refreshGauges()
+}
+
+// handleAgentUp restores a reconnected agent's slots and immediately
+// lets the SAP re-fill the recovered capacity.
+func (e *Experiment) handleAgentUp(ev Event) {
+	e.rm.MarkOnline(ev.AgentSlots)
+	e.res.Reconnects++
+	e.logEvent("agent_up", ev)
+	e.cfg.Policy.AllocateJobs(e)
+	e.refreshGauges()
 }
 
 func (e *Experiment) handleStat(ev Event) bool {
@@ -386,6 +423,22 @@ func (e *Experiment) handleExited(ev Event) {
 	case ExitError:
 		// Treat like termination but keep the error visible via state.
 		if err := mj.Job.Terminate(); err == nil {
+			e.res.Terminations++
+			e.met.terminations.Inc()
+		}
+	case ExitLost:
+		// Checkpoint-based re-placement: a job that vanished with its
+		// agent but left a snapshot is suspended and re-queued, so the
+		// SAP resumes it on a healthy slot. Without a snapshot there is
+		// nothing to resume from — terminate.
+		if len(mj.Snapshot) > 0 {
+			if err := mj.Job.Suspend(); err == nil {
+				e.res.Replacements++
+				e.met.replacements.Inc()
+				e.jm.Requeue(ev.Job)
+				e.logLifecycle("replace", ev.Job, ev.Slot, "")
+			}
+		} else if err := mj.Job.Terminate(); err == nil {
 			e.res.Terminations++
 			e.met.terminations.Inc()
 		}
@@ -522,6 +575,13 @@ func (e *Experiment) startExisting(mj *ManagedJob, slot SlotID) error {
 	if resume {
 		spec.Snapshot = mj.Snapshot
 		spec.History = e.db.History(mj.Job.ID)
+		// A job re-placed after agent loss may have trained past its
+		// last snapshot; replay only the history the checkpoint covers
+		// and rewind the epoch counter to match.
+		if mj.SnapEpoch > 0 && len(spec.History) > mj.SnapEpoch {
+			spec.History = spec.History[:mj.SnapEpoch]
+			mj.Job.SetEpoch(mj.SnapEpoch)
+		}
 	}
 	if err := e.exec.Start(spec); err != nil {
 		// Roll the job back to a restartable state.

@@ -1,0 +1,665 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/hyperdrive-ml/hyperdrive/internal/chaos"
+	"github.com/hyperdrive-ml/hyperdrive/internal/clock"
+	"github.com/hyperdrive-ml/hyperdrive/internal/obs"
+	"github.com/hyperdrive-ml/hyperdrive/internal/param"
+	"github.com/hyperdrive-ml/hyperdrive/internal/policy"
+	"github.com/hyperdrive-ml/hyperdrive/internal/sched"
+	"github.com/hyperdrive-ml/hyperdrive/internal/wire"
+)
+
+// --- ResourceManager quarantine ---------------------------------------
+
+func TestResourceManagerQuarantine(t *testing.T) {
+	rm := NewResourceManager([]SlotID{"a#0", "a#1", "b#0"})
+	got, ok := rm.ReserveIdleMachine()
+	if !ok || got != "a#0" {
+		t.Fatalf("reserve = %q, %v", got, ok)
+	}
+
+	rm.MarkOffline([]SlotID{"a#0", "a#1"})
+	if rm.OfflineCount() != 2 {
+		t.Fatalf("offline = %d, want 2", rm.OfflineCount())
+	}
+	if rm.IdleCount() != 1 {
+		t.Fatalf("idle = %d, want 1 (only b#0 survives)", rm.IdleCount())
+	}
+	if rm.Total() != 3 {
+		t.Fatalf("total = %d, want 3 (quarantine must not shrink the pool)", rm.Total())
+	}
+
+	// The only reservable slot is the survivor.
+	s, ok := rm.ReserveIdleMachine()
+	if !ok || s != "b#0" {
+		t.Fatalf("reserve under quarantine = %q, %v; want b#0", s, ok)
+	}
+	if _, ok := rm.ReserveIdleMachine(); ok {
+		t.Fatal("reserved a quarantined slot")
+	}
+
+	// Releasing a quarantined-but-busy slot frees the binding yet keeps
+	// the slot out of the idle pool.
+	if err := rm.ReleaseMachine("a#0"); err != nil {
+		t.Fatalf("release of quarantined slot: %v", err)
+	}
+	if rm.BusyCount() != 1 || rm.IdleCount() != 0 {
+		t.Fatalf("after quarantined release: busy=%d idle=%d, want 1/0", rm.BusyCount(), rm.IdleCount())
+	}
+
+	// Restore: both slots return to the idle pool.
+	rm.MarkOnline([]SlotID{"a#0", "a#1"})
+	if rm.OfflineCount() != 0 || rm.IdleCount() != 2 {
+		t.Fatalf("after restore: offline=%d idle=%d, want 0/2", rm.OfflineCount(), rm.IdleCount())
+	}
+	if _, ok := rm.ReserveIdleMachine(); !ok {
+		t.Fatal("restored slot not reservable")
+	}
+
+	// Idempotence.
+	rm.MarkOnline([]SlotID{"a#1"})
+	rm.MarkOffline([]SlotID{"b#0"})
+	rm.MarkOffline([]SlotID{"b#0"})
+	if rm.OfflineCount() != 1 {
+		t.Fatalf("double MarkOffline: offline=%d, want 1", rm.OfflineCount())
+	}
+}
+
+// --- AgentClient shutdown & failure paths ------------------------------
+
+// doomedSpec builds a runnable StartSpec for one slot.
+func doomedSpec(job sched.JobID, slot SlotID) StartSpec {
+	return StartSpec{
+		Job: job, Slot: slot, Workload: "cifar10",
+		Config: param.CIFAR10Space().Sample(rand.New(rand.NewSource(1))),
+		Seed:   1, MaxEpoch: 120,
+	}
+}
+
+// Close must not deadlock when the read loop is blocked sending an
+// event nobody consumes.
+func TestAgentClientCloseWithBlockedEvents(t *testing.T) {
+	addr := startAgent(t, AgentOptions{ID: "hang", Slots: 1})
+	events := make(chan Event) // unbuffered: the reader blocks on emit
+	client, err := DialAgent(addr, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Start(doomedSpec("blocked", client.Slots()[0])); err != nil {
+		t.Fatal(err)
+	}
+	// Take exactly one event so we know the agent is streaming, then
+	// stop consuming: the next emit parks the read loop.
+	select {
+	case <-events:
+	case <-time.After(10 * time.Second):
+		t.Fatal("no event from agent")
+	}
+	time.Sleep(50 * time.Millisecond)
+
+	closed := make(chan struct{})
+	go func() {
+		client.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close deadlocked on a blocked event channel")
+	}
+}
+
+// After a connection failure the client must be marked closed: a Start
+// must fail fast instead of binding a slot on a dead agent.
+func TestStartFailsFastAfterConnectionLoss(t *testing.T) {
+	addr := startAgent(t, AgentOptions{ID: "gone", Slots: 1})
+	events := make(chan Event, 16)
+	client, err := DialAgent(addr, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client.conn.Close()
+	select {
+	case <-client.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("read loop never noticed the dead connection")
+	}
+	if err := client.Start(doomedSpec("late", client.Slots()[0])); err == nil {
+		t.Fatal("Start succeeded on a client whose connection already failed")
+	}
+	client.Close()
+}
+
+// fakeAgent speaks just enough of the wire protocol to drive client
+// edge cases that a healthy agent never produces.
+func fakeAgent(t *testing.T, send func(*wire.Conn) error) (net.Conn, <-chan error) {
+	t.Helper()
+	cs, as := net.Pipe()
+	errc := make(chan error, 1)
+	go func() {
+		conn := wire.NewConn(as)
+		if err := conn.SendTyped(wire.MsgHello, wire.HelloPayload{AgentID: "fake", Slots: 1}); err != nil {
+			errc <- err
+			return
+		}
+		errc <- send(conn)
+	}()
+	return cs, errc
+}
+
+// Agent-level MsgError frames (no JobID) must surface as EvAgentError
+// instead of being dropped.
+func TestAgentLevelErrorSurfaced(t *testing.T) {
+	cs, errc := fakeAgent(t, func(conn *wire.Conn) error {
+		return conn.SendTyped(wire.MsgError, wire.ErrorPayload{Message: "disk full"})
+	})
+	events := make(chan Event, 4)
+	client, err := NewAgentClient(cs, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	select {
+	case ev := <-events:
+		if ev.Kind != EvAgentError {
+			t.Fatalf("event kind = %v, want EvAgentError", ev.Kind)
+		}
+		if ev.Agent != "fake" {
+			t.Fatalf("event agent = %q, want fake", ev.Agent)
+		}
+		if ev.Err == nil || !strings.Contains(ev.Err.Error(), "disk full") {
+			t.Fatalf("event err = %v, want the agent's message", ev.Err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("agent-level error never surfaced")
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("fake agent: %v", err)
+	}
+}
+
+// forwardDecision must survive the connection dying while the decision
+// is pending, and replying to a vanished agent must never block the
+// scheduler (run under -race).
+func TestForwardDecisionRacesDyingConn(t *testing.T) {
+	var agentConn *wire.Conn
+	ready := make(chan struct{})
+	cs, errc := fakeAgent(t, func(conn *wire.Conn) error {
+		agentConn = conn
+		close(ready)
+		return conn.SendTyped(wire.MsgIterDone, wire.IterDonePayload{JobID: "j1", Epoch: 3})
+	})
+	events := make(chan Event, 4)
+	client, err := NewAgentClient(cs, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ev Event
+	select {
+	case ev = <-events:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no EvIterDone")
+	}
+	if ev.Kind != EvIterDone || ev.Reply == nil {
+		t.Fatalf("event = %+v, want EvIterDone with Reply", ev)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("fake agent: %v", err)
+	}
+	// Kill the agent while its decision is still pending...
+	<-ready
+	agentConn.Close()
+	select {
+	case <-client.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("client never noticed the dead agent")
+	}
+	// ...then deliver the verdict the way the experiment loop does. The
+	// reply channel is buffered, so this must return immediately even
+	// though the agent is gone.
+	ev.Reply <- sched.Continue
+	client.Close()
+}
+
+// Close while a decision is still pending must release the
+// forwardDecision goroutine through the stop channel (run under -race;
+// the leak would show up as a blocked goroutine send on a dead conn).
+func TestCloseWithPendingDecision(t *testing.T) {
+	cs, errc := fakeAgent(t, func(conn *wire.Conn) error {
+		return conn.SendTyped(wire.MsgIterDone, wire.IterDonePayload{JobID: "j1", Epoch: 3})
+	})
+	events := make(chan Event, 4)
+	client, err := NewAgentClient(cs, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-events:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no EvIterDone")
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("fake agent: %v", err)
+	}
+	closed := make(chan struct{})
+	go func() {
+		client.Close() // never replying must not wedge Close
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung on an unanswered decision")
+	}
+}
+
+// --- heartbeat & supervisor --------------------------------------------
+
+// A silent partition (TCP open, nothing flowing) must be detected by
+// the heartbeat, not waited out forever.
+func TestHeartbeatDetectsPartition(t *testing.T) {
+	addr := startAgent(t, AgentOptions{ID: "parted", Slots: 1})
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := chaos.Wrap(nc, chaos.Options{Seed: 9})
+	events := make(chan Event, 16)
+	var mu sync.Mutex
+	var cause error
+	client, err := NewAgentClientOpts(cc, events, AgentClientOptions{
+		Heartbeat: HeartbeatConfig{Interval: 10 * time.Millisecond, Misses: 2},
+		OnDown: func(err error) {
+			mu.Lock()
+			cause = err
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc.Partition()
+	select {
+	case <-client.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("heartbeat never declared the partitioned agent dead")
+	}
+	mu.Lock()
+	got := cause
+	mu.Unlock()
+	if got == nil || !strings.Contains(got.Error(), "heartbeat") {
+		t.Fatalf("OnDown cause = %v, want the heartbeat verdict", got)
+	}
+	client.Close()
+}
+
+// The supervisor must detect a dead agent, emit EvAgentDown, redial
+// with backoff, re-handshake, and emit EvAgentUp with usable slots.
+func TestSupervisorReconnects(t *testing.T) {
+	addr := startAgent(t, AgentOptions{ID: "phoenix", Slots: 1})
+	events := make(chan Event, 64)
+	var mu sync.Mutex
+	var first *chaos.Conn
+	dial := func() (net.Conn, error) {
+		nc, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if first == nil {
+			first = chaos.Wrap(nc, chaos.Options{Seed: 3})
+			return first, nil
+		}
+		return nc, nil
+	}
+	reg := obs.NewRegistry()
+	sup, err := SuperviseAgent(events, SupervisorOptions{
+		Dial:      dial,
+		Heartbeat: HeartbeatConfig{Interval: 10 * time.Millisecond, Misses: 2},
+		Backoff:   BackoffConfig{Base: 5 * time.Millisecond, Max: 20 * time.Millisecond, Seed: 2},
+		Obs:       reg,
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Close()
+	if !sup.Up() || sup.AgentID() != "phoenix" {
+		t.Fatalf("fresh supervisor: up=%v id=%s", sup.Up(), sup.AgentID())
+	}
+	if v := reg.Gauge(obs.AgentUp("phoenix")).Value(); v != 1 {
+		t.Fatalf("agent_up = %v, want 1", v)
+	}
+
+	mu.Lock()
+	fc := first
+	mu.Unlock()
+	fc.Partition()
+
+	waitKind := func(want EventKind) Event {
+		deadline := time.After(10 * time.Second)
+		for {
+			select {
+			case ev := <-events:
+				if ev.Kind == want {
+					return ev
+				}
+			case <-deadline:
+				t.Fatalf("event %v never arrived", want)
+			}
+		}
+	}
+	down := waitKind(EvAgentDown)
+	if down.Agent != "phoenix" || len(down.AgentSlots) != 1 {
+		t.Fatalf("EvAgentDown = %+v", down)
+	}
+	up := waitKind(EvAgentUp)
+	if up.Agent != "phoenix" || len(up.AgentSlots) != 1 {
+		t.Fatalf("EvAgentUp = %+v", up)
+	}
+	if !sup.Up() {
+		t.Fatal("supervisor not up after EvAgentUp")
+	}
+	if v := reg.Counter(obs.AgentReconnectsTotal("phoenix")).Value(); v < 1 {
+		t.Fatalf("reconnects counter = %d, want >= 1", v)
+	}
+	if v := reg.Gauge(obs.AgentUp("phoenix")).Value(); v != 1 {
+		t.Fatalf("agent_up after reconnect = %v, want 1", v)
+	}
+	// The restored connection must accept work.
+	if err := sup.Start(doomedSpec("reborn", sup.Slots()[0])); err != nil {
+		t.Fatalf("Start after reconnect: %v", err)
+	}
+}
+
+// A down supervisor must fail Start fast instead of black-holing it.
+func TestSupervisorStartFailsWhileDown(t *testing.T) {
+	addr := startAgent(t, AgentOptions{ID: "limbo", Slots: 1})
+	events := make(chan Event, 64)
+	var mu sync.Mutex
+	var first *chaos.Conn
+	dial := func() (net.Conn, error) {
+		mu.Lock()
+		redialed := first != nil
+		mu.Unlock()
+		if redialed {
+			return nil, errors.New("agent still dead")
+		}
+		nc, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		first = chaos.Wrap(nc, chaos.Options{Seed: 4})
+		return first, nil
+	}
+	sup, err := SuperviseAgent(events, SupervisorOptions{
+		Dial:      dial,
+		Heartbeat: HeartbeatConfig{Interval: 10 * time.Millisecond, Misses: 2},
+		Backoff:   BackoffConfig{Base: 5 * time.Millisecond, Max: 20 * time.Millisecond, Seed: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Close()
+	mu.Lock()
+	fc := first
+	mu.Unlock()
+	fc.Partition()
+	deadline := time.After(10 * time.Second)
+	for sup.Up() {
+		select {
+		case <-deadline:
+			t.Fatal("supervisor never went down")
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	if err := sup.Start(doomedSpec("nohome", sup.Slots()[0])); err == nil {
+		t.Fatal("Start succeeded while the agent was down")
+	}
+}
+
+// --- chaos end-to-end ---------------------------------------------------
+
+// suspendOncePolicy is the Default policy plus one scripted suspend:
+// the target job is suspended at the given epoch, forcing a snapshot
+// so the chaos test has a checkpoint to re-place from.
+type suspendOncePolicy struct {
+	*policy.Default
+	target sched.JobID
+	epoch  int
+	fired  bool
+}
+
+func (p *suspendOncePolicy) OnIterationFinish(ctx policy.Context, ev sched.Event) sched.Decision {
+	if !p.fired && ev.Job == p.target && ev.Epoch >= p.epoch {
+		p.fired = true
+		return sched.Suspend
+	}
+	return p.Default.OnIterationFinish(ctx, ev)
+}
+
+// guardExec wraps an executor and records Starts issued while the
+// underlying agent is down — exactly the black-holed starts the
+// quarantine exists to prevent.
+type guardExec struct {
+	Executor
+	up func() bool
+
+	mu  sync.Mutex
+	bad []SlotID
+}
+
+func (g *guardExec) Start(spec StartSpec) error {
+	if !g.up() {
+		g.mu.Lock()
+		g.bad = append(g.bad, spec.Slot)
+		g.mu.Unlock()
+	}
+	return g.Executor.Start(spec)
+}
+
+func (g *guardExec) violations() []SlotID {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]SlotID(nil), g.bad...)
+}
+
+// TestChaosAgentKillAndRevive is the e2e fault-tolerance scenario: two
+// agents, one slot each; job-000 is forced to snapshot early, then its
+// agent is partitioned away mid-training. The experiment must
+// quarantine the dead agent's slot, re-place job-000 from its
+// checkpoint onto the survivor, reconnect the revived agent, and still
+// finish every job.
+func TestChaosAgentKillAndRevive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos e2e skipped in -short mode")
+	}
+	// Slow enough that heartbeat detection (~30ms) beats job completion
+	// (~seconds), fast enough to keep the test bounded.
+	agentClock := func() clock.Clock {
+		return clock.NewScaled(time.Date(2017, 12, 11, 0, 0, 0, 0, time.UTC), 20000)
+	}
+	addrA := startAgent(t, AgentOptions{ID: "chaosA", Slots: 1, Clock: agentClock()})
+	addrB := startAgent(t, AgentOptions{ID: "chaosB", Slots: 1, Clock: agentClock()})
+
+	events := make(chan Event, 256)
+	reg := obs.NewRegistry()
+	// Detection ≈ Interval × (Misses + 1) ≈ 250ms: far faster than the
+	// jobs (seconds) yet with enough slack that a ~480KB snapshot
+	// upload stalling the wire under -race cannot fake a death.
+	hb := HeartbeatConfig{Interval: 50 * time.Millisecond, Misses: 4}
+	backoff := BackoffConfig{Base: 10 * time.Millisecond, Max: 50 * time.Millisecond, Seed: 5}
+
+	// Agent A's dial is scripted: first connection goes through a chaos
+	// wrapper we can partition; redials fail until the test "revives"
+	// the agent.
+	var mu sync.Mutex
+	var connA *chaos.Conn
+	revived := false
+	dialA := func() (net.Conn, error) {
+		mu.Lock()
+		dead := connA != nil && !revived
+		mu.Unlock()
+		if dead {
+			return nil, errors.New("chaosA is dead (test script)")
+		}
+		nc, err := net.Dial("tcp", addrA)
+		if err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if connA == nil {
+			connA = chaos.Wrap(nc, chaos.Options{Seed: 11})
+			return connA, nil
+		}
+		return nc, nil
+	}
+	supA, err := SuperviseAgent(events, SupervisorOptions{
+		Dial: dialA, Heartbeat: hb, Backoff: backoff, Obs: reg, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer supA.Close()
+	supB, err := DialAgentSupervised(addrB, events, SupervisorOptions{
+		Heartbeat: hb, Backoff: backoff, Obs: reg, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer supB.Close()
+
+	guardA := &guardExec{Executor: supA, up: supA.Up}
+	multi, err := NewMultiExecutor(guardA, supB)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// job-000 lands on chaosA#0, job-001 on chaosB#0 (slot order is the
+	// executor order). The scripted policy snapshots job-000 at epoch 4;
+	// with MaxJobs=2 it resumes straight back onto chaosA#0.
+	pol := &suspendOncePolicy{Default: policy.NewDefault(), target: "job-000", epoch: 4}
+	cfg := expConfig(t, pol, 0, 2)
+	cfg.Executor = multi
+	cfg.Events = events
+	cfg.Obs = reg
+	cfg.Clock = clock.NewScaled(time.Date(2017, 12, 11, 0, 0, 0, 0, time.UTC), 20000)
+
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type runResult struct {
+		res *Result
+		err error
+	}
+	resCh := make(chan runResult, 1)
+	go func() {
+		res, err := e.Run(context.Background())
+		resCh <- runResult{res, err}
+	}()
+
+	waitFor := func(desc string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(60 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timeout waiting for %s", desc)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	// Phase 1: wait until job-000 has snapshotted and resumed (back on
+	// chaosA#0), so a checkpoint exists to re-place from.
+	waitFor("job-000 snapshot + resume", func() bool {
+		return reg.Counter(obs.ResumesTotal).Value() >= 1
+	})
+
+	// Phase 2: kill agent A mid-training via a silent partition.
+	mu.Lock()
+	ca := connA
+	mu.Unlock()
+	ca.Partition()
+	waitFor("agent failure detection", func() bool {
+		return reg.Counter(obs.AgentFailuresTotal).Value() >= 1
+	})
+	waitFor("checkpoint re-placement of the lost job", func() bool {
+		return reg.Counter(obs.JobReplacementsTotal).Value() >= 1
+	})
+
+	// Phase 3: revive the agent; the supervisor's backoff loop is
+	// already redialing.
+	mu.Lock()
+	revived = true
+	mu.Unlock()
+	waitFor("agent reconnect", func() bool {
+		return reg.Counter(obs.AgentReconnectsTotal("chaosA")).Value() >= 1
+	})
+
+	r := <-resCh
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	res := r.res
+
+	// The run survived: both configurations finished, the lost job was
+	// re-placed from its checkpoint rather than terminated.
+	if res.Completions != 2 {
+		t.Fatalf("completions = %d, want 2 (%+v)", res.Completions, res)
+	}
+	if res.Replacements < 1 {
+		t.Fatalf("replacements = %d, want >= 1", res.Replacements)
+	}
+	if res.AgentFailures < 1 || res.Reconnects < 1 {
+		t.Fatalf("agent failures = %d, reconnects = %d; want >= 1 each", res.AgentFailures, res.Reconnects)
+	}
+	for _, js := range res.Jobs {
+		if js.FinalState != sched.Completed {
+			t.Fatalf("job %s final state = %v, want Completed", js.ID, js.FinalState)
+		}
+		if js.Epochs != 120 {
+			t.Fatalf("job %s epochs = %d, want 120 (progress lost?)", js.ID, js.Epochs)
+		}
+	}
+	if res.Best <= 0.12 {
+		t.Fatalf("best = %v, want a trained metric (> 0.12)", res.Best)
+	}
+
+	// Quarantined slots never received a Start while the agent was down.
+	if bad := guardA.violations(); len(bad) != 0 {
+		t.Fatalf("Starts reached the dead agent's slots: %v", bad)
+	}
+
+	// After the restart the slot pool is whole again: nothing offline,
+	// both slots idle and schedulable.
+	if e.rm.OfflineCount() != 0 || e.rm.IdleCount() != 2 {
+		t.Fatalf("post-run pool: offline=%d idle=%d, want 0/2", e.rm.OfflineCount(), e.rm.IdleCount())
+	}
+	if !supA.Up() {
+		t.Fatal("supervisor A not up after revival")
+	}
+
+	// The telemetry tells the same story.
+	if v := reg.Gauge(obs.AgentUp("chaosA")).Value(); v != 1 {
+		t.Fatalf("agent_up{chaosA} = %v, want 1", v)
+	}
+	if v := reg.Gauge(obs.SlotsOffline).Value(); v != 0 {
+		t.Fatalf("slots_offline = %v, want 0", v)
+	}
+	t.Logf("chaos run: %+v", res)
+}

@@ -13,15 +13,23 @@ import (
 //
 //	reserveIdleMachine() -> machineId
 //	releaseMachine(machineId)
+//
+// Slots belonging to an unreachable agent are quarantined (offline):
+// neither idle nor busy, invisible to ReserveIdleMachine until
+// MarkOnline restores them.
 type ResourceManager struct {
-	mu   sync.Mutex
-	free []SlotID
-	busy map[SlotID]bool
+	mu      sync.Mutex
+	free    []SlotID
+	busy    map[SlotID]bool
+	offline map[SlotID]bool
 }
 
 // NewResourceManager builds an RM over the given slots, all idle.
 func NewResourceManager(slots []SlotID) *ResourceManager {
-	rm := &ResourceManager{busy: make(map[SlotID]bool, len(slots))}
+	rm := &ResourceManager{
+		busy:    make(map[SlotID]bool, len(slots)),
+		offline: make(map[SlotID]bool),
+	}
 	rm.free = append(rm.free, slots...)
 	return rm
 }
@@ -39,16 +47,58 @@ func (rm *ResourceManager) ReserveIdleMachine() (SlotID, bool) {
 	return s, true
 }
 
-// ReleaseMachine returns a slot to the idle pool.
+// ReleaseMachine returns a slot to the idle pool. Releasing a
+// quarantined slot is a no-op success: the job-loss path frees its
+// binding, but the slot stays offline until MarkOnline.
 func (rm *ResourceManager) ReleaseMachine(s SlotID) error {
 	rm.mu.Lock()
 	defer rm.mu.Unlock()
+	if rm.offline[s] {
+		delete(rm.busy, s)
+		return nil
+	}
 	if !rm.busy[s] {
 		return fmt.Errorf("cluster: release of non-busy slot %s", s)
 	}
 	delete(rm.busy, s)
 	rm.free = append(rm.free, s)
 	return nil
+}
+
+// MarkOffline quarantines slots: idle ones leave the free list, busy
+// ones keep their binding (the job-loss events will release them into
+// quarantine rather than back to idle).
+func (rm *ResourceManager) MarkOffline(slots []SlotID) {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	for _, s := range slots {
+		if rm.offline[s] {
+			continue
+		}
+		rm.offline[s] = true
+		for i, f := range rm.free {
+			if f == s {
+				rm.free = append(rm.free[:i], rm.free[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// MarkOnline restores quarantined slots to the idle pool. Slots still
+// carrying a busy binding (release hasn't happened yet) stay busy.
+func (rm *ResourceManager) MarkOnline(slots []SlotID) {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	for _, s := range slots {
+		if !rm.offline[s] {
+			continue
+		}
+		delete(rm.offline, s)
+		if !rm.busy[s] {
+			rm.free = append(rm.free, s)
+		}
+	}
 }
 
 // IdleCount reports idle slots.
@@ -58,24 +108,45 @@ func (rm *ResourceManager) IdleCount() int {
 	return len(rm.free)
 }
 
-// Total reports all slots.
+// BusyCount reports slots with a live job binding.
+func (rm *ResourceManager) BusyCount() int {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	return len(rm.busy)
+}
+
+// OfflineCount reports quarantined slots.
+func (rm *ResourceManager) OfflineCount() int {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	return len(rm.offline)
+}
+
+// Total reports all slots: idle + busy + quarantined-idle.
 func (rm *ResourceManager) Total() int {
 	rm.mu.Lock()
 	defer rm.mu.Unlock()
-	return len(rm.free) + len(rm.busy)
+	n := len(rm.free) + len(rm.busy)
+	for s := range rm.offline {
+		if !rm.busy[s] {
+			n++
+		}
+	}
+	return n
 }
 
 // ManagedJob is the Job Manager's record for one configuration.
 type ManagedJob struct {
-	Job      *sched.Job
-	Config   param.Config
-	Seed     int64
-	Idx      int    // creation order
-	QueueSeq int    // idle-queue insertion order (suspends re-enqueue at the back)
-	Snapshot []byte // latest suspend image (nil if never suspended)
-	Busy     int64  // accumulated training nanoseconds
-	Best     float64
-	HasBest  bool
+	Job       *sched.Job
+	Config    param.Config
+	Seed      int64
+	Idx       int    // creation order
+	QueueSeq  int    // idle-queue insertion order (suspends re-enqueue at the back)
+	Snapshot  []byte // latest suspend image (nil if never suspended)
+	SnapEpoch int    // epoch the snapshot was captured at (re-placement trims history here)
+	Busy      int64  // accumulated training nanoseconds
+	Best      float64
+	HasBest   bool
 }
 
 // JobManager keeps the job table and the priority-ordered idle queue —

@@ -34,9 +34,13 @@ type expMetrics struct {
 
 	slotsTotal    *obs.Gauge
 	slotsBusy     *obs.Gauge
+	slotsOffline  *obs.Gauge
 	jobsActive    *obs.Gauge
 	jobsSuspended *obs.Gauge
 	best          *obs.Gauge
+
+	agentFailures *obs.Counter
+	replacements  *obs.Counter
 
 	poolPromSlots *obs.Gauge
 	poolOppSlots  *obs.Gauge
@@ -66,6 +70,9 @@ func newExpMetrics(r *obs.Registry) *expMetrics {
 		completions:     r.Counter(obs.CompletionsTotal),
 		slotsTotal:      r.Gauge(obs.SlotsTotal),
 		slotsBusy:       r.Gauge(obs.SlotsBusy),
+		slotsOffline:    r.Gauge(obs.SlotsOffline),
+		agentFailures:   r.Counter(obs.AgentFailuresTotal),
+		replacements:    r.Counter(obs.JobReplacementsTotal),
 		jobsActive:      r.Gauge(obs.JobsActive),
 		jobsSuspended:   r.Gauge(obs.JobsSuspended),
 		best:            r.Gauge(obs.BestMetric),
@@ -117,9 +124,9 @@ func (e *Experiment) refreshGauges() {
 	if e.met.reg == nil {
 		return
 	}
-	total := e.rm.Total()
-	e.met.slotsTotal.Set(float64(total))
-	e.met.slotsBusy.Set(float64(total - e.rm.IdleCount()))
+	e.met.slotsTotal.Set(float64(e.rm.Total()))
+	e.met.slotsBusy.Set(float64(e.rm.BusyCount()))
+	e.met.slotsOffline.Set(float64(e.rm.OfflineCount()))
 	suspended := e.jm.SuspendedCount()
 	e.met.jobsSuspended.Set(float64(suspended))
 	e.met.jobsActive.Set(float64(len(e.jm.Active())))

@@ -6,9 +6,54 @@ import (
 	"sync"
 	"time"
 
+	"github.com/hyperdrive-ml/hyperdrive/internal/obs"
 	"github.com/hyperdrive-ml/hyperdrive/internal/sched"
 	"github.com/hyperdrive-ml/hyperdrive/internal/wire"
 )
+
+// HeartbeatConfig tunes the scheduler-side liveness probe: MsgPing is
+// sent every Interval, and the agent is declared dead once Misses
+// consecutive pings go unanswered — which covers both clean connection
+// resets (caught immediately by the read loop) and silent partitions
+// where the TCP stream stays open but nothing flows.
+type HeartbeatConfig struct {
+	// Interval between pings; 0 disables the heartbeat loop.
+	Interval time.Duration
+	// Misses is how many consecutive unanswered pings declare the
+	// agent dead; values < 1 default to DefaultHeartbeatMisses.
+	Misses int
+}
+
+// Default heartbeat parameters: a dead agent is detected within
+// roughly Interval * (Misses + 1).
+const (
+	DefaultHeartbeatInterval = 2 * time.Second
+	DefaultHeartbeatMisses   = 3
+)
+
+// withDefaults fills zero fields. A zero Interval stays zero: the
+// heartbeat is opt-in at the AgentClient layer (the supervisor always
+// enables it).
+func (h HeartbeatConfig) withDefaults() HeartbeatConfig {
+	if h.Misses < 1 {
+		h.Misses = DefaultHeartbeatMisses
+	}
+	return h
+}
+
+// AgentClientOptions configures the scheduler side of one agent
+// connection.
+type AgentClientOptions struct {
+	// Heartbeat enables the liveness probe when Interval > 0.
+	Heartbeat HeartbeatConfig
+	// Obs, when non-nil, receives the heartbeat-RTT histogram.
+	Obs *obs.Registry
+	// OnDown, when non-nil, is invoked exactly once when the
+	// connection is declared dead — before the per-job loss events are
+	// emitted, so a supervisor can quarantine the agent's slots first.
+	// It is not invoked on a clean Close.
+	OnDown func(cause error)
+}
 
 // AgentClient is the scheduler-side Executor backed by one remote node
 // agent over the wire protocol. Each of the agent's slots appears as
@@ -18,16 +63,26 @@ type AgentClient struct {
 	agentID string
 	slots   []SlotID
 	events  chan<- Event
+	hb      HeartbeatConfig
+	onDown  func(error)
+	rtt     *obs.Histogram
 
-	mu       sync.Mutex
-	jobSlots map[sched.JobID]SlotID
-	free     []SlotID
-	closed   bool
-	done     chan struct{}
+	mu        sync.Mutex
+	jobSlots  map[sched.JobID]SlotID
+	free      []SlotID
+	closed    bool
+	pings     map[uint64]time.Time // outstanding heartbeat sends by seq
+	seq       uint64
+	deadCause error // heartbeat verdict, reported instead of the raw read error
+
+	stopOnce sync.Once
+	stop     chan struct{} // closed by Close: aborts event sends and the heartbeat
+	done     chan struct{} // closed when readLoop exits
 }
 
 // DialAgent connects to an agent, performs the Hello handshake, and
-// starts the event-forwarding reader.
+// starts the event-forwarding reader. The heartbeat is off; use
+// DialAgentSupervised for the fault-tolerant client.
 func DialAgent(addr string, events chan<- Event) (*AgentClient, error) {
 	nc, err := net.DialTimeout("tcp", addr, 10*time.Second)
 	if err != nil {
@@ -36,9 +91,16 @@ func DialAgent(addr string, events chan<- Event) (*AgentClient, error) {
 	return NewAgentClient(nc, events)
 }
 
-// NewAgentClient wraps an established connection (exposed for tests
-// over net.Pipe).
+// NewAgentClient wraps an established connection with default options
+// (exposed for tests over net.Pipe).
 func NewAgentClient(nc net.Conn, events chan<- Event) (*AgentClient, error) {
+	return NewAgentClientOpts(nc, events, AgentClientOptions{})
+}
+
+// NewAgentClientOpts wraps an established connection, performs the
+// Hello handshake, and starts the reader (plus the heartbeat loop when
+// enabled).
+func NewAgentClientOpts(nc net.Conn, events chan<- Event, opts AgentClientOptions) (*AgentClient, error) {
 	conn := wire.NewConn(nc)
 	msg, err := conn.Recv()
 	if err != nil {
@@ -62,7 +124,12 @@ func NewAgentClient(nc net.Conn, events chan<- Event) (*AgentClient, error) {
 		conn:     conn,
 		agentID:  hello.AgentID,
 		events:   events,
+		hb:       opts.Heartbeat.withDefaults(),
+		onDown:   opts.OnDown,
+		rtt:      opts.Obs.Histogram(obs.HeartbeatRTTSeconds),
 		jobSlots: make(map[sched.JobID]SlotID),
+		pings:    make(map[uint64]time.Time),
+		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
 	for i := 0; i < hello.Slots; i++ {
@@ -71,6 +138,9 @@ func NewAgentClient(nc net.Conn, events chan<- Event) (*AgentClient, error) {
 		c.free = append(c.free, s)
 	}
 	go c.readLoop()
+	if c.hb.Interval > 0 {
+		go c.heartbeatLoop()
+	}
 	return c, nil
 }
 
@@ -79,6 +149,10 @@ func (c *AgentClient) AgentID() string { return c.agentID }
 
 // Slots implements Executor.
 func (c *AgentClient) Slots() []SlotID { return append([]SlotID(nil), c.slots...) }
+
+// Done is closed when the connection's read loop has exited — the
+// client is dead (or cleanly closed) and will never emit again.
+func (c *AgentClient) Done() <-chan struct{} { return c.done }
 
 // Start implements Executor.
 func (c *AgentClient) Start(spec StartSpec) error {
@@ -123,18 +197,27 @@ func (c *AgentClient) Start(spec StartSpec) error {
 	return nil
 }
 
-// Close implements Executor.
+// Close implements Executor. Safe to call more than once and after a
+// connection failure; it never blocks on a wedged event channel.
 func (c *AgentClient) Close() error {
 	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return nil
-	}
 	c.closed = true
 	c.mu.Unlock()
+	c.stopOnce.Do(func() { close(c.stop) })
 	err := c.conn.Close()
 	<-c.done
 	return err
+}
+
+// emit delivers one event unless the client is shutting down, so a
+// blocked consumer can never deadlock Close.
+func (c *AgentClient) emit(ev Event) bool {
+	select {
+	case c.events <- ev:
+		return true
+	case <-c.stop:
+		return false
+	}
 }
 
 // releaseSlot frees the slot bound to a job.
@@ -157,6 +240,89 @@ func (c *AgentClient) slotOf(job sched.JobID) SlotID {
 	return c.jobSlots[job]
 }
 
+// heartbeatLoop pings the agent every hb.Interval, declaring it dead
+// once hb.Misses consecutive pings are outstanding. Death is enacted by
+// closing the connection: the read loop surfaces the failure through
+// the usual failAll path with the heartbeat verdict as cause.
+func (c *AgentClient) heartbeatLoop() {
+	t := time.NewTicker(c.hb.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-c.done:
+			return
+		case <-t.C:
+		}
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return
+		}
+		if len(c.pings) >= c.hb.Misses {
+			c.deadCause = fmt.Errorf("heartbeat: %d pings unanswered over %v",
+				len(c.pings), time.Duration(len(c.pings))*c.hb.Interval)
+			c.mu.Unlock()
+			c.conn.Close()
+			return
+		}
+		c.seq++
+		seq := c.seq
+		c.pings[seq] = time.Now()
+		c.mu.Unlock()
+		t0 := time.Now()
+		if c.conn.Send(wire.Message{Type: wire.MsgPing, Seq: seq}) != nil {
+			// Write failure: the read loop will (or already did) see the
+			// same dead connection; closing just accelerates it.
+			c.conn.Close()
+			return
+		}
+		if time.Since(t0) > c.hb.Interval {
+			// The ping queued behind a large frame (e.g. a snapshot
+			// upload) on our own write path. The silence was local
+			// congestion, not the agent — don't hold it against it.
+			c.forgivePings()
+		}
+	}
+}
+
+// forgivePings clears all outstanding heartbeat probes: any frame from
+// the agent is proof of life, so a busy connection streaming stats can
+// never be declared dead just because pongs queue behind the data.
+func (c *AgentClient) forgivePings() {
+	if c.hb.Interval <= 0 {
+		return
+	}
+	c.mu.Lock()
+	for s := range c.pings {
+		delete(c.pings, s)
+	}
+	c.mu.Unlock()
+}
+
+// handlePong credits one heartbeat reply: the matching ping's RTT is
+// recorded and every older outstanding ping is forgiven (any pong is
+// proof of life).
+func (c *AgentClient) handlePong(seq uint64) {
+	var rtt time.Duration
+	seen := false
+	c.mu.Lock()
+	if t0, ok := c.pings[seq]; ok {
+		rtt = time.Since(t0)
+		seen = true
+	}
+	for s := range c.pings {
+		if s <= seq || seq == 0 {
+			delete(c.pings, s)
+		}
+	}
+	c.mu.Unlock()
+	if seen {
+		c.rtt.Observe(rtt.Seconds())
+	}
+}
+
 // readLoop converts wire messages into executor Events.
 func (c *AgentClient) readLoop() {
 	defer close(c.done)
@@ -166,16 +332,22 @@ func (c *AgentClient) readLoop() {
 			c.failAll(err)
 			return
 		}
+		if msg.Type != wire.MsgPong {
+			c.forgivePings()
+		}
 		switch msg.Type {
 		case wire.MsgAppStat:
 			var p wire.AppStatPayload
 			if msg.Decode(&p) != nil {
 				continue
 			}
-			c.events <- Event{
+			ok := c.emit(Event{
 				Kind: EvStat, Job: sched.JobID(p.JobID), Slot: c.slotOf(sched.JobID(p.JobID)),
 				Epoch: p.Epoch, Metric: p.Metric, Duration: time.Duration(p.Dur0nsec),
 				Pred: p.Predict, HasPred: p.HasPred,
+			})
+			if !ok {
+				return
 			}
 		case wire.MsgIterDone:
 			var p wire.IterDonePayload
@@ -183,9 +355,12 @@ func (c *AgentClient) readLoop() {
 				continue
 			}
 			reply := make(chan sched.Decision, 1)
-			c.events <- Event{
+			ok := c.emit(Event{
 				Kind: EvIterDone, Job: sched.JobID(p.JobID), Slot: c.slotOf(sched.JobID(p.JobID)),
 				Epoch: p.Epoch, Reply: reply,
+			})
+			if !ok {
+				return
 			}
 			go c.forwardDecision(p.JobID, reply)
 		case wire.MsgSnapshot:
@@ -193,9 +368,12 @@ func (c *AgentClient) readLoop() {
 			if msg.Decode(&p) != nil {
 				continue
 			}
-			c.events <- Event{
+			ok := c.emit(Event{
 				Kind: EvSnapshot, Job: sched.JobID(p.JobID), Slot: c.slotOf(sched.JobID(p.JobID)),
 				Epoch: p.Epoch, Snapshot: p.State, SnapSize: len(p.State),
+			})
+			if !ok {
+				return
 			}
 		case wire.MsgJobExited:
 			var p wire.JobExitedPayload
@@ -219,30 +397,52 @@ func (c *AgentClient) readLoop() {
 			if p.Error != "" {
 				ev.Err = fmt.Errorf("agent %s: %s", c.agentID, p.Error)
 			}
-			c.events <- ev
+			if !c.emit(ev) {
+				return
+			}
 		case wire.MsgError:
 			var p wire.ErrorPayload
 			if msg.Decode(&p) != nil {
 				continue
 			}
-			if p.JobID != "" {
-				job := sched.JobID(p.JobID)
-				slot := c.releaseSlot(job)
-				c.events <- Event{
-					Kind: EvExited, Job: job, Slot: slot, Reason: ExitError,
+			if p.JobID == "" {
+				// Agent-level fault: the agent is alive but something
+				// outside any job went wrong. Surface it instead of
+				// swallowing it.
+				ok := c.emit(Event{
+					Kind: EvAgentError, Agent: c.agentID,
 					Err: fmt.Errorf("agent %s: %s", c.agentID, p.Message),
+				})
+				if !ok {
+					return
 				}
+				continue
+			}
+			job := sched.JobID(p.JobID)
+			slot := c.releaseSlot(job)
+			ok := c.emit(Event{
+				Kind: EvExited, Job: job, Slot: slot, Reason: ExitError,
+				Err: fmt.Errorf("agent %s: %s", c.agentID, p.Message),
+			})
+			if !ok {
+				return
 			}
 		case wire.MsgPong:
-			// Health response; nothing to do.
+			c.handlePong(msg.Seq)
 		}
 	}
 }
 
 // forwardDecision relays one OnIterationFinish verdict to the agent.
 func (c *AgentClient) forwardDecision(jobID string, reply <-chan sched.Decision) {
-	d, ok := <-reply
-	if !ok {
+	var d sched.Decision
+	select {
+	case got, ok := <-reply:
+		if !ok {
+			return
+		}
+		d = got
+	case <-c.stop:
 		return
 	}
 	var s string
@@ -260,14 +460,19 @@ func (c *AgentClient) forwardDecision(jobID string, reply <-chan sched.Decision)
 	}
 }
 
-// failAll reports every outstanding job as errored when the agent
-// connection drops — the failure-injection path the scheduler handles
-// by terminating the affected jobs and reallocating their slots.
+// failAll declares the connection dead: the client is marked closed so
+// no further Start can bind a slot on it, the supervisor hook (if any)
+// runs first so slots can be quarantined, and every outstanding job is
+// reported lost — the re-placement path, not a training failure.
 func (c *AgentClient) failAll(cause error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		return
+	}
+	c.closed = true
+	if c.deadCause != nil {
+		cause = c.deadCause
 	}
 	jobs := make(map[sched.JobID]SlotID, len(c.jobSlots))
 	for j, s := range c.jobSlots {
@@ -275,10 +480,16 @@ func (c *AgentClient) failAll(cause error) {
 	}
 	c.jobSlots = make(map[sched.JobID]SlotID)
 	c.mu.Unlock()
+	if c.onDown != nil {
+		c.onDown(cause)
+	}
 	for job, slot := range jobs {
-		c.events <- Event{
-			Kind: EvExited, Job: job, Slot: slot, Reason: ExitError,
+		ok := c.emit(Event{
+			Kind: EvExited, Job: job, Slot: slot, Reason: ExitLost,
 			Err: fmt.Errorf("agent %s connection lost: %v", c.agentID, cause),
+		})
+		if !ok {
+			return
 		}
 	}
 }

@@ -61,6 +61,20 @@ const (
 	AgentJobsRunning    = "hyperdrive_agent_jobs_running"
 	AgentStatsTotal     = "hyperdrive_agent_stats_total"
 	AgentSnapshotsTotal = "hyperdrive_agent_snapshots_total"
+
+	// SlotsOffline gauges slots quarantined because their agent is
+	// unreachable: capacity the scheduler knows it must not use.
+	SlotsOffline = "hyperdrive_slots_offline"
+	// AgentFailuresTotal counts agent-down declarations (missed
+	// heartbeats or connection loss).
+	AgentFailuresTotal = "hyperdrive_agent_failures_total"
+	// JobReplacementsTotal counts jobs lost with a usable snapshot that
+	// were re-queued for resumption on a healthy slot instead of being
+	// terminated.
+	JobReplacementsTotal = "hyperdrive_job_replacements_total"
+	// HeartbeatRTTSeconds is the scheduler-side histogram of
+	// ping→pong round-trip times to node agents.
+	HeartbeatRTTSeconds = "hyperdrive_heartbeat_rtt_seconds"
 )
 
 // DecisionsTotal returns the labeled series name counting
@@ -74,4 +88,18 @@ func DecisionsTotal(decision string) string {
 // name, e.g. hyperdrive_slot_epochs_per_second{slot="s0"}.
 func SlotEpochsPerSecond(slot string) string {
 	return fmt.Sprintf(`hyperdrive_slot_epochs_per_second{slot=%q}`, slot)
+}
+
+// AgentUp returns the labeled liveness gauge name for one agent, e.g.
+// hyperdrive_agent_up{agent="a1"}: 1 while the supervisor holds a
+// healthy connection, 0 while the agent is down/reconnecting.
+func AgentUp(agent string) string {
+	return fmt.Sprintf(`hyperdrive_agent_up{agent=%q}`, agent)
+}
+
+// AgentReconnectsTotal returns the labeled counter name of successful
+// re-handshakes to one agent, e.g.
+// hyperdrive_agent_reconnects_total{agent="a1"}.
+func AgentReconnectsTotal(agent string) string {
+	return fmt.Sprintf(`hyperdrive_agent_reconnects_total{agent=%q}`, agent)
 }

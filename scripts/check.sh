@@ -17,4 +17,9 @@ go run ./cmd/hdlint ./...
 echo ">> go test -race -short ./..."
 go test -race -short -timeout 20m ./...
 
+# The chaos e2e (kill + revive an agent mid-experiment) also skips
+# under -short, so run it explicitly, race-enabled and bounded.
+echo ">> go test -race -run TestChaos ./internal/cluster"
+go test -race -run 'TestChaos' -count=1 -timeout 5m ./internal/cluster
+
 echo "OK"
