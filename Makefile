@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint check bench-obs
+.PHONY: build test lint check bench-obs bench-fit
 
 build:
 	$(GO) build ./...
@@ -21,3 +21,9 @@ check:
 # and refresh the committed baseline.
 bench-obs:
 	$(GO) run ./cmd/hdbench -obs-bench BENCH_obs.json
+
+# bench-fit: measure serial-vs-parallel MCMC fit latency and the
+# batch-sweep speedup at the paper's MCMC budget, and refresh the
+# committed baseline.
+bench-fit:
+	$(GO) run ./cmd/hdbench -fit-bench BENCH_fit.json

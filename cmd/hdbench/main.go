@@ -34,12 +34,17 @@ func run(args []string) error {
 		out   = fs.String("out", "results", "CSV output directory (empty to disable)")
 		list  = fs.Bool("list", false, "list figure IDs and exit")
 		obsJS = fs.String("obs-bench", "", "measure obs-registry overhead on the simulator hot path and write the report to this file (e.g. BENCH_obs.json)")
+		fitJS = fs.String("fit-bench", "", "measure serial-vs-parallel MCMC fit latency and batch-sweep speedup and write the report to this file (e.g. BENCH_fit.json)")
+		fitSc = fs.String("fit-scale", "paper", "-fit-bench MCMC budget: paper (100x700) | fast (smoke)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *obsJS != "" {
 		return runObsBench(*obsJS, *seed)
+	}
+	if *fitJS != "" {
+		return runFitBench(*fitJS, *fitSc, *seed)
 	}
 	if *list {
 		for _, id := range figures.IDs() {

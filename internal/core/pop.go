@@ -45,6 +45,15 @@ func (c Class) String() string {
 // non-decreasing in m for learning curves; Estimate clamps violations.
 type ProbFunc func(m int) float64
 
+// ProbBatchFunc is the batch counterpart of ProbFunc: it returns
+// P(y(m) >= y_target | observed history) for every absolute epoch m
+// in [from, to] inclusive (element k corresponds to m = from+k).
+// Posterior back-ends use it to evaluate each sample's curve once per
+// epoch range instead of once per (epoch, query)
+// (curve.Posterior.ProbSweep), turning the up-to-(maxEpoch-curEpoch)
+// probability queries of one ERT estimate into a single sweep.
+type ProbBatchFunc func(from, to int) []float64
+
 // Estimate is the per-configuration output of §3.1: expected remaining
 // epochs and time to reach the target, plus the prediction confidence
 // p = sum of the arrival-time pmf within the remaining budget.
@@ -88,21 +97,8 @@ func (e Estimate) Satisfying() bool { return !e.Truncated && e.Confidence > 0 }
 // remaining budget, in which case ERT = remaining and the estimate is
 // marked truncated.
 func EstimateERT(jobID string, prob ProbFunc, curEpoch, maxEpoch int, epochDur, remaining time.Duration) Estimate {
-	est := Estimate{JobID: jobID, EpochDuration: epochDur}
-	if epochDur <= 0 || remaining <= 0 || curEpoch >= maxEpoch {
-		est.ERT = remaining
-		est.Truncated = true
-		return est
-	}
-	// M_i = (Tmax - Tpass) / Epoch_i, additionally capped by the
-	// job's own epoch budget.
-	m := int(float64(remaining) / float64(epochDur))
-	if rem := maxEpoch - curEpoch; m > rem {
-		m = rem
-	}
-	if m < 1 {
-		est.ERT = remaining
-		est.Truncated = true
+	est, m, ok := estimateHorizon(jobID, curEpoch, maxEpoch, epochDur, remaining)
+	if !ok {
 		return est
 	}
 
@@ -141,6 +137,51 @@ func EstimateERT(jobID string, prob ProbFunc, curEpoch, maxEpoch int, epochDur, 
 		est.Truncated = true
 	}
 	return est
+}
+
+// EstimateERTBatch is EstimateERT over a batch probability source: the
+// whole P(curEpoch .. curEpoch+M) range is requested in one call and
+// fed through the identical §3.1.1 summation, so the result is
+// bit-equal to the per-epoch path whenever the batch source agrees
+// pointwise with its ProbFunc counterpart. One boundary estimate then
+// costs one posterior sweep instead of up to maxEpoch-curEpoch
+// independent posterior passes.
+func EstimateERTBatch(jobID string, prob ProbBatchFunc, curEpoch, maxEpoch int, epochDur, remaining time.Duration) Estimate {
+	est, m, ok := estimateHorizon(jobID, curEpoch, maxEpoch, epochDur, remaining)
+	if !ok {
+		return est
+	}
+	probs := prob(curEpoch, curEpoch+m)
+	if len(probs) < m+1 {
+		// A misbehaving source cannot support an estimate; treat it
+		// like an exhausted budget rather than indexing out of range.
+		est.ERT = remaining
+		est.Truncated = true
+		return est
+	}
+	return EstimateERT(jobID, func(e int) float64 { return probs[e-curEpoch] }, curEpoch, maxEpoch, epochDur, remaining)
+}
+
+// estimateHorizon applies EstimateERT's degenerate-input guards and
+// computes M_i = (Tmax - Tpass) / Epoch_i capped by the job's epoch
+// budget. ok is false when the returned estimate is already final.
+func estimateHorizon(jobID string, curEpoch, maxEpoch int, epochDur, remaining time.Duration) (est Estimate, m int, ok bool) {
+	est = Estimate{JobID: jobID, EpochDuration: epochDur}
+	if epochDur <= 0 || remaining <= 0 || curEpoch >= maxEpoch {
+		est.ERT = remaining
+		est.Truncated = true
+		return est, 0, false
+	}
+	m = int(float64(remaining) / float64(epochDur))
+	if rem := maxEpoch - curEpoch; m > rem {
+		m = rem
+	}
+	if m < 1 {
+		est.ERT = remaining
+		est.Truncated = true
+		return est, 0, false
+	}
+	return est, m, true
 }
 
 // Allocation is the outcome of the §3.2 infused classification &

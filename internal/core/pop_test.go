@@ -195,6 +195,48 @@ func TestEstimateERTProperties(t *testing.T) {
 	}
 }
 
+// TestEstimateERTBatchMatchesFunc pins the batch path's equivalence
+// contract: given a batch source that agrees pointwise with a
+// ProbFunc, EstimateERTBatch returns a field-for-field identical
+// estimate, across random posteriors, horizons, and budgets
+// (including truncated and zero-mass cases).
+func TestEstimateERTBatchMatchesFunc(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pmax := rng.Float64()
+		e0 := rng.Intn(80)
+		e1 := e0 + 1 + rng.Intn(60)
+		prob := rampProb(e0, e1, pmax)
+		batch := func(from, to int) []float64 {
+			out := make([]float64, 0, to-from+1)
+			for m := from; m <= to; m++ {
+				out = append(out, prob(m))
+			}
+			return out
+		}
+		curEpoch := rng.Intn(130) // occasionally past maxEpoch: degenerate guard path
+		epochDur := time.Duration(rng.Intn(121)) * time.Second
+		remaining := time.Duration(rng.Intn(601)) * time.Minute
+		a := EstimateERT("j", prob, curEpoch, 120, epochDur, remaining)
+		b := EstimateERTBatch("j", batch, curEpoch, 120, epochDur, remaining)
+		return a == b
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEstimateERTBatchShortSource pins the defensive path: a source
+// returning fewer values than requested yields a truncated estimate
+// instead of a panic.
+func TestEstimateERTBatchShortSource(t *testing.T) {
+	short := func(from, to int) []float64 { return make([]float64, 2) }
+	est := EstimateERTBatch("j", short, 10, 120, time.Minute, time.Hour)
+	if !est.Truncated || est.ERT != time.Hour {
+		t.Fatalf("short batch source: got %+v, want truncated with ERT = remaining", est)
+	}
+}
+
 func mkEst(id string, conf float64, ert time.Duration, truncated bool) Estimate {
 	return Estimate{JobID: id, Confidence: conf, ERT: ert, Truncated: truncated}
 }

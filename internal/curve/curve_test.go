@@ -99,9 +99,9 @@ func TestEnsemblePriorRejects(t *testing.T) {
 }
 
 func TestSamplerDrawZBounds(t *testing.T) {
-	s := &sampler{a: 2, rng: rand.New(rand.NewSource(3))}
+	rng := rand.New(rand.NewSource(3))
 	for i := 0; i < 10000; i++ {
-		z := s.drawZ()
+		z := drawZ(2, rng)
 		if z < 0.5-1e-12 || z > 2+1e-12 {
 			t.Fatalf("drawZ = %v out of [1/a, a]", z)
 		}
@@ -301,6 +301,79 @@ func TestPredictorModelNames(t *testing.T) {
 	p := MustPredictor(FastConfig())
 	if p.ModelNames() == "" {
 		t.Fatal("empty model names")
+	}
+}
+
+// TestProbSweepMatchesProbAtLeast pins the batch API's contract:
+// every element is bit-identical to the scalar call (both run the same
+// fixed block-summation tree) and both agree with a plain serial
+// marginalization oracle up to summation-order rounding.
+func TestProbSweepMatchesProbAtLeast(t *testing.T) {
+	p := MustPredictor(FastConfig())
+	post, err := p.Fit(synthCurve(25, 0.7, 0.04, 0.01, 13), 120, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Independent oracle: a straight sample loop over the raw draws.
+	oracle := func(m int, target float64) float64 {
+		if m < 1 {
+			m = 1
+		}
+		ens := PosteriorEnsembleForTest(post)
+		var sum float64
+		n := 0
+		for _, th := range post.RawSamples() {
+			pred := ens.eval(float64(m), th)
+			if math.IsNaN(pred) {
+				continue
+			}
+			sum += gaussCDF((pred - target) / ens.sigma(th))
+			n++
+		}
+		if n == 0 {
+			return 0
+		}
+		return sum / float64(n)
+	}
+	for _, target := range []float64{0.3, 0.6, 0.9} {
+		sweep := post.ProbSweep(0, 120, target)
+		if len(sweep) != 121 {
+			t.Fatalf("sweep length %d, want 121", len(sweep))
+		}
+		for m := 0; m <= 120; m++ {
+			if want := post.ProbAtLeast(m, target); sweep[m] != want {
+				t.Fatalf("ProbSweep[%d] = %v, ProbAtLeast = %v (target %v)", m, sweep[m], want, target)
+			}
+			if want := oracle(m, target); math.Abs(sweep[m]-want) > 1e-12 {
+				t.Fatalf("ProbSweep[%d] = %v, oracle = %v (target %v)", m, sweep[m], want, target)
+			}
+		}
+	}
+	// Degenerate range clamps like the scalar path.
+	if got := post.ProbSweep(5, 3, 0.5); len(got) != 1 || got[0] != post.ProbAtLeast(5, 0.5) {
+		t.Fatalf("inverted range: got %v", got)
+	}
+}
+
+// TestPredictRangeMatchesPredict pins the batch mean/std path and its
+// interaction with the shared cache.
+func TestPredictRangeMatchesPredict(t *testing.T) {
+	p := MustPredictor(FastConfig())
+	post, err := p.Fit(synthCurve(25, 0.7, 0.04, 0.01, 17), 120, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm part of the cache through the scalar path first.
+	post.Predict(40)
+	means, stds := post.PredictRange(1, 80)
+	if len(means) != 80 || len(stds) != 80 {
+		t.Fatalf("range lengths = %d, %d, want 80", len(means), len(stds))
+	}
+	for m := 1; m <= 80; m++ {
+		wm, ws := post.Predict(m)
+		if means[m-1] != wm || stds[m-1] != ws {
+			t.Fatalf("PredictRange[%d] = (%v, %v), Predict = (%v, %v)", m, means[m-1], stds[m-1], wm, ws)
+		}
 	}
 }
 

@@ -1,0 +1,157 @@
+package curve_test
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/hyperdrive-ml/hyperdrive/internal/core"
+	"github.com/hyperdrive-ml/hyperdrive/internal/curve"
+)
+
+// detObs is a fixed noisy rising prefix shared by the determinism
+// tests (values, not generation, are what matters here).
+func detObs() []float64 {
+	return []float64{
+		0.11, 0.19, 0.27, 0.33, 0.39, 0.43, 0.47, 0.50,
+		0.53, 0.55, 0.58, 0.59, 0.61, 0.63, 0.64, 0.66,
+		0.67, 0.68, 0.69, 0.70, 0.70, 0.71, 0.72, 0.72,
+	}
+}
+
+func fitWithWorkers(t *testing.T, workers int) *curve.Posterior {
+	t.Helper()
+	cfg := curve.FastConfig()
+	cfg.Workers = workers
+	post, err := curve.MustPredictor(cfg).Fit(detObs(), 120, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return post
+}
+
+// samplesEqual asserts two posteriors hold byte-identical samples and
+// agree exactly on the derived prediction surfaces.
+func samplesEqual(t *testing.T, want, got *curve.Posterior, label string) {
+	t.Helper()
+	ws, gs := want.RawSamples(), got.RawSamples()
+	if len(ws) != len(gs) {
+		t.Fatalf("%s: sample counts differ: %d vs %d", label, len(ws), len(gs))
+	}
+	for i := range ws {
+		if len(ws[i]) != len(gs[i]) {
+			t.Fatalf("%s: sample %d dims differ", label, i)
+		}
+		for d := range ws[i] {
+			if ws[i][d] != gs[i][d] {
+				t.Fatalf("%s: sample %d dim %d differs: %v vs %v", label, i, d, ws[i][d], gs[i][d])
+			}
+		}
+	}
+	// Derived surfaces must agree exactly too (quantile cache and sweep).
+	for _, m := range []int{1, 24, 60, 120} {
+		for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+			a, b := want.Quantile(m, q), got.Quantile(m, q)
+			if a != b {
+				t.Fatalf("%s: Quantile(%d, %v) differs: %v vs %v", label, m, q, a, b)
+			}
+		}
+	}
+	pa := want.ProbSweep(1, 120, 0.75)
+	pb := got.ProbSweep(1, 120, 0.75)
+	for k := range pa {
+		if pa[k] != pb[k] {
+			t.Fatalf("%s: ProbSweep[%d] differs: %v vs %v", label, k, pa[k], pb[k])
+		}
+	}
+}
+
+// TestFitDeterministicAcrossWorkers is the tentpole's determinism
+// guarantee: the half-ensemble sampler produces byte-identical
+// posterior samples, acceptance rate, and downstream §3.1.1 estimates
+// no matter how many workers fan out the logPosterior evaluations and
+// no matter what GOMAXPROCS is, and repeated runs with one seed agree.
+func TestFitDeterministicAcrossWorkers(t *testing.T) {
+	serial := fitWithWorkers(t, 1)
+	for _, workers := range []int{2, 3, 8} {
+		par := fitWithWorkers(t, workers)
+		if serial.AcceptRate() != par.AcceptRate() {
+			t.Fatalf("workers=%d: accept rate %v != serial %v", workers, par.AcceptRate(), serial.AcceptRate())
+		}
+		samplesEqual(t, serial, par, "workers")
+
+		// Downstream scheduling estimate: identical to the last bit.
+		probS := func(from, to int) []float64 { return serial.ProbSweep(from, to, 0.75) }
+		probP := func(from, to int) []float64 { return par.ProbSweep(from, to, 0.75) }
+		a := core.EstimateERTBatch("j", probS, 24, 120, time.Minute, 10*time.Hour)
+		b := core.EstimateERTBatch("j", probP, 24, 120, time.Minute, 10*time.Hour)
+		if a != b {
+			t.Fatalf("workers=%d: estimates differ: %+v vs %+v", workers, a, b)
+		}
+	}
+
+	// Repeated run, same seed and workers: identical.
+	again := fitWithWorkers(t, 8)
+	samplesEqual(t, fitWithWorkers(t, 8), again, "repeat")
+}
+
+// TestFitDeterministicAcrossGOMAXPROCS pins the scheduler-independence
+// claim directly: the same parallel fit on a single-P runtime and on
+// the test default produce identical posteriors.
+func TestFitDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	wide := fitWithWorkers(t, 4)
+	prev := runtime.GOMAXPROCS(1)
+	narrow := fitWithWorkers(t, 4)
+	runtime.GOMAXPROCS(prev)
+	if wide.AcceptRate() != narrow.AcceptRate() {
+		t.Fatalf("accept rate differs across GOMAXPROCS: %v vs %v", wide.AcceptRate(), narrow.AcceptRate())
+	}
+	samplesEqual(t, wide, narrow, "gomaxprocs")
+}
+
+// TestThinningCapsKeptSamples pins the stride bugfix: a floor stride
+// kept up to ~2x MaxSamples (total=3000, cap=2000 -> stride 1 ->
+// 3000 kept); the ceiling stride keeps at most MaxSamples.
+func TestThinningCapsKeptSamples(t *testing.T) {
+	cfg := curve.Config{Walkers: 10, Iters: 600, BurnFrac: 0.5, MaxSamples: 2000, StretchA: 2, Seed: 1, Workers: 1}
+	// total = (600 - 300) * 10 = 3000 kept candidates against a 2000 cap.
+	post, err := curve.MustPredictor(cfg).Fit(detObs(), 120, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := post.NumSamples(); got > cfg.MaxSamples {
+		t.Fatalf("NumSamples() = %d exceeds MaxSamples = %d", got, cfg.MaxSamples)
+	}
+	if got := post.NumSamples(); got < cfg.MaxSamples/2 {
+		t.Fatalf("NumSamples() = %d suspiciously far below the %d cap", got, cfg.MaxSamples)
+	}
+}
+
+// TestPredictConcurrentStampede exercises the single-flight Predict
+// path under the race detector: concurrent callers on one epoch must
+// agree and must not corrupt the cache.
+func TestPredictConcurrentStampede(t *testing.T) {
+	post := fitWithWorkers(t, 2)
+	wantMean, wantStd := post.Predict(90)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				m, s := post.Predict(90)
+				if m != wantMean || s != wantStd {
+					t.Errorf("concurrent Predict diverged: (%v, %v) vs (%v, %v)", m, s, wantMean, wantStd)
+					return
+				}
+				lo, hi := post.CredibleBand(90, 0.05, 0.95)
+				if lo > hi {
+					t.Errorf("credible band inverted: %v > %v", lo, hi)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

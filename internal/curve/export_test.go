@@ -1,0 +1,10 @@
+package curve
+
+// RawSamples exposes the posterior draws to the determinism tests,
+// which assert byte-identical samples across worker counts and
+// GOMAXPROCS values.
+func (p *Posterior) RawSamples() [][]float64 { return p.samples }
+
+// PosteriorEnsembleForTest exposes the fitted ensemble so tests can
+// run independent oracle computations over the raw draws.
+func PosteriorEnsembleForTest(p *Posterior) *ensemble { return p.ens }

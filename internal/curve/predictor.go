@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -35,6 +36,11 @@ type Config struct {
 	StretchA float64
 	// Seed makes the sampler deterministic.
 	Seed int64
+	// Workers sizes the worker pool the sampler fans logPosterior
+	// evaluations across; 0 uses GOMAXPROCS, 1 runs fully serial.
+	// The posterior is bit-identical for every value: parallelism
+	// changes wall-clock time, never results.
+	Workers int
 }
 
 // PaperConfig returns the configuration the paper runs in production:
@@ -71,7 +77,18 @@ func (c Config) validate() error {
 	if c.StretchA <= 1 {
 		return fmt.Errorf("curve: stretch parameter must exceed 1, got %v", c.StretchA)
 	}
+	if c.Workers < 0 {
+		return fmt.Errorf("curve: negative worker count %d", c.Workers)
+	}
 	return nil
+}
+
+// workers resolves the effective sampler worker-pool size.
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Predictor fits the ensemble learning-curve model to curve prefixes.
@@ -84,6 +101,7 @@ type Predictor struct {
 	fitDur     *obs.Histogram
 	fitErrors  *obs.Counter
 	acceptRate *obs.Gauge
+	workersG   *obs.Gauge
 }
 
 // NewPredictor builds a predictor over the standard eleven families.
@@ -113,6 +131,8 @@ func (p *Predictor) Instrument(r *obs.Registry) {
 	p.fitDur = r.Histogram(obs.MCMCFitDurationSeconds)
 	p.fitErrors = r.Counter(obs.MCMCFitErrorsTotal)
 	p.acceptRate = r.Gauge(obs.MCMCAcceptRate)
+	p.workersG = r.Gauge(obs.MCMCParallelWorkers)
+	p.workersG.Set(float64(p.cfg.workers()))
 }
 
 // Fit samples the posterior over curve parameters given the observed
@@ -152,7 +172,8 @@ func (p *Predictor) fit(y []float64, xlim int, seed int64) (*Posterior, error) {
 	}
 
 	e := newEnsemble(p.models, xlim)
-	rng := rand.New(rand.NewSource(p.cfg.Seed ^ seed ^ int64(len(y))*0x9e37))
+	sampleSeed := p.cfg.Seed ^ seed ^ int64(len(y))*0x9e37
+	rng := rand.New(rand.NewSource(sampleSeed))
 
 	// Initialize each walker from its own asymptote hypothesis spread
 	// over [slightly-below-current, 1.02]: short prefixes genuinely do
@@ -199,13 +220,16 @@ func (p *Predictor) fit(y []float64, xlim int, seed int64) (*Posterior, error) {
 	total := (p.cfg.Iters - burn) * p.cfg.Walkers
 	stride := 1
 	if p.cfg.MaxSamples > 0 && total > p.cfg.MaxSamples {
-		stride = total / p.cfg.MaxSamples
+		// Ceiling division: a floor stride keeps up to ~2x MaxSamples
+		// (e.g. total=2999, cap=2000 -> stride 1 -> 2999 kept), which
+		// inflates every downstream prediction pass.
+		stride = (total + p.cfg.MaxSamples - 1) / p.cfg.MaxSamples
 	}
 
-	post := &Posterior{ens: e, horizon: xlim}
+	post := &Posterior{ens: e, horizon: xlim, workers: p.cfg.workers()}
 	count := 0
-	s := &sampler{logProb: func(th []float64) float64 { return e.logPosterior(y, th) }, dim: e.dim, a: p.cfg.StretchA, rng: rng}
-	accepted := s.run(walkers, logps, p.cfg.Iters, burn, func(th []float64, lp float64) {
+	s := &sampler{logProb: func(th []float64) float64 { return e.logPosterior(y, th) }, dim: e.dim, a: p.cfg.StretchA, workers: p.cfg.workers()}
+	accepted := s.run(walkers, logps, p.cfg.Iters, burn, sampleSeed, func(th []float64, lp float64) {
 		if count%stride == 0 {
 			cp := make([]float64, len(th))
 			copy(cp, th)
@@ -226,9 +250,11 @@ type Posterior struct {
 	samples    [][]float64
 	horizon    int
 	acceptRate float64
+	workers    int // sweep fan-out width, inherited from Config
 
-	mu    sync.Mutex
-	cache map[int][2]float64 // epoch -> (mean, std) of the mean curve
+	mu     sync.Mutex
+	cache  map[int][2]float64 // epoch -> (mean, std) of the mean curve
+	sorted map[int][]float64  // epoch -> ascending finite sample values
 }
 
 // NumSamples reports the kept posterior sample count.
@@ -242,46 +268,135 @@ func (p *Posterior) Horizon() int { return p.horizon }
 
 // ProbAtLeast returns P(y(m) >= y | observations): the posterior
 // probability that the metric is at least y at epoch m, marginalizing
-// over curves and observation noise.
+// over curves and observation noise. It is a width-1 ProbSweep, so the
+// scalar and batch paths share one summation tree and agree bit for
+// bit.
 func (p *Posterior) ProbAtLeast(m int, y float64) float64 {
-	if m < 1 {
-		m = 1
+	return p.ProbSweep(m, m, y)[0]
+}
+
+// sweepBlock is the fixed sample-block size of the sweep summation
+// tree: contributions are accumulated serially within each block and
+// the block partials combined in block order. The tree shape is part
+// of the result — independent of worker count and GOMAXPROCS — so
+// sweeps stay bit-identical however they are scheduled.
+const sweepBlock = 256
+
+// sweepParallelWork is the epochs x samples product below which a
+// sweep runs on the calling goroutine: fanning a pool out over less
+// work than this costs more than it saves.
+const sweepParallelWork = 1 << 14
+
+// ProbSweep returns P(y(m) >= target | observations) for every epoch
+// m in [from, to] inclusive (element k corresponds to m = from+k) in
+// one sample-major pass: each posterior sample's curve is evaluated
+// once per epoch and its noise scale once in total, instead of once
+// per (epoch, query) as repeated ProbAtLeast calls would, and sample
+// blocks fan out across the fit's worker pool when the range is wide
+// enough to pay for it. Element k is bit-identical to
+// ProbAtLeast(from+k, target) — the scalar path is a width-1 sweep
+// over the same fixed summation tree.
+func (p *Posterior) ProbSweep(from, to int, target float64) []float64 {
+	if to < from {
+		to = from
 	}
-	x := float64(m)
-	var sum float64
-	n := 0
-	for _, th := range p.samples {
-		pred := p.ens.eval(x, th)
-		if math.IsNaN(pred) {
+	width := to - from + 1
+	n := len(p.samples)
+	nb := (n + sweepBlock - 1) / sweepBlock
+	sums := make([][]float64, nb)
+	counts := make([][]int, nb)
+	p.forBlocks(nb, width*n, func(b int) {
+		lo, hi := b*sweepBlock, (b+1)*sweepBlock
+		if hi > n {
+			hi = n
+		}
+		bs := make([]float64, width)
+		bc := make([]int, width)
+		for _, th := range p.samples[lo:hi] {
+			sigma := p.ens.sigma(th)
+			for k := 0; k < width; k++ {
+				m := from + k
+				if m < 1 {
+					m = 1 // same epoch clamp as the scalar path
+				}
+				pred := p.ens.eval(float64(m), th)
+				if math.IsNaN(pred) {
+					continue
+				}
+				bs[k] += gaussCDF((pred - target) / sigma)
+				bc[k]++
+			}
+		}
+		sums[b], counts[b] = bs, bc
+	})
+	out := make([]float64, width)
+	outc := make([]int, width)
+	for b := 0; b < nb; b++ {
+		for k := 0; k < width; k++ {
+			out[k] += sums[b][k]
+			outc[k] += counts[b][k]
+		}
+	}
+	for k := range out {
+		if outc[k] == 0 {
+			out[k] = 0
 			continue
 		}
-		sigma := p.ens.sigma(th)
-		sum += gaussCDF((pred - y) / sigma)
-		n++
+		out[k] /= float64(outc[k])
 	}
-	if n == 0 {
-		return 0
+	return out
+}
+
+// forBlocks invokes fn(0 .. nb-1), striding the blocks across the
+// worker pool when the total work justifies goroutines. Blocks write
+// disjoint slots, so scheduling never affects results.
+func (p *Posterior) forBlocks(nb, work int, fn func(b int)) {
+	workers := p.workers
+	if workers > nb {
+		workers = nb
 	}
-	return sum / float64(n)
+	if workers <= 1 || work < sweepParallelWork {
+		for b := 0; b < nb; b++ {
+			fn(b)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for b := w; b < nb; b += workers {
+				fn(b)
+			}
+		}(w)
+	}
+	wg.Wait()
 }
 
 // Predict returns the posterior mean and standard deviation of the
 // mean curve at epoch m. The standard deviation is the paper's
 // "prediction accuracy" PA (§3.1.1): the std across MCMC samples.
+//
+// The O(samples) computation runs while the posterior mutex is held,
+// which doubles as a single-flight: concurrent boundary estimates for
+// the same epoch wait for the first computation instead of duplicating
+// it (the previous check-unlock-recompute-lock pattern stampeded).
 func (p *Posterior) Predict(m int) (mean, std float64) {
 	if m < 1 {
 		m = 1
 	}
 	p.mu.Lock()
-	if p.cache == nil {
-		p.cache = make(map[int][2]float64)
-	}
+	defer p.mu.Unlock()
+	return p.predictLocked(m)
+}
+
+// predictLocked computes (or returns the cached) mean/std at epoch m.
+// Callers hold p.mu; m is already clamped to >= 1.
+func (p *Posterior) predictLocked(m int) (mean, std float64) {
 	if v, ok := p.cache[m]; ok {
-		p.mu.Unlock()
 		return v[0], v[1]
 	}
-	p.mu.Unlock()
-
 	x := float64(m)
 	var sum, sumsq float64
 	n := 0
@@ -303,16 +418,18 @@ func (p *Posterior) Predict(m int) (mean, std float64) {
 		variance = 0
 	}
 	std = math.Sqrt(variance)
-	p.mu.Lock()
+	if p.cache == nil {
+		p.cache = make(map[int][2]float64)
+	}
 	p.cache[m] = [2]float64{mean, std}
-	p.mu.Unlock()
 	return mean, std
 }
 
-// Band returns the predicted mean curve and +/- one posterior std band
-// for epochs from (1-based) to (inclusive); used to draw Figures 2c
-// and 3.
-func (p *Posterior) Band(from, to int) (means, stds []float64) {
+// PredictRange returns Predict(m) for every m in [from, to] inclusive
+// under a single lock hold, filling the shared (mean, std) cache as it
+// goes: one mutex round trip and one cache pass per epoch range
+// instead of one per epoch.
+func (p *Posterior) PredictRange(from, to int) (means, stds []float64) {
 	if from < 1 {
 		from = 1
 	}
@@ -321,12 +438,21 @@ func (p *Posterior) Band(from, to int) (means, stds []float64) {
 	}
 	means = make([]float64, 0, to-from+1)
 	stds = make([]float64, 0, to-from+1)
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	for m := from; m <= to; m++ {
-		mu, sd := p.Predict(m)
+		mu, sd := p.predictLocked(m)
 		means = append(means, mu)
 		stds = append(stds, sd)
 	}
 	return means, stds
+}
+
+// Band returns the predicted mean curve and +/- one posterior std band
+// for epochs from (1-based) to (inclusive); used to draw Figures 2c
+// and 3.
+func (p *Posterior) Band(from, to int) (means, stds []float64) {
+	return p.PredictRange(from, to)
 }
 
 // gaussCDF is the standard normal CDF.
@@ -336,6 +462,9 @@ func gaussCDF(z float64) float64 {
 
 // Quantile returns the q-quantile (0..1) of the posterior mean-curve
 // distribution at epoch m — the credible bands of Figures 2c and 3.
+// The per-epoch sorted sample values are cached, so repeated quantile
+// queries at one epoch (CredibleBand issues two) evaluate and sort the
+// samples once instead of per call.
 func (p *Posterior) Quantile(m int, q float64) float64 {
 	if m < 1 {
 		m = 1
@@ -346,6 +475,29 @@ func (p *Posterior) Quantile(m int, q float64) float64 {
 	if q > 1 {
 		q = 1
 	}
+	p.mu.Lock()
+	vals := p.sortedLocked(m)
+	p.mu.Unlock()
+	if len(vals) == 0 {
+		return math.NaN()
+	}
+	idx := q * float64(len(vals)-1)
+	lo := int(idx)
+	if lo >= len(vals)-1 {
+		return vals[len(vals)-1]
+	}
+	frac := idx - float64(lo)
+	return vals[lo]*(1-frac) + vals[lo+1]*frac
+}
+
+// sortedLocked returns the ascending finite sample values at epoch m,
+// computing and caching them on first use. Callers hold p.mu; the
+// returned slice is never mutated after insertion, so reading it after
+// the unlock is safe.
+func (p *Posterior) sortedLocked(m int) []float64 {
+	if v, ok := p.sorted[m]; ok {
+		return v
+	}
 	x := float64(m)
 	vals := make([]float64, 0, len(p.samples))
 	for _, th := range p.samples {
@@ -354,17 +506,12 @@ func (p *Posterior) Quantile(m int, q float64) float64 {
 			vals = append(vals, v)
 		}
 	}
-	if len(vals) == 0 {
-		return math.NaN()
-	}
 	sort.Float64s(vals)
-	idx := q * float64(len(vals)-1)
-	lo := int(idx)
-	if lo >= len(vals)-1 {
-		return vals[len(vals)-1]
+	if p.sorted == nil {
+		p.sorted = make(map[int][]float64)
 	}
-	frac := idx - float64(lo)
-	return vals[lo]*(1-frac) + vals[lo+1]*frac
+	p.sorted[m] = vals
+	return vals
 }
 
 // CredibleBand returns the [lo, hi] quantile band at epoch m, e.g.

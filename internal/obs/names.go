@@ -18,6 +18,14 @@ const (
 	MCMCFitErrorsTotal = "hyperdrive_mcmc_fit_errors_total"
 	// MCMCAcceptRate is the last fit's MCMC acceptance rate.
 	MCMCAcceptRate = "hyperdrive_mcmc_accept_rate"
+	// MCMCParallelWorkers gauges the worker-pool size the sampler fans
+	// logPosterior evaluations across (1 = fully serial). Results are
+	// bit-identical for every value; the gauge exists so measured fit
+	// latency can be read against the parallelism that produced it.
+	MCMCParallelWorkers = "hyperdrive_mcmc_parallel_workers"
+	// MCMCFitSpeedup is the serial/parallel fit-latency ratio last
+	// measured by hdbench -fit-bench on this host.
+	MCMCFitSpeedup = "hyperdrive_mcmc_fit_speedup"
 
 	// EpochsTotal counts completed training epochs across all jobs.
 	EpochsTotal = "hyperdrive_epochs_total"

@@ -280,8 +280,11 @@ func (p *POP) estimate(ctx Context, job sched.JobID, rawHistory []float64) core.
 	if err != nil {
 		return core.Estimate{JobID: string(job), ERT: remaining, Truncated: true, EpochDuration: epochDur}
 	}
-	prob := func(m int) float64 { return post.ProbAtLeast(m, target) }
-	return core.EstimateERT(string(job), prob, curEpoch, info.MaxEpoch, epochDur, remaining)
+	// Batch path: one sample-major posterior sweep per boundary instead
+	// of one full posterior pass per queried epoch (bit-identical to the
+	// per-epoch ProbAtLeast path).
+	prob := func(from, to int) []float64 { return post.ProbSweep(from, to, target) }
+	return core.EstimateERTBatch(string(job), prob, curEpoch, info.MaxEpoch, epochDur, remaining)
 }
 
 // allocate runs the §3.2 slot division over the active jobs' cached

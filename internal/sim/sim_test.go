@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math/rand"
+	"reflect"
 	"sort"
 	"testing"
 	"time"
@@ -206,6 +207,33 @@ func TestPOPEndToEnd(t *testing.T) {
 	}
 	t.Logf("POP: reached=%v ttt=%v suspends=%d terms=%d fits=%d",
 		res.Reached, res.TimeToTarget, res.Suspends, res.Terminations, res.Fits)
+}
+
+// TestPOPReplayInvariantToPredictorWorkers pins end-to-end schedule
+// determinism over the parallel sampler: a whole simulated experiment
+// — every fit, estimate, classification, and suspend — is identical
+// whether the MCMC worker pool is serial or wide, because posterior
+// draws are schedule-independent.
+func TestPOPReplayInvariantToPredictorWorkers(t *testing.T) {
+	tr := testTrace(t, 16, 7)
+	run := func(workers int) *Result {
+		cfg := tinyPredictor()
+		cfg.Workers = workers
+		pop, err := policy.NewPOP(policy.POPOptions{Predictor: cfg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(Options{Trace: tr, Machines: 4, Policy: pop, StopAtTarget: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1)
+	wide := run(4)
+	if !reflect.DeepEqual(serial, wide) {
+		t.Fatalf("simulation diverged across predictor worker counts:\nserial: %+v\nwide:   %+v", serial, wide)
+	}
 }
 
 func TestPOPBeatsDefaultOnTimeToTarget(t *testing.T) {

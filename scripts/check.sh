@@ -22,4 +22,12 @@ go test -race -short -timeout 20m ./...
 echo ">> go test -race -run TestChaos ./internal/cluster"
 go test -race -run 'TestChaos' -count=1 -timeout 5m ./internal/cluster
 
+# Smoke the prediction-path benchmark at the reduced MCMC budget: it
+# cross-checks serial-vs-parallel posterior determinism and the batch
+# estimate's exact equivalence, not just latency.
+echo ">> hdbench -fit-bench (smoke)"
+fitjson="$(mktemp)"
+go run ./cmd/hdbench -fit-bench "$fitjson" -fit-scale fast
+rm -f "$fitjson"
+
 echo "OK"
