@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint check bench-obs bench-fit
+.PHONY: build test lint check bench-obs bench-fit bench-trace trace-demo
 
 build:
 	$(GO) build ./...
@@ -27,3 +27,19 @@ bench-obs:
 # committed baseline.
 bench-fit:
 	$(GO) run ./cmd/hdbench -fit-bench BENCH_fit.json
+
+# bench-trace: measure the tracing stack's overhead (flight recorder +
+# Chrome trace export) on the simulator hot path and refresh the
+# committed baseline.
+bench-trace:
+	$(GO) run ./cmd/hdbench -trace-bench BENCH_trace.json
+
+# trace-demo: run a small live experiment with trace export, rebuild a
+# second trace from its event log, and validate both — then load
+# demo.trace.json in Perfetto (ui.perfetto.dev) to browse it.
+trace-demo:
+	$(GO) run ./cmd/hyperdrive -policy pop -machines 2 -jobs 6 -speedup 200000 \
+		-log demo.jsonl -trace-out demo.trace.json
+	$(GO) run ./cmd/hdlog -in demo.jsonl -trace demo.log.trace.json
+	$(GO) run ./cmd/hdlog -check-trace demo.trace.json
+	$(GO) run ./cmd/hdlog -check-trace demo.log.trace.json

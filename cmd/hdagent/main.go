@@ -45,6 +45,7 @@ func run(args []string) error {
 		seedFlag = fs.Int64("seed", 1, "checkpoint model seed")
 		obsAddr  = fs.String("obs", "", "serve the introspection endpoint (/metrics, /metrics.json) on this address")
 		pprof    = fs.Bool("pprof", false, "mount /debug/pprof/ on the introspection endpoint")
+		traceOut = fs.String("trace-out", "", "write a Chrome trace of this agent's job activity to this file on shutdown")
 
 		// Fault-injection knobs (testing the scheduler's fault tolerance
 		// against a real agent): every accepted connection is wrapped in
@@ -68,8 +69,14 @@ func run(args []string) error {
 	}
 
 	var reg *obs.Registry
-	if *obsAddr != "" {
+	if *obsAddr != "" || *traceOut != "" {
+		// The trace's span parents come from the registry's tracer, so
+		// -trace-out implies an in-process registry even without -obs.
 		reg = obs.NewRegistry()
+	}
+	var sink *obs.TraceWriter
+	if *traceOut != "" {
+		sink = obs.NewTraceWriter()
 	}
 
 	opts := cluster.AgentOptions{
@@ -79,6 +86,7 @@ func run(args []string) error {
 		CheckpointMode: mode,
 		Seed:           *seedFlag,
 		Obs:            reg,
+		TraceSink:      sink,
 		Logf:           log.Printf,
 	}
 	if *predict {
@@ -143,5 +151,12 @@ func run(args []string) error {
 			obsSrv.Close()
 		}
 	}()
-	return agent.Serve(l)
+	err = agent.Serve(l)
+	if *traceOut != "" {
+		if werr := sink.WriteFile(*traceOut); werr != nil {
+			return fmt.Errorf("trace export: %w", werr)
+		}
+		log.Printf("hdagent: wrote trace to %s", *traceOut)
+	}
+	return err
 }

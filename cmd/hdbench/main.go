@@ -36,12 +36,16 @@ func run(args []string) error {
 		obsJS = fs.String("obs-bench", "", "measure obs-registry overhead on the simulator hot path and write the report to this file (e.g. BENCH_obs.json)")
 		fitJS = fs.String("fit-bench", "", "measure serial-vs-parallel MCMC fit latency and batch-sweep speedup and write the report to this file (e.g. BENCH_fit.json)")
 		fitSc = fs.String("fit-scale", "paper", "-fit-bench MCMC budget: paper (100x700) | fast (smoke)")
+		trcJS = fs.String("trace-bench", "", "measure trace/flight-recorder overhead on the simulator hot path and write the report to this file (e.g. BENCH_trace.json)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *obsJS != "" {
 		return runObsBench(*obsJS, *seed)
+	}
+	if *trcJS != "" {
+		return runTraceBench(*trcJS, *seed)
 	}
 	if *fitJS != "" {
 		return runFitBench(*fitJS, *fitSc, *seed)

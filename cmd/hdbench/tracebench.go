@@ -1,0 +1,178 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	hyperdrive "github.com/hyperdrive-ml/hyperdrive"
+)
+
+// traceArm is one measured configuration of the tracing stack.
+type traceArm struct {
+	Name string  `json:"name"`
+	MS   float64 `json:"ms"` // min over reps
+}
+
+// traceScenario measures one workload across the three tracing arms:
+// "off" (no registry, no sink — every hook on its nil no-op path),
+// "flight" (registry + flight recorder, export disabled — the default
+// production configuration), and "export" (full Chrome trace
+// accumulation plus the final serialization).
+type traceScenario struct {
+	Policy     string     `json:"policy"`
+	Jobs       int        `json:"jobs"`
+	Machines   int        `json:"machines"`
+	Reps       int        `json:"reps"`
+	RunsPerRep int        `json:"runs_per_rep"`
+	Arms       []traceArm `json:"arms"`
+}
+
+func (s *traceScenario) arm(name string) float64 {
+	for _, a := range s.Arms {
+		if a.Name == name {
+			return a.MS
+		}
+	}
+	return 0
+}
+
+// traceBenchReport is the BENCH_trace.json schema. The gated number is
+// the cost of running with tracing available but export disabled (the
+// "flight" arm) relative to the fully-off path: what every user pays
+// after this feature ships, whether or not they ever pass -trace-out.
+type traceBenchReport struct {
+	POP               traceScenario `json:"pop"`
+	Stress            traceScenario `json:"stress_default"`
+	DisabledPct       float64       `json:"disabled_overhead_pct"` // POP flight vs off
+	ExportPct         float64       `json:"export_overhead_pct"`   // POP export vs off
+	StressDisabledPct float64       `json:"stress_disabled_overhead_pct"`
+	ThresholdPct      float64       `json:"threshold_pct"`
+	Pass              bool          `json:"pass"`
+}
+
+// measureTraceScenario times RunSimulation under the three arms,
+// cycling arm order every rep so machine drift hits all arms equally;
+// each arm reports its minimum (noise only adds time).
+func measureTraceScenario(tr *hyperdrive.Trace, pol string, machines, reps, runsPerRep int) (traceScenario, error) {
+	sc := traceScenario{
+		Policy:     pol,
+		Jobs:       len(tr.Jobs),
+		Machines:   machines,
+		Reps:       reps,
+		RunsPerRep: runsPerRep,
+	}
+	sharedReg := hyperdrive.NewObsRegistry()
+	arms := []string{"off", "flight", "export"}
+	run := func(arm string) (time.Duration, error) {
+		runtime.GC()
+		t0 := time.Now()
+		for i := 0; i < runsPerRep; i++ {
+			cfg := hyperdrive.SimConfig{Trace: tr, Policy: pol, Machines: machines}
+			var sink *hyperdrive.TraceWriter
+			switch arm {
+			case "flight":
+				cfg.Obs = sharedReg
+			case "export":
+				cfg.Obs = sharedReg
+				sink = hyperdrive.NewTraceWriter()
+				cfg.TraceSink = sink
+			}
+			if _, err := hyperdrive.RunSimulation(cfg); err != nil {
+				return 0, err
+			}
+			if sink != nil {
+				// Serialization is part of what -trace-out costs.
+				if err := sink.Export(io.Discard); err != nil {
+					return 0, err
+				}
+			}
+		}
+		return time.Since(t0), nil
+	}
+
+	times := make(map[string][]float64, len(arms))
+	for _, a := range arms { // warm every arm before measuring
+		if _, err := run(a); err != nil {
+			return sc, err
+		}
+	}
+	for i := 0; i < reps; i++ {
+		for j := range arms {
+			a := arms[(i+j)%len(arms)] // rotate order so drift cancels
+			d, err := run(a)
+			if err != nil {
+				return sc, err
+			}
+			times[a] = append(times[a], d.Seconds()*1e3)
+		}
+	}
+	for _, a := range arms {
+		sc.Arms = append(sc.Arms, traceArm{Name: a, MS: minOf(times[a])})
+	}
+	return sc, nil
+}
+
+// runTraceBench measures the tracing stack's overhead on the simulator
+// hot path and writes BENCH_trace.json.
+func runTraceBench(path string, seed int64) error {
+	tr, err := hyperdrive.CollectTrace("cifar10", 192, seed)
+	if err != nil {
+		return err
+	}
+
+	// Realistic scenario: POP, where MCMC fitting dominates.
+	popTrace := &hyperdrive.Trace{}
+	*popTrace = *tr
+	popTrace.Jobs = tr.Jobs[:48]
+	pop, err := measureTraceScenario(popTrace, "pop", 8, 5, 1)
+	if err != nil {
+		return err
+	}
+	// Stress scenario: the empty Default policy bounds per-epoch hook
+	// cost from above.
+	stress, err := measureTraceScenario(tr, "default", 8, 15, 6)
+	if err != nil {
+		return err
+	}
+
+	pct := func(sc *traceScenario, arm string) float64 {
+		off := sc.arm("off")
+		if off == 0 {
+			return 0
+		}
+		return (sc.arm(arm) - off) / off * 100
+	}
+	rep := traceBenchReport{
+		POP:               pop,
+		Stress:            stress,
+		DisabledPct:       pct(&pop, "flight"),
+		ExportPct:         pct(&pop, "export"),
+		StressDisabledPct: pct(&stress, "flight"),
+		ThresholdPct:      3,
+	}
+	rep.Pass = rep.DisabledPct < rep.ThresholdPct
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	fmt.Printf("trace overhead, pop (gated): off %.2fms, flight %.2fms (%+.2f%%), export %.2fms (%+.2f%%) — threshold %g%%, pass=%v\n",
+		pop.arm("off"), pop.arm("flight"), rep.DisabledPct, pop.arm("export"), rep.ExportPct, rep.ThresholdPct, rep.Pass)
+	fmt.Printf("trace overhead, default-policy stress: off %.2fms, flight %.2fms (%+.2f%%), export %.2fms\n",
+		stress.arm("off"), stress.arm("flight"), rep.StressDisabledPct, stress.arm("export"))
+	fmt.Printf("report written to %s\n", path)
+	if !rep.Pass {
+		return fmt.Errorf("tracing disabled-path overhead %.2f%% exceeds %g%%", rep.DisabledPct, rep.ThresholdPct)
+	}
+	return nil
+}

@@ -1,10 +1,15 @@
 // Command hdlog summarizes a HyperDrive scheduler event log (the JSON
 // lines written by `hyperdrive -log`): per-job lifecycles, decision
-// counts, and the experiment timeline — the post-mortem view of what
-// the scheduler did and why an experiment took as long as it did.
+// counts, agent failures, and the experiment timeline — the
+// post-mortem view of what the scheduler did and why an experiment
+// took as long as it did. It also converts a log into Chrome
+// trace-event JSON, so a run recorded without -trace-out can still be
+// inspected in Perfetto after the fact.
 //
 //	hyperdrive -policy pop -jobs 50 -log run.jsonl
 //	hdlog -in run.jsonl
+//	hdlog -in run.jsonl -trace run.trace.json
+//	hdlog -check-trace run.trace.json
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"time"
 
 	"github.com/hyperdrive-ml/hyperdrive/internal/cluster"
+	"github.com/hyperdrive-ml/hyperdrive/internal/obs"
 )
 
 func main() {
@@ -32,6 +38,7 @@ type jobSummary struct {
 	id        string
 	starts    int
 	resumes   int
+	replaces  int
 	stats     int
 	lastEpoch int
 	best      float64
@@ -42,14 +49,35 @@ type jobSummary struct {
 	final     string
 }
 
+// agentSummary aggregates one node agent's failure records.
+type agentSummary struct {
+	id     string
+	downs  int
+	ups    int
+	errors int
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("hdlog", flag.ContinueOnError)
 	var (
-		in  = fs.String("in", "", "event log file (JSON lines); - for stdin")
-		top = fs.Int("top", 10, "jobs to list (by stat volume)")
+		in         = fs.String("in", "", "event log file (JSON lines); - for stdin")
+		top        = fs.Int("top", 10, "jobs to list (by stat volume)")
+		traceOut   = fs.String("trace", "", "convert the log to Chrome trace-event JSON at this path")
+		checkTrace = fs.String("check-trace", "", "validate a Chrome trace file (as written by -trace or -trace-out) and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *checkTrace != "" {
+		data, err := os.ReadFile(*checkTrace)
+		if err != nil {
+			return err
+		}
+		if err := obs.ValidateTraceEvents(data); err != nil {
+			return err
+		}
+		fmt.Printf("%s: valid Chrome trace-event JSON\n", *checkTrace)
+		return nil
 	}
 	var r io.Reader
 	switch *in {
@@ -67,11 +95,16 @@ func run(args []string) error {
 	}
 
 	jobs := make(map[string]*jobSummary)
+	agents := make(map[string]*agentSummary)
 	kinds := make(map[string]int)
 	decisions := make(map[string]int)
 	var first, last time.Time
 	var stoppedBy string
-	lines := 0
+	lines, replacements := 0, 0
+	var conv *traceConverter
+	if *traceOut != "" {
+		conv = newTraceConverter()
+	}
 
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -86,11 +119,27 @@ func run(args []string) error {
 		}
 		lines++
 		kinds[rec.Kind]++
+		conv.observe(rec)
 		if first.IsZero() || rec.T.Before(first) {
 			first = rec.T
 		}
 		if rec.T.After(last) {
 			last = rec.T
+		}
+		if rec.Agent != "" {
+			a := agents[rec.Agent]
+			if a == nil {
+				a = &agentSummary{id: rec.Agent}
+				agents[rec.Agent] = a
+			}
+			switch rec.Kind {
+			case "agent_down":
+				a.downs++
+			case "agent_up":
+				a.ups++
+			case "agent_error":
+				a.errors++
+			}
 		}
 		if rec.Kind == "stop" {
 			stoppedBy = rec.Detail
@@ -110,6 +159,9 @@ func run(args []string) error {
 			j.starts++
 		case "resume":
 			j.resumes++
+		case "replace":
+			j.replaces++
+			replacements++
 		case "stat":
 			j.stats++
 			if rec.Epoch > j.lastEpoch {
@@ -122,7 +174,7 @@ func run(args []string) error {
 		case "decision":
 			j.decisions[rec.Decision]++
 			decisions[rec.Decision]++
-		case "completed", "terminated", "suspended", "error":
+		case "completed", "terminated", "suspended", "error", "lost":
 			j.final = rec.Kind
 		}
 	}
@@ -147,6 +199,28 @@ func run(args []string) error {
 		fmt.Printf(" %s=%d", k, decisions[k])
 	}
 	fmt.Println()
+	if replacements > 0 {
+		replaced := 0
+		for _, j := range jobs {
+			if j.replaces > 0 {
+				replaced++
+			}
+		}
+		fmt.Printf("re-placed jobs: %d (%d re-placement(s) after agent loss)\n", replaced, replacements)
+	}
+	if len(agents) > 0 {
+		ids := make([]string, 0, len(agents))
+		for id := range agents {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		fmt.Printf("agents:")
+		for _, id := range ids {
+			a := agents[id]
+			fmt.Printf(" %s(down=%d up=%d err=%d)", a.id, a.downs, a.ups, a.errors)
+		}
+		fmt.Println()
+	}
 
 	ordered := make([]*jobSummary, 0, len(jobs))
 	for _, j := range jobs {
@@ -157,13 +231,69 @@ func run(args []string) error {
 		*top = len(ordered)
 	}
 	fmt.Printf("\n%d jobs (top %d by epochs):\n", len(ordered), *top)
-	fmt.Printf("%-12s %6s %6s %7s %8s %10s %-10s\n", "job", "epochs", "best", "starts", "resumes", "lifetime", "final")
+	fmt.Printf("%-12s %6s %6s %7s %8s %8s %10s %-10s\n", "job", "epochs", "best", "starts", "resumes", "replaces", "lifetime", "final")
 	for _, j := range ordered[:*top] {
-		fmt.Printf("%-12s %6d %6.3f %7d %8d %10v %-10s\n",
-			j.id, j.lastEpoch, j.best, j.starts, j.resumes,
+		fmt.Printf("%-12s %6d %6.3f %7d %8d %8d %10v %-10s\n",
+			j.id, j.lastEpoch, j.best, j.starts, j.resumes, j.replaces,
 			j.last.Sub(j.first).Round(time.Second), j.final)
 	}
+	if conv != nil {
+		if err := conv.w.WriteFile(*traceOut); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		fmt.Printf("\nwrote Chrome trace to %s (load in Perfetto or chrome://tracing)\n", *traceOut)
+	}
 	return nil
+}
+
+// traceConverter rebuilds the Chrome trace a live run would have
+// exported, from the event log alone: the same "scheduler" process
+// with one track per job, one per agent, and a decisions track, so a
+// log-only run is still Perfetto-inspectable.
+type traceConverter struct {
+	w *obs.TraceWriter
+}
+
+func newTraceConverter() *traceConverter {
+	return &traceConverter{w: obs.NewTraceWriter()}
+}
+
+// observe folds one record into the trace. Nil-safe, so the scan loop
+// calls it unconditionally.
+func (c *traceConverter) observe(rec cluster.LogRecord) {
+	if c == nil {
+		return
+	}
+	const proc = "scheduler"
+	jobTrack := "job " + rec.Job
+	switch rec.Kind {
+	case "start", "resume":
+		c.w.Begin(proc, jobTrack, rec.Kind+" on "+rec.Slot, rec.T,
+			map[string]interface{}{"slot": rec.Slot})
+	case "completed", "terminated", "suspended", "error", "lost":
+		c.w.Instant(proc, jobTrack, rec.Kind, rec.T, nil)
+		c.w.End(proc, jobTrack, rec.T)
+	case "replace":
+		c.w.Instant(proc, jobTrack, "re-placed", rec.T,
+			map[string]interface{}{"slot": rec.Slot})
+	case "decision":
+		args := map[string]interface{}{"decision": rec.Decision}
+		if rec.Span != "" {
+			args["span"] = rec.Span
+		}
+		c.w.Complete(proc, "decisions", "decision "+rec.Job, rec.T, 0, args)
+	case "agent_down", "agent_up", "agent_error":
+		name := map[string]string{
+			"agent_down": "agent down", "agent_up": "agent reconnected", "agent_error": "agent error",
+		}[rec.Kind]
+		var args map[string]interface{}
+		if rec.Detail != "" {
+			args = map[string]interface{}{"detail": rec.Detail}
+		}
+		c.w.Instant(proc, "agent "+rec.Agent, name, rec.T, args)
+	case "stop":
+		c.w.Instant(proc, "experiment", "stop: "+rec.Detail, rec.T, nil)
+	}
 }
 
 func sortedKeys(m map[string]int) []string {

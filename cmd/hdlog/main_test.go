@@ -1,7 +1,9 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
@@ -9,6 +11,8 @@ import (
 
 	"github.com/hyperdrive-ml/hyperdrive"
 	"github.com/hyperdrive-ml/hyperdrive/internal/clock"
+	"github.com/hyperdrive-ml/hyperdrive/internal/cluster"
+	"github.com/hyperdrive-ml/hyperdrive/internal/obs"
 )
 
 func quietStdout(t *testing.T) {
@@ -44,6 +48,74 @@ func TestSummarizeRealLog(t *testing.T) {
 	}
 	if err := run([]string{"-in", path}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestTraceConversion feeds a synthetic log covering every record kind
+// (including the fault-tolerance ones) through -trace and checks the
+// output is a valid Chrome trace carrying the expected tracks.
+func TestTraceConversion(t *testing.T) {
+	quietStdout(t)
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "run.jsonl")
+	tracePath := filepath.Join(dir, "run.trace.json")
+	base := time.Date(2017, 12, 11, 0, 0, 0, 0, time.UTC)
+	recs := []cluster.LogRecord{
+		{T: base, Kind: "start", Job: "job-000", Slot: "a1/slot-0"},
+		{T: base.Add(1 * time.Minute), Kind: "stat", Job: "job-000", Epoch: 1, Metric: 0.4},
+		{T: base.Add(1 * time.Minute), Kind: "decision", Job: "job-000", Epoch: 1, Decision: "suspend", Span: "00000001"},
+		{T: base.Add(1 * time.Minute), Kind: "suspended", Job: "job-000", Slot: "a1/slot-0"},
+		{T: base.Add(2 * time.Minute), Kind: "resume", Job: "job-000", Slot: "a1/slot-0"},
+		{T: base.Add(3 * time.Minute), Kind: "agent_error", Agent: "a1", Detail: "read tcp: reset"},
+		{T: base.Add(3 * time.Minute), Kind: "agent_down", Agent: "a1"},
+		{T: base.Add(3 * time.Minute), Kind: "lost", Job: "job-000", Slot: "a1/slot-0"},
+		{T: base.Add(4 * time.Minute), Kind: "replace", Job: "job-000", Slot: "a1/slot-0"},
+		{T: base.Add(4 * time.Minute), Kind: "resume", Job: "job-000", Slot: "a2/slot-0"},
+		{T: base.Add(5 * time.Minute), Kind: "agent_up", Agent: "a1"},
+		{T: base.Add(6 * time.Minute), Kind: "completed", Job: "job-000", Slot: "a2/slot-0"},
+		{T: base.Add(6 * time.Minute), Kind: "stop", Detail: "target reached"},
+	}
+	f, err := os.Create(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	for _, rec := range recs {
+		if err := enc.Encode(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Close()
+	if err := run([]string{"-in", logPath, "-trace", tracePath}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateTraceEvents(data); err != nil {
+		t.Fatalf("converted trace invalid: %v\n%s", err, data)
+	}
+	for _, want := range []string{
+		`"scheduler"`, `"job job-000"`, `"agent a1"`, `"decisions"`,
+		`"re-placed"`, `"agent down"`, `"agent reconnected"`, `"decision job-000"`,
+		`"start on a1/slot-0"`, `"resume on a2/slot-0"`,
+	} {
+		if !bytes.Contains(data, []byte(want)) {
+			t.Fatalf("converted trace missing %s:\n%s", want, data)
+		}
+	}
+	// The -check-trace mode accepts the file it just wrote...
+	if err := run([]string{"-check-trace", tracePath}); err != nil {
+		t.Fatal(err)
+	}
+	// ...and rejects garbage.
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"traceEvents":[{"ph":"E","pid":1,"tid":1,"name":"x"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-check-trace", bad}); err == nil {
+		t.Fatal("-check-trace accepted an unbalanced trace")
 	}
 }
 

@@ -33,6 +33,7 @@ func run(args []string) error {
 		orders    = fs.Int("orders", 1, "number of random configuration orders to replay")
 		maxDur    = fs.Duration("max-duration", 7*24*time.Hour, "Tmax")
 		budget    = fs.String("predictor", "fast", "curve predictor budget")
+		traceOut  = fs.String("trace-out", "", "write a Chrome trace (virtual-clock timestamps) of the first policy's first replay to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -47,7 +48,7 @@ func run(args []string) error {
 	fmt.Printf("%-10s %-8s %12s %12s %8s %8s %8s\n",
 		"policy", "reached", "median-ttt", "max-ttt", "susp", "term", "compl")
 
-	for _, polName := range strings.Split(*policies, ",") {
+	for pi, polName := range strings.Split(*policies, ",") {
 		var ttts []float64
 		var reached, susp, term, compl int
 		for o := 0; o < *orders; o++ {
@@ -55,14 +56,20 @@ func run(args []string) error {
 			if o > 0 {
 				tr = base.Permute(int64(o))
 			}
-			res, err := hyperdrive.RunSimulation(hyperdrive.SimConfig{
+			scfg := hyperdrive.SimConfig{
 				Trace:           tr,
 				Policy:          polName,
 				Machines:        *machines,
 				MaxDuration:     *maxDur,
 				StopAtTarget:    true,
 				PredictorBudget: *budget,
-			})
+			}
+			// The Chrome trace covers one replay: the first policy on the
+			// unpermuted order.
+			if pi == 0 && o == 0 {
+				scfg.TraceOut = *traceOut
+			}
+			res, err := hyperdrive.RunSimulation(scfg)
 			if err != nil {
 				return fmt.Errorf("policy %s: %w", polName, err)
 			}
@@ -81,6 +88,9 @@ func run(args []string) error {
 		}
 		fmt.Printf("%-10s %3d/%-4d %12s %12s %8d %8d %8d\n",
 			polName, reached, *orders, med, max, susp, term, compl)
+	}
+	if *traceOut != "" {
+		fmt.Printf("\nwrote Chrome trace to %s (load in Perfetto or chrome://tracing)\n", *traceOut)
 	}
 	return nil
 }

@@ -128,6 +128,14 @@ func render(addr string, s obs.Snapshot, jobs []obs.JobRow, now time.Time) strin
 		w("latency    mcmc fits p50 %s p90 %s p99 %s (n=%d)\n",
 			fmtDur(h.P50), fmtDur(h.P90), fmtDur(h.P99), h.Count)
 	}
+	// Go runtime health (populated by the runtime sampler).
+	if g, ok := s.Gauges[obs.GoGoroutines]; ok {
+		w("runtime    goroutines %-5.0f heap %s", g, fmtBytes(s.Gauges[obs.GoHeapBytes]))
+		if h, ok := s.Histograms[obs.GoGCPauseSeconds]; ok && h.Count > 0 {
+			w("  gc pauses p50 %s p99 %s (n=%d)", fmtDur(h.P50), fmtDur(h.P99), h.Count)
+		}
+		w("\n")
+	}
 	if d := s.Counters[obs.EventLogDroppedTotal]; d > 0 {
 		w("WARNING    event log dropping records: %d lost\n", d)
 	}
@@ -146,6 +154,20 @@ func render(addr string, s obs.Snapshot, jobs []obs.JobRow, now time.Time) strin
 		}
 	}
 	return string(b)
+}
+
+// fmtBytes renders a byte quantity at a human scale.
+func fmtBytes(b float64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", b/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", b/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", b/(1<<10))
+	default:
+		return fmt.Sprintf("%.0fB", b)
+	}
 }
 
 // fmtDur renders a seconds quantity at a human scale.

@@ -64,8 +64,38 @@ func TestRenderDashboard(t *testing.T) {
 	if strings.Contains(out, "mcmc fits p50") {
 		t.Error("rendered an mcmc latency line without samples")
 	}
+	if strings.Contains(out, "runtime") {
+		t.Error("rendered a runtime line without runtime gauges")
+	}
 	if strings.Contains(out, "WARNING") {
 		t.Error("rendered a drop warning without drops")
+	}
+}
+
+func TestRenderRuntimeLine(t *testing.T) {
+	reg := sampleRegistry()
+	stop := obs.StartRuntimeSampler(reg, time.Hour) // immediate first sample
+	defer stop()
+	out := render("x", reg.Snapshot(), nil, time.Date(2026, 8, 5, 0, 0, 0, 0, time.UTC))
+	if !strings.Contains(out, "runtime") || !strings.Contains(out, "goroutines") || !strings.Contains(out, "heap") {
+		t.Errorf("missing runtime telemetry line:\n%s", out)
+	}
+}
+
+func TestFmtBytes(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{512, "512B"},
+		{4 << 10, "4.0KiB"},
+		{3 << 20, "3.0MiB"},
+		{2 << 30, "2.0GiB"},
+	}
+	for _, c := range cases {
+		if got := fmtBytes(c.in); got != c.want {
+			t.Errorf("fmtBytes(%v) = %q, want %q", c.in, got, c.want)
+		}
 	}
 }
 

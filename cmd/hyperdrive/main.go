@@ -56,6 +56,7 @@ func run(args []string) error {
 		logPath      = fs.String("log", "", "write the scheduler event log (JSON lines) to this file")
 		obsAddr      = fs.String("obs", "", "serve the live introspection endpoint (metrics, jobs, spans) on this address, e.g. localhost:8089")
 		pprof        = fs.Bool("pprof", false, "expose net/http/pprof on the -obs endpoint")
+		traceOut     = fs.String("trace-out", "", "write a Chrome trace (Perfetto-loadable) of the run to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -75,6 +76,7 @@ func run(args []string) error {
 		PredictorBudget: *budget,
 		ObsListen:       *obsAddr,
 		ObsPprof:        *pprof,
+		TraceOut:        *traceOut,
 	}
 	if *agents != "" {
 		cfg.AgentAddrs = strings.Split(*agents, ",")
@@ -127,6 +129,9 @@ func run(args []string) error {
 			totalKB += float64(r.Size) / 1024
 		}
 		fmt.Printf("  suspend overhead: %d snapshots, %.0f KB total\n", n, totalKB)
+	}
+	if *traceOut != "" {
+		fmt.Printf("  trace:           %s (load in Perfetto or chrome://tracing)\n", *traceOut)
 	}
 	if recorder != nil {
 		tr, complete, err := recorder.Finish()

@@ -114,6 +114,10 @@ type (
 	ObsSnapshot = obs.Snapshot
 	// ObsJobRow is one row of the live job classification table.
 	ObsJobRow = obs.JobRow
+	// TraceWriter accumulates Chrome trace-event JSON (Perfetto /
+	// chrome://tracing format) for a run. A nil *TraceWriter disables
+	// trace export at zero cost.
+	TraceWriter = obs.TraceWriter
 )
 
 // Policy, generator, and workload constructors re-exported for custom
@@ -150,6 +154,11 @@ var (
 	// NewObsHandler builds the introspection http.Handler (/metrics,
 	// /metrics.json, /jobs, /spans) for a registry.
 	NewObsHandler = obs.Handler
+	// NewTraceWriter builds an empty Chrome trace-event sink.
+	NewTraceWriter = obs.NewTraceWriter
+	// ValidateTraceEvents checks exported trace bytes against the
+	// invariants the repo's tooling relies on.
+	ValidateTraceEvents = obs.ValidateTraceEvents
 )
 
 // ExperimentConfig configures RunExperiment. Zero values select
@@ -214,6 +223,14 @@ type ExperimentConfig struct {
 	// ObsPprof additionally mounts net/http/pprof under /debug/pprof/
 	// on the introspection endpoint.
 	ObsPprof bool
+	// TraceSink, when non-nil, receives Chrome trace events for the
+	// run: one track per job and per agent, decision slices, and
+	// instant markers for classification changes, agent failures, and
+	// job re-placements.
+	TraceSink *TraceWriter
+	// TraceOut, when non-empty, writes the run's Chrome trace to this
+	// file. A sink is created implicitly when TraceSink is nil.
+	TraceOut string
 }
 
 // Workloads lists the built-in workload names.
@@ -326,6 +343,19 @@ func RunExperiment(ctx context.Context, cfg ExperimentConfig) (*ExperimentResult
 	if obsReg == nil && cfg.ObsListen != "" {
 		obsReg = obs.NewRegistry()
 	}
+	sink := cfg.TraceSink
+	if sink == nil && cfg.TraceOut != "" {
+		sink = obs.NewTraceWriter()
+	}
+	if sink != nil && obsReg == nil {
+		// Span propagation rides on the registry's tracer; trace export
+		// without one would miss the decision slices.
+		obsReg = obs.NewRegistry()
+	}
+	// Sample Go runtime health (goroutines, heap, GC pauses) for the
+	// duration of the run.
+	stopSampler := obs.StartRuntimeSampler(obsReg, 5*time.Second)
+	defer stopSampler()
 
 	ccfg := cluster.Config{
 		Workload:       cfg.Workload,
@@ -345,6 +375,7 @@ func RunExperiment(ctx context.Context, cfg ExperimentConfig) (*ExperimentResult
 		Recorder:       cfg.Recorder,
 		EventLog:       cfg.EventLog,
 		Obs:            obsReg,
+		TraceSink:      sink,
 	}
 
 	if cfg.ObsListen != "" {
@@ -387,7 +418,16 @@ func RunExperiment(ctx context.Context, cfg ExperimentConfig) (*ExperimentResult
 	if err != nil {
 		return nil, err
 	}
-	return exp.Run(ctx)
+	res, err := exp.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.TraceOut != "" {
+		if werr := sink.WriteFile(cfg.TraceOut); werr != nil {
+			return res, fmt.Errorf("hyperdrive: trace export: %w", werr)
+		}
+	}
+	return res, nil
 }
 
 // SimConfig configures RunSimulation: a trace-driven discrete-event
@@ -413,6 +453,14 @@ type SimConfig struct {
 	// Obs, when non-nil, collects the same metric names the live
 	// runtime emits, so simulated and real runs are comparable.
 	Obs *ObsRegistry
+	// TraceSink, when non-nil, receives Chrome trace events with
+	// virtual-clock timestamps (a machine-occupancy Gantt, decision
+	// slices, classification markers).
+	TraceSink *TraceWriter
+	// TraceOut, when non-empty, writes the simulated run's Chrome
+	// trace to this file; a sink is created implicitly when TraceSink
+	// is nil.
+	TraceOut string
 }
 
 // RunSimulation replays a trace under a policy in the discrete-event
@@ -453,14 +501,28 @@ func RunSimulation(cfg SimConfig) (*SimResult, error) {
 			return nil, err
 		}
 	}
-	return sim.Run(sim.Options{
+	sink := cfg.TraceSink
+	if sink == nil && cfg.TraceOut != "" {
+		sink = obs.NewTraceWriter()
+	}
+	res, err := sim.Run(sim.Options{
 		Trace:        tr,
 		Machines:     cfg.Machines,
 		Policy:       pol,
 		MaxDuration:  cfg.MaxDuration,
 		StopAtTarget: cfg.StopAtTarget,
 		Obs:          cfg.Obs,
+		TraceSink:    sink,
 	})
+	if err != nil {
+		return nil, err
+	}
+	if cfg.TraceOut != "" {
+		if werr := sink.WriteFile(cfg.TraceOut); werr != nil {
+			return res, fmt.Errorf("hyperdrive: trace export: %w", werr)
+		}
+	}
+	return res, nil
 }
 
 // CollectTrace runs n seeded random configurations of the workload to

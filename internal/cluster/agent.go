@@ -36,8 +36,12 @@ type AgentOptions struct {
 	// stat reports.
 	Predictor *curve.Predictor
 	// Obs, when non-nil, receives agent telemetry (jobs running, stats
-	// forwarded, snapshots taken, local fit metrics).
+	// forwarded, snapshots taken, local fit metrics) plus the agent-side
+	// spans of distributed traces.
 	Obs *obs.Registry
+	// TraceSink, when non-nil, accumulates Chrome trace events for the
+	// agent's job lifecycle (one track per job).
+	TraceSink *obs.TraceWriter
 	// Logf receives agent diagnostics; nil discards them.
 	Logf func(format string, args ...interface{})
 }
@@ -59,17 +63,21 @@ type Agent struct {
 
 	mu      sync.Mutex
 	jobs    map[sched.JobID]*agentJob
+	ident   string // resolved agent ID (set per connection)
 	closed  bool
 	closeCh chan struct{}
 	wg      sync.WaitGroup
+
+	originOnce sync.Once // namespaces the tracer's IDs once
 }
 
 // agentJob is one running job on the agent.
 type agentJob struct {
 	spec     wire.StartJobPayload
-	decision chan sched.Decision
+	decision chan DecisionReply
 	stop     chan struct{}
 	history  []float64
+	span     *obs.Span // run span: opened at start, finished at exit
 
 	predMu  sync.Mutex
 	pval    float64
@@ -158,6 +166,13 @@ func (a *Agent) serveConn(nc net.Conn) {
 	if id == "" {
 		id = nc.LocalAddr().String()
 	}
+	a.mu.Lock()
+	a.ident = id
+	a.mu.Unlock()
+	// Namespace span/trace IDs by agent identity so IDs minted here can
+	// never collide with the scheduler's (or another agent's) when the
+	// spans meet in one trace.
+	a.originOnce.Do(func() { a.opts.Obs.Tracer().SetOrigin("agent:" + id) })
 	if err := conn.SendTyped(wire.MsgHello, wire.HelloPayload{AgentID: id, Slots: a.opts.Slots}); err != nil {
 		a.opts.Logf("agent: hello: %v", err)
 		return
@@ -241,10 +256,27 @@ func (a *Agent) startJob(conn *wire.Conn, p wire.StartJobPayload) error {
 	}
 	j := &agentJob{
 		spec:     p,
-		decision: make(chan sched.Decision, 1),
+		decision: make(chan DecisionReply, 1),
 		stop:     make(chan struct{}),
 		history:  append([]float64(nil), p.History...),
 	}
+	// Open the run span as a child of the scheduler-side span that
+	// caused this placement; it stays open until the job leaves the
+	// slot and its context is echoed on every frame the job emits.
+	name := "agent_start"
+	if len(p.Snapshot) > 0 {
+		name = "agent_resume"
+	}
+	j.span = a.opts.Obs.Tracer().StartSpan(name, p.JobID, trainer.Epoch(),
+		obs.SpanContext{TraceID: p.TraceID, SpanID: p.SpanID})
+	j.span.SetStr("agent", a.ident)
+	a.opts.Obs.Flight().JobLive(p.JobID)
+	// The propagated context goes into the slice args too, so an
+	// agent-side trace file can be stitched to the scheduler's by
+	// trace ID / parent span.
+	a.opts.TraceSink.Begin("agent "+a.ident, "job "+p.JobID, name, a.clk.Now(),
+		map[string]interface{}{"epoch": trainer.Epoch(), "resume": len(p.Snapshot) > 0,
+			"trace": p.TraceID, "parent_span": p.SpanID})
 	a.jobs[sched.JobID(p.JobID)] = j
 	a.jobsRunning.Set(float64(len(a.jobs)))
 	a.wg.Add(1)
@@ -268,8 +300,12 @@ func (a *Agent) deliverDecision(p wire.DecisionPayload) {
 	default:
 		d = sched.Continue
 	}
+	dr := DecisionReply{
+		Decision: d,
+		Trace:    obs.SpanContext{TraceID: p.TraceID, SpanID: p.SpanID},
+	}
 	select {
-	case j.decision <- d:
+	case j.decision <- dr:
 	default: // stale decision; drop
 	}
 }
@@ -295,6 +331,13 @@ func (a *Agent) stopAllJobs() {
 	}
 }
 
+// identity returns the agent ID resolved at handshake time.
+func (a *Agent) identity() string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.ident
+}
+
 func (a *Agent) release(id sched.JobID) {
 	a.mu.Lock()
 	delete(a.jobs, id)
@@ -315,11 +358,28 @@ func (a *Agent) runJob(conn *wire.Conn, j *agentJob, trainer workload.Trainer, s
 		}
 		return true
 	}
+	// runCtx is echoed on every frame this job emits, so the scheduler
+	// can parent its decision spans under the agent's run span.
+	runCtx := j.span.Context()
+	wctx := wire.TraceContext{TraceID: runCtx.TraceID, SpanID: runCtx.SpanID}
+	tracer := a.opts.Obs.Tracer()
+	ident := a.identity()
+	// exit closes out the job's tracing state exactly once: the run
+	// span finishes, its spans unpin from the flight recorder, and the
+	// job's trace-event slice closes.
+	exit := func(reason string) {
+		j.span.SetStr("exit", reason)
+		tracer.Finish(j.span)
+		a.opts.Obs.Flight().JobDone(j.spec.JobID)
+		a.opts.TraceSink.Instant("agent "+ident, "job "+j.spec.JobID, reason, a.clk.Now(), nil)
+		a.opts.TraceSink.End("agent "+ident, "job "+j.spec.JobID, a.clk.Now())
+	}
 
 	for {
 		select {
 		case <-j.stop:
-			send(wire.MsgJobExited, wire.JobExitedPayload{JobID: j.spec.JobID, Epoch: trainer.Epoch(), Reason: "terminated"})
+			exit("terminated")
+			send(wire.MsgJobExited, wire.JobExitedPayload{JobID: j.spec.JobID, Epoch: trainer.Epoch(), Reason: "terminated", TraceContext: wctx})
 			return
 		default:
 		}
@@ -344,7 +404,8 @@ func (a *Agent) runJob(conn *wire.Conn, j *agentJob, trainer workload.Trainer, s
 		}
 		a.statsTotal.Inc()
 		if done {
-			send(wire.MsgJobExited, wire.JobExitedPayload{JobID: j.spec.JobID, Epoch: s.Epoch, Reason: "completed"})
+			exit("completed")
+			send(wire.MsgJobExited, wire.JobExitedPayload{JobID: j.spec.JobID, Epoch: s.Epoch, Reason: "completed", TraceContext: wctx})
 			return
 		}
 
@@ -354,34 +415,54 @@ func (a *Agent) runJob(conn *wire.Conn, j *agentJob, trainer workload.Trainer, s
 			a.maybePredict(j, spec)
 		}
 
-		if !send(wire.MsgIterDone, wire.IterDonePayload{JobID: j.spec.JobID, Epoch: s.Epoch}) {
+		if !send(wire.MsgIterDone, wire.IterDonePayload{JobID: j.spec.JobID, Epoch: s.Epoch, TraceContext: wctx}) {
 			return
 		}
-		var decision sched.Decision
+		var dr DecisionReply
 		select {
-		case decision = <-j.decision:
+		case dr = <-j.decision:
 		case <-j.stop:
-			send(wire.MsgJobExited, wire.JobExitedPayload{JobID: j.spec.JobID, Epoch: s.Epoch, Reason: "terminated"})
+			exit("terminated")
+			send(wire.MsgJobExited, wire.JobExitedPayload{JobID: j.spec.JobID, Epoch: s.Epoch, Reason: "terminated", TraceContext: wctx})
 			return
+		}
+		// React as a child of the scheduler's decision span when it sent
+		// one; fall back to the run span for untraced schedulers.
+		parent := dr.Trace
+		if !parent.Valid() {
+			parent = runCtx
 		}
 
-		switch decision {
+		switch dr.Decision {
 		case sched.Terminate:
-			send(wire.MsgJobExited, wire.JobExitedPayload{JobID: j.spec.JobID, Epoch: s.Epoch, Reason: "terminated"})
+			exit("terminated")
+			send(wire.MsgJobExited, wire.JobExitedPayload{JobID: j.spec.JobID, Epoch: s.Epoch, Reason: "terminated", TraceContext: wctx})
 			return
 		case sched.Suspend:
+			ssp := tracer.StartSpan("agent_suspend", j.spec.JobID, s.Epoch, parent)
+			ssp.SetStr("agent", ident)
 			payload, err := trainer.Snapshot()
 			if err != nil {
-				send(wire.MsgJobExited, wire.JobExitedPayload{JobID: j.spec.JobID, Epoch: s.Epoch, Reason: "error", Error: err.Error()})
+				ssp.SetStr("error", err.Error())
+				tracer.Finish(ssp)
+				exit("error")
+				send(wire.MsgJobExited, wire.JobExitedPayload{JobID: j.spec.JobID, Epoch: s.Epoch, Reason: "error", Error: err.Error(), TraceContext: wctx})
 				return
 			}
 			img := a.capturer.Capture(payload)
 			a.clk.Sleep(img.Latency)
-			if !send(wire.MsgSnapshot, wire.SnapshotPayload{JobID: j.spec.JobID, Epoch: trainer.Epoch(), State: img.Encode()}) {
+			ssp.SetAttr("snapshot_bytes", float64(img.Size))
+			sctx := ssp.Context()
+			tracer.Finish(ssp)
+			if !send(wire.MsgSnapshot, wire.SnapshotPayload{
+				JobID: j.spec.JobID, Epoch: trainer.Epoch(), State: img.Encode(),
+				TraceContext: wire.TraceContext{TraceID: sctx.TraceID, SpanID: sctx.SpanID},
+			}) {
 				return
 			}
 			a.snapsTotal.Inc()
-			send(wire.MsgJobExited, wire.JobExitedPayload{JobID: j.spec.JobID, Epoch: trainer.Epoch(), Reason: "suspended"})
+			exit("suspended")
+			send(wire.MsgJobExited, wire.JobExitedPayload{JobID: j.spec.JobID, Epoch: trainer.Epoch(), Reason: "suspended", TraceContext: wctx})
 			return
 		default: // Continue
 		}

@@ -25,6 +25,9 @@ type LogRecord struct {
 	Metric   float64   `json:"metric,omitempty"`
 	Decision string    `json:"decision,omitempty"`
 	Detail   string    `json:"detail,omitempty"`
+	// Agent names the node agent behind agent_down/agent_up/agent_error
+	// records.
+	Agent string `json:"agent,omitempty"`
 	// Span links a decision record to its trace: resolve it at the
 	// introspection endpoint (/spans?id=...) to see the estimate
 	// inputs (ERT, confidence, pool sizes) behind the verdict.
@@ -100,14 +103,19 @@ func (e *Experiment) logEvent(kind string, ev Event) {
 	if e.cfg.EventLog == nil {
 		return
 	}
-	e.cfg.EventLog.Log(LogRecord{
+	rec := LogRecord{
 		T:      e.clk.Now(),
 		Kind:   kind,
 		Job:    string(ev.Job),
 		Slot:   string(ev.Slot),
 		Epoch:  ev.Epoch,
 		Metric: ev.Metric,
-	})
+		Agent:  ev.Agent,
+	}
+	if ev.Err != nil {
+		rec.Detail = ev.Err.Error()
+	}
+	e.cfg.EventLog.Log(rec)
 }
 
 // logDecision emits a record for an OnIterationFinish verdict, stamped

@@ -15,6 +15,7 @@ package cluster
 import (
 	"time"
 
+	"github.com/hyperdrive-ml/hyperdrive/internal/obs"
 	"github.com/hyperdrive-ml/hyperdrive/internal/param"
 	"github.com/hyperdrive-ml/hyperdrive/internal/sched"
 )
@@ -33,6 +34,10 @@ type StartSpec struct {
 	MaxEpoch int
 	Snapshot []byte    // nil for a fresh start
 	History  []float64 // metric curve so far (resumes; feeds agent-side prediction)
+	// Trace carries the job's trace ID plus the scheduler-side span
+	// that caused this placement, so executor-side work is recorded as
+	// its child (zero when tracing is off).
+	Trace obs.SpanContext
 }
 
 // EventKind discriminates executor events.
@@ -75,6 +80,15 @@ const (
 	ExitLost ExitReason = "lost"
 )
 
+// DecisionReply answers an IterDone event: the SAP verdict plus the
+// scheduler-side decision span that produced it, so the executor can
+// record its reaction (suspend, snapshot upload, teardown) as child
+// spans of the decision that caused it.
+type DecisionReply struct {
+	Decision sched.Decision
+	Trace    obs.SpanContext
+}
+
 // Event is an executor-to-scheduler notification. IterDone events
 // carry a Reply channel: the scheduler must send exactly one decision
 // on it, which is how the paper's OnIterationFinish verdict reaches
@@ -93,7 +107,11 @@ type Event struct {
 	SnapLat  time.Duration // modeled capture latency
 	Reason   ExitReason
 	Err      error
-	Reply    chan sched.Decision
+	Reply    chan DecisionReply
+	// Trace is the sender-side span context of the work that raised
+	// this event (zero when the executor runs untraced), letting the
+	// scheduler parent its decision span under the executor's span.
+	Trace obs.SpanContext
 	// Agent and AgentSlots carry the fault-tolerance events
 	// (EvAgentDown/EvAgentUp/EvAgentError): which agent changed state
 	// and the full slot set to quarantine or restore.

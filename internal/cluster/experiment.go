@@ -73,6 +73,12 @@ type Config struct {
 	// Policies and event logs implementing obs.Instrumentable are
 	// bound to it at setup. Nil leaves every hook a no-op.
 	Obs *obs.Registry
+	// TraceSink, when non-nil, accumulates Chrome trace events for the
+	// whole run — one track per job, one per agent, decision slices
+	// with the policy's estimate inputs, and instant markers for
+	// classification changes, agent failures, and job re-placements —
+	// exported with obs.(*TraceWriter).WriteFile after Run returns.
+	TraceSink *obs.TraceWriter
 }
 
 // JobSummary is one job's final record.
@@ -126,6 +132,9 @@ type Experiment struct {
 	res      *Result
 	slotJobs map[SlotID]sched.JobID
 	met      *expMetrics
+	// lastClass remembers each job's last published classification so
+	// the trace gets one instant marker per change, not per refresh.
+	lastClass map[sched.JobID]string
 }
 
 // New validates the config and prepares an experiment.
@@ -156,14 +165,15 @@ func New(cfg Config) (*Experiment, error) {
 	}
 
 	e := &Experiment{
-		cfg:      cfg,
-		spec:     spec,
-		clk:      clk,
-		db:       appstat.NewDB(),
-		jm:       NewJobManager(),
-		res:      &Result{},
-		slotJobs: make(map[SlotID]sched.JobID),
-		met:      newExpMetrics(cfg.Obs),
+		cfg:       cfg,
+		spec:      spec,
+		clk:       clk,
+		db:        appstat.NewDB(),
+		jm:        NewJobManager(),
+		res:       &Result{},
+		slotJobs:  make(map[SlotID]sched.JobID),
+		met:       newExpMetrics(cfg.Obs),
+		lastClass: make(map[sched.JobID]string),
 	}
 	if cfg.Obs != nil {
 		if in, ok := cfg.Policy.(obs.Instrumentable); ok {
@@ -312,6 +322,8 @@ func (e *Experiment) handleAgentDown(ev Event) {
 	e.res.AgentFailures++
 	e.met.agentFailures.Inc()
 	e.logEvent("agent_down", ev)
+	e.cfg.TraceSink.Instant("scheduler", "agent "+ev.Agent, "agent down", e.clk.Now(),
+		map[string]interface{}{"slots": len(ev.AgentSlots)})
 	e.refreshGauges()
 }
 
@@ -321,6 +333,8 @@ func (e *Experiment) handleAgentUp(ev Event) {
 	e.rm.MarkOnline(ev.AgentSlots)
 	e.res.Reconnects++
 	e.logEvent("agent_up", ev)
+	e.cfg.TraceSink.Instant("scheduler", "agent "+ev.Agent, "agent reconnected", e.clk.Now(),
+		map[string]interface{}{"slots": len(ev.AgentSlots)})
 	e.cfg.Policy.AllocateJobs(e)
 	e.refreshGauges()
 }
@@ -375,24 +389,68 @@ func (e *Experiment) handleStat(ev Event) bool {
 // never annotated (off-boundary continues) are measured but not
 // retained.
 func (e *Experiment) handleIterDone(ev Event) {
-	sp := e.met.tracer.Start("decision", string(ev.Job), ev.Epoch)
+	// Parent the decision span under the executor-side span that raised
+	// the boundary; when the executor runs untraced, the span still
+	// joins the job's trace as a root so the verdict stays attributable.
+	parent := ev.Trace
+	mj, haveJob := e.jm.Get(ev.Job)
+	if !parent.Valid() && haveJob {
+		parent = obs.SpanContext{TraceID: mj.TraceID}
+	}
+	sp := e.met.tracer.StartSpan("decision", string(ev.Job), ev.Epoch, parent)
 	sev := sched.Event{Job: ev.Job, Epoch: ev.Epoch, Time: e.clk.Now(), Span: sp}
 	t0 := time.Now()
 	decision := e.cfg.Policy.OnIterationFinish(e, sev)
-	e.met.decisionLatency.Observe(time.Since(t0).Seconds())
+	lat := time.Since(t0)
+	e.met.decisionLatency.Observe(lat.Seconds())
 	e.met.decisionCounter(decision).Inc()
 	boundary := sp.Annotated()
-	if boundary {
+	// Boundary decisions carry the policy's estimate inputs; verdicts
+	// that change a job's fate (suspend/terminate) are retained even
+	// off-boundary so the trace always explains why a job left its slot.
+	if boundary || decision != sched.Continue {
 		sp.SetStr("decision", decision.String())
 		e.met.tracer.Finish(sp)
+		if haveJob {
+			mj.LastSpan = sp.ID()
+		}
+		e.emitDecisionTrace(ev, decision, sp, lat)
 	}
 	e.logDecision(ev.Job, ev.Epoch, decision, sp.ID())
 	if boundary {
 		e.publishClassification()
 	}
 	if ev.Reply != nil {
-		ev.Reply <- decision
+		ev.Reply <- DecisionReply{Decision: decision, Trace: sp.Context()}
 	}
+}
+
+// emitDecisionTrace records one retained decision as a complete slice
+// on the scheduler's "decisions" track, carrying the estimate inputs
+// the policy annotated (ERT, confidence, classification, pool sizes).
+func (e *Experiment) emitDecisionTrace(ev Event, d sched.Decision, sp *obs.Span, lat time.Duration) {
+	if e.cfg.TraceSink == nil {
+		return
+	}
+	args := map[string]interface{}{
+		"job": string(ev.Job), "epoch": ev.Epoch, "decision": d.String(),
+		// The span ID matches the event log's "span" field and
+		// /debug/obs/spans; the trace ID groups the slice with the
+		// job's track.
+		"span": sp.ID(), "trace": sp.TraceID(),
+	}
+	for _, key := range []string{"confidence", "ert_seconds", "threshold", "promising_jobs", "opportunistic_jobs", "prob_beats_best"} {
+		if a, ok := sp.Attr(key); ok {
+			args[key] = a.Val
+		}
+	}
+	for _, key := range []string{"class", "cause"} {
+		if a, ok := sp.Attr(key); ok {
+			args[key] = a.Str
+		}
+	}
+	end := e.clk.Now()
+	e.cfg.TraceSink.Complete("scheduler", "decisions", "decision "+string(ev.Job), end.Add(-lat), lat, args)
 }
 
 func (e *Experiment) handleExited(ev Event) {
@@ -437,11 +495,20 @@ func (e *Experiment) handleExited(ev Event) {
 				e.met.replacements.Inc()
 				e.jm.Requeue(ev.Job)
 				e.logLifecycle("replace", ev.Job, ev.Slot, "")
+				e.cfg.TraceSink.Instant("scheduler", "job "+string(ev.Job), "re-placed", e.clk.Now(),
+					map[string]interface{}{"lost_slot": string(ev.Slot), "snapshot_epoch": mj.SnapEpoch})
 			}
 		} else if err := mj.Job.Terminate(); err == nil {
 			e.res.Terminations++
 			e.met.terminations.Inc()
 		}
+	}
+	// Close the job's run slice on the trace; terminal jobs also release
+	// their pinned flight-recorder spans into the global ring.
+	e.cfg.TraceSink.End("scheduler", "job "+string(ev.Job), e.clk.Now())
+	switch mj.Job.State() {
+	case sched.Completed, sched.Terminated:
+		e.cfg.Obs.Flight().JobDone(string(ev.Job))
 	}
 	// Free the slot and let the SAP refill it.
 	if slot := ev.Slot; slot != "" {
@@ -547,6 +614,9 @@ func (e *Experiment) StartIdleJob() (sched.JobID, bool) {
 		release()
 		return "", false
 	}
+	// One trace per job, for its whole life across suspends, resumes,
+	// and re-placements ("" when tracing is off).
+	mj.TraceID = e.met.tracer.NewTraceID()
 	if e.cfg.Recorder != nil {
 		e.cfg.Recorder.StartJob(id, cfg9, mj.Seed)
 	}
@@ -571,6 +641,10 @@ func (e *Experiment) startExisting(mj *ManagedJob, slot SlotID) error {
 		Config:   mj.Config,
 		Seed:     mj.Seed,
 		MaxEpoch: e.info.MaxEpoch,
+		// The executor's work is a child of the scheduler span that
+		// caused this placement (the suspend/re-place decision, or a
+		// trace root on first start).
+		Trace: obs.SpanContext{TraceID: mj.TraceID, SpanID: mj.LastSpan},
 	}
 	if resume {
 		spec.Snapshot = mj.Snapshot
@@ -592,14 +666,18 @@ func (e *Experiment) startExisting(mj *ManagedJob, slot SlotID) error {
 		}
 		return err
 	}
+	kind := "start"
 	if resume {
 		e.res.Resumes++
 		e.met.resumes.Inc()
-		e.logLifecycle("resume", mj.Job.ID, slot, "")
+		kind = "resume"
 	} else {
 		e.met.starts.Inc()
-		e.logLifecycle("start", mj.Job.ID, slot, "")
 	}
+	e.logLifecycle(kind, mj.Job.ID, slot, "")
+	e.cfg.Obs.Flight().JobLive(string(mj.Job.ID))
+	e.cfg.TraceSink.Begin("scheduler", "job "+string(mj.Job.ID), kind+" on "+string(slot), e.clk.Now(),
+		map[string]interface{}{"slot": string(slot), "trace": mj.TraceID, "epoch": mj.Job.Epoch()})
 	e.slotJobs[slot] = mj.Job.ID
 	return nil
 }

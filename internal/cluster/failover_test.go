@@ -227,7 +227,7 @@ func TestForwardDecisionRacesDyingConn(t *testing.T) {
 	// ...then deliver the verdict the way the experiment loop does. The
 	// reply channel is buffered, so this must return immediately even
 	// though the agent is gone.
-	ev.Reply <- sched.Continue
+	ev.Reply <- DecisionReply{Decision: sched.Continue}
 	client.Close()
 }
 

@@ -147,6 +147,12 @@ type ManagedJob struct {
 	Busy      int64  // accumulated training nanoseconds
 	Best      float64
 	HasBest   bool
+	// TraceID names the distributed trace every span about this job
+	// joins, minted once at creation ("" when tracing is off).
+	TraceID string
+	// LastSpan is the ID of the most recent retained scheduler span
+	// concerning this job — the parent for the job's next placement.
+	LastSpan string
 }
 
 // JobManager keeps the job table and the priority-ordered idle queue —

@@ -189,6 +189,13 @@ func (e *Experiment) publishClassification() {
 			case st == sched.Running || st == sched.Suspended:
 				row.Class = "opportunistic"
 			}
+			// One instant marker per classification change on the job's
+			// trace track (not per refresh).
+			if row.Class != "" && e.lastClass[mj.Job.ID] != row.Class {
+				e.lastClass[mj.Job.ID] = row.Class
+				e.cfg.TraceSink.Instant("scheduler", "job "+row.Job, "class: "+row.Class, e.clk.Now(),
+					map[string]interface{}{"confidence": row.Confidence, "ert_seconds": row.ERTSeconds})
+			}
 		}
 		rows = append(rows, row)
 	}

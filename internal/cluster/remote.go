@@ -189,6 +189,10 @@ func (c *AgentClient) Start(spec StartSpec) error {
 		Seed:     spec.Seed,
 		Snapshot: spec.Snapshot,
 		History:  spec.History,
+		TraceContext: wire.TraceContext{
+			TraceID: spec.Trace.TraceID,
+			SpanID:  spec.Trace.SpanID,
+		},
 	})
 	if err != nil {
 		c.releaseSlot(spec.Job)
@@ -354,10 +358,11 @@ func (c *AgentClient) readLoop() {
 			if msg.Decode(&p) != nil {
 				continue
 			}
-			reply := make(chan sched.Decision, 1)
+			reply := make(chan DecisionReply, 1)
 			ok := c.emit(Event{
 				Kind: EvIterDone, Job: sched.JobID(p.JobID), Slot: c.slotOf(sched.JobID(p.JobID)),
 				Epoch: p.Epoch, Reply: reply,
+				Trace: obs.SpanContext{TraceID: p.TraceID, SpanID: p.SpanID},
 			})
 			if !ok {
 				return
@@ -371,6 +376,7 @@ func (c *AgentClient) readLoop() {
 			ok := c.emit(Event{
 				Kind: EvSnapshot, Job: sched.JobID(p.JobID), Slot: c.slotOf(sched.JobID(p.JobID)),
 				Epoch: p.Epoch, Snapshot: p.State, SnapSize: len(p.State),
+				Trace: obs.SpanContext{TraceID: p.TraceID, SpanID: p.SpanID},
 			})
 			if !ok {
 				return
@@ -393,7 +399,10 @@ func (c *AgentClient) readLoop() {
 			default:
 				reason = ExitTerminated
 			}
-			ev := Event{Kind: EvExited, Job: job, Slot: slot, Epoch: p.Epoch, Reason: reason}
+			ev := Event{
+				Kind: EvExited, Job: job, Slot: slot, Epoch: p.Epoch, Reason: reason,
+				Trace: obs.SpanContext{TraceID: p.TraceID, SpanID: p.SpanID},
+			}
 			if p.Error != "" {
 				ev.Err = fmt.Errorf("agent %s: %s", c.agentID, p.Error)
 			}
@@ -433,20 +442,22 @@ func (c *AgentClient) readLoop() {
 	}
 }
 
-// forwardDecision relays one OnIterationFinish verdict to the agent.
-func (c *AgentClient) forwardDecision(jobID string, reply <-chan sched.Decision) {
-	var d sched.Decision
+// forwardDecision relays one OnIterationFinish verdict to the agent,
+// carrying the decision span's context so agent-side reaction spans
+// parent under the scheduler's decision.
+func (c *AgentClient) forwardDecision(jobID string, reply <-chan DecisionReply) {
+	var dr DecisionReply
 	select {
 	case got, ok := <-reply:
 		if !ok {
 			return
 		}
-		d = got
+		dr = got
 	case <-c.stop:
 		return
 	}
 	var s string
-	switch d {
+	switch dr.Decision {
 	case sched.Suspend:
 		s = "suspend"
 	case sched.Terminate:
@@ -454,7 +465,15 @@ func (c *AgentClient) forwardDecision(jobID string, reply <-chan sched.Decision)
 	default:
 		s = "continue"
 	}
-	if err := c.conn.SendTyped(wire.MsgDecision, wire.DecisionPayload{JobID: jobID, Decision: s}); err != nil {
+	p := wire.DecisionPayload{
+		JobID:    jobID,
+		Decision: s,
+		TraceContext: wire.TraceContext{
+			TraceID: dr.Trace.TraceID,
+			SpanID:  dr.Trace.SpanID,
+		},
+	}
+	if err := c.conn.SendTyped(wire.MsgDecision, p); err != nil {
 		// Connection failure surfaces through readLoop.
 		return
 	}

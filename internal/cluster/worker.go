@@ -163,29 +163,29 @@ func (p *WorkerPool) runJob(wj *workerJob, trainer workload.Trainer) {
 			return
 		}
 		if done {
-			p.emit(wj, Event{Kind: EvExited, Job: spec.Job, Slot: spec.Slot, Epoch: s.Epoch, Reason: ExitCompleted})
+			p.emit(wj, Event{Kind: EvExited, Job: spec.Job, Slot: spec.Slot, Epoch: s.Epoch, Reason: ExitCompleted, Trace: spec.Trace})
 			return
 		}
 
-		reply := make(chan sched.Decision, 1)
-		if !p.emit(wj, Event{Kind: EvIterDone, Job: spec.Job, Slot: spec.Slot, Epoch: s.Epoch, Reply: reply}) {
+		reply := make(chan DecisionReply, 1)
+		if !p.emit(wj, Event{Kind: EvIterDone, Job: spec.Job, Slot: spec.Slot, Epoch: s.Epoch, Reply: reply, Trace: spec.Trace}) {
 			return
 		}
-		var decision sched.Decision
+		var dr DecisionReply
 		select {
-		case decision = <-reply:
+		case dr = <-reply:
 		case <-wj.stop:
 			return
 		}
 
-		switch decision {
+		switch dr.Decision {
 		case sched.Terminate:
-			p.emit(wj, Event{Kind: EvExited, Job: spec.Job, Slot: spec.Slot, Epoch: s.Epoch, Reason: ExitTerminated})
+			p.emit(wj, Event{Kind: EvExited, Job: spec.Job, Slot: spec.Slot, Epoch: s.Epoch, Reason: ExitTerminated, Trace: dr.Trace})
 			return
 		case sched.Suspend:
 			payload, err := trainer.Snapshot()
 			if err != nil {
-				p.emit(wj, Event{Kind: EvExited, Job: spec.Job, Slot: spec.Slot, Epoch: s.Epoch, Reason: ExitError, Err: err})
+				p.emit(wj, Event{Kind: EvExited, Job: spec.Job, Slot: spec.Slot, Epoch: s.Epoch, Reason: ExitError, Err: err, Trace: dr.Trace})
 				return
 			}
 			var (
@@ -202,11 +202,11 @@ func (p *WorkerPool) runJob(wj *workerJob, trainer workload.Trainer) {
 			}
 			if !p.emit(wj, Event{
 				Kind: EvSnapshot, Job: spec.Job, Slot: spec.Slot, Epoch: trainer.Epoch(),
-				Snapshot: data, SnapSize: img.Size, SnapLat: img.Latency,
+				Snapshot: data, SnapSize: img.Size, SnapLat: img.Latency, Trace: dr.Trace,
 			}) {
 				return
 			}
-			p.emit(wj, Event{Kind: EvExited, Job: spec.Job, Slot: spec.Slot, Epoch: trainer.Epoch(), Reason: ExitSuspended})
+			p.emit(wj, Event{Kind: EvExited, Job: spec.Job, Slot: spec.Slot, Epoch: trainer.Epoch(), Reason: ExitSuspended, Trace: dr.Trace})
 			return
 		default: // Continue
 		}

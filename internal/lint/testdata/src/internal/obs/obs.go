@@ -5,6 +5,13 @@ package obs
 const (
 	EpochsTotal = "hyperdrive_epochs_total"
 	StartsTotal = "hyperdrive_job_starts_total"
+
+	// Runtime-health names sampled by the runtime sampler.
+	GoGoroutines     = "hyperdrive_go_goroutines"
+	GoHeapBytes      = "hyperdrive_go_heap_bytes"
+	GoGCPauseSeconds = "hyperdrive_go_gc_pause_seconds"
+	// FlightSpansDroppedTotal mirrors the flight recorder's drop count.
+	FlightSpansDroppedTotal = "hyperdrive_flight_spans_dropped_total"
 )
 
 // DecisionsTotal builds a per-verdict counter name.

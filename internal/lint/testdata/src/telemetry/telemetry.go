@@ -9,6 +9,12 @@ func instrument(r *obs.Registry) {
 	r.Counter(obs.DecisionsTotal("suspend"))
 	r.Gauge(obs.StartsTotal)
 
+	// Good: the runtime-health and flight-recorder names.
+	r.Gauge(obs.GoGoroutines)
+	r.Gauge(obs.GoHeapBytes)
+	r.Histogram(obs.GoGCPauseSeconds)
+	r.Counter(obs.FlightSpansDroppedTotal)
+
 	// Bad: call-site literals and locally built names.
 	r.Counter("hyperdrive_epochs_total") // want "metric name is a string literal"
 	name := "hyperdrive_rogue_total"

@@ -1,0 +1,304 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// TraceWriter accumulates Chrome trace-event JSON — the format
+// Perfetto and chrome://tracing load directly — and writes it out once
+// at the end of a run. Tracks are named, not numbered: callers emit
+// events onto (process, track) string pairs ("scheduler"/"job j3",
+// "agent a1"/"slot-0") and the writer assigns stable pids/tids and the
+// process_name/thread_name metadata events on export.
+//
+// Timestamps are absolute time.Time values (wall clock in the live
+// engine, the virtual clock in the simulator); Export re-bases them
+// so the trace starts at zero. A nil *TraceWriter is a valid no-op
+// sink, so every emission site instruments unconditionally.
+type TraceWriter struct {
+	mu     sync.Mutex
+	events []traceEvent
+	seq    int64
+	procs  map[string]int
+	tracks map[string]int     // "proc\x00track" → tid
+	open   map[trackKey][]int // indices of unmatched B events per track
+}
+
+type trackKey struct {
+	pid, tid int
+}
+
+// traceEvent is one entry of the traceEvents array. Phases used: "B"
+// (begin), "E" (end), "X" (complete, with dur), "i" (instant), "M"
+// (metadata).
+type traceEvent struct {
+	Name string                 `json:"name"`
+	Cat  string                 `json:"cat,omitempty"`
+	Ph   string                 `json:"ph"`
+	TS   int64                  `json:"ts"` // microseconds
+	Dur  int64                  `json:"dur,omitempty"`
+	PID  int                    `json:"pid"`
+	TID  int                    `json:"tid"`
+	S    string                 `json:"s,omitempty"` // instant scope
+	Args map[string]interface{} `json:"args,omitempty"`
+
+	seq int64 `json:"-"` // emission order, for stable sorting
+}
+
+// NewTraceWriter returns an empty writer.
+func NewTraceWriter() *TraceWriter {
+	return &TraceWriter{
+		procs:  make(map[string]int),
+		tracks: make(map[string]int),
+		open:   make(map[trackKey][]int),
+	}
+}
+
+// ids resolves (proc, track) to stable pid/tid, registering them on
+// first use. Callers hold w.mu.
+func (w *TraceWriter) ids(proc, track string) (int, int) {
+	pid, ok := w.procs[proc]
+	if !ok {
+		pid = len(w.procs) + 1
+		w.procs[proc] = pid
+		w.events = append(w.events, traceEvent{
+			Name: "process_name", Ph: "M", PID: pid, TID: 0,
+			Args: map[string]interface{}{"name": proc},
+			seq:  w.nextSeq(),
+		})
+	}
+	tkey := proc + "\x00" + track
+	tid, ok := w.tracks[tkey]
+	if !ok {
+		tid = len(w.tracks) + 1
+		w.tracks[tkey] = tid
+		w.events = append(w.events, traceEvent{
+			Name: "thread_name", Ph: "M", PID: pid, TID: tid,
+			Args: map[string]interface{}{"name": track},
+			seq:  w.nextSeq(),
+		})
+	}
+	return pid, tid
+}
+
+func (w *TraceWriter) nextSeq() int64 {
+	w.seq++
+	return w.seq
+}
+
+// Begin opens a duration slice on (proc, track). Every Begin should be
+// matched by an End; Export force-closes any still open at the final
+// timestamp so the exported file is always balanced.
+func (w *TraceWriter) Begin(proc, track, name string, at time.Time, args map[string]interface{}) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	pid, tid := w.ids(proc, track)
+	idx := len(w.events)
+	w.events = append(w.events, traceEvent{
+		Name: name, Ph: "B", TS: at.UnixMicro(), PID: pid, TID: tid,
+		Args: args, seq: w.nextSeq(),
+	})
+	k := trackKey{pid, tid}
+	w.open[k] = append(w.open[k], idx)
+}
+
+// End closes the most recent open slice on (proc, track).
+func (w *TraceWriter) End(proc, track string, at time.Time) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	pid, tid := w.ids(proc, track)
+	k := trackKey{pid, tid}
+	stack := w.open[k]
+	if len(stack) == 0 {
+		return // nothing open: drop rather than emit an unbalanced E
+	}
+	w.open[k] = stack[:len(stack)-1]
+	w.events = append(w.events, traceEvent{
+		Name: w.events[stack[len(stack)-1]].Name, Ph: "E",
+		TS: at.UnixMicro(), PID: pid, TID: tid, seq: w.nextSeq(),
+	})
+}
+
+// Complete emits a finished slice (phase X) of the given duration.
+func (w *TraceWriter) Complete(proc, track, name string, start time.Time, dur time.Duration, args map[string]interface{}) {
+	if w == nil {
+		return
+	}
+	if dur < 0 {
+		dur = 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	pid, tid := w.ids(proc, track)
+	w.events = append(w.events, traceEvent{
+		Name: name, Ph: "X", TS: start.UnixMicro(), Dur: dur.Microseconds(),
+		PID: pid, TID: tid, Args: args, seq: w.nextSeq(),
+	})
+}
+
+// Instant emits a zero-duration marker (phase i, thread scope).
+func (w *TraceWriter) Instant(proc, track, name string, at time.Time, args map[string]interface{}) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	pid, tid := w.ids(proc, track)
+	w.events = append(w.events, traceEvent{
+		Name: name, Ph: "i", TS: at.UnixMicro(), PID: pid, TID: tid,
+		S: "t", Args: args, seq: w.nextSeq(),
+	})
+}
+
+// traceFile is the on-disk envelope.
+type traceFile struct {
+	TraceEvents []traceEvent `json:"traceEvents"`
+}
+
+// Export writes the accumulated events as Chrome trace-event JSON:
+// unmatched Begins are force-closed at the final timestamp, events are
+// sorted per track by timestamp (emission order breaks ties), and all
+// timestamps are re-based so the earliest event sits at ts=0.
+func (w *TraceWriter) Export(out io.Writer) error {
+	if w == nil {
+		_, err := out.Write([]byte(`{"traceEvents":[]}` + "\n"))
+		return err
+	}
+	w.mu.Lock()
+	events := make([]traceEvent, len(w.events))
+	copy(events, w.events)
+	// Force-close open slices at the maximum timestamp seen.
+	var maxTS int64
+	for _, e := range events {
+		if e.Ph != "M" && e.TS > maxTS {
+			maxTS = e.TS
+		}
+	}
+	for k, stack := range w.open {
+		for i := len(stack) - 1; i >= 0; i-- {
+			w.seq++
+			events = append(events, traceEvent{
+				Name: events[stack[i]].Name, Ph: "E", TS: maxTS,
+				PID: k.pid, TID: k.tid, seq: w.seq,
+			})
+		}
+	}
+	w.mu.Unlock()
+
+	// Re-base timestamps to zero.
+	var minTS int64
+	first := true
+	for _, e := range events {
+		if e.Ph == "M" {
+			continue
+		}
+		if first || e.TS < minTS {
+			minTS, first = e.TS, false
+		}
+	}
+	for i := range events {
+		if events[i].Ph != "M" {
+			events[i].TS -= minTS
+		}
+	}
+	// Sort: metadata first, then per-track chronological order with
+	// emission order as the tiebreak (keeps B before its same-ts E).
+	sort.SliceStable(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		am, bm := a.Ph == "M", b.Ph == "M"
+		if am != bm {
+			return am
+		}
+		if a.PID != b.PID {
+			return a.PID < b.PID
+		}
+		if a.TID != b.TID {
+			return a.TID < b.TID
+		}
+		if a.TS != b.TS {
+			return a.TS < b.TS
+		}
+		return a.seq < b.seq
+	})
+	enc := json.NewEncoder(out)
+	return enc.Encode(traceFile{TraceEvents: events})
+}
+
+// WriteFile exports to path (0644).
+func (w *TraceWriter) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := w.Export(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ValidateTraceEvents checks data for the invariants the repo's
+// tooling relies on: the envelope parses, every event carries a known
+// phase and a name, per-track timestamps are monotonically
+// non-decreasing in file order, X durations are non-negative, and
+// B/E pairs are balanced on every track. The same checks back the
+// golden-file tests and `hdlog -check-trace`.
+func ValidateTraceEvents(data []byte) error {
+	var tf traceFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		return fmt.Errorf("trace: invalid JSON envelope: %w", err)
+	}
+	lastTS := make(map[trackKey]int64)
+	depth := make(map[trackKey]int)
+	for i, e := range tf.TraceEvents {
+		if e.Name == "" {
+			return fmt.Errorf("trace: event %d has no name", i)
+		}
+		k := trackKey{e.PID, e.TID}
+		switch e.Ph {
+		case "M":
+			continue
+		case "B":
+			depth[k]++
+		case "E":
+			depth[k]--
+			if depth[k] < 0 {
+				return fmt.Errorf("trace: event %d: E without matching B on pid=%d tid=%d", i, e.PID, e.TID)
+			}
+		case "X":
+			if e.Dur < 0 {
+				return fmt.Errorf("trace: event %d (%s): negative duration %d", i, e.Name, e.Dur)
+			}
+		case "i", "I":
+			// instant: nothing extra to check
+		default:
+			return fmt.Errorf("trace: event %d (%s): unknown phase %q", i, e.Name, e.Ph)
+		}
+		if e.TS < 0 {
+			return fmt.Errorf("trace: event %d (%s): negative timestamp %d", i, e.Name, e.TS)
+		}
+		if last, ok := lastTS[k]; ok && e.TS < last {
+			return fmt.Errorf("trace: event %d (%s): timestamp %d before %d on pid=%d tid=%d",
+				i, e.Name, e.TS, last, e.PID, e.TID)
+		}
+		lastTS[k] = e.TS
+	}
+	for k, d := range depth {
+		if d != 0 {
+			return fmt.Errorf("trace: pid=%d tid=%d has %d unclosed B event(s)", k.pid, k.tid, d)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,218 @@
+package obs
+
+import "sync"
+
+// FlightRecorder is the bounded span store behind GET /debug/obs/spans:
+// it retains the last N finished spans globally, plus every finished
+// span belonging to a job that is still live (up to a per-job cap), so
+// a crash or a stall can always be reconstructed from the spans that
+// explain the jobs currently on the cluster. Everything beyond the
+// bounds is dropped and counted — the recorder never grows without
+// limit and never blocks the tracing hot path on more than one mutex.
+//
+// A nil *FlightRecorder is a valid no-op sink.
+type FlightRecorder struct {
+	mu      sync.Mutex
+	ring    []*Span
+	pos, n  int
+	live    map[string][]*Span
+	perJob  int
+	dropped int64
+	mirror  *Counter        // optional registry counter mirroring drops
+	lazy    func() *Counter // resolves mirror on first drop (Registry)
+}
+
+// DefaultFlightCapacity and DefaultFlightPerJob bound the recorder a
+// Registry creates implicitly.
+const (
+	DefaultFlightCapacity = 256
+	DefaultFlightPerJob   = 128
+)
+
+// NewFlightRecorder returns a recorder retaining up to capacity
+// finished spans globally and perJob spans for each live job (minimums
+// 1).
+func NewFlightRecorder(capacity, perJob int) *FlightRecorder {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if perJob < 1 {
+		perJob = 1
+	}
+	return &FlightRecorder{
+		ring:   make([]*Span, capacity),
+		live:   make(map[string][]*Span),
+		perJob: perJob,
+	}
+}
+
+// MirrorDrops publishes future drop counts to c as well as the
+// internal counter.
+func (f *FlightRecorder) MirrorDrops(c *Counter) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.mirror = c
+	f.mu.Unlock()
+}
+
+// mirrorLazily defers mirror-counter creation until the first drop, so
+// attaching a recorder to a registry does not register a metric series
+// that may never be needed.
+func (f *FlightRecorder) mirrorLazily(resolve func() *Counter) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.lazy = resolve
+	f.mu.Unlock()
+}
+
+// syncDrops raises the mirror counter to dropped, resolving the lazy
+// mirror on the first real drop. Called outside f.mu (resolve may take
+// the registry lock).
+func (f *FlightRecorder) syncDrops(dropped int64) {
+	if dropped == 0 {
+		return
+	}
+	f.mu.Lock()
+	c, resolve := f.mirror, f.lazy
+	f.mu.Unlock()
+	if c == nil {
+		if resolve == nil {
+			return
+		}
+		c = resolve()
+		f.mu.Lock()
+		f.mirror = c
+		f.mu.Unlock()
+	}
+	if delta := dropped - c.Value(); delta > 0 {
+		c.Add(delta)
+	}
+}
+
+// JobLive marks job as live: its spans are pinned outside the global
+// ring until JobDone.
+func (f *FlightRecorder) JobLive(job string) {
+	if f == nil || job == "" {
+		return
+	}
+	f.mu.Lock()
+	if _, ok := f.live[job]; !ok {
+		f.live[job] = nil
+	}
+	f.mu.Unlock()
+}
+
+// JobDone releases job's pinned spans into the global ring (oldest
+// first, so they age out like any other finished span).
+func (f *FlightRecorder) JobDone(job string) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	spans := f.live[job]
+	delete(f.live, job)
+	for _, s := range spans {
+		f.insertLocked(s)
+	}
+	dropped := f.dropped
+	f.mu.Unlock()
+	f.syncDrops(dropped)
+}
+
+// Record stores one finished span: pinned under its job while the job
+// is live, otherwise in the global ring. Called by Tracer.Finish.
+func (f *FlightRecorder) Record(s *Span) {
+	if f == nil || s == nil {
+		return
+	}
+	f.mu.Lock()
+	if spans, ok := f.live[s.job]; ok && s.job != "" {
+		if len(spans) >= f.perJob {
+			// Shift out the oldest pinned span; the cap holds.
+			copy(spans, spans[1:])
+			spans[len(spans)-1] = s
+			f.dropped++
+		} else {
+			spans = append(spans, s)
+		}
+		f.live[s.job] = spans
+	} else {
+		f.insertLocked(s)
+	}
+	dropped := f.dropped
+	f.mu.Unlock()
+	f.syncDrops(dropped)
+}
+
+// insertLocked ring-inserts s, counting the eviction once the ring has
+// wrapped. Callers hold f.mu.
+func (f *FlightRecorder) insertLocked(s *Span) {
+	if f.ring[f.pos] != nil {
+		f.dropped++
+	}
+	f.ring[f.pos] = s
+	f.pos = (f.pos + 1) % len(f.ring)
+	if f.n < len(f.ring) {
+		f.n++
+	}
+}
+
+// Dropped returns how many spans fell off the bounds so far.
+func (f *FlightRecorder) Dropped() int64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dropped
+}
+
+// FlightView is the recorder's JSON-serializable snapshot.
+type FlightView struct {
+	// Live maps each live job to its pinned spans, oldest first.
+	Live map[string][]View `json:"live"`
+	// Recent is the global ring of finished spans, oldest first.
+	Recent []View `json:"recent"`
+	// Dropped counts spans lost to the bounds since startup.
+	Dropped int64 `json:"dropped"`
+}
+
+// Snapshot copies the recorder's current contents.
+func (f *FlightRecorder) Snapshot() FlightView {
+	v := FlightView{Live: map[string][]View{}, Recent: []View{}}
+	if f == nil {
+		return v
+	}
+	f.mu.Lock()
+	start := f.pos - f.n
+	if start < 0 {
+		start += len(f.ring)
+	}
+	ring := make([]*Span, 0, f.n)
+	for i := 0; i < f.n; i++ {
+		ring = append(ring, f.ring[(start+i)%len(f.ring)])
+	}
+	live := make(map[string][]*Span, len(f.live))
+	for job, spans := range f.live {
+		live[job] = append([]*Span(nil), spans...)
+	}
+	v.Dropped = f.dropped
+	f.mu.Unlock()
+
+	// Snapshot the spans outside f.mu: each takes its own span mutex.
+	for _, s := range ring {
+		v.Recent = append(v.Recent, s.Snapshot())
+	}
+	for job, spans := range live {
+		views := make([]View, 0, len(spans))
+		for _, s := range spans {
+			views = append(views, s.Snapshot())
+		}
+		v.Live[job] = views
+	}
+	return v
+}

@@ -63,6 +63,9 @@ func Handler(r *Registry, opts HandlerOptions) http.Handler {
 		}
 		writeJSON(w, views)
 	})
+	mux.HandleFunc("/debug/obs/spans", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, r.Flight().Snapshot())
+	})
 	if opts.Pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

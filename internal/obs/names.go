@@ -83,6 +83,17 @@ const (
 	// HeartbeatRTTSeconds is the scheduler-side histogram of
 	// ping→pong round-trip times to node agents.
 	HeartbeatRTTSeconds = "hyperdrive_heartbeat_rtt_seconds"
+
+	// GoGoroutines / GoHeapBytes / GoGCPauseSeconds are the runtime
+	// health samples taken by StartRuntimeSampler: goroutine count,
+	// live heap bytes, and the GC stop-the-world pause distribution.
+	GoGoroutines     = "hyperdrive_go_goroutines"
+	GoHeapBytes      = "hyperdrive_go_heap_bytes"
+	GoGCPauseSeconds = "hyperdrive_go_gc_pause_seconds"
+
+	// FlightSpansDroppedTotal counts spans the flight recorder evicted
+	// past its bounds (global ring wrap + per-live-job cap overflow).
+	FlightSpansDroppedTotal = "hyperdrive_flight_spans_dropped_total"
 )
 
 // DecisionsTotal returns the labeled series name counting

@@ -211,17 +211,23 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 	tracer   *Tracer
+	flight   *FlightRecorder
 	table    atomic.Value // []JobRow
 }
 
-// NewRegistry returns an empty registry with a 512-span tracer.
+// NewRegistry returns an empty registry with a 512-span tracer and a
+// default-bounded flight recorder fed by the tracer's finished spans.
 func NewRegistry() *Registry {
-	return &Registry{
+	r := &Registry{
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
 		tracer:   NewTracer(512),
+		flight:   NewFlightRecorder(DefaultFlightCapacity, DefaultFlightPerJob),
 	}
+	r.tracer.flight = r.flight
+	r.flight.mirrorLazily(func() *Counter { return r.Counter(FlightSpansDroppedTotal) })
+	return r
 }
 
 // Counter returns the counter registered under name, creating it on
@@ -301,6 +307,15 @@ func (r *Registry) Tracer() *Tracer {
 		return nil
 	}
 	return r.tracer
+}
+
+// Flight returns the registry's flight recorder (nil on a nil
+// registry).
+func (r *Registry) Flight() *FlightRecorder {
+	if r == nil {
+		return nil
+	}
+	return r.flight
 }
 
 // JobRow is one line of the live job classification table: what the

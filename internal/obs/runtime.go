@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// StartRuntimeSampler samples Go runtime health into the registry on a
+// ticker: goroutine count (GoGoroutines), live heap bytes
+// (GoHeapBytes), and every GC pause since the previous tick into the
+// GoGCPauseSeconds histogram. One sample is taken immediately so the
+// gauges are populated before the first tick. The returned stop
+// function halts the sampler and is safe to call more than once; on a
+// nil registry it is a no-op.
+func StartRuntimeSampler(r *Registry, interval time.Duration) (stop func()) {
+	if r == nil {
+		return func() {}
+	}
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	goroutines := r.Gauge(GoGoroutines)
+	heap := r.Gauge(GoHeapBytes)
+	pauses := r.Histogram(GoGCPauseSeconds)
+
+	var lastNumGC uint32
+	sample := func() {
+		goroutines.Set(float64(runtime.NumGoroutine()))
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		heap.Set(float64(ms.HeapAlloc))
+		// PauseNs is a circular buffer of the last 256 pause times,
+		// indexed by NumGC; replay only the pauses since our last look.
+		n := ms.NumGC - lastNumGC
+		if n > uint32(len(ms.PauseNs)) {
+			n = uint32(len(ms.PauseNs))
+		}
+		for i := uint32(0); i < n; i++ {
+			idx := (ms.NumGC - i + uint32(len(ms.PauseNs)) - 1) % uint32(len(ms.PauseNs))
+			pauses.Observe(float64(ms.PauseNs[idx]) / 1e9)
+		}
+		lastNumGC = ms.NumGC
+	}
+	sample()
+
+	done := make(chan struct{})
+	stopped := make(chan struct{})
+	go func() {
+		defer close(stopped)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				sample()
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(done) })
+		<-stopped
+	}
+}

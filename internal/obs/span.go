@@ -16,17 +16,30 @@ import (
 //
 // A nil *Span is a valid no-op, so policies instrument unconditionally.
 type Span struct {
-	id    uint64
-	name  string
-	job   string
-	epoch int
-	start time.Time
+	id     uint64
+	name   string
+	job    string
+	epoch  int
+	start  time.Time
+	trace  string // trace this span belongs to ("" = untraced)
+	parent string // span ID of the causing span, possibly remote
 
 	mu     sync.Mutex
 	attrs  []Attr
 	stages []StageMark
 	end    time.Time
 }
+
+// SpanContext is the cross-process identity of a span: enough to stamp
+// onto a wire frame so the receiving process can record its own work as
+// a child of the sender's. The zero value means "untraced".
+type SpanContext struct {
+	TraceID string `json:"trace_id,omitempty"`
+	SpanID  string `json:"span_id,omitempty"`
+}
+
+// Valid reports whether the context carries a trace.
+func (c SpanContext) Valid() bool { return c.TraceID != "" }
 
 // Attr is one key/value annotation on a span. Exactly one of Val
 // (numeric) or Str is meaningful; Str=="" means numeric.
@@ -49,6 +62,32 @@ func (s *Span) ID() string {
 		return ""
 	}
 	return fmt.Sprintf("%012x", s.id)
+}
+
+// Context returns the span's cross-process identity. The zero value on
+// a nil or untraced span.
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: s.trace, SpanID: s.ID()}
+}
+
+// Parent returns the ID of the causing span ("" when the span is a
+// trace root or untraced).
+func (s *Span) Parent() string {
+	if s == nil {
+		return ""
+	}
+	return s.parent
+}
+
+// TraceID returns the trace this span belongs to ("" when untraced).
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.trace
 }
 
 // SetAttr records a numeric annotation.
@@ -113,6 +152,8 @@ func (s *Span) Attr(key string) (Attr, bool) {
 // View is a span's JSON-serializable snapshot.
 type View struct {
 	ID         string      `json:"id"`
+	TraceID    string      `json:"trace_id,omitempty"`
+	ParentID   string      `json:"parent_id,omitempty"`
 	Name       string      `json:"name"`
 	Job        string      `json:"job,omitempty"`
 	Epoch      int         `json:"epoch,omitempty"`
@@ -130,11 +171,13 @@ func (s *Span) Snapshot() View {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	v := View{
-		ID:    s.ID(),
-		Name:  s.name,
-		Job:   s.job,
-		Epoch: s.epoch,
-		Start: s.start,
+		ID:       s.ID(),
+		TraceID:  s.trace,
+		ParentID: s.parent,
+		Name:     s.name,
+		Job:      s.job,
+		Epoch:    s.epoch,
+		Start:    s.start,
 	}
 	if !s.end.IsZero() {
 		v.DurationNS = s.end.Sub(s.start).Nanoseconds()
@@ -147,7 +190,10 @@ func (s *Span) Snapshot() View {
 // Tracer hands out spans and retains the most recent completed ones in
 // a fixed-size ring for live introspection.
 type Tracer struct {
-	next atomic.Uint64
+	next      atomic.Uint64
+	nextTrace atomic.Uint64
+	origin    uint64          // folded into IDs; set once before use
+	flight    *FlightRecorder // finished spans are forwarded here
 
 	mu   sync.Mutex
 	ring []*Span
@@ -164,22 +210,61 @@ func NewTracer(capacity int) *Tracer {
 	return &Tracer{ring: make([]*Span, capacity)}
 }
 
-// Start opens a span. Nil tracers return nil spans, so the call chain
-// is a no-op when tracing is unconfigured.
+// SetOrigin namespaces this tracer's span and trace IDs by folding a
+// hash of name into their high bits, so IDs minted by different
+// processes (scheduler vs each agent) cannot collide when their spans
+// meet in one trace. Call once at setup, before any span is started;
+// an empty name keeps the default (unprefixed) IDs.
+func (t *Tracer) SetOrigin(name string) {
+	if t == nil || name == "" {
+		return
+	}
+	// FNV-1a over the name; keep the high 32 bits (top bit forced so
+	// the prefix is never zero) and leave the low 32 for the counters.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	t.origin = (h | 1<<63) &^ 0xffffffff
+}
+
+// Start opens a root span with no trace context. Nil tracers return
+// nil spans, so the call chain is a no-op when tracing is
+// unconfigured.
 func (t *Tracer) Start(name, job string, epoch int) *Span {
+	return t.StartSpan(name, job, epoch, SpanContext{})
+}
+
+// StartSpan opens a span as a child of parent: it joins parent's trace
+// and records parent's span ID as its causing span. A zero parent
+// yields a root span (same as Start).
+func (t *Tracer) StartSpan(name, job string, epoch int, parent SpanContext) *Span {
 	if t == nil {
 		return nil
 	}
 	return &Span{
-		id:    t.next.Add(1),
-		name:  name,
-		job:   job,
-		epoch: epoch,
-		start: time.Now(),
+		id:     t.origin | t.next.Add(1),
+		name:   name,
+		job:    job,
+		epoch:  epoch,
+		start:  time.Now(),
+		trace:  parent.TraceID,
+		parent: parent.SpanID,
 	}
 }
 
-// Finish closes the span and retains it in the ring.
+// NewTraceID mints a fresh trace identifier, namespaced by the
+// tracer's origin. "" on a nil tracer (untraced).
+func (t *Tracer) NewTraceID() string {
+	if t == nil {
+		return ""
+	}
+	return fmt.Sprintf("%016x", t.origin|t.nextTrace.Add(1))
+}
+
+// Finish closes the span, retains it in the ring, and forwards it to
+// the flight recorder (when the tracer belongs to a registry).
 func (t *Tracer) Finish(s *Span) {
 	if t == nil || s == nil {
 		return
@@ -194,6 +279,7 @@ func (t *Tracer) Finish(s *Span) {
 		t.n++
 	}
 	t.mu.Unlock()
+	t.flight.Record(s)
 }
 
 // Spans returns the retained completed spans, oldest first.

@@ -177,16 +177,42 @@ func (e *engine) observeDecision(sev *sched.Event, run func() sched.Decision) sc
 	// the configured per-fit cost (zero when cost modeling is off).
 	fits0 := m.fits.Value()
 	d := run()
+	lat := time.Duration(m.fits.Value()-fits0) * m.predCost
 	if sampled {
-		m.decisionLatency.Observe((time.Duration(m.fits.Value()-fits0) * m.predCost).Seconds())
+		m.decisionLatency.Observe(lat.Seconds())
 	}
 	m.dec[d&3]++
 	if sp.Annotated() {
 		sp.SetStr("decision", d.String())
 		m.tracer.Finish(sp)
+		e.emitDecisionTrace(sev, sp, lat)
 		e.publishClassification()
 	}
 	return d
+}
+
+// emitDecisionTrace mirrors one retained decision span onto the Chrome
+// trace: a slice on the "decisions" track whose duration is the
+// decision's modeled latency (fits triggered × per-fit cost — the same
+// simulated-time model the latency histogram records, so the export
+// stays host-independent). The span's annotations (ERT, confidence,
+// pool sizes, verdict) become the slice's args.
+func (e *engine) emitDecisionTrace(sev *sched.Event, sp *obs.Span, lat time.Duration) {
+	if e.opts.TraceSink == nil {
+		return
+	}
+	v := sp.Snapshot()
+	args := make(map[string]interface{}, len(v.Attrs)+1)
+	for _, a := range v.Attrs {
+		if a.Str != "" {
+			args[a.Key] = a.Str
+		} else {
+			args[a.Key] = a.Val
+		}
+	}
+	args["span"] = v.ID
+	e.opts.TraceSink.Complete("sim", "decisions", "decision "+string(sev.Job),
+		e.start.Add(e.now), lat, args)
 }
 
 // publishClassification mirrors POP's slot division and the job table
@@ -241,6 +267,13 @@ func (e *engine) publishClassification() {
 				row.Class = "poor"
 			case st == sched.Running || st == sched.Suspended:
 				row.Class = "opportunistic"
+			}
+			// One trace marker per classification change, not per refresh.
+			if row.Class != "" && e.lastClass[j.id] != row.Class {
+				e.lastClass[j.id] = row.Class
+				e.opts.TraceSink.Instant("sim", "classes", string(j.id)+": "+row.Class,
+					e.start.Add(e.now),
+					map[string]interface{}{"confidence": row.Confidence, "ert_seconds": row.ERTSeconds})
 			}
 		}
 		rows = append(rows, row)

@@ -70,6 +70,13 @@ type Options struct {
 	// dashboards directly comparable. Nil keeps the event loop
 	// uninstrumented.
 	Obs *obs.Registry
+	// TraceSink, when non-nil, receives Chrome trace events for the
+	// run: one track per machine carrying the job-occupancy Gantt,
+	// plus decision slices and classification-change markers. All
+	// timestamps come from the virtual clock (simEpoch + simulated
+	// time), never the host clock, so the export is bit-identical
+	// across runs and hosts.
+	TraceSink *obs.TraceWriter
 }
 
 // RatioPoint samples the exploitation share over time (Figure 4c).
@@ -206,6 +213,9 @@ type engine struct {
 	lastFit int
 	stopAt  float64
 	met     *simMetrics
+	// lastClass remembers each job's last published classification so
+	// the trace gets one marker per change, not one per refresh.
+	lastClass map[sched.JobID]string
 }
 
 var simEpoch = time.Date(2017, 12, 11, 0, 0, 0, 0, time.UTC)
@@ -227,15 +237,22 @@ func Run(opts Options) (*Result, error) {
 	if opts.MaxDuration == 0 {
 		opts.MaxDuration = 7 * 24 * time.Hour
 	}
+	if opts.TraceSink != nil && opts.Obs == nil {
+		// Decision slices and classification markers ride on the
+		// registry's tracer; give the run a private one when the caller
+		// asked for a trace without instrumenting.
+		opts.Obs = obs.NewRegistry()
+	}
 
 	tr := opts.Trace
 	e := &engine{
-		opts:    opts,
-		db:      appstat.NewDB(),
-		start:   simEpoch,
-		byID:    make(map[sched.JobID]*simJob),
-		running: make(map[int]*simJob),
-		res:     &Result{},
+		opts:      opts,
+		db:        appstat.NewDB(),
+		start:     simEpoch,
+		byID:      make(map[sched.JobID]*simJob),
+		running:   make(map[int]*simJob),
+		lastClass: make(map[sched.JobID]string),
+		res:       &Result{},
 		info: policy.Info{
 			Workload:      tr.Workload,
 			Target:        tr.Target,
@@ -345,6 +362,8 @@ func (e *engine) handleEpochFinish(ev *event) bool {
 	if e.updateBest(j, s.Metric) && e.opts.StopAtTarget {
 		e.res.Reached = true
 		e.res.TimeToTarget = e.now
+		e.traceMark(ev.machine, "target reached",
+			map[string]interface{}{"job": string(j.id), "metric": s.Metric})
 		return true
 	}
 
@@ -353,6 +372,8 @@ func (e *engine) handleEpochFinish(ev *event) bool {
 		if err := j.job.Complete(); err == nil {
 			e.res.Completions++
 			e.met.completions++
+			e.traceMark(ev.machine, "complete "+string(j.id),
+				map[string]interface{}{"best": j.best})
 		}
 		e.closeSegment(j)
 		e.freeMachine(ev.machine, 0)
@@ -394,6 +415,8 @@ func (e *engine) handleEpochFinish(ev *event) bool {
 			e.res.Suspends++
 			e.met.suspends++
 			e.enqueueIdle(j)
+			e.traceMark(ev.machine, "suspend "+string(j.id),
+				map[string]interface{}{"overhead_us": overhead.Microseconds()})
 		}
 		e.closeSegment(j)
 		e.freeMachine(ev.machine, predDelay+overhead)
@@ -403,6 +426,8 @@ func (e *engine) handleEpochFinish(ev *event) bool {
 		if err := j.job.Terminate(); err == nil {
 			e.res.Terminations++
 			e.met.terminations++
+			e.traceMark(ev.machine, "terminate "+string(j.id),
+				map[string]interface{}{"epoch": j.epoch, "best": j.best})
 		}
 		e.closeSegment(j)
 		e.freeMachine(ev.machine, predDelay)
@@ -448,14 +473,25 @@ func (e *engine) scheduleEpoch(m int, j *simJob, extraDelay time.Duration) {
 	e.running[m] = j
 }
 
-// closeSegment records the occupancy stretch ending now for job j.
+// closeSegment records the occupancy stretch ending now for job j,
+// both in the result and (when tracing) as a complete slice on the
+// machine's trace track.
 func (e *engine) closeSegment(j *simJob) {
 	if e.now > j.segStart {
 		e.res.Segments = append(e.res.Segments, Segment{
 			Job: string(j.id), Machine: j.machine, Start: j.segStart, End: e.now,
 		})
+		e.opts.TraceSink.Complete("sim", fmt.Sprintf("m%d", j.machine), string(j.id),
+			e.start.Add(j.segStart), e.now-j.segStart,
+			map[string]interface{}{"epoch": j.epoch, "best": j.best})
 	}
 	j.segStart = e.now
+}
+
+// traceMark drops an instant marker on machine m's trace track at the
+// current virtual time.
+func (e *engine) traceMark(m int, name string, args map[string]interface{}) {
+	e.opts.TraceSink.Instant("sim", fmt.Sprintf("m%d", m), name, e.start.Add(e.now), args)
 }
 
 // freeMachine releases machine m; overhead models suspend latency or

@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"github.com/hyperdrive-ml/hyperdrive/internal/obs"
+	"github.com/hyperdrive-ml/hyperdrive/internal/policy"
+)
+
+// simTraceRun runs one fixed POP experiment with a trace sink and
+// returns the exported Chrome trace plus the result.
+func simTraceRun(t *testing.T) ([]byte, *Result) {
+	t.Helper()
+	pop, err := policy.NewPOP(policy.POPOptions{Predictor: tinyPredictor()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := obs.NewTraceWriter()
+	res, err := Run(Options{
+		Trace:          testTrace(t, 6, 3),
+		Machines:       2,
+		Policy:         pop,
+		PredictionCost: 250 * time.Millisecond,
+		TraceSink:      sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sink.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), res
+}
+
+// TestSimTraceExport checks that a simulated run's trace export is
+// valid Chrome trace-event JSON reflecting the run: a Gantt track per
+// machine, decision slices, and lifecycle markers.
+func TestSimTraceExport(t *testing.T) {
+	data, res := simTraceRun(t)
+	if err := obs.ValidateTraceEvents(data); err != nil {
+		t.Fatalf("sim trace export invalid: %v", err)
+	}
+	for _, want := range []string{`"sim"`, `"m0"`, `"m1"`, `"decisions"`, `"decision `} {
+		if !bytes.Contains(data, []byte(want)) {
+			t.Fatalf("sim trace missing %s", want)
+		}
+	}
+	// Every recorded occupancy segment appears as a slice on its
+	// machine's track, so the lifecycle markers must match the result.
+	if res.Suspends > 0 && !bytes.Contains(data, []byte(`"suspend `)) {
+		t.Fatalf("result has %d suspends but trace has no suspend marker", res.Suspends)
+	}
+	if res.Completions > 0 && !bytes.Contains(data, []byte(`"complete `)) {
+		t.Fatalf("result has %d completions but trace has no complete marker", res.Completions)
+	}
+	if res.Segments == nil {
+		t.Fatal("run recorded no segments")
+	}
+}
+
+// TestSimTraceDeterministic re-runs the same experiment and requires a
+// byte-identical export: trace timestamps must come from the virtual
+// clock, never the host's.
+func TestSimTraceDeterministic(t *testing.T) {
+	a, _ := simTraceRun(t)
+	b, _ := simTraceRun(t)
+	if !bytes.Equal(a, b) {
+		t.Fatal("two identical simulated runs exported different traces")
+	}
+}

@@ -1,0 +1,135 @@
+package wire
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestTraceContextRoundTrip proves every lifecycle payload carries its
+// trace context through a full encode/decode cycle.
+func TestTraceContextRoundTrip(t *testing.T) {
+	tc := TraceContext{TraceID: "8000000100000001", SpanID: "8000000100000002"}
+	payloads := []struct {
+		typ  MsgType
+		send interface{}
+	}{
+		{MsgStartJob, StartJobPayload{JobID: "j1", Workload: "cifar10", MaxEpoch: 5, TraceContext: tc}},
+		{MsgResumeJob, StartJobPayload{JobID: "j1", Workload: "cifar10", Snapshot: []byte("s"), TraceContext: tc}},
+		{MsgDecision, DecisionPayload{JobID: "j1", Decision: "suspend", TraceContext: tc}},
+		{MsgSuspendJob, JobControlPayload{JobID: "j1", TraceContext: tc}},
+		{MsgTerminateJob, JobControlPayload{JobID: "j1", TraceContext: tc}},
+		{MsgIterDone, IterDonePayload{JobID: "j1", Epoch: 3, TraceContext: tc}},
+		{MsgJobExited, JobExitedPayload{JobID: "j1", Epoch: 3, Reason: "completed", TraceContext: tc}},
+		{MsgSnapshot, SnapshotPayload{JobID: "j1", Epoch: 3, State: []byte("x"), TraceContext: tc}},
+	}
+	for _, p := range payloads {
+		m, err := NewMessage(p.typ, p.send)
+		if err != nil {
+			t.Fatalf("%s: %v", p.typ, err)
+		}
+		var got TraceContext
+		switch p.typ {
+		case MsgStartJob, MsgResumeJob:
+			var v StartJobPayload
+			if err := m.Decode(&v); err != nil {
+				t.Fatal(err)
+			}
+			got = v.TraceContext
+		case MsgDecision:
+			var v DecisionPayload
+			if err := m.Decode(&v); err != nil {
+				t.Fatal(err)
+			}
+			got = v.TraceContext
+		case MsgSuspendJob, MsgTerminateJob:
+			var v JobControlPayload
+			if err := m.Decode(&v); err != nil {
+				t.Fatal(err)
+			}
+			got = v.TraceContext
+		case MsgIterDone:
+			var v IterDonePayload
+			if err := m.Decode(&v); err != nil {
+				t.Fatal(err)
+			}
+			got = v.TraceContext
+		case MsgJobExited:
+			var v JobExitedPayload
+			if err := m.Decode(&v); err != nil {
+				t.Fatal(err)
+			}
+			got = v.TraceContext
+		case MsgSnapshot:
+			var v SnapshotPayload
+			if err := m.Decode(&v); err != nil {
+				t.Fatal(err)
+			}
+			got = v.TraceContext
+		}
+		if got != tc {
+			t.Errorf("%s: trace context = %+v, want %+v", p.typ, got, tc)
+		}
+	}
+}
+
+// TestTraceContextBackwardCompat proves frames from peers that predate
+// tracing decode cleanly: the fields are absent from the JSON and the
+// context comes back zero.
+func TestTraceContextBackwardCompat(t *testing.T) {
+	// A pre-tracing peer encodes only the original fields.
+	legacy := []struct {
+		raw    string
+		decode func([]byte) (TraceContext, error)
+	}{
+		{`{"jobId":"j1","workload":"cifar10","maxEpoch":5,"seed":1,"statPeriod":1}`,
+			func(b []byte) (TraceContext, error) {
+				var v StartJobPayload
+				err := json.Unmarshal(b, &v)
+				return v.TraceContext, err
+			}},
+		{`{"jobId":"j1","decision":"continue"}`,
+			func(b []byte) (TraceContext, error) {
+				var v DecisionPayload
+				err := json.Unmarshal(b, &v)
+				return v.TraceContext, err
+			}},
+		{`{"jobId":"j1","epoch":2}`,
+			func(b []byte) (TraceContext, error) {
+				var v IterDonePayload
+				err := json.Unmarshal(b, &v)
+				return v.TraceContext, err
+			}},
+		{`{"jobId":"j1","epoch":2,"reason":"completed"}`,
+			func(b []byte) (TraceContext, error) {
+				var v JobExitedPayload
+				err := json.Unmarshal(b, &v)
+				return v.TraceContext, err
+			}},
+		{`{"jobId":"j1","epoch":2,"state":"eA=="}`,
+			func(b []byte) (TraceContext, error) {
+				var v SnapshotPayload
+				err := json.Unmarshal(b, &v)
+				return v.TraceContext, err
+			}},
+	}
+	for i, c := range legacy {
+		got, err := c.decode([]byte(c.raw))
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if got != (TraceContext{}) {
+			t.Errorf("case %d: legacy frame decoded trace context %+v", i, got)
+		}
+	}
+
+	// And the reverse: an untraced sender (zero context) must not emit
+	// the fields at all, so older receivers see byte-identical frames.
+	m, err := NewMessage(MsgIterDone, IterDonePayload{JobID: "j1", Epoch: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := string(m.Payload); strings.Contains(s, "traceId") || strings.Contains(s, "spanId") {
+		t.Fatalf("zero trace context serialized: %s", s)
+	}
+}

@@ -195,6 +195,17 @@ func (c *Conn) Close() error {
 
 // --- Payload schemas shared by scheduler and agents. ---
 
+// TraceContext is the distributed-tracing identity stamped onto job
+// lifecycle frames: TraceID names the trace the job belongs to and
+// SpanID the sender-side span that caused the frame, so the receiver
+// can record its own work as a child span. Both fields are optional —
+// frames from peers that predate tracing (or run with it off) simply
+// omit them and decode to the zero value.
+type TraceContext struct {
+	TraceID string `json:"traceId,omitempty"`
+	SpanID  string `json:"spanId,omitempty"`
+}
+
 // StartJobPayload asks an agent to begin (or resume) training a
 // configuration. History carries the metric curve so far so a resumed
 // job's agent-side curve prediction has the full trajectory (paper
@@ -209,6 +220,7 @@ type StartJobPayload struct {
 	Snapshot   []byte             `json:"snapshot,omitempty"` // resume state
 	History    []float64          `json:"history,omitempty"`  // metric curve so far
 	StatPeriod int                `json:"statPeriod"`         // epochs between stat reports
+	TraceContext
 }
 
 // DecisionPayload carries the SAP's OnIterationFinish verdict back to
@@ -216,11 +228,13 @@ type StartJobPayload struct {
 type DecisionPayload struct {
 	JobID    string `json:"jobId"`
 	Decision string `json:"decision"` // "continue" | "suspend" | "terminate"
+	TraceContext
 }
 
 // JobControlPayload addresses a running job (suspend/terminate).
 type JobControlPayload struct {
 	JobID string `json:"jobId"`
+	TraceContext
 }
 
 // HelloPayload introduces an agent to the scheduler.
@@ -245,6 +259,7 @@ type AppStatPayload struct {
 type IterDonePayload struct {
 	JobID string `json:"jobId"`
 	Epoch int    `json:"epoch"`
+	TraceContext
 }
 
 // JobExitedPayload reports job completion or failure.
@@ -253,6 +268,7 @@ type JobExitedPayload struct {
 	Epoch  int    `json:"epoch"`
 	Reason string `json:"reason"` // "completed" | "terminated" | "suspended" | "error"
 	Error  string `json:"error,omitempty"`
+	TraceContext
 }
 
 // SnapshotPayload uploads a suspended job's training state to the
@@ -262,6 +278,7 @@ type SnapshotPayload struct {
 	JobID string `json:"jobId"`
 	Epoch int    `json:"epoch"`
 	State []byte `json:"state"`
+	TraceContext
 }
 
 // ErrorPayload reports an agent-side failure.

@@ -30,4 +30,16 @@ fitjson="$(mktemp)"
 go run ./cmd/hdbench -fit-bench "$fitjson" -fit-scale fast
 rm -f "$fitjson"
 
+# Trace-export smoke: a small live run must produce a Chrome trace
+# that validates, and the event-log conversion path must produce one
+# too.
+echo ">> trace export (smoke)"
+tracedir="$(mktemp -d)"
+go run ./cmd/hyperdrive -policy default -machines 2 -jobs 4 -speedup 200000 \
+	-log "$tracedir/run.jsonl" -trace-out "$tracedir/run.trace.json" >/dev/null
+go run ./cmd/hdlog -check-trace "$tracedir/run.trace.json"
+go run ./cmd/hdlog -in "$tracedir/run.jsonl" -trace "$tracedir/log.trace.json" >/dev/null
+go run ./cmd/hdlog -check-trace "$tracedir/log.trace.json"
+rm -rf "$tracedir"
+
 echo "OK"
