@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint check bench-obs bench-fit bench-trace trace-demo
+.PHONY: build test lint check bench-obs bench-fit bench-trace bench-quality trace-demo report-demo
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,19 @@ bench-fit:
 # committed baseline.
 bench-trace:
 	$(GO) run ./cmd/hdbench -trace-bench BENCH_trace.json
+
+# bench-quality: measure the search-quality audit's overhead on the
+# simulator hot path (disabled-path gate < 3%) and refresh the
+# committed baseline.
+bench-quality:
+	$(GO) run ./cmd/hdbench -quality-bench BENCH_quality.json
+
+# report-demo: replay a deterministic simulated POP experiment with the
+# quality audit on and render its calibration report into results/.
+report-demo:
+	$(GO) run ./cmd/hdsim -gen cifar10 -gen-jobs 24 -gen-seed 3 -policies pop \
+		-machines 4 -quality-out results/demo_quality.jsonl
+	$(GO) run ./cmd/hdreport -o results/sample_quality_report.md results/demo_quality.jsonl
 
 # trace-demo: run a small live experiment with trace export, rebuild a
 # second trace from its event log, and validate both — then load

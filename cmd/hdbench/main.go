@@ -37,6 +37,7 @@ func run(args []string) error {
 		fitJS = fs.String("fit-bench", "", "measure serial-vs-parallel MCMC fit latency and batch-sweep speedup and write the report to this file (e.g. BENCH_fit.json)")
 		fitSc = fs.String("fit-scale", "paper", "-fit-bench MCMC budget: paper (100x700) | fast (smoke)")
 		trcJS = fs.String("trace-bench", "", "measure trace/flight-recorder overhead on the simulator hot path and write the report to this file (e.g. BENCH_trace.json)")
+		qltJS = fs.String("quality-bench", "", "measure quality-audit overhead on the simulator hot path and write the report to this file (e.g. BENCH_quality.json)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -46,6 +47,9 @@ func run(args []string) error {
 	}
 	if *trcJS != "" {
 		return runTraceBench(*trcJS, *seed)
+	}
+	if *qltJS != "" {
+		return runQualityBench(*qltJS, *seed)
 	}
 	if *fitJS != "" {
 		return runFitBench(*fitJS, *fitSc, *seed)

@@ -1,0 +1,179 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	hyperdrive "github.com/hyperdrive-ml/hyperdrive"
+)
+
+// qualityArm is one measured configuration of the quality audit stack.
+type qualityArm struct {
+	Name string  `json:"name"`
+	MS   float64 `json:"ms"` // min over reps
+}
+
+// qualityScenario measures one workload across three arms: "off" (no
+// registry at all), "disabled" (registry attached but the quality audit
+// not enabled — the default configuration every run ships with), and
+// "enabled" (quality audit recording every decision plus the final
+// JSONL export).
+type qualityScenario struct {
+	Policy     string       `json:"policy"`
+	Jobs       int          `json:"jobs"`
+	Machines   int          `json:"machines"`
+	Reps       int          `json:"reps"`
+	RunsPerRep int          `json:"runs_per_rep"`
+	Arms       []qualityArm `json:"arms"`
+}
+
+func (s *qualityScenario) arm(name string) float64 {
+	for _, a := range s.Arms {
+		if a.Name == name {
+			return a.MS
+		}
+	}
+	return 0
+}
+
+// qualityBenchReport is the BENCH_quality.json schema. The gated number
+// is the "disabled" arm against "off": the cost the audit hooks impose
+// on runs that never enable the audit, which is what every user pays
+// after this feature ships.
+type qualityBenchReport struct {
+	POP               qualityScenario `json:"pop"`
+	Stress            qualityScenario `json:"stress_default"`
+	DisabledPct       float64         `json:"disabled_overhead_pct"` // POP disabled vs off
+	EnabledPct        float64         `json:"enabled_overhead_pct"`  // POP enabled vs off
+	StressDisabledPct float64         `json:"stress_disabled_overhead_pct"`
+	ThresholdPct      float64         `json:"threshold_pct"`
+	Pass              bool            `json:"pass"`
+}
+
+// measureQualityScenario times RunSimulation under the three arms,
+// rotating arm order every rep so machine drift hits all arms equally;
+// each arm reports its minimum (noise only adds time).
+func measureQualityScenario(tr *hyperdrive.Trace, pol string, machines, reps, runsPerRep int) (qualityScenario, error) {
+	sc := qualityScenario{
+		Policy:     pol,
+		Jobs:       len(tr.Jobs),
+		Machines:   machines,
+		Reps:       reps,
+		RunsPerRep: runsPerRep,
+	}
+	sharedReg := hyperdrive.NewObsRegistry()
+	arms := []string{"off", "disabled", "enabled"}
+	run := func(arm string) (time.Duration, error) {
+		runtime.GC()
+		t0 := time.Now()
+		for i := 0; i < runsPerRep; i++ {
+			cfg := hyperdrive.SimConfig{Trace: tr, Policy: pol, Machines: machines}
+			var qual *hyperdrive.QualityAudit
+			switch arm {
+			case "disabled":
+				cfg.Obs = sharedReg // registry live, audit never enabled
+			case "enabled":
+				cfg.Obs = sharedReg
+				qual = hyperdrive.NewQualityAudit(hyperdrive.QualityMeta{})
+				cfg.Quality = qual
+			}
+			if _, err := hyperdrive.RunSimulation(cfg); err != nil {
+				return 0, err
+			}
+			if qual != nil {
+				// Serialization is part of what -quality-out costs.
+				if err := qual.WriteLog(io.Discard); err != nil {
+					return 0, err
+				}
+			}
+		}
+		return time.Since(t0), nil
+	}
+
+	times := make(map[string][]float64, len(arms))
+	for _, a := range arms { // warm every arm before measuring
+		if _, err := run(a); err != nil {
+			return sc, err
+		}
+	}
+	for i := 0; i < reps; i++ {
+		for j := range arms {
+			a := arms[(i+j)%len(arms)] // rotate order so drift cancels
+			d, err := run(a)
+			if err != nil {
+				return sc, err
+			}
+			times[a] = append(times[a], d.Seconds()*1e3)
+		}
+	}
+	for _, a := range arms {
+		sc.Arms = append(sc.Arms, qualityArm{Name: a, MS: minOf(times[a])})
+	}
+	return sc, nil
+}
+
+// runQualityBench measures the quality audit's overhead on the
+// simulator hot path and writes BENCH_quality.json.
+func runQualityBench(path string, seed int64) error {
+	tr, err := hyperdrive.CollectTrace("cifar10", 192, seed)
+	if err != nil {
+		return err
+	}
+
+	// Realistic scenario: POP, where the audit sees a real prediction
+	// on every decision span.
+	popTrace := &hyperdrive.Trace{}
+	*popTrace = *tr
+	popTrace.Jobs = tr.Jobs[:48]
+	pop, err := measureQualityScenario(popTrace, "pop", 8, 5, 1)
+	if err != nil {
+		return err
+	}
+	// Stress scenario: the empty Default policy bounds per-epoch hook
+	// cost from above.
+	stress, err := measureQualityScenario(tr, "default", 8, 15, 6)
+	if err != nil {
+		return err
+	}
+
+	pct := func(sc *qualityScenario, arm string) float64 {
+		off := sc.arm("off")
+		if off == 0 {
+			return 0
+		}
+		return (sc.arm(arm) - off) / off * 100
+	}
+	rep := qualityBenchReport{
+		POP:               pop,
+		Stress:            stress,
+		DisabledPct:       pct(&pop, "disabled"),
+		EnabledPct:        pct(&pop, "enabled"),
+		StressDisabledPct: pct(&stress, "disabled"),
+		ThresholdPct:      3,
+	}
+	rep.Pass = rep.DisabledPct < rep.ThresholdPct
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	fmt.Printf("quality overhead, pop (gated): off %.2fms, disabled %.2fms (%+.2f%%), enabled %.2fms (%+.2f%%) — threshold %g%%, pass=%v\n",
+		pop.arm("off"), pop.arm("disabled"), rep.DisabledPct, pop.arm("enabled"), rep.EnabledPct, rep.ThresholdPct, rep.Pass)
+	fmt.Printf("quality overhead, default-policy stress: off %.2fms, disabled %.2fms (%+.2f%%), enabled %.2fms\n",
+		stress.arm("off"), stress.arm("disabled"), rep.StressDisabledPct, stress.arm("enabled"))
+	fmt.Printf("report written to %s\n", path)
+	if !rep.Pass {
+		return fmt.Errorf("quality audit disabled-path overhead %.2f%% exceeds %g%%", rep.DisabledPct, rep.ThresholdPct)
+	}
+	return nil
+}

@@ -1,0 +1,163 @@
+// Command hdreport renders end-of-run search-quality reports from
+// quality audit logs (hdsim -quality-out, hyperdrive QualityOut) or a
+// live introspection endpoint: prediction-calibration tables
+// (reliability diagram, Brier score, credible-band coverage), ERT
+// error percentiles, early-termination precision/recall against the
+// sim oracle, pool occupancy timeline, and the time-to-best regret
+// curve. Given several logs it adds a per-policy comparison.
+//
+//	hdreport -o results/report.md quality.jsonl
+//	hdreport -o results/compare.md quality.pop quality.bandit
+//	hdreport -addr localhost:8089 -o results/live.md
+//	hdreport -format html -o results/report.html quality.jsonl
+//
+// Output is a pure function of the input logs — no wall-clock reads —
+// so a report from a deterministic simulator run is byte-identical
+// across runs and hosts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/hyperdrive-ml/hyperdrive/internal/obs"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hdreport:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hdreport", flag.ContinueOnError)
+	var (
+		out    = fs.String("o", "results/report.md", "output file ('-' for stdout)")
+		format = fs.String("format", "md", "report format: md or html")
+		addr   = fs.String("addr", "", "also pull the audit from a live introspection endpoint (host:port)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	inputs := fs.Args()
+	if len(inputs) == 0 && *addr == "" {
+		return fmt.Errorf("no quality logs given (and no -addr); run hdsim -quality-out first")
+	}
+
+	var runs []policyRun
+	for _, path := range inputs {
+		r, err := loadFile(path)
+		if err != nil {
+			return err
+		}
+		runs = append(runs, r)
+	}
+	if *addr != "" {
+		r, err := loadEndpoint(*addr)
+		if err != nil {
+			return err
+		}
+		runs = append(runs, r)
+	}
+
+	var doc string
+	switch *format {
+	case "md", "markdown":
+		doc = renderMarkdown(runs)
+	case "html":
+		doc = renderHTML(runs)
+	default:
+		return fmt.Errorf("unknown format %q (want md or html)", *format)
+	}
+
+	if *out == "-" {
+		_, err := io.WriteString(os.Stdout, doc)
+		return err
+	}
+	if dir := filepath.Dir(*out); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	if err := os.WriteFile(*out, []byte(doc), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d run(s))\n", *out, len(runs))
+	return nil
+}
+
+// policyRun is one loaded audit: its label (the policy name, or the
+// file basename when the log carries no policy) and computed report.
+type policyRun struct {
+	Label  string
+	Report *obs.QualityReport
+}
+
+func loadFile(path string) (policyRun, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return policyRun{}, err
+	}
+	defer f.Close()
+	q, err := obs.ReadQualityLog(f)
+	if err != nil {
+		return policyRun{}, fmt.Errorf("%s: %w", path, err)
+	}
+	rep := q.Report()
+	return policyRun{Label: runLabel(rep, filepath.Base(path)), Report: rep}, nil
+}
+
+// loadEndpoint streams the audit log from a live run's introspection
+// endpoint (hdreport's only non-deterministic input: the run is still
+// moving).
+func loadEndpoint(addr string) (policyRun, error) {
+	client := &http.Client{Timeout: 10 * time.Second}
+	url := "http://" + addr + "/debug/obs/quality?format=log"
+	resp, err := client.Get(url)
+	if err != nil {
+		return policyRun{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return policyRun{}, fmt.Errorf("%s: %s (is the run started with quality auditing enabled?)", url, resp.Status)
+	}
+	q, err := obs.ReadQualityLog(resp.Body)
+	if err != nil {
+		return policyRun{}, fmt.Errorf("%s: %w", url, err)
+	}
+	rep := q.Report()
+	return policyRun{Label: runLabel(rep, addr), Report: rep}, nil
+}
+
+func runLabel(rep *obs.QualityReport, fallback string) string {
+	if rep.Meta.Policy != "" {
+		return rep.Meta.Policy
+	}
+	return fallback
+}
+
+// renderHTML wraps the Markdown report as a self-contained HTML page:
+// no external assets, monospace layout, readable in any browser.
+func renderHTML(runs []policyRun) string {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html>\n<head>\n<meta charset=\"utf-8\">\n")
+	b.WriteString("<title>HyperDrive search-quality report</title>\n")
+	b.WriteString("<style>body{background:#fdfdfd;color:#222;margin:2em auto;max-width:60em}" +
+		"pre{font:13px/1.45 ui-monospace,monospace;white-space:pre-wrap}</style>\n")
+	b.WriteString("</head>\n<body>\n<pre>\n")
+	b.WriteString(htmlEscape(renderMarkdown(runs)))
+	b.WriteString("</pre>\n</body>\n</html>\n")
+	return b.String()
+}
+
+func htmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

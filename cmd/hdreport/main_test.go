@@ -1,0 +1,148 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/hyperdrive-ml/hyperdrive"
+)
+
+func quietStdout(t *testing.T) {
+	t.Helper()
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	t.Cleanup(func() { os.Stdout = old; devnull.Close() })
+}
+
+// writeQualityLog runs one deterministic simulated POP experiment and
+// returns the path of its quality audit log.
+func writeQualityLog(t *testing.T, dir string) string {
+	t.Helper()
+	tr, err := hyperdrive.CollectTrace("cifar10", 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "quality.jsonl")
+	_, err = hyperdrive.RunSimulation(hyperdrive.SimConfig{
+		Trace:      tr,
+		Policy:     "pop",
+		Machines:   2,
+		QualityOut: path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReportContents(t *testing.T) {
+	quietStdout(t)
+	dir := t.TempDir()
+	log := writeQualityLog(t, dir)
+	out := filepath.Join(dir, "report.md")
+	if err := run([]string{"-o", out, log}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(data)
+	for _, want := range []string{
+		"# HyperDrive search-quality report",
+		"## Run: pop",
+		"### Prediction calibration",
+		"Brier score",
+		"| confidence bin | count | mean conf. | observed freq. |",
+		"### ERT accuracy",
+		"### Early termination vs oracle",
+		"### Time-to-best regret",
+		"### Pool occupancy timeline",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// The reliability table must render every confidence bin.
+	if n := strings.Count(doc, "| 0."); n < 5 {
+		t.Errorf("reliability table has %d bin rows, want >= 5", n)
+	}
+}
+
+func TestReportDeterministic(t *testing.T) {
+	quietStdout(t)
+	dir := t.TempDir()
+	logA := writeQualityLog(t, dir)
+	outA := filepath.Join(dir, "a.md")
+	outB := filepath.Join(dir, "b.md")
+	if err := run([]string{"-o", outA, logA}); err != nil {
+		t.Fatal(err)
+	}
+	// Second full pipeline: fresh sim run, fresh report.
+	dirB := t.TempDir()
+	logB := writeQualityLog(t, dirB)
+	if err := run([]string{"-o", outB, logB}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(outA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(outB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("two identical sim runs produced different reports")
+	}
+}
+
+func TestReportComparisonAndHTML(t *testing.T) {
+	quietStdout(t)
+	dir := t.TempDir()
+	log := writeQualityLog(t, dir)
+	out := filepath.Join(dir, "cmp.md")
+	if err := run([]string{"-o", out, log, log}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "## Policy comparison") {
+		t.Error("multi-log report missing comparison table")
+	}
+
+	htmlOut := filepath.Join(dir, "report.html")
+	if err := run([]string{"-o", htmlOut, "-format", "html", log}); err != nil {
+		t.Fatal(err)
+	}
+	html, err := os.ReadFile(htmlOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(html), "<!DOCTYPE html>") {
+		t.Error("html report missing doctype")
+	}
+}
+
+func TestReportErrors(t *testing.T) {
+	quietStdout(t)
+	if err := run(nil); err == nil {
+		t.Fatal("accepted empty input set")
+	}
+	if err := run([]string{"/nonexistent.jsonl"}); err == nil {
+		t.Fatal("accepted missing log")
+	}
+	dir := t.TempDir()
+	log := writeQualityLog(t, dir)
+	if err := run([]string{"-format", "nope", log}); err == nil {
+		t.Fatal("accepted unknown format")
+	}
+}

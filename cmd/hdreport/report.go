@@ -1,0 +1,295 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/hyperdrive-ml/hyperdrive/internal/obs"
+)
+
+// renderMarkdown builds the full report. Pure function of the loaded
+// reports: no wall-clock reads, no map iteration, so the same logs
+// always produce the same bytes.
+func renderMarkdown(runs []policyRun) string {
+	var b strings.Builder
+	b.WriteString("# HyperDrive search-quality report\n\n")
+	if len(runs) > 1 {
+		renderComparison(&b, runs)
+	}
+	for _, r := range runs {
+		renderRun(&b, r)
+	}
+	return b.String()
+}
+
+// renderComparison is the per-policy side-by-side table emitted when
+// several logs are given.
+func renderComparison(b *strings.Builder, runs []policyRun) {
+	b.WriteString("## Policy comparison\n\n")
+	b.WriteString("| policy | predictions | scored | Brier | band cov. | ERT relP50 | term P | term R | churn | time-to-best |\n")
+	b.WriteString("|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|\n")
+	for _, r := range runs {
+		rep := r.Report
+		fmt.Fprintf(b, "| %s | %d | %d | %s | %s | %s | %s | %s | %d | %s |\n",
+			r.Label, rep.Predictions, rep.Scored,
+			num(rep.BrierScore), ratio(rep.Band.Ratio, rep.Band.Count),
+			num(rep.ERTError.RelP50),
+			ratio(rep.EarlyTerm.Precision, rep.EarlyTerm.Terminated),
+			ratio(rep.EarlyTerm.Recall, rep.EarlyTerm.PoorTotal),
+			rep.ChurnTotal, fmtMS(rep.TimeToBestMS, reportBase(rep)))
+	}
+	b.WriteString("\n")
+}
+
+// renderRun emits one run's full section set.
+func renderRun(b *strings.Builder, r policyRun) {
+	rep := r.Report
+	fmt.Fprintf(b, "## Run: %s\n\n", r.Label)
+
+	m := rep.Meta
+	b.WriteString("| workload | policy | source | machines | max epoch | target | predictions | outcomes | oracles |\n")
+	b.WriteString("|---|---|---|---:|---:|---:|---:|---:|---:|\n")
+	fmt.Fprintf(b, "| %s | %s | %s | %d | %d | %s | %d | %d | %d |\n\n",
+		orDash(m.Workload), orDash(m.Policy), orDash(m.Source),
+		m.Machines, m.MaxEpoch, num(m.Target),
+		rep.Predictions, rep.Outcomes, rep.Oracles)
+	if rep.DroppedPredictions > 0 {
+		fmt.Fprintf(b, "**Warning:** %d predictions dropped at the audit bound.\n\n",
+			rep.DroppedPredictions)
+	}
+
+	base := reportBase(rep)
+	renderReliability(b, rep)
+	renderERT(b, rep)
+	renderEarlyTerm(b, rep)
+	renderRegret(b, rep, base)
+	renderPools(b, rep, base)
+}
+
+// renderReliability emits the reliability diagram (confidence
+// calibration) plus the scalar calibration scores.
+func renderReliability(b *strings.Builder, rep *obs.QualityReport) {
+	b.WriteString("### Prediction calibration\n\n")
+	fmt.Fprintf(b, "Brier score **%s** over %d scored predictions; credible-band coverage %s.\n\n",
+		num(rep.BrierScore), rep.Scored, ratio(rep.Band.Ratio, rep.Band.Count))
+	b.WriteString("| confidence bin | count | mean conf. | observed freq. | calibration gap |\n")
+	b.WriteString("|---|---:|---:|---:|---:|\n")
+	for _, bin := range rep.Reliability {
+		if bin.Count == 0 {
+			fmt.Fprintf(b, "| %.1f–%.1f | 0 | – | – | – |\n", bin.Low, bin.High)
+			continue
+		}
+		fmt.Fprintf(b, "| %.1f–%.1f | %d | %s | %s | %+.4f |\n",
+			bin.Low, bin.High, bin.Count, num(bin.MeanConfidence), num(bin.Observed),
+			bin.Observed-bin.MeanConfidence)
+	}
+	b.WriteString("\nA well-calibrated predictor puts observed frequency ≈ mean confidence in every bin (gap ≈ 0).\n\n")
+}
+
+// renderERT emits the ERT error percentiles against oracle truth.
+func renderERT(b *strings.Builder, rep *obs.QualityReport) {
+	b.WriteString("### ERT accuracy\n\n")
+	e := rep.ERTError
+	if e.Count == 0 {
+		b.WriteString("No ERT-scorable predictions (needs oracle ground truth on target-reaching jobs).\n\n")
+		return
+	}
+	fmt.Fprintf(b, "%d predictions scored against oracle remaining-time truth.\n\n", e.Count)
+	b.WriteString("| | P50 | P90 | P99 |\n|---|---:|---:|---:|\n")
+	fmt.Fprintf(b, "| absolute error | %s | %s | %s |\n",
+		fmtSeconds(e.AbsP50), fmtSeconds(e.AbsP90), fmtSeconds(e.AbsP99))
+	fmt.Fprintf(b, "| relative error | %s | %s | %s |\n\n",
+		num(e.RelP50), num(e.RelP90), num(e.RelP99))
+}
+
+// renderEarlyTerm emits the termination confusion against the oracle.
+func renderEarlyTerm(b *strings.Builder, rep *obs.QualityReport) {
+	b.WriteString("### Early termination vs oracle\n\n")
+	t := rep.EarlyTerm
+	if t.Terminated == 0 && t.PoorTotal == 0 {
+		b.WriteString("No terminations and no oracle-poor jobs to judge.\n\n")
+		return
+	}
+	b.WriteString("| terminated | true poor | false poor | oracle-poor total | precision | recall |\n")
+	b.WriteString("|---:|---:|---:|---:|---:|---:|\n")
+	fmt.Fprintf(b, "| %d | %d | %d | %d | %s | %s |\n\n",
+		t.Terminated, t.TruePoor, t.FalsePoor, t.PoorTotal,
+		ratio(t.Precision, t.Terminated), ratio(t.Recall, t.PoorTotal))
+	fmt.Fprintf(b, "Classification churn: %d pool changes across %d jobs.\n\n",
+		rep.ChurnTotal, rep.ChurnedJobs)
+}
+
+// renderRegret emits the time-to-best regret curve: the running best
+// metric against the oracle ceiling over virtual time.
+func renderRegret(b *strings.Builder, rep *obs.QualityReport, base int64) {
+	b.WriteString("### Time-to-best regret\n\n")
+	if len(rep.Regret) == 0 {
+		b.WriteString("No best-metric samples recorded.\n\n")
+		return
+	}
+	fmt.Fprintf(b, "Oracle ceiling %s; best found %s at t=%s.\n\n",
+		num(rep.OracleBest), num(rep.Regret[len(rep.Regret)-1].Best), fmtMS(rep.TimeToBestMS, base))
+	vals := make([]float64, len(rep.Regret))
+	for i, p := range rep.Regret {
+		vals[i] = p.Regret
+	}
+	fmt.Fprintf(b, "    regret %s\n\n", sparkline(vals, 60))
+	b.WriteString("| t | job best | regret |\n|---:|---:|---:|\n")
+	for _, p := range sampledRegret(rep.Regret, 12) {
+		fmt.Fprintf(b, "| %s | %s | %s |\n", fmtMS(p.TMS, base), num(p.Best), num(p.Regret))
+	}
+	b.WriteString("\n")
+}
+
+// sampledRegret thins the regret curve to at most n evenly spaced rows
+// (always keeping first and last).
+func sampledRegret(pts []obs.RegretPoint, n int) []obs.RegretPoint {
+	if len(pts) <= n {
+		return pts
+	}
+	out := make([]obs.RegretPoint, 0, n)
+	for i := 0; i < n-1; i++ {
+		out = append(out, pts[i*(len(pts)-1)/(n-1)])
+	}
+	return append(out, pts[len(pts)-1])
+}
+
+// renderPools emits the pool occupancy timeline as sparklines.
+func renderPools(b *strings.Builder, rep *obs.QualityReport, base int64) {
+	b.WriteString("### Pool occupancy timeline\n\n")
+	if len(rep.PoolTimeline) == 0 {
+		b.WriteString("No pool samples recorded (non-POP policy?).\n\n")
+		return
+	}
+	prom := make([]float64, len(rep.PoolTimeline))
+	opp := make([]float64, len(rep.PoolTimeline))
+	poor := make([]float64, len(rep.PoolTimeline))
+	for i, p := range rep.PoolTimeline {
+		prom[i], opp[i], poor[i] = float64(p.Promising), float64(p.Opportunistic), float64(p.Poor)
+	}
+	first, last := rep.PoolTimeline[0], rep.PoolTimeline[len(rep.PoolTimeline)-1]
+	fmt.Fprintf(b, "%d samples, t=%s → %s.\n\n", len(rep.PoolTimeline), fmtMS(first.TMS, base), fmtMS(last.TMS, base))
+	fmt.Fprintf(b, "    promising     %s  (last %d)\n", sparkline(prom, 60), last.Promising)
+	fmt.Fprintf(b, "    opportunistic %s  (last %d)\n", sparkline(opp, 60), last.Opportunistic)
+	fmt.Fprintf(b, "    poor          %s  (last %d)\n\n", sparkline(poor, 60), last.Poor)
+}
+
+// sparkline renders a series as unicode block characters, downsampled
+// to at most width columns by bucket means.
+func sparkline(vals []float64, width int) string {
+	if len(vals) == 0 {
+		return ""
+	}
+	if len(vals) > width {
+		bucketed := make([]float64, width)
+		for i := 0; i < width; i++ {
+			lo, hi := i*len(vals)/width, (i+1)*len(vals)/width
+			if hi <= lo {
+				hi = lo + 1
+			}
+			var sum float64
+			for _, v := range vals[lo:hi] {
+				sum += v
+			}
+			bucketed[i] = sum / float64(hi-lo)
+		}
+		vals = bucketed
+	}
+	min, max := vals[0], vals[0]
+	for _, v := range vals {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	blocks := []rune("▁▂▃▄▅▆▇█")
+	var b strings.Builder
+	for _, v := range vals {
+		idx := 0
+		if max > min {
+			idx = int((v - min) / (max - min) * float64(len(blocks)-1))
+		}
+		b.WriteRune(blocks[idx])
+	}
+	return b.String()
+}
+
+// --- formatting helpers ----------------------------------------------
+
+// num renders a float compactly and deterministically.
+func num(v float64) string {
+	return fmt.Sprintf("%.4f", v)
+}
+
+// ratio renders a proportion, or a dash when its denominator is empty.
+func ratio(v float64, n int) string {
+	if n == 0 {
+		return "–"
+	}
+	return fmt.Sprintf("%.1f%%", v*100)
+}
+
+// fmtSeconds renders a seconds quantity at a human scale.
+func fmtSeconds(s float64) string {
+	d := time.Duration(s * float64(time.Second))
+	switch {
+	case d >= time.Hour:
+		return fmt.Sprintf("%.2fh", d.Hours())
+	case d >= time.Minute:
+		return fmt.Sprintf("%.1fm", d.Minutes())
+	default:
+		return fmt.Sprintf("%.1fs", d.Seconds())
+	}
+}
+
+// reportBase finds the run-clock origin of a report: the earliest
+// timestamp among its samples. Sim runs start at the fixed virtual
+// epoch and live runs at the wall clock; rendering every timestamp
+// relative to the earliest sample makes both read as elapsed
+// experiment time.
+func reportBase(rep *obs.QualityReport) int64 {
+	base := int64(0)
+	consider := func(t int64) {
+		if t > 0 && (base == 0 || t < base) {
+			base = t
+		}
+	}
+	for _, p := range rep.Regret {
+		consider(p.TMS)
+	}
+	for _, p := range rep.PoolTimeline {
+		consider(p.TMS)
+	}
+	return base
+}
+
+// fmtMS renders a run-clock unix-milliseconds timestamp as time
+// elapsed since the report's base.
+func fmtMS(tms, base int64) string {
+	if tms == 0 {
+		return "–"
+	}
+	d := time.Duration(tms-base) * time.Millisecond
+	if d < 0 {
+		d = 0
+	}
+	switch {
+	case d >= time.Hour:
+		return fmt.Sprintf("%.2fh", d.Hours())
+	case d >= time.Minute:
+		return fmt.Sprintf("%.1fm", d.Minutes())
+	default:
+		return fmt.Sprintf("%.1fs", d.Seconds())
+	}
+}
+
+// orDash substitutes a dash for empty strings in meta tables.
+func orDash(s string) string {
+	if s == "" {
+		return "–"
+	}
+	return s
+}

@@ -34,12 +34,22 @@ func run(args []string) error {
 		maxDur    = fs.Duration("max-duration", 7*24*time.Hour, "Tmax")
 		budget    = fs.String("predictor", "fast", "curve predictor budget")
 		traceOut  = fs.String("trace-out", "", "write a Chrome trace (virtual-clock timestamps) of the first policy's first replay to this file")
+		quality   = fs.String("quality-out", "", "write the search-quality audit log (JSONL) of each policy's first replay to this file; with multiple policies, files are suffixed .<policy>")
+		gen       = fs.String("gen", "", "generate the trace from this workload (cifar10, lunarlander) instead of reading -trace")
+		genJobs   = fs.Int("gen-jobs", 32, "configurations to collect with -gen")
+		genSeed   = fs.Int64("gen-seed", 1, "sampling seed for -gen")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	base, err := trace.ReadFile(*tracePath)
+	var base *hyperdrive.Trace
+	var err error
+	if *gen != "" {
+		base, err = hyperdrive.CollectTrace(*gen, *genJobs, *genSeed)
+	} else {
+		base, err = trace.ReadFile(*tracePath)
+	}
 	if err != nil {
 		return err
 	}
@@ -48,7 +58,8 @@ func run(args []string) error {
 	fmt.Printf("%-10s %-8s %12s %12s %8s %8s %8s\n",
 		"policy", "reached", "median-ttt", "max-ttt", "susp", "term", "compl")
 
-	for pi, polName := range strings.Split(*policies, ",") {
+	polNames := strings.Split(*policies, ",")
+	for pi, polName := range polNames {
 		var ttts []float64
 		var reached, susp, term, compl int
 		for o := 0; o < *orders; o++ {
@@ -68,6 +79,14 @@ func run(args []string) error {
 			// unpermuted order.
 			if pi == 0 && o == 0 {
 				scfg.TraceOut = *traceOut
+			}
+			// The quality audit covers each policy's unpermuted replay, so
+			// hdreport can compare policies side by side.
+			if *quality != "" && o == 0 {
+				scfg.QualityOut = *quality
+				if len(polNames) > 1 {
+					scfg.QualityOut = *quality + "." + polName
+				}
 			}
 			res, err := hyperdrive.RunSimulation(scfg)
 			if err != nil {
@@ -91,6 +110,9 @@ func run(args []string) error {
 	}
 	if *traceOut != "" {
 		fmt.Printf("\nwrote Chrome trace to %s (load in Perfetto or chrome://tracing)\n", *traceOut)
+	}
+	if *quality != "" {
+		fmt.Printf("\nwrote quality audit log(s) to %s (render with hdreport)\n", *quality)
 	}
 	return nil
 }

@@ -45,14 +45,14 @@ func run(args []string, out *os.File) error {
 	signal.Notify(sig, os.Interrupt)
 
 	for {
-		snap, jobs, err := poll(client, base)
+		snap, jobs, hist, err := poll(client, base)
 		if err != nil {
 			return err
 		}
 		if !*once {
 			fmt.Fprint(out, "\x1b[2J\x1b[H") // clear screen, home cursor
 		}
-		fmt.Fprint(out, render(*addr, snap, jobs, time.Now()))
+		fmt.Fprint(out, render(*addr, snap, jobs, hist, time.Now()))
 		if *once {
 			return nil
 		}
@@ -64,17 +64,24 @@ func run(args []string, out *os.File) error {
 	}
 }
 
-// poll fetches one metrics snapshot and the job table.
-func poll(client *http.Client, base string) (obs.Snapshot, []obs.JobRow, error) {
+// poll fetches one metrics snapshot, the job table, and (when the
+// server has the history store enabled) the metric time series.
+func poll(client *http.Client, base string) (obs.Snapshot, []obs.JobRow, map[string][]obs.HistoryPoint, error) {
 	var snap obs.Snapshot
 	if err := getJSON(client, base+"/metrics.json", &snap); err != nil {
-		return snap, nil, err
+		return snap, nil, nil, err
 	}
 	var jobs []obs.JobRow
 	if err := getJSON(client, base+"/jobs", &jobs); err != nil {
-		return snap, nil, err
+		return snap, nil, nil, err
 	}
-	return snap, jobs, nil
+	// History is optional: older servers (or runs without the store)
+	// return 404, which just hides the sparklines.
+	var hist map[string][]obs.HistoryPoint
+	if err := getJSON(client, base+"/debug/obs/history", &hist); err != nil {
+		hist = nil
+	}
+	return snap, jobs, hist, nil
 }
 
 func getJSON(client *http.Client, url string, v interface{}) error {
@@ -91,7 +98,7 @@ func getJSON(client *http.Client, url string, v interface{}) error {
 
 // render draws one dashboard frame. Pure function of its inputs so it
 // can be tested without a server.
-func render(addr string, s obs.Snapshot, jobs []obs.JobRow, now time.Time) string {
+func render(addr string, s obs.Snapshot, jobs []obs.JobRow, hist map[string][]obs.HistoryPoint, now time.Time) string {
 	var b []byte
 	w := func(format string, args ...interface{}) {
 		b = append(b, fmt.Sprintf(format, args...)...)
@@ -140,6 +147,20 @@ func render(addr string, s obs.Snapshot, jobs []obs.JobRow, now time.Time) strin
 		w("WARNING    event log dropping records: %d lost\n", d)
 	}
 
+	// Sparklines from the history store (absent on servers without it).
+	if len(hist) > 0 {
+		w("\n")
+		for _, name := range []string{obs.BestMetric, obs.SlotsBusy, obs.JobsActive, obs.QualityBrierScore} {
+			if pts := hist[name]; len(pts) > 1 {
+				vals := make([]float64, len(pts))
+				for i, p := range pts {
+					vals[i] = p.V
+				}
+				w("%-34s %s  %.4f\n", name, sparkline(vals, 40), vals[len(vals)-1])
+			}
+		}
+	}
+
 	// Classification table.
 	if len(jobs) > 0 {
 		w("\n%-12s %-11s %-14s %6s %9s %7s %12s\n",
@@ -154,6 +175,48 @@ func render(addr string, s obs.Snapshot, jobs []obs.JobRow, now time.Time) strin
 		}
 	}
 	return string(b)
+}
+
+// sparkline renders a series as unicode block characters, downsampled
+// to at most width columns by bucket means.
+func sparkline(vals []float64, width int) string {
+	if len(vals) == 0 {
+		return ""
+	}
+	if len(vals) > width {
+		bucketed := make([]float64, width)
+		for i := 0; i < width; i++ {
+			lo, hi := i*len(vals)/width, (i+1)*len(vals)/width
+			if hi <= lo {
+				hi = lo + 1
+			}
+			var sum float64
+			for _, v := range vals[lo:hi] {
+				sum += v
+			}
+			bucketed[i] = sum / float64(hi-lo)
+		}
+		vals = bucketed
+	}
+	min, max := vals[0], vals[0]
+	for _, v := range vals {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	blocks := []rune("▁▂▃▄▅▆▇█")
+	var sb []rune
+	for _, v := range vals {
+		idx := 0
+		if max > min {
+			idx = int((v - min) / (max - min) * float64(len(blocks)-1))
+		}
+		sb = append(sb, blocks[idx])
+	}
+	return string(sb)
 }
 
 // fmtBytes renders a byte quantity at a human scale.

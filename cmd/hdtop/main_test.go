@@ -38,7 +38,7 @@ func sampleRegistry() *obs.Registry {
 func TestRenderDashboard(t *testing.T) {
 	reg := sampleRegistry()
 	now := time.Date(2026, 8, 5, 10, 30, 0, 0, time.UTC)
-	out := render("localhost:8089", reg.Snapshot(), reg.JobTable(), now)
+	out := render("localhost:8089", reg.Snapshot(), reg.JobTable(), nil, now)
 
 	for _, want := range []string{
 		"hdtop — localhost:8089",
@@ -72,11 +72,30 @@ func TestRenderDashboard(t *testing.T) {
 	}
 }
 
+func TestRenderSparklines(t *testing.T) {
+	reg := sampleRegistry()
+	reg.EnableHistory(0)
+	base := time.Date(2026, 8, 5, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 10; i++ {
+		reg.Gauge(obs.BestMetric).Set(0.5 + float64(i)*0.03)
+		reg.SampleHistory(base.Add(time.Duration(i) * time.Second))
+	}
+	out := render("x", reg.Snapshot(), nil, reg.History().Snapshot(), base)
+	if !strings.Contains(out, obs.BestMetric) || !strings.Contains(out, "█") {
+		t.Errorf("missing history sparkline:\n%s", out)
+	}
+	// Without history the section disappears entirely.
+	out = render("x", reg.Snapshot(), nil, nil, base)
+	if strings.Contains(out, "█") {
+		t.Errorf("sparkline rendered without history:\n%s", out)
+	}
+}
+
 func TestRenderRuntimeLine(t *testing.T) {
 	reg := sampleRegistry()
 	stop := obs.StartRuntimeSampler(reg, time.Hour) // immediate first sample
 	defer stop()
-	out := render("x", reg.Snapshot(), nil, time.Date(2026, 8, 5, 0, 0, 0, 0, time.UTC))
+	out := render("x", reg.Snapshot(), nil, nil, time.Date(2026, 8, 5, 0, 0, 0, 0, time.UTC))
 	if !strings.Contains(out, "runtime") || !strings.Contains(out, "goroutines") || !strings.Contains(out, "heap") {
 		t.Errorf("missing runtime telemetry line:\n%s", out)
 	}
@@ -102,7 +121,7 @@ func TestFmtBytes(t *testing.T) {
 func TestRenderDropWarning(t *testing.T) {
 	reg := sampleRegistry()
 	reg.Counter(obs.EventLogDroppedTotal).Add(7)
-	out := render("x", reg.Snapshot(), nil, time.Date(2026, 8, 5, 0, 0, 0, 0, time.UTC))
+	out := render("x", reg.Snapshot(), nil, nil, time.Date(2026, 8, 5, 0, 0, 0, 0, time.UTC))
 	if !strings.Contains(out, "WARNING") || !strings.Contains(out, "7 lost") {
 		t.Errorf("missing drop warning:\n%s", out)
 	}

@@ -57,6 +57,7 @@ func run(args []string) error {
 		obsAddr      = fs.String("obs", "", "serve the live introspection endpoint (metrics, jobs, spans) on this address, e.g. localhost:8089")
 		pprof        = fs.Bool("pprof", false, "expose net/http/pprof on the -obs endpoint")
 		traceOut     = fs.String("trace-out", "", "write a Chrome trace (Perfetto-loadable) of the run to this file")
+		qualityOut   = fs.String("quality-out", "", "write the prediction-quality audit log (JSON lines) to this file; render with hdreport")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -77,6 +78,7 @@ func run(args []string) error {
 		ObsListen:       *obsAddr,
 		ObsPprof:        *pprof,
 		TraceOut:        *traceOut,
+		QualityOut:      *qualityOut,
 	}
 	if *agents != "" {
 		cfg.AgentAddrs = strings.Split(*agents, ",")
@@ -132,6 +134,9 @@ func run(args []string) error {
 	}
 	if *traceOut != "" {
 		fmt.Printf("  trace:           %s (load in Perfetto or chrome://tracing)\n", *traceOut)
+	}
+	if *qualityOut != "" {
+		fmt.Printf("  quality audit:   %s (render with hdreport)\n", *qualityOut)
 	}
 	if recorder != nil {
 		tr, complete, err := recorder.Finish()

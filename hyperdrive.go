@@ -41,6 +41,7 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"os"
 	"time"
 
 	"github.com/hyperdrive-ml/hyperdrive/internal/appstat"
@@ -118,6 +119,17 @@ type (
 	// chrome://tracing format) for a run. A nil *TraceWriter disables
 	// trace export at zero cost.
 	TraceWriter = obs.TraceWriter
+	// QualityAudit accumulates the search-quality audit trail: every
+	// decision-time prediction joined against realized outcomes (or
+	// sim-oracle ground truth). A nil *QualityAudit disables auditing
+	// at zero cost.
+	QualityAudit = obs.QualityAudit
+	// QualityReport is the computed calibration summary (reliability
+	// bins, Brier score, ERT error percentiles, early-termination
+	// confusion, regret curve).
+	QualityReport = obs.QualityReport
+	// QualityMeta describes the run a quality audit belongs to.
+	QualityMeta = obs.QualityMeta
 )
 
 // Policy, generator, and workload constructors re-exported for custom
@@ -156,6 +168,11 @@ var (
 	NewObsHandler = obs.Handler
 	// NewTraceWriter builds an empty Chrome trace-event sink.
 	NewTraceWriter = obs.NewTraceWriter
+	// NewQualityAudit builds an empty search-quality audit.
+	NewQualityAudit = obs.NewQualityAudit
+	// ReadQualityLog reconstructs a quality audit from its serialized
+	// JSONL log.
+	ReadQualityLog = obs.ReadQualityLog
 	// ValidateTraceEvents checks exported trace bytes against the
 	// invariants the repo's tooling relies on.
 	ValidateTraceEvents = obs.ValidateTraceEvents
@@ -231,6 +248,10 @@ type ExperimentConfig struct {
 	// TraceOut, when non-empty, writes the run's Chrome trace to this
 	// file. A sink is created implicitly when TraceSink is nil.
 	TraceOut string
+	// QualityOut, when non-empty, enables the search-quality audit on
+	// the run's registry and writes its JSONL log to this file after
+	// the run (render it with hdreport).
+	QualityOut string
 }
 
 // Workloads lists the built-in workload names.
@@ -352,10 +373,25 @@ func RunExperiment(ctx context.Context, cfg ExperimentConfig) (*ExperimentResult
 		// without one would miss the decision slices.
 		obsReg = obs.NewRegistry()
 	}
+	if cfg.QualityOut != "" || cfg.ObsListen != "" {
+		// A served endpoint exposes the live calibration report at
+		// /debug/obs/quality (hdreport -addr) even without an export file.
+		if obsReg == nil {
+			obsReg = obs.NewRegistry()
+		}
+		obsReg.EnableQuality(obs.QualityMeta{})
+	}
 	// Sample Go runtime health (goroutines, heap, GC pauses) for the
 	// duration of the run.
 	stopSampler := obs.StartRuntimeSampler(obsReg, 5*time.Second)
 	defer stopSampler()
+	// A served endpoint also gets queryable time series
+	// (/debug/obs/history) feeding hdtop's sparklines.
+	if cfg.ObsListen != "" {
+		obsReg.EnableHistory(0)
+		stopHistory := obs.StartHistorySampler(obsReg, 2*time.Second)
+		defer stopHistory()
+	}
 
 	ccfg := cluster.Config{
 		Workload:       cfg.Workload,
@@ -427,7 +463,28 @@ func RunExperiment(ctx context.Context, cfg ExperimentConfig) (*ExperimentResult
 			return res, fmt.Errorf("hyperdrive: trace export: %w", werr)
 		}
 	}
+	if cfg.QualityOut != "" {
+		if werr := writeQualityLog(cfg.QualityOut, obsReg.Quality()); werr != nil {
+			return res, werr
+		}
+	}
 	return res, nil
+}
+
+// writeQualityLog serializes an audit's JSONL log to a file.
+func writeQualityLog(path string, q *obs.QualityAudit) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("hyperdrive: quality export: %w", err)
+	}
+	if err := q.WriteLog(f); err != nil {
+		f.Close()
+		return fmt.Errorf("hyperdrive: quality export: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("hyperdrive: quality export: %w", err)
+	}
+	return nil
 }
 
 // SimConfig configures RunSimulation: a trace-driven discrete-event
@@ -461,6 +518,15 @@ type SimConfig struct {
 	// trace to this file; a sink is created implicitly when TraceSink
 	// is nil.
 	TraceOut string
+	// Quality, when non-nil, receives the search-quality audit trail
+	// (oracle ground truth from the trace curves, every boundary
+	// decision's prediction, outcomes).
+	Quality *QualityAudit
+	// QualityOut, when non-empty, writes the audit's JSONL log to this
+	// file; an audit is created implicitly when Quality is nil. The
+	// log is byte-identical across runs and hosts (virtual-clock
+	// timestamps only) — render it with hdreport.
+	QualityOut string
 }
 
 // RunSimulation replays a trace under a policy in the discrete-event
@@ -505,6 +571,10 @@ func RunSimulation(cfg SimConfig) (*SimResult, error) {
 	if sink == nil && cfg.TraceOut != "" {
 		sink = obs.NewTraceWriter()
 	}
+	qual := cfg.Quality
+	if qual == nil && cfg.QualityOut != "" {
+		qual = obs.NewQualityAudit(obs.QualityMeta{})
+	}
 	res, err := sim.Run(sim.Options{
 		Trace:        tr,
 		Machines:     cfg.Machines,
@@ -513,6 +583,7 @@ func RunSimulation(cfg SimConfig) (*SimResult, error) {
 		StopAtTarget: cfg.StopAtTarget,
 		Obs:          cfg.Obs,
 		TraceSink:    sink,
+		Quality:      qual,
 	})
 	if err != nil {
 		return nil, err
@@ -520,6 +591,11 @@ func RunSimulation(cfg SimConfig) (*SimResult, error) {
 	if cfg.TraceOut != "" {
 		if werr := sink.WriteFile(cfg.TraceOut); werr != nil {
 			return res, fmt.Errorf("hyperdrive: trace export: %w", werr)
+		}
+	}
+	if cfg.QualityOut != "" {
+		if werr := writeQualityLog(cfg.QualityOut, qual); werr != nil {
+			return res, werr
 		}
 	}
 	return res, nil

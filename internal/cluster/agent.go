@@ -301,8 +301,11 @@ func (a *Agent) deliverDecision(p wire.DecisionPayload) {
 		d = sched.Continue
 	}
 	dr := DecisionReply{
-		Decision: d,
-		Trace:    obs.SpanContext{TraceID: p.TraceID, SpanID: p.SpanID},
+		Decision:   d,
+		Trace:      obs.SpanContext{TraceID: p.TraceID, SpanID: p.SpanID},
+		Confidence: p.Confidence,
+		ERTSeconds: p.ERTSeconds,
+		Class:      p.Class,
 	}
 	select {
 	case j.decision <- dr:

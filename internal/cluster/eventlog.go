@@ -32,6 +32,13 @@ type LogRecord struct {
 	// introspection endpoint (/spans?id=...) to see the estimate
 	// inputs (ERT, confidence, pool sizes) behind the verdict.
 	Span string `json:"span,omitempty"`
+	// Confidence, ERTSeconds, and Class carry the prediction behind a
+	// decision record directly on the log line (zero/empty off
+	// evaluation boundaries), so offline analysis of prediction quality
+	// does not depend on the span ring still holding the decision.
+	Confidence float64 `json:"confidence,omitempty"`
+	ERTSeconds float64 `json:"ertSeconds,omitempty"`
+	Class      string  `json:"class,omitempty"`
 }
 
 // EventLog serializes LogRecords as JSON lines. Safe for concurrent
@@ -119,19 +126,34 @@ func (e *Experiment) logEvent(kind string, ev Event) {
 }
 
 // logDecision emits a record for an OnIterationFinish verdict, stamped
-// with the decision span's ID (empty when tracing is off).
-func (e *Experiment) logDecision(job sched.JobID, epoch int, d sched.Decision, span string) {
+// with the decision span's ID (empty when tracing is off) and the
+// prediction the policy annotated onto the span, if any.
+func (e *Experiment) logDecision(job sched.JobID, epoch int, d sched.Decision, sp *obs.Span) {
 	if e.cfg.EventLog == nil {
 		return
 	}
-	e.cfg.EventLog.Log(LogRecord{
+	rec := LogRecord{
 		T:        e.clk.Now(),
 		Kind:     "decision",
 		Job:      string(job),
 		Epoch:    epoch,
 		Decision: d.String(),
-		Span:     span,
-	})
+		Span:     sp.ID(),
+	}
+	if a, ok := sp.Attr("confidence"); ok {
+		rec.Confidence = a.Val
+	}
+	if a, ok := sp.Attr("ert_seconds"); ok {
+		rec.ERTSeconds = a.Val
+	}
+	if a, ok := sp.Attr("class"); ok {
+		rec.Class = a.Str
+	}
+	if a, ok := sp.Attr("cause"); ok {
+		rec.Detail = a.Str
+		rec.Class = "poor"
+	}
+	e.cfg.EventLog.Log(rec)
 }
 
 // logLifecycle emits a start/resume/stop style record.

@@ -135,6 +135,12 @@ type Experiment struct {
 	// lastClass remembers each job's last published classification so
 	// the trace gets one instant marker per change, not per refresh.
 	lastClass map[sched.JobID]string
+	// qual is the registry's quality audit (nil unless the caller
+	// enabled it), cached so the hot paths pay one nil check, and
+	// reachEpoch the first epoch each job crossed the target — the
+	// outcome-side ground truth for calibration joins.
+	qual       *obs.QualityAudit
+	reachEpoch map[sched.JobID]int
 }
 
 // New validates the config and prepares an experiment.
@@ -180,6 +186,8 @@ func New(cfg Config) (*Experiment, error) {
 			in.Instrument(cfg.Obs)
 		}
 		cfg.EventLog.Instrument(cfg.Obs)
+		e.qual = cfg.Obs.Quality()
+		e.reachEpoch = make(map[sched.JobID]int)
 	}
 
 	if cfg.Executor != nil {
@@ -229,6 +237,14 @@ func New(cfg Config) (*Experiment, error) {
 		TotalSlots:    e.rm.Total(),
 		MaxDuration:   cfg.MaxDuration,
 	}
+	e.qual.SetMeta(obs.QualityMeta{
+		Workload: e.info.Workload,
+		Policy:   cfg.Policy.Name(),
+		Target:   e.info.Normalize(e.info.Target),
+		Machines: e.rm.Total(),
+		MaxEpoch: e.info.MaxEpoch,
+		Source:   "cluster",
+	})
 	return e, nil
 }
 
@@ -367,6 +383,12 @@ func (e *Experiment) handleStat(ev Event) bool {
 		e.res.Best = ev.Metric
 		e.res.BestJob = ev.Job
 		e.met.best.Set(ev.Metric)
+		e.qual.RecordBest(e.clk.Now(), string(ev.Job), e.info.Normalize(ev.Metric))
+	}
+	if e.qual != nil && ev.Metric >= e.info.Target {
+		if _, seen := e.reachEpoch[ev.Job]; !seen {
+			e.reachEpoch[ev.Job] = ev.Epoch
+		}
 	}
 	if e.cfg.StopAtTarget && ev.Metric >= e.info.Target && !e.res.Reached {
 		e.res.Reached = true
@@ -415,13 +437,27 @@ func (e *Experiment) handleIterDone(ev Event) {
 			mj.LastSpan = sp.ID()
 		}
 		e.emitDecisionTrace(ev, decision, sp, lat)
+		e.qual.ObserveDecisionSpan(e.clk.Now(), sp, decision.String())
 	}
-	e.logDecision(ev.Job, ev.Epoch, decision, sp.ID())
+	e.logDecision(ev.Job, ev.Epoch, decision, sp)
 	if boundary {
 		e.publishClassification()
 	}
 	if ev.Reply != nil {
-		ev.Reply <- DecisionReply{Decision: decision, Trace: sp.Context()}
+		reply := DecisionReply{Decision: decision, Trace: sp.Context()}
+		// The prediction behind the verdict rides back to the agent so
+		// agent-side logs can correlate their fate with the scheduler's
+		// confidence in them.
+		if a, ok := sp.Attr("confidence"); ok {
+			reply.Confidence = a.Val
+		}
+		if a, ok := sp.Attr("ert_seconds"); ok {
+			reply.ERTSeconds = a.Val
+		}
+		if a, ok := sp.Attr("class"); ok {
+			reply.Class = a.Str
+		}
+		ev.Reply <- reply
 	}
 }
 
@@ -536,6 +572,17 @@ func (e *Experiment) finish() {
 			FinalState: mj.Job.State(),
 			Best:       mj.Best,
 		})
+		if e.qual != nil {
+			re, reached := e.reachEpoch[mj.Job.ID]
+			e.qual.RecordOutcome(obs.OutcomeRecord{
+				Job:        string(mj.Job.ID),
+				FinalState: mj.Job.State().String(),
+				Epochs:     mj.Job.Epoch(),
+				Best:       e.info.Normalize(mj.Best),
+				Reached:    reached,
+				ReachEpoch: re,
+			})
+		}
 	}
 	if fc, ok := e.cfg.Policy.(policy.FitCounter); ok {
 		e.res.Fits = int(fc.Fits().Value())

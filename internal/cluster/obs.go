@@ -200,4 +200,18 @@ func (e *Experiment) publishClassification() {
 		rows = append(rows, row)
 	}
 	e.met.reg.PublishJobTable(rows)
+	if e.qual != nil && hasPOP {
+		var prom, opp, poor int
+		for _, row := range rows {
+			switch row.Class {
+			case "promising":
+				prom++
+			case "opportunistic":
+				opp++
+			case "poor":
+				poor++
+			}
+		}
+		e.qual.RecordPool(e.clk.Now(), prom, opp, poor)
+	}
 }

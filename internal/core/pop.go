@@ -75,6 +75,12 @@ type Estimate struct {
 	// EpochDuration is the measured average epoch duration used for
 	// the epochs -> time conversion.
 	EpochDuration time.Duration
+	// BandLow / BandHigh bound the posterior's credible interval for
+	// the normalized metric at the prediction horizon (zero when the
+	// estimate was made without a posterior). The search-quality audit
+	// joins them against realized outcomes to measure band coverage.
+	BandLow  float64
+	BandHigh float64
 }
 
 // Satisfying reports whether the configuration is expected to reach

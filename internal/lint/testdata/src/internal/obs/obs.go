@@ -12,6 +12,13 @@ const (
 	GoGCPauseSeconds = "hyperdrive_go_gc_pause_seconds"
 	// FlightSpansDroppedTotal mirrors the flight recorder's drop count.
 	FlightSpansDroppedTotal = "hyperdrive_flight_spans_dropped_total"
+
+	// Search-quality audit names exported by the quality trail.
+	QualityPredictionsTotal   = "hyperdrive_quality_predictions_total"
+	QualityBrierScore         = "hyperdrive_quality_brier_score"
+	QualityBandCoverageRatio  = "hyperdrive_quality_band_coverage_ratio"
+	QualityERTAbsErrorSeconds = "hyperdrive_quality_ert_abs_error_seconds"
+	QualityEarlyTermPrecision = "hyperdrive_quality_early_term_precision"
 )
 
 // DecisionsTotal builds a per-verdict counter name.

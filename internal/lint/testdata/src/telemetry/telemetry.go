@@ -15,11 +15,19 @@ func instrument(r *obs.Registry) {
 	r.Histogram(obs.GoGCPauseSeconds)
 	r.Counter(obs.FlightSpansDroppedTotal)
 
+	// Good: the search-quality audit names.
+	r.Counter(obs.QualityPredictionsTotal)
+	r.Gauge(obs.QualityBrierScore)
+	r.Gauge(obs.QualityBandCoverageRatio)
+	r.Histogram(obs.QualityERTAbsErrorSeconds)
+	r.Gauge(obs.QualityEarlyTermPrecision)
+
 	// Bad: call-site literals and locally built names.
 	r.Counter("hyperdrive_epochs_total") // want "metric name is a string literal"
 	name := "hyperdrive_rogue_total"
 	r.Gauge(name)                                   // want "metric name must come from internal/obs"
 	r.Histogram("hyperdrive_latency_seconds", 1, 4) // want "metric name is a string literal"
+	r.Gauge("hyperdrive_quality_brier_score")       // want "metric name is a string literal"
 
 	// Suppressed: documented exception.
 	//hdlint:ignore metricnames fixture demonstrating an honored suppression

@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// HistoryPoint is one retained sample of a metric series.
+type HistoryPoint struct {
+	TMS int64   `json:"t_ms"` // run-clock unix milliseconds
+	V   float64 `json:"v"`
+}
+
+// DefaultHistoryCapacity is the per-series point bound.
+const DefaultHistoryCapacity = 512
+
+// historySeries is one metric's bounded time series. Downsampling is
+// deterministic in the offer sequence alone: offers are accepted every
+// stride-th call, and when the buffer reaches capacity the
+// even-indexed points are kept and the stride doubles — so the
+// accepted offer indices are always the multiples of the current
+// stride, regardless of timing, GOMAXPROCS, or host.
+type historySeries struct {
+	mu     sync.Mutex
+	cap    int
+	stride int64
+	seen   int64
+	pts    []HistoryPoint
+}
+
+func (s *historySeries) offer(t int64, v float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx := s.seen
+	s.seen++
+	if idx%s.stride != 0 {
+		return
+	}
+	s.pts = append(s.pts, HistoryPoint{TMS: t, V: v})
+	if len(s.pts) >= s.cap {
+		kept := s.pts[:0]
+		for i := 0; i < len(s.pts); i += 2 {
+			kept = append(kept, s.pts[i])
+		}
+		s.pts = kept
+		s.stride *= 2
+	}
+}
+
+func (s *historySeries) snapshot() []HistoryPoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]HistoryPoint(nil), s.pts...)
+}
+
+// History is a bounded in-process store of metric time series: every
+// series keeps at most its capacity of points, thinning itself by
+// stride doubling as samples keep arriving, so a week-long run and a
+// ten-second test both fit the same memory. A nil *History is a valid
+// no-op sink. Safe for concurrent use; distinct series never contend.
+type History struct {
+	capacity int
+	mu       sync.RWMutex
+	series   map[string]*historySeries
+}
+
+// NewHistory builds a store with the given per-series capacity
+// (DefaultHistoryCapacity when non-positive; minimum 2).
+func NewHistory(capacity int) *History {
+	if capacity <= 0 {
+		capacity = DefaultHistoryCapacity
+	}
+	if capacity < 2 {
+		capacity = 2
+	}
+	return &History{capacity: capacity, series: make(map[string]*historySeries)}
+}
+
+// Offer appends one sample to the named series, subject to the
+// series' current downsampling stride.
+func (h *History) Offer(name string, t time.Time, v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.RLock()
+	s, ok := h.series[name]
+	h.mu.RUnlock()
+	if !ok {
+		h.mu.Lock()
+		if s, ok = h.series[name]; !ok {
+			s = &historySeries{cap: h.capacity, stride: 1}
+			h.series[name] = s
+		}
+		h.mu.Unlock()
+	}
+	s.offer(t.UnixMilli(), v)
+}
+
+// Series returns the retained points of one series (nil when unknown).
+func (h *History) Series(name string) []HistoryPoint {
+	if h == nil {
+		return nil
+	}
+	h.mu.RLock()
+	s, ok := h.series[name]
+	h.mu.RUnlock()
+	if !ok {
+		return nil
+	}
+	return s.snapshot()
+}
+
+// Names returns the sorted series names.
+func (h *History) Names() []string {
+	if h == nil {
+		return nil
+	}
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return sortedNames(h.series)
+}
+
+// Snapshot returns every series' retained points.
+func (h *History) Snapshot() map[string][]HistoryPoint {
+	if h == nil {
+		return map[string][]HistoryPoint{}
+	}
+	h.mu.RLock()
+	names := sortedNames(h.series)
+	series := make([]*historySeries, len(names))
+	for i, n := range names {
+		series[i] = h.series[n]
+	}
+	h.mu.RUnlock()
+	out := make(map[string][]HistoryPoint, len(names))
+	for i, n := range names {
+		out[n] = series[i].snapshot()
+	}
+	return out
+}
+
+// SampleHistory offers every counter and gauge value — plus each
+// histogram's count and p50/p99 quantile estimates — to the history
+// store at time t. A no-op until EnableHistory. Engines call it on
+// whatever clock they trust: the live runner on a wall ticker
+// (StartHistorySampler), the simulator on its virtual clock at
+// boundary decisions, so sim histories replay bit-identically.
+func (r *Registry) SampleHistory(t time.Time) {
+	h := r.History()
+	if h == nil {
+		return
+	}
+	r.mu.RLock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for n, c := range r.counters {
+		counters[n] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for n, g := range r.gauges {
+		gauges[n] = g
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for n, hg := range r.hists {
+		hists[n] = hg
+	}
+	r.mu.RUnlock()
+	for _, n := range sortedNames(counters) {
+		h.Offer(n, t, float64(counters[n].Value()))
+	}
+	for _, n := range sortedNames(gauges) {
+		h.Offer(n, t, gauges[n].Value())
+	}
+	for _, n := range sortedNames(hists) {
+		hg := hists[n]
+		if hg.Count() == 0 {
+			continue
+		}
+		h.Offer(n+":count", t, float64(hg.Count()))
+		h.Offer(n+":p50", t, hg.Quantile(0.50))
+		h.Offer(n+":p99", t, hg.Quantile(0.99))
+	}
+}
+
+// StartHistorySampler snapshots the registry's metrics into the
+// history store on a ticker, mirroring StartRuntimeSampler's shape.
+// One sample is taken immediately. The returned stop function halts
+// the sampler and is idempotent; a nil registry (or one without
+// history enabled) yields a no-op.
+func StartHistorySampler(r *Registry, interval time.Duration) (stop func()) {
+	if r == nil || r.History() == nil {
+		return func() {}
+	}
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	r.SampleHistory(time.Now())
+	done := make(chan struct{})
+	stopped := make(chan struct{})
+	go func() {
+		defer close(stopped)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				r.SampleHistory(time.Now())
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			<-stopped
+		})
+	}
+}

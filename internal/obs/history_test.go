@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// histEpoch is a fixed timestamp base so test series carry
+// deterministic t_ms values.
+var histEpoch = time.Date(2017, 12, 11, 0, 0, 0, 0, time.UTC)
+
+// offerSeq feeds n sequential samples (value = index) into one series.
+func offerSeq(h *History, name string, n int) {
+	for i := 0; i < n; i++ {
+		h.Offer(name, histEpoch.Add(time.Duration(i)*time.Second), float64(i))
+	}
+}
+
+func TestHistoryBounded(t *testing.T) {
+	h := NewHistory(64)
+	offerSeq(h, "m", 100000)
+	pts := h.Series("m")
+	if len(pts) == 0 || len(pts) > 64 {
+		t.Fatalf("series has %d points, want 1..64", len(pts))
+	}
+	// Retained points must be a subsequence of the offers, in order,
+	// always starting at the first offer.
+	if pts[0].V != 0 {
+		t.Fatalf("first retained point is %v, want offer 0", pts[0].V)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].V <= pts[i-1].V {
+			t.Fatalf("retained points out of order: %v after %v", pts[i].V, pts[i-1].V)
+		}
+	}
+}
+
+// TestHistoryDownsamplingDeterministic re-offers the same sequence
+// under different GOMAXPROCS values and requires identical retained
+// series: thinning depends only on the offer sequence.
+func TestHistoryDownsamplingDeterministic(t *testing.T) {
+	run := func(procs int) []HistoryPoint {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		h := NewHistory(32)
+		offerSeq(h, "m", 7777)
+		return h.Series("m")
+	}
+	a := run(1)
+	b := run(runtime.NumCPU())
+	if len(a) != len(b) {
+		t.Fatalf("series lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("point %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestHistoryConcurrentWriters hammers the store from many goroutines
+// (shared series and private series) under -race, then checks every
+// private series retained a consistent bounded subsequence.
+func TestHistoryConcurrentWriters(t *testing.T) {
+	h := NewHistory(16)
+	const writers = 8
+	const perWriter = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := string(rune('a' + w))
+			for i := 0; i < perWriter; i++ {
+				h.Offer("shared", histEpoch, float64(i))
+				h.Offer(name, histEpoch.Add(time.Duration(i)), float64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := len(h.Names()); got != writers+1 {
+		t.Fatalf("store has %d series, want %d", got, writers+1)
+	}
+	for w := 0; w < writers; w++ {
+		name := string(rune('a' + w))
+		pts := h.Series(name)
+		if len(pts) == 0 || len(pts) >= 16 {
+			t.Fatalf("series %s has %d points, want 1..15", name, len(pts))
+		}
+		for i := 1; i < len(pts); i++ {
+			if pts[i].V <= pts[i-1].V {
+				t.Fatalf("series %s out of order at %d", name, i)
+			}
+		}
+	}
+	if pts := h.Series("shared"); len(pts) == 0 || len(pts) >= 16 {
+		t.Fatalf("shared series has %d points, want 1..15", len(pts))
+	}
+}
+
+func TestHistoryStrideAlignment(t *testing.T) {
+	// After the first thinning (cap 4), accepted offers must be exactly
+	// the multiples of the doubled stride.
+	h := NewHistory(4)
+	offerSeq(h, "m", 32)
+	pts := h.Series("m")
+	for _, p := range pts {
+		if int(p.V)%2 != 0 {
+			t.Fatalf("retained offer %v not aligned to doubled stride", p.V)
+		}
+	}
+}
+
+func TestRegistrySampleHistory(t *testing.T) {
+	r := NewRegistry()
+	if r.History() != nil {
+		t.Fatal("history enabled before EnableHistory")
+	}
+	r.SampleHistory(histEpoch) // no-op until enabled
+	r.EnableHistory(0)
+	r.Counter(EpochsTotal).Add(3)
+	r.Gauge(BestMetric).Set(0.5)
+	r.Histogram(DecisionLatencySeconds).Observe(0.01)
+	r.SampleHistory(histEpoch)
+	r.Counter(EpochsTotal).Add(2)
+	r.SampleHistory(histEpoch.Add(time.Second))
+
+	h := r.History()
+	c := h.Series(EpochsTotal)
+	if len(c) != 2 || c[0].V != 3 || c[1].V != 5 {
+		t.Fatalf("counter series = %+v, want [3 5]", c)
+	}
+	if g := h.Series(BestMetric); len(g) != 2 || g[0].V != 0.5 {
+		t.Fatalf("gauge series = %+v", g)
+	}
+	if p := h.Series(DecisionLatencySeconds + ":p50"); len(p) != 2 {
+		t.Fatalf("histogram p50 series = %+v", p)
+	}
+	// Nil-safety.
+	var nilH *History
+	nilH.Offer("x", histEpoch, 1)
+	if nilH.Series("x") != nil || nilH.Names() != nil {
+		t.Fatal("nil history must be inert")
+	}
+	var nilR *Registry
+	if nilR.EnableHistory(8) != nil || nilR.History() != nil {
+		t.Fatal("nil registry must return nil history")
+	}
+}

@@ -19,6 +19,12 @@ type HandlerOptions struct {
 //	GET /jobs          current job classification table (JSON)
 //	GET /spans         recent decision spans (JSON; ?job= filters,
 //	                   ?id= resolves one span)
+//	GET /debug/obs/spans    flight-recorder snapshot (JSON)
+//	GET /debug/obs/quality  search-quality calibration report (JSON;
+//	                        ?format=log streams the raw audit JSONL;
+//	                        404 until EnableQuality)
+//	GET /debug/obs/history  retained metric time series (JSON; ?name=
+//	                        selects one series; 404 until EnableHistory)
 //	GET /debug/pprof/  runtime profiles (only with opts.Pprof)
 //
 // The handler is safe to serve while the experiment runs: metric reads
@@ -65,6 +71,35 @@ func Handler(r *Registry, opts HandlerOptions) http.Handler {
 	})
 	mux.HandleFunc("/debug/obs/spans", func(w http.ResponseWriter, req *http.Request) {
 		writeJSON(w, r.Flight().Snapshot())
+	})
+	mux.HandleFunc("/debug/obs/quality", func(w http.ResponseWriter, req *http.Request) {
+		q := r.Quality()
+		if q == nil {
+			http.Error(w, "quality audit disabled (enable with -quality-out or a served endpoint)", http.StatusNotFound)
+			return
+		}
+		if req.URL.Query().Get("format") == "log" {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			_ = q.WriteLog(w)
+			return
+		}
+		writeJSON(w, q.Report())
+	})
+	mux.HandleFunc("/debug/obs/history", func(w http.ResponseWriter, req *http.Request) {
+		h := r.History()
+		if h == nil {
+			http.Error(w, "metrics history disabled", http.StatusNotFound)
+			return
+		}
+		if name := req.URL.Query().Get("name"); name != "" {
+			pts := h.Series(name)
+			if pts == nil {
+				pts = []HistoryPoint{}
+			}
+			writeJSON(w, pts)
+			return
+		}
+		writeJSON(w, h.Snapshot())
 	})
 	if opts.Pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)

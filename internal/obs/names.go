@@ -94,6 +94,35 @@ const (
 	// FlightSpansDroppedTotal counts spans the flight recorder evicted
 	// past its bounds (global ring wrap + per-live-job cap overflow).
 	FlightSpansDroppedTotal = "hyperdrive_flight_spans_dropped_total"
+
+	// QualityPredictionsTotal counts decision-time predictions captured
+	// by the search-quality audit trail.
+	QualityPredictionsTotal = "hyperdrive_quality_predictions_total"
+	// QualityPredictionsDroppedTotal counts predictions discarded past
+	// the audit's bound (the trail is bounded, never silent).
+	QualityPredictionsDroppedTotal = "hyperdrive_quality_predictions_dropped_total"
+	// QualityOutcomesTotal counts realized job outcomes joined against
+	// the prediction trail.
+	QualityOutcomesTotal = "hyperdrive_quality_outcomes_total"
+	// QualityClassChurnTotal counts pool-classification changes
+	// (promising <-> opportunistic <-> poor flips across decisions).
+	QualityClassChurnTotal = "hyperdrive_quality_class_churn_total"
+	// QualityBrierScore gauges the running Brier score of reach-target
+	// confidence against realized (or oracle) outcomes; lower is better.
+	QualityBrierScore = "hyperdrive_quality_brier_score"
+	// QualityBandCoverageRatio gauges the fraction of realized final
+	// metrics that landed inside the predicted credible band.
+	QualityBandCoverageRatio = "hyperdrive_quality_band_coverage_ratio"
+	// QualityERTAbsErrorSeconds is the histogram of |predicted ERT -
+	// actual remaining training time| for jobs whose ground truth is
+	// known.
+	QualityERTAbsErrorSeconds = "hyperdrive_quality_ert_abs_error_seconds"
+	// QualityEarlyTermPrecision / QualityEarlyTermRecall gauge the
+	// early-termination confusion against oracle ground truth:
+	// precision = terminated jobs that truly would not have reached the
+	// target; recall = truly-poor jobs the scheduler terminated.
+	QualityEarlyTermPrecision = "hyperdrive_quality_early_term_precision"
+	QualityEarlyTermRecall    = "hyperdrive_quality_early_term_recall"
 )
 
 // DecisionsTotal returns the labeled series name counting

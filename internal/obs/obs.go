@@ -213,6 +213,8 @@ type Registry struct {
 	tracer   *Tracer
 	flight   *FlightRecorder
 	table    atomic.Value // []JobRow
+	quality  atomic.Pointer[QualityAudit]
+	history  atomic.Pointer[History]
 }
 
 // NewRegistry returns an empty registry with a 512-span tracer and a
@@ -316,6 +318,61 @@ func (r *Registry) Flight() *FlightRecorder {
 		return nil
 	}
 	return r.flight
+}
+
+// EnableQuality attaches a search-quality audit trail to the registry
+// and binds its aggregate metrics (the hyperdrive_quality_* family).
+// Idempotent: repeated calls return the existing audit (meta is
+// applied only on first enable). Nil registries return nil (the audit
+// handle itself is nil-safe).
+func (r *Registry) EnableQuality(meta QualityMeta) *QualityAudit {
+	if r == nil {
+		return nil
+	}
+	if q := r.quality.Load(); q != nil {
+		return q
+	}
+	q := NewQualityAudit(meta)
+	q.bind(r)
+	if !r.quality.CompareAndSwap(nil, q) {
+		return r.quality.Load()
+	}
+	return q
+}
+
+// Quality returns the registry's audit trail (nil until EnableQuality;
+// nil is a valid no-op handle).
+func (r *Registry) Quality() *QualityAudit {
+	if r == nil {
+		return nil
+	}
+	return r.quality.Load()
+}
+
+// EnableHistory attaches a bounded metrics history store (capacity
+// points per series; DefaultHistoryCapacity when non-positive).
+// Idempotent: repeated calls return the existing store.
+func (r *Registry) EnableHistory(capacity int) *History {
+	if r == nil {
+		return nil
+	}
+	if h := r.history.Load(); h != nil {
+		return h
+	}
+	h := NewHistory(capacity)
+	if !r.history.CompareAndSwap(nil, h) {
+		return r.history.Load()
+	}
+	return h
+}
+
+// History returns the registry's history store (nil until
+// EnableHistory; nil is a valid no-op handle).
+func (r *Registry) History() *History {
+	if r == nil {
+		return nil
+	}
+	return r.history.Load()
 }
 
 // JobRow is one line of the live job classification table: what the

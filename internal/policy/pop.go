@@ -54,6 +54,13 @@ type POPOptions struct {
 	DisableKillThreshold bool
 }
 
+// credibleBandLow / credibleBandHigh are the posterior quantiles of
+// the 90% credible band stamped on estimates and decision spans.
+const (
+	credibleBandLow  = 0.05
+	credibleBandHigh = 0.95
+)
+
 // POP is the paper's scheduling algorithm (§3, §5.3): Promising /
 // Opportunistic / Poor classification driven by probabilistic
 // learning-curve prediction, with dynamic division of slots between an
@@ -168,6 +175,10 @@ func (p *POP) OnIterationFinish(ctx Context, ev sched.Event) sched.Decision {
 	sp.SetAttr("confidence", est.Confidence)
 	sp.SetAttr("ert_seconds", est.ERT.Seconds())
 	sp.SetAttr("epoch_duration_seconds", est.EpochDuration.Seconds())
+	if est.BandHigh > est.BandLow {
+		sp.SetAttr("band_lo", est.BandLow)
+		sp.SetAttr("band_hi", est.BandHigh)
+	}
 	if est.Truncated {
 		sp.SetAttr("truncated", 1)
 	}
@@ -284,7 +295,11 @@ func (p *POP) estimate(ctx Context, job sched.JobID, rawHistory []float64) core.
 	// of one full posterior pass per queried epoch (bit-identical to the
 	// per-epoch ProbAtLeast path).
 	prob := func(from, to int) []float64 { return post.ProbSweep(from, to, target) }
-	return core.EstimateERTBatch(string(job), prob, curEpoch, info.MaxEpoch, epochDur, remaining)
+	est := core.EstimateERTBatch(string(job), prob, curEpoch, info.MaxEpoch, epochDur, remaining)
+	// The 90% credible band for the final metric rides along so the
+	// quality audit can score band coverage against realized outcomes.
+	est.BandLow, est.BandHigh = post.CredibleBand(info.MaxEpoch, credibleBandLow, credibleBandHigh)
+	return est
 }
 
 // allocate runs the §3.2 slot division over the active jobs' cached

@@ -186,6 +186,7 @@ func (e *engine) observeDecision(sev *sched.Event, run func() sched.Decision) sc
 		sp.SetStr("decision", d.String())
 		m.tracer.Finish(sp)
 		e.emitDecisionTrace(sev, sp, lat)
+		e.qual.ObserveDecisionSpan(e.start.Add(e.now), sp, d.String())
 		e.publishClassification()
 	}
 	return d
@@ -279,4 +280,18 @@ func (e *engine) publishClassification() {
 		rows = append(rows, row)
 	}
 	e.met.reg.PublishJobTable(rows)
+	if e.qual != nil && hasPOP {
+		var prom, opp, poor int
+		for _, row := range rows {
+			switch row.Class {
+			case "promising":
+				prom++
+			case "opportunistic":
+				opp++
+			case "poor":
+				poor++
+			}
+		}
+		e.qual.RecordPool(e.start.Add(e.now), prom, opp, poor)
+	}
 }

@@ -1,0 +1,119 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"github.com/hyperdrive-ml/hyperdrive/internal/obs"
+	"github.com/hyperdrive-ml/hyperdrive/internal/policy"
+)
+
+// simQualityRun runs one fixed POP experiment with a quality audit and
+// returns the serialized audit log plus the computed report.
+func simQualityRun(t *testing.T) ([]byte, *obs.QualityReport) {
+	t.Helper()
+	pop, err := policy.NewPOP(policy.POPOptions{Predictor: tinyPredictor()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := obs.NewQualityAudit(obs.QualityMeta{})
+	_, err = Run(Options{
+		Trace:          testTrace(t, 6, 3),
+		Machines:       2,
+		Policy:         pop,
+		PredictionCost: 250 * time.Millisecond,
+		Quality:        q,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := q.WriteLog(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), q.Report()
+}
+
+// TestSimQualityAudit checks that a simulated run fills the audit:
+// oracle truth for every job, scored predictions, and a report whose
+// joins are populated.
+func TestSimQualityAudit(t *testing.T) {
+	_, rep := simQualityRun(t)
+	if rep.Meta.Source != "sim" || rep.Meta.Policy != "pop" {
+		t.Fatalf("meta not stamped: %+v", rep.Meta)
+	}
+	if rep.Oracles != 6 {
+		t.Fatalf("oracles = %d, want 6 (one per trace job)", rep.Oracles)
+	}
+	if rep.Outcomes != 6 {
+		t.Fatalf("outcomes = %d, want 6", rep.Outcomes)
+	}
+	if rep.Predictions == 0 {
+		t.Fatal("run recorded no predictions")
+	}
+	if rep.Scored != rep.Predictions {
+		t.Fatalf("scored %d of %d predictions; oracles should label every job",
+			rep.Scored, rep.Predictions)
+	}
+	var binned int
+	for _, b := range rep.Reliability {
+		binned += b.Count
+	}
+	if binned != rep.Scored {
+		t.Fatalf("reliability bins hold %d predictions, scored %d", binned, rep.Scored)
+	}
+	if len(rep.Regret) == 0 {
+		t.Fatal("run recorded no best samples / regret curve")
+	}
+	if rep.Regret[len(rep.Regret)-1].Best > rep.OracleBest {
+		t.Fatalf("run best %v exceeds oracle ceiling %v",
+			rep.Regret[len(rep.Regret)-1].Best, rep.OracleBest)
+	}
+}
+
+// TestSimQualityDeterministic re-runs the same experiment and requires
+// byte-identical audit logs and reports: quality timestamps must come
+// from the virtual clock, never the host's, and report computation
+// must not depend on map iteration order.
+func TestSimQualityDeterministic(t *testing.T) {
+	logA, repA := simQualityRun(t)
+	logB, repB := simQualityRun(t)
+	if !bytes.Equal(logA, logB) {
+		t.Fatal("two identical simulated runs serialized different quality logs")
+	}
+	ja, err := json.Marshal(repA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := json.Marshal(repB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ja, jb) {
+		t.Fatal("two identical simulated runs computed different quality reports")
+	}
+}
+
+// TestSimQualityLogReplay round-trips the audit through its log and
+// requires the replayed report to match the original: the log carries
+// everything the joins need.
+func TestSimQualityLogReplay(t *testing.T) {
+	logA, repA := simQualityRun(t)
+	q, err := obs.ReadQualityLog(bytes.NewReader(logA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, err := json.Marshal(repA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := json.Marshal(q.Report())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("replayed report differs from original:\n%s\nvs\n%s", jb, ja)
+	}
+}

@@ -77,6 +77,15 @@ type Options struct {
 	// time), never the host clock, so the export is bit-identical
 	// across runs and hosts.
 	TraceSink *obs.TraceWriter
+	// Quality, when non-nil, receives the search-quality audit trail:
+	// oracle ground truth derived from the trace curves, every
+	// boundary decision's prediction (confidence, ERT, credible band,
+	// pool verdict), best-metric samples, pool occupancy, and final
+	// outcomes. Like TraceSink, all timestamps are virtual, so the
+	// audit's serialized log is byte-identical across runs and hosts.
+	// When nil but Obs has a quality audit enabled, that audit is
+	// used.
+	Quality *obs.QualityAudit
 }
 
 // RatioPoint samples the exploitation share over time (Figure 4c).
@@ -213,6 +222,7 @@ type engine struct {
 	lastFit int
 	stopAt  float64
 	met     *simMetrics
+	qual    *obs.QualityAudit
 	// lastClass remembers each job's last published classification so
 	// the trace gets one marker per change, not one per refresh.
 	lastClass map[sched.JobID]string
@@ -237,10 +247,11 @@ func Run(opts Options) (*Result, error) {
 	if opts.MaxDuration == 0 {
 		opts.MaxDuration = 7 * 24 * time.Hour
 	}
-	if opts.TraceSink != nil && opts.Obs == nil {
-		// Decision slices and classification markers ride on the
-		// registry's tracer; give the run a private one when the caller
-		// asked for a trace without instrumenting.
+	if (opts.TraceSink != nil || opts.Quality != nil) && opts.Obs == nil {
+		// Decision slices, classification markers, and quality
+		// predictions all ride on the registry's tracer; give the run a
+		// private one when the caller asked for either without
+		// instrumenting.
 		opts.Obs = obs.NewRegistry()
 	}
 
@@ -299,6 +310,11 @@ func Run(opts Options) (*Result, error) {
 	for m := 0; m < opts.Machines; m++ {
 		e.freeM = append(e.freeM, m)
 	}
+	e.qual = opts.Quality
+	if e.qual == nil && opts.Obs != nil {
+		e.qual = opts.Obs.Quality()
+	}
+	e.setupQuality()
 
 	e.run()
 	return e.res, nil
@@ -446,6 +462,7 @@ func (e *engine) updateBest(j *simJob, metric float64) bool {
 		e.res.Best = metric
 		e.res.BestJob = string(j.id)
 		e.met.best.Set(metric)
+		e.qual.RecordBest(e.start.Add(e.now), string(j.id), e.info.Normalize(metric))
 	}
 	return metric >= e.stopAt
 }
@@ -591,6 +608,7 @@ func (e *engine) finish() {
 	if fc, ok := e.opts.Policy.(policy.FitCounter); ok {
 		e.res.Fits = int(fc.Fits().Value())
 	}
+	e.recordQualityOutcomes()
 	e.refreshGauges() // final flush of buffered telemetry
 }
 

@@ -42,4 +42,14 @@ go run ./cmd/hdlog -in "$tracedir/run.jsonl" -trace "$tracedir/log.trace.json" >
 go run ./cmd/hdlog -check-trace "$tracedir/log.trace.json"
 rm -rf "$tracedir"
 
+# Quality-report smoke: a short deterministic sim run with the audit on
+# must yield a log that hdreport renders, with the calibration table in
+# the output.
+echo ">> hdreport (smoke)"
+qualdir="$(mktemp -d)"
+go run ./cmd/hdsim -gen cifar10 -gen-jobs 8 -policies pop -machines 2 \
+	-quality-out "$qualdir/quality.jsonl" >/dev/null
+go run ./cmd/hdreport -o - "$qualdir/quality.jsonl" | grep -q "Prediction calibration"
+rm -rf "$qualdir"
+
 echo "OK"
