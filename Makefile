@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint check bench-obs bench-fit bench-trace bench-quality trace-demo report-demo
+.PHONY: build test lint check fuzz-smoke bench-obs bench-fit bench-trace bench-quality trace-demo report-demo
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,17 @@ lint:
 # check: vet + hdlint + full test suite under the race detector.
 check:
 	sh scripts/check.sh
+
+# fuzz-smoke: run each native fuzz target briefly against its checked-in
+# seed corpus plus fresh mutations. Crashers land in testdata/fuzz/ —
+# check them in as regression inputs. See DESIGN.md "Whole-program
+# analysis & fuzzing".
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME) ./internal/wire
+	$(GO) test -run '^$$' -fuzz '^FuzzCheckpointDecode$$' -fuzztime $(FUZZTIME) ./internal/checkpoint
+	$(GO) test -run '^$$' -fuzz '^FuzzReadQualityLog$$' -fuzztime $(FUZZTIME) ./internal/obs
+	$(GO) test -run '^$$' -fuzz '^FuzzValidateTraceEvents$$' -fuzztime $(FUZZTIME) ./internal/obs
 
 # bench-obs: measure obs-registry overhead on the simulator hot path
 # and refresh the committed baseline.

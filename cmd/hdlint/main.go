@@ -1,14 +1,20 @@
-// Command hdlint runs the hyperdrive domain analyzers (detclock,
-// metricnames, locksafe, erralways, floateq) over the module and
-// prints file:line:col diagnostics.
+// Command hdlint runs the hyperdrive domain analyzers over the module
+// and prints file:line:col diagnostics. The suite spans single-package
+// checks (detclock, metricnames, locksafe, erralways, floateq) and
+// whole-program ones built on the cross-package call graph (dettaint,
+// exhaustive, locksafe2, spanpair).
 //
 // Usage:
 //
-//	hdlint [-list] [pattern ...]
+//	hdlint [-list] [-json] [pattern ...]
 //
 // Patterns follow the usual go-tool shapes ("./...", "./internal/sim",
 // "internal/policy/..."); the default is the whole module. Exit status
 // is 0 when clean, 1 when findings were reported, 2 on a load failure.
+//
+// -json prints the findings as a JSON array (sorted by position, file
+// paths relative to the module root) for tooling; the exit status is
+// unchanged.
 //
 // Deliberate exceptions are declared in-code:
 //
@@ -20,9 +26,12 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"github.com/hyperdrive-ml/hyperdrive/internal/lint"
 )
@@ -31,15 +40,26 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// jsonFinding is the -json wire shape of one diagnostic.
+type jsonFinding struct {
+	File     string `json:"file"` // slash-separated, relative to the module root
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func run(args []string, stdout, stderr io.Writer) int {
 	patterns := make([]string, 0, len(args))
-	list := false
+	list, asJSON := false, false
 	for _, a := range args {
 		switch a {
 		case "-list", "--list":
 			list = true
+		case "-json", "--json":
+			asJSON = true
 		case "-h", "-help", "--help":
-			fmt.Fprintln(stderr, "usage: hdlint [-list] [pattern ...]")
+			fmt.Fprintln(stderr, "usage: hdlint [-list] [-json] [pattern ...]")
 			return 0
 		default:
 			patterns = append(patterns, a)
@@ -68,12 +88,41 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	findings := mod.Run(lint.All(), match)
-	for _, f := range findings {
-		fmt.Fprintln(stdout, f)
+	if asJSON {
+		out := make([]jsonFinding, 0, len(findings)) // 0-length so empty encodes as []
+		for _, f := range findings {
+			out = append(out, jsonFinding{
+				File:     relToRoot(mod.Root, f.Pos.Filename),
+				Line:     f.Pos.Line,
+				Col:      f.Pos.Column,
+				Analyzer: f.Analyzer,
+				Message:  f.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(stderr, "hdlint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(stderr, "hdlint: %d finding(s)\n", len(findings))
 		return 1
 	}
 	return 0
+}
+
+// relToRoot renders filename relative to the module root with forward
+// slashes, falling back to the input when it lies outside the root.
+func relToRoot(root, filename string) string {
+	rel, err := filepath.Rel(root, filename)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(filename)
+	}
+	return filepath.ToSlash(rel)
 }

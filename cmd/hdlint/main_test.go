@@ -2,10 +2,18 @@ package main
 
 import (
 	"bytes"
+	"flag"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
+
+// allAnalyzers is the full suite every fixture run must exercise.
+var allAnalyzers = []string{
+	"detclock", "metricnames", "locksafe", "erralways", "floateq",
+	"dettaint", "exhaustive", "locksafe2", "spanpair",
+}
 
 func chdir(t *testing.T, dir string) {
 	t.Helper()
@@ -37,7 +45,7 @@ func TestRunFindings(t *testing.T) {
 		t.Fatalf("exit %d on the fixture module, want 1; stderr:\n%s", code, errw.String())
 	}
 	got := out.String()
-	for _, analyzer := range []string{"detclock", "metricnames", "locksafe", "erralways", "floateq"} {
+	for _, analyzer := range allAnalyzers {
 		if !strings.Contains(got, analyzer+": ") {
 			t.Errorf("fixture run missing %s findings; output:\n%s", analyzer, got)
 		}
@@ -52,9 +60,51 @@ func TestRunList(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errw); code != 0 {
 		t.Fatalf("-list exit %d", code)
 	}
-	for _, analyzer := range []string{"detclock", "metricnames", "locksafe", "erralways", "floateq"} {
+	for _, analyzer := range allAnalyzers {
 		if !strings.Contains(out.String(), analyzer) {
 			t.Errorf("-list missing %s:\n%s", analyzer, out.String())
 		}
+	}
+}
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestRunJSONGolden pins the -json output over the fixture module
+// byte-for-byte: sorted by position, paths relative to the module root,
+// stable field order. Regenerate with `go test ./cmd/hdlint -update`
+// after changing fixtures or analyzer messages.
+func TestRunJSONGolden(t *testing.T) {
+	golden, err := filepath.Abs("testdata/fixture_findings.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	chdir(t, "../../internal/lint/testdata/src")
+	var out, errw bytes.Buffer
+	if code := run([]string{"-json"}, &out, &errw); code != 1 {
+		t.Fatalf("exit %d on the fixture module, want 1; stderr:\n%s", code, errw.String())
+	}
+	if *update {
+		if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Errorf("-json output differs from golden (regenerate with -update):\n--- got ---\n%s\n--- want ---\n%s", out.Bytes(), want)
+	}
+}
+
+// TestRunJSONClean pins the clean-repo shape: an empty JSON array, not
+// null, so downstream tooling can always range over the result.
+func TestRunJSONClean(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-json", "./cmd/hdlint"}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d; stderr:\n%s", code, errw.String())
+	}
+	if strings.TrimSpace(out.String()) != "[]" {
+		t.Fatalf("clean -json output = %q, want []", out.String())
 	}
 }

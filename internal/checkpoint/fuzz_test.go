@@ -1,0 +1,37 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzCheckpointDecode feeds arbitrary images to Decode. Invariants: no
+// panic; an accepted payload fits inside the image minus the header;
+// re-encoding the payload yields an image that decodes back to it.
+func FuzzCheckpointDecode(f *testing.F) {
+	f.Add([]byte{})                       // too short
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0}) // empty payload
+	f.Add((Image{Payload: []byte("weights"), Size: 64}).Encode())
+	lying := make([]byte, headerSize+4)
+	binary.BigEndian.PutUint64(lying[:headerSize], 1<<40) // length exceeds image
+	f.Add(lying)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if len(payload) > len(data)-headerSize {
+			t.Fatalf("decoded %d payload bytes from a %d-byte image", len(payload), len(data))
+		}
+		img := Image{Payload: payload, Size: len(payload) + headerSize}
+		back, err := Decode(img.Encode())
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded payload failed: %v", err)
+		}
+		if !bytes.Equal(back, payload) {
+			t.Fatalf("round trip changed payload: %q != %q", back, payload)
+		}
+	})
+}

@@ -181,6 +181,14 @@ func (a *Agent) serveConn(nc net.Conn) {
 	for {
 		msg, err := conn.Recv()
 		if err != nil {
+			// A frame from a newer protocol revision is well-framed —
+			// the stream is intact, so skip it rather than kill every
+			// job on this connection.
+			var ute *wire.UnknownTypeError
+			if errors.As(err, &ute) {
+				a.opts.Logf("agent: recv: %v (frame skipped)", err)
+				continue
+			}
 			a.opts.Logf("agent: recv: %v", err)
 			a.stopAllJobs()
 			return

@@ -545,6 +545,9 @@ func (e *Experiment) handleExited(ev Event) {
 	switch mj.Job.State() {
 	case sched.Completed, sched.Terminated:
 		e.cfg.Obs.Flight().JobDone(string(ev.Job))
+	default:
+		// Suspended (or still-running) jobs keep their flight-recorder
+		// span pinned; it is released when they reach a terminal state.
 	}
 	// Free the slot and let the SAP refill it.
 	if slot := ev.Slot; slot != "" {

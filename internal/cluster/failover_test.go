@@ -188,6 +188,40 @@ func TestAgentLevelErrorSurfaced(t *testing.T) {
 	}
 }
 
+// A frame with an unknown type (a newer protocol revision) must be
+// skipped by the read loop, not fail the agent: the stream is intact
+// and the frames after it must still arrive.
+func TestReadLoopSkipsUnknownFrameType(t *testing.T) {
+	cs, errc := fakeAgent(t, func(conn *wire.Conn) error {
+		if err := conn.Send(wire.Message{Type: "from_the_future"}); err != nil {
+			return err
+		}
+		return conn.SendTyped(wire.MsgError, wire.ErrorPayload{Message: "still here"})
+	})
+	events := make(chan Event, 4)
+	client, err := NewAgentClient(cs, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	select {
+	case ev := <-events:
+		if ev.Kind != EvAgentError || ev.Err == nil || !strings.Contains(ev.Err.Error(), "still here") {
+			t.Fatalf("event after unknown frame = %+v, want the agent's error", ev)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("frame after the unknown one never surfaced — read loop died")
+	}
+	select {
+	case <-client.Done():
+		t.Fatal("client declared the agent dead over a skippable frame")
+	default:
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("fake agent: %v", err)
+	}
+}
+
 // forwardDecision must survive the connection dying while the decision
 // is pending, and replying to a vanished agent must never block the
 // scheduler (run under -race).

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -333,6 +334,13 @@ func (c *AgentClient) readLoop() {
 	for {
 		msg, err := c.conn.Recv()
 		if err != nil {
+			// Well-framed but from a newer protocol revision: the
+			// stream is intact, so skip the frame instead of declaring
+			// the agent dead.
+			var ute *wire.UnknownTypeError
+			if errors.As(err, &ute) {
+				continue
+			}
 			c.failAll(err)
 			return
 		}
@@ -438,6 +446,10 @@ func (c *AgentClient) readLoop() {
 			}
 		case wire.MsgPong:
 			c.handlePong(msg.Seq)
+		default:
+			// Scheduler-bound frames this client does not consume
+			// (e.g. a stray MsgHello after handshake) are dropped;
+			// any-frame liveness credit was already granted above.
 		}
 	}
 }

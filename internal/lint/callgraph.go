@@ -1,0 +1,194 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// CallGraph is the whole-program static call graph of a loaded Module:
+// one node per function or method declared in the module, with edges
+// for every call whose callee resolves statically (direct calls and
+// method calls on concrete receivers). Calls through function values
+// and interface methods have no static callee; the node records that
+// it contains dynamic calls so analyses can choose how conservative to
+// be about them.
+//
+// Function literals are attributed to their enclosing declaration: a
+// closure's calls become the declaration's calls. That over-approximates
+// (a literal may never run, or run on another goroutine) but keeps
+// taint analyses from going blind inside the worker-pool and callback
+// idioms the hot paths are built from.
+type CallGraph struct {
+	Module *Module
+	// Nodes maps each module-declared function to its graph node.
+	Nodes map[*types.Func]*FuncNode
+
+	// taint memoizes per-function determinism-taint results for
+	// dettaint (nil entry = analyzed and clean).
+	taint map[*types.Func]*taintInfo
+}
+
+// FuncNode is one declared function or method plus everything that
+// happens in its body (including nested function literals).
+type FuncNode struct {
+	Fn   *types.Func
+	Pkg  *Package
+	Decl *ast.FuncDecl
+
+	// Calls are the statically resolved call sites, in source order.
+	// Callees may be declared in the module (they have a node) or
+	// outside it (stdlib, placeholder packages).
+	Calls []CallSite
+	// MapRanges are `range` statements over map-typed operands.
+	MapRanges []*ast.RangeStmt
+	// DynamicCalls are call sites whose callee could not be resolved
+	// statically (function values, interface methods).
+	DynamicCalls []token.Pos
+}
+
+// CallSite is one resolved call expression.
+type CallSite struct {
+	Call   *ast.CallExpr
+	Callee *types.Func
+}
+
+// NewCallGraph builds the call graph for every package of the module.
+func NewCallGraph(m *Module) *CallGraph {
+	g := &CallGraph{
+		Module: m,
+		Nodes:  make(map[*types.Func]*FuncNode),
+		taint:  make(map[*types.Func]*taintInfo),
+	}
+	for _, p := range m.Pkgs {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if ok && fd.Body != nil {
+					g.addFunc(p, fd)
+				}
+			}
+		}
+	}
+	return g
+}
+
+func (g *CallGraph) addFunc(p *Package, fd *ast.FuncDecl) {
+	fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return // broken code; lenient loading keeps going
+	}
+	node := &FuncNode{Fn: fn, Pkg: p, Decl: fd}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if callee := StaticCallee(p, n); callee != nil {
+				node.Calls = append(node.Calls, CallSite{Call: n, Callee: callee})
+			} else if !isTypeConversion(p, n) {
+				node.DynamicCalls = append(node.DynamicCalls, n.Pos())
+			}
+		case *ast.RangeStmt:
+			if tv, ok := p.Info.Types[n.X]; ok && tv.Type != nil {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					node.MapRanges = append(node.MapRanges, n)
+				}
+			}
+		}
+		return true
+	})
+	g.Nodes[fn] = node
+}
+
+// StaticCallee resolves a call expression to the *types.Func it
+// invokes, when that is statically known: package-level functions,
+// methods on concrete receivers, and qualified identifiers. Interface
+// method calls and calls through function values return nil.
+func StaticCallee(p *Package, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = p.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		// For method expressions and field selections Selections is
+		// authoritative; Uses covers qualified package identifiers.
+		if s, ok := p.Info.Selections[fun]; ok {
+			if fn, ok := s.Obj().(*types.Func); ok {
+				if isInterfaceMethod(fn) {
+					return nil
+				}
+				return fn
+			}
+			return nil
+		}
+		obj = p.Info.Uses[fun.Sel]
+	default:
+		return nil
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || isInterfaceMethod(fn) {
+		return nil
+	}
+	return fn
+}
+
+func isInterfaceMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return types.IsInterface(sig.Recv().Type())
+}
+
+// isTypeConversion reports whether the call expression is actually a
+// conversion (T(x)) or a builtin, neither of which is a dynamic call.
+func isTypeConversion(p *Package, call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch p.Info.Uses[fun].(type) {
+		case *types.TypeName, *types.Builtin, nil:
+			return true
+		}
+	case *ast.SelectorExpr:
+		if _, ok := p.Info.Uses[fun.Sel].(*types.TypeName); ok {
+			return true
+		}
+	case *ast.ArrayType, *ast.MapType, *ast.ChanType, *ast.FuncType,
+		*ast.InterfaceType, *ast.StructType, *ast.StarExpr, *ast.IndexExpr,
+		*ast.IndexListExpr:
+		return true
+	}
+	return false
+}
+
+// FuncLabel renders a function as pkg.Func or pkg.(Type).Method for
+// diagnostics.
+func FuncLabel(fn *types.Func) string {
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			name = named.Obj().Name() + "." + name
+		}
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + name
+	}
+	return name
+}
+
+// SortedNodes returns the package's nodes in source order, for
+// deterministic reporting.
+func (g *CallGraph) SortedNodes(p *Package) []*FuncNode {
+	var nodes []*FuncNode
+	for _, n := range g.Nodes {
+		if n.Pkg == p {
+			nodes = append(nodes, n)
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Decl.Pos() < nodes[j].Decl.Pos() })
+	return nodes
+}

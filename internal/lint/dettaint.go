@@ -1,0 +1,241 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DetTaint is the transitive extension of detclock: starting from every
+// function declared in a deterministic package, it follows the static
+// call graph through the rest of the module and reports call sites
+// whose callees eventually reach a wall-clock read, a global math/rand
+// function, or an order-sensitive map iteration. detclock catches the
+// direct call; dettaint catches the helper three packages away that
+// detclock cannot see.
+//
+// Two package families terminate the traversal: internal/clock (the
+// sanctioned time source — deterministic code is *supposed* to get
+// there) and internal/obs (telemetry timestamps and span durations are
+// observability payload, never replay-visible state).
+var DetTaint = &Analyzer{
+	Name: "dettaint",
+	Doc: "forbid transitive reachability from deterministic packages to wall-clock reads, " +
+		"global math/rand, and order-sensitive map iteration",
+	RunGraph: runDetTaint,
+}
+
+// taintExemptPkgs terminate dettaint traversal (see DetTaint doc).
+var taintExemptPkgs = []string{
+	"internal/clock",
+	"internal/obs",
+}
+
+func isTaintExemptPkg(pkgPath string) bool {
+	for _, s := range taintExemptPkgs {
+		if hasPathSuffix(pkgPath, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// taintInfo describes one witness path from a function to a
+// nondeterminism sink: Sink is the human-readable sink, Chain the
+// functions on the way there (nearest-first).
+type taintInfo struct {
+	Sink  string
+	Chain []string
+}
+
+func runDetTaint(g *CallGraph, p *Package, report Reporter) {
+	if !isDeterministicPkg(p.PkgPath) {
+		return
+	}
+	for _, node := range g.SortedNodes(p) {
+		// Order-sensitive map iteration directly in deterministic code.
+		for _, rs := range node.MapRanges {
+			if benignMapRange(p, node.Decl, rs) {
+				continue
+			}
+			report(rs.Pos(), "map iteration order is nondeterministic across replays; "+
+				"sort the keys first or rewrite the loop body into an order-insensitive form")
+		}
+		// Calls whose callee transitively reaches a sink.
+		for _, site := range node.Calls {
+			calleeNode := g.Nodes[site.Callee]
+			if calleeNode == nil {
+				continue // external (stdlib) callee; direct sinks are detclock's
+			}
+			if isDeterministicPkg(calleeNode.Pkg.PkgPath) {
+				continue // analyzed in its own right when dettaint visits that package
+			}
+			if isTaintExemptPkg(calleeNode.Pkg.PkgPath) {
+				continue
+			}
+			if ti := g.taintOf(site.Callee); ti != nil {
+				report(site.Call.Pos(), "call to %s reaches %s (via %s); deterministic packages must "+
+					"take time from internal/clock and randomness from an injected seeded *rand.Rand",
+					FuncLabel(site.Callee), ti.Sink, strings.Join(ti.Chain, " -> "))
+			}
+		}
+	}
+}
+
+// taintOf reports whether fn (a module function) can reach a
+// nondeterminism sink, memoized on the graph. A nil result means clean.
+func (g *CallGraph) taintOf(fn *types.Func) *taintInfo {
+	if ti, done := g.taint[fn]; done {
+		return ti
+	}
+	// Mark in-progress as clean so cycles terminate; the final result
+	// overwrites this entry.
+	g.taint[fn] = nil
+	node := g.Nodes[fn]
+	if node == nil {
+		return nil
+	}
+	ti := g.computeTaint(node)
+	g.taint[fn] = ti
+	return ti
+}
+
+func (g *CallGraph) computeTaint(node *FuncNode) *taintInfo {
+	label := FuncLabel(node.Fn)
+	// Immediate sinks in this function's body.
+	for _, site := range node.Calls {
+		callee := site.Callee
+		if callee.Pkg() == nil {
+			continue
+		}
+		switch callee.Pkg().Path() {
+		case "time":
+			if why, bad := bannedTimeFuncs[callee.Name()]; bad && isPackageLevel(callee) {
+				return &taintInfo{
+					Sink:  "time." + callee.Name() + " (" + why + ")",
+					Chain: []string{label, "time." + callee.Name()},
+				}
+			}
+		case "math/rand", "math/rand/v2":
+			if bannedRandFuncs[callee.Name()] && isPackageLevel(callee) {
+				return &taintInfo{
+					Sink:  "global rand." + callee.Name(),
+					Chain: []string{label, "rand." + callee.Name()},
+				}
+			}
+		}
+	}
+	for _, rs := range node.MapRanges {
+		if !benignMapRange(node.Pkg, node.Decl, rs) {
+			pos := g.Module.Fset.Position(rs.Pos())
+			return &taintInfo{
+				Sink:  "order-sensitive map iteration (" + trimRoot(g.Module, pos.Filename) + ")",
+				Chain: []string{label},
+			}
+		}
+	}
+	// Transitive sinks through module callees.
+	for _, site := range node.Calls {
+		calleeNode := g.Nodes[site.Callee]
+		if calleeNode == nil || isTaintExemptPkg(calleeNode.Pkg.PkgPath) {
+			continue
+		}
+		if ti := g.taintOf(site.Callee); ti != nil {
+			return &taintInfo{Sink: ti.Sink, Chain: append([]string{label}, ti.Chain...)}
+		}
+	}
+	return nil
+}
+
+// isPackageLevel reports whether fn is a package-level function (not a
+// method): time.Now is a sink, (time.Time).Sub is arithmetic.
+func isPackageLevel(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// benignMapRange recognizes map iterations whose order cannot escape:
+//
+//   - the enclosing function sorts (any call into sort or slices),
+//     which is the collect-keys-then-sort idiom; or
+//   - every statement of the loop body is a plain assignment whose
+//     targets are all map-index expressions (or blank), i.e. the loop
+//     only builds another map, and map writes commute.
+//
+// Everything else — appends, accumulation, sends, calls — is treated as
+// order-sensitive and reported.
+func benignMapRange(p *Package, fd *ast.FuncDecl, rs *ast.RangeStmt) bool {
+	if fd != nil && fd.Body != nil && containsSortCall(p, fd.Body) {
+		return true
+	}
+	for _, s := range rs.Body.List {
+		switch s := s.(type) {
+		case *ast.AssignStmt:
+			if s.Tok != token.ASSIGN {
+				return false
+			}
+			for _, lhs := range s.Lhs {
+				if !isMapIndexOrBlank(p, lhs) {
+					return false
+				}
+			}
+		case *ast.ExprStmt:
+			// delete(m, k) commutes with other deletes and writes.
+			call, ok := s.X.(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "delete" {
+				return false
+			}
+			if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); !isBuiltin {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func isMapIndexOrBlank(p *Package, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name == "_"
+	case *ast.IndexExpr:
+		tv, ok := p.Info.Types[e.X]
+		if !ok || tv.Type == nil {
+			return false
+		}
+		_, isMap := tv.Type.Underlying().(*types.Map)
+		return isMap
+	}
+	return false
+}
+
+func containsSortCall(p *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		if fn := StaticCallee(p, call); fn != nil && fn.Pkg() != nil {
+			switch fn.Pkg().Path() {
+			case "sort", "slices":
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func trimRoot(m *Module, filename string) string {
+	if rel, ok := strings.CutPrefix(filename, m.Root+"/"); ok {
+		return rel
+	}
+	return filename
+}

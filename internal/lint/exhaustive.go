@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Exhaustive requires that every switch over an enum-like defined type
+// either covers all of the type's declared constants or carries an
+// explicit default clause. A type is enum-like when its declaring
+// package declares at least two package-level constants of exactly that
+// type — which covers wire.MsgType, the executor's EventKind and
+// ExitReason, core.Class, sched.State/Decision, param.Kind, and any
+// enum a later protocol revision adds, without a hand-kept list.
+//
+// A silent fallthrough on an uncovered variant is how new protocol
+// messages get dropped on the floor: the switch compiles, the frame
+// vanishes.
+var Exhaustive = &Analyzer{
+	Name: "exhaustive",
+	Doc: "switches over enum-like defined types (wire.MsgType, event kinds, job classes, ...) " +
+		"must cover every declared constant or carry an explicit default",
+	Run: runExhaustive,
+}
+
+func runExhaustive(p *Package, report Reporter) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tv, ok := p.Info.Types[sw.Tag]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			tagType := types.Unalias(tv.Type)
+			named, ok := tagType.(*types.Named)
+			if !ok || named.Obj().Pkg() == nil {
+				return true
+			}
+			basic, ok := named.Underlying().(*types.Basic)
+			if !ok || basic.Info()&types.IsBoolean != 0 {
+				return true
+			}
+			consts := enumConstants(named)
+			if len(consts) < 2 {
+				return true
+			}
+
+			covered := make(map[*types.Const]bool)
+			hasDefault := false
+			for _, c := range sw.Body.List {
+				cc, ok := c.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				if cc.List == nil {
+					hasDefault = true
+					continue
+				}
+				for _, e := range cc.List {
+					etv, ok := p.Info.Types[e]
+					if !ok || etv.Value == nil {
+						continue
+					}
+					for _, ec := range consts {
+						if constant.Compare(ec.Val(), token.EQL, etv.Value) {
+							covered[ec] = true
+						}
+					}
+				}
+			}
+			if hasDefault {
+				return true
+			}
+			var missing []string
+			for _, ec := range consts {
+				if !covered[ec] {
+					missing = append(missing, ec.Name())
+				}
+			}
+			if len(missing) == 0 {
+				return true
+			}
+			sort.Strings(missing)
+			report(sw.Switch, "switch over %s.%s is not exhaustive: missing %s (cover them or add an explicit default)",
+				named.Obj().Pkg().Name(), named.Obj().Name(), strings.Join(missing, ", "))
+			return true
+		})
+	}
+}
+
+// enumConstants returns the package-level constants declared with
+// exactly the named type, in declaration-name order.
+func enumConstants(named *types.Named) []*types.Const {
+	scope := named.Obj().Pkg().Scope()
+	var out []*types.Const
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		if types.Identical(types.Unalias(c.Type()), named) {
+			out = append(out, c)
+		}
+	}
+	return out
+}

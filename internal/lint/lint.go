@@ -8,12 +8,16 @@ import (
 	"strings"
 )
 
-// An Analyzer checks one invariant across a package and reports
-// findings through the Reporter.
+// An Analyzer checks one invariant and reports findings through the
+// Reporter. Exactly one of Run (single-package analysis) or RunGraph
+// (whole-program analysis over the module call graph, still invoked and
+// reported per package so suppression directives resolve locally) is
+// set.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(p *Package, report Reporter)
+	Name     string
+	Doc      string
+	Run      func(p *Package, report Reporter)
+	RunGraph func(g *CallGraph, p *Package, report Reporter)
 }
 
 // Reporter records one diagnostic at pos.
@@ -101,8 +105,16 @@ func parseDirectives(fset *token.FileSet, f *ast.File, known map[string]bool, re
 // directives, and returns findings sorted by position.
 func (m *Module) Run(analyzers []*Analyzer, match func(*Package) bool) []Finding {
 	known := make(map[string]bool, len(analyzers))
+	needGraph := false
 	for _, a := range analyzers {
 		known[a.Name] = true
+		if a.RunGraph != nil {
+			needGraph = true
+		}
+	}
+	var graph *CallGraph
+	if needGraph {
+		graph = NewCallGraph(m)
 	}
 
 	var findings []Finding
@@ -142,7 +154,7 @@ func (m *Module) Run(analyzers []*Analyzer, match func(*Package) bool) []Finding
 
 		for _, a := range analyzers {
 			name := a.Name
-			a.Run(p, func(pos token.Pos, format string, args ...any) {
+			rep := func(pos token.Pos, format string, args ...any) {
 				position := m.Fset.Position(pos)
 				if suppressed(name, position) {
 					return
@@ -152,7 +164,12 @@ func (m *Module) Run(analyzers []*Analyzer, match func(*Package) bool) []Finding
 					Pos:      position,
 					Message:  fmt.Sprintf(format, args...),
 				})
-			})
+			}
+			if a.RunGraph != nil {
+				a.RunGraph(graph, p, rep)
+			} else {
+				a.Run(p, rep)
+			}
 		}
 
 		for _, d := range dirs {
@@ -183,7 +200,9 @@ func (m *Module) Run(analyzers []*Analyzer, match func(*Package) bool) []Finding
 	return findings
 }
 
-// All returns the full analyzer suite in reporting order.
+// All returns the full analyzer suite in reporting order: the five
+// single-package analyzers from the original suite, then the
+// whole-program and interprocedural additions.
 func All() []*Analyzer {
 	return []*Analyzer{
 		DetClock,
@@ -191,6 +210,10 @@ func All() []*Analyzer {
 		LockSafe,
 		ErrAlways,
 		FloatEq,
+		DetTaint,
+		Exhaustive,
+		LockSafe2,
+		SpanPair,
 	}
 }
 

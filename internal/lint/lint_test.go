@@ -129,6 +129,51 @@ func TestFixtureCoverage(t *testing.T) {
 	}
 }
 
+// TestDetTaintSeesWhatDetClockMisses pins the tentpole's reason to
+// exist: the fixture's indirect wall-clock leak (a deterministic
+// package calling a helper package whose chain reaches time.Now) is
+// invisible to detclock alone and caught by dettaint.
+func TestDetTaintSeesWhatDetClockMisses(t *testing.T) {
+	mod := loadFixtures(t)
+	simOnly := func(p *Package) bool {
+		return p.PkgPath == "fixture.example/lint/internal/sim"
+	}
+	const leakFile = "dettaint.go"
+
+	// Directives naming analyzers outside the one-analyzer run surface
+	// as hdlint hygiene findings; keep only the analyzer's own findings
+	// in the leak file.
+	inLeakFile := func(fs []Finding, analyzer string) []Finding {
+		var out []Finding
+		for _, f := range fs {
+			if f.Analyzer == analyzer && strings.HasSuffix(f.Pos.Filename, leakFile) {
+				out = append(out, f)
+			}
+		}
+		return out
+	}
+
+	if leaks := inLeakFile(mod.Run([]*Analyzer{DetClock}, simOnly), DetClock.Name); len(leaks) != 0 {
+		t.Fatalf("detclock alone sees the indirect leak — dettaint is redundant: %v", leaks)
+	}
+	leaks := inLeakFile(mod.Run([]*Analyzer{DetTaint}, simOnly), DetTaint.Name)
+	if len(leaks) == 0 {
+		t.Fatal("dettaint missed the fixture's indirect wall-clock leak")
+	}
+	foundClock := false
+	for _, f := range leaks {
+		if strings.Contains(f.Message, "reaches time.Now") && strings.Contains(f.Message, "timeutil.Stamp") {
+			foundClock = true
+			if !strings.Contains(f.Message, " -> ") {
+				t.Errorf("finding lacks a witness chain: %s", f)
+			}
+		}
+	}
+	if !foundClock {
+		t.Fatalf("no dettaint finding names the time.Now chain; got: %v", leaks)
+	}
+}
+
 // TestMatch exercises the package-pattern matcher against the fixture
 // module.
 func TestMatch(t *testing.T) {

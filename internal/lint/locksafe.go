@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 )
@@ -23,33 +24,55 @@ var LockSafe = &Analyzer{
 }
 
 func runLockSafe(p *Package, report Reporter) {
+	w := &lockWalker{
+		p: p,
+		onExpr: func(e ast.Expr, held map[string]bool) {
+			checkUnderLock(p, e, held, report)
+		},
+		onSend: func(arrow token.Pos, held map[string]bool) {
+			report(arrow, "channel send while %s is held can block the critical section indefinitely", heldName(held))
+		},
+	}
+	forEachFuncBody(p, func(body *ast.BlockStmt) {
+		w.walk(body.List, map[string]bool{})
+	})
+}
+
+// forEachFuncBody visits every function and function-literal body in
+// the package. Literals are visited as their own functions: a literal
+// defined under a lock does not run under it, and one invoked under a
+// lock is caught at the call site as a callback.
+func forEachFuncBody(p *Package, visit func(*ast.BlockStmt)) {
 	for _, f := range p.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
-			var body *ast.BlockStmt
 			switch n := n.(type) {
 			case *ast.FuncDecl:
-				body = n.Body
+				if n.Body != nil {
+					visit(n.Body)
+				}
 			case *ast.FuncLit:
-				// Analyzed as its own function: a literal defined under
-				// a lock does not run under it, and one invoked under a
-				// lock is caught at the call site as a callback.
-				body = n.Body
-			default:
-				return true
-			}
-			if body != nil {
-				walkLocked(p, body.List, map[string]bool{}, report)
+				if n.Body != nil {
+					visit(n.Body)
+				}
 			}
 			return true
 		})
 	}
 }
 
-// walkLocked walks a statement list in order, maintaining the set of
-// held locks (keyed by the receiver expression's source form). Nested
-// control-flow bodies get a copy of the current set: a lock taken in a
-// branch is not assumed held after it.
-func walkLocked(p *Package, stmts []ast.Stmt, held map[string]bool, report Reporter) {
+// lockWalker walks statement lists in order, maintaining the set of
+// held locks (keyed by the receiver expression's source form) and
+// handing expressions and channel sends to the configured callbacks.
+// Nested control-flow bodies get a copy of the current set: a lock
+// taken in a branch is not assumed held after it.
+type lockWalker struct {
+	p      *Package
+	onExpr func(e ast.Expr, held map[string]bool)
+	onSend func(arrow token.Pos, held map[string]bool)
+}
+
+func (w *lockWalker) walk(stmts []ast.Stmt, held map[string]bool) {
+	p := w.p
 	for _, s := range stmts {
 		switch s := s.(type) {
 		case *ast.ExprStmt:
@@ -62,103 +85,103 @@ func walkLocked(p *Package, stmts []ast.Stmt, held map[string]bool, report Repor
 				}
 				continue
 			}
-			checkUnderLock(p, s.X, held, report)
+			w.onExpr(s.X, held)
 		case *ast.DeferStmt:
 			if _, op, ok := lockCall(p, s.Call); ok && (op == "Unlock" || op == "RUnlock") {
 				// Deferred unlock: the lock stays held for the rest of
 				// the walk, which is exactly how the runtime behaves.
 				continue
 			}
-			checkUnderLock(p, s.Call, held, report)
+			w.onExpr(s.Call, held)
 		case *ast.GoStmt:
 			// The goroutine body runs outside this critical section;
 			// its FuncLit is analyzed independently.
 		case *ast.SendStmt:
 			if anyHeld(held) {
-				report(s.Arrow, "channel send while %s is held can block the critical section indefinitely", heldName(held))
+				w.onSend(s.Arrow, held)
 			} else {
-				checkUnderLock(p, s.Value, held, report)
+				w.onExpr(s.Value, held)
 			}
 		case *ast.AssignStmt:
 			for _, e := range s.Rhs {
-				checkUnderLock(p, e, held, report)
+				w.onExpr(e, held)
 			}
 			for _, e := range s.Lhs {
-				checkUnderLock(p, e, held, report)
+				w.onExpr(e, held)
 			}
 		case *ast.ReturnStmt:
 			for _, e := range s.Results {
-				checkUnderLock(p, e, held, report)
+				w.onExpr(e, held)
 			}
 		case *ast.IfStmt:
 			if s.Init != nil {
-				walkLocked(p, []ast.Stmt{s.Init}, held, report)
+				w.walk([]ast.Stmt{s.Init}, held)
 			}
-			checkUnderLock(p, s.Cond, held, report)
-			walkLocked(p, s.Body.List, copyHeld(held), report)
+			w.onExpr(s.Cond, held)
+			w.walk(s.Body.List, copyHeld(held))
 			if s.Else != nil {
-				walkLocked(p, []ast.Stmt{s.Else}, copyHeld(held), report)
+				w.walk([]ast.Stmt{s.Else}, copyHeld(held))
 			}
 		case *ast.ForStmt:
 			if s.Init != nil {
-				walkLocked(p, []ast.Stmt{s.Init}, held, report)
+				w.walk([]ast.Stmt{s.Init}, held)
 			}
 			if s.Cond != nil {
-				checkUnderLock(p, s.Cond, held, report)
+				w.onExpr(s.Cond, held)
 			}
-			walkLocked(p, s.Body.List, copyHeld(held), report)
+			w.walk(s.Body.List, copyHeld(held))
 		case *ast.RangeStmt:
-			checkUnderLock(p, s.X, held, report)
-			walkLocked(p, s.Body.List, copyHeld(held), report)
+			w.onExpr(s.X, held)
+			w.walk(s.Body.List, copyHeld(held))
 		case *ast.SwitchStmt:
 			if s.Init != nil {
-				walkLocked(p, []ast.Stmt{s.Init}, held, report)
+				w.walk([]ast.Stmt{s.Init}, held)
 			}
 			if s.Tag != nil {
-				checkUnderLock(p, s.Tag, held, report)
+				w.onExpr(s.Tag, held)
 			}
 			for _, c := range s.Body.List {
 				if cc, ok := c.(*ast.CaseClause); ok {
 					for _, e := range cc.List {
-						checkUnderLock(p, e, held, report)
+						w.onExpr(e, held)
 					}
-					walkLocked(p, cc.Body, copyHeld(held), report)
+					w.walk(cc.Body, copyHeld(held))
 				}
 			}
 		case *ast.TypeSwitchStmt:
 			if s.Init != nil {
-				walkLocked(p, []ast.Stmt{s.Init}, held, report)
+				w.walk([]ast.Stmt{s.Init}, held)
 			}
 			for _, c := range s.Body.List {
 				if cc, ok := c.(*ast.CaseClause); ok {
-					walkLocked(p, cc.Body, copyHeld(held), report)
+					w.walk(cc.Body, copyHeld(held))
 				}
 			}
 		case *ast.SelectStmt:
 			for _, c := range s.Body.List {
 				if cc, ok := c.(*ast.CommClause); ok {
 					if send, ok := cc.Comm.(*ast.SendStmt); ok && anyHeld(held) {
-						report(send.Arrow, "channel send while %s is held can block the critical section indefinitely", heldName(held))
+						w.onSend(send.Arrow, held)
 					}
-					walkLocked(p, cc.Body, copyHeld(held), report)
+					w.walk(cc.Body, copyHeld(held))
 				}
 			}
 		case *ast.BlockStmt:
-			walkLocked(p, s.List, copyHeld(held), report)
+			w.walk(s.List, copyHeld(held))
 		case *ast.LabeledStmt:
-			walkLocked(p, []ast.Stmt{s.Stmt}, held, report)
+			w.walk([]ast.Stmt{s.Stmt}, held)
 		case *ast.DeclStmt:
 			if gd, ok := s.Decl.(*ast.GenDecl); ok {
 				for _, spec := range gd.Specs {
 					if vs, ok := spec.(*ast.ValueSpec); ok {
 						for _, e := range vs.Values {
-							checkUnderLock(p, e, held, report)
+							w.onExpr(e, held)
 						}
 					}
 				}
 			}
 		case *ast.IncDecStmt:
-			checkUnderLock(p, s.X, held, report)
+			w.onExpr(s.X, held)
 		}
 	}
 }

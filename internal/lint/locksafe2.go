@@ -1,0 +1,270 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockSafe2 is the interprocedural extension of locksafe: it
+// summarizes, for every function declared in the package, whether its
+// body (or anything it calls inside the same package) performs a
+// blocking operation or acquires a lock, and then flags call sites that
+// invoke such a helper while a sync lock is held. This is the class of
+// bug locksafe cannot see — WriteLog looked clean at every line, but it
+// held q.mu across a helper that JSON-encoded to an arbitrary writer.
+//
+// Two findings come out of a summary:
+//
+//   - blocking: the callee (transitively) sends on a channel, calls
+//     through a function value, or does blocking I/O, so the caller's
+//     critical section stalls on it;
+//   - re-lock: the callee (transitively) acquires the very mutex the
+//     caller is holding, which deadlocks outright for a sync.Mutex.
+//
+// Summaries are package-local: cross-package call facts are the call
+// graph's job (dettaint), and the repo's lock-discipline hot spots are
+// all package-internal helpers.
+var LockSafe2 = &Analyzer{
+	Name: "locksafe2",
+	Doc:  "flag calls to same-package helpers that (transitively) block or re-acquire a held sync lock",
+	Run:  runLockSafe2,
+}
+
+// lockSummary is the package-local behavior summary of one function.
+type lockSummary struct {
+	// blockChain is the witness path to a blocking operation, from the
+	// summarized function to the fact ("WriteLog -> json.Encode
+	// (blocking I/O)"). Empty when the function cannot block.
+	blockChain []string
+	// locks are the mutexes the function (transitively) acquires.
+	// Receiver-relative fields are normalized as "@.field"; everything
+	// else keeps its source form.
+	locks map[string]bool
+}
+
+func (s *lockSummary) blocks() bool { return len(s.blockChain) > 0 }
+
+func runLockSafe2(p *Package, report Reporter) {
+	sums := newSummarizer(p)
+	w := &lockWalker{
+		p: p,
+		onExpr: func(e ast.Expr, held map[string]bool) {
+			checkInterprocUnderLock(p, sums, e, held, report)
+		},
+		onSend: func(token.Pos, map[string]bool) {}, // locksafe's finding
+	}
+	forEachFuncBody(p, func(body *ast.BlockStmt) {
+		w.walk(body.List, map[string]bool{})
+	})
+}
+
+// checkInterprocUnderLock inspects one expression tree (never
+// descending into function literals) for calls to same-package
+// functions whose summary blocks or re-locks a held mutex.
+func checkInterprocUnderLock(p *Package, sums *summarizer, e ast.Expr, held map[string]bool, report Reporter) {
+	if e == nil || !anyHeld(held) {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := StaticCallee(p, call)
+		if fn == nil || fn.Pkg() != p.Pkg {
+			return true
+		}
+		sum := sums.summaryOf(fn)
+		if sum == nil {
+			return true
+		}
+		if sum.blocks() {
+			report(call.Pos(), "call to %s while %s is held can block the critical section (%s)",
+				fn.Name(), heldName(held), strings.Join(sum.blockChain, " -> "))
+		}
+		for _, lock := range sortedLockKeys(sum.locks) {
+			resolved := resolveLockExpr(p, call, lock)
+			if resolved != "" && held[resolved] {
+				report(call.Pos(), "call to %s re-acquires %s, which the caller already holds (deadlock for a sync.Mutex)",
+					fn.Name(), resolved)
+			}
+		}
+		return true
+	})
+}
+
+// resolveLockExpr rewrites a callee-side lock key into the caller's
+// frame: "@.mu" on a call through receiver expression "q" becomes
+// "q.mu"; absolute keys (package-level mutexes, non-receiver paths)
+// pass through unchanged.
+func resolveLockExpr(p *Package, call *ast.CallExpr, lock string) string {
+	rest, ok := strings.CutPrefix(lock, "@")
+	if !ok {
+		return lock
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "" // receiver-relative lock on a non-method call: method value, unknown receiver
+	}
+	// Only direct method calls on a value we can name are comparable.
+	if _, isPkg := p.Info.Uses[firstIdent(sel.X)].(*types.PkgName); isPkg {
+		return ""
+	}
+	return types.ExprString(sel.X) + rest
+}
+
+func firstIdent(e ast.Expr) *ast.Ident {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		return id
+	}
+	return &ast.Ident{}
+}
+
+// summarizer computes and memoizes package-local lock summaries.
+type summarizer struct {
+	p     *Package
+	decls map[*types.Func]*ast.FuncDecl
+	memo  map[*types.Func]*lockSummary
+	stack map[*types.Func]bool
+}
+
+func newSummarizer(p *Package) *summarizer {
+	s := &summarizer{
+		p:     p,
+		decls: make(map[*types.Func]*ast.FuncDecl),
+		memo:  make(map[*types.Func]*lockSummary),
+		stack: make(map[*types.Func]bool),
+	}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+					s.decls[fn] = fd
+				}
+			}
+		}
+	}
+	return s
+}
+
+// summaryOf returns fn's summary, or nil when fn is not declared in
+// this package (or is recursive and currently being summarized).
+func (s *summarizer) summaryOf(fn *types.Func) *lockSummary {
+	if sum, ok := s.memo[fn]; ok {
+		return sum
+	}
+	fd, ok := s.decls[fn]
+	if !ok || s.stack[fn] {
+		return nil
+	}
+	s.stack[fn] = true
+	sum := s.compute(fn, fd)
+	delete(s.stack, fn)
+	s.memo[fn] = sum
+	return sum
+}
+
+func (s *summarizer) compute(fn *types.Func, fd *ast.FuncDecl) *lockSummary {
+	p := s.p
+	sum := &lockSummary{locks: make(map[string]bool)}
+	recvName := receiverName(fd)
+
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A literal defined here runs later (or elsewhere); its
+			// behavior is not this function's synchronous behavior.
+			return false
+		case *ast.GoStmt:
+			// Spawned goroutines do not block the caller.
+			return false
+		case *ast.SendStmt:
+			if !sum.blocks() {
+				sum.blockChain = []string{fn.Name(), "channel send"}
+			}
+			return true
+		case *ast.CallExpr:
+			if recv, op, ok := lockCall(p, n); ok {
+				if op == "Lock" || op == "RLock" {
+					sum.locks[normalizeLockExpr(recv, recvName)] = true
+				}
+				return true
+			}
+			if why, bad := blockingCall(p, n); bad {
+				if !sum.blocks() {
+					sum.blockChain = []string{fn.Name(), why}
+				}
+				return true
+			}
+			callee := StaticCallee(p, n)
+			if callee == nil || callee.Pkg() != p.Pkg || callee == fn {
+				return true
+			}
+			if csum := s.summaryOf(callee); csum != nil {
+				if csum.blocks() && !sum.blocks() {
+					sum.blockChain = append([]string{fn.Name()}, csum.blockChain...)
+				}
+				for lock := range csum.locks {
+					sum.locks[normalizeLockExpr(s.liftLock(n, lock), recvName)] = true
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, visit)
+	return sum
+}
+
+// liftLock rewrites a callee lock key into this function's frame at the
+// given call site, so "@.mu" stays receiver-relative only when the call
+// goes through our own receiver chain.
+func (s *summarizer) liftLock(call *ast.CallExpr, lock string) string {
+	rest, ok := strings.CutPrefix(lock, "@")
+	if !ok {
+		return lock
+	}
+	if sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr); isSel {
+		return types.ExprString(sel.X) + rest
+	}
+	// Plain function call carrying a receiver-relative lock cannot
+	// happen (the callee had a receiver); keep it opaque.
+	return lock
+}
+
+// normalizeLockExpr renders a locked expression receiver-relative:
+// "q.mu" with receiver "q" becomes "@.mu"; anything else keeps its
+// source form. The caller-side resolveLockExpr substitutes the real
+// receiver back in, and the summarizer's liftLock re-normalizes when a
+// method calls a sibling method on its own receiver.
+func normalizeLockExpr(lockExpr, recvName string) string {
+	if recvName == "" {
+		return lockExpr
+	}
+	if rest, ok := strings.CutPrefix(lockExpr, recvName+"."); ok {
+		return "@." + rest
+	}
+	return lockExpr
+}
+
+func receiverName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return ""
+	}
+	return fd.Recv.List[0].Names[0].Name
+}
+
+func sortedLockKeys(locks map[string]bool) []string {
+	out := make([]string, 0, len(locks))
+	for k := range locks {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,401 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SpanPair requires that a span obtained from an obs Tracer
+// (Start/StartSpan) inside a function is finished on every path out of
+// that function: either a Finish call that dominates each return, or a
+// deferred Finish. A leaked span never reaches the flight recorder or
+// the Chrome trace export, so the decision it was supposed to explain
+// silently vanishes from every dashboard built on them.
+//
+// Spans that escape the function — stored into a struct or map, passed
+// to another function, captured by a closure, returned, or sent on a
+// channel — transfer ownership, and the analyzer assumes the new owner
+// finishes them (the engine/agent long-lived-span idiom).
+var SpanPair = &Analyzer{
+	Name: "spanpair",
+	Doc:  "every obs Tracer Start/StartSpan must be matched by Finish on all return paths (or ownership must escape)",
+	Run:  runSpanPair,
+}
+
+func runSpanPair(p *Package, report Reporter) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				body = n.Body
+			case *ast.FuncLit:
+				// Function literals own the spans they start; a span
+				// started by an enclosing function and touched in here
+				// is an escape from the encloser's point of view.
+				body = n.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkSpanPairs(p, body, report)
+			}
+			return true
+		})
+	}
+}
+
+// spanState tracks one function's span bookkeeping.
+type spanState struct {
+	p      *Package
+	report Reporter
+	// exempt spans escaped or have a deferred Finish.
+	exempt map[types.Object]bool
+	// reported dedupes findings per span variable.
+	reported map[types.Object]bool
+	starts   map[types.Object]token.Pos
+}
+
+func checkSpanPairs(p *Package, body *ast.BlockStmt, report Reporter) {
+	st := &spanState{
+		p:        p,
+		report:   report,
+		exempt:   make(map[types.Object]bool),
+		reported: make(map[types.Object]bool),
+		starts:   make(map[types.Object]token.Pos),
+	}
+	// Pass 1: find span starts in this body (not in nested literals —
+	// those are analyzed as their own functions).
+	walkShallow(body, func(n ast.Node) {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || !isSpanStart(p, call) {
+			return
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		obj := p.Info.Defs[id]
+		if obj == nil {
+			obj = p.Info.Uses[id]
+		}
+		if obj != nil {
+			st.starts[obj] = id.Pos()
+		}
+	})
+	if len(st.starts) == 0 {
+		return
+	}
+	// Pass 2: escapes and deferred finishes (this pass descends into
+	// nested literals: a closure touching the span is an escape).
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if obj := finishArg(p, n.Call); obj != nil {
+				st.exempt[obj] = true
+			}
+		case *ast.FuncLit:
+			for obj := range st.starts {
+				if usesObject(p, n, obj) {
+					st.exempt[obj] = true
+				}
+			}
+			return false
+		case *ast.CallExpr:
+			if finishArg(p, n) != nil {
+				return true
+			}
+			for _, arg := range n.Args {
+				if obj := identObject(p, arg); obj != nil && st.isSpan(obj) {
+					st.exempt[obj] = true
+				}
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				if _, ok := rhs.(*ast.CallExpr); ok {
+					continue // the defining Start call itself
+				}
+				if obj := identObject(p, rhs); obj != nil && st.isSpan(obj) {
+					st.exempt[obj] = true
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				v := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if obj := identObject(p, v); obj != nil && st.isSpan(obj) {
+					st.exempt[obj] = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if obj := identObject(p, r); obj != nil && st.isSpan(obj) {
+					st.exempt[obj] = true
+				}
+			}
+		case *ast.SendStmt:
+			if obj := identObject(p, n.Value); obj != nil && st.isSpan(obj) {
+				st.exempt[obj] = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if obj := identObject(p, n.X); obj != nil && st.isSpan(obj) {
+					st.exempt[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	// Pass 3: path-sensitive finish check over the statement list.
+	open, terminated := st.flow(body.List, make(map[types.Object]bool))
+	if !terminated {
+		for obj := range open {
+			st.leak(obj)
+		}
+	}
+}
+
+func (st *spanState) isSpan(obj types.Object) bool {
+	_, ok := st.starts[obj]
+	return ok
+}
+
+func (st *spanState) leak(obj types.Object) {
+	if st.exempt[obj] || st.reported[obj] {
+		return
+	}
+	st.reported[obj] = true
+	st.report(st.starts[obj], "span %s is not finished on every return path; call Finish before each return or defer it",
+		obj.Name())
+}
+
+// flow walks stmts tracking the open-span set. It returns the spans
+// still open at normal completion and whether every path through stmts
+// terminates (returns or panics). Return statements report leaks
+// directly.
+func (st *spanState) flow(stmts []ast.Stmt, open map[types.Object]bool) (map[types.Object]bool, bool) {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ast.AssignStmt:
+			if len(s.Rhs) == 1 {
+				if call, ok := s.Rhs[0].(*ast.CallExpr); ok && isSpanStart(st.p, call) {
+					if id, ok := s.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+						obj := st.p.Info.Defs[id]
+						if obj == nil {
+							obj = st.p.Info.Uses[id]
+						}
+						if obj != nil && st.isSpan(obj) && !st.exempt[obj] {
+							open[obj] = true
+						}
+					}
+				}
+			}
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if obj := finishArg(st.p, call); obj != nil {
+					delete(open, obj)
+				}
+				if isPanicCall(st.p, call) {
+					return nil, true
+				}
+			}
+		case *ast.ReturnStmt:
+			for obj := range open {
+				st.leak(obj)
+			}
+			return nil, true
+		case *ast.IfStmt:
+			thenOut, thenTerm := st.flow(s.Body.List, copyOpen(open))
+			var elseOut map[types.Object]bool
+			elseTerm := false
+			if s.Else != nil {
+				elseOut, elseTerm = st.flow([]ast.Stmt{s.Else}, copyOpen(open))
+			} else {
+				elseOut = open
+			}
+			if thenTerm && elseTerm {
+				return nil, true
+			}
+			merged := make(map[types.Object]bool)
+			if !thenTerm {
+				for o := range thenOut {
+					merged[o] = true
+				}
+			}
+			if !elseTerm {
+				for o := range elseOut {
+					merged[o] = true
+				}
+			}
+			open = merged
+		case *ast.BlockStmt:
+			var term bool
+			open, term = st.flow(s.List, open)
+			if term {
+				return nil, true
+			}
+		case *ast.ForStmt:
+			bodyOut, _ := st.flow(s.Body.List, copyOpen(open))
+			// The loop may run zero times; merge both outcomes. An
+			// unconditional for{} only exits via return/break — treat
+			// conservatively as fall-through with the body's state.
+			for o := range bodyOut {
+				open[o] = true
+			}
+		case *ast.RangeStmt:
+			bodyOut, _ := st.flow(s.Body.List, copyOpen(open))
+			for o := range bodyOut {
+				open[o] = true
+			}
+		case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			open = st.flowSwitch(s, open)
+		case *ast.LabeledStmt:
+			var term bool
+			open, term = st.flow([]ast.Stmt{s.Stmt}, open)
+			if term {
+				return nil, true
+			}
+		}
+	}
+	return open, false
+}
+
+// flowSwitch merges the branches of switch/type-switch/select bodies.
+func (st *spanState) flowSwitch(s ast.Stmt, open map[types.Object]bool) map[types.Object]bool {
+	var body *ast.BlockStmt
+	hasDefault := false
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+	}
+	merged := make(map[types.Object]bool)
+	allTerm := true
+	for _, c := range body.List {
+		var stmts []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			stmts = c.Body
+			if c.List == nil {
+				hasDefault = true
+			}
+		case *ast.CommClause:
+			stmts = c.Body
+			if c.Comm == nil {
+				hasDefault = true
+			}
+		}
+		out, term := st.flow(stmts, copyOpen(open))
+		if !term {
+			allTerm = false
+			for o := range out {
+				merged[o] = true
+			}
+		}
+	}
+	if !hasDefault || !allTerm {
+		// Some path skips the switch (or a branch falls through).
+		for o := range open {
+			merged[o] = true
+		}
+	}
+	return merged
+}
+
+func copyOpen(open map[types.Object]bool) map[types.Object]bool {
+	c := make(map[types.Object]bool, len(open))
+	for k := range open {
+		c[k] = true
+	}
+	return c
+}
+
+// walkShallow visits nodes without descending into function literals.
+func walkShallow(n ast.Node, visit func(ast.Node)) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+// isSpanStart reports whether call invokes Start/StartSpan on an obs
+// Tracer.
+func isSpanStart(p *Package, call *ast.CallExpr) bool {
+	fn := StaticCallee(p, call)
+	if fn == nil || (fn.Name() != "Start" && fn.Name() != "StartSpan") {
+		return false
+	}
+	return isTracerMethod(fn)
+}
+
+// finishArg returns the span variable object when call is
+// Tracer.Finish(span), nil otherwise.
+func finishArg(p *Package, call *ast.CallExpr) types.Object {
+	fn := StaticCallee(p, call)
+	if fn == nil || fn.Name() != "Finish" || !isTracerMethod(fn) || len(call.Args) != 1 {
+		return nil
+	}
+	return identObject(p, call.Args[0])
+}
+
+func isTracerMethod(fn *types.Func) bool {
+	if fn.Pkg() == nil || !hasPathSuffix(fn.Pkg().Path(), "internal/obs") {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Tracer"
+}
+
+func identObject(p *Package, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := p.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return p.Info.Defs[id]
+}
+
+func isPanicCall(p *Package, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	_, isBuiltin := p.Info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+func usesObject(p *Package, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && (p.Info.Uses[id] == obj || p.Info.Defs[id] == obj) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,25 @@
+package obs
+
+// Span/Tracer mirror the real tracing API's shape so the spanpair
+// fixtures exercise the same selection logic as the production tree.
+
+type SpanContext struct {
+	TraceID string
+	SpanID  string
+}
+
+type Span struct {
+	Name string
+}
+
+func (s *Span) SetStr(key, v string) {}
+
+type Tracer struct{}
+
+func (t *Tracer) Start(name, job string, epoch int) *Span { return &Span{Name: name} }
+
+func (t *Tracer) StartSpan(name, job string, epoch int, parent SpanContext) *Span {
+	return &Span{Name: name}
+}
+
+func (t *Tracer) Finish(s *Span) {}

@@ -1,0 +1,55 @@
+package sim
+
+import (
+	"sort"
+
+	"fixture.example/lint/timeutil"
+)
+
+// Bad: the helper's chain reaches time.Now two calls away — detclock
+// cannot see this, dettaint can.
+func indirectWallClock() int64 {
+	return timeutil.StampVia() // want "call to timeutil.StampVia reaches time.Now"
+}
+
+// Bad: the global RNG through a helper.
+func indirectRand() int {
+	return timeutil.Jitter() // want "reaches global rand.Intn"
+}
+
+// Bad: iteration order leaks into the accumulated result.
+func sumMap(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m { // want "map iteration order is nondeterministic across replays"
+		total += v
+	}
+	return total
+}
+
+// Good: the collect-keys-then-sort idiom.
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Good: a map-to-map fill commutes across orderings.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Good: helpers without a sink in their chain are fine to call.
+func useSafe() int64 { return timeutil.Safe(1, 2) }
+
+// Suppressed: documented exception.
+func suppressedStamp() int64 {
+	//hdlint:ignore dettaint fixture demonstrating an honored suppression
+	return timeutil.StampVia()
+}

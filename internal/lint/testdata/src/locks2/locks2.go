@@ -1,0 +1,73 @@
+// Package locks2 is the locksafe2 fixture: every line of every function
+// here looks clean to locksafe, but the helpers' summaries block or
+// re-acquire the caller's mutex.
+package locks2
+
+import (
+	"encoding/json"
+	"sync"
+)
+
+type store struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	ch  chan int
+}
+
+// flush blocks: it JSON-encodes to an arbitrary writer.
+func (s *store) flush() error { return s.enc.Encode(1) }
+
+// notify blocks: channel send.
+func (s *store) notify() { s.ch <- 1 }
+
+// indirect hides the send one more call away.
+func (s *store) indirect() { s.notify() }
+
+// touch acquires the store's mutex.
+func (s *store) touch() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+}
+
+// Bad: a blocking helper inside the critical section.
+func (s *store) saveUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = s.flush() // want "call to flush while s.mu is held can block"
+}
+
+// Bad: the block arrives through a two-call chain.
+func (s *store) chainUnderLock() {
+	s.mu.Lock()
+	s.indirect() // want "call to indirect while s.mu is held can block"
+	s.mu.Unlock()
+}
+
+// Bad: the helper re-acquires the mutex the caller already holds.
+func (s *store) relock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.touch() // want "call to touch re-acquires s.mu"
+}
+
+// Good: the helper runs after release.
+func (s *store) saveAfterUnlock() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	_ = s.flush()
+}
+
+// Good: a literal defined under the lock runs later, elsewhere.
+func (s *store) deferredFlush() func() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return func() { _ = s.flush() }
+}
+
+// Suppressed: documented exception.
+func (s *store) suppressedFlush() {
+	s.mu.Lock()
+	//hdlint:ignore locksafe2 fixture demonstrating an honored suppression
+	_ = s.flush()
+	s.mu.Unlock()
+}

@@ -1,0 +1,70 @@
+// Package protocol is the exhaustive fixture: MsgKind mirrors the wire
+// protocol's enum-like defined types (two or more package-level
+// constants of exactly the defined type).
+package protocol
+
+type MsgKind string
+
+const (
+	KindStart MsgKind = "start"
+	KindStop  MsgKind = "stop"
+	KindPing  MsgKind = "ping"
+)
+
+type severity int
+
+const (
+	sevInfo severity = iota
+	sevWarn
+)
+
+// Bad: KindPing falls through silently.
+func route(k MsgKind) int {
+	switch k { // want "switch over protocol.MsgKind is not exhaustive: missing KindPing"
+	case KindStart:
+		return 1
+	case KindStop:
+		return 2
+	}
+	return 0
+}
+
+// Good: every declared constant is covered.
+func routeAll(k MsgKind) int {
+	switch k {
+	case KindStart, KindStop:
+		return 1
+	case KindPing:
+		return 2
+	}
+	return 0
+}
+
+// Good: an explicit default declares the fallthrough deliberate.
+func routeDefault(k MsgKind) int {
+	switch k {
+	case KindStart:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Good: switches over non-enum types are out of scope.
+func classify(n int) string {
+	switch n {
+	case 0:
+		return "zero"
+	}
+	return "other"
+}
+
+// Suppressed: documented exception.
+func routeSuppressed(k severity) int {
+	//hdlint:ignore exhaustive fixture demonstrating an honored suppression
+	switch k {
+	case sevInfo:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,58 @@
+// Package spans is the spanpair fixture.
+package spans
+
+import "fixture.example/lint/internal/obs"
+
+type engine struct {
+	tr  *obs.Tracer
+	cur *obs.Span
+}
+
+// Bad: the early-return path leaks the span.
+func leaky(tr *obs.Tracer, fail bool) bool {
+	sp := tr.Start("fit", "job-1", 0) // want "span sp is not finished on every return path"
+	if fail {
+		return false
+	}
+	tr.Finish(sp)
+	return true
+}
+
+// Good: a deferred Finish covers every path.
+func deferred(tr *obs.Tracer, fail bool) bool {
+	sp := tr.Start("fit", "job-1", 0)
+	defer tr.Finish(sp)
+	return fail
+}
+
+// Good: finished on both branches.
+func bothPaths(tr *obs.Tracer, fail bool) bool {
+	sp := tr.Start("fit", "job-1", 0)
+	if fail {
+		tr.Finish(sp)
+		return false
+	}
+	tr.Finish(sp)
+	return true
+}
+
+// Good: ownership escapes into the struct; finishAdopted closes it
+// later (the engine/agent long-lived-span idiom).
+func (e *engine) adopt() {
+	sp := e.tr.Start("job", "job-2", 1)
+	e.cur = sp
+}
+
+func (e *engine) finishAdopted() {
+	if e.cur != nil {
+		e.tr.Finish(e.cur)
+		e.cur = nil
+	}
+}
+
+// Suppressed: documented exception.
+func suppressedLeak(tr *obs.Tracer) {
+	//hdlint:ignore spanpair fixture demonstrating an honored suppression
+	sp := tr.Start("orphan", "job-3", 2)
+	sp.SetStr("k", "v")
+}

@@ -1,0 +1,28 @@
+// Package timeutil is the dettaint fixture's taint carrier: an
+// innocent-looking helper package whose call chain bottoms out in the
+// wall clock and the global RNG. detclock never looks here (it is not a
+// deterministic package), which is exactly the blind spot dettaint
+// exists to close.
+package timeutil
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock directly.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// StampVia adds a hop so fixtures witness a multi-step chain.
+func StampVia() int64 { return Stamp() }
+
+// Jitter reaches the process-global RNG.
+func Jitter() int { return rand.Intn(10) }
+
+// Safe is a clean helper deterministic code may call freely.
+func Safe(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

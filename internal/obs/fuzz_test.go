@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzReadQualityLog feeds arbitrary bytes to the quality-log reader.
+// Invariants: no panic; any log it accepts must re-serialize cleanly,
+// and the re-serialized bytes must parse again (write∘read fixpoint —
+// the property hdreport relies on when it rewrites audit logs).
+func FuzzReadQualityLog(f *testing.F) {
+	f.Add([]byte(`{"kind":"meta","meta":{}}` + "\n"))
+	f.Add([]byte(`{"kind":"oracle","oracle":{"jobId":"j1"}}` + "\n"))
+	f.Add([]byte(`{"kind":"pred","pred":{"jobId":"j1"}}` + "\n" +
+		`{"kind":"outcome","outcome":{"jobId":"j1"}}` + "\n"))
+	f.Add([]byte(`{"kind":"mystery"}` + "\n")) // unknown kind: skipped
+	f.Add([]byte(`{not json}` + "\n"))
+	f.Add([]byte("\n\n"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, err := ReadQualityLog(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := q.WriteLog(&buf); err != nil {
+			t.Fatalf("WriteLog of accepted log failed: %v", err)
+		}
+		if _, err := ReadQualityLog(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("re-read of re-written log failed: %v", err)
+		}
+	})
+}
+
+// FuzzValidateTraceEvents feeds arbitrary bytes to the trace validator.
+// Invariants: no panic; a trace that validates still validates after a
+// decode/encode round trip (the validator must not depend on JSON
+// formatting details).
+func FuzzValidateTraceEvents(f *testing.F) {
+	f.Add([]byte(`{"traceEvents":[]}`))
+	f.Add([]byte(`{"traceEvents":[{"name":"proc","ph":"M","pid":1,"tid":0},` +
+		`{"name":"fit","ph":"B","ts":0,"pid":1,"tid":0},` +
+		`{"name":"fit","ph":"E","ts":5,"pid":1,"tid":0}]}`))
+	f.Add([]byte(`{"traceEvents":[{"name":"step","ph":"X","ts":1,"dur":2,"pid":1,"tid":1}]}`))
+	f.Add([]byte(`{"traceEvents":[{"name":"bad","ph":"E","ts":0,"pid":1,"tid":0}]}`))
+	f.Add([]byte(`{"traceEvents":[{"name":"","ph":"i","ts":0,"pid":1,"tid":0}]}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if err := ValidateTraceEvents(data); err != nil {
+			return
+		}
+		var tf traceFile
+		if err := json.Unmarshal(data, &tf); err != nil {
+			t.Fatalf("validated trace does not unmarshal: %v", err)
+		}
+		re, err := json.Marshal(tf)
+		if err != nil {
+			t.Fatalf("validated trace does not re-marshal: %v", err)
+		}
+		if err := ValidateTraceEvents(re); err != nil {
+			t.Fatalf("re-marshaled trace no longer validates: %v", err)
+		}
+	})
+}

@@ -592,9 +592,16 @@ func (e *engine) sampleRatio() {
 // finish fills the result summary.
 func (e *engine) finish() {
 	e.res.Duration = e.now
-	// Close segments of jobs still running at the cutoff.
-	for _, j := range e.running {
-		e.closeSegment(j)
+	// Close segments of jobs still running at the cutoff, in machine
+	// order: segment order is part of the replay-visible result, so map
+	// iteration order must not leak into it.
+	ms := make([]int, 0, len(e.running))
+	for m := range e.running {
+		ms = append(ms, m)
+	}
+	sort.Ints(ms)
+	for _, m := range ms {
+		e.closeSegment(e.running[m])
 	}
 	for _, j := range e.jobs {
 		e.res.Jobs = append(e.res.Jobs, JobOutcome{

@@ -1,0 +1,71 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"testing"
+)
+
+// fuzzFrame wraps body in a length-prefixed frame for seeding.
+func fuzzFrame(body []byte) []byte {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	return append(hdr[:], body...)
+}
+
+// jsonEqual compares two JSON payloads modulo whitespace (Send compacts
+// marshaler output, so a received payload with extra whitespace is
+// re-sent compacted). Empty payloads are equal to each other only.
+func jsonEqual(a, b []byte) bool {
+	if len(a) == 0 || len(b) == 0 {
+		return len(a) == len(b)
+	}
+	var ca, cb bytes.Buffer
+	if json.Compact(&ca, a) != nil || json.Compact(&cb, b) != nil {
+		return bytes.Equal(a, b)
+	}
+	return bytes.Equal(ca.Bytes(), cb.Bytes())
+}
+
+// FuzzDecode feeds arbitrary byte streams to Conn.Recv. Invariants: no
+// panic; every accepted message carries a known type; anything Recv
+// accepts survives a Send/Recv round trip unchanged.
+func FuzzDecode(f *testing.F) {
+	f.Add(fuzzFrame([]byte(`{"type":"ping"}`)))
+	f.Add(fuzzFrame([]byte(`{"type":"app_stat","seq":7,"payload":{"jobId":"j1","epoch":3,"metric":0.5,"epochDurationNs":12}}`)))
+	f.Add(fuzzFrame([]byte(`{"type":"hello","payload":{"agentId":"a1","slots":2}}`)))
+	f.Add(fuzzFrame([]byte(`{"type":"snapshot","payload":{"jobId":"j","epoch":1,"state":"AAEC"}}`)))
+	f.Add(fuzzFrame([]byte(`{"type":"warp_drive"}`))) // unknown type
+	f.Add(fuzzFrame([]byte(`{"payload":null}`)))      // missing type
+	f.Add(fuzzFrame([]byte(`{not json`)))
+	f.Add([]byte{0, 0, 0, 0})             // zero-length frame
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff}) // oversize claim
+	f.Add([]byte{0, 0})                   // truncated header
+	f.Add(append(fuzzFrame([]byte(`{"type":"pong","seq":1}`)), fuzzFrame([]byte(`{"type":"ack"}`))...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := NewConn(bytes.NewBuffer(data))
+		for {
+			m, err := c.Recv()
+			if err != nil {
+				return // every malformed stream must end in an error, not a panic
+			}
+			if m.Type == "" || !m.Type.Known() {
+				t.Fatalf("Recv accepted message with unknown type %q", m.Type)
+			}
+			var buf bytes.Buffer
+			rt := NewConn(&buf)
+			if err := rt.Send(m); err != nil {
+				t.Fatalf("Send of accepted message failed: %v", err)
+			}
+			m2, err := rt.Recv()
+			if err != nil {
+				t.Fatalf("Recv of re-sent message failed: %v", err)
+			}
+			if m2.Type != m.Type || m2.Seq != m.Seq || !jsonEqual(m.Payload, m2.Payload) {
+				t.Fatalf("round trip changed message: %+v != %+v", m2, m)
+			}
+		}
+	})
+}

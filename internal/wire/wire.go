@@ -8,6 +8,7 @@ package wire
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
@@ -44,6 +45,44 @@ const (
 	MsgError     MsgType = "error"
 	MsgPong      MsgType = "pong"
 )
+
+// knownTypes registers every frame type this protocol version defines.
+// Recv consults it so a corrupted or hostile peer cannot route frames
+// past the per-type switches in the scheduler and agent read loops:
+// those switches are checked for exhaustiveness against *this* set, so
+// anything outside it must die at the transport.
+var knownTypes = map[MsgType]bool{
+	MsgStartJob:     true,
+	MsgResumeJob:    true,
+	MsgSuspendJob:   true,
+	MsgTerminateJob: true,
+	MsgDecision:     true,
+	MsgPing:         true,
+	MsgHello:        true,
+	MsgAppStat:      true,
+	MsgIterDone:     true,
+	MsgJobExited:    true,
+	MsgSnapshot:     true,
+	MsgAck:          true,
+	MsgError:        true,
+	MsgPong:         true,
+}
+
+// Known reports whether t is a frame type this protocol version
+// defines.
+func (t MsgType) Known() bool { return knownTypes[t] }
+
+// UnknownTypeError reports a structurally valid frame whose type tag is
+// not part of the protocol. It is distinct from FrameError (malformed
+// bytes) so callers can tell "corrupt stream" from "peer speaks a newer
+// protocol".
+type UnknownTypeError struct {
+	Type MsgType
+}
+
+func (e *UnknownTypeError) Error() string {
+	return fmt.Sprintf("wire: unknown message type %q", string(e.Type))
+}
 
 // Message is one frame: a type tag plus a JSON-encoded payload.
 type Message struct {
@@ -171,16 +210,25 @@ func (c *Conn) Recv() (Message, error) {
 	if size > MaxFrameSize {
 		return Message{}, &FrameError{Reason: "frame too large", Size: size}
 	}
-	body := make([]byte, size)
-	if _, err := io.ReadFull(c.r, body); err != nil { //hdlint:ignore locksafe rmu exists to make the frame read atomic; see above
+	// Grow the body buffer with the bytes that actually arrive instead
+	// of trusting the length prefix: a corrupt or hostile peer claiming
+	// MaxFrameSize on a short stream must not cost a 64 MiB allocation.
+	var body bytes.Buffer
+	if _, err := io.CopyN(&body, c.r, int64(size)); err != nil { //hdlint:ignore locksafe rmu exists to make the frame read atomic; see above
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
 		return Message{}, fmt.Errorf("wire: read body: %w", err)
 	}
 	var m Message
-	if err := json.Unmarshal(body, &m); err != nil {
+	if err := json.Unmarshal(body.Bytes(), &m); err != nil {
 		return Message{}, &FrameError{Reason: "invalid JSON: " + err.Error(), Size: size}
 	}
 	if m.Type == "" {
 		return Message{}, &FrameError{Reason: "missing type", Size: size}
+	}
+	if !m.Type.Known() {
+		return Message{}, &UnknownTypeError{Type: m.Type}
 	}
 	return m, nil
 }

@@ -7,6 +7,7 @@ import (
 	"io"
 	"math/rand"
 	"net"
+	"runtime"
 	"sync"
 	"testing"
 )
@@ -212,6 +213,62 @@ func TestRecvRejectsMissingType(t *testing.T) {
 	var fe *FrameError
 	if _, err := c.Recv(); !errors.As(err, &fe) {
 		t.Fatalf("err = %v, want FrameError", err)
+	}
+}
+
+func TestRecvRejectsUnknownType(t *testing.T) {
+	var buf bytes.Buffer
+	body := []byte(`{"type":"warp_drive"}`)
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	buf.Write(hdr[:])
+	buf.Write(body)
+	c := NewConn(&buf)
+	var ute *UnknownTypeError
+	if _, err := c.Recv(); !errors.As(err, &ute) {
+		t.Fatalf("err = %v, want UnknownTypeError", err)
+	} else if ute.Type != "warp_drive" {
+		t.Fatalf("rejected type = %q, want warp_drive", ute.Type)
+	}
+}
+
+func TestKnownCoversDeclaredTypes(t *testing.T) {
+	all := []MsgType{
+		MsgStartJob, MsgResumeJob, MsgSuspendJob, MsgTerminateJob,
+		MsgDecision, MsgPing, MsgHello, MsgAppStat, MsgIterDone,
+		MsgJobExited, MsgSnapshot, MsgAck, MsgError, MsgPong,
+	}
+	for _, mt := range all {
+		if !mt.Known() {
+			t.Errorf("declared type %q not in the known set", mt)
+		}
+	}
+	if MsgType("").Known() || MsgType("warp_drive").Known() {
+		t.Error("undeclared types must not be known")
+	}
+}
+
+// TestRecvLyingLengthPrefix pins the allocation hardening: a frame
+// header claiming MaxFrameSize over a near-empty stream must fail with
+// an unexpected-EOF error without allocating anywhere near the claim.
+func TestRecvLyingLengthPrefix(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrameSize)
+	buf.Write(hdr[:])
+	buf.WriteString("tiny")
+	c := NewConn(&buf)
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	_, err := c.Recv()
+	runtime.ReadMemStats(&after)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("err = %v, want io.ErrUnexpectedEOF", err)
+	}
+	if grew := after.TotalAlloc - before.TotalAlloc; grew > 1<<20 {
+		t.Fatalf("Recv allocated %d bytes for a 4-byte body with a lying %d-byte claim", grew, MaxFrameSize)
 	}
 }
 

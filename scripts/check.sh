@@ -52,4 +52,10 @@ go run ./cmd/hdsim -gen cifar10 -gen-jobs 8 -policies pop -machines 2 \
 go run ./cmd/hdreport -o - "$qualdir/quality.jsonl" | grep -q "Prediction calibration"
 rm -rf "$qualdir"
 
+# Fuzz smoke: each wire-format decoder gets a short native-fuzz run
+# seeded from its checked-in corpus. A crasher fails the gate and lands
+# in the package's testdata/fuzz/ directory for checking in.
+echo ">> fuzz smoke (10s per target)"
+make -s fuzz-smoke FUZZTIME=10s >/dev/null
+
 echo "OK"
