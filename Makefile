@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint check fuzz-smoke bench-obs bench-fit bench-trace bench-quality trace-demo report-demo
+.PHONY: build test lint check fuzz-smoke bench-obs bench-fit bench-trace bench-quality bench-sched trace-demo report-demo
 
 build:
 	$(GO) build ./...
@@ -50,6 +50,13 @@ bench-trace:
 # committed baseline.
 bench-quality:
 	$(GO) run ./cmd/hdbench -quality-bench BENCH_quality.json
+
+# bench-sched: measure scheduler-core scale-out at fleet scale (1k
+# agents, 16k slots): sharded vs single-lock slot pool under churn
+# (speedup gate >= 5x) plus e2e decision latency over real sockets, and
+# refresh the committed baseline.
+bench-sched:
+	$(GO) run ./cmd/hdbench -sched-bench BENCH_sched.json
 
 # report-demo: replay a deterministic simulated POP experiment with the
 # quality audit on and render its calibration report into results/.

@@ -38,12 +38,17 @@ func run(args []string) error {
 		fitSc = fs.String("fit-scale", "paper", "-fit-bench MCMC budget: paper (100x700) | fast (smoke)")
 		trcJS = fs.String("trace-bench", "", "measure trace/flight-recorder overhead on the simulator hot path and write the report to this file (e.g. BENCH_trace.json)")
 		qltJS = fs.String("quality-bench", "", "measure quality-audit overhead on the simulator hot path and write the report to this file (e.g. BENCH_quality.json)")
+		schJS = fs.String("sched-bench", "", "measure scheduler-core throughput (sharded vs single-lock slot pool, e2e decision latency over sockets) and write the report to this file (e.g. BENCH_sched.json)")
+		schSc = fs.String("sched-scale", "paper", "-sched-bench fleet size: paper (1k agents, 16k slots) | fast (smoke)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *obsJS != "" {
 		return runObsBench(*obsJS, *seed)
+	}
+	if *schJS != "" {
+		return runSchedBench(*schJS, *schSc, *seed)
 	}
 	if *trcJS != "" {
 		return runTraceBench(*trcJS, *seed)

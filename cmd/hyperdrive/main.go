@@ -100,6 +100,9 @@ func run(args []string) error {
 		}
 		defer f.Close()
 		cfg.EventLog = hyperdrive.NewEventLog(f)
+		// The log batches appends through a background flusher; drain it
+		// before the deferred f.Close so the file is complete on exit.
+		defer cfg.EventLog.Close()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)

@@ -39,41 +39,85 @@ type LogRecord struct {
 	Confidence float64 `json:"confidence,omitempty"`
 	ERTSeconds float64 `json:"ertSeconds,omitempty"`
 	Class      string  `json:"class,omitempty"`
+
+	// spanRaw defers span-ID formatting off the decision hot path: the
+	// flusher renders it into Span just before encoding, so the
+	// scheduler loop never allocates the hex string for spans nobody
+	// retains.
+	spanRaw uint64
 }
 
-// EventLog serializes LogRecords as JSON lines. Safe for concurrent
-// use. Write errors disable further logging rather than failing the
-// experiment, but the failure is not silent: every record lost after
-// (and including) the failing write is counted, visible via Dropped()
-// and, when instrumented, the hyperdrive_eventlog_dropped_total
-// counter.
+// DefaultEventLogBuffer is the record capacity of the append buffer; a
+// burst larger than this while the flusher is behind is dropped (and
+// counted) rather than blocking the scheduler loop.
+const DefaultEventLogBuffer = 4096
+
+// EventLog serializes LogRecords as JSON lines through a batching
+// flusher: Log appends to an in-memory buffer and a single background
+// goroutine swaps the buffer out and encodes it, so the scheduler's
+// decision path never performs I/O. Safe for concurrent use.
+//
+// Back-pressure is drop-not-block: when the buffer is full (the sink
+// is slower than the event rate) or the log is dead after a write
+// error, records are discarded and counted. The count is exact and
+// single-sourced — Dropped() and, once Instrument is called, the
+// hyperdrive_eventlog_dropped_total counter are updated together under
+// the same lock and always agree.
 type EventLog struct {
-	mu      sync.Mutex
-	enc     *json.Encoder
-	dead    bool
-	dropped atomic.Int64
-	drops   *obs.Counter // nil-safe registry mirror of dropped
+	mu       sync.Mutex
+	flushed  sync.Cond // signalled after every batch and on close
+	fill     sync.Cond // signalled when records or close arrive
+	enc      *json.Encoder
+	buf      []LogRecord // append side; swapped wholesale by the flusher
+	spare    []LogRecord // recycled batch storage (double buffering)
+	flushing bool        // flusher is encoding a swapped-out batch
+	dead     bool        // write error: all subsequent records drop
+	closed   bool
+	done     chan struct{} // flusher exited
+	dropped  atomic.Int64
+	drops    *obs.Counter // nil-safe registry mirror of dropped
 }
 
-// NewEventLog wraps a writer.
+// NewEventLog wraps a writer with the default buffer capacity.
 func NewEventLog(w io.Writer) *EventLog {
-	return &EventLog{enc: json.NewEncoder(w)}
+	return NewEventLogBuffer(w, DefaultEventLogBuffer)
+}
+
+// NewEventLogBuffer wraps a writer with an explicit append-buffer
+// capacity (minimum 1). Small capacities are for tests that exercise
+// the drop path deterministically.
+func NewEventLogBuffer(w io.Writer, capacity int) *EventLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	l := &EventLog{
+		enc:   json.NewEncoder(w),
+		buf:   make([]LogRecord, 0, capacity),
+		spare: make([]LogRecord, 0, capacity),
+		done:  make(chan struct{}),
+	}
+	l.flushed.L = &l.mu
+	l.fill.L = &l.mu
+	go l.flusher()
+	return l
 }
 
 // Instrument mirrors the drop count onto the registry's
-// hyperdrive_eventlog_dropped_total counter. Drops accrued before the
-// call stay only in Dropped().
+// hyperdrive_eventlog_dropped_total counter, backfilling drops accrued
+// before the call so the counter and Dropped() agree exactly from the
+// moment of instrumentation.
 func (l *EventLog) Instrument(r *obs.Registry) {
 	if l == nil || r == nil {
 		return
 	}
 	l.mu.Lock()
 	l.drops = r.Counter(obs.EventLogDroppedTotal)
+	l.drops.Add(l.dropped.Load())
 	l.mu.Unlock()
 }
 
-// Dropped reports how many records have been lost to write errors
-// (including every record suppressed after the log went dead).
+// Dropped reports how many records have been lost — to write errors,
+// to buffer overflow while the sink lagged, or to logging after Close.
 func (l *EventLog) Dropped() int64 {
 	if l == nil {
 		return 0
@@ -81,28 +125,109 @@ func (l *EventLog) Dropped() int64 {
 	return l.dropped.Load()
 }
 
-// Log writes one record.
+// Log buffers one record for the flusher. It never blocks on the sink:
+// a full buffer drops the record and counts it.
 func (l *EventLog) Log(r LogRecord) {
 	if l == nil {
 		return
 	}
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.dead {
-		l.drop()
+	if l.dead || l.closed || len(l.buf) == cap(l.buf) {
+		l.dropLocked(1)
+		l.mu.Unlock()
 		return
 	}
-	//hdlint:ignore locksafe serializing the JSON stream is what l.mu is for; writers are files or buffers, and a wedged sink flips the log dead rather than wedging callers forever
-	if err := l.enc.Encode(r); err != nil {
-		l.dead = true
-		l.drop()
-	}
+	l.buf = append(l.buf, r)
+	l.mu.Unlock()
+	l.fill.Signal()
 }
 
-// drop counts one lost record; callers hold l.mu.
-func (l *EventLog) drop() {
-	l.dropped.Add(1)
-	l.drops.Inc()
+// Flush blocks until every record accepted so far has been encoded to
+// the sink (or counted as dropped, if the log died en route).
+func (l *EventLog) Flush() {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	for len(l.buf) > 0 || l.flushing {
+		l.flushed.Wait()
+	}
+	l.mu.Unlock()
+}
+
+// Close drains the buffer, stops the flusher, and marks the log
+// closed; records logged afterwards are dropped and counted. Close is
+// idempotent and does not close the underlying writer.
+func (l *EventLog) Close() {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	if !l.closed {
+		l.closed = true
+		l.fill.Signal()
+	}
+	l.mu.Unlock()
+	<-l.done
+}
+
+// dropLocked counts n lost records on the single accounting path;
+// callers hold l.mu, which is what keeps the atomic and the registry
+// counter in exact agreement.
+func (l *EventLog) dropLocked(n int64) {
+	l.dropped.Add(n)
+	l.drops.Add(n)
+}
+
+// flusher is the single background encoder: swap the append buffer for
+// the spare, render and write the batch outside the lock, recycle the
+// batch storage, repeat until closed and drained.
+func (l *EventLog) flusher() {
+	defer close(l.done)
+	for {
+		l.mu.Lock()
+		for len(l.buf) == 0 && !l.closed {
+			l.fill.Wait()
+		}
+		if len(l.buf) == 0 { // closed and drained
+			l.mu.Unlock()
+			l.flushed.Broadcast()
+			return
+		}
+		batch := l.buf
+		l.buf = l.spare[:0]
+		l.spare = nil
+		l.flushing = true
+		dead := l.dead
+		l.mu.Unlock()
+
+		var failedAt = -1
+		if !dead {
+			for i := range batch {
+				r := &batch[i]
+				if r.Span == "" && r.spanRaw != 0 {
+					r.Span = obs.FormatSpanID(r.spanRaw)
+				}
+				if err := l.enc.Encode(r); err != nil {
+					failedAt = i
+					break
+				}
+			}
+		}
+
+		l.mu.Lock()
+		switch {
+		case dead:
+			l.dropLocked(int64(len(batch)))
+		case failedAt >= 0:
+			l.dead = true
+			l.dropLocked(int64(len(batch) - failedAt))
+		}
+		l.spare = batch[:0]
+		l.flushing = false
+		l.mu.Unlock()
+		l.flushed.Broadcast()
+	}
 }
 
 // logEvent emits a record for an executor event.
@@ -125,9 +250,10 @@ func (e *Experiment) logEvent(kind string, ev Event) {
 	e.cfg.EventLog.Log(rec)
 }
 
-// logDecision emits a record for an OnIterationFinish verdict, stamped
-// with the decision span's ID (empty when tracing is off) and the
-// prediction the policy annotated onto the span, if any.
+// logDecision emits a record for an OnIterationFinish verdict, carrying
+// the decision span's raw ID (rendered by the flusher; zero when
+// tracing is off) and the prediction the policy annotated onto the
+// span, if any.
 func (e *Experiment) logDecision(job sched.JobID, epoch int, d sched.Decision, sp *obs.Span) {
 	if e.cfg.EventLog == nil {
 		return
@@ -138,7 +264,7 @@ func (e *Experiment) logDecision(job sched.JobID, epoch int, d sched.Decision, s
 		Job:      string(job),
 		Epoch:    epoch,
 		Decision: d.String(),
-		Span:     sp.ID(),
+		spanRaw:  sp.RawID(),
 	}
 	if a, ok := sp.Attr("confidence"); ok {
 		rec.Confidence = a.Val

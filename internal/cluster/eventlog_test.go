@@ -1,8 +1,10 @@
 package cluster
 
 import (
+	"bytes"
 	"errors"
 	"strings"
+	"sync"
 	"testing"
 
 	"github.com/hyperdrive-ml/hyperdrive/internal/obs"
@@ -21,6 +23,36 @@ func (w *failAfter) Write(p []byte) (int, error) {
 	return len(p), nil
 }
 
+// gateWriter blocks every Write until released, so tests can hold the
+// flusher mid-batch and fill the append buffer deterministically.
+type gateWriter struct {
+	started chan struct{} // closed when the first Write begins
+	release chan struct{} // Writes block until this is closed
+	once    sync.Once
+
+	mu    sync.Mutex
+	lines int
+}
+
+func newGateWriter() *gateWriter {
+	return &gateWriter{started: make(chan struct{}), release: make(chan struct{})}
+}
+
+func (w *gateWriter) Write(p []byte) (int, error) {
+	w.once.Do(func() { close(w.started) })
+	<-w.release
+	w.mu.Lock()
+	w.lines += bytes.Count(p, []byte("\n"))
+	w.mu.Unlock()
+	return len(p), nil
+}
+
+func (w *gateWriter) Lines() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lines
+}
+
 func TestEventLogCountsDrops(t *testing.T) {
 	reg := obs.NewRegistry()
 	l := NewEventLog(&failAfter{n: 2})
@@ -29,6 +61,7 @@ func TestEventLogCountsDrops(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		l.Log(LogRecord{Kind: "stat", Epoch: i})
 	}
+	l.Flush()
 	// Writes 3..5 fail: the failing write plus every suppressed record.
 	if got := l.Dropped(); got != 3 {
 		t.Fatalf("Dropped() = %d, want 3", got)
@@ -39,6 +72,123 @@ func TestEventLogCountsDrops(t *testing.T) {
 	}
 }
 
+// TestEventLogInstrumentBackfill pins the accounting bug where drops
+// accrued before Instrument stayed only in Dropped(), leaving the
+// registry counter permanently behind the atomic: instrumentation must
+// backfill so the two agree exactly from that point on.
+func TestEventLogInstrumentBackfill(t *testing.T) {
+	l := NewEventLog(&failAfter{n: 0})
+	l.Log(LogRecord{Kind: "stat"})
+	l.Flush()
+	if got := l.Dropped(); got != 1 {
+		t.Fatalf("pre-instrument Dropped() = %d, want 1", got)
+	}
+
+	reg := obs.NewRegistry()
+	l.Instrument(reg)
+	if got := reg.Snapshot().Counters[obs.EventLogDroppedTotal]; got != 1 {
+		t.Fatalf("counter after Instrument = %d, want 1 (pre-instrument drop not backfilled)", got)
+	}
+
+	// And the two stay in lockstep afterwards.
+	l.Log(LogRecord{Kind: "stat"})
+	l.Flush()
+	if got, want := reg.Snapshot().Counters[obs.EventLogDroppedTotal], l.Dropped(); got != want {
+		t.Fatalf("counter = %d, Dropped() = %d; must agree exactly", got, want)
+	}
+	if l.Dropped() != 2 {
+		t.Fatalf("Dropped() = %d, want 2", l.Dropped())
+	}
+}
+
+// TestEventLogBackpressureDeterministicCount wedges the sink mid-batch,
+// overfills the append buffer, and checks the drop count to the record:
+// with the flusher holding one record and a capacity-4 buffer, exactly
+// 4 of the next 100 records fit and 96 drop — and the atomic and the
+// registry counter report the identical figure.
+func TestEventLogBackpressureDeterministicCount(t *testing.T) {
+	reg := obs.NewRegistry()
+	w := newGateWriter()
+	l := NewEventLogBuffer(w, 4)
+	l.Instrument(reg)
+
+	l.Log(LogRecord{Kind: "stat"})
+	<-w.started // flusher swapped the buffer and is wedged in Write
+
+	for i := 0; i < 100; i++ {
+		l.Log(LogRecord{Kind: "stat", Epoch: i})
+	}
+	close(w.release)
+	l.Flush()
+
+	if got := l.Dropped(); got != 96 {
+		t.Fatalf("Dropped() = %d, want 96", got)
+	}
+	if got := reg.Snapshot().Counters[obs.EventLogDroppedTotal]; got != 96 {
+		t.Fatalf("%s = %d, want 96", obs.EventLogDroppedTotal, got)
+	}
+	if got := w.Lines(); got != 5 {
+		t.Fatalf("sink received %d records, want 5 (1 in flight + 4 buffered)", got)
+	}
+}
+
+// TestEventLogContendedBurstAgreement hammers the log from concurrent
+// writers against a small buffer and requires only the invariant the
+// drop path promises: whatever was lost, Dropped() and the obs counter
+// agree exactly, and accepted+dropped covers every record offered.
+func TestEventLogContendedBurstAgreement(t *testing.T) {
+	const writers, perWriter = 8, 200
+	reg := obs.NewRegistry()
+	w := newGateWriter()
+	l := NewEventLogBuffer(w, 16)
+	l.Instrument(reg)
+
+	l.Log(LogRecord{Kind: "stat"})
+	<-w.started
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				l.Log(LogRecord{Kind: "stat", Epoch: g*perWriter + i})
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(w.release)
+	l.Flush()
+
+	dropped := l.Dropped()
+	if got := reg.Snapshot().Counters[obs.EventLogDroppedTotal]; got != dropped {
+		t.Fatalf("counter = %d, Dropped() = %d; must agree exactly after a contended burst", got, dropped)
+	}
+	if got := int64(w.Lines()) + dropped; got != writers*perWriter+1 {
+		t.Fatalf("accepted %d + dropped %d = %d records, want %d", w.Lines(), dropped, got, writers*perWriter+1)
+	}
+}
+
+func TestEventLogCloseDrains(t *testing.T) {
+	var sb strings.Builder
+	l := NewEventLog(&sb)
+	for i := 0; i < 50; i++ {
+		l.Log(LogRecord{Kind: "stat", Epoch: i})
+	}
+	l.Close()
+	if got := strings.Count(sb.String(), "\n"); got != 50 {
+		t.Fatalf("after Close sink holds %d records, want 50", got)
+	}
+	if l.Dropped() != 0 {
+		t.Fatalf("healthy log dropped %d", l.Dropped())
+	}
+	// Logging after Close drops (and counts) rather than panicking.
+	l.Log(LogRecord{Kind: "stat"})
+	if l.Dropped() != 1 {
+		t.Fatalf("post-Close Dropped() = %d, want 1", l.Dropped())
+	}
+	l.Close() // idempotent
+}
+
 func TestEventLogDroppedNilSafe(t *testing.T) {
 	var l *EventLog
 	if l.Dropped() != 0 {
@@ -46,10 +196,13 @@ func TestEventLogDroppedNilSafe(t *testing.T) {
 	}
 	l.Instrument(obs.NewRegistry()) // must not panic
 	l.Log(LogRecord{Kind: "stat"})  // must not panic
+	l.Flush()                       // must not panic
+	l.Close()                       // must not panic
 
 	healthy := NewEventLog(&strings.Builder{})
 	healthy.Instrument(nil) // nil registry must not panic
 	healthy.Log(LogRecord{Kind: "stat"})
+	healthy.Flush()
 	if healthy.Dropped() != 0 {
 		t.Fatalf("healthy log dropped %d", healthy.Dropped())
 	}

@@ -218,6 +218,7 @@ func New(cfg Config) (*Experiment, error) {
 	}
 
 	e.rm = NewResourceManager(e.exec.Slots())
+	e.met.primeSlotGauges(e.exec.Slots())
 
 	lo, hi := spec.MetricRange()
 	target := spec.Target()
@@ -430,7 +431,8 @@ func (e *Experiment) handleIterDone(ev Event) {
 	// Boundary decisions carry the policy's estimate inputs; verdicts
 	// that change a job's fate (suspend/terminate) are retained even
 	// off-boundary so the trace always explains why a job left its slot.
-	if boundary || decision != sched.Continue {
+	retained := boundary || decision != sched.Continue
+	if retained {
 		sp.SetStr("decision", decision.String())
 		e.met.tracer.Finish(sp)
 		if haveJob {
@@ -458,6 +460,13 @@ func (e *Experiment) handleIterDone(ev Event) {
 			reply.Class = a.Str
 		}
 		ev.Reply <- reply
+	}
+	// Off-boundary continues (the overwhelming majority of decisions)
+	// were measured and logged but never retained anywhere — recycle
+	// the span so the hot path stays allocation-free. Everything that
+	// read sp (log record, reply) copied what it needed above.
+	if !retained {
+		e.met.tracer.Release(sp)
 	}
 }
 
@@ -565,6 +574,9 @@ func (e *Experiment) handleExited(ev Event) {
 func (e *Experiment) finish() {
 	e.res.Duration = e.clk.Since(e.start)
 	e.logLifecycle("stop", "", "", e.res.StoppedBy)
+	// The event log batches appends; drain it so callers reading the
+	// sink after Run returns see every record.
+	e.cfg.EventLog.Flush()
 	jobs := e.jm.All()
 	sort.Slice(jobs, func(i, j int) bool { return jobs[i].Idx < jobs[j].Idx })
 	for _, mj := range jobs {

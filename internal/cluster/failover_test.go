@@ -29,8 +29,14 @@ func TestResourceManagerQuarantine(t *testing.T) {
 	}
 
 	rm.MarkOffline([]SlotID{"a#0", "a#1"})
-	if rm.OfflineCount() != 2 {
-		t.Fatalf("offline = %d, want 2", rm.OfflineCount())
+	// a#0 is quarantined-but-busy: it still counts as busy (its binding
+	// is live) so the idle/busy/offline partition always sums to
+	// Total(). Only the idle a#1 shows up as offline.
+	if rm.OfflineCount() != 1 {
+		t.Fatalf("offline = %d, want 1 (busy a#0 counts as busy until released)", rm.OfflineCount())
+	}
+	if rm.BusyCount() != 1 {
+		t.Fatalf("busy = %d, want 1", rm.BusyCount())
 	}
 	if rm.IdleCount() != 1 {
 		t.Fatalf("idle = %d, want 1 (only b#0 survives)", rm.IdleCount())
@@ -66,12 +72,25 @@ func TestResourceManagerQuarantine(t *testing.T) {
 		t.Fatal("restored slot not reservable")
 	}
 
-	// Idempotence.
+	// Idempotence: re-marking a slot in either direction changes nothing,
+	// and quarantining the busy b#0 keeps it counted as busy.
 	rm.MarkOnline([]SlotID{"a#1"})
 	rm.MarkOffline([]SlotID{"b#0"})
 	rm.MarkOffline([]SlotID{"b#0"})
-	if rm.OfflineCount() != 1 {
-		t.Fatalf("double MarkOffline: offline=%d, want 1", rm.OfflineCount())
+	idle, busy, off := rm.Counts()
+	if off != 0 || busy != 2 {
+		t.Fatalf("double MarkOffline of busy slot: idle=%d busy=%d offline=%d, want 1/2/0", idle, busy, off)
+	}
+	if idle+busy+off != rm.Total() {
+		t.Fatalf("partition %d+%d+%d != Total %d", idle, busy, off, rm.Total())
+	}
+	// Releasing the quarantined b#0 moves it busy -> offline.
+	if err := rm.ReleaseMachine("b#0"); err != nil {
+		t.Fatalf("release of quarantined b#0: %v", err)
+	}
+	idle, busy, off = rm.Counts()
+	if off != 1 || busy != 1 || idle+busy+off != rm.Total() {
+		t.Fatalf("after release: idle=%d busy=%d offline=%d (total %d)", idle, busy, off, rm.Total())
 	}
 }
 

@@ -3,10 +3,66 @@ package cluster
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"github.com/hyperdrive-ml/hyperdrive/internal/param"
 	"github.com/hyperdrive-ml/hyperdrive/internal/sched"
 )
+
+// slotState is one slot's position in the pool state machine. A slot is
+// always in exactly one state; the packed occupancy counters mirror the
+// partition {idle, busy, offline} with busy-while-quarantined slots
+// counted as busy until their binding is released, so
+// IdleCount+BusyCount+OfflineCount == Total() at every instant.
+type slotState uint8
+
+const (
+	slotIdle slotState = iota
+	slotBusy
+	// slotOffline is a quarantined slot with no job binding: invisible
+	// to ReserveIdleMachine until MarkOnline.
+	slotOffline
+	// slotBusyOffline is a quarantined slot still carrying its job
+	// binding — the job-loss events have not released it yet. It counts
+	// as busy (the binding is real capacity in use) and moves to
+	// slotOffline at release.
+	slotBusyOffline
+)
+
+// Packed occupancy counters: idle | busy<<countBits | offline<<2*countBits,
+// updated with a single atomic add per transition so the partition
+// invariant holds at every load (21 bits per field: up to 2M slots).
+const (
+	countBits = 21
+	countMask = 1<<countBits - 1
+)
+
+// shardTargetSlots is the slot count one shard aims to own. Derived
+// from the pool size only — never from GOMAXPROCS or CPU count — so a
+// replayed op schedule reserves identical slots on any host.
+const (
+	shardTargetSlots = 64
+	maxShards        = 64
+)
+
+// rmShard owns a contiguous block of the slot pool: its own mutex, the
+// per-slot states, and an intrusive doubly-linked free-list over local
+// indices so reserve, release, and quarantine are all O(1). Contiguous
+// blocks mean one agent's slots land in few shards, so quarantining a
+// failed agent touches a handful of locks instead of all of them.
+type rmShard struct {
+	mu    sync.Mutex
+	base  int32   // global index of local slot 0
+	state []slotState
+	// Free-list links over local indices; -1 terminates. Insertion at
+	// the tail and removal at the head preserve the single-lock seed's
+	// FIFO rotation (a released slot waits behind everything idle).
+	next, prev []int32
+	head, tail int32
+	// nfree lets ReserveIdleMachine skip exhausted shards without
+	// taking their locks.
+	nfree atomic.Int32
+}
 
 // ResourceManager tracks allocated and idle slots — the paper's RM
 // component with its two-call API (§4.2):
@@ -14,73 +70,175 @@ import (
 //	reserveIdleMachine() -> machineId
 //	releaseMachine(machineId)
 //
-// Slots belonging to an unreachable agent are quarantined (offline):
-// neither idle nor busy, invisible to ReserveIdleMachine until
-// MarkOnline restores them.
+// The pool is sharded: each contiguous block of slots has its own
+// mutex and free-list, so thousands of concurrent reserve/release/
+// quarantine calls do not serialize on one lock, and every operation
+// is O(1) in the pool size. Slots belonging to an unreachable agent
+// are quarantined (offline): neither idle nor busy, invisible to
+// ReserveIdleMachine until MarkOnline restores them.
 type ResourceManager struct {
-	mu      sync.Mutex
-	free    []SlotID
-	busy    map[SlotID]bool
-	offline map[SlotID]bool
+	slots  []SlotID         // immutable after construction
+	index  map[SlotID]int32 // immutable: slot -> global index
+	shards []rmShard
+	stride int32         // slots per shard block (last shard may be short)
+	counts atomic.Uint64 // packed idle|busy|offline occupancy
+	rotor  atomic.Uint32 // reserve probe start, round-robins shards
 }
 
 // NewResourceManager builds an RM over the given slots, all idle.
 func NewResourceManager(slots []SlotID) *ResourceManager {
-	rm := &ResourceManager{
-		busy:    make(map[SlotID]bool, len(slots)),
-		offline: make(map[SlotID]bool),
+	total := len(slots)
+	n := (total + shardTargetSlots - 1) / shardTargetSlots
+	if n < 1 {
+		n = 1
 	}
-	rm.free = append(rm.free, slots...)
+	if n > maxShards {
+		n = maxShards
+	}
+	rm := &ResourceManager{
+		slots:  append([]SlotID(nil), slots...),
+		index:  make(map[SlotID]int32, total),
+		shards: make([]rmShard, n),
+	}
+	for i, s := range rm.slots {
+		rm.index[s] = int32(i)
+	}
+	// Contiguous block partition: shard k owns [k*per, min((k+1)*per, total)).
+	per := (total + n - 1) / n
+	if per < 1 {
+		per = 1
+	}
+	rm.stride = int32(per)
+	for k := range rm.shards {
+		lo := k * per
+		hi := lo + per
+		if lo > total {
+			lo = total
+		}
+		if hi > total {
+			hi = total
+		}
+		sh := &rm.shards[k]
+		sh.base = int32(lo)
+		sh.state = make([]slotState, hi-lo)
+		sh.next = make([]int32, hi-lo)
+		sh.prev = make([]int32, hi-lo)
+		sh.head, sh.tail = -1, -1
+		for i := 0; i < hi-lo; i++ {
+			sh.pushBack(int32(i))
+		}
+		sh.nfree.Store(int32(hi - lo))
+	}
+	rm.counts.Store(uint64(total)) // all idle
 	return rm
 }
 
-// ReserveIdleMachine claims an idle slot.
+// shardOf maps a global slot index to its shard and local index.
+func (rm *ResourceManager) shardOf(gi int32) (*rmShard, int32) {
+	sh := &rm.shards[gi/rm.stride]
+	return sh, gi - sh.base
+}
+
+// addCounts applies one occupancy transition as a single atomic add
+// (modular arithmetic makes negative field deltas borrow correctly as
+// long as no field ever goes below zero, which the state machine
+// guarantees), so idle+busy+offline == Total() holds at every load.
+func (rm *ResourceManager) addCounts(idle, busy, offline int64) {
+	rm.counts.Add(uint64(idle) + uint64(busy)<<countBits + uint64(offline)<<(2*countBits))
+}
+
+// Counts returns one consistent occupancy snapshot: slots idle, slots
+// carrying a live job binding (including quarantined-but-busy ones),
+// and quarantined slots with no binding. The three always sum to
+// Total(), even mid-flight under concurrent mutation.
+func (rm *ResourceManager) Counts() (idle, busy, offline int) {
+	v := rm.counts.Load()
+	return int(v & countMask), int(v >> countBits & countMask), int(v >> (2 * countBits) & countMask)
+}
+
+// ReserveIdleMachine claims an idle slot in O(1): probe shards from a
+// rotating start position, pop the first free-list head found.
 func (rm *ResourceManager) ReserveIdleMachine() (SlotID, bool) {
-	rm.mu.Lock()
-	defer rm.mu.Unlock()
-	if len(rm.free) == 0 {
-		return "", false
+	n := uint32(len(rm.shards))
+	start := rm.rotor.Add(1) - 1
+	for i := uint32(0); i < n; i++ {
+		sh := &rm.shards[(start+i)%n]
+		if sh.nfree.Load() == 0 {
+			continue
+		}
+		sh.mu.Lock()
+		li := sh.popFront()
+		if li < 0 {
+			sh.mu.Unlock()
+			continue
+		}
+		sh.state[li] = slotBusy
+		sh.nfree.Add(-1)
+		sh.mu.Unlock()
+		rm.addCounts(-1, +1, 0)
+		return rm.slots[sh.base+li], true
 	}
-	s := rm.free[0]
-	rm.free = rm.free[1:]
-	rm.busy[s] = true
-	return s, true
+	return "", false
 }
 
 // ReleaseMachine returns a slot to the idle pool. Releasing a
 // quarantined slot is a no-op success: the job-loss path frees its
 // binding, but the slot stays offline until MarkOnline.
 func (rm *ResourceManager) ReleaseMachine(s SlotID) error {
-	rm.mu.Lock()
-	defer rm.mu.Unlock()
-	if rm.offline[s] {
-		delete(rm.busy, s)
-		return nil
+	gi, ok := rm.index[s]
+	if !ok {
+		return fmt.Errorf("cluster: release of unknown slot %s", s)
 	}
-	if !rm.busy[s] {
+	sh, li := rm.shardOf(gi)
+	sh.mu.Lock()
+	switch sh.state[li] {
+	case slotBusy:
+		sh.state[li] = slotIdle
+		sh.pushBack(li)
+		sh.nfree.Add(1)
+		sh.mu.Unlock()
+		rm.addCounts(+1, -1, 0)
+		return nil
+	case slotBusyOffline:
+		sh.state[li] = slotOffline
+		sh.mu.Unlock()
+		rm.addCounts(0, -1, +1)
+		return nil
+	case slotOffline:
+		// Binding already gone; stay quarantined.
+		sh.mu.Unlock()
+		return nil
+	default: // slotIdle
+		sh.mu.Unlock()
 		return fmt.Errorf("cluster: release of non-busy slot %s", s)
 	}
-	delete(rm.busy, s)
-	rm.free = append(rm.free, s)
-	return nil
 }
 
 // MarkOffline quarantines slots: idle ones leave the free list, busy
 // ones keep their binding (the job-loss events will release them into
-// quarantine rather than back to idle).
+// quarantine rather than back to idle). Unknown slots are ignored —
+// quarantining must never grow the pool.
 func (rm *ResourceManager) MarkOffline(slots []SlotID) {
-	rm.mu.Lock()
-	defer rm.mu.Unlock()
 	for _, s := range slots {
-		if rm.offline[s] {
+		gi, ok := rm.index[s]
+		if !ok {
 			continue
 		}
-		rm.offline[s] = true
-		for i, f := range rm.free {
-			if f == s {
-				rm.free = append(rm.free[:i], rm.free[i+1:]...)
-				break
-			}
+		sh, li := rm.shardOf(gi)
+		sh.mu.Lock()
+		switch sh.state[li] {
+		case slotIdle:
+			sh.remove(li)
+			sh.state[li] = slotOffline
+			sh.nfree.Add(-1)
+			sh.mu.Unlock()
+			rm.addCounts(-1, 0, +1)
+		case slotBusy:
+			// Still counts as busy: the binding is live until released.
+			sh.state[li] = slotBusyOffline
+			sh.mu.Unlock()
+		default: // already quarantined
+			sh.mu.Unlock()
 		}
 	}
 }
@@ -88,51 +246,94 @@ func (rm *ResourceManager) MarkOffline(slots []SlotID) {
 // MarkOnline restores quarantined slots to the idle pool. Slots still
 // carrying a busy binding (release hasn't happened yet) stay busy.
 func (rm *ResourceManager) MarkOnline(slots []SlotID) {
-	rm.mu.Lock()
-	defer rm.mu.Unlock()
 	for _, s := range slots {
-		if !rm.offline[s] {
+		gi, ok := rm.index[s]
+		if !ok {
 			continue
 		}
-		delete(rm.offline, s)
-		if !rm.busy[s] {
-			rm.free = append(rm.free, s)
+		sh, li := rm.shardOf(gi)
+		sh.mu.Lock()
+		switch sh.state[li] {
+		case slotOffline:
+			sh.state[li] = slotIdle
+			sh.pushBack(li)
+			sh.nfree.Add(1)
+			sh.mu.Unlock()
+			rm.addCounts(+1, 0, -1)
+		case slotBusyOffline:
+			sh.state[li] = slotBusy
+			sh.mu.Unlock()
+		default: // not quarantined
+			sh.mu.Unlock()
 		}
 	}
 }
 
 // IdleCount reports idle slots.
 func (rm *ResourceManager) IdleCount() int {
-	rm.mu.Lock()
-	defer rm.mu.Unlock()
-	return len(rm.free)
+	idle, _, _ := rm.Counts()
+	return idle
 }
 
-// BusyCount reports slots with a live job binding.
+// BusyCount reports slots with a live job binding, including
+// quarantined slots whose loss events have not released them yet.
 func (rm *ResourceManager) BusyCount() int {
-	rm.mu.Lock()
-	defer rm.mu.Unlock()
-	return len(rm.busy)
+	_, busy, _ := rm.Counts()
+	return busy
 }
 
-// OfflineCount reports quarantined slots.
+// OfflineCount reports quarantined slots with no job binding. A busy
+// slot under quarantine counts as busy until its release, so
+// IdleCount+BusyCount+OfflineCount always equals Total().
 func (rm *ResourceManager) OfflineCount() int {
-	rm.mu.Lock()
-	defer rm.mu.Unlock()
-	return len(rm.offline)
+	_, _, off := rm.Counts()
+	return off
 }
 
-// Total reports all slots: idle + busy + quarantined-idle.
-func (rm *ResourceManager) Total() int {
-	rm.mu.Lock()
-	defer rm.mu.Unlock()
-	n := len(rm.free) + len(rm.busy)
-	for s := range rm.offline {
-		if !rm.busy[s] {
-			n++
-		}
+// Total reports the pool size: every slot, whatever its state.
+func (rm *ResourceManager) Total() int { return len(rm.slots) }
+
+// Shards reports how many lock shards partition the pool (size-derived,
+// host-independent).
+func (rm *ResourceManager) Shards() int { return len(rm.shards) }
+
+// --- intrusive free-list (callers hold sh.mu) -------------------------
+
+// pushBack appends a local index at the free-list tail.
+func (sh *rmShard) pushBack(li int32) {
+	sh.next[li] = -1
+	sh.prev[li] = sh.tail
+	if sh.tail >= 0 {
+		sh.next[sh.tail] = li
+	} else {
+		sh.head = li
 	}
-	return n
+	sh.tail = li
+}
+
+// popFront removes and returns the free-list head (-1 when empty).
+func (sh *rmShard) popFront() int32 {
+	li := sh.head
+	if li < 0 {
+		return -1
+	}
+	sh.remove(li)
+	return li
+}
+
+// remove unlinks a local index from anywhere in the free-list.
+func (sh *rmShard) remove(li int32) {
+	if sh.prev[li] >= 0 {
+		sh.next[sh.prev[li]] = sh.next[li]
+	} else {
+		sh.head = sh.next[li]
+	}
+	if sh.next[li] >= 0 {
+		sh.prev[sh.next[li]] = sh.prev[li]
+	} else {
+		sh.tail = sh.prev[li]
+	}
+	sh.next[li], sh.prev[li] = -1, -1
 }
 
 // ManagedJob is the Job Manager's record for one configuration.

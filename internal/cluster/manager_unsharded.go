@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+)
+
+// UnshardedResourceManager is the original single-lock slot pool: one
+// mutex, a free slice popped from the front, and map-backed busy /
+// offline sets, with ReserveIdleMachine O(1) but MarkOffline paying a
+// linear scan of the free list per slot. It is kept as the reference
+// implementation for the sharded pool's differential property tests
+// and as the baseline arm of `hdbench -sched-bench`; the scheduler
+// itself uses the sharded ResourceManager.
+//
+// Semantics match ResourceManager exactly, including the occupancy
+// partition: a busy slot under quarantine counts as busy (not offline)
+// until its binding is released, so IdleCount+BusyCount+OfflineCount
+// equals Total().
+type UnshardedResourceManager struct {
+	mu      sync.Mutex
+	free    []SlotID
+	busy    map[SlotID]bool
+	offline map[SlotID]bool
+	total   int
+}
+
+// NewUnshardedResourceManager builds the single-lock pool, all idle.
+func NewUnshardedResourceManager(slots []SlotID) *UnshardedResourceManager {
+	rm := &UnshardedResourceManager{
+		busy:    make(map[SlotID]bool, len(slots)),
+		offline: make(map[SlotID]bool),
+		total:   len(slots),
+	}
+	rm.free = append(rm.free, slots...)
+	return rm
+}
+
+// ReserveIdleMachine claims an idle slot (FIFO).
+func (rm *UnshardedResourceManager) ReserveIdleMachine() (SlotID, bool) {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	if len(rm.free) == 0 {
+		return "", false
+	}
+	s := rm.free[0]
+	rm.free = rm.free[1:]
+	rm.busy[s] = true
+	return s, true
+}
+
+// ReleaseMachine returns a slot to the idle pool. Releasing a
+// quarantined slot is a no-op success: the job-loss path frees its
+// binding, but the slot stays offline until MarkOnline.
+func (rm *UnshardedResourceManager) ReleaseMachine(s SlotID) error {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	if rm.offline[s] {
+		delete(rm.busy, s)
+		return nil
+	}
+	if !rm.busy[s] {
+		return fmt.Errorf("cluster: release of non-busy slot %s", s)
+	}
+	delete(rm.busy, s)
+	rm.free = append(rm.free, s)
+	return nil
+}
+
+// MarkOffline quarantines slots; unknown slots are ignored.
+func (rm *UnshardedResourceManager) MarkOffline(slots []SlotID) {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	for _, s := range slots {
+		if rm.offline[s] || !rm.known(s) {
+			continue
+		}
+		rm.offline[s] = true
+		for i, f := range rm.free {
+			if f == s {
+				rm.free = append(rm.free[:i], rm.free[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// MarkOnline restores quarantined slots to the idle pool. Slots still
+// carrying a busy binding (release hasn't happened yet) stay busy.
+func (rm *UnshardedResourceManager) MarkOnline(slots []SlotID) {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	for _, s := range slots {
+		if !rm.offline[s] {
+			continue
+		}
+		delete(rm.offline, s)
+		if !rm.busy[s] {
+			rm.free = append(rm.free, s)
+		}
+	}
+}
+
+// known reports whether a slot was part of the pool at construction.
+// Callers hold rm.mu. Linear on purpose — this is the seed-shape
+// baseline the sharded pool is benchmarked against.
+func (rm *UnshardedResourceManager) known(s SlotID) bool {
+	if rm.busy[s] || rm.offline[s] {
+		return true
+	}
+	for _, f := range rm.free {
+		if f == s {
+			return true
+		}
+	}
+	return false
+}
+
+// IdleCount reports idle slots.
+func (rm *UnshardedResourceManager) IdleCount() int {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	return len(rm.free)
+}
+
+// BusyCount reports slots with a live job binding, including
+// quarantined-but-busy ones.
+func (rm *UnshardedResourceManager) BusyCount() int {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	return len(rm.busy)
+}
+
+// OfflineCount reports quarantined slots with no job binding, matching
+// ResourceManager's partition semantics.
+func (rm *UnshardedResourceManager) OfflineCount() int {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	n := 0
+	for s := range rm.offline {
+		if !rm.busy[s] {
+			n++
+		}
+	}
+	return n
+}
+
+// Total reports the pool size.
+func (rm *UnshardedResourceManager) Total() int {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	return rm.total
+}
+
+// Counts returns the occupancy partition in one lock acquisition.
+func (rm *UnshardedResourceManager) Counts() (idle, busy, offline int) {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	off := 0
+	for s := range rm.offline {
+		if !rm.busy[s] {
+			off++
+		}
+	}
+	return len(rm.free), len(rm.busy), off
+}

@@ -84,6 +84,24 @@ func newExpMetrics(r *obs.Registry) *expMetrics {
 	}
 }
 
+// primeSlotGauges pre-resolves the per-slot training-rate gauges for
+// every slot in the pool, so the stat hot path never grows the map (a
+// lazy insert there would allocate on the first epoch of every slot,
+// mid-experiment). No-op without a registry.
+func (m *expMetrics) primeSlotGauges(slots []SlotID) {
+	if m.reg == nil {
+		return
+	}
+	if m.slotRate == nil {
+		m.slotRate = make(map[SlotID]*obs.Gauge, len(slots))
+	}
+	for _, s := range slots {
+		if _, ok := m.slotRate[s]; !ok {
+			m.slotRate[s] = m.reg.Gauge(obs.SlotEpochsPerSecond(string(s)))
+		}
+	}
+}
+
 // decisionCounter maps a verdict to its labeled counter.
 func (m *expMetrics) decisionCounter(d sched.Decision) *obs.Counter {
 	switch d {

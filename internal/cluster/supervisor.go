@@ -192,12 +192,52 @@ func (s *AgentSupervisor) emit(ev Event) {
 	}
 }
 
+// reconnectBackoff is the supervisor's retry schedule as an explicit
+// state machine: Next() yields the jittered delay before the upcoming
+// attempt and escalates, Reset() returns the schedule to Base. Its
+// state deliberately outlives a single failure episode — the monitor
+// loop owns one instance for its whole life — so "the escalated
+// interval must not leak into the next episode" is an invariant the
+// success path has to enforce by calling Reset() after every
+// re-handshake, not an accident of variable scoping.
+type reconnectBackoff struct {
+	cfg BackoffConfig
+	rng *rand.Rand
+	cur time.Duration
+}
+
+func newReconnectBackoff(cfg BackoffConfig) *reconnectBackoff {
+	return &reconnectBackoff{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+		cur: cfg.Base,
+	}
+}
+
+// Next returns the delay to sleep before the next attempt and
+// escalates the schedule (Factor-multiplied, capped at Max).
+func (b *reconnectBackoff) Next() time.Duration {
+	d := jittered(b.rng, b.cur, b.cfg.Jitter)
+	b.cur = time.Duration(float64(b.cur) * b.cfg.Factor)
+	if b.cur > b.cfg.Max {
+		b.cur = b.cfg.Max
+	}
+	return d
+}
+
+// Reset returns the schedule to the base interval. Call after a
+// successful re-handshake: the next failure episode starts fresh.
+func (b *reconnectBackoff) Reset() { b.cur = b.cfg.Base }
+
+// Current exposes the unjittered next delay (tests).
+func (b *reconnectBackoff) Current() time.Duration { return b.cur }
+
 // monitor waits for the current client to die, then redials with
 // exponential backoff + jitter until a re-handshake succeeds or the
 // supervisor is closed.
 func (s *AgentSupervisor) monitor() {
 	defer close(s.done)
-	rng := rand.New(rand.NewSource(s.opts.Backoff.Seed))
+	bo := newReconnectBackoff(s.opts.Backoff)
 	for {
 		s.mu.Lock()
 		client := s.client
@@ -215,7 +255,6 @@ func (s *AgentSupervisor) monitor() {
 		s.client = nil
 		s.mu.Unlock()
 
-		delay := s.opts.Backoff.Base
 		for attempt := 1; ; attempt++ {
 			next, err := s.connect(s.agentID)
 			if err == nil {
@@ -229,6 +268,9 @@ func (s *AgentSupervisor) monitor() {
 				s.mu.Unlock()
 				s.reconnects.Inc()
 				s.up.Set(1)
+				// Successful re-handshake: the escalated schedule must
+				// not carry into the next failure episode.
+				bo.Reset()
 				s.opts.Logf("cluster: agent %s reconnected after %d attempt(s)", s.agentID, attempt)
 				s.emit(Event{
 					Kind: EvAgentUp, Agent: s.agentID,
@@ -237,15 +279,11 @@ func (s *AgentSupervisor) monitor() {
 				break
 			}
 			s.opts.Logf("cluster: agent %s reconnect attempt %d: %v (retrying in ~%v)",
-				s.agentID, attempt, err, delay)
+				s.agentID, attempt, err, bo.Current())
 			select {
 			case <-s.stop:
 				return
-			case <-time.After(jittered(rng, delay, s.opts.Backoff.Jitter)):
-			}
-			delay = time.Duration(float64(delay) * s.opts.Backoff.Factor)
-			if delay > s.opts.Backoff.Max {
-				delay = s.opts.Backoff.Max
+			case <-time.After(bo.Next()):
 			}
 		}
 	}

@@ -1,0 +1,145 @@
+package cluster
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/hyperdrive-ml/hyperdrive/internal/chaos"
+)
+
+func TestReconnectBackoffSchedule(t *testing.T) {
+	// Jitter 0 makes the schedule exact.
+	bo := newReconnectBackoff(BackoffConfig{
+		Base: 50 * time.Millisecond, Max: 400 * time.Millisecond, Factor: 2, Seed: 1,
+	})
+	want := []time.Duration{
+		50 * time.Millisecond, 100 * time.Millisecond, 200 * time.Millisecond,
+		400 * time.Millisecond, 400 * time.Millisecond, // capped at Max
+	}
+	for i, w := range want {
+		if got := bo.Next(); got != w {
+			t.Fatalf("Next() #%d = %v, want %v", i+1, got, w)
+		}
+	}
+
+	bo.Reset()
+	if got := bo.Current(); got != 50*time.Millisecond {
+		t.Fatalf("Current() after Reset = %v, want Base", got)
+	}
+	if got := bo.Next(); got != 50*time.Millisecond {
+		t.Fatalf("Next() after Reset = %v, want Base", got)
+	}
+
+	// Jitter spreads each delay by at most ±frac without touching the
+	// underlying escalation.
+	jbo := newReconnectBackoff(BackoffConfig{
+		Base: 100 * time.Millisecond, Max: time.Second, Factor: 2, Jitter: 0.5, Seed: 7,
+	})
+	for i := 0; i < 4; i++ {
+		cur := jbo.Current()
+		d := jbo.Next()
+		lo := time.Duration(float64(cur) * 0.5)
+		hi := time.Duration(float64(cur) * 1.5)
+		if d < lo || d > hi {
+			t.Fatalf("jittered Next() #%d = %v, want within [%v, %v]", i+1, d, lo, hi)
+		}
+	}
+}
+
+// TestSupervisorBackoffResetsAfterRecovery is the regression test for
+// escalated-backoff leakage: after a successful re-handshake the
+// schedule must restart from Base, so the first retry of the *next*
+// failure episode is prompt. The fail→recover→fail sequence uses a
+// steep schedule (factor 8 up to a 2s cap): if episode 1's escalation
+// leaked into episode 2, the gap between episode 2's two dial attempts
+// would be the 2s cap instead of ~Base.
+func TestSupervisorBackoffResetsAfterRecovery(t *testing.T) {
+	addr := startAgent(t, AgentOptions{ID: "lazarus", Slots: 1})
+	events := make(chan Event, 256)
+
+	var mu sync.Mutex
+	var live *chaos.Conn
+	failNext := 0
+	var dials []time.Time
+	dial := func() (net.Conn, error) {
+		mu.Lock()
+		dials = append(dials, time.Now())
+		fail := failNext > 0
+		if fail {
+			failNext--
+		}
+		mu.Unlock()
+		if fail {
+			return nil, errors.New("injected dial failure")
+		}
+		nc, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		live = chaos.Wrap(nc, chaos.Options{Seed: int64(len(dials))})
+		return live, nil
+	}
+
+	sup, err := SuperviseAgent(events, SupervisorOptions{
+		Dial:      dial,
+		Heartbeat: HeartbeatConfig{Interval: 10 * time.Millisecond, Misses: 2},
+		// Jitter defaults to 0 here, keeping the schedule exact.
+		Backoff: BackoffConfig{Base: 5 * time.Millisecond, Max: 2 * time.Second, Factor: 8, Seed: 2},
+		Logf:    t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Close()
+
+	waitKind := func(want EventKind) {
+		deadline := time.After(10 * time.Second)
+		for {
+			select {
+			case ev := <-events:
+				if ev.Kind == want {
+					return
+				}
+			case <-deadline:
+				t.Fatalf("event %v never arrived", want)
+			}
+		}
+	}
+	kill := func(failures int) {
+		mu.Lock()
+		failNext = failures
+		c := live
+		mu.Unlock()
+		c.Partition()
+	}
+
+	// Episode 1: three failed redials escalate the schedule
+	// (5ms → 40ms → 320ms, next would be the 2s cap), then recovery.
+	kill(3)
+	waitKind(EvAgentDown)
+	waitKind(EvAgentUp)
+
+	mu.Lock()
+	mark := len(dials)
+	mu.Unlock()
+
+	// Episode 2: one failed redial, then recovery.
+	kill(1)
+	waitKind(EvAgentDown)
+	waitKind(EvAgentUp)
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(dials) < mark+2 {
+		t.Fatalf("episode 2 made %d dial attempt(s), want >= 2", len(dials)-mark)
+	}
+	gap := dials[mark+1].Sub(dials[mark])
+	if gap > time.Second {
+		t.Fatalf("episode-2 retry gap = %v: escalated backoff leaked across the successful re-handshake (want ~Base, 5ms)", gap)
+	}
+}

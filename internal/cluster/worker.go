@@ -31,6 +31,11 @@ type WorkerPool struct {
 type workerJob struct {
 	spec StartSpec
 	stop chan struct{} // closed to request asynchronous termination
+	// reply is reused for every iteration-boundary round trip of this
+	// job: the scheduler sends exactly one DecisionReply per EvIterDone
+	// and the loop consumes it before emitting the next, so a single
+	// buffered channel suffices — no per-decision allocation.
+	reply chan DecisionReply
 }
 
 // NewWorkerPool builds a pool with n slots. Events are delivered on
@@ -97,7 +102,7 @@ func (p *WorkerPool) Start(spec StartSpec) error {
 	if !known {
 		return fmt.Errorf("cluster: unknown slot %s", spec.Slot)
 	}
-	wj := &workerJob{spec: spec2, stop: make(chan struct{})}
+	wj := &workerJob{spec: spec2, stop: make(chan struct{}), reply: make(chan DecisionReply, 1)}
 	p.running[spec.Slot] = wj
 	p.wg.Add(1)
 	go p.runJob(wj, trainer)
@@ -167,13 +172,12 @@ func (p *WorkerPool) runJob(wj *workerJob, trainer workload.Trainer) {
 			return
 		}
 
-		reply := make(chan DecisionReply, 1)
-		if !p.emit(wj, Event{Kind: EvIterDone, Job: spec.Job, Slot: spec.Slot, Epoch: s.Epoch, Reply: reply, Trace: spec.Trace}) {
+		if !p.emit(wj, Event{Kind: EvIterDone, Job: spec.Job, Slot: spec.Slot, Epoch: s.Epoch, Reply: wj.reply, Trace: spec.Trace}) {
 			return
 		}
 		var dr DecisionReply
 		select {
-		case dr = <-reply:
+		case dr = <-wj.reply:
 		case <-wj.stop:
 			return
 		}

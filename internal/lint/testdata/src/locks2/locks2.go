@@ -71,3 +71,75 @@ func (s *store) suppressedFlush() {
 	_ = s.flush()
 	s.mu.Unlock()
 }
+
+// pool models the sharded slot-pool idiom: many small critical
+// sections, one mutex per shard, with the shard picked by index
+// expression — the lock names locksafe2 must track are "p.shards[i].mu",
+// not a plain receiver field.
+type pool struct {
+	shards []shard
+}
+
+type shard struct {
+	mu   sync.Mutex
+	free []int
+	enc  *json.Encoder
+}
+
+// pop is a leaf: free-list surgery only, no locks, no blocking. Safe
+// inside any shard critical section.
+func (sh *shard) pop() int {
+	n := len(sh.free) - 1
+	v := sh.free[n]
+	sh.free = sh.free[:n]
+	return v
+}
+
+// drain re-acquires the shard's own lock.
+func (sh *shard) drain() {
+	sh.mu.Lock()
+	sh.free = sh.free[:0]
+	sh.mu.Unlock()
+}
+
+// spill blocks: it JSON-encodes to an arbitrary writer.
+func (sh *shard) spill() error { return sh.enc.Encode(sh.free) }
+
+// Good: the per-shard critical section stays leaf-only.
+func (p *pool) reserve(i int) int {
+	p.shards[i].mu.Lock()
+	defer p.shards[i].mu.Unlock()
+	return p.shards[i].pop()
+}
+
+// Bad: a blocking helper inside a shard critical section stalls every
+// caller hashed to that shard.
+func (p *pool) spillUnderShardLock(i int) {
+	p.shards[i].mu.Lock()
+	defer p.shards[i].mu.Unlock()
+	_ = p.shards[i].spill() // want "call to spill while p.shards[i].mu is held can block"
+}
+
+// Bad: the helper re-acquires the very shard lock the caller holds.
+func (p *pool) drainUnderShardLock(i int) {
+	p.shards[i].mu.Lock()
+	defer p.shards[i].mu.Unlock()
+	p.shards[i].drain() // want "call to drain re-acquires p.shards[i].mu"
+}
+
+// Good (by scope): draining another shard while holding this one is
+// lock ordering, not a re-acquire; cross-shard deadlock discipline is
+// the pool's contract, outside locksafe2's same-lock analysis.
+func (p *pool) drainOther(i, j int) {
+	p.shards[i].mu.Lock()
+	defer p.shards[i].mu.Unlock()
+	p.shards[j].drain()
+}
+
+// Suppressed: a documented exception on the shard idiom.
+func (p *pool) suppressedSpill(i int) {
+	p.shards[i].mu.Lock()
+	//hdlint:ignore locksafe2 fixture demonstrating an honored per-shard suppression
+	_ = p.shards[i].spill()
+	p.shards[i].mu.Unlock()
+}

@@ -56,12 +56,32 @@ type StageMark struct {
 	Elapsed time.Duration `json:"elapsed_ns"`
 }
 
+// FormatSpanID renders a raw span identifier in the canonical
+// hexadecimal form used everywhere a span ID appears as a string
+// ("" for the zero ID, which means "no span").
+func FormatSpanID(id uint64) string {
+	if id == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%012x", id)
+}
+
 // ID returns the span's hexadecimal identifier ("" on nil).
 func (s *Span) ID() string {
 	if s == nil {
 		return ""
 	}
-	return fmt.Sprintf("%012x", s.id)
+	return FormatSpanID(s.id)
+}
+
+// RawID returns the span's numeric identifier (0 on nil). Hot paths
+// carry this instead of ID() so the hex string is only materialized
+// for spans somebody actually keeps.
+func (s *Span) RawID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
 }
 
 // Context returns the span's cross-process identity. The zero value on
@@ -194,6 +214,10 @@ type Tracer struct {
 	nextTrace atomic.Uint64
 	origin    uint64          // folded into IDs; set once before use
 	flight    *FlightRecorder // finished spans are forwarded here
+	// pool recycles spans that were started but never retained (see
+	// Release), so per-decision spans on the scheduler hot path stop
+	// costing an allocation each.
+	pool sync.Pool
 
 	mu   sync.Mutex
 	ring []*Span
@@ -243,15 +267,37 @@ func (t *Tracer) StartSpan(name, job string, epoch int, parent SpanContext) *Spa
 	if t == nil {
 		return nil
 	}
-	return &Span{
-		id:     t.origin | t.next.Add(1),
-		name:   name,
-		job:    job,
-		epoch:  epoch,
-		start:  time.Now(),
-		trace:  parent.TraceID,
-		parent: parent.SpanID,
+	s, _ := t.pool.Get().(*Span)
+	if s == nil {
+		s = &Span{}
 	}
+	s.id = t.origin | t.next.Add(1)
+	s.name = name
+	s.job = job
+	s.epoch = epoch
+	s.start = time.Now()
+	s.trace = parent.TraceID
+	s.parent = parent.SpanID
+	return s
+}
+
+// Release returns a span to the tracer's pool for reuse. Only call it
+// for spans that were never passed to Finish and that no one else
+// holds a reference to — i.e. the unretained fast-path spans of
+// off-boundary decisions. Finished spans live in the ring and the
+// flight recorder and must never be released.
+func (t *Tracer) Release(s *Span) {
+	if t == nil || s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.id, s.name, s.job, s.epoch = 0, "", "", 0
+	s.start, s.end = time.Time{}, time.Time{}
+	s.trace, s.parent = "", ""
+	s.attrs = s.attrs[:0]
+	s.stages = s.stages[:0]
+	s.mu.Unlock()
+	t.pool.Put(s)
 }
 
 // NewTraceID mints a fresh trace identifier, namespaced by the

@@ -8,7 +8,9 @@ package sched
 
 import (
 	"fmt"
+	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/hyperdrive-ml/hyperdrive/internal/obs"
@@ -67,45 +69,48 @@ func (e *TransitionError) Error() string {
 }
 
 // Job is one configuration's training job. All methods are safe for
-// concurrent use.
+// concurrent use. State, epoch, and priority reads are lock-free
+// atomic loads — they sit on the scheduler's decision hot path (every
+// GetIdleJob scan reads all three for every idle job) — while the
+// transition methods serialize on a mutex so check-then-set stays
+// race-free.
 type Job struct {
 	ID       JobID
 	Config   param.Config
 	Seed     int64
 	MaxEpoch int
 
-	mu       sync.Mutex
-	state    State
-	epoch    int
-	machine  MachineID
-	priority float64
+	mu       sync.Mutex    // serializes transitions; guards machine
+	machine  MachineID     // guarded by mu
+	state    atomic.Int32  // State; written only under mu
+	epoch    atomic.Int32  // monotonic, advanced by CAS
+	priority atomic.Uint64 // math.Float64bits
 }
 
 // NewJob creates a pending job.
 func NewJob(id JobID, cfg param.Config, seed int64, maxEpoch int) *Job {
-	return &Job{ID: id, Config: cfg, Seed: seed, MaxEpoch: maxEpoch, state: Pending}
+	j := &Job{ID: id, Config: cfg, Seed: seed, MaxEpoch: maxEpoch}
+	j.state.Store(int32(Pending))
+	return j
 }
 
 // State returns the current lifecycle state.
 func (j *Job) State() State {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	return j.state
+	return State(j.state.Load())
 }
 
 // Epoch returns the number of completed epochs.
 func (j *Job) Epoch() int {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	return j.epoch
+	return int(j.epoch.Load())
 }
 
-// SetEpoch records training progress.
+// SetEpoch records training progress; the epoch only moves forward.
 func (j *Job) SetEpoch(e int) {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if e > j.epoch {
-		j.epoch = e
+	for {
+		cur := j.epoch.Load()
+		if int32(e) <= cur || j.epoch.CompareAndSwap(cur, int32(e)) {
+			return
+		}
 	}
 }
 
@@ -119,26 +124,23 @@ func (j *Job) Machine() MachineID {
 // Priority returns the job's SAP-assigned priority (paper §4.2
 // labelJob); higher runs earlier in the idle queue.
 func (j *Job) Priority() float64 {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	return j.priority
+	return math.Float64frombits(j.priority.Load())
 }
 
 // SetPriority implements labelJob.
 func (j *Job) SetPriority(p float64) {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	j.priority = p
+	j.priority.Store(math.Float64bits(p))
 }
 
 // Start transitions Pending/Suspended -> Running on the given machine.
 func (j *Job) Start(m MachineID) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if j.state != Pending && j.state != Suspended {
-		return &TransitionError{Job: j.ID, From: j.state, To: Running}
+	st := j.State()
+	if st != Pending && st != Suspended {
+		return &TransitionError{Job: j.ID, From: st, To: Running}
 	}
-	j.state = Running
+	j.state.Store(int32(Running))
 	j.machine = m
 	return nil
 }
@@ -147,10 +149,10 @@ func (j *Job) Start(m MachineID) error {
 func (j *Job) Suspend() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if j.state != Running {
-		return &TransitionError{Job: j.ID, From: j.state, To: Suspended}
+	if st := j.State(); st != Running {
+		return &TransitionError{Job: j.ID, From: st, To: Suspended}
 	}
-	j.state = Suspended
+	j.state.Store(int32(Suspended))
 	j.machine = ""
 	return nil
 }
@@ -159,10 +161,10 @@ func (j *Job) Suspend() error {
 func (j *Job) Terminate() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if j.state.Terminal() {
-		return &TransitionError{Job: j.ID, From: j.state, To: Terminated}
+	if st := j.State(); st.Terminal() {
+		return &TransitionError{Job: j.ID, From: st, To: Terminated}
 	}
-	j.state = Terminated
+	j.state.Store(int32(Terminated))
 	j.machine = ""
 	return nil
 }
@@ -171,10 +173,10 @@ func (j *Job) Terminate() error {
 func (j *Job) Complete() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if j.state != Running {
-		return &TransitionError{Job: j.ID, From: j.state, To: Completed}
+	if st := j.State(); st != Running {
+		return &TransitionError{Job: j.ID, From: st, To: Completed}
 	}
-	j.state = Completed
+	j.state.Store(int32(Completed))
 	j.machine = ""
 	return nil
 }

@@ -30,6 +30,14 @@ fitjson="$(mktemp)"
 go run ./cmd/hdbench -fit-bench "$fitjson" -fit-scale fast
 rm -f "$fitjson"
 
+# Scheduler-core smoke: the sharded slot pool must beat the
+# single-lock baseline under churn (relaxed fast-scale gate) and the
+# socket e2e arm must complete; the bench exits non-zero on a miss.
+echo ">> hdbench -sched-bench (smoke)"
+schedjson="$(mktemp)"
+go run ./cmd/hdbench -sched-bench "$schedjson" -sched-scale fast
+rm -f "$schedjson"
+
 # Trace-export smoke: a small live run must produce a Chrome trace
 # that validates, and the event-log conversion path must produce one
 # too.
