@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint check fuzz-smoke bench-obs bench-fit bench-trace bench-quality bench-sched trace-demo report-demo
+.PHONY: build test lint check fuzz-smoke bench-obs bench-fit bench-trace bench-quality bench-sched bench-serve trace-demo report-demo
 
 build:
 	$(GO) build ./...
@@ -57,6 +57,13 @@ bench-quality:
 # refresh the committed baseline.
 bench-sched:
 	$(GO) run ./cmd/hdbench -sched-bench BENCH_sched.json
+
+# bench-serve: measure the multi-tenant service path (hyperdrived):
+# submit→first-decision latency over the full HTTP stack and API
+# throughput under the per-tenant rate limit (429 + Retry-After gate),
+# and refresh the committed baseline.
+bench-serve:
+	$(GO) run ./cmd/hdbench -serve-bench BENCH_serve.json
 
 # report-demo: replay a deterministic simulated POP experiment with the
 # quality audit on and render its calibration report into results/.

@@ -40,6 +40,8 @@ func run(args []string) error {
 		qltJS = fs.String("quality-bench", "", "measure quality-audit overhead on the simulator hot path and write the report to this file (e.g. BENCH_quality.json)")
 		schJS = fs.String("sched-bench", "", "measure scheduler-core throughput (sharded vs single-lock slot pool, e2e decision latency over sockets) and write the report to this file (e.g. BENCH_sched.json)")
 		schSc = fs.String("sched-scale", "paper", "-sched-bench fleet size: paper (1k agents, 16k slots) | fast (smoke)")
+		srvJS = fs.String("serve-bench", "", "measure the multi-tenant service path (submit→first-decision latency over HTTP, API throughput under the per-tenant rate limit) and write the report to this file (e.g. BENCH_serve.json)")
+		srvSc = fs.String("serve-scale", "paper", "-serve-bench scale: paper | fast (smoke)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -49,6 +51,9 @@ func run(args []string) error {
 	}
 	if *schJS != "" {
 		return runSchedBench(*schJS, *schSc, *seed)
+	}
+	if *srvJS != "" {
+		return runServeBench(*srvJS, *srvSc, *seed)
 	}
 	if *trcJS != "" {
 		return runTraceBench(*trcJS, *seed)

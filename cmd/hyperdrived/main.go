@@ -1,0 +1,250 @@
+// Command hyperdrived is the multi-tenant HyperDrive experiment
+// service: one long-running process hosting many concurrent
+// experiments behind an HTTP/JSON API, with per-tenant weighted
+// fair-share of a shared slot pool, admission control, and API rate
+// limiting.
+//
+//	hyperdrived -listen :7070 -machines 16
+//	curl -XPOST localhost:7070/v1/experiments \
+//	     -d '{"tenant":"alice","workload":"cifar10","maxJobs":20}'
+//	curl localhost:7070/v1/experiments/e1
+//	curl 'localhost:7070/v1/experiments/e1/events?waitMs=5000'
+//	hdtop -addr localhost:7070/v1/experiments/e1/obs
+//
+// With -agents, slots come from remote node agents (hdagent) instead
+// of in-process workers. With -smoke, the server boots on a loopback
+// port, submits two tenant experiments, polls them to completion, and
+// exits non-zero on any API error — the CI self-test.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/hyperdrive-ml/hyperdrive/internal/checkpoint"
+	"github.com/hyperdrive-ml/hyperdrive/internal/clock"
+	"github.com/hyperdrive-ml/hyperdrive/internal/cluster"
+	"github.com/hyperdrive-ml/hyperdrive/internal/obs"
+	"github.com/hyperdrive-ml/hyperdrive/internal/serve"
+	"github.com/hyperdrive-ml/hyperdrive/internal/workload"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":7070", "HTTP listen address")
+		machines = flag.Int("machines", 8, "in-process training slots (ignored with -agents)")
+		agents   = flag.String("agents", "", "comma-separated node-agent addresses (replaces in-process slots)")
+		maxExps  = flag.Int("max-experiments", 16, "admission cap on concurrently active experiments")
+		rate     = flag.Float64("rate", 50, "per-tenant API rate limit (requests/sec)")
+		burst    = flag.Int("burst", 0, "per-tenant API burst (0: one second's worth)")
+		speedup  = flag.Float64("speedup", 600, "experiment-clock compression factor")
+		seed     = flag.Int64("seed", 1, "checkpoint-model seed")
+		pprof    = flag.Bool("pprof", false, "mount /debug/pprof on the server obs endpoint")
+		smoke    = flag.Bool("smoke", false, "boot on loopback, submit two experiments, poll to completion, exit")
+	)
+	flag.Parse()
+
+	if *smoke {
+		// The self-test wants a fast clock and its own port (explicit
+		// -listen/-speedup flags still win).
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if !set["listen"] {
+			*listen = "127.0.0.1:0"
+		}
+		if !set["speedup"] {
+			*speedup = 200000
+		}
+	}
+
+	if err := run(*listen, *machines, *agents, *maxExps, *rate, *burst, *speedup, *seed, *pprof, *smoke); err != nil {
+		fmt.Fprintln(os.Stderr, "hyperdrived:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen string, machines int, agents string, maxExps int, rate float64, burst int, speedup float64, seed int64, pprof, smoke bool) error {
+	logf := func(format string, args ...interface{}) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	clk := clock.NewScaled(time.Now(), speedup)
+	events := make(chan cluster.Event, 4096)
+	wreg := workload.NewRegistry()
+	serverReg := obs.NewRegistry()
+
+	var exec cluster.Executor
+	if agents != "" {
+		var execs []cluster.Executor
+		for _, addr := range strings.Split(agents, ",") {
+			addr = strings.TrimSpace(addr)
+			if addr == "" {
+				continue
+			}
+			c, err := cluster.DialAgentSupervised(addr, events, cluster.SupervisorOptions{Obs: serverReg, Logf: logf})
+			if err != nil {
+				for _, ex := range execs {
+					ex.Close()
+				}
+				return fmt.Errorf("agent %s: %w", addr, err)
+			}
+			execs = append(execs, c)
+		}
+		multi, err := cluster.NewMultiExecutor(execs...)
+		if err != nil {
+			return err
+		}
+		exec = multi
+	} else {
+		capturer, err := checkpoint.NewCapturer(checkpoint.Framework, seed+1)
+		if err != nil {
+			return err
+		}
+		pool, err := cluster.NewWorkerPool(machines, wreg, clk, capturer, events)
+		if err != nil {
+			return err
+		}
+		exec = pool
+	}
+	defer exec.Close()
+
+	srv, err := serve.NewServer(serve.Options{
+		Executor:       exec,
+		Events:         events,
+		Clock:          clk,
+		Registry:       wreg,
+		MaxExperiments: maxExps,
+		Rate:           rate,
+		Burst:          burst,
+		Obs:            serverReg,
+		Pprof:          pprof,
+		Logf:           logf,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	logf("hyperdrived: serving on %s (%d slots)", ln.Addr(), len(exec.Slots()))
+
+	if smoke {
+		return runSmoke("http://" + ln.Addr().String())
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	logf("hyperdrived: shutting down")
+	return nil
+}
+
+// runSmoke is the CI self-test: two tenants submit one experiment
+// each, both are polled to completion, and the tenant + events
+// surfaces are exercised. Any API error is fatal.
+func runSmoke(base string) error {
+	client := &http.Client{Timeout: 30 * time.Second}
+	submit := func(tenant string, weight float64) (string, error) {
+		body := fmt.Sprintf(`{"tenant":%q,"weight":%g,"workload":"cifar10","policy":"default","maxJobs":6,"seed":7}`, tenant, weight)
+		resp, err := client.Post(base+"/v1/experiments", "application/json", strings.NewReader(body))
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			return "", fmt.Errorf("submit for %s: HTTP %d", tenant, resp.StatusCode)
+		}
+		var out struct {
+			ID string `json:"id"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			return "", err
+		}
+		return out.ID, nil
+	}
+
+	idA, err := submit("alice", 2)
+	if err != nil {
+		return err
+	}
+	idB, err := submit("bob", 1)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("smoke: submitted %s (alice) and %s (bob)\n", idA, idB)
+
+	getJSON := func(path string, v interface{}) error {
+		resp, err := client.Get(base + path)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("GET %s: HTTP %d", path, resp.StatusCode)
+		}
+		return json.NewDecoder(resp.Body).Decode(v)
+	}
+
+	deadline := time.Now().Add(120 * time.Second)
+	states := map[string]string{}
+	for _, id := range []string{idA, idB} {
+		for {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("smoke: %s did not finish in time (state %s)", id, states[id])
+			}
+			var st struct {
+				State string  `json:"state"`
+				Best  float64 `json:"best"`
+				Error string  `json:"error"`
+			}
+			if err := getJSON("/v1/experiments/"+id, &st); err != nil {
+				return err
+			}
+			states[id] = st.State
+			if st.State == "done" {
+				fmt.Printf("smoke: %s done (best %.4f)\n", id, st.Best)
+				break
+			}
+			if st.State == "failed" || st.State == "canceled" {
+				return fmt.Errorf("smoke: %s ended %s: %s", id, st.State, st.Error)
+			}
+			time.Sleep(200 * time.Millisecond)
+		}
+	}
+
+	var tenant serve.TenantStatus
+	if err := getJSON("/v1/tenants/alice", &tenant); err != nil {
+		return err
+	}
+	if tenant.Tenant != "alice" {
+		return fmt.Errorf("smoke: tenant endpoint returned %q", tenant.Tenant)
+	}
+	var feed struct {
+		Events []json.RawMessage `json:"events"`
+	}
+	if err := getJSON("/v1/experiments/"+idA+"/events?waitMs=1000", &feed); err != nil {
+		return err
+	}
+	if len(feed.Events) == 0 {
+		return fmt.Errorf("smoke: %s event feed is empty", idA)
+	}
+	var snap obs.Snapshot
+	if err := getJSON("/v1/experiments/"+idA+"/obs/metrics.json", &snap); err != nil {
+		return err
+	}
+	fmt.Printf("smoke: ok (%d feed events for %s)\n", len(feed.Events), idA)
+	return nil
+}

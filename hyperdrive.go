@@ -42,6 +42,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"github.com/hyperdrive-ml/hyperdrive/internal/appstat"
@@ -237,6 +238,17 @@ type ExperimentConfig struct {
 	// endpoint (/metrics, /metrics.json, /jobs, /spans) on this
 	// address for the duration of the run.
 	ObsListen string
+	// ObsMux, when non-nil, mounts the introspection endpoints on the
+	// caller's mux under ObsPathPrefix instead of a dedicated listener
+	// — the embeddable form of ObsListen. Every registration is
+	// instance-scoped (nothing ever lands on http.DefaultServeMux), so
+	// several experiments in one process expose disjoint metric
+	// surfaces by mounting under distinct prefixes.
+	ObsMux *http.ServeMux
+	// ObsPathPrefix is the ObsMux mount prefix (e.g. "/exp1"); empty
+	// mounts at the mux root. Must be unique per experiment sharing a
+	// mux (ServeMux registrations are permanent).
+	ObsPathPrefix string
 	// ObsPprof additionally mounts net/http/pprof under /debug/pprof/
 	// on the introspection endpoint.
 	ObsPprof bool
@@ -360,8 +372,9 @@ func RunExperiment(ctx context.Context, cfg ExperimentConfig) (*ExperimentResult
 		return nil, fmt.Errorf("hyperdrive: unknown checkpoint mode %q", cfg.CheckpointMode)
 	}
 
+	serveObs := cfg.ObsListen != "" || cfg.ObsMux != nil
 	obsReg := cfg.Obs
-	if obsReg == nil && cfg.ObsListen != "" {
+	if obsReg == nil && serveObs {
 		obsReg = obs.NewRegistry()
 	}
 	sink := cfg.TraceSink
@@ -373,7 +386,7 @@ func RunExperiment(ctx context.Context, cfg ExperimentConfig) (*ExperimentResult
 		// without one would miss the decision slices.
 		obsReg = obs.NewRegistry()
 	}
-	if cfg.QualityOut != "" || cfg.ObsListen != "" {
+	if cfg.QualityOut != "" || serveObs {
 		// A served endpoint exposes the live calibration report at
 		// /debug/obs/quality (hdreport -addr) even without an export file.
 		if obsReg == nil {
@@ -387,7 +400,7 @@ func RunExperiment(ctx context.Context, cfg ExperimentConfig) (*ExperimentResult
 	defer stopSampler()
 	// A served endpoint also gets queryable time series
 	// (/debug/obs/history) feeding hdtop's sparklines.
-	if cfg.ObsListen != "" {
+	if serveObs {
 		obsReg.EnableHistory(0)
 		stopHistory := obs.StartHistorySampler(obsReg, 2*time.Second)
 		defer stopHistory()
@@ -414,6 +427,14 @@ func RunExperiment(ctx context.Context, cfg ExperimentConfig) (*ExperimentResult
 		TraceSink:      sink,
 	}
 
+	if cfg.ObsMux != nil {
+		h := obs.Handler(obsReg, obs.HandlerOptions{Pprof: cfg.ObsPprof})
+		if prefix := strings.TrimSuffix(cfg.ObsPathPrefix, "/"); prefix != "" {
+			cfg.ObsMux.Handle(prefix+"/", http.StripPrefix(prefix, h))
+		} else {
+			cfg.ObsMux.Handle("/", h)
+		}
+	}
 	if cfg.ObsListen != "" {
 		ln, err := net.Listen("tcp", cfg.ObsListen)
 		if err != nil {

@@ -157,6 +157,61 @@ func (a *Agent) Close() error {
 	return nil
 }
 
+// statBatchMax bounds how many stat reports accumulate before a flush
+// is forced, independent of decision boundaries — a cap on both frame
+// size and staleness when many jobs share one connection.
+const statBatchMax = 64
+
+// statBatcher coalesces the AppStat reports of one scheduler
+// connection into MsgAppStatBatch frames. Jobs add stats as they
+// finish epochs; any job about to send an ordered control frame
+// (IterDone, Snapshot, JobExited) flushes first, so the scheduler
+// always sees a job's statistic before the boundary it raised — the
+// same per-job ordering as unbatched MsgAppStat, with one frame where
+// concurrent jobs used to cost one each.
+type statBatcher struct {
+	conn *wire.Conn
+	mu   sync.Mutex
+	buf  []wire.AppStatPayload
+}
+
+func newStatBatcher(conn *wire.Conn) *statBatcher { return &statBatcher{conn: conn} }
+
+// add buffers one stat report, flushing when the batch cap is hit.
+func (b *statBatcher) add(p wire.AppStatPayload) error {
+	b.mu.Lock()
+	b.buf = append(b.buf, p)
+	n := len(b.buf)
+	b.mu.Unlock()
+	if n >= statBatchMax {
+		return b.flush()
+	}
+	return nil
+}
+
+// flush sends everything buffered: one plain MsgAppStat when a single
+// report is pending (wire-compatible with pre-batch schedulers), one
+// MsgAppStatBatch otherwise. The send deliberately happens under
+// b.mu: a flush that returns with an empty buffer must mean every
+// prior stat is already on the wire, or a concurrent job could emit
+// its IterDone ahead of a batch still carrying its statistic.
+func (b *statBatcher) flush() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch len(b.buf) {
+	case 0:
+		return nil
+	case 1:
+		p := b.buf[0]
+		b.buf = b.buf[:0]
+		return b.conn.SendTyped(wire.MsgAppStat, p)
+	default:
+		err := b.conn.SendTyped(wire.MsgAppStatBatch, wire.AppStatBatchPayload{Stats: b.buf})
+		b.buf = b.buf[:0]
+		return err
+	}
+}
+
 // serveConn handles one scheduler session.
 func (a *Agent) serveConn(nc net.Conn) {
 	conn := wire.NewConn(nc)
@@ -177,6 +232,7 @@ func (a *Agent) serveConn(nc net.Conn) {
 		a.opts.Logf("agent: hello: %v", err)
 		return
 	}
+	sb := newStatBatcher(conn)
 
 	for {
 		msg, err := conn.Recv()
@@ -206,7 +262,7 @@ func (a *Agent) serveConn(nc net.Conn) {
 				a.sendError(conn, "", err)
 				continue
 			}
-			if err := a.startJob(conn, p); err != nil {
+			if err := a.startJob(conn, sb, p); err != nil {
 				a.sendError(conn, p.JobID, err)
 			}
 		case wire.MsgDecision:
@@ -235,7 +291,7 @@ func (a *Agent) sendError(conn *wire.Conn, jobID string, err error) {
 }
 
 // startJob validates and launches a training loop.
-func (a *Agent) startJob(conn *wire.Conn, p wire.StartJobPayload) error {
+func (a *Agent) startJob(conn *wire.Conn, sb *statBatcher, p wire.StartJobPayload) error {
 	spec, err := a.registry.Lookup(p.Workload)
 	if err != nil {
 		return err
@@ -288,7 +344,7 @@ func (a *Agent) startJob(conn *wire.Conn, p wire.StartJobPayload) error {
 	a.jobs[sched.JobID(p.JobID)] = j
 	a.jobsRunning.Set(float64(len(a.jobs)))
 	a.wg.Add(1)
-	go a.runJob(conn, j, trainer, spec)
+	go a.runJob(conn, sb, j, trainer, spec)
 	return nil
 }
 
@@ -359,10 +415,17 @@ func (a *Agent) release(id sched.JobID) {
 // runJob is the agent-side training loop: train an epoch, report the
 // stat (with the freshest local prediction piggybacked), raise the
 // iteration boundary, and act on the scheduler's decision.
-func (a *Agent) runJob(conn *wire.Conn, j *agentJob, trainer workload.Trainer, spec workload.Spec) {
+func (a *Agent) runJob(conn *wire.Conn, sb *statBatcher, j *agentJob, trainer workload.Trainer, spec workload.Spec) {
 	defer a.wg.Done()
 	defer a.release(sched.JobID(j.spec.JobID))
+	// send carries the ordered control frames (IterDone, Snapshot,
+	// JobExited); flushing the stat batcher first preserves the per-job
+	// stat-before-boundary ordering the scheduler's DB relies on.
 	send := func(t wire.MsgType, payload interface{}) bool {
+		if err := sb.flush(); err != nil {
+			a.opts.Logf("agent: flush stats before %s: %v", t, err)
+			return false
+		}
 		if err := conn.SendTyped(t, payload); err != nil {
 			a.opts.Logf("agent: send %s: %v", t, err)
 			return false
@@ -410,7 +473,8 @@ func (a *Agent) runJob(conn *wire.Conn, j *agentJob, trainer workload.Trainer, s
 			stat.Predict, stat.HasPred = j.pval, true
 		}
 		j.predMu.Unlock()
-		if !send(wire.MsgAppStat, stat) {
+		if err := sb.add(stat); err != nil {
+			a.opts.Logf("agent: send %s: %v", wire.MsgAppStat, err)
 			return
 		}
 		a.statsTotal.Inc()

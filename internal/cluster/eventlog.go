@@ -142,6 +142,32 @@ func (l *EventLog) Log(r LogRecord) {
 	l.fill.Signal()
 }
 
+// LogSync appends one record, waiting for buffer space instead of
+// dropping when the flusher is behind. It is for terminal records —
+// the "stop" lifecycle line an experiment writes as it shuts down —
+// that must survive even when a cancel lands mid-burst with the
+// buffer full; everything on the decision hot path stays on the
+// non-blocking Log. Returns false (and counts a drop) only when the
+// log is closed or dead, where waiting could never succeed.
+func (l *EventLog) LogSync(r LogRecord) bool {
+	if l == nil {
+		return false
+	}
+	l.mu.Lock()
+	for !l.dead && !l.closed && len(l.buf) == cap(l.buf) {
+		l.flushed.Wait()
+	}
+	if l.dead || l.closed {
+		l.dropLocked(1)
+		l.mu.Unlock()
+		return false
+	}
+	l.buf = append(l.buf, r)
+	l.mu.Unlock()
+	l.fill.Signal()
+	return true
+}
+
 // Flush blocks until every record accepted so far has been encoded to
 // the sink (or counted as dropped, if the log died en route).
 func (l *EventLog) Flush() {

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"github.com/hyperdrive-ml/hyperdrive/internal/obs"
 )
@@ -205,5 +206,68 @@ func TestEventLogDroppedNilSafe(t *testing.T) {
 	healthy.Flush()
 	if healthy.Dropped() != 0 {
 		t.Fatalf("healthy log dropped %d", healthy.Dropped())
+	}
+}
+
+// TestEventLogSyncSurvivesFullBuffer pins the terminal-record
+// guarantee behind Experiment.finish: with the flusher wedged in the
+// sink and the append buffer full, Log drops — but LogSync waits for
+// space, so the "stop" line a cancelled experiment writes on the way
+// out reaches the sink instead of vanishing. Dropped() and the
+// registry counter must agree throughout.
+func TestEventLogSyncSurvivesFullBuffer(t *testing.T) {
+	reg := obs.NewRegistry()
+	w := newGateWriter()
+	l := NewEventLogBuffer(w, 1)
+	l.Instrument(reg)
+
+	l.Log(LogRecord{Kind: "stat"}) // flusher grabs it and wedges in Write
+	<-w.started
+	l.Log(LogRecord{Kind: "stat"}) // fills the capacity-1 buffer
+	l.Log(LogRecord{Kind: "stat"}) // no space left: the lossy path drops it
+	if got := l.Dropped(); got != 1 {
+		t.Fatalf("Dropped() = %d after overfilling, want 1", got)
+	}
+
+	accepted := make(chan bool)
+	go func() { accepted <- l.LogSync(LogRecord{Kind: "stop", Detail: "canceled"}) }()
+	select {
+	case <-accepted:
+		t.Fatal("LogSync returned with the buffer still full")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(w.release)
+	if !<-accepted {
+		t.Fatal("LogSync dropped the terminal record")
+	}
+	l.Close()
+	if got := w.Lines(); got != 3 {
+		t.Fatalf("sink received %d records, want 3 (two stats + stop)", got)
+	}
+	if got, want := reg.Snapshot().Counters[obs.EventLogDroppedTotal], l.Dropped(); got != want {
+		t.Fatalf("dropped metric %d != Dropped() %d", got, want)
+	}
+	if got := l.Dropped(); got != 1 {
+		t.Fatalf("Dropped() = %d after drain, want 1", got)
+	}
+}
+
+// TestEventLogSyncClosed: waiting can never succeed on a closed (or
+// nil) log, so LogSync must refuse immediately and count the drop
+// rather than deadlock a shutting-down experiment.
+func TestEventLogSyncClosed(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewEventLog(&buf)
+	l.Close()
+	if l.LogSync(LogRecord{Kind: "stop"}) {
+		t.Fatal("LogSync accepted a record on a closed log")
+	}
+	if got := l.Dropped(); got != 1 {
+		t.Fatalf("Dropped() = %d, want 1", got)
+	}
+	var nilLog *EventLog
+	if nilLog.LogSync(LogRecord{}) {
+		t.Fatal("nil LogSync must return false")
 	}
 }

@@ -62,6 +62,12 @@ const (
 	// job): the agent is alive but reported a fault the scheduler
 	// should log rather than swallow.
 	EvAgentError
+	// EvWake is a contentless nudge: re-run AllocateJobs. An embedding
+	// service injects it when shared-pool capacity may have appeared
+	// (another tenant released slots, a suspend was lifted) — events
+	// this experiment would otherwise never observe, since it only
+	// hears about its own jobs.
+	EvWake
 )
 
 // ExitReason says why a job left its slot.

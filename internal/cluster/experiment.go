@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"github.com/hyperdrive-ml/hyperdrive/internal/appstat"
@@ -39,6 +40,12 @@ type Config struct {
 	Executor Executor
 	// Events must be provided together with Executor.
 	Events chan Event
+	// Slots, when non-nil, replaces the experiment's own
+	// ResourceManager with an externally managed pool — typically a
+	// fair-share lease carved out of a pool shared by many experiments
+	// (hyperdrived). Requires Executor: a private worker pool has no
+	// one to share with.
+	Slots SlotPool
 	// MaxJobs bounds how many configurations are explored.
 	MaxJobs int
 	// MaxDuration is Tmax on the experiment clock; 0 = 7 days.
@@ -121,7 +128,7 @@ type Experiment struct {
 	info     policy.Info
 	clk      clock.Clock
 	db       *appstat.DB
-	rm       *ResourceManager
+	rm       SlotPool
 	jm       *JobManager
 	exec     Executor
 	events   chan Event
@@ -141,6 +148,56 @@ type Experiment struct {
 	// outcome-side ground truth for calibration joins.
 	qual       *obs.QualityAudit
 	reachEpoch map[sched.JobID]int
+	// pop and fits are the POP/fit-counting views of cfg.Policy,
+	// resolved once at New through any Unwrap chain (embedding layers
+	// wrap policies for pause control); nil when the policy has
+	// neither.
+	pop       *policy.POP
+	fits      policy.FitCounter
+	closeOnce sync.Once
+}
+
+// Close releases the experiment's private resources: a privately
+// built worker pool is shut down and the event log drained. It is
+// idempotent and safe whether or not Run was called — the path an
+// embedding service takes when a submitted experiment is torn down
+// before (or after) running. Shared executors, event channels, and
+// slot leases belong to the caller and are left untouched.
+func (e *Experiment) Close() error {
+	var err error
+	e.closeOnce.Do(func() {
+		if e.ownExec {
+			err = e.exec.Close()
+		}
+		e.cfg.EventLog.Flush()
+	})
+	return err
+}
+
+// resolvePolicy walks cfg.Policy through Unwrap() chains, binding
+// instrumentation and caching the interfaces the hot paths
+// type-assert: without this, a service-side wrapper (pause control)
+// would hide the concrete POP from classification publishing.
+func (e *Experiment) resolvePolicy() {
+	p := e.cfg.Policy
+	for p != nil {
+		if e.cfg.Obs != nil {
+			if in, ok := p.(obs.Instrumentable); ok {
+				in.Instrument(e.cfg.Obs)
+			}
+		}
+		if pop, ok := p.(*policy.POP); ok && e.pop == nil {
+			e.pop = pop
+		}
+		if fc, ok := p.(policy.FitCounter); ok && e.fits == nil {
+			e.fits = fc
+		}
+		u, ok := p.(interface{ Unwrap() policy.Policy })
+		if !ok {
+			break
+		}
+		p = u.Unwrap()
+	}
 }
 
 // New validates the config and prepares an experiment.
@@ -181,15 +238,16 @@ func New(cfg Config) (*Experiment, error) {
 		met:       newExpMetrics(cfg.Obs),
 		lastClass: make(map[sched.JobID]string),
 	}
+	e.resolvePolicy()
 	if cfg.Obs != nil {
-		if in, ok := cfg.Policy.(obs.Instrumentable); ok {
-			in.Instrument(cfg.Obs)
-		}
 		cfg.EventLog.Instrument(cfg.Obs)
 		e.qual = cfg.Obs.Quality()
 		e.reachEpoch = make(map[sched.JobID]int)
 	}
 
+	if cfg.Slots != nil && cfg.Executor == nil {
+		return nil, errors.New("cluster: Slots requires a shared Executor")
+	}
 	if cfg.Executor != nil {
 		if cfg.Events == nil {
 			return nil, errors.New("cluster: Executor requires the shared Events channel")
@@ -217,7 +275,11 @@ func New(cfg Config) (*Experiment, error) {
 		e.ownExec = true
 	}
 
-	e.rm = NewResourceManager(e.exec.Slots())
+	if cfg.Slots != nil {
+		e.rm = cfg.Slots
+	} else {
+		e.rm = NewResourceManager(e.exec.Slots())
+	}
 	e.met.primeSlotGauges(e.exec.Slots())
 
 	lo, hi := spec.MetricRange()
@@ -263,7 +325,12 @@ func (e *Experiment) Run(ctx context.Context) (*Result, error) {
 	e.cfg.Policy.AllocateJobs(e)
 	e.refreshGauges()
 	if e.rm.BusyCount() == 0 && e.jm.SuspendedCount() == 0 && e.created == 0 {
-		return nil, errors.New("cluster: policy started no jobs (empty generator?)")
+		// On a leased pool an empty first allocation just means the
+		// fair share is currently zero; capacity arrives later via
+		// EvWake. A private pool has no such future, so it is an error.
+		if e.cfg.Slots == nil {
+			return nil, errors.New("cluster: policy started no jobs (empty generator?)")
+		}
 	}
 
 	for {
@@ -286,8 +353,88 @@ func (e *Experiment) Run(ctx context.Context) (*Result, error) {
 			break
 		}
 	}
+	e.drain()
 	e.finish()
 	return e.res, nil
+}
+
+// drainTimeout bounds how long a stopping experiment waits (wall
+// clock) for its in-flight jobs to acknowledge termination before
+// force-releasing their slots back to a shared pool.
+const drainTimeout = 5 * time.Second
+
+// drain runs after the event loop breaks, when the executor is shared
+// (service mode): the experiment no longer consumes events, but its
+// jobs are still training on slots other tenants are waiting for, and
+// any EvIterDone already queued holds a reply channel whose
+// executor-side goroutine blocks until answered. Ask the executor to
+// stop every bound job, then consume events — answering Terminate to
+// decision requests, releasing slots as exits land — until the
+// experiment holds nothing or the wall-clock budget expires (then
+// force-release, so a wedged agent cannot leak shared capacity).
+//
+// Private executors (ownExec) skip this: Run's deferred Close tears
+// the whole pool down and nobody else shares the slot accounting.
+func (e *Experiment) drain() {
+	if e.ownExec {
+		return
+	}
+	stopper, _ := e.exec.(JobStopper)
+	if stopper != nil {
+		for slot, job := range e.slotJobs {
+			_ = stopper.StopJob(job, slot)
+		}
+	}
+	timeout := time.After(drainTimeout)
+	for len(e.slotJobs) > 0 {
+		select {
+		case ev := <-e.events:
+			e.drainEvent(ev)
+		case <-timeout:
+			for slot, job := range e.slotJobs {
+				if mj, ok := e.jm.Get(job); ok {
+					_ = mj.Job.Terminate()
+				}
+				delete(e.slotJobs, slot)
+				_ = e.rm.ReleaseMachine(slot)
+			}
+		}
+	}
+	e.refreshGauges()
+}
+
+// drainEvent is the shutdown-mode event handler: no policy calls, no
+// new placements — just unblock reply channels and give slots back.
+func (e *Experiment) drainEvent(ev Event) {
+	switch ev.Kind {
+	case EvIterDone:
+		if ev.Reply != nil {
+			ev.Reply <- DecisionReply{Decision: sched.Terminate}
+		}
+	case EvExited:
+		if mj, ok := e.jm.Get(ev.Job); ok {
+			switch ev.Reason {
+			case ExitCompleted:
+				_ = mj.Job.Complete()
+			case ExitSuspended:
+				_ = mj.Job.Suspend()
+			case ExitTerminated, ExitError, ExitLost:
+				_ = mj.Job.Terminate()
+			}
+		}
+		e.logEvent(string(ev.Reason), ev)
+		if slot := ev.Slot; slot != "" && e.slotJobs[slot] == ev.Job {
+			delete(e.slotJobs, slot)
+			_ = e.rm.ReleaseMachine(slot)
+		}
+	case EvAgentDown:
+		e.rm.MarkOffline(ev.AgentSlots)
+	case EvAgentUp:
+		e.rm.MarkOnline(ev.AgentSlots)
+	case EvStat, EvSnapshot, EvAgentError, EvWake:
+		// No decisions are made while draining; late statistics and
+		// wake-ups have nothing left to schedule.
+	}
 }
 
 // done reports whether no work remains: nothing running, nothing
@@ -326,6 +473,11 @@ func (e *Experiment) handle(ev Event) bool {
 		e.handleAgentUp(ev)
 	case EvAgentError:
 		e.logEvent("agent_error", ev)
+	case EvWake:
+		// Capacity may have appeared in a shared pool (another tenant
+		// released slots); give the SAP a chance to claim it.
+		e.cfg.Policy.AllocateJobs(e)
+		e.refreshGauges()
 	}
 	return false
 }
@@ -376,8 +528,8 @@ func (e *Experiment) handleStat(ev Event) bool {
 	}
 	sev := sched.Event{Job: ev.Job, Epoch: ev.Epoch, Metric: ev.Metric, Duration: ev.Duration, Time: e.clk.Now()}
 	e.cfg.Policy.ApplicationStat(e, sev)
-	if pop, ok := e.cfg.Policy.(*policy.POP); ok {
-		pop.ObserveBest(e.info, ev.Metric)
+	if e.pop != nil {
+		e.pop.ObserveBest(e.info, ev.Metric)
 	}
 
 	if ev.Metric > e.res.Best || e.res.BestJob == "" {
@@ -573,7 +725,11 @@ func (e *Experiment) handleExited(ev Event) {
 // finish fills the result.
 func (e *Experiment) finish() {
 	e.res.Duration = e.clk.Since(e.start)
-	e.logLifecycle("stop", "", "", e.res.StoppedBy)
+	// The terminal record must not be a casualty of the drop-not-block
+	// buffer: a cancel storm can leave the flusher a full buffer
+	// behind, and the "stop" line is what replay tools key off. LogSync
+	// waits for space instead of dropping.
+	e.cfg.EventLog.LogSync(LogRecord{T: e.clk.Now(), Kind: "stop", Detail: e.res.StoppedBy})
 	// The event log batches appends; drain it so callers reading the
 	// sink after Run returns see every record.
 	e.cfg.EventLog.Flush()
@@ -599,8 +755,8 @@ func (e *Experiment) finish() {
 			})
 		}
 	}
-	if fc, ok := e.cfg.Policy.(policy.FitCounter); ok {
-		e.res.Fits = int(fc.Fits().Value())
+	if e.fits != nil {
+		e.res.Fits = int(e.fits.Fits().Value())
 	}
 }
 

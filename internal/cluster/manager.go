@@ -52,7 +52,7 @@ const (
 // failed agent touches a handful of locks instead of all of them.
 type rmShard struct {
 	mu    sync.Mutex
-	base  int32   // global index of local slot 0
+	base  int32 // global index of local slot 0
 	state []slotState
 	// Free-list links over local indices; -1 terminates. Insertion at
 	// the tail and removal at the head preserve the single-lock seed's

@@ -1,0 +1,181 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/hyperdrive-ml/hyperdrive/internal/checkpoint"
+	"github.com/hyperdrive-ml/hyperdrive/internal/obs"
+	"github.com/hyperdrive-ml/hyperdrive/internal/policy"
+	"github.com/hyperdrive-ml/hyperdrive/internal/sched"
+	"github.com/hyperdrive-ml/hyperdrive/internal/workload"
+)
+
+// drainStragglers empties a shared event channel between experiment
+// runs: late statistics from stopped jobs are discarded, and any
+// decision request is answered so no executor goroutine stays blocked.
+func drainStragglers(events chan Event) {
+	for {
+		select {
+		case ev := <-events:
+			if ev.Kind == EvIterDone && ev.Reply != nil {
+				select {
+				case ev.Reply <- DecisionReply{Decision: sched.Terminate}:
+				default:
+				}
+			}
+		default:
+			return
+		}
+	}
+}
+
+// TestCancelStormSharedPool pins the embeddability contract a
+// multi-tenant server depends on: experiments sharing one executor and
+// one slot pool, cancelled at varying points mid-run, must each give
+// every reserved slot back (no busy leak), keep the pool invariant
+// Idle+Busy+Offline == Total, and leave no goroutine behind. Before
+// the drain path existed, a cancelled Run returned with its jobs still
+// training and their reply channels unanswered — the slots were lost
+// to every later tenant.
+func TestCancelStormSharedPool(t *testing.T) {
+	reg := workload.NewRegistry()
+	clk := fastClock()
+	events := make(chan Event, 1024)
+	capturer, err := checkpoint.NewCapturer(checkpoint.Framework, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := NewWorkerPool(16, reg, clk, capturer, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm := NewResourceManager(pool.Slots())
+	base := runtime.NumGoroutine()
+
+	const storms = 6
+	for i := 0; i < storms; i++ {
+		cfg := expConfig(t, policy.NewDefault(), 0, 12)
+		cfg.Executor = pool
+		cfg.Events = events
+		cfg.Slots = rm
+		cfg.Clock = clk
+		cfg.Seed = int64(i)
+		// The budget timer goroutine sleeps out MaxDuration in wall
+		// time even after the run ends; keep it inside the settle
+		// window (24h sim = ~430ms wall at this clock's speedup).
+		cfg.MaxDuration = 24 * time.Hour
+		exp, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() {
+			_, err := exp.Run(ctx)
+			done <- err
+		}()
+		// Vary the cancel point so some storms land while jobs are
+		// starting, some mid-epoch, some during decision waits.
+		time.Sleep(time.Duration(1+i*3) * time.Millisecond)
+		cancel()
+		if err := <-done; err != nil {
+			t.Fatalf("storm %d: Run: %v", i, err)
+		}
+		if err := exp.Close(); err != nil {
+			t.Fatalf("storm %d: Close: %v", i, err)
+		}
+
+		idle, busy, off := rm.Counts()
+		if busy != 0 {
+			t.Fatalf("storm %d leaked %d busy slots", i, busy)
+		}
+		if idle+busy+off != rm.Total() {
+			t.Fatalf("storm %d broke the pool invariant: %d+%d+%d != %d",
+				i, idle, busy, off, rm.Total())
+		}
+		drainStragglers(events)
+	}
+
+	pool.Close()
+	// Worker goroutines unwind asynchronously after Close; give them a
+	// bounded settle window before declaring a leak.
+	var goroutines int
+	for i := 0; i < 200; i++ {
+		goroutines = runtime.NumGoroutine()
+		if goroutines <= base {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if goroutines > base {
+		buf := make([]byte, 1<<16)
+		t.Fatalf("goroutines leaked after %d cancelled runs: %d > baseline %d\n%s",
+			storms, goroutines, base, buf[:runtime.Stack(buf, true)])
+	}
+}
+
+// TestCancelFlushesEventLog pins the finish/Close ordering bug: a
+// cancelled experiment must flush (not drop) the records it already
+// accepted, terminate the log with its "stop" line, and keep Dropped()
+// in exact lockstep with the registry counter. Replaying the log
+// afterwards must parse cleanly line by line.
+func TestCancelFlushesEventLog(t *testing.T) {
+	obsReg := obs.NewRegistry()
+	var sink bytes.Buffer
+	l := NewEventLog(&sink)
+	cfg := expConfig(t, policy.NewDefault(), 4, 8)
+	cfg.EventLog = l
+	cfg.Obs = obsReg
+	exp, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	resCh := make(chan *Result, 1)
+	go func() {
+		res, err := exp.Run(ctx)
+		if err != nil {
+			t.Errorf("Run: %v", err)
+		}
+		resCh <- res
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	res := <-resCh
+	if res == nil {
+		t.Fatal("no result")
+	}
+	l.Close() // flusher exited: the sink buffer is safe to read
+
+	var kinds []string
+	sc := bufio.NewScanner(&sink)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var rec LogRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("unparseable log line %q: %v", sc.Text(), err)
+		}
+		kinds = append(kinds, rec.Kind)
+		if rec.Kind == "stop" && rec.Detail != res.StoppedBy {
+			t.Fatalf("stop record detail = %q, want %q", rec.Detail, res.StoppedBy)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(kinds) == 0 {
+		t.Fatal("cancelled run flushed no events")
+	}
+	if kinds[len(kinds)-1] != "stop" {
+		t.Fatalf("last record kind = %q, want terminal \"stop\"", kinds[len(kinds)-1])
+	}
+	if got, want := obsReg.Snapshot().Counters[obs.EventLogDroppedTotal], l.Dropped(); got != want {
+		t.Fatalf("dropped metric = %d, Dropped() = %d; must agree exactly", got, want)
+	}
+}

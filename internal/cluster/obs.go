@@ -6,7 +6,6 @@ import (
 
 	"github.com/hyperdrive-ml/hyperdrive/internal/core"
 	"github.com/hyperdrive-ml/hyperdrive/internal/obs"
-	"github.com/hyperdrive-ml/hyperdrive/internal/policy"
 	"github.com/hyperdrive-ml/hyperdrive/internal/sched"
 )
 
@@ -163,7 +162,7 @@ func (e *Experiment) publishClassification() {
 		promising map[string]bool
 		hasPOP    bool
 	)
-	if pop, ok := e.cfg.Policy.(*policy.POP); ok {
+	if pop := e.pop; pop != nil {
 		hasPOP = true
 		alloc := pop.Allocation(e)
 		e.met.threshold.Set(alloc.Threshold)

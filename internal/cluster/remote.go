@@ -202,6 +202,24 @@ func (c *AgentClient) Start(spec StartSpec) error {
 	return nil
 }
 
+// StopJob implements JobStopper: send MsgTerminateJob so the agent
+// closes the job's stop channel. The exit acknowledgement arrives as
+// the usual MsgJobExited("terminated") → EvExited flow, which is when
+// the slot is actually released.
+func (c *AgentClient) StopJob(job sched.JobID, slot SlotID) error {
+	c.mu.Lock()
+	bound, ok := c.jobSlots[job]
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return fmt.Errorf("cluster: agent %s closed", c.agentID)
+	}
+	if !ok || bound != slot {
+		return fmt.Errorf("cluster: job %s not running on slot %s of agent %s", job, slot, c.agentID)
+	}
+	return c.conn.SendTyped(wire.MsgTerminateJob, wire.JobControlPayload{JobID: string(job)})
+}
+
 // Close implements Executor. Safe to call more than once and after a
 // connection failure; it never blocks on a wedged event channel.
 func (c *AgentClient) Close() error {
@@ -328,6 +346,16 @@ func (c *AgentClient) handlePong(seq uint64) {
 	}
 }
 
+// emitStat forwards one decoded stat report as an EvStat event;
+// false means the client is shutting down.
+func (c *AgentClient) emitStat(p wire.AppStatPayload) bool {
+	return c.emit(Event{
+		Kind: EvStat, Job: sched.JobID(p.JobID), Slot: c.slotOf(sched.JobID(p.JobID)),
+		Epoch: p.Epoch, Metric: p.Metric, Duration: time.Duration(p.Dur0nsec),
+		Pred: p.Predict, HasPred: p.HasPred,
+	})
+}
+
 // readLoop converts wire messages into executor Events.
 func (c *AgentClient) readLoop() {
 	defer close(c.done)
@@ -353,12 +381,25 @@ func (c *AgentClient) readLoop() {
 			if msg.Decode(&p) != nil {
 				continue
 			}
-			ok := c.emit(Event{
-				Kind: EvStat, Job: sched.JobID(p.JobID), Slot: c.slotOf(sched.JobID(p.JobID)),
-				Epoch: p.Epoch, Metric: p.Metric, Duration: time.Duration(p.Dur0nsec),
-				Pred: p.Predict, HasPred: p.HasPred,
-			})
-			if !ok {
+			if !c.emitStat(p) {
+				return
+			}
+		case wire.MsgAppStatBatch:
+			// Batched stat decoding: one frame, one JSON parse, N events
+			// in emission order — exactly as if each entry had arrived in
+			// its own MsgAppStat frame.
+			var p wire.AppStatBatchPayload
+			if msg.Decode(&p) != nil {
+				continue
+			}
+			stopped := false
+			for _, st := range p.Stats {
+				if !c.emitStat(st) {
+					stopped = true
+					break
+				}
+			}
+			if stopped {
 				return
 			}
 		case wire.MsgIterDone:
@@ -528,7 +569,10 @@ func (c *AgentClient) failAll(cause error) {
 	}
 }
 
-var _ Executor = (*AgentClient)(nil)
+var (
+	_ Executor   = (*AgentClient)(nil)
+	_ JobStopper = (*AgentClient)(nil)
+)
 
 // MultiExecutor fans an experiment out across several agents, exposing
 // the union of their slots — the multi-machine deployments of §6
@@ -573,6 +617,20 @@ func (m *MultiExecutor) Start(spec StartSpec) error {
 	return ex.Start(spec)
 }
 
+// StopJob implements JobStopper by routing to the executor that owns
+// the slot, when it supports stopping.
+func (m *MultiExecutor) StopJob(job sched.JobID, slot SlotID) error {
+	ex, ok := m.bySlot[slot]
+	if !ok {
+		return fmt.Errorf("cluster: unknown slot %s", slot)
+	}
+	stopper, ok := ex.(JobStopper)
+	if !ok {
+		return fmt.Errorf("cluster: executor for slot %s cannot stop jobs", slot)
+	}
+	return stopper.StopJob(job, slot)
+}
+
 // Close implements Executor.
 func (m *MultiExecutor) Close() error {
 	var first error
@@ -584,4 +642,7 @@ func (m *MultiExecutor) Close() error {
 	return first
 }
 
-var _ Executor = (*MultiExecutor)(nil)
+var (
+	_ Executor   = (*MultiExecutor)(nil)
+	_ JobStopper = (*MultiExecutor)(nil)
+)

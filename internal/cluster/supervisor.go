@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/hyperdrive-ml/hyperdrive/internal/obs"
+	"github.com/hyperdrive-ml/hyperdrive/internal/sched"
 )
 
 // BackoffConfig shapes the supervisor's reconnect schedule:
@@ -324,6 +325,19 @@ func (s *AgentSupervisor) Start(spec StartSpec) error {
 	return client.Start(spec)
 }
 
+// StopJob implements JobStopper. While the agent is down the job is
+// already gone (its loss was, or will be, surfaced as ExitLost), so
+// there is nothing to stop.
+func (s *AgentSupervisor) StopJob(job sched.JobID, slot SlotID) error {
+	s.mu.Lock()
+	client := s.client
+	s.mu.Unlock()
+	if client == nil {
+		return fmt.Errorf("cluster: agent %s is down; job %s already lost", s.agentID, job)
+	}
+	return client.StopJob(job, slot)
+}
+
 // Close implements Executor: stops reconnecting and closes the live
 // connection (if any).
 func (s *AgentSupervisor) Close() error {
@@ -344,4 +358,7 @@ func (s *AgentSupervisor) Close() error {
 	return err
 }
 
-var _ Executor = (*AgentSupervisor)(nil)
+var (
+	_ Executor   = (*AgentSupervisor)(nil)
+	_ JobStopper = (*AgentSupervisor)(nil)
+)

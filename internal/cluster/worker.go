@@ -126,6 +126,25 @@ func (p *WorkerPool) Close() error {
 	return nil
 }
 
+// StopJob implements JobStopper: asynchronously stop the job bound to
+// slot. The loop acknowledges with an EvExited/ExitTerminated event
+// (best effort — dropped if nobody is draining the channel anymore).
+func (p *WorkerPool) StopJob(job sched.JobID, slot SlotID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	wj, ok := p.running[slot]
+	if !ok || wj.spec.Job != job {
+		return fmt.Errorf("cluster: job %s not running on slot %s", job, slot)
+	}
+	select {
+	case <-wj.stop:
+		// Already stopping (pool Close or a duplicate request).
+	default:
+		close(wj.stop)
+	}
+	return nil
+}
+
 // release frees the slot when a job ends.
 func (p *WorkerPool) release(slot SlotID) {
 	p.mu.Lock()
@@ -143,6 +162,31 @@ func (p *WorkerPool) emit(wj *workerJob, ev Event) bool {
 	}
 }
 
+// emitExit delivers a job's terminal event even when its stop channel
+// is already closed: first the ordinary stop-aware send, then a
+// non-blocking fallback. Exit events are what lets the scheduler's
+// shutdown drain release the slot, so they must not be silently
+// swallowed by a racing StopJob — but they also must not block, since
+// during pool Close nobody drains the event channel at all.
+func (p *WorkerPool) emitExit(wj *workerJob, ev Event) {
+	if p.emit(wj, ev) {
+		return
+	}
+	select {
+	case p.events <- ev:
+	default:
+	}
+}
+
+// emitStopped acknowledges an asynchronous StopJob with a terminated
+// exit.
+func (p *WorkerPool) emitStopped(wj *workerJob, epoch int) {
+	select {
+	case p.events <- Event{Kind: EvExited, Job: wj.spec.Job, Slot: wj.spec.Slot, Epoch: epoch, Reason: ExitTerminated, Trace: wj.spec.Trace}:
+	default:
+	}
+}
+
 // runJob is the per-slot training loop: step an epoch (sleeping its
 // simulated duration on the experiment clock), report the statistic,
 // then block on the scheduler's OnIterationFinish decision — the
@@ -154,6 +198,7 @@ func (p *WorkerPool) runJob(wj *workerJob, trainer workload.Trainer) {
 	for {
 		select {
 		case <-wj.stop:
+			p.emitStopped(wj, trainer.Epoch())
 			return
 		default:
 		}
@@ -165,31 +210,34 @@ func (p *WorkerPool) runJob(wj *workerJob, trainer workload.Trainer) {
 			Kind: EvStat, Job: spec.Job, Slot: spec.Slot,
 			Epoch: s.Epoch, Metric: s.Metric, Duration: s.Duration,
 		}) {
+			p.emitStopped(wj, s.Epoch)
 			return
 		}
 		if done {
-			p.emit(wj, Event{Kind: EvExited, Job: spec.Job, Slot: spec.Slot, Epoch: s.Epoch, Reason: ExitCompleted, Trace: spec.Trace})
+			p.emitExit(wj, Event{Kind: EvExited, Job: spec.Job, Slot: spec.Slot, Epoch: s.Epoch, Reason: ExitCompleted, Trace: spec.Trace})
 			return
 		}
 
 		if !p.emit(wj, Event{Kind: EvIterDone, Job: spec.Job, Slot: spec.Slot, Epoch: s.Epoch, Reply: wj.reply, Trace: spec.Trace}) {
+			p.emitStopped(wj, s.Epoch)
 			return
 		}
 		var dr DecisionReply
 		select {
 		case dr = <-wj.reply:
 		case <-wj.stop:
+			p.emitStopped(wj, s.Epoch)
 			return
 		}
 
 		switch dr.Decision {
 		case sched.Terminate:
-			p.emit(wj, Event{Kind: EvExited, Job: spec.Job, Slot: spec.Slot, Epoch: s.Epoch, Reason: ExitTerminated, Trace: dr.Trace})
+			p.emitExit(wj, Event{Kind: EvExited, Job: spec.Job, Slot: spec.Slot, Epoch: s.Epoch, Reason: ExitTerminated, Trace: dr.Trace})
 			return
 		case sched.Suspend:
 			payload, err := trainer.Snapshot()
 			if err != nil {
-				p.emit(wj, Event{Kind: EvExited, Job: spec.Job, Slot: spec.Slot, Epoch: s.Epoch, Reason: ExitError, Err: err, Trace: dr.Trace})
+				p.emitExit(wj, Event{Kind: EvExited, Job: spec.Job, Slot: spec.Slot, Epoch: s.Epoch, Reason: ExitError, Err: err, Trace: dr.Trace})
 				return
 			}
 			var (
@@ -208,13 +256,17 @@ func (p *WorkerPool) runJob(wj *workerJob, trainer workload.Trainer) {
 				Kind: EvSnapshot, Job: spec.Job, Slot: spec.Slot, Epoch: trainer.Epoch(),
 				Snapshot: data, SnapSize: img.Size, SnapLat: img.Latency, Trace: dr.Trace,
 			}) {
+				p.emitStopped(wj, trainer.Epoch())
 				return
 			}
-			p.emit(wj, Event{Kind: EvExited, Job: spec.Job, Slot: spec.Slot, Epoch: trainer.Epoch(), Reason: ExitSuspended, Trace: dr.Trace})
+			p.emitExit(wj, Event{Kind: EvExited, Job: spec.Job, Slot: spec.Slot, Epoch: trainer.Epoch(), Reason: ExitSuspended, Trace: dr.Trace})
 			return
 		default: // Continue
 		}
 	}
 }
 
-var _ Executor = (*WorkerPool)(nil)
+var (
+	_ Executor   = (*WorkerPool)(nil)
+	_ JobStopper = (*WorkerPool)(nil)
+)

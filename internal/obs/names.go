@@ -151,3 +151,39 @@ func AgentUp(agent string) string {
 func AgentReconnectsTotal(agent string) string {
 	return fmt.Sprintf(`hyperdrive_agent_reconnects_total{agent=%q}`, agent)
 }
+
+// Multi-tenant service (hyperdrived) metric names.
+const (
+	// ServeExperimentsActive gauges how many hosted experiments are
+	// currently running or paused in the server.
+	ServeExperimentsActive = "hyperdrive_serve_experiments_active"
+	// ServeExperimentsTotal counts experiments admitted since boot.
+	ServeExperimentsTotal = "hyperdrive_serve_experiments_total"
+	// ServeAdmissionRejectsTotal counts submissions refused by
+	// admission control (max-experiments cap or slot budget), i.e. the
+	// 429s that carry a Retry-After.
+	ServeAdmissionRejectsTotal = "hyperdrive_serve_admission_rejects_total"
+	// ServeRateLimitedTotal counts API requests refused by the
+	// per-tenant token bucket.
+	ServeRateLimitedTotal = "hyperdrive_serve_rate_limited_total"
+	// ServeRequestsTotal counts API requests that passed rate limiting.
+	ServeRequestsTotal = "hyperdrive_serve_requests_total"
+	// ServeSubmitToDecisionSeconds is the histogram of wall-clock time
+	// from an experiment's admission to its first scheduling decision —
+	// the service-level "how long until the scheduler is actually
+	// working on my experiment" latency.
+	ServeSubmitToDecisionSeconds = "hyperdrive_serve_submit_to_decision_seconds"
+)
+
+// TenantHeldSlots returns the labeled gauge name of slots a tenant's
+// experiments currently hold, e.g. hyperdrive_tenant_held_slots{tenant="a"}.
+func TenantHeldSlots(tenant string) string {
+	return fmt.Sprintf(`hyperdrive_tenant_held_slots{tenant=%q}`, tenant)
+}
+
+// TenantShareSlots returns the labeled gauge name of a tenant's
+// current weighted fair share of the slot pool, e.g.
+// hyperdrive_tenant_share_slots{tenant="a"}.
+func TenantShareSlots(tenant string) string {
+	return fmt.Sprintf(`hyperdrive_tenant_share_slots{tenant=%q}`, tenant)
+}

@@ -1,0 +1,306 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/hyperdrive-ml/hyperdrive/internal/chaos"
+	"github.com/hyperdrive-ml/hyperdrive/internal/clock"
+	"github.com/hyperdrive-ml/hyperdrive/internal/cluster"
+	"github.com/hyperdrive-ml/hyperdrive/internal/obs"
+)
+
+func e2eClock() clock.Clock {
+	return clock.NewScaled(time.Date(2017, 12, 11, 0, 0, 0, 0, time.UTC), 200000)
+}
+
+// bootAgent runs a node agent on a loopback listener.
+func bootAgent(t *testing.T, id string, slots int) string {
+	t.Helper()
+	a, err := cluster.NewAgent(cluster.AgentOptions{ID: id, Slots: slots, Clock: e2eClock()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go a.Serve(l)
+	t.Cleanup(func() {
+		a.Close()
+		l.Close()
+	})
+	return l.Addr().String()
+}
+
+// TestMultiTenantChaosE2E is the service-level fault-tolerance
+// scenario the tentpole exists for: two tenants share a 64-slot pool
+// spread over four node agents, one agent is killed mid-run (silent
+// partition, never revived), and both experiments must still finish
+// over the surviving 48 slots. Along the way the test pins the
+// fair-share split (weight 2 vs 1), admission control (429 +
+// Retry-After once the cap is hit), the pool partition invariant
+// under quarantine, and that the two tenants' trace IDs never mix.
+// Run under -race.
+func TestMultiTenantChaosE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos e2e skipped in -short mode")
+	}
+	const (
+		agents       = 4
+		slotsPer     = 16
+		totalSlots   = agents * slotsPer
+		victimAgent  = 0
+		hbInterval   = 100 * time.Millisecond
+		pollInterval = 20 * time.Millisecond
+	)
+	events := make(chan cluster.Event, 4096)
+	serverReg := obs.NewRegistry()
+	// Generous detection window: -race slows the wire enough that a
+	// tight heartbeat declares healthy agents dead.
+	hb := cluster.HeartbeatConfig{Interval: hbInterval, Misses: 5}
+	backoff := cluster.BackoffConfig{Base: 5 * time.Millisecond, Max: 25 * time.Millisecond, Seed: 7}
+
+	// The victim dials through a chaos wrapper the test partitions.
+	// Until the scripted kill, redials succeed (a spuriously-declared
+	// death just reconnects); after it, every redial fails, so the
+	// kill is permanent and its 16 slots stay quarantined.
+	var mu sync.Mutex
+	var victimConn *chaos.Conn
+	victimKilled := false
+	execs := make([]cluster.Executor, agents)
+	for i := 0; i < agents; i++ {
+		addr := bootAgent(t, fmt.Sprintf("a%d", i), slotsPer)
+		if i == victimAgent {
+			dial := func() (net.Conn, error) {
+				mu.Lock()
+				defer mu.Unlock()
+				if victimKilled {
+					return nil, errors.New("victim is dead (test script)")
+				}
+				nc, err := net.Dial("tcp", addr)
+				if err != nil {
+					return nil, err
+				}
+				victimConn = chaos.Wrap(nc, chaos.Options{Seed: 13})
+				return victimConn, nil
+			}
+			sup, err := cluster.SuperviseAgent(events, cluster.SupervisorOptions{
+				Dial: dial, Heartbeat: hb, Backoff: backoff, Obs: serverReg, Logf: t.Logf,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			execs[i] = sup
+			continue
+		}
+		sup, err := cluster.DialAgentSupervised(addr, events, cluster.SupervisorOptions{
+			Heartbeat: hb, Backoff: backoff, Obs: serverReg, Logf: t.Logf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		execs[i] = sup
+	}
+	multi, err := cluster.NewMultiExecutor(execs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer multi.Close()
+
+	srv, err := NewServer(Options{
+		Executor:       multi,
+		Events:         events,
+		Clock:          e2eClock(),
+		MaxExperiments: 2,
+		Rate:           10000, // rate limiting is benched elsewhere; stay out of the way here
+		Obs:            serverReg,
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	client := hs.Client()
+
+	getJSON := func(path string, v interface{}) {
+		t.Helper()
+		resp, err := client.Get(hs.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: HTTP %d", path, resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+	}
+	submit := func(body string) (string, *http.Response) {
+		t.Helper()
+		resp, err := client.Post(hs.URL+"/v1/experiments", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			return "", resp
+		}
+		var out struct {
+			ID string `json:"id"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out.ID, resp
+	}
+
+	// Big sim budget so neither run stops on the default deadline, and
+	// more jobs than either tenant's fair share so the allowance caps
+	// actually bite (alice: ceil(2/3·64)=43 of 50; bob: ceil(1/3·64)=22
+	// of 30).
+	idA, _ := submit(`{"tenant":"alice","weight":2,"workload":"cifar10","maxJobs":50,"seed":11,"maxDurationSec":7776000}`)
+	if idA == "" {
+		t.Fatal("alice's submit rejected")
+	}
+	idB, _ := submit(`{"tenant":"bob","weight":1,"workload":"cifar10","maxJobs":30,"seed":12,"maxDurationSec":7776000}`)
+	if idB == "" {
+		t.Fatal("bob's submit rejected")
+	}
+
+	// Admission control: the cap is 2, so a third tenant bounces with
+	// 429 and a Retry-After hint.
+	if id, resp := submit(`{"tenant":"carol","maxJobs":4}`); id != "" {
+		t.Fatalf("carol admitted past MaxExperiments (got %s)", id)
+	} else {
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("over-cap submit: HTTP %d, want 429", resp.StatusCode)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Fatal("429 without a Retry-After header")
+		}
+	}
+
+	status := func(id string) ExperimentStatus {
+		t.Helper()
+		var st ExperimentStatus
+		getJSON("/v1/experiments/"+id, &st)
+		return st
+	}
+	tenantOf := func(name string) TenantStatus {
+		t.Helper()
+		var ts TenantStatus
+		getJSON("/v1/tenants/"+name, &ts)
+		return ts
+	}
+
+	// Wait until both tenants hold slots, then check the fair-share
+	// split: with both leases live, alice's share must exceed bob's
+	// (2:1 weights) and her holdings must converge above his.
+	deadline := time.Now().Add(120 * time.Second)
+	var fairSeen bool
+	for time.Now().Before(deadline) {
+		a, b := tenantOf("alice"), tenantOf("bob")
+		if a.HeldSlots > b.HeldSlots && b.HeldSlots > 0 {
+			if a.ShareSlots <= b.ShareSlots {
+				t.Fatalf("share split inverted: alice %v <= bob %v", a.ShareSlots, b.ShareSlots)
+			}
+			fairSeen = true
+			break
+		}
+		time.Sleep(pollInterval)
+	}
+	if !fairSeen {
+		t.Fatal("fair-share never converged: alice (weight 2) never held more than busy bob (weight 1)")
+	}
+
+	// Kill the victim agent mid-run with a silent partition; from here
+	// on its redials fail.
+	mu.Lock()
+	victimKilled = true
+	vc := victimConn
+	mu.Unlock()
+	if vc == nil {
+		t.Fatal("victim agent was never dialed")
+	}
+	vc.Partition()
+
+	// The quarantine must show up as offline slots while the partition
+	// invariant keeps holding.
+	for time.Now().Before(deadline) {
+		if srv.Pool().OfflineCount() > 0 {
+			break
+		}
+		time.Sleep(pollInterval)
+	}
+	rm := srv.Pool()
+	idle, busy, off := rm.Counts()
+	if off == 0 {
+		t.Fatal("agent kill never quarantined its slots")
+	}
+	if idle+busy+off != rm.Total() || rm.Total() != totalSlots {
+		t.Fatalf("pool partition broken after kill: %d+%d+%d != %d", idle, busy, off, rm.Total())
+	}
+
+	// Both tenants must finish on the surviving slots.
+	for _, id := range []string{idA, idB} {
+		for {
+			if time.Now().After(deadline) {
+				t.Fatalf("%s did not finish (state %q)", id, status(id).State)
+			}
+			st := status(id)
+			if st.State == "done" {
+				break
+			}
+			if st.State == "failed" || st.State == "canceled" {
+				t.Fatalf("%s ended %q: %s", id, st.State, st.Error)
+			}
+			time.Sleep(pollInterval)
+		}
+	}
+
+	// The dead agent's slots are still quarantined, and the pool still
+	// partitions cleanly; nothing is left busy.
+	idle, busy, off = rm.Counts()
+	if busy != 0 || idle+busy+off != rm.Total() {
+		t.Fatalf("post-run pool: idle=%d busy=%d offline=%d total=%d", idle, busy, off, rm.Total())
+	}
+	if off != slotsPer {
+		t.Errorf("offline = %d, want the dead agent's %d slots", off, slotsPer)
+	}
+
+	// Tenant isolation in the telemetry: the two experiments' tracers
+	// are origin-namespaced, so their trace IDs must be disjoint.
+	traceIDs := func(id string) map[string]bool {
+		t.Helper()
+		var views []obs.View
+		getJSON("/v1/experiments/"+id+"/obs/spans", &views)
+		ids := map[string]bool{}
+		for _, v := range views {
+			if v.TraceID != "" {
+				ids[v.TraceID] = true
+			}
+		}
+		return ids
+	}
+	ta, tb := traceIDs(idA), traceIDs(idB)
+	if len(ta) == 0 || len(tb) == 0 {
+		t.Fatalf("trace surfaces empty: alice %d ids, bob %d ids", len(ta), len(tb))
+	}
+	for id := range ta {
+		if tb[id] {
+			t.Fatalf("trace ID %s appears in both tenants' experiments", id)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"github.com/hyperdrive-ml/hyperdrive/internal/curve"
+	"github.com/hyperdrive-ml/hyperdrive/internal/hypergen"
+	"github.com/hyperdrive-ml/hyperdrive/internal/param"
+	"github.com/hyperdrive-ml/hyperdrive/internal/policy"
+	"github.com/hyperdrive-ml/hyperdrive/internal/sched"
+)
+
+// pausablePolicy wraps a SAP with a service-level pause switch: while
+// paused it starts nothing and answers every iteration boundary with
+// Suspend, so the experiment's running jobs checkpoint off their slots
+// and the tenant's capacity flows back to the pool. Statistics still
+// reach the inner policy — pausing must not blind its estimators.
+// Unwrap exposes the inner policy so the cluster layer still finds the
+// concrete POP for classification publishing.
+type pausablePolicy struct {
+	inner  policy.Policy
+	paused atomic.Bool
+}
+
+func (p *pausablePolicy) Name() string { return p.inner.Name() }
+
+func (p *pausablePolicy) AllocateJobs(ctx policy.Context) {
+	if p.paused.Load() {
+		return
+	}
+	p.inner.AllocateJobs(ctx)
+}
+
+func (p *pausablePolicy) ApplicationStat(ctx policy.Context, ev sched.Event) {
+	p.inner.ApplicationStat(ctx, ev)
+}
+
+func (p *pausablePolicy) OnIterationFinish(ctx policy.Context, ev sched.Event) sched.Decision {
+	if p.paused.Load() {
+		return sched.Suspend
+	}
+	return p.inner.OnIterationFinish(ctx, ev)
+}
+
+// Unwrap lets cluster.Experiment resolve the policy underneath.
+func (p *pausablePolicy) Unwrap() policy.Policy { return p.inner }
+
+var _ policy.Policy = (*pausablePolicy)(nil)
+
+// prefixGenerator namespaces job IDs with the hosting experiment's ID
+// ("e3/job-001"): the server multiplexes every experiment's events
+// through one shared executor channel and routes them back by this
+// prefix, so IDs must be globally unique within the process. The inner
+// generator never sees the prefix.
+type prefixGenerator struct {
+	prefix string
+	inner  hypergen.Generator
+}
+
+func (g *prefixGenerator) CreateJob() (string, param.Config, error) {
+	id, cfg, err := g.inner.CreateJob()
+	if err != nil {
+		return "", cfg, err
+	}
+	return g.prefix + id, cfg, nil
+}
+
+func (g *prefixGenerator) ReportFinalPerformance(id string, perf float64) {
+	g.inner.ReportFinalPerformance(strings.TrimPrefix(id, g.prefix), perf)
+}
+
+var _ hypergen.Generator = (*prefixGenerator)(nil)
+
+// jobExperiment extracts the experiment ID from a prefixed job ID
+// ("e3/job-001" → "e3"); ok is false for unprefixed IDs.
+func jobExperiment(job sched.JobID) (string, bool) {
+	s := string(job)
+	i := strings.IndexByte(s, '/')
+	if i <= 0 {
+		return "", false
+	}
+	return s[:i], true
+}
+
+// buildPolicy resolves a submitted experiment's policy selection.
+// Mirrors the root package's name set (kept here so serve depends only
+// on internal packages).
+func buildPolicy(name, predictor string) (policy.Policy, error) {
+	var pred curve.Config
+	switch predictor {
+	case "", "fast":
+		pred = curve.FastConfig()
+	case "paper":
+		pred = curve.PaperConfig()
+	case "original":
+		pred = curve.OriginalConfig()
+	default:
+		return nil, fmt.Errorf("serve: unknown predictor budget %q", predictor)
+	}
+	switch name {
+	case "", "pop":
+		return policy.NewPOP(policy.POPOptions{Predictor: pred})
+	case "bandit":
+		return policy.NewBandit(policy.BanditOptions{})
+	case "earlyterm":
+		return policy.NewEarlyTerm(policy.EarlyTermOptions{Predictor: pred})
+	case "default":
+		return policy.NewDefault(), nil
+	case "sha":
+		return policy.NewSuccessiveHalving(policy.SHAOptions{})
+	default:
+		return nil, fmt.Errorf("serve: unknown policy %q", name)
+	}
+}
+
+// buildGenerator resolves a submitted experiment's generator selection.
+func buildGenerator(name string, space *param.Space, seed int64, maxJobs int) (hypergen.Generator, error) {
+	switch name {
+	case "", "random":
+		return hypergen.NewRandom(space, seed, maxJobs), nil
+	case "grid":
+		return hypergen.NewGrid(space, 2), nil
+	case "adaptive":
+		return hypergen.NewAdaptive(space, seed, maxJobs), nil
+	case "gp":
+		return hypergen.NewGP(space, seed, maxJobs, hypergen.GPOptions{})
+	default:
+		return nil, fmt.Errorf("serve: unknown generator %q", name)
+	}
+}

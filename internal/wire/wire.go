@@ -44,6 +44,12 @@ const (
 	MsgAck       MsgType = "ack"
 	MsgError     MsgType = "error"
 	MsgPong      MsgType = "pong"
+	// MsgAppStatBatch carries several AppStat payloads in one frame. An
+	// agent running many concurrent jobs on one connection coalesces
+	// the statistics that accumulate between decision boundaries, so a
+	// server multiplexing hundreds of streams decodes one frame instead
+	// of N (one length prefix, one JSON document, one type dispatch).
+	MsgAppStatBatch MsgType = "app_stat_batch"
 )
 
 // knownTypes registers every frame type this protocol version defines.
@@ -66,6 +72,7 @@ var knownTypes = map[MsgType]bool{
 	MsgAck:          true,
 	MsgError:        true,
 	MsgPong:         true,
+	MsgAppStatBatch: true,
 }
 
 // Known reports whether t is a frame type this protocol version
@@ -306,6 +313,14 @@ type AppStatPayload struct {
 	Dur0nsec int64   `json:"epochDurationNs"`  // measured epoch duration
 	Predict  float64 `json:"pvalue,omitempty"` // agent-side curve prediction
 	HasPred  bool    `json:"hasPred,omitempty"`
+}
+
+// AppStatBatchPayload is the body of MsgAppStatBatch: the statistics
+// an agent accumulated across its concurrent jobs since the last
+// flush, in emission order. Receivers process entries exactly as if
+// each had arrived in its own MsgAppStat frame.
+type AppStatBatchPayload struct {
+	Stats []AppStatPayload `json:"stats"`
 }
 
 // IterDonePayload signals an iteration boundary so the SAP can decide

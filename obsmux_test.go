@@ -1,0 +1,78 @@
+package hyperdrive
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestObsMuxInstanceScoped pins the multi-tenant obs contract: two
+// experiments in one process, each with its own registry mounted on a
+// shared injected mux under distinct prefixes, must expose disjoint
+// metric surfaces — each endpoint reports exactly its own run, with no
+// cross-talk through process-global state. Before the ObsMux option,
+// a second in-process experiment had no way to serve its metrics
+// without a second listener (or a collision on a shared one).
+func TestObsMuxInstanceScoped(t *testing.T) {
+	mux := http.NewServeMux()
+	run := func(prefix string, maxJobs int, reg *ObsRegistry) *ExperimentResult {
+		res, err := RunExperiment(context.Background(), ExperimentConfig{
+			Workload:      "cifar10",
+			Policy:        "default",
+			Machines:      2,
+			MaxJobs:       maxJobs,
+			Clock:         fastClk(),
+			Seed:          1,
+			Obs:           reg,
+			ObsMux:        mux,
+			ObsPathPrefix: prefix,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	reg1, reg2 := NewObsRegistry(), NewObsRegistry()
+	res1 := run("/exp1", 3, reg1)
+	res2 := run("/exp2", 5, reg2)
+	if res1.Starts == res2.Starts {
+		t.Fatalf("want distinct start counts to prove scoping, got %d for both", res1.Starts)
+	}
+
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	snapshot := func(prefix string) ObsSnapshot {
+		resp, err := http.Get(srv.URL + prefix + "/metrics.json")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s/metrics.json: HTTP %d", prefix, resp.StatusCode)
+		}
+		var snap ObsSnapshot
+		if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+			t.Fatal(err)
+		}
+		return snap
+	}
+
+	snap1 := snapshot("/exp1")
+	snap2 := snapshot("/exp2")
+	const starts = "hyperdrive_starts_total"
+	if got := snap1.Counters[starts]; got != int64(res1.Starts) {
+		t.Errorf("exp1 %s = %d, want its own %d", starts, got, res1.Starts)
+	}
+	if got := snap2.Counters[starts]; got != int64(res2.Starts) {
+		t.Errorf("exp2 %s = %d, want its own %d", starts, got, res2.Starts)
+	}
+	const completions = "hyperdrive_completions_total"
+	if got := snap1.Counters[completions]; got != int64(res1.Completions) {
+		t.Errorf("exp1 %s = %d, want %d", completions, got, res1.Completions)
+	}
+	if got := snap2.Counters[completions]; got != int64(res2.Completions) {
+		t.Errorf("exp2 %s = %d, want %d", completions, got, res2.Completions)
+	}
+}

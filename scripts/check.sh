@@ -22,6 +22,17 @@ go test -race -short -timeout 20m ./...
 echo ">> go test -race -run TestChaos ./internal/cluster"
 go test -race -run 'TestChaos' -count=1 -timeout 5m ./internal/cluster
 
+# Same for the service-level chaos e2e: two tenants on a shared
+# 64-slot pool, one agent killed mid-run, both must still finish.
+echo ">> go test -race -run TestMultiTenantChaosE2E ./internal/serve"
+go test -race -run 'TestMultiTenantChaosE2E' -count=1 -timeout 5m ./internal/serve
+
+# hyperdrived smoke: boot the multi-tenant server on loopback, submit
+# two tenant experiments over HTTP, poll both to completion, and
+# exercise the tenant/events/obs surfaces. Exits non-zero on any miss.
+echo ">> hyperdrived -smoke"
+go run ./cmd/hyperdrived -smoke >/dev/null
+
 # Smoke the prediction-path benchmark at the reduced MCMC budget: it
 # cross-checks serial-vs-parallel posterior determinism and the batch
 # estimate's exact equivalence, not just latency.
