@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint check fuzz-smoke bench-obs bench-fit bench-trace bench-quality bench-sched bench-serve trace-demo report-demo
+.PHONY: build test lint check fuzz-smoke bench-obs bench-fit bench-trace bench-quality bench-sched bench-serve bench-fleet trace-demo report-demo
 
 build:
 	$(GO) build ./...
@@ -64,6 +64,12 @@ bench-sched:
 # and refresh the committed baseline.
 bench-serve:
 	$(GO) run ./cmd/hdbench -serve-bench BENCH_serve.json
+
+# bench-fleet: measure the fleet observability layer's overhead on the
+# broker lease hot path (disabled-path gate < 3%) and the instrumented
+# API request path, and refresh the committed baseline.
+bench-fleet:
+	$(GO) run ./cmd/hdbench -fleet-bench BENCH_fleet.json
 
 # report-demo: replay a deterministic simulated POP experiment with the
 # quality audit on and render its calibration report into results/.

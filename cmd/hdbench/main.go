@@ -42,6 +42,8 @@ func run(args []string) error {
 		schSc = fs.String("sched-scale", "paper", "-sched-bench fleet size: paper (1k agents, 16k slots) | fast (smoke)")
 		srvJS = fs.String("serve-bench", "", "measure the multi-tenant service path (submit→first-decision latency over HTTP, API throughput under the per-tenant rate limit) and write the report to this file (e.g. BENCH_serve.json)")
 		srvSc = fs.String("serve-scale", "paper", "-serve-bench scale: paper | fast (smoke)")
+		fltJS = fs.String("fleet-bench", "", "measure the fleet observability layer's disabled-path overhead (broker lease churn, API request path) and write the report to this file (e.g. BENCH_fleet.json)")
+		fltSc = fs.String("fleet-scale", "paper", "-fleet-bench scale: paper | fast (smoke)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -54,6 +56,9 @@ func run(args []string) error {
 	}
 	if *srvJS != "" {
 		return runServeBench(*srvJS, *srvSc, *seed)
+	}
+	if *fltJS != "" {
+		return runFleetBench(*fltJS, *fltSc, *seed)
 	}
 	if *trcJS != "" {
 		return runTraceBench(*trcJS, *seed)

@@ -1,0 +1,216 @@
+// Fleet mode: `hdtop -server host:port` points at a hyperdrived
+// process instead of a single experiment, rendering the server-wide
+// view — per-tenant fair-share attainment and starvation, API latency,
+// and every hosted experiment's state — from the fleet observability
+// endpoints (/obs/metrics.json, /v1/experiments, /healthz).
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/hyperdrive-ml/hyperdrive/internal/obs"
+)
+
+// fleetExp is the slice of serve.ExperimentStatus hdtop needs (decoded
+// structurally so hdtop does not depend on the serve package).
+type fleetExp struct {
+	ID        string  `json:"id"`
+	Tenant    string  `json:"tenant"`
+	State     string  `json:"state"`
+	Workload  string  `json:"workload"`
+	Policy    string  `json:"policy"`
+	HeldSlots int     `json:"heldSlots"`
+	Share     int     `json:"shareSlots"`
+	Best      float64 `json:"best"`
+}
+
+// fleetHealth is the /healthz body hdtop renders.
+type fleetHealth struct {
+	Status      string  `json:"status"`
+	UptimeSec   float64 `json:"uptimeSec"`
+	Experiments int     `json:"experiments"`
+	Checks      []struct {
+		Name   string `json:"name"`
+		Status string `json:"status"`
+		Detail string `json:"detail"`
+	} `json:"checks"`
+}
+
+// pollFleet fetches one frame of fleet state from hyperdrived.
+func pollFleet(client *http.Client, base string) (obs.Snapshot, []fleetExp, fleetHealth, map[string][]obs.HistoryPoint, error) {
+	var snap obs.Snapshot
+	if err := getJSON(client, base+"/obs/metrics.json", &snap); err != nil {
+		return snap, nil, fleetHealth{}, nil, err
+	}
+	var exps []fleetExp
+	if err := getJSON(client, base+"/v1/experiments", &exps); err != nil {
+		return snap, nil, fleetHealth{}, nil, err
+	}
+	var health fleetHealth
+	// /healthz serves 503 with the same JSON body when critical; decode
+	// regardless of status.
+	if err := getJSONAnyStatus(client, base+"/healthz", &health); err != nil {
+		return snap, exps, fleetHealth{}, nil, err
+	}
+	var hist map[string][]obs.HistoryPoint
+	if err := getJSON(client, base+"/obs/debug/obs/history", &hist); err != nil {
+		hist = nil // optional: absent without the history store
+	}
+	return snap, exps, health, hist, nil
+}
+
+// labelValue extracts one label's value from a labeled series name:
+// labelValue(`x{tenant="a"}`, "tenant") == "a", "" when absent.
+func labelValue(series, label string) string {
+	i := strings.Index(series, label+`="`)
+	if i < 0 {
+		return ""
+	}
+	rest := series[i+len(label)+2:]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		return ""
+	}
+	return rest[:j]
+}
+
+// fleetTenants lists the tenants present in the snapshot's
+// serve_lease_share gauges, alphabetically.
+func fleetTenants(s obs.Snapshot) []string {
+	var out []string
+	prefix := "hyperdrive_serve_lease_share{"
+	for name := range s.Gauges {
+		if strings.HasPrefix(name, prefix) {
+			if t := labelValue(name, "tenant"); t != "" {
+				out = append(out, t)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// renderFleet draws one fleet dashboard frame. Pure function of its
+// inputs so it can be tested without a server.
+func renderFleet(addr string, s obs.Snapshot, exps []fleetExp, health fleetHealth, hist map[string][]obs.HistoryPoint, now time.Time) string {
+	var b []byte
+	w := func(format string, args ...interface{}) {
+		b = append(b, fmt.Sprintf(format, args...)...)
+	}
+
+	w("hdtop fleet — %s — %s\n\n", addr, now.Format("15:04:05"))
+
+	w("health %-9s uptime %s  experiments active %-3.0f total %-5d\n",
+		health.Status, (time.Duration(health.UptimeSec) * time.Second).Truncate(time.Second),
+		s.Gauges[obs.ServeExperimentsActive], s.Counters[obs.ServeExperimentsTotal])
+	for _, c := range health.Checks {
+		if c.Status != "ok" {
+			w("  %-6s %-18s %s\n", strings.ToUpper(c.Status), c.Name, c.Detail)
+		}
+	}
+	w("api    requests %-7d rate-limited %-5d admission-rejects %-4d in-flight %-3.0f starved-leases %.0f\n",
+		s.Counters[obs.ServeRequestsTotal], s.Counters[obs.ServeRateLimitedTotal],
+		s.Counters[obs.ServeAdmissionRejectsTotal], s.Gauges[obs.ServeHTTPInFlight],
+		s.Gauges[obs.ServeStarvedLeases])
+	w("http   2xx %-7d 4xx %-6d 5xx %-4d\n",
+		s.Counters[obs.ServeHTTPResponsesTotal("2xx")],
+		s.Counters[obs.ServeHTTPResponsesTotal("4xx")],
+		s.Counters[obs.ServeHTTPResponsesTotal("5xx")])
+	if h, ok := s.Histograms[obs.ServeFairshareAttainment]; ok && h.Count > 0 {
+		w("fair   attainment p50 %.2f p90 %.2f p99 %.2f (n=%d)\n", h.P50, h.P90, h.P99, h.Count)
+	}
+
+	// Per-tenant fair-share table from the broker's lease gauges.
+	if tenants := fleetTenants(s); len(tenants) > 0 {
+		w("\n%-16s %8s %8s %8s %10s\n", "TENANT", "SHARE", "HELD", "DEFICIT", "STARVED")
+		for _, t := range tenants {
+			starved := s.Gauges[obs.ServeLeaseStarvedSeconds(t)]
+			sv := "-"
+			if starved > 0 {
+				sv = (time.Duration(starved * float64(time.Second))).Truncate(time.Second).String()
+			}
+			w("%-16s %8.1f %8.0f %8.0f %10s\n", t,
+				s.Gauges[obs.ServeLeaseShare(t)], s.Gauges[obs.ServeLeaseHeld(t)],
+				s.Gauges[obs.ServeLeaseDeficit(t)], sv)
+		}
+	}
+
+	// Per-route API latency.
+	type routeLat struct {
+		route string
+		h     obs.HistogramSnapshot
+	}
+	var routes []routeLat
+	for name, h := range s.Histograms {
+		if strings.HasPrefix(name, "hyperdrive_serve_http_request_seconds{") && h.Count > 0 {
+			routes = append(routes, routeLat{labelValue(name, "route"), h})
+		}
+	}
+	sort.Slice(routes, func(i, j int) bool { return routes[i].route < routes[j].route })
+	if len(routes) > 0 {
+		w("\n%-16s %8s %10s %10s %10s\n", "ROUTE", "COUNT", "P50", "P90", "P99")
+		for _, r := range routes {
+			w("%-16s %8d %10s %10s %10s\n", r.route, r.h.Count,
+				fmtDur(r.h.P50), fmtDur(r.h.P90), fmtDur(r.h.P99))
+		}
+	}
+
+	// API latency sparklines from the history store: the sampled p99 of
+	// each route histogram, plus fleet-level occupancy series.
+	if len(hist) > 0 {
+		var keys []string
+		for name := range hist {
+			if strings.HasPrefix(name, "hyperdrive_serve_http_request_seconds{") && strings.HasSuffix(name, ":p99") {
+				keys = append(keys, name)
+			}
+		}
+		sort.Strings(keys)
+		keys = append(keys, obs.ServeExperimentsActive, obs.ServeHTTPInFlight, obs.ServeStarvedLeases)
+		var lines []byte
+		for _, name := range keys {
+			pts := hist[name]
+			if len(pts) < 2 {
+				continue
+			}
+			vals := make([]float64, len(pts))
+			for i, p := range pts {
+				vals[i] = p.V
+			}
+			label := name
+			if r := labelValue(name, "route"); r != "" {
+				label = "latency p99 " + r
+			}
+			lines = append(lines, fmt.Sprintf("%-38s %s  %.4f\n", label, sparkline(vals, 40), vals[len(vals)-1])...)
+		}
+		if len(lines) > 0 {
+			w("\n%s", lines)
+		}
+	}
+
+	// Experiment table.
+	if len(exps) > 0 {
+		w("\n%-8s %-16s %-10s %-12s %5s %6s %9s\n",
+			"ID", "TENANT", "STATE", "WORKLOAD", "HELD", "SHARE", "BEST")
+		for _, e := range exps {
+			w("%-8s %-16s %-10s %-12s %5d %6d %9.4f\n",
+				e.ID, e.Tenant, e.State, e.Workload, e.HeldSlots, e.Share, e.Best)
+		}
+	}
+	return string(b)
+}
+
+// getJSONAnyStatus decodes a JSON body regardless of HTTP status
+// (health endpoints carry their report on 503 too).
+func getJSONAnyStatus(client *http.Client, url string, v interface{}) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(v)
+}

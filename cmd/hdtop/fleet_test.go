@@ -1,0 +1,143 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/hyperdrive-ml/hyperdrive/internal/obs"
+)
+
+func fleetRegistry() *obs.Registry {
+	reg := obs.NewRegistry()
+	reg.Gauge(obs.ServeExperimentsActive).Set(2)
+	reg.Counter(obs.ServeExperimentsTotal).Add(5)
+	reg.Counter(obs.ServeRequestsTotal).Add(420)
+	reg.Counter(obs.ServeRateLimitedTotal).Add(3)
+	reg.Counter(obs.ServeAdmissionRejectsTotal).Add(1)
+	reg.Counter(obs.ServeHTTPResponsesTotal("2xx")).Add(400)
+	reg.Counter(obs.ServeHTTPResponsesTotal("4xx")).Add(20)
+	reg.Gauge(obs.ServeHTTPInFlight).Set(1)
+	reg.Gauge(obs.ServeStarvedLeases).Set(1)
+	reg.Gauge(obs.ServeLeaseShare("alice")).Set(42.7)
+	reg.Gauge(obs.ServeLeaseHeld("alice")).Set(40)
+	reg.Gauge(obs.ServeLeaseDeficit("alice")).Set(3)
+	reg.Gauge(obs.ServeLeaseStarvedSeconds("alice")).Set(12)
+	reg.Gauge(obs.ServeLeaseShare("bob")).Set(21.3)
+	reg.Gauge(obs.ServeLeaseHeld("bob")).Set(21)
+	reg.Gauge(obs.ServeLeaseDeficit("bob")).Set(0)
+	for i := 0; i < 30; i++ {
+		reg.Histogram(obs.ServeHTTPRequestSeconds("submit"), 0.001, 0.01, 0.1).Observe(0.004)
+		reg.Histogram(obs.ServeFairshareAttainment, obs.AttainmentBuckets...).Observe(0.95)
+	}
+	return reg
+}
+
+func TestRenderFleet(t *testing.T) {
+	reg := fleetRegistry()
+	health := fleetHealth{Status: "degraded", UptimeSec: 90, Experiments: 2}
+	health.Checks = append(health.Checks, struct {
+		Name   string `json:"name"`
+		Status string `json:"status"`
+		Detail string `json:"detail"`
+	}{Name: "broker_starvation", Status: "warn", Detail: "1 starved lease(s), worst 12.0s"})
+	exps := []fleetExp{
+		{ID: "e1", Tenant: "alice", State: "running", Workload: "cifar10", HeldSlots: 40, Share: 43, Best: 0.81},
+		{ID: "e2", Tenant: "bob", State: "done", Workload: "cifar10", HeldSlots: 0, Share: 22, Best: 0.77},
+	}
+	now := time.Date(2026, 8, 5, 10, 30, 0, 0, time.UTC)
+	out := renderFleet("localhost:7070", reg.Snapshot(), exps, health, nil, now)
+
+	for _, want := range []string{
+		"hdtop fleet — localhost:7070",
+		"health degraded",
+		"WARN   broker_starvation",
+		"requests 420",
+		"2xx 400",
+		"TENANT",
+		"alice",
+		"42.7",
+		"bob",
+		"12s", // alice's starvation
+		"ROUTE",
+		"submit",
+		"attainment p50",
+		"e1",
+		"running",
+		"0.8100",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fleet render missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderFleetSparklines(t *testing.T) {
+	reg := fleetRegistry()
+	reg.EnableHistory(0)
+	base := time.Date(2026, 8, 5, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 12; i++ {
+		reg.Gauge(obs.ServeHTTPInFlight).Set(float64(i % 5))
+		reg.Histogram(obs.ServeHTTPRequestSeconds("submit"), 0.001, 0.01, 0.1).Observe(float64(i) * 0.001)
+		reg.SampleHistory(base.Add(time.Duration(i) * time.Second))
+	}
+	out := renderFleet("x", reg.Snapshot(), nil, fleetHealth{Status: "ok"}, reg.History().Snapshot(), base)
+	if !strings.Contains(out, "latency p99 submit") || !strings.Contains(out, "█") {
+		t.Errorf("fleet sparklines missing:\n%s", out)
+	}
+	out = renderFleet("x", reg.Snapshot(), nil, fleetHealth{Status: "ok"}, nil, base)
+	if strings.Contains(out, "█") {
+		t.Errorf("sparkline rendered without history:\n%s", out)
+	}
+}
+
+func TestRunFleetOnceAgainstServer(t *testing.T) {
+	reg := fleetRegistry()
+	mux := http.NewServeMux()
+	mux.Handle("/obs/", http.StripPrefix("/obs", obs.Handler(reg, obs.HandlerOptions{})))
+	mux.HandleFunc("/v1/experiments", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `[{"id":"e1","tenant":"alice","state":"running","workload":"cifar10","heldSlots":40,"shareSlots":43,"best":0.81}]`)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"status":"ok","uptimeSec":5,"experiments":1,"checks":[{"name":"slots","status":"ok"}]}`)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	addr := strings.TrimPrefix(srv.URL, "http://")
+
+	f, err := os.CreateTemp(t.TempDir(), "hdtop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := run([]string{"-server", addr, "-once"}, f); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"hdtop fleet", "health ok", "alice", "e1"} {
+		if !strings.Contains(string(b), want) {
+			t.Errorf("fleet one-shot output missing %q:\n%s", want, b)
+		}
+	}
+}
+
+func TestLabelValue(t *testing.T) {
+	if got := labelValue(`x{tenant="alice"}`, "tenant"); got != "alice" {
+		t.Errorf("labelValue = %q", got)
+	}
+	if got := labelValue(`x{route="submit",le="1"}`, "le"); got != "1" {
+		t.Errorf("labelValue le = %q", got)
+	}
+	if got := labelValue("plain", "tenant"); got != "" {
+		t.Errorf("labelValue on unlabeled = %q", got)
+	}
+}

@@ -31,6 +31,7 @@ func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("hdtop", flag.ContinueOnError)
 	var (
 		addr     = fs.String("addr", "localhost:8089", "introspection endpoint address (host:port)")
+		server   = fs.String("server", "", "hyperdrived address (host:port) — fleet mode: per-tenant fair share, API latency, hosted experiments")
 		interval = fs.Duration("interval", 2*time.Second, "poll interval")
 		once     = fs.Bool("once", false, "print one snapshot and exit")
 	)
@@ -38,21 +39,35 @@ func run(args []string, out *os.File) error {
 		return err
 	}
 
-	base := "http://" + *addr
+	target := *addr
+	if *server != "" {
+		target = *server
+	}
+	base := "http://" + target
 	client := &http.Client{Timeout: 5 * time.Second}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 
 	for {
-		snap, jobs, hist, err := poll(client, base)
-		if err != nil {
-			return err
+		var frame string
+		if *server != "" {
+			snap, exps, health, hist, err := pollFleet(client, base)
+			if err != nil {
+				return err
+			}
+			frame = renderFleet(target, snap, exps, health, hist, time.Now())
+		} else {
+			snap, jobs, hist, err := poll(client, base)
+			if err != nil {
+				return err
+			}
+			frame = render(target, snap, jobs, hist, time.Now())
 		}
 		if !*once {
 			fmt.Fprint(out, "\x1b[2J\x1b[H") // clear screen, home cursor
 		}
-		fmt.Fprint(out, render(*addr, snap, jobs, hist, time.Now()))
+		fmt.Fprint(out, frame)
 		if *once {
 			return nil
 		}

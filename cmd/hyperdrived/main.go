@@ -21,6 +21,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -79,6 +80,11 @@ func run(listen string, machines int, agents string, maxExps int, rate float64, 
 	events := make(chan cluster.Event, 4096)
 	wreg := workload.NewRegistry()
 	serverReg := obs.NewRegistry()
+	// Fleet history backs hdtop -server sparklines (API latency,
+	// per-tenant share/held) off /obs/debug/obs/history.
+	serverReg.EnableHistory(512)
+	stopSampler := obs.StartHistorySampler(serverReg, 2*time.Second)
+	defer stopSampler()
 
 	var exec cluster.Executor
 	if agents != "" {
@@ -245,6 +251,54 @@ func runSmoke(base string) error {
 	if err := getJSON("/v1/experiments/"+idA+"/obs/metrics.json", &snap); err != nil {
 		return err
 	}
-	fmt.Printf("smoke: ok (%d feed events for %s)\n", len(feed.Events), idA)
+
+	// Fleet observability surfaces: the /metrics rollup must carry the
+	// serve_* families, and /healthz + /readyz must report a healthy
+	// idle fleet (both experiments already finished).
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	text, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("smoke: GET /metrics: HTTP %d", resp.StatusCode)
+	}
+	for _, want := range []string{
+		"hyperdrive_serve_experiments_total 2",
+		"hyperdrive_serve_http_request_seconds",
+		`hyperdrive_serve_lease_share{tenant="alice"}`,
+		`hyperdrive_serve_lease_share{tenant="bob"}`,
+	} {
+		if !strings.Contains(string(text), want) {
+			return fmt.Errorf("smoke: /metrics rollup missing %q", want)
+		}
+	}
+	var health struct {
+		Status string `json:"status"`
+		Checks []struct {
+			Name   string `json:"name"`
+			Status string `json:"status"`
+		} `json:"checks"`
+	}
+	if err := getJSON("/healthz", &health); err != nil {
+		return err
+	}
+	if health.Status != "ok" || len(health.Checks) == 0 {
+		return fmt.Errorf("smoke: /healthz status %q (%d checks), want ok", health.Status, len(health.Checks))
+	}
+	var ready struct {
+		Ready bool `json:"ready"`
+	}
+	if err := getJSON("/readyz", &ready); err != nil {
+		return err
+	}
+	if !ready.Ready {
+		return fmt.Errorf("smoke: /readyz not ready")
+	}
+	fmt.Printf("smoke: ok (%d feed events for %s; health %s)\n", len(feed.Events), idA, health.Status)
 	return nil
 }

@@ -86,6 +86,12 @@ type Config struct {
 	// classification changes, agent failures, and job re-placements —
 	// exported with obs.(*TraceWriter).WriteFile after Run returns.
 	TraceSink *obs.TraceWriter
+	// TraceParent, when valid, is an upstream span (e.g. hyperdrived's
+	// api_submit) every job joins: jobs share its trace ID and their
+	// first start parents under its span, so an inbound API trace spans
+	// submission through every scheduler decision. Invalid (the zero
+	// value) keeps the default of one fresh trace per job.
+	TraceParent obs.SpanContext
 }
 
 // JobSummary is one job's final record.
@@ -833,8 +839,15 @@ func (e *Experiment) StartIdleJob() (sched.JobID, bool) {
 		return "", false
 	}
 	// One trace per job, for its whole life across suspends, resumes,
-	// and re-placements ("" when tracing is off).
-	mj.TraceID = e.met.tracer.NewTraceID()
+	// and re-placements ("" when tracing is off) — unless an upstream
+	// trace was handed in, in which case every job joins it and the
+	// first start parents under the upstream span.
+	if e.cfg.TraceParent.Valid() {
+		mj.TraceID = e.cfg.TraceParent.TraceID
+		mj.LastSpan = e.cfg.TraceParent.SpanID
+	} else {
+		mj.TraceID = e.met.tracer.NewTraceID()
+	}
 	if e.cfg.Recorder != nil {
 		e.cfg.Recorder.StartJob(id, cfg9, mj.Seed)
 	}

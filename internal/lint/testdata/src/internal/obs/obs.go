@@ -19,10 +19,30 @@ const (
 	QualityBandCoverageRatio  = "hyperdrive_quality_band_coverage_ratio"
 	QualityERTAbsErrorSeconds = "hyperdrive_quality_ert_abs_error_seconds"
 	QualityEarlyTermPrecision = "hyperdrive_quality_early_term_precision"
+
+	// Fleet observability names exported by hyperdrived.
+	ServeHTTPInFlight        = "hyperdrive_serve_http_in_flight"
+	ServeFairshareAttainment = "hyperdrive_serve_fairshare_attainment"
+	ServeStarvedLeases       = "hyperdrive_serve_starved_leases"
 )
 
 // DecisionsTotal builds a per-verdict counter name.
 func DecisionsTotal(d string) string { return "hyperdrive_decisions_" + d + "_total" }
+
+// ServeHTTPRequestSeconds builds a per-route API latency name.
+func ServeHTTPRequestSeconds(route string) string {
+	return `hyperdrive_serve_http_request_seconds{route="` + route + `"}`
+}
+
+// ServeLeaseHeld builds a per-tenant lease-occupancy gauge name.
+func ServeLeaseHeld(tenant string) string {
+	return `hyperdrive_serve_lease_held{tenant="` + tenant + `"}`
+}
+
+// ServeRetryAfterSeconds builds a per-tenant backpressure histogram name.
+func ServeRetryAfterSeconds(tenant string) string {
+	return `hyperdrive_serve_retry_after_seconds{tenant="` + tenant + `"}`
+}
 
 type Counter struct{}
 

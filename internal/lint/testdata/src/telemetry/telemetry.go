@@ -22,12 +22,22 @@ func instrument(r *obs.Registry) {
 	r.Histogram(obs.QualityERTAbsErrorSeconds)
 	r.Gauge(obs.QualityEarlyTermPrecision)
 
+	// Good: the fleet observability family (hyperdrived).
+	r.Gauge(obs.ServeHTTPInFlight)
+	r.Histogram(obs.ServeFairshareAttainment)
+	r.Gauge(obs.ServeStarvedLeases)
+	r.Histogram(obs.ServeHTTPRequestSeconds("submit"))
+	r.Gauge(obs.ServeLeaseHeld("alice"))
+	r.Histogram(obs.ServeRetryAfterSeconds("alice"), 1, 5)
+
 	// Bad: call-site literals and locally built names.
 	r.Counter("hyperdrive_epochs_total") // want "metric name is a string literal"
 	name := "hyperdrive_rogue_total"
 	r.Gauge(name)                                   // want "metric name must come from internal/obs"
 	r.Histogram("hyperdrive_latency_seconds", 1, 4) // want "metric name is a string literal"
 	r.Gauge("hyperdrive_quality_brier_score")       // want "metric name is a string literal"
+	serveName := `hyperdrive_serve_lease_held{tenant="bob"}`
+	r.Gauge(serveName) // want "metric name must come from internal/obs"
 
 	// Suppressed: documented exception.
 	//hdlint:ignore metricnames fixture demonstrating an honored suppression

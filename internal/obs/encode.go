@@ -18,6 +18,54 @@ func familyOf(name string) string {
 	return name
 }
 
+// splitSeries separates a series name into its family and label body:
+// `fam{a="b"}` -> ("fam", `a="b"`); unlabeled names return ("fam", "").
+// Malformed names (no closing brace) are treated as unlabeled.
+func splitSeries(name string) (family, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	if name[len(name)-1] != '}' {
+		return name, ""
+	}
+	return name[:i], name[i+1 : len(name)-1]
+}
+
+// metricMaps is one registry's (or one merged rollup's) handle set,
+// keyed by full series name, ready for text encoding.
+type metricMaps struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// maps copies the registry's handle maps out from under its lock. The
+// handles themselves are safe to read lock-free afterwards (all reads
+// are atomic).
+func (r *Registry) maps() metricMaps {
+	m := metricMaps{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+	if r == nil {
+		return m
+	}
+	r.mu.RLock()
+	for k, v := range r.counters {
+		m.counters[k] = v
+	}
+	for k, v := range r.gauges {
+		m.gauges[k] = v
+	}
+	for k, v := range r.hists {
+		m.hists[k] = v
+	}
+	r.mu.RUnlock()
+	return m
+}
+
 // WritePrometheus encodes the registry's metrics in the Prometheus
 // text exposition format (version 0.0.4): counters, gauges, then
 // histograms, each family alphabetical with one # TYPE line. Series
@@ -26,23 +74,19 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
-	r.mu.RLock()
-	counterNames := sortedNames(r.counters)
-	gaugeNames := sortedNames(r.gauges)
-	histNames := sortedNames(r.hists)
-	counters := make(map[string]*Counter, len(r.counters))
-	for k, v := range r.counters {
-		counters[k] = v
-	}
-	gauges := make(map[string]*Gauge, len(r.gauges))
-	for k, v := range r.gauges {
-		gauges[k] = v
-	}
-	hists := make(map[string]*Histogram, len(r.hists))
-	for k, v := range r.hists {
-		hists[k] = v
-	}
-	r.mu.RUnlock()
+	return writePrometheusMaps(w, r.maps())
+}
+
+// writePrometheusMaps is the text encoder behind WritePrometheus and
+// the fleet rollup: series sharing a family are adjacent (names sort
+// that way) and each family gets exactly one # TYPE line.
+func writePrometheusMaps(w io.Writer, m metricMaps) error {
+	counterNames := sortedNames(m.counters)
+	gaugeNames := sortedNames(m.gauges)
+	histNames := sortedNames(m.hists)
+	counters := m.counters
+	gauges := m.gauges
+	hists := m.hists
 
 	var b strings.Builder
 	lastFamily := ""
@@ -61,16 +105,32 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		typeLine(name, "gauge")
 		fmt.Fprintf(&b, "%s %s\n", name, formatFloat(gauges[name].Value()))
 	}
+	lastFamily = ""
 	for _, name := range histNames {
 		h := hists[name]
 		cum, total := h.snapshotCounts()
-		fmt.Fprintf(&b, "# TYPE %s histogram\n", familyOf(name))
-		for i, u := range h.uppers {
-			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", name, formatFloat(u), cum[i])
+		typeLine(name, "histogram")
+		// A labeled series (fam{route="x"}) splits into its family and
+		// label set so the synthesized _bucket/_sum/_count suffixes land
+		// on the family name, with `le` joining the existing labels.
+		fam, labels := splitSeries(name)
+		bucket := func(le string, n int64) {
+			if labels == "" {
+				fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", fam, le, n)
+			} else {
+				fmt.Fprintf(&b, "%s_bucket{%s,le=%q} %d\n", fam, labels, le, n)
+			}
 		}
-		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", name, total)
-		fmt.Fprintf(&b, "%s_sum %s\n", name, formatFloat(h.Sum()))
-		fmt.Fprintf(&b, "%s_count %d\n", name, total)
+		for i, u := range h.uppers {
+			bucket(formatFloat(u), cum[i])
+		}
+		bucket("+Inf", total)
+		suffix := ""
+		if labels != "" {
+			suffix = "{" + labels + "}"
+		}
+		fmt.Fprintf(&b, "%s_sum%s %s\n", fam, suffix, formatFloat(h.Sum()))
+		fmt.Fprintf(&b, "%s_count%s %d\n", fam, suffix, total)
 	}
 	_, err := io.WriteString(w, b.String())
 	return err

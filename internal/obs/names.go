@@ -187,3 +187,85 @@ func TenantHeldSlots(tenant string) string {
 func TenantShareSlots(tenant string) string {
 	return fmt.Sprintf(`hyperdrive_tenant_share_slots{tenant=%q}`, tenant)
 }
+
+// Fleet observability (hyperdrived server-wide telemetry) names.
+const (
+	// ServeHTTPInFlight gauges API requests currently being handled.
+	ServeHTTPInFlight = "hyperdrive_serve_http_in_flight"
+	// ServeFairshareAttainment is the histogram of held/share ratios
+	// sampled across active leases: 1.0 means a lease holds exactly its
+	// fair share, mass below 1 means tenants run under their entitlement
+	// (contention), mass above 1 means borrowing of idle capacity.
+	ServeFairshareAttainment = "hyperdrive_serve_fairshare_attainment"
+	// ServeStarvedLeases gauges how many active leases are currently
+	// starved: below fair share with demand the pool is not meeting.
+	ServeStarvedLeases = "hyperdrive_serve_starved_leases"
+	// ServeLeaseReleaseMismatchTotal counts ReleaseMachine calls on
+	// slots the lease did not hold — always a caller bug, previously an
+	// uncounted error return.
+	ServeLeaseReleaseMismatchTotal = "hyperdrive_serve_lease_release_mismatch_total"
+)
+
+// AttainmentBuckets is the bucket layout for the fair-share attainment
+// histogram: fine resolution below 1 (under-share severity), coarse
+// above (borrowing multiples).
+var AttainmentBuckets = []float64{0.1, 0.25, 0.5, 0.75, 0.9, 1, 1.25, 1.5, 2, 4}
+
+// ServeHTTPRequestSeconds returns the labeled per-route API latency
+// histogram name, e.g. hyperdrive_serve_http_request_seconds{route="submit"}.
+func ServeHTTPRequestSeconds(route string) string {
+	return fmt.Sprintf(`hyperdrive_serve_http_request_seconds{route=%q}`, route)
+}
+
+// ServeHTTPResponsesTotal returns the labeled status-class counter
+// name, e.g. hyperdrive_serve_http_responses_total{class="2xx"}.
+func ServeHTTPResponsesTotal(class string) string {
+	return fmt.Sprintf(`hyperdrive_serve_http_responses_total{class=%q}`, class)
+}
+
+// ServeRateLimitRejectsTotal returns the labeled per-tenant counter of
+// API requests refused by the token bucket, e.g.
+// hyperdrive_serve_ratelimit_rejects_total{tenant="a"}.
+func ServeRateLimitRejectsTotal(tenant string) string {
+	return fmt.Sprintf(`hyperdrive_serve_ratelimit_rejects_total{tenant=%q}`, tenant)
+}
+
+// ServeRetryAfterSeconds returns the labeled per-tenant histogram of
+// Retry-After hints sent with 429s — the backpressure a tenant is
+// being asked to absorb, not just how often it is bounced.
+func ServeRetryAfterSeconds(tenant string) string {
+	return fmt.Sprintf(`hyperdrive_serve_retry_after_seconds{tenant=%q}`, tenant)
+}
+
+// ServeFeedDroppedTotal returns the labeled per-experiment counter of
+// event records the server shed for that experiment: router overflow
+// on lossy kinds plus feed-ring evictions past the retention bound.
+func ServeFeedDroppedTotal(experiment string) string {
+	return fmt.Sprintf(`hyperdrive_serve_feed_dropped_total{experiment=%q}`, experiment)
+}
+
+// ServeLeaseHeld returns the labeled gauge of slots a tenant's leases
+// hold right now, e.g. hyperdrive_serve_lease_held{tenant="a"}.
+func ServeLeaseHeld(tenant string) string {
+	return fmt.Sprintf(`hyperdrive_serve_lease_held{tenant=%q}`, tenant)
+}
+
+// ServeLeaseShare returns the labeled gauge of a tenant's summed lease
+// allowances — the slots the broker currently owes it.
+func ServeLeaseShare(tenant string) string {
+	return fmt.Sprintf(`hyperdrive_serve_lease_share{tenant=%q}`, tenant)
+}
+
+// ServeLeaseDeficit returns the labeled gauge of how many slots a
+// tenant's leases are owed but do not hold (allowance minus held,
+// floored at zero, summed over its leases).
+func ServeLeaseDeficit(tenant string) string {
+	return fmt.Sprintf(`hyperdrive_serve_lease_deficit{tenant=%q}`, tenant)
+}
+
+// ServeLeaseStarvedSeconds returns the labeled gauge of the longest
+// time any of a tenant's leases has been starved (below fair share
+// with unmet demand); 0 when none are.
+func ServeLeaseStarvedSeconds(tenant string) string {
+	return fmt.Sprintf(`hyperdrive_serve_lease_starved_seconds{tenant=%q}`, tenant)
+}

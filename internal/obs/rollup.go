@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// RollupChild is one per-experiment registry contributing to a fleet
+// rollup, identified by the label value its series are namespaced
+// under (e.g. the experiment ID).
+type RollupChild struct {
+	ID  string
+	Reg *Registry
+}
+
+// injectLabel returns the series name with label=value appended to its
+// label set, creating one if the name is unlabeled:
+//
+//	injectLabel(`x_total`, "experiment", "e1")                -> `x_total{experiment="e1"}`
+//	injectLabel(`x_total{decision="suspend"}`, "experiment", "e1")
+//	   -> `x_total{decision="suspend",experiment="e1"}`
+func injectLabel(name, label, value string) string {
+	fam, labels := splitSeries(name)
+	if labels == "" {
+		return fmt.Sprintf("%s{%s=%q}", fam, label, value)
+	}
+	return fmt.Sprintf("%s{%s,%s=%q}", fam, labels, label, value)
+}
+
+// WritePrometheusRollup encodes the root registry's metrics merged
+// with every child registry's metrics, each child series namespaced by
+// injecting label=childID into its label set. The merged set is
+// emitted as one valid exposition document: series sharing a family
+// (e.g. the same counter across experiments) are grouped under a
+// single # TYPE line.
+//
+// Children whose ID collides, or whose namespaced series collides with
+// a root series, keep the first occurrence (root wins, then children
+// in argument order); in practice server and experiment metric names
+// are disjoint so collisions do not occur.
+func WritePrometheusRollup(w io.Writer, root *Registry, label string, children ...RollupChild) error {
+	merged := root.maps()
+	// Deterministic merge order regardless of caller map iteration.
+	ordered := make([]RollupChild, len(children))
+	copy(ordered, children)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].ID < ordered[j].ID })
+	for _, c := range ordered {
+		cm := c.Reg.maps()
+		for name, h := range cm.counters {
+			key := injectLabel(name, label, c.ID)
+			if _, ok := merged.counters[key]; !ok {
+				merged.counters[key] = h
+			}
+		}
+		for name, h := range cm.gauges {
+			key := injectLabel(name, label, c.ID)
+			if _, ok := merged.gauges[key]; !ok {
+				merged.gauges[key] = h
+			}
+		}
+		for name, h := range cm.hists {
+			key := injectLabel(name, label, c.ID)
+			if _, ok := merged.hists[key]; !ok {
+				merged.hists[key] = h
+			}
+		}
+	}
+	return writePrometheusMaps(w, merged)
+}

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSplitSeries(t *testing.T) {
+	cases := []struct {
+		in, fam, labels string
+	}{
+		{"x_total", "x_total", ""},
+		{`x_total{a="b"}`, "x_total", `a="b"`},
+		{`x_total{a="b",c="d"}`, "x_total", `a="b",c="d"`},
+		{"x_total{broken", "x_total{broken", ""},
+	}
+	for _, c := range cases {
+		fam, labels := splitSeries(c.in)
+		if fam != c.fam || labels != c.labels {
+			t.Errorf("splitSeries(%q) = (%q, %q), want (%q, %q)", c.in, fam, labels, c.fam, c.labels)
+		}
+	}
+}
+
+func TestInjectLabel(t *testing.T) {
+	if got := injectLabel("x_total", "experiment", "e1"); got != `x_total{experiment="e1"}` {
+		t.Errorf("unlabeled: got %q", got)
+	}
+	if got := injectLabel(`x_total{decision="suspend"}`, "experiment", "e1"); got != `x_total{decision="suspend",experiment="e1"}` {
+		t.Errorf("labeled: got %q", got)
+	}
+}
+
+func TestWritePrometheusRollup(t *testing.T) {
+	root := NewRegistry()
+	root.Gauge("hyperdrive_serve_experiments_active").Set(2)
+	root.Counter("hyperdrive_serve_requests_total").Add(7)
+
+	e1 := NewRegistry()
+	e1.Counter(DecisionsTotal("suspend")).Add(3)
+	e1.Gauge(SlotsBusy).Set(4)
+	e1.Histogram("hyperdrive_iter_seconds", 1, 10).Observe(0.5)
+
+	e2 := NewRegistry()
+	e2.Counter(DecisionsTotal("suspend")).Add(5)
+	e2.Gauge(SlotsBusy).Set(1)
+
+	var b strings.Builder
+	err := WritePrometheusRollup(&b, root, "experiment",
+		RollupChild{ID: "e2", Reg: e2},
+		RollupChild{ID: "e1", Reg: e1},
+	)
+	if err != nil {
+		t.Fatalf("rollup: %v", err)
+	}
+	out := b.String()
+
+	wants := []string{
+		"hyperdrive_serve_experiments_active 2\n",
+		"hyperdrive_serve_requests_total 7\n",
+		`hyperdrive_decisions_total{decision="suspend",experiment="e1"} 3`,
+		`hyperdrive_decisions_total{decision="suspend",experiment="e2"} 5`,
+		`hyperdrive_slots_busy{experiment="e1"} 4`,
+		`hyperdrive_slots_busy{experiment="e2"} 1`,
+		`hyperdrive_iter_seconds_bucket{experiment="e1",le="1"} 1`,
+		`hyperdrive_iter_seconds_sum{experiment="e1"} 0.5`,
+		`hyperdrive_iter_seconds_count{experiment="e1"} 1`,
+	}
+	for _, want := range wants {
+		if !strings.Contains(out, want) {
+			t.Errorf("rollup output missing %q\n---\n%s", want, out)
+		}
+	}
+
+	// One TYPE line per family even when a family spans experiments.
+	if n := strings.Count(out, "# TYPE hyperdrive_decisions_total "); n != 1 {
+		t.Errorf("want 1 TYPE line for hyperdrive_decisions_total, got %d\n---\n%s", n, out)
+	}
+	if n := strings.Count(out, "# TYPE hyperdrive_slots_busy "); n != 1 {
+		t.Errorf("want 1 TYPE line for hyperdrive_slots_busy, got %d", n)
+	}
+}
+
+func TestWritePrometheusRollupNilChildren(t *testing.T) {
+	var b strings.Builder
+	if err := WritePrometheusRollup(&b, nil, "experiment", RollupChild{ID: "e1", Reg: nil}); err != nil {
+		t.Fatalf("nil rollup: %v", err)
+	}
+	if b.Len() != 0 {
+		t.Errorf("nil rollup produced output: %q", b.String())
+	}
+}
+
+func TestLabeledHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram(ServeHTTPRequestSeconds("submit"), 0.01, 0.1).Observe(0.05)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	out := b.String()
+	wants := []string{
+		"# TYPE hyperdrive_serve_http_request_seconds histogram\n",
+		`hyperdrive_serve_http_request_seconds_bucket{route="submit",le="0.01"} 0`,
+		`hyperdrive_serve_http_request_seconds_bucket{route="submit",le="0.1"} 1`,
+		`hyperdrive_serve_http_request_seconds_bucket{route="submit",le="+Inf"} 1`,
+		`hyperdrive_serve_http_request_seconds_sum{route="submit"} 0.05`,
+		`hyperdrive_serve_http_request_seconds_count{route="submit"} 1`,
+	}
+	for _, want := range wants {
+		if !strings.Contains(out, want) {
+			t.Errorf("labeled histogram output missing %q\n---\n%s", want, out)
+		}
+	}
+}

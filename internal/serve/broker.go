@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"github.com/hyperdrive-ml/hyperdrive/internal/cluster"
 	"github.com/hyperdrive-ml/hyperdrive/internal/obs"
@@ -26,6 +27,14 @@ type Broker struct {
 	// (outside the broker lock): the server uses it to nudge starved
 	// experiments with EvWake.
 	wake func()
+	// now is the clock behind starvation timing; swapped in tests. Only
+	// read when reg is non-nil, so the uninstrumented path never touches
+	// the clock.
+	now func() time.Time
+
+	attainment *obs.Histogram
+	starved    *obs.Gauge
+	mismatch   *obs.Counter
 
 	mu      sync.Mutex
 	tenants map[string]*tenant
@@ -37,12 +46,26 @@ type tenant struct {
 	leases map[*Lease]struct{}
 	held   *obs.Gauge
 	share  *obs.Gauge
+	// Fleet telemetry refreshed by Sample rather than on every slot
+	// transition: deficit and starvation need a full walk anyway.
+	leaseHeld    *obs.Gauge
+	leaseShare   *obs.Gauge
+	leaseDeficit *obs.Gauge
+	leaseStarved *obs.Gauge
 }
 
 // NewBroker wraps a shared pool. reg (optional) receives per-tenant
-// held/share gauges; wake (optional) runs after every slot release.
+// held/share gauges and fairness telemetry; a nil reg disables all of
+// it, including starvation clock reads. wake (optional) runs after
+// every slot release.
 func NewBroker(pool cluster.SlotPool, reg *obs.Registry, wake func()) *Broker {
-	return &Broker{pool: pool, reg: reg, wake: wake, tenants: make(map[string]*tenant)}
+	b := &Broker{pool: pool, reg: reg, wake: wake, now: time.Now, tenants: make(map[string]*tenant)}
+	if reg != nil {
+		b.attainment = reg.Histogram(obs.ServeFairshareAttainment, obs.AttainmentBuckets...)
+		b.starved = reg.Gauge(obs.ServeStarvedLeases)
+		b.mismatch = reg.Counter(obs.ServeLeaseReleaseMismatchTotal)
+	}
+	return b
 }
 
 // Join registers one experiment under a tenant and returns its lease.
@@ -56,10 +79,14 @@ func (b *Broker) Join(name string, weight float64) *Lease {
 	t := b.tenants[name]
 	if t == nil {
 		t = &tenant{
-			name:   name,
-			leases: make(map[*Lease]struct{}),
-			held:   b.reg.Gauge(obs.TenantHeldSlots(name)),
-			share:  b.reg.Gauge(obs.TenantShareSlots(name)),
+			name:         name,
+			leases:       make(map[*Lease]struct{}),
+			held:         b.reg.Gauge(obs.TenantHeldSlots(name)),
+			share:        b.reg.Gauge(obs.TenantShareSlots(name)),
+			leaseHeld:    b.reg.Gauge(obs.ServeLeaseHeld(name)),
+			leaseShare:   b.reg.Gauge(obs.ServeLeaseShare(name)),
+			leaseDeficit: b.reg.Gauge(obs.ServeLeaseDeficit(name)),
+			leaseStarved: b.reg.Gauge(obs.ServeLeaseStarvedSeconds(name)),
 		}
 		b.tenants[name] = t
 	}
@@ -145,15 +172,20 @@ func (b *Broker) heldLocked(t *tenant) int {
 
 // TenantStatus is the broker's public view of one tenant.
 type TenantStatus struct {
-	Tenant      string  `json:"tenant"`
-	Weight      float64 `json:"weight"`
-	ShareSlots  float64 `json:"shareSlots"`
-	HeldSlots   int     `json:"heldSlots"`
-	Experiments int     `json:"experiments"`
+	Tenant         string  `json:"tenant"`
+	Weight         float64 `json:"weight"`
+	ShareSlots     float64 `json:"shareSlots"`
+	HeldSlots      int     `json:"heldSlots"`
+	Experiments    int     `json:"experiments"`
+	StarvedSeconds float64 `json:"starvedSeconds,omitempty"`
 }
 
 // Tenant reports a tenant's current weight, fair share, and holdings.
 func (b *Broker) Tenant(name string) (TenantStatus, bool) {
+	var now time.Time
+	if b.reg != nil {
+		now = b.now()
+	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	t, ok := b.tenants[name]
@@ -161,12 +193,93 @@ func (b *Broker) Tenant(name string) (TenantStatus, bool) {
 		return TenantStatus{}, false
 	}
 	return TenantStatus{
-		Tenant:      name,
-		Weight:      t.weight,
-		ShareSlots:  b.shareLocked(t),
-		HeldSlots:   b.heldLocked(t),
-		Experiments: len(t.leases),
+		Tenant:         name,
+		Weight:         t.weight,
+		ShareSlots:     b.shareLocked(t),
+		HeldSlots:      b.heldLocked(t),
+		Experiments:    len(t.leases),
+		StarvedSeconds: b.worstStarvedLocked(t, now).Seconds(),
 	}, true
+}
+
+// worstStarvedLocked is the longest any of the tenant's leases has
+// been starved as of now; zero when none are (or now is the zero time,
+// i.e. the broker is uninstrumented).
+func (b *Broker) worstStarvedLocked(t *tenant, now time.Time) time.Duration {
+	if now.IsZero() {
+		return 0
+	}
+	var worst time.Duration
+	for l := range t.leases {
+		if l.starvedSince.IsZero() {
+			continue
+		}
+		if d := now.Sub(l.starvedSince); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// Sample refreshes the broker's fleet telemetry: per-tenant
+// serve_lease_held/share/deficit/starved_seconds gauges, the starved
+// lease count, and one fair-share attainment observation (held over
+// allowance) per active lease. The server's kicker calls it on every
+// tick; it is a no-op on an uninstrumented broker.
+func (b *Broker) Sample() {
+	if b.reg == nil {
+		return
+	}
+	now := b.now()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var starvedCount int
+	for _, t := range b.tenants {
+		var held, deficit int
+		for l := range t.leases {
+			held += len(l.held)
+			if l.paused || l.closed {
+				continue
+			}
+			allowance := b.allowanceLocked(l)
+			if owed := allowance - len(l.held); owed > 0 {
+				deficit += owed
+			}
+			b.attainment.Observe(float64(len(l.held)) / float64(allowance))
+			if !l.starvedSince.IsZero() {
+				starvedCount++
+			}
+		}
+		t.leaseHeld.Set(float64(held))
+		t.leaseShare.Set(b.shareLocked(t))
+		t.leaseDeficit.Set(float64(deficit))
+		t.leaseStarved.Set(b.worstStarvedLocked(t, now).Seconds())
+	}
+	b.starved.Set(float64(starvedCount))
+}
+
+// Starvation reports the longest any lease has currently been starved
+// and how many are, for the health scorer. Always zero on an
+// uninstrumented broker (tracking is disabled there).
+func (b *Broker) Starvation() (worst time.Duration, count int) {
+	if b.reg == nil {
+		return 0, 0
+	}
+	now := b.now()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, t := range b.tenants {
+		for l := range t.leases {
+			if l.starvedSince.IsZero() {
+				continue
+			}
+			count++
+			if d := now.Sub(l.starvedSince); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst, count
 }
 
 // Lease is one experiment's view of the shared pool. It implements
@@ -178,6 +291,10 @@ type Lease struct {
 	paused bool
 	closed bool
 	held   map[cluster.SlotID]struct{}
+	// starvedSince is non-zero while the lease is below its allowance
+	// with demand the pool is not meeting (a reserve failed). Tracked
+	// only when the broker is instrumented.
+	starvedSince time.Time
 }
 
 // ReserveIdleMachine implements cluster.SlotPool under the fair-share
@@ -189,16 +306,23 @@ func (l *Lease) ReserveIdleMachine() (cluster.SlotID, bool) {
 	if l.closed || l.paused {
 		return "", false
 	}
-	if len(l.held) >= l.b.allowanceLocked(l) {
+	underShare := len(l.held) < l.b.allowanceLocked(l)
+	if !underShare {
 		if l.b.pool.IdleCount()-l.b.deficitLocked(l) < 1 {
 			return "", false
 		}
 	}
 	slot, ok := l.b.pool.ReserveIdleMachine()
 	if !ok {
+		// Failing while under allowance is starvation: entitled demand
+		// the pool did not meet. Failing a borrow attempt is not.
+		if underShare && l.b.reg != nil && l.starvedSince.IsZero() {
+			l.starvedSince = l.b.now() //hdlint:ignore locksafe now is a monotonic clock read (time.Now or a test stub); it cannot block
+		}
 		return "", false
 	}
 	l.held[slot] = struct{}{}
+	l.starvedSince = time.Time{}
 	l.t.held.Set(float64(l.b.heldLocked(l.t)))
 	return slot, true
 }
@@ -209,6 +333,7 @@ func (l *Lease) ReleaseMachine(slot cluster.SlotID) error {
 	l.b.mu.Lock()
 	if _, ok := l.held[slot]; !ok {
 		l.b.mu.Unlock()
+		l.b.mismatch.Add(1)
 		return fmt.Errorf("serve: tenant %s releasing slot %s it does not hold", l.t.name, slot)
 	}
 	delete(l.held, slot)
@@ -285,6 +410,9 @@ func (l *Lease) Held() int {
 func (l *Lease) SetPaused(p bool) {
 	l.b.mu.Lock()
 	l.paused = p
+	if p {
+		l.starvedSince = time.Time{} // a paused lease has no demand
+	}
 	l.b.mu.Unlock()
 }
 
@@ -298,6 +426,7 @@ func (l *Lease) Close() {
 		return
 	}
 	l.closed = true
+	l.starvedSince = time.Time{}
 	for slot := range l.held {
 		delete(l.held, slot)
 		_ = l.b.pool.ReleaseMachine(slot)

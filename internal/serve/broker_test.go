@@ -1,0 +1,174 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/hyperdrive-ml/hyperdrive/internal/cluster"
+	"github.com/hyperdrive-ml/hyperdrive/internal/obs"
+)
+
+func testPool(n int) cluster.SlotPool {
+	slots := make([]cluster.SlotID, n)
+	for i := range slots {
+		slots[i] = cluster.SlotID('a'+byte(i)) + ":0"
+	}
+	return cluster.NewResourceManager(slots)
+}
+
+// Satellite regression: releasing a slot the lease does not hold must
+// keep returning an error AND count it.
+func TestReleaseMismatchCounted(t *testing.T) {
+	reg := obs.NewRegistry()
+	b := NewBroker(testPool(2), reg, nil)
+	l := b.Join("a", 1)
+	if err := l.ReleaseMachine("nope:0"); err == nil {
+		t.Fatal("want error releasing unheld slot")
+	}
+	if got := reg.Counter(obs.ServeLeaseReleaseMismatchTotal).Value(); got != 1 {
+		t.Fatalf("mismatch counter = %d, want 1", got)
+	}
+	// A legitimate release does not count.
+	slot, ok := l.ReserveIdleMachine()
+	if !ok {
+		t.Fatal("reserve failed")
+	}
+	if err := l.ReleaseMachine(slot); err != nil {
+		t.Fatalf("release: %v", err)
+	}
+	if got := reg.Counter(obs.ServeLeaseReleaseMismatchTotal).Value(); got != 1 {
+		t.Fatalf("mismatch counter = %d after valid release, want 1", got)
+	}
+}
+
+func TestStarvationDetector(t *testing.T) {
+	reg := obs.NewRegistry()
+	b := NewBroker(testPool(2), reg, nil)
+	now := time.Unix(1000, 0)
+	b.now = func() time.Time { return now }
+
+	hog := b.Join("hog", 1)
+	s1, _ := hog.ReserveIdleMachine()
+	s2, _ := hog.ReserveIdleMachine()
+	if s1 == "" || s2 == "" {
+		t.Fatal("hog could not take the pool")
+	}
+
+	// A second tenant joins; its entitled demand cannot be met.
+	poor := b.Join("poor", 1)
+	if _, ok := poor.ReserveIdleMachine(); ok {
+		t.Fatal("reserve should fail on an exhausted pool")
+	}
+	now = now.Add(5 * time.Second)
+	worst, count := b.Starvation()
+	if count != 1 || worst != 5*time.Second {
+		t.Fatalf("Starvation() = (%v, %d), want (5s, 1)", worst, count)
+	}
+
+	b.Sample()
+	if got := reg.Gauge(obs.ServeStarvedLeases).Value(); got != 1 {
+		t.Fatalf("starved leases gauge = %v, want 1", got)
+	}
+	if got := reg.Gauge(obs.ServeLeaseStarvedSeconds("poor")).Value(); got != 5 {
+		t.Fatalf("poor starved seconds = %v, want 5", got)
+	}
+	if got := reg.Gauge(obs.ServeLeaseDeficit("poor")).Value(); got != 1 {
+		t.Fatalf("poor deficit = %v, want 1", got)
+	}
+
+	// A released slot lets the starved lease recover; starvation clears.
+	if err := hog.ReleaseMachine(s1); err != nil {
+		t.Fatalf("release: %v", err)
+	}
+	if _, ok := poor.ReserveIdleMachine(); !ok {
+		t.Fatal("poor should reserve the freed slot")
+	}
+	worst, count = b.Starvation()
+	if count != 0 || worst != 0 {
+		t.Fatalf("Starvation() after recovery = (%v, %d), want (0, 0)", worst, count)
+	}
+	b.Sample()
+	if got := reg.Gauge(obs.ServeLeaseStarvedSeconds("poor")).Value(); got != 0 {
+		t.Fatalf("poor starved seconds after recovery = %v, want 0", got)
+	}
+
+	// A failed borrow attempt (at/above allowance) is not starvation.
+	if _, ok := poor.ReserveIdleMachine(); ok {
+		t.Fatal("borrow should fail: hog is owed the remaining capacity")
+	}
+	if _, count = b.Starvation(); count != 0 {
+		t.Fatalf("borrow failure counted as starvation (count=%d)", count)
+	}
+}
+
+func TestSampleGaugesAndAttainment(t *testing.T) {
+	reg := obs.NewRegistry()
+	b := NewBroker(testPool(6), reg, nil)
+	a := b.Join("alice", 2)
+	bb := b.Join("bob", 1)
+	for i := 0; i < 4; i++ {
+		a.ReserveIdleMachine()
+	}
+	for i := 0; i < 2; i++ {
+		bb.ReserveIdleMachine()
+	}
+	b.Sample()
+	if got := reg.Gauge(obs.ServeLeaseHeld("alice")).Value(); got != 4 {
+		t.Fatalf("alice held = %v, want 4", got)
+	}
+	if got := reg.Gauge(obs.ServeLeaseShare("alice")).Value(); got != 4 {
+		t.Fatalf("alice share = %v, want 4", got)
+	}
+	if got := reg.Gauge(obs.ServeLeaseHeld("bob")).Value(); got != 2 {
+		t.Fatalf("bob held = %v, want 2", got)
+	}
+	if got := reg.Gauge(obs.ServeLeaseShare("bob")).Value(); got != 2 {
+		t.Fatalf("bob share = %v, want 2", got)
+	}
+	h := reg.Histogram(obs.ServeFairshareAttainment, obs.AttainmentBuckets...)
+	if h.Count() != 2 {
+		t.Fatalf("attainment observations = %d, want 2", h.Count())
+	}
+	// Both leases hold exactly their allowance: attainment 1.0.
+	if p50 := h.Quantile(0.5); p50 < 0.9 || p50 > 1.01 {
+		t.Fatalf("attainment p50 = %v, want ~1", p50)
+	}
+
+	// The rollup exposition carries the per-tenant lease gauges.
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`hyperdrive_serve_lease_held{tenant="alice"} 4`,
+		`hyperdrive_serve_lease_share{tenant="bob"} 2`,
+		`hyperdrive_serve_lease_deficit{tenant="alice"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+func TestUninstrumentedBrokerSkipsTracking(t *testing.T) {
+	b := NewBroker(testPool(1), nil, nil)
+	b.now = func() time.Time { panic("clock read on uninstrumented broker") }
+	l := b.Join("a", 1)
+	s, _ := l.ReserveIdleMachine()
+	l2 := b.Join("b", 1)
+	if _, ok := l2.ReserveIdleMachine(); ok {
+		t.Fatal("pool exhausted, reserve should fail")
+	}
+	b.Sample() // no-op
+	if worst, count := b.Starvation(); worst != 0 || count != 0 {
+		t.Fatalf("uninstrumented Starvation() = (%v, %d), want zeros", worst, count)
+	}
+	if err := l.ReleaseMachine(s); err != nil {
+		t.Fatalf("release: %v", err)
+	}
+	if err := l.ReleaseMachine(s); err == nil {
+		t.Fatal("double release should error")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -207,14 +208,25 @@ func TestMultiTenantChaosE2E(t *testing.T) {
 
 	// Wait until both tenants hold slots, then check the fair-share
 	// split: with both leases live, alice's share must exceed bob's
-	// (2:1 weights) and her holdings must converge above his.
+	// (2:1 weights) and her holdings must converge above his. The same
+	// convergence must be visible in the fleet telemetry: after a
+	// broker Sample, the serve_lease_share gauges sit at exactly the
+	// 2:1 weight split and serve_lease_held mirrors the holdings.
 	deadline := time.Now().Add(120 * time.Second)
 	var fairSeen bool
 	for time.Now().Before(deadline) {
 		a, b := tenantOf("alice"), tenantOf("bob")
-		if a.HeldSlots > b.HeldSlots && b.HeldSlots > 0 {
+		srv.Broker().Sample()
+		aHeld := serverReg.Gauge(obs.ServeLeaseHeld("alice")).Value()
+		bHeld := serverReg.Gauge(obs.ServeLeaseHeld("bob")).Value()
+		if a.HeldSlots > b.HeldSlots && b.HeldSlots > 0 && aHeld > bHeld && bHeld > 0 {
 			if a.ShareSlots <= b.ShareSlots {
 				t.Fatalf("share split inverted: alice %v <= bob %v", a.ShareSlots, b.ShareSlots)
+			}
+			aShare := serverReg.Gauge(obs.ServeLeaseShare("alice")).Value()
+			bShare := serverReg.Gauge(obs.ServeLeaseShare("bob")).Value()
+			if bShare == 0 || aShare/bShare < 1.99 || aShare/bShare > 2.01 {
+				t.Fatalf("serve_lease_share split: alice %v / bob %v, want exact 2:1", aShare, bShare)
 			}
 			fairSeen = true
 			break
@@ -223,6 +235,44 @@ func TestMultiTenantChaosE2E(t *testing.T) {
 	}
 	if !fairSeen {
 		t.Fatal("fair-share never converged: alice (weight 2) never held more than busy bob (weight 1)")
+	}
+
+	// The fleet rollup endpoint carries both the broker gauges and the
+	// per-experiment child series under an experiment label.
+	{
+		resp, err := client.Get(hs.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := string(body)
+		for _, want := range []string{
+			`hyperdrive_serve_lease_held{tenant="alice"}`,
+			`hyperdrive_serve_lease_share{tenant="bob"}`,
+			"hyperdrive_serve_experiments_active 2",
+			fmt.Sprintf(`{experiment=%q}`, idA),
+		} {
+			if !strings.Contains(text, want) {
+				t.Errorf("/metrics rollup missing %q", want)
+			}
+		}
+	}
+
+	// Health while everything is up: structured JSON, status ok or
+	// degraded (admission is warn at the cap of 2), never critical.
+	{
+		var rep HealthReport
+		getJSON("/healthz", &rep)
+		if rep.Status == healthCritical {
+			t.Fatalf("healthz critical on a healthy fleet: %+v", rep)
+		}
+		if rep.Experiments != 2 || len(rep.Checks) == 0 {
+			t.Fatalf("healthz report malformed: %+v", rep)
+		}
 	}
 
 	// Kill the victim agent mid-run with a silent partition; from here
@@ -251,6 +301,16 @@ func TestMultiTenantChaosE2E(t *testing.T) {
 	}
 	if idle+busy+off != rm.Total() || rm.Total() != totalSlots {
 		t.Fatalf("pool partition broken after kill: %d+%d+%d != %d", idle, busy, off, rm.Total())
+	}
+
+	// The health scorer must see the quarantined slots: offline > 0 is
+	// at least a warning, so the verdict cannot be plain ok.
+	{
+		var rep HealthReport
+		getJSON("/healthz", &rep)
+		if rep.Status == healthOK {
+			t.Fatalf("healthz still %q with %d slots offline: %+v", rep.Status, off, rep)
+		}
 	}
 
 	// Both tenants must finish on the surviving slots.

@@ -26,6 +26,10 @@ type Feed struct {
 	// (the server hooks first-decision latency here). Called without
 	// the feed lock.
 	onLine func(line []byte)
+	// onDrop, when non-nil, observes ring evictions (records pushed out
+	// past feedCapacity before any watcher saw them). Set before the
+	// feed's first Write; called without the feed lock.
+	onDrop func(n int)
 
 	mu      sync.Mutex
 	recs    []FeedRecord
@@ -80,13 +84,18 @@ func (f *Feed) append(line []byte) {
 	f.mu.Lock()
 	f.recs = append(f.recs, FeedRecord{Seq: f.next, Event: cp})
 	f.next++
+	var evicted int
 	if len(f.recs) > feedCapacity {
-		f.recs = f.recs[len(f.recs)-feedCapacity:]
+		evicted = len(f.recs) - feedCapacity
+		f.recs = f.recs[evicted:]
 	}
 	ch := f.changed
 	f.changed = make(chan struct{})
 	f.mu.Unlock()
 	close(ch)
+	if evicted > 0 && f.onDrop != nil {
+		f.onDrop(evicted)
+	}
 }
 
 // Close wakes every pending long-poll; subsequent polls return

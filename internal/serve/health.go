@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"github.com/hyperdrive-ml/hyperdrive/internal/obs"
+)
+
+// starveWarnAfter is how long a lease may sit below its fair share
+// with unmet demand before the health scorer degrades the server.
+const starveWarnAfter = 30 * time.Second
+
+// Health check statuses.
+const (
+	checkOK   = "ok"
+	checkWarn = "warn"
+	checkFail = "fail"
+)
+
+// Overall health statuses.
+const (
+	healthOK       = "ok"
+	healthDegraded = "degraded"
+	healthCritical = "critical"
+)
+
+// HealthCheck is one scored dimension of server health.
+type HealthCheck struct {
+	Name   string  `json:"name"`
+	Status string  `json:"status"` // ok | warn | fail
+	Detail string  `json:"detail,omitempty"`
+	Value  float64 `json:"value"`
+}
+
+// HealthReport is the GET /healthz body: an overall verdict plus the
+// per-dimension checks it was derived from.
+type HealthReport struct {
+	Status      string        `json:"status"` // ok | degraded | critical
+	UptimeSec   float64       `json:"uptimeSec"`
+	Experiments int           `json:"experiments"`
+	Checks      []HealthCheck `json:"checks"`
+}
+
+// Health scores the server across its operational dimensions: slot
+// capacity (offline agents), broker starvation, event drops, and
+// admission headroom. Any failing check makes the verdict critical;
+// any warning makes it degraded.
+func (s *Server) Health() HealthReport {
+	s.mu.Lock()
+	active := s.activeLocked()
+	hes := make([]*hosted, 0, len(s.exps))
+	for _, he := range s.exps {
+		hes = append(hes, he)
+	}
+	started := s.started
+	s.mu.Unlock()
+
+	rep := HealthReport{
+		Status:      healthOK,
+		UptimeSec:   time.Since(started).Seconds(),
+		Experiments: active,
+	}
+	add := func(c HealthCheck) {
+		rep.Checks = append(rep.Checks, c)
+		switch c.Status {
+		case checkFail:
+			rep.Status = healthCritical
+		case checkWarn:
+			if rep.Status == healthOK {
+				rep.Status = healthDegraded
+			}
+		}
+	}
+
+	// Slot capacity: offline slots mean agents are down; a pool that is
+	// entirely offline (or empty) cannot schedule anything.
+	idle, busy, offline := s.pool.Counts()
+	total := idle + busy + offline
+	slots := HealthCheck{Name: "slots", Status: checkOK, Value: float64(offline),
+		Detail: fmt.Sprintf("%d/%d slots offline", offline, total)}
+	switch {
+	case total == 0 || offline == total:
+		slots.Status = checkFail
+	case offline > 0:
+		slots.Status = checkWarn
+	}
+	add(slots)
+
+	// Broker starvation: a tenant sitting below fair share with unmet
+	// demand for too long means reallocation is not converging.
+	worst, count := s.broker.Starvation()
+	starv := HealthCheck{Name: "broker_starvation", Status: checkOK, Value: worst.Seconds(),
+		Detail: fmt.Sprintf("%d starved lease(s), worst %.1fs", count, worst.Seconds())}
+	if worst >= starveWarnAfter {
+		starv.Status = checkWarn
+	}
+	add(starv)
+
+	// Event drops: live experiments' event-log write failures (the
+	// flusher fell behind and records were lost). Feed-ring evictions
+	// and router sheds are bounded-buffer behavior by design; they stay
+	// visible as serve_feed_dropped_total without degrading health.
+	var drops int64
+	for _, he := range hes {
+		if he.active() {
+			drops += he.reg.Counter(obs.EventLogDroppedTotal).Value()
+		}
+	}
+	dr := HealthCheck{Name: "event_drops", Status: checkOK, Value: float64(drops),
+		Detail: fmt.Sprintf("%d event-log record(s) dropped", drops)}
+	if drops > 0 {
+		dr.Status = checkWarn
+	}
+	add(dr)
+
+	// Admission headroom: at the cap every further submit bounces.
+	cap := s.opts.MaxExperiments
+	if pt := s.pool.Total(); pt < cap {
+		cap = pt
+	}
+	adm := HealthCheck{Name: "admission", Status: checkOK, Value: float64(active),
+		Detail: fmt.Sprintf("%d/%d experiments active", active, cap)}
+	if active >= cap {
+		adm.Status = checkWarn
+	}
+	add(adm)
+
+	return rep
+}
+
+// handleHealthz reports liveness with the full scored breakdown: 200
+// while the server can do useful work, 503 once a check fails hard.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	rep := s.Health()
+	if rep.Status == healthCritical {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	writeJSON(w, rep)
+}
+
+// handleReadyz reports readiness to accept new experiments: 503 while
+// shutting down or critical, 200 otherwise.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	rep := s.Health()
+	ready := !closed && rep.Status != healthCritical
+	if !ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	writeJSON(w, map[string]interface{}{"ready": ready, "status": rep.Status})
+}

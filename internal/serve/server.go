@@ -47,8 +47,10 @@ type Options struct {
 	Rate  float64
 	Burst int
 	// Obs (optional) is the server-level registry: admission, rate
-	// limit, and per-tenant fair-share telemetry. Per-experiment
-	// registries are always created internally.
+	// limit, per-tenant fair-share telemetry, HTTP middleware, and the
+	// /metrics fleet rollup. Nil disables all server-level telemetry
+	// (the disabled path adds no per-request or per-slot work).
+	// Per-experiment registries are always created internally.
 	Obs *obs.Registry
 	// Pprof mounts net/http/pprof on the server-level obs handler.
 	Pprof bool
@@ -75,13 +77,14 @@ type hosted struct {
 	workload string
 	policy   string
 
-	exp    *cluster.Experiment
-	pp     *pausablePolicy
-	lease  *Lease
-	feed   *Feed
-	events chan cluster.Event
-	cancel context.CancelFunc
-	reg    *obs.Registry
+	exp     *cluster.Experiment
+	pp      *pausablePolicy
+	lease   *Lease
+	feed    *Feed
+	events  chan cluster.Event
+	cancel  context.CancelFunc
+	reg     *obs.Registry
+	dropped *obs.Counter // server-registry serve_feed_dropped_total{experiment}
 
 	submitted time.Time // wall clock
 
@@ -103,7 +106,8 @@ type Server struct {
 	broker  *Broker
 	limiter *rateLimiter
 	mux     *http.ServeMux
-	reg     *obs.Registry
+	reg     *obs.Registry // nil when fleet observability is disabled
+	started time.Time
 
 	metActive        *obs.Gauge
 	metTotal         *obs.Counter
@@ -151,10 +155,10 @@ func NewServer(opts Options) (*Server, error) {
 	if wreg == nil {
 		wreg = workload.NewRegistry()
 	}
+	// A nil Obs stays nil: every handle below resolves to a nil-safe
+	// no-op, the middleware unwraps, and the broker skips starvation
+	// tracking — fleet observability truly off, not silently collected.
 	reg := opts.Obs
-	if reg == nil {
-		reg = obs.NewRegistry()
-	}
 	s := &Server{
 		opts:       opts,
 		clk:        clk,
@@ -163,6 +167,7 @@ func NewServer(opts Options) (*Server, error) {
 		limiter:    newRateLimiter(opts.Rate, opts.Burst, nil),
 		mux:        http.NewServeMux(),
 		reg:        reg,
+		started:    time.Now(),
 		exps:       make(map[string]*hosted),
 		stop:       make(chan struct{}),
 		routerDone: make(chan struct{}),
@@ -198,7 +203,12 @@ func (s *Server) Handler() http.Handler {
 		}
 		if ok, retry := s.limiter.allow(tenant); !ok {
 			s.metRateLimited.Inc()
-			w.Header().Set("Retry-After", strconv.Itoa(retrySeconds(retry)))
+			secs := retrySeconds(retry)
+			if s.reg != nil {
+				s.reg.Counter(obs.ServeRateLimitRejectsTotal(tenant)).Inc()
+				s.reg.Histogram(obs.ServeRetryAfterSeconds(tenant), retryAfterBuckets...).Observe(float64(secs))
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
 			http.Error(w, "tenant rate limit exceeded", http.StatusTooManyRequests)
 			return
 		}
@@ -218,15 +228,39 @@ func retrySeconds(d time.Duration) int {
 }
 
 func (s *Server) routes() {
-	s.mux.HandleFunc("POST /v1/experiments", s.handleSubmit)
-	s.mux.HandleFunc("GET /v1/experiments", s.handleList)
-	s.mux.HandleFunc("GET /v1/experiments/{id}", s.handleStatus)
-	s.mux.HandleFunc("GET /v1/experiments/{id}/events", s.handleEvents)
-	s.mux.HandleFunc("POST /v1/experiments/{id}/suspend", s.handleSuspend)
-	s.mux.HandleFunc("POST /v1/experiments/{id}/resume", s.handleResume)
-	s.mux.HandleFunc("POST /v1/experiments/{id}/cancel", s.handleCancel)
-	s.mux.HandleFunc("GET /v1/tenants/{tenant}", s.handleTenant)
+	s.mux.Handle("POST /v1/experiments", s.instrument("submit", s.handleSubmit))
+	s.mux.Handle("GET /v1/experiments", s.instrument("list", s.handleList))
+	s.mux.Handle("GET /v1/experiments/{id}", s.instrument("status", s.handleStatus))
+	s.mux.Handle("GET /v1/experiments/{id}/events", s.instrument("events", s.handleEvents))
+	s.mux.Handle("POST /v1/experiments/{id}/suspend", s.instrument("suspend", s.handleSuspend))
+	s.mux.Handle("POST /v1/experiments/{id}/resume", s.instrument("resume", s.handleResume))
+	s.mux.Handle("POST /v1/experiments/{id}/cancel", s.instrument("cancel", s.handleCancel))
+	s.mux.Handle("GET /v1/tenants/{tenant}", s.instrument("tenant", s.handleTenant))
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.Handle("/obs/", http.StripPrefix("/obs", obs.Handler(s.reg, obs.HandlerOptions{Pprof: s.opts.Pprof})))
+}
+
+// handleMetrics is the fleet rollup: the server registry's native
+// series merged with every LIVE experiment's registry, each child
+// series namespaced with an experiment label. Finished experiments are
+// excluded here — their registries stay reachable under
+// /v1/experiments/{id}/obs for post-mortems, but the fleet view never
+// reads a registry after teardown.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	children := make([]obs.RollupChild, 0, len(s.order))
+	for _, id := range s.order {
+		he := s.exps[id]
+		if he == nil || !he.active() || he.reg == nil {
+			continue
+		}
+		children = append(children, obs.RollupChild{ID: he.id, Reg: he.reg})
+	}
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = obs.WritePrometheusRollup(w, s.reg, "experiment", children...)
 }
 
 // SubmitRequest is the POST /v1/experiments body. Zero values take
@@ -294,6 +328,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if active >= s.opts.MaxExperiments || active >= s.pool.Total() {
 		s.mu.Unlock()
 		s.metAdmissionRej.Inc()
+		if s.reg != nil {
+			s.reg.Histogram(obs.ServeRetryAfterSeconds(req.Tenant), retryAfterBuckets...).Observe(5)
+		}
 		w.Header().Set("Retry-After", "5")
 		http.Error(w, fmt.Sprintf("saturated: %d active experiments (cap %d, slots %d)",
 			active, s.opts.MaxExperiments, s.pool.Total()), http.StatusTooManyRequests)
@@ -301,15 +338,24 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.nextID++
 	id := fmt.Sprintf("e%d", s.nextID)
+	// events, reg, and dropped are set before the entry is published:
+	// the kicker, router, rollup, and health scorer may read them the
+	// moment s.mu is released.
 	he := &hosted{
 		id: id, tenant: req.Tenant, workload: req.Workload,
 		state: stateRunning, submitted: time.Now(), done: make(chan struct{}),
+		events:  make(chan cluster.Event, expChanCap),
+		reg:     obs.NewRegistry(),
+		dropped: s.reg.Counter(obs.ServeFeedDroppedTotal(id)),
 	}
+	// Disjoint trace-ID spaces per experiment: IDs embed an origin hash
+	// of the experiment ID, so tenants' traces never collide.
+	he.reg.Tracer().SetOrigin("exp:" + id)
 	s.exps[id] = he
 	s.order = append(s.order, id)
 	s.mu.Unlock()
 
-	if err := s.buildAndStart(he, req); err != nil {
+	if err := s.buildAndStart(he, req, r.Header.Get("X-Trace-Id")); err != nil {
 		s.mu.Lock()
 		delete(s.exps, id)
 		if n := len(s.order); n > 0 && s.order[n-1] == id {
@@ -329,7 +375,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 // buildAndStart assembles the per-experiment machinery (registry,
 // event feed, namespaced generator, pausable policy, fair-share lease)
 // and launches Run. On error every acquired resource is returned.
-func (s *Server) buildAndStart(he *hosted, req SubmitRequest) error {
+// traceID, when non-empty, is the caller's inbound X-Trace-Id: the
+// submit is recorded as a span on that trace and the experiment's jobs
+// join it, so an operator trace spans API edge to scheduler decisions.
+func (s *Server) buildAndStart(he *hosted, req SubmitRequest, traceID string) error {
 	pol, err := buildPolicy(req.Policy, req.Predictor)
 	if err != nil {
 		return err
@@ -344,15 +393,23 @@ func (s *Server) buildAndStart(he *hosted, req SubmitRequest) error {
 		return err
 	}
 
-	expReg := obs.NewRegistry()
-	// Disjoint trace-ID spaces per experiment: IDs embed an origin hash
-	// of the experiment ID, so tenants' traces never collide.
-	expReg.Tracer().SetOrigin("exp:" + he.id)
-	he.reg = expReg
+	expReg := he.reg
 	he.feed = NewFeed(he.noteLine(s.metFirstDecision))
+	he.feed.onDrop = func(n int) { he.dropped.Add(int64(n)) }
 	he.pp = &pausablePolicy{inner: pol}
 	he.lease = s.broker.Join(he.tenant, req.Weight)
-	he.events = make(chan cluster.Event, expChanCap)
+
+	// An inbound X-Trace-Id pins the whole experiment to the caller's
+	// trace: the submit becomes a span under it and every job's decision
+	// spans parent back through it.
+	var traceParent obs.SpanContext
+	if traceID != "" {
+		submitSpan := expReg.Tracer().StartSpan("api_submit", "", 0, obs.SpanContext{TraceID: traceID})
+		defer expReg.Tracer().Finish(submitSpan)
+		submitSpan.SetStr("tenant", he.tenant)
+		submitSpan.SetStr("experiment", he.id)
+		traceParent = submitSpan.Context()
+	}
 
 	var maxDur time.Duration
 	if req.MaxDurationSec > 0 {
@@ -374,6 +431,7 @@ func (s *Server) buildAndStart(he *hosted, req SubmitRequest) error {
 		Seed:           req.Seed,
 		EventLog:       cluster.NewEventLog(he.feed),
 		Obs:            expReg,
+		TraceParent:    traceParent,
 	})
 	if err != nil {
 		he.lease.Close()
@@ -703,6 +761,7 @@ func (s *Server) route(ev cluster.Event) {
 		default:
 			// Stats, snapshots, and wake-ups are lossy by design under
 			// overload; the schedulers' estimators tolerate gaps.
+			he.dropped.Inc()
 			s.opts.Logf("serve: %s event channel full; shed event kind %d", he.id, ev.Kind)
 		}
 	}
@@ -774,6 +833,7 @@ func (s *Server) kicker() {
 			return
 		case <-t.C:
 			s.kickAll()
+			s.broker.Sample()
 		}
 	}
 }

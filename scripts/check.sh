@@ -29,9 +29,21 @@ go test -race -run 'TestMultiTenantChaosE2E' -count=1 -timeout 5m ./internal/ser
 
 # hyperdrived smoke: boot the multi-tenant server on loopback, submit
 # two tenant experiments over HTTP, poll both to completion, and
-# exercise the tenant/events/obs surfaces. Exits non-zero on any miss.
+# exercise the tenant/events/obs surfaces — including the fleet
+# observability ones: the /metrics rollup must carry the serve_*
+# families (whose names hdlint metricnames pins to internal/obs above)
+# and /healthz + /readyz must report a healthy fleet. Exits non-zero on
+# any miss.
 echo ">> hyperdrived -smoke"
 go run ./cmd/hyperdrived -smoke >/dev/null
+
+# Fleet observability overhead smoke: the broker lease hot path with
+# telemetry enabled must stay within the (relaxed fast-scale) gate of
+# the disabled path, and the instrumented API arm must complete.
+echo ">> hdbench -fleet-bench (smoke)"
+fleetjson="$(mktemp)"
+go run ./cmd/hdbench -fleet-bench "$fleetjson" -fleet-scale fast
+rm -f "$fleetjson"
 
 # Smoke the prediction-path benchmark at the reduced MCMC budget: it
 # cross-checks serial-vs-parallel posterior determinism and the batch
